@@ -1,0 +1,260 @@
+//! Shared infrastructure for the baseline systems.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+use rads_graph::{Pattern, PatternVertex, SymmetryBreaking, VertexId};
+use rads_runtime::TrafficSnapshot;
+
+/// Per-machine statistics reported by a baseline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Embeddings emitted by this machine.
+    pub embeddings: u64,
+    /// Peak number of intermediate rows this machine held at any superstep.
+    pub peak_intermediate_rows: usize,
+    /// Total intermediate rows this machine produced over the whole run.
+    pub total_intermediate_rows: u64,
+    /// Peak bytes of intermediate rows (rows × arity × 4).
+    pub peak_intermediate_bytes: usize,
+}
+
+impl BaselineStats {
+    /// Records that the machine currently holds `rows` rows of `arity`
+    /// columns.
+    pub fn observe_rows(&mut self, rows: usize, arity: usize) {
+        self.peak_intermediate_rows = self.peak_intermediate_rows.max(rows);
+        self.peak_intermediate_bytes = self
+            .peak_intermediate_bytes
+            .max(rows * arity * std::mem::size_of::<VertexId>());
+        self.total_intermediate_rows += rows as u64;
+    }
+}
+
+/// The aggregated outcome of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Name of the system (e.g. `"psgl"`).
+    pub system: &'static str,
+    /// Total embeddings across all machines.
+    pub total_embeddings: u64,
+    /// Per-machine statistics.
+    pub per_machine: Vec<BaselineStats>,
+    /// Network traffic of the run.
+    pub traffic: TrafficSnapshot,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl BaselineOutcome {
+    /// Peak intermediate rows over all machines (the memory-pressure metric
+    /// that makes the join-based systems fail on dense graphs).
+    pub fn peak_intermediate_rows(&self) -> usize {
+        self.per_machine.iter().map(|m| m.peak_intermediate_rows).max().unwrap_or(0)
+    }
+
+    /// Total intermediate rows produced cluster-wide.
+    pub fn total_intermediate_rows(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.total_intermediate_rows).sum()
+    }
+
+    /// Peak bytes of intermediate rows held by any single machine — the
+    /// quantity that determines whether a machine with a memory cap survives
+    /// the query (the paper's robustness test in Exp-4).
+    pub fn peak_intermediate_bytes(&self) -> usize {
+        self.per_machine.iter().map(|m| m.peak_intermediate_bytes).max().unwrap_or(0)
+    }
+}
+
+/// Deterministic hash routing of a join key to a machine.
+pub fn route_key(key: &[VertexId], machines: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % machines as u64) as usize
+}
+
+/// `true` if the complete assignment (indexed by query vertex) is a valid
+/// embedding of `pattern` *and* passes the final symmetry-breaking filter.
+/// The baselines enumerate without intermediate symmetry breaking and apply
+/// this filter at the end, so every occurrence is reported exactly once.
+pub fn is_canonical_embedding(
+    pattern: &Pattern,
+    symmetry: &SymmetryBreaking,
+    mapping: &[VertexId],
+) -> bool {
+    // injectivity
+    for i in 0..mapping.len() {
+        for j in i + 1..mapping.len() {
+            if mapping[i] == mapping[j] {
+                return false;
+            }
+        }
+    }
+    // edge preservation
+    for (a, b) in pattern.edges() {
+        if mapping[a] == mapping[b] {
+            return false;
+        }
+    }
+    symmetry.check_full(mapping)
+}
+
+/// A star sub-pattern: a center query vertex plus a set of leaves, covering
+/// the edges `(center, leaf)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarUnit {
+    /// The star's center query vertex.
+    pub center: PatternVertex,
+    /// The star's leaves.
+    pub leaves: Vec<PatternVertex>,
+}
+
+impl StarUnit {
+    /// The query vertices of the unit (center first).
+    pub fn vertices(&self) -> Vec<PatternVertex> {
+        let mut v = vec![self.center];
+        v.extend(&self.leaves);
+        v
+    }
+}
+
+/// Decomposes the pattern's edge set into stars whose centers have maximal
+/// residual degree, with at most `max_leaves` leaves per star (TwinTwig uses
+/// 2, SEED uses unlimited). The union of the star edges is exactly `E_P`, so
+/// joining the stars on shared vertices enforces every pattern edge.
+pub fn star_edge_decomposition(pattern: &Pattern, max_leaves: usize) -> Vec<StarUnit> {
+    let n = pattern.vertex_count();
+    let mut covered = vec![vec![false; n]; n];
+    let mut remaining = pattern.edge_count();
+    let mut units = Vec::new();
+    while remaining > 0 {
+        // pick the vertex with the most uncovered incident edges
+        let center = pattern
+            .vertices()
+            .max_by_key(|&u| {
+                pattern.neighbors(u).iter().filter(|&&v| !covered[u][v]).count()
+            })
+            .expect("pattern has vertices");
+        let mut leaves: Vec<PatternVertex> = pattern
+            .neighbors(center)
+            .iter()
+            .copied()
+            .filter(|&v| !covered[center][v])
+            .collect();
+        leaves.truncate(max_leaves.max(1));
+        assert!(!leaves.is_empty(), "decomposition made no progress");
+        for &v in &leaves {
+            covered[center][v] = true;
+            covered[v][center] = true;
+            remaining -= 1;
+        }
+        units.push(StarUnit { center, leaves });
+    }
+    units
+}
+
+/// Orders units so that every unit after the first shares at least one query
+/// vertex with the union of the previous units (needed for key-based joins).
+pub fn connect_units(units: Vec<StarUnit>) -> Vec<StarUnit> {
+    if units.is_empty() {
+        return units;
+    }
+    let mut remaining = units;
+    let mut ordered = vec![remaining.remove(0)];
+    let mut covered: Vec<PatternVertex> = ordered[0].vertices();
+    while !remaining.is_empty() {
+        let pos = remaining
+            .iter()
+            .position(|u| u.vertices().iter().any(|v| covered.contains(v)))
+            .unwrap_or(0);
+        let unit = remaining.remove(pos);
+        covered.extend(unit.vertices());
+        covered.sort_unstable();
+        covered.dedup();
+        ordered.push(unit);
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::queries;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for machines in [1usize, 3, 7] {
+            for key in [[1u32, 2].as_slice(), &[9], &[5, 5, 5]] {
+                let a = route_key(key, machines);
+                let b = route_key(key, machines);
+                assert_eq!(a, b);
+                assert!(a < machines);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_embedding_filter() {
+        let p = queries::query_by_name("triangle").unwrap();
+        let sb = SymmetryBreaking::new(&p);
+        // valid triangle 1-2-3 in a world where those edges exist: the filter
+        // only checks injectivity + symmetry order here, edges are checked by
+        // construction in the baselines; craft a mapping with a repeat:
+        assert!(!is_canonical_embedding(&p, &sb, &[1, 1, 2]));
+        // exactly one of the orderings of {1,2,3} is canonical
+        let orderings = [[1, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 1, 2], [3, 2, 1]];
+        let canonical = orderings
+            .iter()
+            .filter(|m| is_canonical_embedding(&p, &sb, &m[..]))
+            .count();
+        assert_eq!(canonical, 1);
+    }
+
+    #[test]
+    fn star_decomposition_covers_every_edge() {
+        for nq in queries::standard_query_set().into_iter().chain(queries::clique_query_set()) {
+            for max_leaves in [2usize, usize::MAX] {
+                let units = star_edge_decomposition(&nq.pattern, max_leaves);
+                let mut covered = std::collections::HashSet::new();
+                for u in &units {
+                    for &l in &u.leaves {
+                        assert!(nq.pattern.has_edge(u.center, l));
+                        let key = (u.center.min(l), u.center.max(l));
+                        assert!(covered.insert(key), "{}: edge covered twice", nq.name);
+                    }
+                }
+                assert_eq!(covered.len(), nq.pattern.edge_count(), "{}", nq.name);
+                if max_leaves == 2 {
+                    assert!(units.iter().all(|u| u.leaves.len() <= 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_unit_order() {
+        for nq in queries::standard_query_set() {
+            let units = connect_units(star_edge_decomposition(&nq.pattern, 2));
+            let mut covered: Vec<PatternVertex> = units[0].vertices();
+            for u in &units[1..] {
+                assert!(
+                    u.vertices().iter().any(|v| covered.contains(v)),
+                    "{}: unit {u:?} not connected to previous units",
+                    nq.name
+                );
+                covered.extend(u.vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_stats_observe_rows() {
+        let mut s = BaselineStats::default();
+        s.observe_rows(10, 3);
+        s.observe_rows(4, 5);
+        assert_eq!(s.peak_intermediate_rows, 10);
+        assert_eq!(s.total_intermediate_rows, 14);
+        assert_eq!(s.peak_intermediate_bytes, 10 * 3 * 4);
+    }
+}

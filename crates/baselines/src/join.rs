@@ -1,0 +1,259 @@
+//! The multi-round distributed hash-join framework shared by TwinTwig, SEED
+//! and Crystal.
+//!
+//! Each decomposition unit becomes a *relation* whose columns are the unit's
+//! query vertices and whose rows are the unit's embeddings, enumerated locally
+//! from the owned vertices. Units are then joined one per round: both sides
+//! are hash-partitioned on the join key (the shared query vertices), shuffled
+//! across the cluster, and joined machine-locally — exactly the
+//! shuffle-heavy execution model the paper contrasts RADS against.
+
+use std::collections::HashMap;
+
+use rads_graph::{Graph, Pattern, PatternVertex, VertexId};
+use rads_runtime::MachineContext;
+
+use crate::common::{route_key, BaselineStats, StarUnit};
+
+/// A relation: a schema of query vertices plus rows of data vertices aligned
+/// with that schema.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// The query vertices each column corresponds to.
+    pub schema: Vec<PatternVertex>,
+    /// The rows.
+    pub rows: Vec<Vec<VertexId>>,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn new(schema: Vec<PatternVertex>) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Column index of query vertex `u`, if present.
+    pub fn column_of(&self, u: PatternVertex) -> Option<usize> {
+        self.schema.iter().position(|&v| v == u)
+    }
+}
+
+/// Enumerates the local rows of a star unit: the center ranges over the
+/// machine's owned vertices, the leaves over the center's neighbours
+/// (ordered, injective). When `clique_storage` is provided and the unit's
+/// vertices form a clique in the pattern, the leaf–leaf edges are enforced
+/// immediately using the extended storage (SEED's star-clique-preserving
+/// partition stores the edges among the neighbours of every owned vertex).
+pub fn enumerate_star_relation(
+    ctx: &MachineContext,
+    pattern: &Pattern,
+    unit: &StarUnit,
+    clique_storage: Option<&Graph>,
+) -> Relation {
+    let local = ctx.partition();
+    let mut relation = Relation::new(unit.vertices());
+    let is_clique_unit = clique_storage.is_some()
+        && unit
+            .leaves
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| unit.leaves.iter().skip(i + 1).all(|&b| pattern.has_edge(a, b)));
+    let min_center_degree = pattern.degree(unit.center).min(unit.leaves.len());
+    for &center in local.owned_vertices() {
+        let adj = local.neighbors(center).expect("owned vertex");
+        if adj.len() < min_center_degree {
+            continue;
+        }
+        let mut assignment: Vec<VertexId> = Vec::with_capacity(unit.leaves.len());
+        enumerate_leaves(
+            adj,
+            unit.leaves.len(),
+            center,
+            &mut assignment,
+            &mut |leaves: &[VertexId]| {
+                if is_clique_unit {
+                    let g = clique_storage.expect("clique storage present");
+                    for i in 0..leaves.len() {
+                        for j in i + 1..leaves.len() {
+                            if !g.has_edge(leaves[i], leaves[j]) {
+                                return;
+                            }
+                        }
+                    }
+                }
+                let mut row = Vec::with_capacity(1 + leaves.len());
+                row.push(center);
+                row.extend_from_slice(leaves);
+                relation.rows.push(row);
+            },
+        );
+    }
+    relation
+}
+
+fn enumerate_leaves(
+    adj: &[VertexId],
+    remaining: usize,
+    center: VertexId,
+    assignment: &mut Vec<VertexId>,
+    emit: &mut impl FnMut(&[VertexId]),
+) {
+    if remaining == 0 {
+        emit(assignment);
+        return;
+    }
+    for &w in adj {
+        if w == center || assignment.contains(&w) {
+            continue;
+        }
+        assignment.push(w);
+        enumerate_leaves(adj, remaining - 1, center, assignment, emit);
+        assignment.pop();
+    }
+}
+
+/// Performs one distributed hash-join round between `left` and `right`.
+///
+/// Both relations are shuffled by the values of their shared query vertices
+/// (the join key); every machine joins the fragments it receives and returns
+/// its part of the joined relation. Must be called by every machine in the
+/// same round (it contains barriers). `tag_base` must be unique per round.
+pub fn distributed_join(
+    ctx: &MachineContext,
+    stats: &mut BaselineStats,
+    left: &Relation,
+    right: &Relation,
+    tag_base: u32,
+) -> Relation {
+    let machines = ctx.machines();
+    let key_vars: Vec<PatternVertex> = left
+        .schema
+        .iter()
+        .copied()
+        .filter(|&u| right.schema.contains(&u))
+        .collect();
+    assert!(!key_vars.is_empty(), "join key must not be empty (units must be connected)");
+    let left_key_cols: Vec<usize> = key_vars.iter().map(|&u| left.column_of(u).unwrap()).collect();
+    let right_key_cols: Vec<usize> =
+        key_vars.iter().map(|&u| right.column_of(u).unwrap()).collect();
+    let right_extra_cols: Vec<usize> = right
+        .schema
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| !key_vars.contains(u))
+        .map(|(i, _)| i)
+        .collect();
+    let out_schema: Vec<PatternVertex> = left
+        .schema
+        .iter()
+        .copied()
+        .chain(right_extra_cols.iter().map(|&i| right.schema[i]))
+        .collect();
+
+    // -- shuffle both sides by the join key
+    let shuffle = |rows: &[Vec<VertexId>], key_cols: &[usize], tag: u32| {
+        let mut outgoing: Vec<Vec<Vec<VertexId>>> = vec![Vec::new(); machines];
+        for row in rows {
+            let key: Vec<VertexId> = key_cols.iter().map(|&c| row[c]).collect();
+            outgoing[route_key(&key, machines)].push(row.clone());
+        }
+        for (target, batch) in outgoing.into_iter().enumerate() {
+            ctx.send_rows(target, tag, batch);
+        }
+    };
+    shuffle(&left.rows, &left_key_cols, tag_base);
+    shuffle(&right.rows, &right_key_cols, tag_base + 1);
+    ctx.barrier();
+
+    let left_in = ctx.take_rows(tag_base);
+    let right_in = ctx.take_rows(tag_base + 1);
+    stats.observe_rows(left_in.len() + right_in.len(), left.schema.len().max(right.schema.len()));
+
+    // -- local hash join
+    let mut table: HashMap<Vec<VertexId>, Vec<&Vec<VertexId>>> = HashMap::new();
+    for row in &right_in {
+        let key: Vec<VertexId> = right_key_cols.iter().map(|&c| row[c]).collect();
+        table.entry(key).or_default().push(row);
+    }
+    let mut out = Relation::new(out_schema);
+    for lrow in &left_in {
+        let key: Vec<VertexId> = left_key_cols.iter().map(|&c| lrow[c]).collect();
+        let Some(matches) = table.get(&key) else { continue };
+        'rows: for rrow in matches {
+            let mut new_row = lrow.clone();
+            for &c in &right_extra_cols {
+                let v = rrow[c];
+                // injectivity across the joined row
+                if new_row.contains(&v) {
+                    continue 'rows;
+                }
+                new_row.push(v);
+            }
+            out.rows.push(new_row);
+        }
+    }
+    stats.observe_rows(out.rows.len(), out.schema.len());
+    // keep all machines in lock-step before the next round reuses tags
+    ctx.barrier();
+    out
+}
+
+/// Re-orders a final relation into embeddings indexed by query vertex and
+/// applies `filter`. The relation's schema must cover every query vertex.
+pub fn finalize_embeddings(
+    pattern: &Pattern,
+    relation: &Relation,
+    mut filter: impl FnMut(&[VertexId]) -> bool,
+) -> u64 {
+    let n = pattern.vertex_count();
+    let col_of: Vec<usize> = (0..n)
+        .map(|u| relation.column_of(u).expect("final schema covers all query vertices"))
+        .collect();
+    let mut count = 0;
+    let mut mapping = vec![0; n];
+    for row in &relation.rows {
+        for u in 0..n {
+            mapping[u] = row[col_of[u]];
+        }
+        if filter(&mapping) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::queries;
+
+    #[test]
+    fn relation_column_lookup() {
+        let r = Relation::new(vec![2, 0, 1]);
+        assert_eq!(r.column_of(0), Some(1));
+        assert_eq!(r.column_of(2), Some(0));
+        assert_eq!(r.column_of(5), None);
+    }
+
+    #[test]
+    fn leaf_enumeration_is_injective_and_ordered() {
+        let adj = [1u32, 2, 3];
+        let mut rows = Vec::new();
+        let mut assignment = Vec::new();
+        enumerate_leaves(&adj, 2, 99, &mut assignment, &mut |l| rows.push(l.to_vec()));
+        assert_eq!(rows.len(), 6); // 3 * 2 ordered pairs
+        for r in &rows {
+            assert_ne!(r[0], r[1]);
+        }
+    }
+
+    #[test]
+    fn finalize_counts_with_filter() {
+        let p = queries::query_by_name("triangle").unwrap();
+        let r = Relation {
+            schema: vec![0, 1, 2],
+            rows: vec![vec![1, 2, 3], vec![3, 2, 1], vec![4, 4, 5]],
+        };
+        let count = finalize_embeddings(&p, &r, |m| m[0] < m[1] && m[1] < m[2]);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Distributed subgraph-enumeration baselines, reimplemented on the same
+//! simulated runtime as RADS so the comparison is apples-to-apples (the paper
+//! makes the same methodological choice by reimplementing PSgL, TwinTwig and
+//! SEED in C++/MPI).
+//!
+//! * [`psgl`] — **PSgL** (Shao et al., SIGMOD 2014): Pregel-style graph
+//!   exploration. Query vertices are matched one at a time in a connected
+//!   order; partial matches are shuffled to the machine owning the vertex to
+//!   expand from, then to the owner of the newly matched vertex for
+//!   verification. No compression, no memory control.
+//! * [`twintwig`] — **TwinTwig** (Lai et al., VLDB 2015): multi-round
+//!   distributed hash joins where every decomposition unit is a star with at
+//!   most two edges.
+//! * [`seed`] — **SEED** (Lai et al., VLDB 2016): the same join framework
+//!   with larger units — unrestricted stars plus clique units that are
+//!   enumerated locally thanks to SEED's star-clique-preserving storage
+//!   (each machine additionally stores the edges among the neighbours of its
+//!   vertices).
+//! * [`crystal`] — **Crystal** (Qiao et al., VLDB 2017): relies on a
+//!   pre-built clique index; clique sub-patterns of the query are answered
+//!   directly from the index and only the remainder is joined.
+//!
+//! All four systems return a [`BaselineOutcome`] carrying the embedding count,
+//! the communication volume and the peak number of intermediate rows held by
+//! any machine, which is what the evaluation section compares.
+
+pub mod common;
+pub mod crystal;
+pub mod join;
+pub mod psgl;
+pub mod seed;
+pub mod twintwig;
+
+pub use common::{BaselineOutcome, BaselineStats};
+pub use crystal::{run_crystal, CliqueIndex};
+pub use psgl::run_psgl;
+pub use seed::run_seed;
+pub use twintwig::run_twintwig;

@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of RADS's building blocks: the embedding trie,
+//! the edge-verification index, plan computation, border-distance
+//! computation, partitioning and the single-machine enumerator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rads_core::trie::EmbeddingTrie;
+use rads_core::evi::EdgeVerificationIndex;
+use rads_graph::generators::{barabasi_albert, grid_2d};
+use rads_graph::{queries, VertexId};
+use rads_partition::{BfsPartitioner, HashPartitioner, LabelPropagationPartitioner, LocalPartition, Partitioner};
+use rads_plan::{best_plan, PlannerConfig};
+use rads_single::count_embeddings;
+
+fn bench_trie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding_trie");
+    group.bench_function("insert_10k_paths", |b| {
+        b.iter(|| {
+            let mut trie = EmbeddingTrie::new();
+            for root in 0..100u32 {
+                let r = trie.add_root(root);
+                for mid in 0..10u32 {
+                    let m = trie.add_child(r, 1000 + mid);
+                    for leaf in 0..10u32 {
+                        trie.add_child(m, 2000 + leaf);
+                    }
+                }
+            }
+            trie.node_count()
+        })
+    });
+    group.bench_function("insert_then_remove_half", |b| {
+        b.iter(|| {
+            let mut trie = EmbeddingTrie::new();
+            let mut leaves = Vec::new();
+            for root in 0..100u32 {
+                let r = trie.add_root(root);
+                for leaf in 0..50u32 {
+                    leaves.push(trie.add_child(r, 1000 + leaf));
+                }
+            }
+            for (i, leaf) in leaves.iter().enumerate() {
+                if i % 2 == 0 {
+                    trie.remove(*leaf);
+                }
+            }
+            trie.node_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_evi(c: &mut Criterion) {
+    c.bench_function("evi_group_and_filter", |b| {
+        b.iter(|| {
+            let mut trie = EmbeddingTrie::new();
+            let mut evi = EdgeVerificationIndex::new();
+            let root = trie.add_root(0);
+            for i in 0..2000u32 {
+                let leaf = trie.add_child(root, i + 1);
+                evi.add(i % 50, i % 50 + 1, leaf);
+            }
+            let mut verdicts = std::collections::HashMap::new();
+            for i in 0..25u32 {
+                verdicts.insert(rads_graph::types::EdgeKey::new(i, i + 1), false);
+            }
+            evi.filter_failed(&mut trie, &verdicts)
+        })
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution_plan");
+    for nq in queries::standard_query_set() {
+        group.bench_with_input(BenchmarkId::new("best_plan", nq.name), &nq.pattern, |b, p| {
+            b.iter(|| best_plan(p, &PlannerConfig::default()).rounds())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let g = barabasi_albert(2000, 4, 11);
+    let mut group = c.benchmark_group("partitioning");
+    group.bench_function("hash_8way", |b| b.iter(|| HashPartitioner.partition(&g, 8).sizes()));
+    group.bench_function("bfs_8way", |b| b.iter(|| BfsPartitioner.partition(&g, 8).sizes()));
+    group.bench_function("label_propagation_8way", |b| {
+        b.iter(|| LabelPropagationPartitioner::default().partition(&g, 8).sizes())
+    });
+    group.finish();
+}
+
+fn bench_border_distance(c: &mut Criterion) {
+    let g = grid_2d(60, 60);
+    let partitioning = BfsPartitioner.partition(&g, 4);
+    c.bench_function("border_distance_grid60", |b| {
+        b.iter(|| {
+            (0..4)
+                .map(|m| LocalPartition::build(&g, &partitioning, m).border_vertices().len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_single_machine(c: &mut Criterion) {
+    let g = barabasi_albert(400, 4, 3);
+    let mut group = c.benchmark_group("single_machine_enumeration");
+    group.sample_size(10);
+    for name in ["triangle", "q1", "q2"] {
+        let q = queries::query_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("count", name), &q, |b, q| {
+            b.iter(|| count_embeddings(&g, q))
+        });
+    }
+    group.finish();
+    let _ = VertexId::default();
+}
+
+criterion_group!(
+    benches,
+    bench_trie,
+    bench_evi,
+    bench_planner,
+    bench_partitioning,
+    bench_border_distance,
+    bench_single_machine
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion end-to-end benchmarks: every system on a small instance of every
+//! dataset profile, one benchmark per (dataset, query) pair of the evaluation
+//! figures, plus the RADS ablations (SM-E, cache, region grouping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rads_baselines::{run_crystal, run_psgl, run_seed, run_twintwig, CliqueIndex};
+use rads_bench::build_cluster;
+use rads_core::{run_rads, RadsConfig, RegionGroupStrategy};
+use rads_datasets::{generate, DatasetKind, Scale};
+use rads_graph::queries;
+
+const BENCH_SCALE: Scale = Scale(0.05);
+const MACHINES: usize = 4;
+
+fn bench_systems(c: &mut Criterion) {
+    for kind in [DatasetKind::RoadNet, DatasetKind::Dblp] {
+        let dataset = generate(kind, BENCH_SCALE, 7);
+        let cluster = build_cluster(&dataset.graph, MACHINES);
+        let index = CliqueIndex::build(&dataset.graph, 4);
+        let mut group = c.benchmark_group(format!("systems_{}", dataset.profile.name));
+        group.sample_size(10);
+        for qname in ["q1", "q2", "q4"] {
+            let pattern = queries::query_by_name(qname).unwrap();
+            group.bench_with_input(BenchmarkId::new("RADS", qname), &pattern, |b, p| {
+                b.iter(|| run_rads(&cluster, p, &RadsConfig::default()).total_embeddings)
+            });
+            group.bench_with_input(BenchmarkId::new("PSgL", qname), &pattern, |b, p| {
+                b.iter(|| run_psgl(&cluster, p).total_embeddings)
+            });
+            group.bench_with_input(BenchmarkId::new("TwinTwig", qname), &pattern, |b, p| {
+                b.iter(|| run_twintwig(&cluster, p).total_embeddings)
+            });
+            group.bench_with_input(BenchmarkId::new("SEED", qname), &pattern, |b, p| {
+                b.iter(|| run_seed(&cluster, &dataset.graph, p).total_embeddings)
+            });
+            group.bench_with_input(BenchmarkId::new("Crystal", qname), &pattern, |b, p| {
+                b.iter(|| run_crystal(&cluster, &dataset.graph, p, &index).total_embeddings)
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_rads_ablations(c: &mut Criterion) {
+    let dataset = generate(DatasetKind::Dblp, BENCH_SCALE, 7);
+    let cluster = build_cluster(&dataset.graph, MACHINES);
+    let pattern = queries::q4();
+    let mut group = c.benchmark_group("rads_ablations_q4");
+    group.sample_size(10);
+    let variants: Vec<(&str, RadsConfig)> = vec![
+        ("full", RadsConfig::default()),
+        ("no_sme", RadsConfig { enable_sme: false, ..Default::default() }),
+        ("no_cache", RadsConfig { enable_cache: false, ..Default::default() }),
+        ("random_groups", RadsConfig { grouping: RegionGroupStrategy::Random, ..Default::default() }),
+    ];
+    for (label, config) in variants {
+        group.bench_function(label, |b| {
+            b.iter(|| run_rads(&cluster, &pattern, &config).total_embeddings)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems, bench_rads_ablations);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Regenerates every table and figure of the paper's evaluation on the
+//! synthetic dataset suite.
+//!
+//! ```text
+//! experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K]
+//!
+//! EXPERIMENT: all | table1 | table2 | fig8 | fig9 | fig10 | fig11 | fig12
+//!           | fig13 | table3 | table4 | fig15 | ablation
+//! ```
+//!
+//! The defaults (`--scale 0.12 --machines 4`) keep a full `all` run within a
+//! few minutes on a laptop. Larger scales sharpen the separation between the
+//! systems but the qualitative shape is already visible at the default.
+
+use rads_bench::{
+    ablations, clique_queries_figure, compression_table, performance_figure,
+    plan_effectiveness_figure, robustness_experiment, scalability_figure, table1, table2, System,
+};
+use rads_datasets::{DatasetKind, Scale};
+
+struct Options {
+    experiments: Vec<String>,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut experiments = Vec::new();
+    let mut scale = 0.12;
+    let mut machines = 4usize;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--machines" => machines = args.next().and_then(|v| v.parse().ok()).unwrap_or(machines),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--help" | "-h" => {
+                println!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K]");
+                std::process::exit(0);
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Options { experiments, scale: Scale(scale), machines, seed }
+}
+
+const STANDARD_QUERIES: [&str; 8] = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"];
+const PLAN_QUERIES: [&str; 5] = ["q4", "q5", "q6", "q7", "q8"];
+
+fn main() {
+    let opts = parse_args();
+    let want = |name: &str| {
+        opts.experiments.iter().any(|e| e == name || e == "all")
+    };
+
+    if want("table1") {
+        println!("== Table 1: dataset profiles (scale {:.2}) ==", opts.scale.0);
+        println!("dataset\t|V|\t|E|\tavg degree\tdiameter");
+        for p in table1(opts.scale, opts.seed) {
+            println!(
+                "{}\t{}\t{}\t{:.2}\t{}",
+                p.name, p.vertices, p.edges, p.average_degree, p.diameter
+            );
+        }
+        println!();
+    }
+
+    if want("table2") {
+        println!("== Table 2: data graph size vs Crystal clique-index size ==");
+        println!("dataset\tgraph bytes\tindex bytes\tratio");
+        for (name, graph_bytes, index_bytes) in table2(opts.scale, opts.seed) {
+            println!(
+                "{}\t{}\t{}\t{:.2}x",
+                name,
+                graph_bytes,
+                index_bytes,
+                index_bytes as f64 / graph_bytes.max(1) as f64
+            );
+        }
+        println!();
+    }
+
+    let perf = |fig: &str, kind: DatasetKind| {
+        println!(
+            "== {fig}: performance on {} ({} machines, scale {:.2}) ==",
+            kind.name(),
+            opts.machines,
+            opts.scale.0
+        );
+        println!("dataset\tquery\tsystem\tmachines\tembeddings\ttime\tcomm\tpeak-intermediate");
+        let rows = performance_figure(
+            kind,
+            opts.scale,
+            opts.machines,
+            opts.seed,
+            &System::all(),
+            &STANDARD_QUERIES,
+        );
+        for row in rows {
+            println!("{}", row.render());
+        }
+        println!();
+    };
+    if want("fig8") {
+        perf("Figure 8", DatasetKind::RoadNet);
+    }
+    if want("fig9") {
+        perf("Figure 9", DatasetKind::Dblp);
+    }
+    if want("fig10") {
+        perf("Figure 10", DatasetKind::LiveJournal);
+    }
+    if want("fig11") {
+        perf("Figure 11", DatasetKind::Uk2002);
+    }
+
+    if want("fig12") {
+        println!("== Figure 12: scalability ratio (baseline 5 machines) ==");
+        println!("dataset\tsystem\tmachines\tspeedup-vs-5");
+        for kind in [DatasetKind::RoadNet, DatasetKind::Dblp, DatasetKind::LiveJournal, DatasetKind::Uk2002] {
+            // the paper omits the failing systems on the two large datasets
+            let systems: Vec<System> = if matches!(kind, DatasetKind::LiveJournal | DatasetKind::Uk2002) {
+                vec![System::Crystal, System::Rads]
+            } else {
+                System::all().to_vec()
+            };
+            let rows = scalability_figure(
+                kind,
+                opts.scale,
+                &[5, 10, 15],
+                opts.seed,
+                &systems,
+                &["q1", "q2", "q4"],
+            );
+            for (system, machines, ratio) in rows {
+                println!("{}\t{}\t{}\t{:.2}", kind.name(), system, machines, ratio);
+            }
+        }
+        println!();
+    }
+
+    if want("fig13") {
+        println!("== Figure 13: execution-plan effectiveness (RanS / RanM / RADS) ==");
+        println!("dataset\tquery\tplanner\ttime(ms)");
+        for kind in [DatasetKind::RoadNet, DatasetKind::Dblp, DatasetKind::LiveJournal, DatasetKind::Uk2002] {
+            for (query, planner, ms) in plan_effectiveness_figure(
+                kind,
+                opts.scale,
+                opts.machines,
+                opts.seed,
+                &PLAN_QUERIES,
+                3,
+            ) {
+                println!("{}\t{}\t{}\t{:.1}", kind.name(), query, planner, ms);
+            }
+        }
+        println!();
+    }
+
+    if want("table3") {
+        println!("== Table 3: intermediate-result compression on RoadNet ==");
+        println!("query\tEL bytes\tET bytes\tratio");
+        for (query, el, et) in compression_table(
+            DatasetKind::RoadNet,
+            opts.scale,
+            opts.machines,
+            opts.seed,
+            &["q1", "q2", "q3", "q4", "q5", "q6"],
+        ) {
+            println!("{}\t{}\t{}\t{:.2}x", query, el, et, el as f64 / et.max(1) as f64);
+        }
+        println!();
+    }
+
+    if want("table4") {
+        println!("== Table 4: intermediate-result compression on DBLP ==");
+        println!("query\tEL bytes\tET bytes\tratio");
+        for (query, el, et) in compression_table(
+            DatasetKind::Dblp,
+            opts.scale,
+            opts.machines,
+            opts.seed,
+            &STANDARD_QUERIES,
+        ) {
+            println!("{}\t{}\t{}\t{:.2}x", query, el, et, el as f64 / et.max(1) as f64);
+        }
+        println!();
+    }
+
+    if want("fig15") {
+        println!("== Figure 15: clique-heavy queries (SEED / Crystal / RADS) ==");
+        println!("dataset\tquery\tsystem\tmachines\tembeddings\ttime\tcomm\tpeak-intermediate");
+        for kind in [DatasetKind::RoadNet, DatasetKind::Dblp, DatasetKind::LiveJournal, DatasetKind::Uk2002] {
+            for row in clique_queries_figure(kind, opts.scale, opts.machines, opts.seed) {
+                println!("{}", row.render());
+            }
+        }
+        println!();
+    }
+
+    if want("robustness") {
+        println!("== Robustness (Exp-4 style): peak per-machine intermediate state under a memory cap ==");
+        let cap = 256 * 1024; // scaled-down stand-in for the paper's 8 GB cap
+        println!("dataset\tsystem\tpeak bytes\twithin {cap} B cap");
+        for kind in [DatasetKind::LiveJournal, DatasetKind::Uk2002] {
+            for (system, peak, ok) in
+                robustness_experiment(kind, opts.scale, opts.machines, opts.seed, "q6", cap)
+            {
+                println!("{}\t{}\t{}\t{}", kind.name(), system, peak, if ok { "yes" } else { "NO" });
+            }
+        }
+        println!();
+    }
+
+    if want("ablation") {
+        println!("== Ablations: RADS design choices (query q4) ==");
+        println!("dataset\tvariant\ttime(ms)\tcomm(MB)");
+        for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
+            for (label, ms, mb) in ablations(kind, opts.scale, opts.machines, opts.seed, "q4") {
+                println!("{}\t{}\t{:.1}\t{:.4}", kind.name(), label, ms, mb);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,471 @@
+//! The experiment harness.
+//!
+//! Every table and figure of the paper's evaluation (Section 7 and
+//! Appendix C) has a function here that regenerates it on the synthetic
+//! dataset suite; the `experiments` binary is a thin CLI over these
+//! functions and `EXPERIMENTS.md` records the observed results next to the
+//! paper's claims. Micro-benchmarks (criterion) live in `benches/`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rads_baselines::{run_crystal, run_psgl, run_seed, run_twintwig, CliqueIndex};
+use rads_core::{run_rads, RadsConfig};
+use rads_datasets::{generate, Dataset, DatasetKind, Scale};
+use rads_graph::{queries, Graph, Pattern};
+use rads_partition::{LabelPropagationPartitioner, PartitionedGraph, Partitioner};
+use rads_plan::{random_min_round_plan, random_star_plan};
+use rads_runtime::Cluster;
+
+/// The systems compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// RADS (this paper).
+    Rads,
+    /// PSgL.
+    Psgl,
+    /// TwinTwig.
+    TwinTwig,
+    /// SEED.
+    Seed,
+    /// Crystal.
+    Crystal,
+}
+
+impl System {
+    /// All five systems in the order the paper's charts list them.
+    pub fn all() -> [System; 5] {
+        [System::Seed, System::TwinTwig, System::Crystal, System::Rads, System::Psgl]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Rads => "RADS",
+            System::Psgl => "PSgL",
+            System::TwinTwig => "TwinTwig",
+            System::Seed => "SEED",
+            System::Crystal => "Crystal",
+        }
+    }
+}
+
+/// One measurement row: a (system, dataset, query) cell of a figure.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// System name.
+    pub system: &'static str,
+    /// Dataset name.
+    pub dataset: String,
+    /// Query name.
+    pub query: String,
+    /// Number of machines in the simulated cluster.
+    pub machines: usize,
+    /// Number of embeddings found (must agree across systems).
+    pub embeddings: u64,
+    /// Elapsed wall-clock time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Simulated communication volume in MB.
+    pub communication_mb: f64,
+    /// Peak intermediate rows held by any machine (memory pressure).
+    pub peak_intermediate_rows: usize,
+}
+
+impl Measurement {
+    /// Renders the row in the tab-separated format the binary prints.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}m\t{}\t{:.1}ms\t{:.4}MB\t{}rows",
+            self.dataset,
+            self.query,
+            self.system,
+            self.machines,
+            self.embeddings,
+            self.elapsed_ms,
+            self.communication_mb,
+            self.peak_intermediate_rows
+        )
+    }
+}
+
+/// Builds a cluster over `graph` with `machines` machines using the
+/// label-propagation (METIS stand-in) partitioner, as the paper does.
+pub fn build_cluster(graph: &Graph, machines: usize) -> Cluster {
+    let partitioning = LabelPropagationPartitioner::default().partition(graph, machines);
+    Cluster::new(Arc::new(PartitionedGraph::build(graph, partitioning)))
+}
+
+/// Runs one system on one (dataset, query) pair.
+pub fn run_system(
+    system: System,
+    cluster: &Cluster,
+    graph: &Graph,
+    dataset: &str,
+    query_name: &str,
+    pattern: &Pattern,
+    crystal_index: Option<&CliqueIndex>,
+) -> Measurement {
+    let machines = cluster.machines();
+    let start = Instant::now();
+    let (embeddings, communication_mb, peak_rows) = match system {
+        System::Rads => {
+            let outcome = run_rads(cluster, pattern, &RadsConfig::default());
+            (outcome.total_embeddings, outcome.traffic.megabytes(), outcome.peak_trie_nodes())
+        }
+        System::Psgl => {
+            let o = run_psgl(cluster, pattern);
+            (o.total_embeddings, o.traffic.megabytes(), o.peak_intermediate_rows())
+        }
+        System::TwinTwig => {
+            let o = run_twintwig(cluster, pattern);
+            (o.total_embeddings, o.traffic.megabytes(), o.peak_intermediate_rows())
+        }
+        System::Seed => {
+            let o = run_seed(cluster, graph, pattern);
+            (o.total_embeddings, o.traffic.megabytes(), o.peak_intermediate_rows())
+        }
+        System::Crystal => {
+            let owned;
+            let index = match crystal_index {
+                Some(idx) => idx,
+                None => {
+                    owned = CliqueIndex::build(graph, 4);
+                    &owned
+                }
+            };
+            let o = run_crystal(cluster, graph, pattern, index);
+            (o.total_embeddings, o.traffic.megabytes(), o.peak_intermediate_rows())
+        }
+    };
+    Measurement {
+        system: system.name(),
+        dataset: dataset.to_string(),
+        query: query_name.to_string(),
+        machines,
+        embeddings,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+        communication_mb,
+        peak_intermediate_rows: peak_rows,
+    }
+}
+
+/// Table 1: the dataset profiles.
+pub fn table1(scale: Scale, seed: u64) -> Vec<rads_datasets::DatasetProfile> {
+    rads_datasets::generate_all(scale, seed).into_iter().map(|d| d.profile).collect()
+}
+
+/// Table 2: data-graph size vs Crystal clique-index size, per dataset.
+pub fn table2(scale: Scale, seed: u64) -> Vec<(String, usize, usize)> {
+    rads_datasets::generate_all(scale, seed)
+        .into_iter()
+        .map(|d| {
+            let graph_bytes = d.graph.memory_bytes();
+            let index_bytes = CliqueIndex::build(&d.graph, 4).size_bytes();
+            (d.profile.name, graph_bytes, index_bytes)
+        })
+        .collect()
+}
+
+/// Figures 8–11: elapsed time and communication for every system and query on
+/// one dataset.
+pub fn performance_figure(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    systems: &[System],
+    query_names: &[&str],
+) -> Vec<Measurement> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster(&dataset.graph, machines);
+    let index = CliqueIndex::build(&dataset.graph, 4);
+    let mut rows = Vec::new();
+    for &qname in query_names {
+        let pattern = queries::query_by_name(qname).expect("known query");
+        for &system in systems {
+            rows.push(run_system(
+                system,
+                &cluster,
+                &dataset.graph,
+                dataset.profile.name.as_str(),
+                qname,
+                &pattern,
+                Some(&index),
+            ));
+        }
+    }
+    rows
+}
+
+/// Figure 12: scalability ratio — total time over all queries with 5 machines
+/// divided by the total time with `m` machines, for m in `machine_counts`.
+pub fn scalability_figure(
+    kind: DatasetKind,
+    scale: Scale,
+    machine_counts: &[usize],
+    seed: u64,
+    systems: &[System],
+    query_names: &[&str],
+) -> Vec<(&'static str, usize, f64)> {
+    let dataset = generate(kind, scale, seed);
+    let index = CliqueIndex::build(&dataset.graph, 4);
+    let mut totals: Vec<(System, usize, f64)> = Vec::new();
+    for &m in machine_counts {
+        let cluster = build_cluster(&dataset.graph, m);
+        for &system in systems {
+            let mut total_ms = 0.0;
+            for &qname in query_names {
+                let pattern = queries::query_by_name(qname).expect("known query");
+                let row = run_system(
+                    system,
+                    &cluster,
+                    &dataset.graph,
+                    dataset.profile.name.as_str(),
+                    qname,
+                    &pattern,
+                    Some(&index),
+                );
+                total_ms += row.elapsed_ms;
+            }
+            totals.push((system, m, total_ms));
+        }
+    }
+    let base = machine_counts[0];
+    let mut out = Vec::new();
+    for &system in systems {
+        let base_ms = totals
+            .iter()
+            .find(|(s, m, _)| *s == system && *m == base)
+            .map(|(_, _, t)| *t)
+            .unwrap_or(1.0);
+        for &m in machine_counts {
+            let t = totals
+                .iter()
+                .find(|(s, mm, _)| *s == system && *mm == m)
+                .map(|(_, _, t)| *t)
+                .unwrap_or(base_ms);
+            out.push((system.name(), m, base_ms / t.max(1e-6)));
+        }
+    }
+    out
+}
+
+/// Figure 13: execution-plan effectiveness — RADS's planner vs RanS vs RanM.
+pub fn plan_effectiveness_figure(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    query_names: &[&str],
+    repetitions: u64,
+) -> Vec<(String, String, f64)> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster(&dataset.graph, machines);
+    let mut rows = Vec::new();
+    for &qname in query_names {
+        let pattern = queries::query_by_name(qname).expect("known query");
+        // RADS plan
+        let start = Instant::now();
+        let expected = run_rads(&cluster, &pattern, &RadsConfig::default()).total_embeddings;
+        rows.push((qname.to_string(), "RADS".to_string(), start.elapsed().as_secs_f64() * 1000.0));
+        // RanS / RanM: average over `repetitions` random plans
+        for (label, make_plan) in [
+            ("RanS", true),
+            ("RanM", false),
+        ] {
+            let mut total = 0.0;
+            for rep in 0..repetitions {
+                let plan = if make_plan {
+                    random_star_plan(&pattern, seed + rep)
+                } else {
+                    random_min_round_plan(&pattern, seed + rep)
+                };
+                let config = RadsConfig { plan_override: Some(plan), ..Default::default() };
+                let start = Instant::now();
+                let outcome = run_rads(&cluster, &pattern, &config);
+                assert_eq!(outcome.total_embeddings, expected, "{qname}/{label}");
+                total += start.elapsed().as_secs_f64() * 1000.0;
+            }
+            rows.push((qname.to_string(), label.to_string(), total / repetitions as f64));
+        }
+    }
+    rows
+}
+
+/// Tables 3–4: intermediate-result size, embedding list vs embedding trie.
+pub fn compression_table(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    query_names: &[&str],
+) -> Vec<(String, u64, u64)> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster(&dataset.graph, machines);
+    query_names
+        .iter()
+        .map(|&qname| {
+            let pattern = queries::query_by_name(qname).expect("known query");
+            let outcome = run_rads(&cluster, &pattern, &RadsConfig::default());
+            (qname.to_string(), outcome.embedding_list_bytes(), outcome.embedding_trie_bytes())
+        })
+        .collect()
+}
+
+/// Figure 15: clique-heavy queries, SEED vs Crystal vs RADS.
+pub fn clique_queries_figure(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+) -> Vec<Measurement> {
+    performance_figure(
+        kind,
+        scale,
+        machines,
+        seed,
+        &[System::Seed, System::Crystal, System::Rads],
+        &["c1", "c2", "c3", "c4"],
+    )
+}
+
+/// Ablations called out in DESIGN.md: SM-E on/off, cache on/off, proximity vs
+/// random region grouping. Returns (`label`, elapsed ms, communication MB).
+pub fn ablations(kind: DatasetKind, scale: Scale, machines: usize, seed: u64, query: &str) -> Vec<(String, f64, f64)> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster(&dataset.graph, machines);
+    let pattern = queries::query_by_name(query).expect("known query");
+    let variants: Vec<(&str, RadsConfig)> = vec![
+        ("full", RadsConfig::default()),
+        ("no-sme", RadsConfig { enable_sme: false, ..Default::default() }),
+        ("no-cache", RadsConfig { enable_cache: false, ..Default::default() }),
+        (
+            "random-groups",
+            RadsConfig { grouping: rads_core::RegionGroupStrategy::Random, ..Default::default() },
+        ),
+        ("no-load-sharing", RadsConfig { enable_load_sharing: false, ..Default::default() }),
+    ];
+    let mut expected = None;
+    variants
+        .into_iter()
+        .map(|(label, config)| {
+            let start = Instant::now();
+            let outcome = run_rads(&cluster, &pattern, &config);
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            match expected {
+                None => expected = Some(outcome.total_embeddings),
+                Some(e) => assert_eq!(e, outcome.total_embeddings, "{label} changed the result"),
+            }
+            (label.to_string(), ms, outcome.traffic.megabytes())
+        })
+        .collect()
+}
+
+/// The robustness test of Exp-4: run every system on a dense workload and
+/// report the peak bytes of intermediate state any single machine had to
+/// hold, together with whether that fits under `cap_bytes`. RADS bounds its
+/// peak through region grouping; the shuffle-based systems do not, which is
+/// why they are the ones that exceed the cap first as the graph grows.
+pub fn robustness_experiment(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    query: &str,
+    cap_bytes: usize,
+) -> Vec<(&'static str, usize, bool)> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster(&dataset.graph, machines);
+    let pattern = queries::query_by_name(query).expect("known query");
+    let index = CliqueIndex::build(&dataset.graph, 4);
+    let mut rows = Vec::new();
+
+    let rads_budget = RadsConfig {
+        memory_budget: rads_core::memory::MemoryBudget { region_group_bytes: cap_bytes / 4 },
+        ..Default::default()
+    };
+    let rads = run_rads(&cluster, &pattern, &rads_budget);
+    let rads_peak = rads.peak_trie_nodes() * rads_core::EmbeddingTrie::NODE_BYTES;
+    rows.push(("RADS", rads_peak, rads_peak <= cap_bytes));
+
+    let psgl = run_psgl(&cluster, &pattern);
+    rows.push(("PSgL", psgl.peak_intermediate_bytes(), psgl.peak_intermediate_bytes() <= cap_bytes));
+    let tt = run_twintwig(&cluster, &pattern);
+    rows.push(("TwinTwig", tt.peak_intermediate_bytes(), tt.peak_intermediate_bytes() <= cap_bytes));
+    let seed_o = run_seed(&cluster, &dataset.graph, &pattern);
+    rows.push(("SEED", seed_o.peak_intermediate_bytes(), seed_o.peak_intermediate_bytes() <= cap_bytes));
+    let crystal = run_crystal(&cluster, &dataset.graph, &pattern, &index);
+    rows.push((
+        "Crystal",
+        crystal.peak_intermediate_bytes(),
+        crystal.peak_intermediate_bytes() <= cap_bytes,
+    ));
+    rows
+}
+
+/// Convenience used by the binary and smoke tests: a small dataset for quick
+/// verification.
+pub fn smoke_dataset() -> Dataset {
+    generate(DatasetKind::Dblp, Scale(0.1), 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_agree_on_a_small_workload() {
+        let dataset = smoke_dataset();
+        let cluster = build_cluster(&dataset.graph, 3);
+        let index = CliqueIndex::build(&dataset.graph, 4);
+        for qname in ["triangle", "q1", "q2"] {
+            let pattern = queries::query_by_name(qname).unwrap();
+            let counts: Vec<u64> = System::all()
+                .iter()
+                .map(|&s| {
+                    run_system(s, &cluster, &dataset.graph, "DBLP", qname, &pattern, Some(&index))
+                        .embeddings
+                })
+                .collect();
+            assert!(counts.windows(2).all(|w| w[0] == w[1]), "{qname}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn table1_has_four_rows() {
+        let rows = table1(Scale(0.1), 3);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.vertices > 0 && r.edges > 0));
+    }
+
+    #[test]
+    fn table2_index_is_larger_than_graph_on_dense_datasets() {
+        let rows = table2(Scale(0.1), 3);
+        assert_eq!(rows.len(), 4);
+        // at least one dense dataset has an index comparable to or larger
+        // than the CSR graph, reproducing the paper's index-blow-up point
+        assert!(rows.iter().any(|(_, g, i)| i * 2 > *g));
+    }
+
+    #[test]
+    fn ablations_preserve_counts() {
+        let rows = ablations(DatasetKind::Dblp, Scale(0.1), 2, 5, "q2");
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn measurement_rendering() {
+        let m = Measurement {
+            system: "RADS",
+            dataset: "DBLP".into(),
+            query: "q1".into(),
+            machines: 4,
+            embeddings: 10,
+            elapsed_ms: 1.5,
+            communication_mb: 0.25,
+            peak_intermediate_rows: 7,
+        };
+        let line = m.render();
+        assert!(line.contains("RADS") && line.contains("q1") && line.contains("4m"));
+    }
+}

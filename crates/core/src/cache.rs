@@ -1,0 +1,159 @@
+//! The foreign-vertex cache.
+//!
+//! "If a foreign vertex is already cached in the local machine, for the
+//! undetermined edges attached to this vertex, we can verify them locally
+//! without sending requests to other machines. Also we do not re-fetch any
+//! foreign vertex if it is already cached previously." (Appendix B)
+
+use std::collections::HashMap;
+
+use rads_graph::VertexId;
+
+/// Per-machine cache of foreign adjacency lists fetched with `fetchV`.
+#[derive(Debug, Default, Clone)]
+pub struct ForeignVertexCache {
+    entries: HashMap<VertexId, Vec<VertexId>>,
+    /// Number of lookups that found the vertex already cached.
+    hits: u64,
+    /// Number of lookups that missed.
+    misses: u64,
+    /// Whether caching is enabled; when disabled (ablation), inserts are
+    /// dropped so every use re-fetches.
+    enabled: bool,
+}
+
+impl ForeignVertexCache {
+    /// An enabled, empty cache.
+    pub fn new() -> Self {
+        ForeignVertexCache { enabled: true, ..Default::default() }
+    }
+
+    /// A cache that never retains anything (the `ablation_cache` setting).
+    pub fn disabled() -> Self {
+        ForeignVertexCache { enabled: false, ..Default::default() }
+    }
+
+    /// Whether caching is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of cached adjacency lists.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a fetched adjacency list (sorted). A no-op when disabled.
+    pub fn insert(&mut self, vertex: VertexId, mut adjacency: Vec<VertexId>) {
+        if !self.enabled {
+            return;
+        }
+        adjacency.sort_unstable();
+        self.entries.insert(vertex, adjacency);
+    }
+
+    /// Looks up the adjacency list of `vertex`, recording hit/miss statistics.
+    pub fn get(&mut self, vertex: VertexId) -> Option<&[VertexId]> {
+        if self.entries.contains_key(&vertex) {
+            self.hits += 1;
+            self.entries.get(&vertex).map(|v| v.as_slice())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Non-recording lookup (used by read-only verification paths).
+    pub fn peek(&self, vertex: VertexId) -> Option<&[VertexId]> {
+        self.entries.get(&vertex).map(|v| v.as_slice())
+    }
+
+    /// `true` if `vertex` is cached.
+    pub fn contains(&self, vertex: VertexId) -> bool {
+        self.entries.contains_key(&vertex)
+    }
+
+    /// Checks whether the cached adjacency of either endpoint decides the
+    /// existence of the edge `(u, v)`. Returns `None` when neither endpoint
+    /// is cached.
+    pub fn verify_edge(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        if let Some(adj) = self.entries.get(&u) {
+            return Some(adj.binary_search(&v).is_ok());
+        }
+        if let Some(adj) = self.entries.get(&v) {
+            return Some(adj.binary_search(&u).is_ok());
+        }
+        None
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(_, adj)| std::mem::size_of::<VertexId>() * (adj.len() + 1))
+            .sum()
+    }
+
+    /// Drops every cached entry (used between region groups when the memory
+    /// budget requires it).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_stats() {
+        let mut cache = ForeignVertexCache::new();
+        assert!(cache.get(5).is_none());
+        cache.insert(5, vec![3, 1, 2]);
+        assert_eq!(cache.get(5).unwrap(), &[1, 2, 3]);
+        assert!(cache.contains(5));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn edge_verification_from_cache() {
+        let mut cache = ForeignVertexCache::new();
+        cache.insert(10, vec![11, 12]);
+        assert_eq!(cache.verify_edge(10, 11), Some(true));
+        assert_eq!(cache.verify_edge(12, 10), Some(true));
+        assert_eq!(cache.verify_edge(10, 99), Some(false));
+        assert_eq!(cache.verify_edge(1, 2), None);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let mut cache = ForeignVertexCache::disabled();
+        cache.insert(5, vec![1]);
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+        assert!(cache.get(5).is_none());
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut cache = ForeignVertexCache::new();
+        cache.insert(1, vec![2]);
+        cache.insert(3, vec![4]);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,449 @@
+//! The R-Meef engine (Section 3.2, Algorithm 4) and the per-machine driver.
+//!
+//! Every machine runs [`run_machine`]: SM-E first, then region grouping of the
+//! remaining start candidates, then the multi-round expand / verify & filter
+//! loop per region group, and finally checkR/shareR work stealing once the
+//! local queue is empty.
+
+use std::collections::HashMap;
+
+use rads_graph::{Pattern, SymmetryBreaking, VertexId};
+use rads_graph::types::EdgeKey;
+use rads_partition::LocalPartition;
+use rads_plan::ExecutionPlan;
+use rads_runtime::{MachineContext, Request, Response};
+
+use crate::cache::ForeignVertexCache;
+use crate::daemon::GroupQueue;
+use crate::evi::EdgeVerificationIndex;
+use crate::expand::{expand_embedding, AdjacencyOracle, CandidateExtension, UnitExpansion};
+use crate::memory::MemoryBudget;
+use crate::region::{find_region_groups, GroupingStrategy};
+use crate::sme::run_sme;
+use crate::trie::{EmbeddingTrie, NodeId};
+
+/// Per-machine engine configuration (the knobs of `RadsConfig` that the
+/// engine itself needs).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Run the SM-E phase (Section 3.1). Disabling it is the `ablation_sme`
+    /// experiment.
+    pub enable_sme: bool,
+    /// Keep fetched foreign vertices cached across rounds and region groups.
+    pub enable_cache: bool,
+    /// Steal region groups from the most loaded machine when idle.
+    pub enable_load_sharing: bool,
+    /// How region groups are formed.
+    pub grouping: GroupingStrategy,
+    /// Per-group memory budget `Φ`.
+    pub budget: MemoryBudget,
+    /// Collect full embeddings (tests / small runs) instead of only counting.
+    pub collect_embeddings: bool,
+    /// RNG seed for region grouping.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            enable_sme: true,
+            enable_cache: true,
+            enable_load_sharing: true,
+            grouping: GroupingStrategy::Proximity,
+            budget: MemoryBudget::default(),
+            collect_embeddings: false,
+            seed: 0x5AD5,
+        }
+    }
+}
+
+/// Counters describing one machine's run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Embeddings found by SM-E.
+    pub sme_embeddings: u64,
+    /// Embeddings found by the distributed R-Meef phase.
+    pub distributed_embeddings: u64,
+    /// Start candidates handled by SM-E.
+    pub sme_candidates: usize,
+    /// Start candidates handled by R-Meef (own groups).
+    pub distributed_candidates: usize,
+    /// Region groups created locally.
+    pub groups_created: usize,
+    /// Region groups processed (own + stolen).
+    pub groups_processed: usize,
+    /// Region groups stolen from other machines.
+    pub groups_stolen: usize,
+    /// Peak number of live trie nodes over all region groups.
+    pub peak_trie_nodes: usize,
+    /// Total trie nodes ever created (space accounting of Tables 3–4).
+    pub trie_nodes_created: u64,
+    /// Bytes an uncompressed embedding list of the same intermediate results
+    /// would have required.
+    pub embedding_list_bytes: u64,
+    /// Bytes the embedding trie required for the same results.
+    pub embedding_trie_bytes: u64,
+    /// Foreign vertices held in the cache at the end of the run.
+    pub cache_entries: usize,
+    /// Foreign-vertex cache hits / misses.
+    pub cache_hits: u64,
+    /// Foreign-vertex cache misses.
+    pub cache_misses: u64,
+    /// Number of `fetchV` requests sent.
+    pub fetch_requests: u64,
+    /// Number of `verifyE` requests sent.
+    pub verify_requests: u64,
+    /// Distinct undetermined edges put into the EVI.
+    pub undetermined_edges: u64,
+    /// Embedding candidates removed by remote verification.
+    pub candidates_filtered: u64,
+}
+
+/// Result of one machine's run.
+#[derive(Debug, Clone, Default)]
+pub struct MachineOutput {
+    /// Total embeddings found by this machine (SM-E + distributed).
+    pub count: u64,
+    /// The embeddings themselves (only when `collect_embeddings` is set),
+    /// indexed by query vertex.
+    pub embeddings: Vec<Vec<VertexId>>,
+    /// Run statistics.
+    pub stats: EngineStats,
+}
+
+/// Adjacency oracle over the machine's partition, the persistent cache and a
+/// per-round scratch cache (used when caching is disabled for the ablation).
+struct MachineOracle<'a> {
+    local: &'a LocalPartition,
+    cache: &'a ForeignVertexCache,
+    scratch: &'a ForeignVertexCache,
+}
+
+impl AdjacencyOracle for MachineOracle<'_> {
+    fn adjacency(&self, v: VertexId) -> Option<&[VertexId]> {
+        self.local
+            .neighbors(v)
+            .or_else(|| self.cache.peek(v))
+            .or_else(|| self.scratch.peek(v))
+    }
+}
+
+/// Runs the full RADS pipeline on one machine of the cluster.
+pub fn run_machine(
+    ctx: &MachineContext,
+    pattern: &Pattern,
+    plan: &ExecutionPlan,
+    config: &EngineConfig,
+    group_queue: GroupQueue,
+) -> MachineOutput {
+    let mut output = MachineOutput::default();
+    let local = ctx.partition();
+    let symmetry = SymmetryBreaking::new(pattern);
+
+    // ---- Phase 1: SM-E -----------------------------------------------------
+    let sme = run_sme(local, pattern, plan, config.enable_sme);
+    output.stats.sme_embeddings = sme.count;
+    output.stats.sme_candidates = sme.local_candidates;
+    output.count += sme.count;
+    if config.collect_embeddings {
+        output.embeddings.extend(sme.embeddings.iter().cloned());
+    }
+
+    // ---- Phase 2: region grouping -------------------------------------------
+    output.stats.distributed_candidates = sme.remaining_candidates.len();
+    let groups = find_region_groups(
+        local,
+        &sme.remaining_candidates,
+        &sme.estimator,
+        &config.budget,
+        config.grouping,
+        config.seed ^ ctx.machine() as u64,
+    );
+    output.stats.groups_created = groups.len();
+    group_queue.lock().extend(groups);
+
+    // ---- Phase 3: R-Meef over the local region groups ------------------------
+    let mut cache = if config.enable_cache {
+        ForeignVertexCache::new()
+    } else {
+        ForeignVertexCache::disabled()
+    };
+    loop {
+        let group = group_queue.lock().pop_front();
+        let Some(group) = group else { break };
+        process_region_group(
+            ctx, pattern, plan, &symmetry, &group, &mut cache, config, &mut output,
+        );
+        output.stats.groups_processed += 1;
+    }
+
+    // ---- Phase 4: work stealing (checkR / shareR) -----------------------------
+    if config.enable_load_sharing && ctx.machines() > 1 {
+        loop {
+            let counts: Vec<(usize, usize)> = ctx
+                .broadcast(Request::CheckRegionGroups)
+                .into_iter()
+                .filter_map(|(m, resp)| match resp {
+                    Response::RegionGroupCount(n) => Some((m, n)),
+                    _ => None,
+                })
+                .collect();
+            let Some(&(target, pending)) = counts.iter().max_by_key(|&&(_, n)| n) else { break };
+            if pending == 0 {
+                break;
+            }
+            match ctx.request(target, Request::ShareRegionGroup) {
+                Response::RegionGroup(Some(group)) => {
+                    process_region_group(
+                        ctx, pattern, plan, &symmetry, &group, &mut cache, config, &mut output,
+                    );
+                    output.stats.groups_processed += 1;
+                    output.stats.groups_stolen += 1;
+                }
+                // Someone else got there first; re-check the cluster.
+                Response::RegionGroup(None) => continue,
+                _ => break,
+            }
+        }
+    }
+
+    let (hits, misses) = cache.stats();
+    output.stats.cache_hits = hits;
+    output.stats.cache_misses = misses;
+    output.stats.cache_entries = cache.len();
+    output
+}
+
+/// Processes one region group: the multi-round expand / verify & filter loop
+/// of Algorithm 4.
+#[allow(clippy::too_many_arguments)]
+fn process_region_group(
+    ctx: &MachineContext,
+    pattern: &Pattern,
+    plan: &ExecutionPlan,
+    symmetry: &SymmetryBreaking,
+    group: &[VertexId],
+    cache: &mut ForeignVertexCache,
+    config: &EngineConfig,
+    output: &mut MachineOutput,
+) {
+    let local = ctx.partition();
+    let n = pattern.vertex_count();
+    let order = plan.matching_order();
+    let mut trie = EmbeddingTrie::new();
+    let mut evi = EdgeVerificationIndex::new();
+    let mut scratch_cache = ForeignVertexCache::new();
+
+    for round in 0..plan.rounds() {
+        evi.clear();
+        if !config.enable_cache {
+            scratch_cache.clear();
+        }
+        let expansion = UnitExpansion::new(pattern, plan, symmetry, round);
+        let prefix_before = if round == 0 { 0 } else { plan.sub_pattern_vertices(round - 1).len() };
+        let prefix_after = plan.sub_pattern_vertices(round).len();
+
+        // -- fetchV: gather the foreign pivot vertices this round expands from
+        let parents: Vec<NodeId> = if round == 0 {
+            Vec::new()
+        } else {
+            trie.nodes_at_depth(prefix_before - 1)
+        };
+        let pivot_vertex = plan.units()[round].pivot;
+        let mut to_fetch: Vec<VertexId> = Vec::new();
+        if round == 0 {
+            // stolen region groups may contain candidates owned elsewhere
+            to_fetch.extend(group.iter().copied().filter(|&v| {
+                !local.owns(v) && !cache.contains(v) && !scratch_cache.contains(v)
+            }));
+        } else {
+            let pivot_pos = order.iter().position(|&u| u == pivot_vertex).expect("pivot in order");
+            for &leaf in &parents {
+                let result = trie.result(leaf);
+                let v = result[pivot_pos];
+                if !local.owns(v) && !cache.contains(v) && !scratch_cache.contains(v) {
+                    to_fetch.push(v);
+                }
+            }
+        }
+        fetch_foreign(ctx, &mut to_fetch, cache, &mut scratch_cache, &mut output.stats);
+
+        // -- expand
+        let oracle = MachineOracle { local, cache, scratch: &scratch_cache };
+        let mut f: Vec<Option<VertexId>> = vec![None; n];
+        if round == 0 {
+            let start = plan.start_vertex();
+            for &v0 in group {
+                f.iter_mut().for_each(|x| *x = None);
+                f[start] = Some(v0);
+                let extensions = expand_embedding(&expansion, &mut f, &oracle);
+                if extensions.is_empty() {
+                    continue;
+                }
+                let root = trie.add_root(v0);
+                insert_extensions(&mut trie, root, &extensions, &mut evi);
+            }
+        } else {
+            for &parent in &parents {
+                let result = trie.result(parent);
+                f.iter_mut().for_each(|x| *x = None);
+                for (pos, &v) in result.iter().enumerate() {
+                    f[order[pos]] = Some(v);
+                }
+                let extensions = expand_embedding(&expansion, &mut f, &oracle);
+                if extensions.is_empty() {
+                    // the embedding of P_{i-1} cannot be extended: drop it
+                    trie.remove(parent);
+                    continue;
+                }
+                insert_extensions(&mut trie, parent, &extensions, &mut evi);
+            }
+        }
+        output.stats.undetermined_edges += evi.len() as u64;
+
+        // -- verify & filter
+        verify_and_filter(ctx, &evi, &mut trie, cache, &scratch_cache, local, &mut output.stats);
+
+        // -- intermediate-result accounting (Tables 3–4): what an uncompressed
+        //    embedding list of this round's results would cost vs the trie.
+        let results_this_round = trie.count_at_depth(prefix_after - 1) as u64;
+        output.stats.embedding_list_bytes +=
+            results_this_round * prefix_after as u64 * std::mem::size_of::<VertexId>() as u64;
+        output.stats.embedding_trie_bytes +=
+            trie.node_count() as u64 * EmbeddingTrie::NODE_BYTES as u64;
+        output.stats.peak_trie_nodes = output.stats.peak_trie_nodes.max(trie.peak_node_count());
+    }
+
+    // -- harvest the final embeddings of this region group
+    let full_depth = n - 1;
+    let final_leaves = trie.nodes_at_depth(full_depth);
+    output.stats.distributed_embeddings += final_leaves.len() as u64;
+    output.count += final_leaves.len() as u64;
+    if config.collect_embeddings {
+        for leaf in &final_leaves {
+            let result = trie.result(*leaf);
+            let mut embedding = vec![0; n];
+            for (pos, &v) in result.iter().enumerate() {
+                embedding[order[pos]] = v;
+            }
+            output.embeddings.push(embedding);
+        }
+    }
+    output.stats.trie_nodes_created += trie.total_created();
+}
+
+/// Inserts the extensions of one parent embedding under `parent`, sharing the
+/// prefixes that consecutive extensions have in common (they are produced in
+/// backtracking order, so identical prefixes are adjacent), and records every
+/// undetermined edge in the EVI keyed by the completed candidate's node id.
+fn insert_extensions(
+    trie: &mut EmbeddingTrie,
+    parent: NodeId,
+    extensions: &[CandidateExtension],
+    evi: &mut EdgeVerificationIndex,
+) {
+    let mut prev: Vec<(VertexId, NodeId)> = Vec::new();
+    for ext in extensions {
+        let mut common = 0;
+        while common < prev.len()
+            && common < ext.leaves.len().saturating_sub(1)
+            && prev[common].0 == ext.leaves[common]
+        {
+            common += 1;
+        }
+        prev.truncate(common);
+        let mut node = if common == 0 { parent } else { prev[common - 1].1 };
+        for &v in &ext.leaves[common..] {
+            node = trie.add_child(node, v);
+            prev.push((v, node));
+        }
+        for &(a, b) in &ext.undetermined {
+            evi.add(a, b, node);
+        }
+    }
+}
+
+/// Batches `fetchV` requests per owner machine and inserts the returned
+/// adjacency lists into the cache (or the per-round scratch cache when the
+/// persistent cache is disabled).
+fn fetch_foreign(
+    ctx: &MachineContext,
+    to_fetch: &mut Vec<VertexId>,
+    cache: &mut ForeignVertexCache,
+    scratch: &mut ForeignVertexCache,
+    stats: &mut EngineStats,
+) {
+    if to_fetch.is_empty() {
+        return;
+    }
+    to_fetch.sort_unstable();
+    to_fetch.dedup();
+    let mut by_owner: HashMap<usize, Vec<VertexId>> = HashMap::new();
+    for &v in to_fetch.iter() {
+        by_owner.entry(ctx.ownership().owner(v)).or_default().push(v);
+    }
+    for (owner, vertices) in by_owner {
+        stats.fetch_requests += 1;
+        match ctx.request(owner, Request::FetchVertices(vertices)) {
+            Response::Adjacency(lists) => {
+                for (v, adj) in lists {
+                    if cache.is_enabled() {
+                        cache.insert(v, adj);
+                    } else {
+                        scratch.insert(v, adj);
+                    }
+                }
+            }
+            other => panic!("unexpected fetchV response: {other:?}"),
+        }
+    }
+}
+
+/// Verifies the undetermined edges of the round: edges decidable from the
+/// cache are answered locally, the rest are batched per verifier machine into
+/// `verifyE` requests; candidates depending on a non-existent edge are removed
+/// from the trie.
+fn verify_and_filter(
+    ctx: &MachineContext,
+    evi: &EdgeVerificationIndex,
+    trie: &mut EmbeddingTrie,
+    cache: &ForeignVertexCache,
+    scratch: &ForeignVertexCache,
+    local: &LocalPartition,
+    stats: &mut EngineStats,
+) {
+    if evi.is_empty() {
+        return;
+    }
+    let mut verdicts: HashMap<EdgeKey, bool> = HashMap::new();
+    let mut remote: Vec<EdgeKey> = Vec::new();
+    for &edge in evi.edges() {
+        let locally = local
+            .verify_edge(edge.lo, edge.hi)
+            .or_else(|| cache.verify_edge(edge.lo, edge.hi))
+            .or_else(|| scratch.verify_edge(edge.lo, edge.hi));
+        match locally {
+            Some(exists) => {
+                verdicts.insert(edge, exists);
+            }
+            None => remote.push(edge),
+        }
+    }
+    // group the remaining edges by the owner of their lower endpoint
+    let mut by_owner: HashMap<usize, Vec<(VertexId, VertexId)>> = HashMap::new();
+    for edge in remote {
+        by_owner.entry(ctx.ownership().owner(edge.lo)).or_default().push((edge.lo, edge.hi));
+    }
+    for (owner, pairs) in by_owner {
+        stats.verify_requests += 1;
+        match ctx.request(owner, Request::VerifyEdges(pairs.clone())) {
+            Response::EdgeVerification(answers) => {
+                for ((u, v), exists) in pairs.into_iter().zip(answers) {
+                    verdicts.insert(EdgeKey::new(u, v), exists);
+                }
+            }
+            other => panic!("unexpected verifyE response: {other:?}"),
+        }
+    }
+    stats.candidates_filtered += evi.filter_failed(trie, &verdicts) as u64;
+}

@@ -1,0 +1,177 @@
+//! The edge verification index (Definition 5).
+//!
+//! During expansion, some pattern edges map to data-vertex pairs whose
+//! existence the local machine cannot decide (neither endpoint is owned or
+//! cached): the *undetermined edges*. Rather than asking once per embedding
+//! candidate, the EVI groups all candidates sharing an undetermined edge so
+//! each edge is sent in a single batched `verifyE` request and, if it turns
+//! out not to exist, every candidate depending on it is filtered at once
+//! (Proposition 2).
+
+use std::collections::HashMap;
+
+use rads_graph::types::EdgeKey;
+use rads_graph::VertexId;
+use rads_partition::{MachineId, Partitioning};
+
+use crate::trie::{EmbeddingTrie, NodeId};
+
+/// The edge verification index of one round.
+#[derive(Debug, Default, Clone)]
+pub struct EdgeVerificationIndex {
+    entries: HashMap<EdgeKey, Vec<NodeId>>,
+}
+
+impl EdgeVerificationIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        EdgeVerificationIndex::default()
+    }
+
+    /// Records that the embedding candidate identified by `id` depends on the
+    /// undetermined edge `(u, v)`.
+    pub fn add(&mut self, u: VertexId, v: VertexId, id: NodeId) {
+        self.entries.entry(EdgeKey::new(u, v)).or_default().push(id);
+    }
+
+    /// Number of distinct undetermined edges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no undetermined edges were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of (edge, candidate) dependencies — used to quantify the
+    /// sharing the index achieves.
+    pub fn dependency_count(&self) -> usize {
+        self.entries.values().map(|ids| ids.len()).sum()
+    }
+
+    /// Clears the index (the engine reuses one index across rounds).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over the undetermined edges.
+    pub fn edges(&self) -> impl Iterator<Item = &EdgeKey> {
+        self.entries.keys()
+    }
+
+    /// Groups the undetermined edges by the machine that will verify them:
+    /// the owner of one of the endpoints (preferring the lower endpoint's
+    /// owner purely for determinism). Returns, per machine, the list of edges
+    /// to put in that machine's `verifyE` request.
+    pub fn group_by_verifier(
+        &self,
+        ownership: &Partitioning,
+    ) -> HashMap<MachineId, Vec<(VertexId, VertexId)>> {
+        let mut grouped: HashMap<MachineId, Vec<(VertexId, VertexId)>> = HashMap::new();
+        for key in self.entries.keys() {
+            let target = ownership.owner(key.lo);
+            grouped.entry(target).or_default().push((key.lo, key.hi));
+        }
+        grouped
+    }
+
+    /// Applies verification verdicts: for every edge reported as non-existent,
+    /// removes all dependent candidates from `trie`. Returns the number of
+    /// candidates removed. `verdicts` maps an edge to `true` (exists) or
+    /// `false` (does not exist); edges without a verdict are treated as
+    /// existing (they were verified locally elsewhere).
+    pub fn filter_failed(
+        &self,
+        trie: &mut EmbeddingTrie,
+        verdicts: &HashMap<EdgeKey, bool>,
+    ) -> usize {
+        let mut removed = 0;
+        for (edge, ids) in &self.entries {
+            if verdicts.get(edge).copied().unwrap_or(true) {
+                continue;
+            }
+            for &id in ids {
+                if trie.is_live(id) {
+                    trie.remove(id);
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_edges_are_grouped() {
+        // Example 2: two candidates share the undetermined edge (v1, v2).
+        let mut evi = EdgeVerificationIndex::new();
+        evi.add(1, 2, 100);
+        evi.add(2, 1, 200); // same edge, reversed order
+        evi.add(3, 4, 100);
+        assert_eq!(evi.len(), 2);
+        assert_eq!(evi.dependency_count(), 3);
+    }
+
+    #[test]
+    fn filter_failed_removes_all_dependents_once() {
+        let mut trie = EmbeddingTrie::new();
+        let root = trie.add_root(0);
+        let a = trie.add_child(root, 1);
+        let c1 = trie.add_child(a, 2);
+        let c2 = trie.add_child(a, 3);
+        let c3 = trie.add_child(root, 9);
+        let mut evi = EdgeVerificationIndex::new();
+        evi.add(1, 2, c1);
+        evi.add(1, 2, c2);
+        evi.add(5, 6, c3);
+        let mut verdicts = HashMap::new();
+        verdicts.insert(EdgeKey::new(1, 2), false);
+        verdicts.insert(EdgeKey::new(5, 6), true);
+        let removed = evi.filter_failed(&mut trie, &verdicts);
+        assert_eq!(removed, 2);
+        assert!(!trie.is_live(c1));
+        assert!(!trie.is_live(c2));
+        assert!(trie.is_live(c3));
+    }
+
+    #[test]
+    fn missing_verdicts_mean_edge_exists() {
+        let mut trie = EmbeddingTrie::new();
+        let root = trie.add_root(0);
+        let leaf = trie.add_child(root, 1);
+        let mut evi = EdgeVerificationIndex::new();
+        evi.add(4, 5, leaf);
+        let removed = evi.filter_failed(&mut trie, &HashMap::new());
+        assert_eq!(removed, 0);
+        assert!(trie.is_live(leaf));
+    }
+
+    #[test]
+    fn group_by_verifier_targets_an_owner() {
+        let ownership = Partitioning::new(vec![0, 0, 1, 1, 2, 2], 3);
+        let mut evi = EdgeVerificationIndex::new();
+        evi.add(0, 2, 1); // lo = 0 -> machine 0
+        evi.add(3, 5, 2); // lo = 3 -> machine 1
+        evi.add(4, 5, 3); // lo = 4 -> machine 2
+        let grouped = evi.group_by_verifier(&ownership);
+        assert_eq!(grouped.len(), 3);
+        assert_eq!(grouped[&0], vec![(0, 2)]);
+        assert_eq!(grouped[&1], vec![(3, 5)]);
+        assert_eq!(grouped[&2], vec![(4, 5)]);
+    }
+
+    #[test]
+    fn clear_resets_the_index() {
+        let mut evi = EdgeVerificationIndex::new();
+        evi.add(1, 2, 7);
+        assert!(!evi.is_empty());
+        evi.clear();
+        assert!(evi.is_empty());
+        assert_eq!(evi.len(), 0);
+    }
+}

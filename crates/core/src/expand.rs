@@ -1,0 +1,313 @@
+//! The expansion step of R-Meef (Algorithms 1 and 2).
+//!
+//! Given an embedding of the previous sub-pattern `P_{i-1}`, expansion matches
+//! the leaf vertices of the current decomposition unit `dp_i` within the
+//! neighbourhood of the pivot's data vertex, checking every verification edge
+//! that can be decided locally (owned or cached endpoint) and recording the
+//! rest as *undetermined edges* to be verified remotely in batch.
+
+use rads_graph::{Pattern, PatternVertex, SymmetryBreaking, VertexId};
+use rads_plan::ExecutionPlan;
+
+/// Read-only access to adjacency lists the machine can see: owned vertices
+/// and cached foreign vertices. Lists must be sorted and complete (global
+/// adjacency), so membership tests and degree filters are sound.
+pub trait AdjacencyOracle {
+    /// The full adjacency list of `v`, if known on this machine.
+    fn adjacency(&self, v: VertexId) -> Option<&[VertexId]>;
+
+    /// Whether the undirected edge `(u, v)` exists, if decidable locally.
+    fn decide_edge(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        if let Some(adj) = self.adjacency(u) {
+            return Some(adj.binary_search(&v).is_ok());
+        }
+        self.adjacency(v).map(|adj| adj.binary_search(&u).is_ok())
+    }
+}
+
+/// Pre-computed, per-round expansion context shared by every embedding of the
+/// round.
+pub struct UnitExpansion<'a> {
+    pattern: &'a Pattern,
+    symmetry: &'a SymmetryBreaking,
+    /// The pivot of the current unit.
+    pivot: PatternVertex,
+    /// The unit's leaves in matching order.
+    leaves: Vec<PatternVertex>,
+    /// For each leaf (by index into `leaves`): the already-matched endpoints
+    /// of its verification edges (every pattern neighbour that is matched
+    /// earlier and is not the pivot).
+    back_edges: Vec<Vec<PatternVertex>>,
+}
+
+impl<'a> UnitExpansion<'a> {
+    /// Builds the expansion context for `round` of `plan`.
+    pub fn new(
+        pattern: &'a Pattern,
+        plan: &ExecutionPlan,
+        symmetry: &'a SymmetryBreaking,
+        round: usize,
+    ) -> Self {
+        let unit = &plan.units()[round];
+        let order = plan.matching_order();
+        let position: Vec<usize> = {
+            let mut pos = vec![usize::MAX; pattern.vertex_count()];
+            for (i, &u) in order.iter().enumerate() {
+                pos[u] = i;
+            }
+            pos
+        };
+        // leaves of this unit, in matching order
+        let mut leaves: Vec<PatternVertex> = unit.leaves.clone();
+        leaves.sort_by_key(|&u| position[u]);
+        let back_edges = leaves
+            .iter()
+            .map(|&u| {
+                pattern
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&w| w != unit.pivot && position[w] < position[u])
+                    .collect()
+            })
+            .collect();
+        UnitExpansion { pattern, symmetry, pivot: unit.pivot, leaves, back_edges }
+    }
+
+    /// The pivot query vertex of this unit.
+    pub fn pivot(&self) -> PatternVertex {
+        self.pivot
+    }
+
+    /// The unit's leaves in matching order.
+    pub fn leaves(&self) -> &[PatternVertex] {
+        &self.leaves
+    }
+}
+
+/// One embedding candidate produced by expanding a single parent embedding:
+/// the data vertices of the unit's leaves (aligned with
+/// [`UnitExpansion::leaves`]) plus the undetermined edges it depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateExtension {
+    /// Data vertices assigned to the unit's leaves, in matching order.
+    pub leaves: Vec<VertexId>,
+    /// Data-edge pairs that could not be decided locally.
+    pub undetermined: Vec<(VertexId, VertexId)>,
+}
+
+/// Expands one embedding `f` of `P_{i-1}` (given as an assignment indexed by
+/// query vertex, with exactly the vertices of `P_{i-1}` set) into all
+/// embedding candidates of `P_i` visible from this machine.
+///
+/// `f` is used as scratch space during the backtracking and restored before
+/// returning.
+pub fn expand_embedding(
+    ctx: &UnitExpansion<'_>,
+    f: &mut [Option<VertexId>],
+    oracle: &dyn AdjacencyOracle,
+) -> Vec<CandidateExtension> {
+    let pivot_data = f[ctx.pivot].expect("the unit pivot must be matched by the parent embedding");
+    let Some(pivot_adj) = oracle.adjacency(pivot_data) else {
+        // The engine fetches the pivot's adjacency before expanding; reaching
+        // this branch means the vertex has no adjacency at all.
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut leaves_assigned: Vec<VertexId> = Vec::with_capacity(ctx.leaves.len());
+    let mut undetermined: Vec<(VertexId, VertexId)> = Vec::new();
+    backtrack(ctx, 0, pivot_adj, f, oracle, &mut leaves_assigned, &mut undetermined, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    ctx: &UnitExpansion<'_>,
+    idx: usize,
+    pivot_adj: &[VertexId],
+    f: &mut [Option<VertexId>],
+    oracle: &dyn AdjacencyOracle,
+    leaves_assigned: &mut Vec<VertexId>,
+    undetermined: &mut Vec<(VertexId, VertexId)>,
+    out: &mut Vec<CandidateExtension>,
+) {
+    if idx == ctx.leaves.len() {
+        out.push(CandidateExtension {
+            leaves: leaves_assigned.clone(),
+            undetermined: undetermined.clone(),
+        });
+        return;
+    }
+    let u = ctx.leaves[idx];
+    'candidates: for &v in pivot_adj {
+        // injectivity against every matched query vertex
+        if f.iter().any(|&a| a == Some(v)) {
+            continue;
+        }
+        // degree filter, only when the full adjacency of v is known locally
+        if let Some(adj) = oracle.adjacency(v) {
+            if adj.len() < ctx.pattern.degree(u) {
+                continue;
+            }
+        }
+        if !ctx.symmetry.check_partial(u, v, f) {
+            continue;
+        }
+        let undetermined_before = undetermined.len();
+        for &u2 in &ctx.back_edges[idx] {
+            let v2 = f[u2].expect("back-edge endpoint is matched");
+            match oracle.decide_edge(v, v2) {
+                Some(true) => {}
+                Some(false) => {
+                    undetermined.truncate(undetermined_before);
+                    continue 'candidates;
+                }
+                None => undetermined.push((v, v2)),
+            }
+        }
+        f[u] = Some(v);
+        leaves_assigned.push(v);
+        backtrack(ctx, idx + 1, pivot_adj, f, oracle, leaves_assigned, undetermined, out);
+        leaves_assigned.pop();
+        f[u] = None;
+        undetermined.truncate(undetermined_before);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::{queries, GraphBuilder};
+    use rads_plan::{best_plan, PlannerConfig};
+    use std::collections::HashMap;
+
+    /// A toy oracle over an explicit adjacency map (only "known" vertices).
+    struct MapOracle {
+        adj: HashMap<VertexId, Vec<VertexId>>,
+    }
+
+    impl MapOracle {
+        fn from_edges(known: &[VertexId], edges: &[(VertexId, VertexId)]) -> Self {
+            let graph = GraphBuilder::from_edges(0, edges);
+            let adj = known
+                .iter()
+                .map(|&v| (v, graph.neighbors(v).to_vec()))
+                .collect();
+            MapOracle { adj }
+        }
+    }
+
+    impl AdjacencyOracle for MapOracle {
+        fn adjacency(&self, v: VertexId) -> Option<&[VertexId]> {
+            self.adj.get(&v).map(|a| a.as_slice())
+        }
+    }
+
+    #[test]
+    fn triangle_expansion_finds_local_embedding() {
+        // data triangle 0-1-2 plus edge 2-3, everything known locally
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+        let oracle = MapOracle::from_edges(&[0, 1, 2, 3], &edges);
+        let pattern = queries::query_by_name("triangle").unwrap();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        let symmetry = SymmetryBreaking::new(&pattern);
+        let ctx = UnitExpansion::new(&pattern, &plan, &symmetry, 0);
+        let mut f = vec![None; 3];
+        f[ctx.pivot()] = Some(2); // start from the hub vertex 2
+        let extensions = expand_embedding(&ctx, &mut f, &oracle);
+        // exactly one triangle through vertex 2 (symmetry breaking keeps one
+        // of the two leaf orders)
+        assert_eq!(extensions.len(), 1);
+        assert!(extensions[0].undetermined.is_empty());
+        let mut leaves = extensions[0].leaves.clone();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1]);
+        // scratch restored
+        assert_eq!(f.iter().filter(|a| a.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn unknown_sibling_edges_become_undetermined() {
+        // Example 1: pivot v0 owned; neighbours v1, v2 foreign, so the sibling
+        // edge (v1, v2) cannot be decided locally.
+        let edges = [(0, 1), (0, 2), (1, 2)];
+        let oracle = MapOracle::from_edges(&[0], &edges); // only v0 known
+        let pattern = queries::query_by_name("triangle").unwrap();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        // symmetry breaking disabled so both leaf orders survive and the test
+        // can focus on the undetermined-edge bookkeeping
+        let symmetry = SymmetryBreaking::disabled(&pattern);
+        let ctx = UnitExpansion::new(&pattern, &plan, &symmetry, 0);
+        let mut f = vec![None; 3];
+        f[ctx.pivot()] = Some(0);
+        let extensions = expand_embedding(&ctx, &mut f, &oracle);
+        assert_eq!(extensions.len(), 2);
+        for ext in &extensions {
+            assert_eq!(ext.undetermined.len(), 1);
+            let (a, b) = ext.undetermined[0];
+            assert_eq!([a.min(b), a.max(b)], [1, 2]);
+        }
+    }
+
+    #[test]
+    fn locally_refutable_candidates_are_pruned() {
+        // star: 0 adjacent to 1, 2, 3 but no edges among the leaves, all known
+        let edges = [(0, 1), (0, 2), (0, 3)];
+        let oracle = MapOracle::from_edges(&[0, 1, 2, 3], &edges);
+        let pattern = queries::query_by_name("triangle").unwrap();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        let symmetry = SymmetryBreaking::new(&pattern);
+        let ctx = UnitExpansion::new(&pattern, &plan, &symmetry, 0);
+        let mut f = vec![None; 3];
+        f[ctx.pivot()] = Some(0);
+        let extensions = expand_embedding(&ctx, &mut f, &oracle);
+        assert!(extensions.is_empty());
+    }
+
+    #[test]
+    fn second_round_uses_cross_unit_edges() {
+        // pattern q4 (house) has two rounds; build a data graph that contains
+        // it and check round-1 expansion from a completed round-0 embedding.
+        let pattern = queries::q4();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        assert!(plan.rounds() >= 2);
+        // data graph = the house itself, vertices 10..15 to avoid id aliasing
+        let edges: Vec<(VertexId, VertexId)> = pattern
+            .edges()
+            .iter()
+            .map(|&(a, b)| (a as VertexId + 10, b as VertexId + 10))
+            .collect();
+        let all: Vec<VertexId> = (10..15).collect();
+        let oracle = MapOracle::from_edges(&all, &edges);
+        let symmetry = SymmetryBreaking::disabled(&pattern);
+        // run round 0 from the identity start
+        let ctx0 = UnitExpansion::new(&pattern, &plan, &symmetry, 0);
+        let start = plan.start_vertex();
+        let mut f = vec![None; pattern.vertex_count()];
+        f[start] = Some(start as VertexId + 10);
+        let ext0 = expand_embedding(&ctx0, &mut f, &oracle);
+        // at least the identity extension exists
+        assert!(!ext0.is_empty());
+        // pick the identity one and continue to round 1
+        let identity = ext0
+            .iter()
+            .find(|e| {
+                e.leaves
+                    .iter()
+                    .zip(ctx0.leaves())
+                    .all(|(&dv, &qv)| dv == qv as VertexId + 10)
+            })
+            .expect("identity extension present");
+        for (&qv, &dv) in ctx0.leaves().iter().zip(&identity.leaves) {
+            f[qv] = Some(dv);
+        }
+        let ctx1 = UnitExpansion::new(&pattern, &plan, &symmetry, 1);
+        let ext1 = expand_embedding(&ctx1, &mut f, &oracle);
+        assert!(ext1
+            .iter()
+            .any(|e| e.leaves.iter().zip(ctx1.leaves()).all(|(&dv, &qv)| dv == qv as VertexId + 10)));
+        for e in &ext1 {
+            assert!(e.undetermined.is_empty());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! RADS — the paper's primary contribution.
+//!
+//! This crate implements the complete RADS system on top of the substrates in
+//! the sibling crates:
+//!
+//! * [`trie`] — the **embedding trie** (Section 5): a compact, dynamically
+//!   maintained representation of intermediate results where every leaf is a
+//!   (partial) embedding and node ids double as result ids.
+//! * [`evi`] — the **edge verification index** (Definition 5): groups the
+//!   undetermined edges of embedding candidates so each edge is verified at
+//!   most once per round, no matter how many candidates share it.
+//! * [`cache`] — the foreign-vertex cache: adjacency lists fetched from other
+//!   machines are kept and never re-fetched (Appendix B).
+//! * [`sme`] — **SM-E**, the single-machine enumeration phase (Section 3.1):
+//!   start candidates whose border distance is at least the span of the start
+//!   query vertex are processed entirely locally.
+//! * [`memory`] / [`region`] — the memory-control strategies of Section 6:
+//!   per-candidate space estimation derived from SM-E statistics and the
+//!   proximity-greedy region grouping of Algorithm 3.
+//! * [`expand`] — the `expandEmbedTrie` / `adjEnum` backtracking expansion of
+//!   Algorithms 1 and 2.
+//! * [`engine`] — the **R-Meef** multi-round expand / verify & filter engine
+//!   (Section 3.2, Algorithm 4), including batched `fetchV` / `verifyE`
+//!   requests and checkR/shareR work stealing.
+//! * [`daemon`] — the RADS daemon serving `verifyE`, `fetchV`, `checkR` and
+//!   `shareR` requests from other machines.
+//! * [`system`] — the public facade: [`run_rads`](system::run_rads) executes
+//!   the whole pipeline (plan → SM-E → region groups → R-Meef) on a
+//!   [`rads_runtime::Cluster`] and reports embeddings, traffic and memory
+//!   statistics.
+
+pub mod cache;
+pub mod daemon;
+pub mod engine;
+pub mod evi;
+pub mod expand;
+pub mod memory;
+pub mod region;
+pub mod sme;
+pub mod system;
+pub mod trie;
+
+pub use system::{run_rads, MachineReport, RadsConfig, RadsOutcome, RegionGroupStrategy};
+pub use trie::{EmbeddingTrie, NodeId};

@@ -1,0 +1,123 @@
+//! Memory estimation for region-group sizing (Section 6).
+//!
+//! The dominant memory consumers on a machine are the intermediate results
+//! (stored in the embedding trie) and the fetched foreign vertices. The paper
+//! estimates the space of a region group from the *average embedding-trie
+//! node count per start candidate*, measured for free while SM-E runs its
+//! backtracking search (the sum of candidates matched at every recursive step
+//! equals the trie node count of the local embeddings). Fetched foreign
+//! vertices get a separate small allowance and can be evicted, so they are
+//! excluded from the group estimate, just as in the paper.
+
+use crate::trie::EmbeddingTrie;
+
+/// The per-machine memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// `Φ`: the bytes one region group's intermediate results may occupy.
+    pub region_group_bytes: usize,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        // A deliberately small default so the grouping logic is exercised even
+        // on the laptop-scale datasets of this reproduction.
+        MemoryBudget { region_group_bytes: 4 * 1024 * 1024 }
+    }
+}
+
+impl MemoryBudget {
+    /// A budget of `mb` mebibytes per region group.
+    pub fn from_megabytes(mb: usize) -> Self {
+        MemoryBudget { region_group_bytes: mb * 1024 * 1024 }
+    }
+}
+
+/// Estimates the space cost `φ(rg)` of the results originating from a region
+/// group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceEstimator {
+    /// Estimated trie nodes generated per start candidate.
+    nodes_per_candidate: f64,
+}
+
+impl SpaceEstimator {
+    /// Builds the estimator from SM-E measurements: `total_nodes` search-tree
+    /// nodes observed over `candidates` start candidates.
+    pub fn from_sme(total_nodes: u64, candidates: usize) -> Self {
+        if candidates == 0 {
+            return Self::fallback(8.0, 4);
+        }
+        SpaceEstimator {
+            nodes_per_candidate: (total_nodes as f64 / candidates as f64).max(1.0),
+        }
+    }
+
+    /// Fallback estimator when SM-E processed no candidates (e.g. hash
+    /// partitioning where every vertex is a border vertex): a geometric model
+    /// `avg_degree^(pattern_size - 1)`, clamped to keep groups non-degenerate.
+    pub fn fallback(avg_degree: f64, pattern_size: usize) -> Self {
+        let est = avg_degree.max(1.0).powi(pattern_size.saturating_sub(1).min(6) as i32);
+        SpaceEstimator { nodes_per_candidate: est.clamp(1.0, 1e9) }
+    }
+
+    /// Estimated trie nodes generated per start candidate.
+    pub fn nodes_per_candidate(&self) -> f64 {
+        self.nodes_per_candidate
+    }
+
+    /// Estimated bytes of intermediate results for a region group of
+    /// `group_size` candidates (`φ(rg)`).
+    pub fn estimate_group_bytes(&self, group_size: usize) -> usize {
+        (self.nodes_per_candidate * group_size as f64 * EmbeddingTrie::NODE_BYTES as f64) as usize
+    }
+
+    /// The largest group size whose estimate fits in the budget (at least 1,
+    /// so progress is always possible).
+    pub fn max_group_size(&self, budget: &MemoryBudget) -> usize {
+        let per_candidate = (self.nodes_per_candidate * EmbeddingTrie::NODE_BYTES as f64).max(1.0);
+        ((budget.region_group_bytes as f64 / per_candidate) as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sme_estimator_averages_nodes() {
+        let e = SpaceEstimator::from_sme(1000, 10);
+        assert!((e.nodes_per_candidate() - 100.0).abs() < 1e-9);
+        let bytes = e.estimate_group_bytes(5);
+        assert_eq!(bytes, (100.0 * 5.0 * EmbeddingTrie::NODE_BYTES as f64) as usize);
+    }
+
+    #[test]
+    fn zero_candidates_falls_back() {
+        let e = SpaceEstimator::from_sme(0, 0);
+        assert!(e.nodes_per_candidate() >= 1.0);
+    }
+
+    #[test]
+    fn fallback_grows_with_degree_and_pattern_size() {
+        let small = SpaceEstimator::fallback(2.0, 3);
+        let large = SpaceEstimator::fallback(10.0, 5);
+        assert!(large.nodes_per_candidate() > small.nodes_per_candidate());
+    }
+
+    #[test]
+    fn max_group_size_respects_budget() {
+        let e = SpaceEstimator::from_sme(1200, 10); // 120 nodes per candidate
+        let budget = MemoryBudget { region_group_bytes: 120 * EmbeddingTrie::NODE_BYTES * 7 };
+        assert_eq!(e.max_group_size(&budget), 7);
+        // a tiny budget still allows one candidate per group
+        let tiny = MemoryBudget { region_group_bytes: 1 };
+        assert_eq!(e.max_group_size(&tiny), 1);
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert_eq!(MemoryBudget::from_megabytes(2).region_group_bytes, 2 * 1024 * 1024);
+        assert!(MemoryBudget::default().region_group_bytes > 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Region grouping (Section 6, Algorithm 3).
+//!
+//! The candidate vertices of the start query vertex are divided into disjoint
+//! *region groups*, each processed independently so that the cached
+//! intermediate results never exceed the memory budget. Groups are grown
+//! greedily by *proximity* — the fraction of a candidate's neighbours that
+//! are already neighbours of the group — so candidates in one group share
+//! verification edges and foreign-vertex fetches.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use rads_graph::VertexId;
+use rads_partition::LocalPartition;
+
+use crate::memory::{MemoryBudget, SpaceEstimator};
+
+/// How the candidate set is split into region groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupingStrategy {
+    /// Algorithm 3: grow each group by maximum proximity to the group.
+    Proximity,
+    /// Ablation baseline: random assignment respecting only the size cap.
+    Random,
+}
+
+/// The proximity of `v` to the group whose united neighbourhood is
+/// `group_neighborhood` (equation 5): `|adj(v) ∩ N(rg)| / |adj(v)|`.
+pub fn proximity(adjacency: &[VertexId], group_neighborhood: &HashSet<VertexId>) -> f64 {
+    if adjacency.is_empty() {
+        return 0.0;
+    }
+    let shared = adjacency.iter().filter(|v| group_neighborhood.contains(v)).count();
+    shared as f64 / adjacency.len() as f64
+}
+
+/// Splits `candidates` (start-vertex candidates owned by this machine) into
+/// region groups.
+///
+/// * With [`GroupingStrategy::Proximity`], groups are grown as in Algorithm 3:
+///   start from a random candidate, repeatedly add the candidate with the
+///   highest proximity to the group, and stop when the estimated memory cost
+///   `φ(rg)` would exceed the budget `Φ`.
+/// * With [`GroupingStrategy::Random`], candidates are shuffled and chopped
+///   into chunks of the same maximum size.
+///
+/// Every candidate appears in exactly one group and every group is non-empty.
+pub fn find_region_groups(
+    local: &LocalPartition,
+    candidates: &[VertexId],
+    estimator: &SpaceEstimator,
+    budget: &MemoryBudget,
+    strategy: GroupingStrategy,
+    seed: u64,
+) -> Vec<Vec<VertexId>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_size = estimator.max_group_size(budget);
+    let mut remaining: Vec<VertexId> = candidates.to_vec();
+    remaining.shuffle(&mut rng);
+    let mut groups = Vec::new();
+    match strategy {
+        GroupingStrategy::Random => {
+            for chunk in remaining.chunks(max_size) {
+                groups.push(chunk.to_vec());
+            }
+        }
+        GroupingStrategy::Proximity => {
+            while let Some(first) = remaining.pop() {
+                let mut group = vec![first];
+                let mut neighborhood: HashSet<VertexId> =
+                    local.neighbors(first).map(|n| n.iter().copied().collect()).unwrap_or_default();
+                while !remaining.is_empty()
+                    && group.len() < max_size
+                    && estimator.estimate_group_bytes(group.len() + 1) <= budget.region_group_bytes.max(1)
+                {
+                    // candidate with maximum proximity to the group
+                    let (best_idx, _) = remaining
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            let adj = local.neighbors(v).unwrap_or(&[]);
+                            (i, proximity(adj, &neighborhood))
+                        })
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .expect("remaining is non-empty");
+                    let v = remaining.swap_remove(best_idx);
+                    if let Some(adj) = local.neighbors(v) {
+                        neighborhood.extend(adj.iter().copied());
+                    }
+                    group.push(v);
+                }
+                groups.push(group);
+            }
+        }
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::community_graph;
+    use rads_graph::GraphBuilder;
+    use rads_partition::{Partitioning, PartitionedGraph};
+
+    fn single_machine_partition(graph: &rads_graph::Graph) -> PartitionedGraph {
+        PartitionedGraph::build(graph, Partitioning::single_machine(graph.vertex_count()))
+    }
+
+    #[test]
+    fn proximity_definition() {
+        let nbh: HashSet<VertexId> = [1, 2, 3].into_iter().collect();
+        assert!((proximity(&[1, 2, 9, 10], &nbh) - 0.5).abs() < 1e-9);
+        assert_eq!(proximity(&[], &nbh), 0.0);
+        assert_eq!(proximity(&[7], &nbh), 0.0);
+        assert_eq!(proximity(&[1], &nbh), 1.0);
+    }
+
+    #[test]
+    fn groups_partition_the_candidates() {
+        let g = community_graph(4, 10, 0.5, 0.02, 1);
+        let pg = single_machine_partition(&g);
+        let local = pg.local(0);
+        let candidates: Vec<VertexId> = g.vertices().collect();
+        let estimator = SpaceEstimator::from_sme(400, 40); // 10 nodes per candidate
+        let budget = MemoryBudget { region_group_bytes: 10 * crate::trie::EmbeddingTrie::NODE_BYTES * 8 };
+        for strategy in [GroupingStrategy::Proximity, GroupingStrategy::Random] {
+            let groups =
+                find_region_groups(local, &candidates, &estimator, &budget, strategy, 7);
+            let mut seen: Vec<VertexId> = groups.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let mut expected = candidates.clone();
+            expected.sort_unstable();
+            assert_eq!(seen, expected, "{strategy:?} lost or duplicated candidates");
+            assert!(groups.iter().all(|g| !g.is_empty() && g.len() <= 8), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn proximity_grouping_keeps_communities_together() {
+        // Two well-separated cliques; with a group capacity equal to the
+        // clique size, proximity grouping should produce groups that stay
+        // within one clique, while random grouping usually mixes them.
+        let mut b = GraphBuilder::new(12);
+        for base in [0u32, 6] {
+            for i in 0..6u32 {
+                for j in i + 1..6 {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        // one weak link between the cliques
+        b.add_edge(0, 6);
+        let g = b.build();
+        let pg = single_machine_partition(&g);
+        let local = pg.local(0);
+        let candidates: Vec<VertexId> = g.vertices().collect();
+        let estimator = SpaceEstimator::from_sme(120, 12); // 10 nodes/candidate
+        let budget = MemoryBudget { region_group_bytes: 10 * crate::trie::EmbeddingTrie::NODE_BYTES * 6 };
+        let groups = find_region_groups(
+            local,
+            &candidates,
+            &estimator,
+            &budget,
+            GroupingStrategy::Proximity,
+            3,
+        );
+        assert_eq!(groups.len(), 2);
+        for group in &groups {
+            let left = group.iter().filter(|&&v| v < 6).count();
+            let right = group.len() - left;
+            assert!(
+                left == 0 || right == 0 || left == 1 || right == 1,
+                "group {group:?} mixes the two cliques"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_budget_yields_singleton_groups() {
+        let g = community_graph(2, 5, 0.6, 0.1, 2);
+        let pg = single_machine_partition(&g);
+        let local = pg.local(0);
+        let candidates: Vec<VertexId> = g.vertices().collect();
+        let estimator = SpaceEstimator::from_sme(1000, 10);
+        let budget = MemoryBudget { region_group_bytes: 1 };
+        let groups = find_region_groups(
+            local,
+            &candidates,
+            &estimator,
+            &budget,
+            GroupingStrategy::Proximity,
+            0,
+        );
+        assert_eq!(groups.len(), candidates.len());
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn empty_candidate_set_gives_no_groups() {
+        let g = community_graph(1, 5, 0.5, 0.0, 2);
+        let pg = single_machine_partition(&g);
+        let groups = find_region_groups(
+            pg.local(0),
+            &[],
+            &SpaceEstimator::from_sme(10, 1),
+            &MemoryBudget::default(),
+            GroupingStrategy::Proximity,
+            0,
+        );
+        assert!(groups.is_empty());
+    }
+}

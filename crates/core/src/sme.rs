@@ -1,0 +1,228 @@
+//! SM-E: the single-machine enumeration phase (Section 3.1).
+//!
+//! By Proposition 1, any embedding that maps the start query vertex to a data
+//! vertex whose border distance is at least the span of the start vertex lies
+//! entirely inside the local partition. Those start candidates are therefore
+//! processed with the single-machine enumerator over the induced subgraph of
+//! the machine's owned vertices, without any communication; the remaining
+//! candidates are handed to the distributed R-Meef phase.
+
+use std::collections::HashMap;
+
+use rads_graph::{Graph, GraphBuilder, Pattern, VertexId};
+use rads_partition::LocalPartition;
+use rads_plan::ExecutionPlan;
+use rads_single::{EnumerationConfig, Enumerator, MatchingOrder};
+
+use crate::memory::SpaceEstimator;
+
+/// Outcome of the SM-E phase on one machine.
+#[derive(Debug, Clone)]
+pub struct SmeResult {
+    /// Embeddings found locally, indexed by query vertex (global data ids).
+    pub embeddings: Vec<Vec<VertexId>>,
+    /// Number of embeddings found locally.
+    pub count: u64,
+    /// Start candidates processed by SM-E (`|C1(u_start)|`).
+    pub local_candidates: usize,
+    /// Start candidates left for the distributed phase (`C - C1`).
+    pub remaining_candidates: Vec<VertexId>,
+    /// Space estimator derived from the SM-E search statistics (Section 6).
+    pub estimator: SpaceEstimator,
+    /// Total search-tree nodes visited by SM-E (embedding-trie size of the
+    /// local results).
+    pub trie_nodes: u64,
+}
+
+/// The induced subgraph over the machine's owned vertices, plus the dense ↔
+/// global id mappings. Exposed so tests and the engine can reuse it.
+pub struct OwnedSubgraph {
+    /// The induced subgraph with densely relabelled vertices.
+    pub graph: Graph,
+    /// Dense id → global id.
+    pub global_of_dense: Vec<VertexId>,
+    /// Global id → dense id.
+    pub dense_of_global: HashMap<VertexId, VertexId>,
+}
+
+/// Builds the induced subgraph of the owned vertices of `local`.
+pub fn owned_subgraph(local: &LocalPartition) -> OwnedSubgraph {
+    let owned = local.owned_vertices();
+    let mut dense_of_global = HashMap::with_capacity(owned.len());
+    for (i, &v) in owned.iter().enumerate() {
+        dense_of_global.insert(v, i as VertexId);
+    }
+    let mut builder = GraphBuilder::new(owned.len());
+    for &v in owned {
+        let dv = dense_of_global[&v];
+        for &w in local.neighbors(v).expect("owned vertex") {
+            if let Some(&dw) = dense_of_global.get(&w) {
+                if dv < dw {
+                    builder.add_edge(dv, dw);
+                }
+            }
+        }
+    }
+    OwnedSubgraph { graph: builder.build(), global_of_dense: owned.to_vec(), dense_of_global }
+}
+
+/// Runs SM-E on one machine.
+///
+/// * `enabled = false` (ablation) sends every start candidate to the
+///   distributed phase and derives the space estimator from a degree-based
+///   fallback instead.
+pub fn run_sme(
+    local: &LocalPartition,
+    pattern: &Pattern,
+    plan: &ExecutionPlan,
+    enabled: bool,
+) -> SmeResult {
+    let start = plan.start_vertex();
+    let span = pattern.span(start) as u32;
+    let min_degree = pattern.degree(start);
+    // C(u_start): owned vertices passing the degree filter.
+    let all_candidates = local.candidates_with_min_degree(min_degree);
+    let (local_cands, remote_cands): (Vec<VertexId>, Vec<VertexId>) = if enabled {
+        all_candidates.into_iter().partition(|&v| {
+            local.border_distance(v).map(|d| d >= span).unwrap_or(false)
+        })
+    } else {
+        (Vec::new(), all_candidates)
+    };
+
+    if local_cands.is_empty() {
+        let avg_degree = if local.owned_count() == 0 {
+            1.0
+        } else {
+            local
+                .owned_vertices()
+                .iter()
+                .map(|&v| local.degree(v).unwrap_or(0))
+                .sum::<usize>() as f64
+                / local.owned_count() as f64
+        };
+        return SmeResult {
+            embeddings: Vec::new(),
+            count: 0,
+            local_candidates: 0,
+            remaining_candidates: remote_cands,
+            estimator: SpaceEstimator::fallback(avg_degree, pattern.vertex_count()),
+            trie_nodes: 0,
+        };
+    }
+
+    let sub = owned_subgraph(local);
+    let dense_candidates: Vec<VertexId> =
+        local_cands.iter().map(|v| sub.dense_of_global[v]).collect();
+    let order = MatchingOrder::greedy_from(pattern, start);
+    let config = EnumerationConfig {
+        start_candidates: Some(dense_candidates),
+        order: Some(order),
+        ..Default::default()
+    };
+    let mut embeddings = Vec::new();
+    let stats = Enumerator::with_config(&sub.graph, pattern, config).run(|mapping| {
+        embeddings.push(mapping.iter().map(|&dv| sub.global_of_dense[dv as usize]).collect());
+        true
+    });
+
+    SmeResult {
+        count: embeddings.len() as u64,
+        embeddings,
+        local_candidates: local_cands.len(),
+        remaining_candidates: remote_cands,
+        estimator: SpaceEstimator::from_sme(stats.total_nodes(), local_cands.len()),
+        trie_nodes: stats.total_nodes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::{community_graph, grid_2d};
+    use rads_graph::queries;
+    use rads_partition::{BfsPartitioner, PartitionedGraph, Partitioner, Partitioning};
+    use rads_plan::{best_plan, PlannerConfig};
+    use rads_single::count_embeddings;
+
+    #[test]
+    fn single_machine_cluster_finds_everything_locally() {
+        let g = community_graph(3, 12, 0.4, 0.05, 5);
+        let pg = PartitionedGraph::build(&g, Partitioning::single_machine(g.vertex_count()));
+        let pattern = queries::q2();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        let result = run_sme(pg.local(0), &pattern, &plan, true);
+        // no border vertices at all: every candidate is local
+        assert!(result.remaining_candidates.is_empty());
+        assert_eq!(result.count, count_embeddings(&g, &pattern));
+    }
+
+    #[test]
+    fn sme_embeddings_never_touch_foreign_vertices() {
+        let g = grid_2d(10, 10);
+        let partitioning = BfsPartitioner.partition(&g, 4);
+        let pg = PartitionedGraph::build(&g, partitioning);
+        let pattern = queries::q1();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        for m in 0..4 {
+            let local = pg.local(m);
+            let result = run_sme(local, &pattern, &plan, true);
+            for emb in &result.embeddings {
+                for &v in emb {
+                    assert!(local.owns(v), "SM-E produced a foreign vertex {v} on machine {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sme_plus_remaining_covers_all_candidates() {
+        let g = grid_2d(8, 8);
+        let partitioning = BfsPartitioner.partition(&g, 2);
+        let pg = PartitionedGraph::build(&g, partitioning);
+        let pattern = queries::q1();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        for m in 0..2 {
+            let local = pg.local(m);
+            let with = run_sme(local, &pattern, &plan, true);
+            let without = run_sme(local, &pattern, &plan, false);
+            assert_eq!(without.count, 0);
+            assert_eq!(without.local_candidates, 0);
+            assert_eq!(
+                with.local_candidates + with.remaining_candidates.len(),
+                without.remaining_candidates.len(),
+                "machine {m}: candidate split is not a partition"
+            );
+        }
+    }
+
+    #[test]
+    fn estimator_reflects_search_effort() {
+        let g = community_graph(2, 15, 0.5, 0.02, 9);
+        let pg = PartitionedGraph::build(&g, Partitioning::single_machine(g.vertex_count()));
+        let pattern = queries::q4();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        let result = run_sme(pg.local(0), &pattern, &plan, true);
+        assert!(result.trie_nodes > 0);
+        assert!(result.estimator.nodes_per_candidate() >= 1.0);
+    }
+
+    #[test]
+    fn owned_subgraph_maps_ids_consistently() {
+        let g = grid_2d(4, 4);
+        let partitioning = BfsPartitioner.partition(&g, 2);
+        let pg = PartitionedGraph::build(&g, partitioning);
+        let local = pg.local(1);
+        let sub = owned_subgraph(local);
+        assert_eq!(sub.graph.vertex_count(), local.owned_count());
+        for (dense, &global) in sub.global_of_dense.iter().enumerate() {
+            assert_eq!(sub.dense_of_global[&global], dense as VertexId);
+            assert!(local.owns(global));
+        }
+        // every edge of the subgraph is an edge of the original graph
+        for (a, b) in sub.graph.edges() {
+            let (ga, gb) = (sub.global_of_dense[a as usize], sub.global_of_dense[b as usize]);
+            assert!(g.has_edge(ga, gb));
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The RADS system facade.
+//!
+//! [`run_rads`] executes the whole pipeline on a [`Cluster`]: it computes the
+//! execution plan (Section 4) unless one is supplied, installs a
+//! [`RadsDaemon`](crate::daemon::RadsDaemon) on every machine, runs
+//! [`run_machine`](crate::engine::run_machine) as every machine's engine and
+//! aggregates the per-machine reports.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rads_graph::{Pattern, VertexId};
+use rads_plan::{best_plan, ExecutionPlan, PlannerConfig};
+use rads_runtime::{Cluster, Daemon, TrafficSnapshot};
+
+use crate::daemon::{new_group_queue, GroupQueue, RadsDaemon};
+use crate::engine::{run_machine, EngineConfig, EngineStats};
+use crate::memory::MemoryBudget;
+use crate::region::GroupingStrategy;
+
+/// Re-export used by the configuration below.
+pub use crate::region::GroupingStrategy as RegionGroupStrategy;
+
+/// Configuration of a RADS run.
+#[derive(Debug, Clone)]
+pub struct RadsConfig {
+    /// Run the SM-E phase (Section 3.1). Default: true.
+    pub enable_sme: bool,
+    /// Cache fetched foreign vertices across rounds and groups. Default: true.
+    pub enable_cache: bool,
+    /// Enable checkR/shareR work stealing. Default: true.
+    pub enable_load_sharing: bool,
+    /// Region-group formation strategy (Algorithm 3 vs random).
+    pub grouping: GroupingStrategy,
+    /// Per-region-group memory budget `Φ`.
+    pub memory_budget: MemoryBudget,
+    /// Collect the embeddings themselves (tests / small runs); otherwise only
+    /// counts are returned.
+    pub collect_embeddings: bool,
+    /// Use this execution plan instead of the Section 4 planner (the RanS /
+    /// RanM ablations of Figure 13 pass their random plans here).
+    pub plan_override: Option<ExecutionPlan>,
+    /// `rho` of the plan scoring function.
+    pub rho: f64,
+    /// RNG seed (region grouping).
+    pub seed: u64,
+}
+
+impl Default for RadsConfig {
+    fn default() -> Self {
+        RadsConfig {
+            enable_sme: true,
+            enable_cache: true,
+            enable_load_sharing: true,
+            grouping: GroupingStrategy::Proximity,
+            memory_budget: MemoryBudget::default(),
+            collect_embeddings: false,
+            plan_override: None,
+            rho: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Everything one machine reports back.
+#[derive(Debug, Clone, Default)]
+pub struct MachineReport {
+    /// Embeddings found by this machine.
+    pub count: u64,
+    /// The embeddings (only when `collect_embeddings` was set), indexed by
+    /// query vertex.
+    pub embeddings: Vec<Vec<VertexId>>,
+    /// Engine statistics.
+    pub stats: EngineStats,
+}
+
+/// The aggregated outcome of a RADS run.
+#[derive(Debug, Clone)]
+pub struct RadsOutcome {
+    /// Total number of embeddings over all machines.
+    pub total_embeddings: u64,
+    /// Per-machine reports (indexed by machine id).
+    pub per_machine: Vec<MachineReport>,
+    /// Network traffic of the run.
+    pub traffic: TrafficSnapshot,
+    /// Wall-clock time of the distributed run.
+    pub elapsed: Duration,
+    /// The execution plan that was used.
+    pub plan: ExecutionPlan,
+}
+
+impl RadsOutcome {
+    /// Embeddings found by SM-E across all machines.
+    pub fn sme_embeddings(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.sme_embeddings).sum()
+    }
+
+    /// Embeddings found by the distributed phase across all machines.
+    pub fn distributed_embeddings(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.distributed_embeddings).sum()
+    }
+
+    /// All collected embeddings (empty unless `collect_embeddings` was set).
+    pub fn all_embeddings(&self) -> Vec<Vec<VertexId>> {
+        self.per_machine.iter().flat_map(|m| m.embeddings.iter().cloned()).collect()
+    }
+
+    /// Total bytes of the uncompressed embedding-list representation of the
+    /// intermediate results (Tables 3–4, "EL" rows).
+    pub fn embedding_list_bytes(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.embedding_list_bytes).sum()
+    }
+
+    /// Total bytes of the embedding-trie representation (Tables 3–4, "ET").
+    pub fn embedding_trie_bytes(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.embedding_trie_bytes).sum()
+    }
+
+    /// Peak live trie nodes over all machines (robustness / memory metric).
+    pub fn peak_trie_nodes(&self) -> usize {
+        self.per_machine.iter().map(|m| m.stats.peak_trie_nodes).max().unwrap_or(0)
+    }
+}
+
+/// Runs RADS for `pattern` on `cluster`.
+pub fn run_rads(cluster: &Cluster, pattern: &Pattern, config: &RadsConfig) -> RadsOutcome {
+    let plan = config
+        .plan_override
+        .clone()
+        .unwrap_or_else(|| best_plan(pattern, &PlannerConfig { rho: config.rho }));
+    let machines = cluster.machines();
+
+    // One shared region-group queue per machine, visible to both that
+    // machine's daemon (checkR / shareR) and its engine.
+    let queues: Vec<GroupQueue> = (0..machines).map(|_| new_group_queue()).collect();
+    let daemons: Vec<Arc<dyn Daemon>> = (0..machines)
+        .map(|m| {
+            Arc::new(RadsDaemon::new(cluster.partitioned().clone(), m, queues[m].clone()))
+                as Arc<dyn Daemon>
+        })
+        .collect();
+
+    let engine_config = EngineConfig {
+        enable_sme: config.enable_sme,
+        enable_cache: config.enable_cache,
+        enable_load_sharing: config.enable_load_sharing,
+        grouping: config.grouping,
+        budget: config.memory_budget,
+        collect_embeddings: config.collect_embeddings,
+        seed: config.seed,
+    };
+
+    let plan_for_engines = plan.clone();
+    let queues_for_engines = queues.clone();
+    let outcome = cluster.run_with_daemons(daemons, move |ctx| {
+        run_machine(
+            ctx,
+            pattern,
+            &plan_for_engines,
+            &engine_config,
+            queues_for_engines[ctx.machine()].clone(),
+        )
+    });
+
+    let per_machine: Vec<MachineReport> = outcome
+        .results
+        .into_iter()
+        .map(|out| MachineReport { count: out.count, embeddings: out.embeddings, stats: out.stats })
+        .collect();
+    RadsOutcome {
+        total_embeddings: per_machine.iter().map(|m| m.count).sum(),
+        per_machine,
+        traffic: outcome.traffic,
+        elapsed: outcome.elapsed,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::{barabasi_albert, community_graph, grid_2d};
+    use rads_graph::{queries, Graph};
+    use rads_partition::{
+        BfsPartitioner, HashPartitioner, LabelPropagationPartitioner, PartitionedGraph,
+        Partitioner,
+    };
+    use rads_single::count_embeddings;
+
+    fn cluster_for(graph: &Graph, machines: usize, partitioner: &dyn Partitioner) -> Cluster {
+        let partitioning = partitioner.partition(graph, machines);
+        Cluster::new(Arc::new(PartitionedGraph::build(graph, partitioning)))
+    }
+
+    fn assert_matches_ground_truth(graph: &Graph, pattern: &Pattern, machines: usize) {
+        let expected = count_embeddings(graph, pattern);
+        for partitioner in [
+            &BfsPartitioner as &dyn Partitioner,
+            &HashPartitioner as &dyn Partitioner,
+        ] {
+            let cluster = cluster_for(graph, machines, partitioner);
+            let outcome = run_rads(&cluster, pattern, &RadsConfig::default());
+            assert_eq!(
+                outcome.total_embeddings,
+                expected,
+                "partitioner {} machines {machines}",
+                partitioner.name()
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_counts_match_single_machine() {
+        let g = barabasi_albert(150, 3, 7);
+        let triangle = queries::query_by_name("triangle").unwrap();
+        assert_matches_ground_truth(&g, &triangle, 3);
+    }
+
+    #[test]
+    fn square_counts_match_on_grid() {
+        let g = grid_2d(10, 10);
+        assert_matches_ground_truth(&g, &queries::q1(), 4);
+    }
+
+    #[test]
+    fn house_counts_match_on_community_graph() {
+        let g = community_graph(3, 15, 0.35, 0.03, 5);
+        assert_matches_ground_truth(&g, &queries::q4(), 3);
+    }
+
+    #[test]
+    fn multi_round_query_counts_match() {
+        let g = barabasi_albert(80, 3, 11);
+        for q in [queries::q3(), queries::q5()] {
+            assert_matches_ground_truth(&g, &q, 3);
+        }
+    }
+
+    #[test]
+    fn collected_embeddings_equal_single_machine_set() {
+        let g = community_graph(2, 12, 0.4, 0.05, 3);
+        let pattern = queries::q2();
+        let cluster = cluster_for(&g, 3, &BfsPartitioner);
+        let config = RadsConfig { collect_embeddings: true, ..Default::default() };
+        let outcome = run_rads(&cluster, &pattern, &config);
+        let mut distributed = outcome.all_embeddings();
+        let mut expected = rads_single::collect_embeddings(&g, &pattern);
+        distributed.sort();
+        expected.sort();
+        assert_eq!(distributed, expected);
+    }
+
+    #[test]
+    fn sme_handles_interior_work_on_grids() {
+        // BFS partitioning of a grid leaves large interiors far from the
+        // border, so most embeddings must come from SM-E and communication
+        // must be small.
+        let g = grid_2d(14, 14);
+        let cluster = cluster_for(&g, 2, &BfsPartitioner);
+        let outcome = run_rads(&cluster, &queries::q1(), &RadsConfig::default());
+        assert!(outcome.sme_embeddings() > 0);
+        assert!(outcome.sme_embeddings() > outcome.distributed_embeddings());
+        assert_eq!(
+            outcome.total_embeddings,
+            count_embeddings(&g, &queries::q1())
+        );
+    }
+
+    #[test]
+    fn disabling_sme_pushes_everything_to_the_distributed_phase() {
+        let g = grid_2d(8, 8);
+        let cluster = cluster_for(&g, 2, &BfsPartitioner);
+        let with_sme = run_rads(&cluster, &queries::q1(), &RadsConfig::default());
+        let without_sme = run_rads(
+            &cluster,
+            &queries::q1(),
+            &RadsConfig { enable_sme: false, ..Default::default() },
+        );
+        assert_eq!(with_sme.total_embeddings, without_sme.total_embeddings);
+        assert_eq!(without_sme.sme_embeddings(), 0);
+        // pushing work to the distributed phase can only increase traffic
+        assert!(without_sme.traffic.total_bytes >= with_sme.traffic.total_bytes);
+    }
+
+    #[test]
+    fn cache_reduces_traffic() {
+        let g = barabasi_albert(120, 3, 9);
+        let cluster = cluster_for(&g, 3, &HashPartitioner);
+        let q = queries::q4();
+        let cached = run_rads(&cluster, &q, &RadsConfig::default());
+        let uncached = run_rads(
+            &cluster,
+            &q,
+            &RadsConfig { enable_cache: false, ..Default::default() },
+        );
+        assert_eq!(cached.total_embeddings, uncached.total_embeddings);
+        assert!(cached.traffic.total_bytes <= uncached.traffic.total_bytes);
+    }
+
+    #[test]
+    fn label_propagation_partitioning_also_correct() {
+        let g = community_graph(4, 10, 0.4, 0.02, 8);
+        let q = queries::q2();
+        let expected = count_embeddings(&g, &q);
+        let cluster = cluster_for(&g, 4, &LabelPropagationPartitioner::default());
+        let outcome = run_rads(&cluster, &q, &RadsConfig::default());
+        assert_eq!(outcome.total_embeddings, expected);
+    }
+
+    #[test]
+    fn plan_override_is_respected_and_correct() {
+        let g = barabasi_albert(70, 3, 4);
+        let q = queries::q5();
+        let expected = count_embeddings(&g, &q);
+        let cluster = cluster_for(&g, 2, &BfsPartitioner);
+        for seed in 0..3 {
+            let plan = rads_plan::random_star_plan(&q, seed);
+            let config = RadsConfig { plan_override: Some(plan.clone()), ..Default::default() };
+            let outcome = run_rads(&cluster, &q, &config);
+            assert_eq!(outcome.total_embeddings, expected, "seed {seed}");
+            assert_eq!(outcome.plan.units(), plan.units());
+        }
+    }
+
+    #[test]
+    fn random_region_grouping_is_correct_too() {
+        let g = barabasi_albert(90, 3, 2);
+        let q = queries::q2();
+        let expected = count_embeddings(&g, &q);
+        let cluster = cluster_for(&g, 3, &HashPartitioner);
+        let config = RadsConfig { grouping: GroupingStrategy::Random, ..Default::default() };
+        assert_eq!(run_rads(&cluster, &q, &config).total_embeddings, expected);
+    }
+
+    #[test]
+    fn tiny_memory_budget_still_correct_and_bounds_groups() {
+        let g = barabasi_albert(80, 3, 6);
+        let q = queries::q2();
+        let expected = count_embeddings(&g, &q);
+        let cluster = cluster_for(&g, 2, &HashPartitioner);
+        let config = RadsConfig {
+            memory_budget: MemoryBudget { region_group_bytes: 1 },
+            ..Default::default()
+        };
+        let outcome = run_rads(&cluster, &q, &config);
+        assert_eq!(outcome.total_embeddings, expected);
+        // a 1-byte budget forces singleton region groups
+        let groups: usize = outcome.per_machine.iter().map(|m| m.stats.groups_created).sum();
+        let candidates: usize =
+            outcome.per_machine.iter().map(|m| m.stats.distributed_candidates).sum();
+        assert_eq!(groups, candidates, "groups {groups} candidates {candidates}");
+    }
+
+    #[test]
+    fn trie_node_count_never_exceeds_embedding_list_entries() {
+        // Per round, every live trie node lies on a root-to-result path, so
+        // the number of trie nodes is at most (results x prefix length), i.e.
+        // the number of entries an uncompressed embedding list would store.
+        // In bytes that bounds ET by 3x EL (a trie node is 12 bytes vs 4 per
+        // list entry); with prefix sharing the ratio drops well below 1 on
+        // dense graphs, which Table 3/4 experiments report.
+        let g = barabasi_albert(100, 3, 13);
+        let cluster = cluster_for(&g, 3, &HashPartitioner);
+        let outcome = run_rads(&cluster, &queries::q4(), &RadsConfig::default());
+        let trie_nodes = outcome.embedding_trie_bytes() / crate::trie::EmbeddingTrie::NODE_BYTES as u64;
+        let list_entries = outcome.embedding_list_bytes() / std::mem::size_of::<VertexId>() as u64;
+        assert!(trie_nodes <= list_entries.max(1), "trie {trie_nodes} list {list_entries}");
+    }
+
+    #[test]
+    fn load_sharing_steals_groups_when_imbalanced() {
+        // An unbalanced custom partitioning: machine 0 owns almost everything,
+        // machine 1 owns a few vertices, so machine 1 should steal groups.
+        let g = barabasi_albert(120, 3, 3);
+        let n = g.vertex_count();
+        let assignment: Vec<usize> = (0..n).map(|v| if v < n - 6 { 0 } else { 1 }).collect();
+        let partitioning = rads_partition::Partitioning::new(assignment, 2);
+        let cluster = Cluster::new(Arc::new(PartitionedGraph::build(&g, partitioning)));
+        let q = queries::q2();
+        let config = RadsConfig {
+            enable_sme: false,
+            memory_budget: MemoryBudget { region_group_bytes: 1024 },
+            ..Default::default()
+        };
+        let outcome = run_rads(&cluster, &q, &config);
+        assert_eq!(outcome.total_embeddings, count_embeddings(&g, &q));
+        let stolen: usize = outcome.per_machine.iter().map(|m| m.stats.groups_stolen).sum();
+        assert!(stolen > 0, "no region groups were stolen");
+    }
+
+    #[test]
+    fn clique_queries_match_ground_truth() {
+        let g = barabasi_albert(80, 4, 21);
+        for q in queries::clique_query_set() {
+            let expected = count_embeddings(&g, &q.pattern);
+            let cluster = cluster_for(&g, 3, &HashPartitioner);
+            let outcome = run_rads(&cluster, &q.pattern, &RadsConfig::default());
+            assert_eq!(outcome.total_embeddings, expected, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn single_machine_cluster_needs_no_network() {
+        let g = barabasi_albert(60, 3, 17);
+        let q = queries::q2();
+        let cluster = cluster_for(&g, 1, &BfsPartitioner);
+        let outcome = run_rads(&cluster, &q, &RadsConfig::default());
+        assert_eq!(outcome.total_embeddings, count_embeddings(&g, &q));
+        assert_eq!(outcome.traffic.total_bytes, 0);
+    }
+}

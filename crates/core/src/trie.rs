@@ -1,0 +1,377 @@
+//! The embedding trie (Section 5).
+//!
+//! Intermediate results — embeddings and embedding candidates of the
+//! sub-patterns `P_0 .. P_l` — are stored as a forest of tries. A node at
+//! depth `d` stores the data vertex mapped to the query vertex at position
+//! `d` of the matching order; every leaf-to-root path is one result, and the
+//! leaf's id is the result's unique id (the paper uses the node's memory
+//! address; we use a slab index, which is equally unique and additionally
+//! stable across reallocation).
+//!
+//! The trie supports exactly the operations the paper lists: *compression*
+//! (shared prefixes are stored once), *unique id*, *retrieval* (walk the
+//! parent pointers), and *removal* (delete a leaf and recursively any
+//! ancestor whose child count drops to zero).
+
+use rads_graph::VertexId;
+
+/// Identifier of a trie node; doubles as the unique id of the (partial)
+/// result whose last vertex the node stores.
+pub type NodeId = u32;
+
+const NO_NODE: NodeId = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    vertex: VertexId,
+    parent: NodeId,
+    child_count: u32,
+    depth: u16,
+    /// Slab freelist marker; a node is live iff `live` is true.
+    live: bool,
+}
+
+/// A forest of embedding tries (one tree per start-vertex candidate).
+#[derive(Debug, Default, Clone)]
+pub struct EmbeddingTrie {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    roots: Vec<NodeId>,
+    live_count: usize,
+    /// High-water mark of live nodes, for peak-memory reporting.
+    peak_live: usize,
+    /// Total nodes ever created, for space-cost accounting (Tables 3–4).
+    created_total: u64,
+}
+
+impl EmbeddingTrie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        EmbeddingTrie::default()
+    }
+
+    /// Size in bytes of one trie node, as accounted by the memory model:
+    /// data vertex + parent pointer + child count (the paper's node layout).
+    pub const NODE_BYTES: usize = std::mem::size_of::<VertexId>() + 4 + 4;
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Highest number of simultaneously live nodes observed.
+    pub fn peak_node_count(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Total number of nodes ever inserted (does not decrease on removal).
+    pub fn total_created(&self) -> u64 {
+        self.created_total
+    }
+
+    /// Approximate live heap footprint of the stored results.
+    pub fn memory_bytes(&self) -> usize {
+        self.live_count * Self::NODE_BYTES
+    }
+
+    /// Ids of the root nodes that are still live.
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.roots.iter().copied().filter(|&r| self.is_live(r)).collect()
+    }
+
+    /// `true` if `id` refers to a live node.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        (id as usize) < self.nodes.len() && self.nodes[id as usize].live
+    }
+
+    /// The data vertex stored at `id`.
+    pub fn vertex(&self, id: NodeId) -> VertexId {
+        debug_assert!(self.is_live(id));
+        self.nodes[id as usize].vertex
+    }
+
+    /// Depth of `id` (roots have depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        debug_assert!(self.is_live(id));
+        self.nodes[id as usize].depth as usize
+    }
+
+    /// Parent of `id`, or `None` for roots.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        debug_assert!(self.is_live(id));
+        let p = self.nodes[id as usize].parent;
+        if p == NO_NODE {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Number of children of `id`.
+    pub fn child_count(&self, id: NodeId) -> usize {
+        debug_assert!(self.is_live(id));
+        self.nodes[id as usize].child_count as usize
+    }
+
+    fn alloc(&mut self, vertex: VertexId, parent: NodeId, depth: u16) -> NodeId {
+        self.live_count += 1;
+        self.peak_live = self.peak_live.max(self.live_count);
+        self.created_total += 1;
+        let node = Node { vertex, parent, child_count: 0, depth, live: true };
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as NodeId
+        }
+    }
+
+    /// Adds a new root (a result of length 1, i.e. a mapping of the start
+    /// query vertex) and returns its id.
+    pub fn add_root(&mut self, vertex: VertexId) -> NodeId {
+        let id = self.alloc(vertex, NO_NODE, 0);
+        self.roots.push(id);
+        id
+    }
+
+    /// Adds a child of `parent` storing `vertex` and returns its id.
+    pub fn add_child(&mut self, parent: NodeId, vertex: VertexId) -> NodeId {
+        debug_assert!(self.is_live(parent));
+        let depth = self.nodes[parent as usize].depth + 1;
+        let id = self.alloc(vertex, parent, depth);
+        self.nodes[parent as usize].child_count += 1;
+        id
+    }
+
+    /// Appends a whole path of vertices under `parent`, returning the id of
+    /// the deepest node created (a convenience used when a complete unit
+    /// extension is known in advance).
+    pub fn add_path(&mut self, parent: NodeId, vertices: &[VertexId]) -> NodeId {
+        let mut current = parent;
+        for &v in vertices {
+            current = self.add_child(current, v);
+        }
+        current
+    }
+
+    /// Retrieves the result represented by `leaf`: the data vertices along the
+    /// root-to-leaf path, ordered root first (i.e. following the matching
+    /// order).
+    pub fn result(&self, leaf: NodeId) -> Vec<VertexId> {
+        debug_assert!(self.is_live(leaf));
+        let mut out = Vec::with_capacity(self.depth(leaf) + 1);
+        let mut cur = leaf;
+        loop {
+            out.push(self.nodes[cur as usize].vertex);
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Removes the result identified by `leaf`: deletes the leaf and every
+    /// ancestor whose child count drops to zero. Removing an already-removed
+    /// node is a no-op (this happens when several failed verification edges
+    /// point at the same result).
+    pub fn remove(&mut self, leaf: NodeId) {
+        if !self.is_live(leaf) {
+            return;
+        }
+        // Only leaves (results) may be removed directly; removing an interior
+        // node would orphan its children.
+        debug_assert_eq!(self.nodes[leaf as usize].child_count, 0, "only leaves can be removed");
+        let mut cur = leaf;
+        loop {
+            let parent = self.nodes[cur as usize].parent;
+            self.nodes[cur as usize].live = false;
+            self.free.push(cur);
+            self.live_count -= 1;
+            if parent == NO_NODE {
+                break;
+            }
+            self.nodes[parent as usize].child_count -= 1;
+            if self.nodes[parent as usize].child_count > 0 {
+                break;
+            }
+            cur = parent;
+        }
+    }
+
+    /// All live nodes at `depth` (the results of the sub-pattern whose prefix
+    /// length is `depth + 1`).
+    pub fn nodes_at_depth(&self, depth: usize) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.live && n.depth as usize == depth)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    /// Number of live nodes at `depth`.
+    pub fn count_at_depth(&self, depth: usize) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.live && n.depth as usize == depth)
+            .count()
+    }
+
+    /// Removes every dangling partial result: any live leaf node whose depth
+    /// is strictly less than `full_depth` (it represents a partial embedding
+    /// that was never extended to a complete result). Not needed by the
+    /// engine (it removes failed candidates explicitly); provided for
+    /// clean-up and tests.
+    pub fn prune_dangling(&mut self, full_depth: usize) {
+        loop {
+            let to_remove: Vec<NodeId> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.live && (n.depth as usize) < full_depth && n.child_count == 0
+                })
+                .map(|(i, _)| i as NodeId)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for id in to_remove {
+                self.remove(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example6_insert_filter_expand() {
+        // Example 6: three ECs of P0 (v0, v1, v2), (v0, v1, v9), (v0, v9, v11)
+        // stored in one tree; filtering the second leaves two; expanding the
+        // first to P1 appends (v3, v4).
+        let mut trie = EmbeddingTrie::new();
+        let root = trie.add_root(0);
+        let n1 = trie.add_child(root, 1);
+        let leaf_a = trie.add_child(n1, 2);
+        let leaf_b = trie.add_child(n1, 9);
+        let n9 = trie.add_child(root, 9);
+        let leaf_c = trie.add_child(n9, 11);
+        assert_eq!(trie.node_count(), 6);
+        assert_eq!(trie.result(leaf_a), vec![0, 1, 2]);
+        assert_eq!(trie.result(leaf_b), vec![0, 1, 9]);
+        assert_eq!(trie.result(leaf_c), vec![0, 9, 11]);
+        // filter out the second EC
+        trie.remove(leaf_b);
+        assert_eq!(trie.node_count(), 5);
+        assert!(trie.is_live(leaf_a));
+        assert!(!trie.is_live(leaf_b));
+        // expand the first EC to P1 by appending v3, v4
+        let deep = trie.add_path(leaf_a, &[3, 4]);
+        assert_eq!(trie.result(deep), vec![0, 1, 2, 3, 4]);
+        assert_eq!(trie.depth(deep), 4);
+    }
+
+    #[test]
+    fn compression_shares_prefixes() {
+        let mut trie = EmbeddingTrie::new();
+        let root = trie.add_root(7);
+        let a = trie.add_child(root, 1);
+        let _l1 = trie.add_child(a, 2);
+        let _l2 = trie.add_child(a, 3);
+        let _l3 = trie.add_child(a, 4);
+        // 3 results of length 3 would need 9 slots as lists; the trie uses 5.
+        assert_eq!(trie.node_count(), 5);
+        assert!(trie.memory_bytes() < 9 * EmbeddingTrie::NODE_BYTES);
+    }
+
+    #[test]
+    fn removal_cascades_to_empty_ancestors() {
+        let mut trie = EmbeddingTrie::new();
+        let root = trie.add_root(0);
+        let a = trie.add_child(root, 1);
+        let leaf = trie.add_child(a, 2);
+        trie.remove(leaf);
+        // a and root had no other children: everything is gone
+        assert_eq!(trie.node_count(), 0);
+        assert!(!trie.is_live(root));
+        assert!(trie.roots().is_empty());
+    }
+
+    #[test]
+    fn removal_stops_at_shared_ancestors() {
+        let mut trie = EmbeddingTrie::new();
+        let root = trie.add_root(0);
+        let a = trie.add_child(root, 1);
+        let leaf1 = trie.add_child(a, 2);
+        let leaf2 = trie.add_child(a, 3);
+        trie.remove(leaf1);
+        assert!(trie.is_live(a));
+        assert!(trie.is_live(root));
+        assert!(trie.is_live(leaf2));
+        assert_eq!(trie.node_count(), 3);
+        // removing twice is a no-op
+        trie.remove(leaf1);
+        assert_eq!(trie.node_count(), 3);
+    }
+
+    #[test]
+    fn node_ids_are_reused_but_results_stay_correct() {
+        let mut trie = EmbeddingTrie::new();
+        let root = trie.add_root(5);
+        let l1 = trie.add_child(root, 6);
+        trie.remove(l1); // cascades and removes the now-childless root too
+        let root2 = trie.add_root(9);
+        let l2 = trie.add_child(root2, 10);
+        assert_eq!(trie.result(l2), vec![9, 10]);
+        assert_eq!(trie.node_count(), 2);
+        assert!(trie.total_created() >= 4);
+    }
+
+    #[test]
+    fn depth_queries() {
+        let mut trie = EmbeddingTrie::new();
+        for start in 0..3u32 {
+            let r = trie.add_root(start);
+            for leaf in 0..2u32 {
+                trie.add_child(r, 10 + leaf);
+            }
+        }
+        assert_eq!(trie.count_at_depth(0), 3);
+        assert_eq!(trie.count_at_depth(1), 6);
+        assert_eq!(trie.nodes_at_depth(1).len(), 6);
+        assert_eq!(trie.count_at_depth(2), 0);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut trie = EmbeddingTrie::new();
+        let r = trie.add_root(0);
+        let a = trie.add_child(r, 1);
+        let b = trie.add_child(a, 2);
+        assert_eq!(trie.peak_node_count(), 3);
+        trie.remove(b);
+        assert_eq!(trie.node_count(), 0);
+        assert_eq!(trie.peak_node_count(), 3);
+    }
+
+    #[test]
+    fn prune_dangling_removes_incomplete_partial_results() {
+        let mut trie = EmbeddingTrie::new();
+        let r = trie.add_root(0);
+        let a = trie.add_child(r, 1);
+        let complete = trie.add_child(a, 2); // depth 2: a complete result
+        let dangling = trie.add_child(r, 7); // depth 1: never extended
+        trie.prune_dangling(2);
+        assert!(!trie.is_live(dangling));
+        assert!(trie.is_live(complete));
+        assert_eq!(trie.count_at_depth(2), 1);
+        assert!(trie.is_live(r));
+        assert_eq!(trie.node_count(), 3);
+    }
+}

@@ -1,0 +1,416 @@
+//! Basic graph algorithms used by the partitioner, planners and engines.
+
+use std::collections::VecDeque;
+
+use crate::csr::Graph;
+use crate::pattern::Pattern;
+use crate::types::VertexId;
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances (in hops) from `src`.
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
+    multi_source_bfs(g, std::iter::once(src))
+}
+
+/// Multi-source BFS: distance from every vertex to the *nearest* source.
+///
+/// This is exactly what the border-distance computation of Definition 1
+/// needs (sources = border vertices of the partition).
+pub fn multi_source_bfs<I: IntoIterator<Item = VertexId>>(g: &Graph, sources: I) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components; returns `(component id per vertex, number of components)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.vertex_count()];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in g.vertices() {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Returns `true` if the data graph is connected (empty graphs are connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.vertex_count() == 0 || connected_components(g).1 == 1
+}
+
+/// Lower-bound estimate of the diameter obtained with `rounds` double-sweep
+/// BFS passes (exact on trees, a good lower bound in general). Used to fill
+/// the "Diameter" column of Table 1 for synthetic datasets.
+pub fn estimate_diameter(g: &Graph, rounds: usize) -> u32 {
+    if g.vertex_count() == 0 {
+        return 0;
+    }
+    let mut best = 0u32;
+    let mut start = 0 as VertexId;
+    for _ in 0..rounds.max(1) {
+        let dist = bfs_distances(g, start);
+        let (far, d) = dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != UNREACHABLE)
+            .max_by_key(|(_, &d)| d)
+            .map(|(v, &d)| (v as VertexId, d))
+            .unwrap_or((start, 0));
+        best = best.max(d);
+        start = far;
+    }
+    best
+}
+
+/// Number of triangles in the data graph (each counted once).
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            // count common neighbours w > v to avoid double counting
+            let (a, b) = (g.neighbors(u), g.neighbors(v));
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Enumerates all maximal cliques with at least `min_size` vertices using the
+/// Bron–Kerbosch algorithm with pivoting. Used by the Crystal baseline's
+/// clique index. The callback receives each maximal clique as a sorted slice.
+pub fn maximal_cliques<F: FnMut(&[VertexId])>(g: &Graph, min_size: usize, mut emit: F) {
+    fn bk(
+        g: &Graph,
+        r: &mut Vec<VertexId>,
+        p: Vec<VertexId>,
+        x: Vec<VertexId>,
+        min_size: usize,
+        emit: &mut dyn FnMut(&[VertexId]),
+    ) {
+        if p.is_empty() && x.is_empty() {
+            if r.len() >= min_size {
+                emit(r);
+            }
+            return;
+        }
+        // pivot: vertex of P ∪ X with most neighbours in P
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .copied()
+            .max_by_key(|&u| crate::csr::intersection_size(g.neighbors(u), &p))
+            .unwrap();
+        let pivot_adj = g.neighbors(pivot);
+        let candidates: Vec<VertexId> = p
+            .iter()
+            .copied()
+            .filter(|v| pivot_adj.binary_search(v).is_err())
+            .collect();
+        let mut p = p;
+        let mut x = x;
+        for v in candidates {
+            let adj = g.neighbors(v);
+            let new_p: Vec<VertexId> = p.iter().copied().filter(|u| adj.binary_search(u).is_ok()).collect();
+            let new_x: Vec<VertexId> = x.iter().copied().filter(|u| adj.binary_search(u).is_ok()).collect();
+            r.push(v);
+            bk(g, r, new_p, new_x, min_size, emit);
+            r.pop();
+            p.retain(|&u| u != v);
+            x.push(v);
+        }
+    }
+    let p: Vec<VertexId> = g.vertices().collect();
+    let mut r = Vec::new();
+    bk(g, &mut r, p, Vec::new(), min_size, &mut emit);
+}
+
+/// Enumerates all triangles `(a, b, c)` with `a < b < c`.
+pub fn triangles(g: &Graph) -> Vec<[VertexId; 3]> {
+    let mut out = Vec::new();
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            for &w in g.common_neighbors(u, v).iter() {
+                if w > v {
+                    out.push([u, v, w]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A BFS spanning forest of the graph, returned as `parent[v]`
+/// (`parent[root] == root`).
+pub fn bfs_spanning_forest(g: &Graph) -> Vec<VertexId> {
+    let mut parent: Vec<VertexId> = (0..g.vertex_count() as VertexId).collect();
+    let mut seen = vec![false; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    for root in g.vertices() {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    parent[w as usize] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// Returns `true` if the *pattern* contains a triangle. Small helper used by
+/// query-set sanity checks and the Crystal baseline.
+pub fn contains_triangle_pattern(p: &Pattern) -> bool {
+    for u in p.vertices() {
+        for &v in p.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            for &w in p.neighbors(v) {
+                if w > v && p.has_edge(u, w) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Degeneracy ordering of the data graph (repeatedly remove the minimum-degree
+/// vertex); returns the order and the degeneracy. Useful for clique listing
+/// and as a heuristic vertex order.
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<VertexId>, usize) {
+    let n = g.vertex_count();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as VertexId);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // find the non-empty bucket with the smallest degree
+        while cursor > 0 && !buckets[cursor - 1].is_empty() {
+            cursor -= 1;
+        }
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        if cursor > max_deg {
+            break;
+        }
+        let v = loop {
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize] && degree[v as usize] == cursor => break Some(v),
+                Some(_) => continue,
+                None => break None,
+            }
+        };
+        let Some(v) = v else { continue };
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(cursor);
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                let d = degree[w as usize];
+                degree[w as usize] = d - 1;
+                buckets[d - 1].push(w);
+            }
+        }
+    }
+    // Any vertices skipped due to stale bucket entries are appended (should
+    // not happen, but keeps the function total).
+    if order.len() < n {
+        for v in 0..n {
+            if !removed[v] {
+                order.push(v as VertexId);
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(VertexId, VertexId)> =
+            (0..n - 1).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        GraphBuilder::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_minimum() {
+        let g = path_graph(7);
+        let d = multi_source_bfs(&g, [0 as VertexId, 6].into_iter());
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path_graph(4)));
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = path_graph(10);
+        assert_eq!(estimate_diameter(&g, 4), 9);
+    }
+
+    #[test]
+    fn triangle_counting() {
+        // Two triangles sharing an edge: 0-1-2, 1-2-3.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&g), 2);
+        assert_eq!(triangles(&g), vec![[0, 1, 2], [1, 2, 3]]);
+        assert_eq!(triangle_count(&path_graph(5)), 0);
+    }
+
+    #[test]
+    fn maximal_cliques_in_k4_plus_edge() {
+        // K4 on {0,1,2,3} plus edge (3,4)
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                b.add_edge(i, j);
+            }
+        }
+        b.add_edge(3, 4);
+        let g = b.build();
+        let mut cliques = Vec::new();
+        maximal_cliques(&g, 2, |c| {
+            let mut c = c.to_vec();
+            c.sort_unstable();
+            cliques.push(c);
+        });
+        cliques.sort();
+        assert_eq!(cliques, vec![vec![0, 1, 2, 3], vec![3, 4]]);
+    }
+
+    #[test]
+    fn maximal_cliques_min_size_filters() {
+        let g = path_graph(4);
+        let mut count = 0;
+        maximal_cliques(&g, 3, |_| count += 1);
+        assert_eq!(count, 0);
+        maximal_cliques(&g, 2, |_| count += 1);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn spanning_forest_covers_all_vertices() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let parent = bfs_spanning_forest(&g);
+        assert_eq!(parent.len(), 6);
+        // roots are their own parents
+        assert_eq!(parent[0], 0);
+        assert_eq!(parent[3], 3);
+        assert_eq!(parent[5], 5);
+        // every non-root parent edge exists
+        for v in 0..6u32 {
+            let p = parent[v as usize];
+            if p != v {
+                assert!(g.has_edge(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn degeneracy_of_clique_and_path() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                b.add_edge(i, j);
+            }
+        }
+        let k4 = b.build();
+        let (order, d) = degeneracy_ordering(&k4);
+        assert_eq!(order.len(), 4);
+        assert_eq!(d, 3);
+        let (order, d) = degeneracy_ordering(&path_graph(6));
+        assert_eq!(order.len(), 6);
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn pattern_triangle_detection() {
+        assert!(contains_triangle_pattern(&crate::queries::q2()));
+        assert!(!contains_triangle_pattern(&crate::queries::q1()));
+    }
+}

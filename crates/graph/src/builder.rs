@@ -1,0 +1,124 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::csr::Graph;
+use crate::types::VertexId;
+
+/// Builds a [`Graph`] from an edge list.
+///
+/// Duplicated edges and self-loops are silently dropped, and the vertex count
+/// grows automatically to accommodate the largest endpoint seen.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// A builder that will produce a graph with at least `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices the built graph will have so far.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (possibly duplicated) edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ensures the graph will contain at least `n` vertices.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops are ignored.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v {
+            return;
+        }
+        self.n = self.n.max(u.max(v) as usize + 1);
+        self.edges.push((u, v));
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, it: I) {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Finalizes the builder into a CSR graph.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        // Count degrees (both directions), dedup later.
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for (u, v) in self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::new();
+        for list in adj.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Graph::from_csr(offsets, neighbors)
+    }
+
+    /// Convenience: builds a graph directly from an edge slice.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges.iter().copied());
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_and_self_loops_are_dropped() {
+        let g = GraphBuilder::from_edges(0, &[(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn vertex_count_grows_with_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 7);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.degree(7), 1);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn ensure_vertices_keeps_isolated_vertices() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(0, 1);
+        b.ensure_vertices(10);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn extend_edges_matches_add_edge() {
+        let mut a = GraphBuilder::new(0);
+        a.extend_edges(vec![(0, 1), (1, 2), (2, 3)]);
+        let mut b = GraphBuilder::new(0);
+        for e in [(0, 1), (1, 2), (2, 3)] {
+            b.add_edge(e.0, e.1);
+        }
+        assert_eq!(a.build(), b.build());
+    }
+}

@@ -1,0 +1,282 @@
+//! Compressed sparse row (CSR) representation of the undirected data graph.
+
+use crate::types::VertexId;
+
+/// An unlabeled, undirected data graph stored in CSR form.
+///
+/// Adjacency lists are sorted, deduplicated and free of self-loops, so
+/// `has_edge` is a binary search and neighbourhood intersections can be
+/// computed with a linear merge. Vertices are identified by dense ids
+/// `0..vertex_count()`.
+///
+/// This is the storage format the paper assumes on every machine: "we assume
+/// each partition is stored as an adjacency-list" (Section 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` is the slice of `neighbors` owned by `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists.
+    neighbors: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// Intended for use by [`crate::GraphBuilder`] and deserialization code;
+    /// the invariants (sorted, deduplicated, symmetric, no self-loops) are
+    /// checked in debug builds only.
+    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        let g = Graph { offsets, neighbors };
+        #[cfg(debug_assertions)]
+        g.check_invariants();
+        g
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        for v in 0..self.vertex_count() {
+            let adj = self.neighbors(v as VertexId);
+            for w in adj.windows(2) {
+                assert!(w[0] < w[1], "adjacency list of {v} is not strictly sorted");
+            }
+            for &u in adj {
+                assert_ne!(u as usize, v, "self loop at {v}");
+                assert!(
+                    self.neighbors(u).binary_search(&(v as VertexId)).is_ok(),
+                    "edge ({v}, {u}) is not symmetric"
+                );
+            }
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_count() as VertexId).into_iter()
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the shorter list for cache friendliness.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all undirected edges, each reported once as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Average degree (2|E| / |V|); zero for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.vertex_count() as f64
+        }
+    }
+
+    /// Maximum degree over all vertices; zero for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Size of the intersection of the adjacency lists of `u` and `v`
+    /// (number of common neighbours). Linear-merge over the sorted lists.
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        intersection_size(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// Intersection of the adjacency lists of `u` and `v`.
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes of the CSR arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Returns a new graph restricted to the vertices for which `keep` returns
+    /// true, relabelled densely in increasing order of the original id, along
+    /// with the mapping `new id -> old id`.
+    pub fn induced_subgraph<F: Fn(VertexId) -> bool>(&self, keep: F) -> (Graph, Vec<VertexId>) {
+        let mut old_of_new = Vec::new();
+        let mut new_of_old = vec![u32::MAX; self.vertex_count()];
+        for v in self.vertices() {
+            if keep(v) {
+                new_of_old[v as usize] = old_of_new.len() as VertexId;
+                old_of_new.push(v);
+            }
+        }
+        let mut builder = crate::GraphBuilder::new(old_of_new.len());
+        for (u, v) in self.edges() {
+            let (nu, nv) = (new_of_old[u as usize], new_of_old[v as usize]);
+            if nu != u32::MAX && nv != u32::MAX {
+                builder.add_edge(nu, nv);
+            }
+        }
+        (builder.build(), old_of_new)
+    }
+}
+
+/// Size of the intersection of two sorted slices.
+pub fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1, 1-2, 2-0, 2-3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn has_edge_and_neighbors() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 1));
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn edges_are_reported_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn common_neighbors_works() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.common_neighbors(0, 1), vec![2]);
+        assert_eq!(g.common_neighbor_count(0, 3), 1); // both adjacent to 2
+        assert_eq!(g.common_neighbors(1, 3), vec![2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = triangle_plus_tail();
+        let (sub, map) = g.induced_subgraph(|v| v != 3);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        assert_eq!(map, vec![0, 1, 2]);
+        let (sub2, map2) = g.induced_subgraph(|v| v >= 2);
+        assert_eq!(sub2.vertex_count(), 2);
+        assert_eq!(sub2.edge_count(), 1);
+        assert_eq!(map2, vec![2, 3]);
+    }
+
+    #[test]
+    fn memory_accounting_is_nonzero() {
+        let g = triangle_plus_tail();
+        assert!(g.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Synthetic data-graph generators.
+//!
+//! The paper evaluates on four real datasets (RoadNet, DBLP, LiveJournal,
+//! UK2002). Those graphs are not redistributable here, so `rads-datasets`
+//! builds laptop-scale synthetic stand-ins from the primitives in this module:
+//!
+//! * [`grid_2d`] / [`road_network`] — very sparse, huge-diameter graphs
+//!   (RoadNet-like).
+//! * [`barabasi_albert`] — power-law, small-diameter graphs (LiveJournal /
+//!   UK2002-like).
+//! * [`community_graph`] — dense intra-community, sparse inter-community
+//!   graphs (DBLP-like collaboration structure, and the locality the
+//!   partitioner needs).
+//! * [`erdos_renyi`] — uniform random baseline.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::types::VertexId;
+
+/// G(n, p) Erdős–Rényi random graph (each pair independently an edge with
+/// probability `p`). Quadratic in `n`; intended for small graphs and tests.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Sparse G(n, m) random graph with exactly `m` distinct edges, sampled
+/// uniformly. Linear in `m`, suitable for larger graphs.
+pub fn gnm_random(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new(n);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = crate::types::EdgeKey::new(u, v);
+        if seen.insert(key) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// `rows x cols` 2-D lattice: vertex `(r, c)` is `r * cols + c`, connected to
+/// its horizontal and vertical neighbours. Sparse (average degree < 4) with a
+/// diameter of `rows + cols - 2`.
+pub fn grid_2d(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Road-network-like graph: a 2-D lattice where a fraction `remove_fraction`
+/// of the edges is removed (dead ends, missing links) and a small number of
+/// random "highway" shortcuts is added. Keeps the giant component sparse and
+/// high-diameter, matching the RoadNet profile of Table 1 (average degree
+/// ≈ 1–2, enormous diameter).
+pub fn road_network(rows: usize, cols: usize, remove_fraction: f64, shortcuts: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let full = grid_2d(rows, cols);
+    let mut edges: Vec<(VertexId, VertexId)> = full.edges().collect();
+    edges.shuffle(&mut rng);
+    let keep = ((1.0 - remove_fraction) * edges.len() as f64).round() as usize;
+    edges.truncate(keep.min(edges.len()));
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges(edges);
+    for _ in 0..shortcuts {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a small clique
+/// and attaches each new vertex to `m_attach` existing vertices chosen with
+/// probability proportional to their degree. Produces the heavy-tailed degree
+/// distribution and small diameter of social/web graphs (LiveJournal, UK2002).
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "each new vertex must attach to at least one existing vertex");
+    let m0 = (m_attach + 1).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // target list: vertex ids repeated once per incident edge endpoint
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            b.add_edge(u as VertexId, v as VertexId);
+            targets.push(u as VertexId);
+            targets.push(v as VertexId);
+        }
+    }
+    for v in m0..n {
+        let mut chosen = std::collections::HashSet::with_capacity(m_attach);
+        let mut guard = 0;
+        while chosen.len() < m_attach && guard < 50 * m_attach {
+            guard += 1;
+            let t = if targets.is_empty() || rng.gen_bool(0.05) {
+                // small uniform component keeps the graph connected even if
+                // the target list is degenerate
+                rng.gen_range(0..v) as VertexId
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if (t as usize) < v {
+                chosen.insert(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as VertexId, t);
+            targets.push(v as VertexId);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Community (planted-partition) graph: `communities` groups of
+/// `community_size` vertices; vertex pairs inside a community are connected
+/// with probability `p_in`, pairs across communities with probability `p_out`.
+/// Mirrors the locality of collaboration networks such as DBLP and gives the
+/// partitioner something meaningful to exploit.
+pub fn community_graph(
+    communities: usize,
+    community_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    let n = communities * community_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = u / community_size == v / community_size;
+            let p = if same { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A deterministic ring over `n` vertices with `extra` chords per vertex —
+/// the small-world "ring lattice" used by several unit tests.
+pub fn ring_lattice(n: usize, extra: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for k in 1..=(1 + extra) {
+            let v = (u + k) % n;
+            if u != v {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{estimate_diameter, is_connected};
+
+    #[test]
+    fn erdos_renyi_is_reproducible() {
+        let a = erdos_renyi(50, 0.1, 7);
+        let b = erdos_renyi(50, 0.1, 7);
+        let c = erdos_renyi(50, 0.1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_has_requested_edges() {
+        let g = gnm_random(100, 250, 3);
+        assert_eq!(g.vertex_count(), 100);
+        assert_eq!(g.edge_count(), 250);
+    }
+
+    #[test]
+    fn gnm_caps_at_max_edges() {
+        let g = gnm_random(5, 100, 3);
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_2d(4, 5);
+        assert_eq!(g.vertex_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5); // horizontal + vertical
+        assert!(is_connected(&g));
+        assert_eq!(estimate_diameter(&g, 4), 7);
+    }
+
+    #[test]
+    fn road_network_is_sparse_and_high_diameter() {
+        let g = road_network(30, 30, 0.1, 5, 42);
+        assert_eq!(g.vertex_count(), 900);
+        assert!(g.average_degree() < 4.0);
+        assert!(estimate_diameter(&g, 4) > 20);
+    }
+
+    #[test]
+    fn barabasi_albert_is_skewed_and_connected() {
+        let g = barabasi_albert(500, 3, 11);
+        assert_eq!(g.vertex_count(), 500);
+        assert!(g.average_degree() >= 4.0);
+        assert!(is_connected(&g));
+        // heavy tail: max degree far above the average
+        assert!(g.max_degree() as f64 > 4.0 * g.average_degree());
+    }
+
+    #[test]
+    fn community_graph_has_local_structure() {
+        let g = community_graph(5, 20, 0.4, 0.01, 9);
+        assert_eq!(g.vertex_count(), 100);
+        // count intra vs inter edges
+        let mut intra = 0;
+        let mut inter = 0;
+        for (u, v) in g.edges() {
+            if u / 20 == v / 20 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra = {intra}, inter = {inter}");
+    }
+
+    #[test]
+    fn ring_lattice_is_regular() {
+        let g = ring_lattice(10, 1);
+        assert_eq!(g.vertex_count(), 10);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,212 @@
+//! Structural graph metrics.
+//!
+//! Used by the dataset suite to check that the synthetic stand-ins reproduce
+//! the structural properties of the paper's datasets (degree distribution,
+//! clustering, locality), and handy when debugging partitioner behaviour.
+
+use crate::csr::Graph;
+use crate::types::VertexId;
+
+/// Degree histogram: `histogram[d]` is the number of vertices of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// The share of vertices whose degree is at least `threshold` — a cheap
+/// heavy-tail indicator (power-law graphs keep a noticeable mass far above
+/// the mean, lattices do not).
+pub fn heavy_tail_fraction(g: &Graph, threshold: usize) -> f64 {
+    if g.vertex_count() == 0 {
+        return 0.0;
+    }
+    let heavy = g.vertices().filter(|&v| g.degree(v) >= threshold).count();
+    heavy as f64 / g.vertex_count() as f64
+}
+
+/// Local clustering coefficient of a vertex: the fraction of its neighbour
+/// pairs that are themselves connected. Zero for degree < 2.
+pub fn local_clustering(g: &Graph, v: VertexId) -> f64 {
+    let adj = g.neighbors(v);
+    let d = adj.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in adj.iter().enumerate() {
+        for &b in &adj[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Average local clustering coefficient over all vertices.
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.vertex_count() == 0 {
+        return 0.0;
+    }
+    g.vertices().map(|v| local_clustering(g, v)).sum::<f64>() / g.vertex_count() as f64
+}
+
+/// Global clustering coefficient (transitivity): `3 * triangles / wedges`.
+pub fn transitivity(g: &Graph) -> f64 {
+    let wedges: usize = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * crate::algorithms::triangle_count(g) as f64 / wedges as f64
+}
+
+/// Pearson degree assortativity over the edges (positive: hubs connect to
+/// hubs, as in collaboration networks; negative: hubs connect to leaves, as
+/// in many technological networks). Returns 0 for degenerate graphs.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let edges: Vec<(f64, f64)> = g
+        .edges()
+        .map(|(u, v)| (g.degree(u) as f64, g.degree(v) as f64))
+        .collect();
+    if edges.is_empty() {
+        return 0.0;
+    }
+    // symmetrize: every edge contributes both orientations
+    let xs: Vec<f64> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let ys: Vec<f64> = edges.iter().flat_map(|&(a, b)| [b, a]).collect();
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum::<f64>() / n;
+    let var_x: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum::<f64>() / n;
+    let var_y: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum::<f64>() / n;
+    let denom = (var_x * var_y).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+/// A compact structural summary, convenient for logging dataset profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Average degree.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average local clustering coefficient.
+    pub average_clustering: f64,
+    /// Global transitivity.
+    pub transitivity: f64,
+    /// Degree assortativity.
+    pub assortativity: f64,
+}
+
+impl GraphMetrics {
+    /// Computes the summary for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        GraphMetrics {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            average_degree: g.average_degree(),
+            max_degree: g.max_degree(),
+            average_clustering: average_clustering(g),
+            transitivity: transitivity(g),
+            assortativity: degree_assortativity(g),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg-deg={:.2} max-deg={} clustering={:.3} transitivity={:.3} assortativity={:.3}",
+            self.vertices,
+            self.edges,
+            self.average_degree,
+            self.max_degree,
+            self.average_clustering,
+            self.transitivity,
+            self.assortativity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, community_graph, grid_2d};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn clustering_of_a_triangle_is_one() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-9);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-9);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_of_a_star_is_zero() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_vertex_count() {
+        let g = barabasi_albert(200, 3, 3);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 200);
+        assert_eq!(hist.len(), g.max_degree() + 1);
+    }
+
+    #[test]
+    fn power_law_graphs_have_heavier_tails_than_lattices() {
+        let ba = barabasi_albert(400, 3, 5);
+        let grid = grid_2d(20, 20);
+        let threshold = 3 * ba.average_degree() as usize;
+        assert!(heavy_tail_fraction(&ba, threshold) > heavy_tail_fraction(&grid, threshold));
+    }
+
+    #[test]
+    fn community_graphs_cluster_more_than_random_attachment() {
+        let communities = community_graph(5, 16, 0.5, 0.01, 2);
+        let ba = barabasi_albert(80, 3, 2);
+        assert!(average_clustering(&communities) > average_clustering(&ba));
+    }
+
+    #[test]
+    fn metrics_summary_renders() {
+        let g = grid_2d(5, 5);
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.vertices, 25);
+        assert_eq!(m.edges, g.edge_count());
+        let line = format!("{m}");
+        assert!(line.contains("|V|=25"));
+    }
+
+    #[test]
+    fn assortativity_is_bounded() {
+        for g in [barabasi_albert(150, 3, 9), grid_2d(12, 12), community_graph(3, 20, 0.4, 0.02, 4)] {
+            let a = degree_assortativity(&g);
+            assert!((-1.0001..=1.0001).contains(&a), "assortativity {a} out of range");
+        }
+    }
+}

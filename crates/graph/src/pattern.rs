@@ -1,0 +1,347 @@
+//! Query patterns (small unlabeled, undirected, connected graphs).
+
+use crate::types::PatternVertex;
+
+/// A query pattern `P = (V_P, E_P)`.
+///
+/// Patterns are tiny (the paper's queries have 4–10 vertices), so we keep both
+/// an adjacency-list and an adjacency-matrix representation: the list for
+/// iteration, the matrix for O(1) edge tests during backtracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    adj: Vec<Vec<PatternVertex>>,
+    matrix: Vec<bool>,
+    n: usize,
+}
+
+impl Pattern {
+    /// Builds a pattern with `n` vertices from an edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge references a vertex `>= n` or is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(PatternVertex, PatternVertex)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        let mut matrix = vec![false; n * n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "pattern edge ({u}, {v}) out of range for n = {n}");
+            assert_ne!(u, v, "pattern self-loop at {u}");
+            if !matrix[u * n + v] {
+                matrix[u * n + v] = true;
+                matrix[v * n + u] = true;
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+        for list in adj.iter_mut() {
+            list.sort_unstable();
+        }
+        Pattern { adj, matrix, n }
+    }
+
+    /// Number of query vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of query edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Iterator over all query vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = PatternVertex> {
+        0..self.n
+    }
+
+    /// Sorted neighbours of `u`.
+    pub fn neighbors(&self, u: PatternVertex) -> &[PatternVertex] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u` in the pattern.
+    pub fn degree(&self, u: PatternVertex) -> usize {
+        self.adj[u].len()
+    }
+
+    /// O(1) edge test.
+    pub fn has_edge(&self, u: PatternVertex, v: PatternVertex) -> bool {
+        u != v && self.matrix[u * self.n + v]
+    }
+
+    /// All edges, each reported once with the smaller endpoint first.
+    pub fn edges(&self) -> Vec<(PatternVertex, PatternVertex)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for u in 0..self.n {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS distances from `u` to every pattern vertex (`usize::MAX` when
+    /// unreachable).
+    pub fn distances_from(&self, u: PatternVertex) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[u] = 0;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            for &y in &self.adj[x] {
+                if dist[y] == usize::MAX {
+                    dist[y] = dist[x] + 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The *span* of query vertex `u` (Definition 2): the maximum shortest
+    /// distance from `u` to any other query vertex.
+    pub fn span(&self, u: PatternVertex) -> usize {
+        self.distances_from(u)
+            .into_iter()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Diameter of the pattern (max span over all vertices).
+    pub fn diameter(&self) -> usize {
+        self.vertices().map(|u| self.span(u)).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if the pattern is connected (the paper assumes connected
+    /// query patterns).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.distances_from(0).into_iter().all(|d| d != usize::MAX)
+    }
+
+    /// Returns `true` if the set of vertices `set` induces a connected
+    /// subgraph of the pattern.
+    pub fn is_connected_subset(&self, set: &[PatternVertex]) -> bool {
+        if set.is_empty() {
+            return true;
+        }
+        let in_set = |v: PatternVertex| set.contains(&v);
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[set[0]] = true;
+        queue.push_back(set[0]);
+        let mut reached = 1;
+        while let Some(x) = queue.pop_front() {
+            for &y in &self.adj[x] {
+                if in_set(y) && !seen[y] {
+                    seen[y] = true;
+                    reached += 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        reached == set.len()
+    }
+
+    /// Returns `true` if `set` is a *connected dominating set* of the pattern
+    /// (Definition 9): every vertex is in the set or adjacent to it, and the
+    /// induced subgraph is connected.
+    pub fn is_connected_dominating_set(&self, set: &[PatternVertex]) -> bool {
+        if !self.is_connected_subset(set) {
+            return false;
+        }
+        self.vertices().all(|v| {
+            set.contains(&v) || self.adj[v].iter().any(|w| set.contains(w))
+        })
+    }
+
+    /// Size of a minimum connected dominating set (`c_P` in the paper),
+    /// computed by brute force over vertex subsets in increasing size order.
+    /// Patterns are tiny so this is cheap.
+    pub fn connected_domination_number(&self) -> usize {
+        if self.n <= 1 {
+            return self.n;
+        }
+        assert!(
+            self.n <= 20,
+            "connected_domination_number uses subset enumeration and is limited to 20 vertices"
+        );
+        let mut best = self.n;
+        for mask in 1u32..(1u32 << self.n) {
+            let size = mask.count_ones() as usize;
+            if size >= best {
+                continue;
+            }
+            let subset: Vec<PatternVertex> =
+                (0..self.n).filter(|&v| mask & (1 << v) != 0).collect();
+            if self.is_connected_dominating_set(&subset) {
+                best = size;
+            }
+        }
+        best
+    }
+
+    /// Maximum leaf number `l_P = |V_P| - c_P` (from Douglas 1992, used in
+    /// Theorem 1).
+    pub fn maximum_leaf_number(&self) -> usize {
+        self.n - self.connected_domination_number()
+    }
+
+    /// A vertex-induced sub-pattern on `keep` (relabelled densely following
+    /// the order of `keep`), plus the map from new ids to old ids.
+    pub fn induced(&self, keep: &[PatternVertex]) -> (Pattern, Vec<PatternVertex>) {
+        let mut new_of_old = vec![usize::MAX; self.n];
+        for (new, &old) in keep.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let mut edges = Vec::new();
+        for &(u, v) in &self.edges() {
+            if new_of_old[u] != usize::MAX && new_of_old[v] != usize::MAX {
+                edges.push((new_of_old[u], new_of_old[v]));
+            }
+        }
+        (Pattern::from_edges(keep.len(), &edges), keep.to_vec())
+    }
+}
+
+/// Fluent builder for patterns used by tests and the query catalogue.
+#[derive(Debug, Default, Clone)]
+pub struct PatternBuilder {
+    n: usize,
+    edges: Vec<(PatternVertex, PatternVertex)>,
+}
+
+impl PatternBuilder {
+    /// Creates a builder for a pattern with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        PatternBuilder { n, edges: Vec::new() }
+    }
+
+    /// Adds the undirected pattern edge `(u, v)` and returns the builder.
+    pub fn edge(mut self, u: PatternVertex, v: PatternVertex) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds a path `vs[0] - vs[1] - ... - vs[k]`.
+    pub fn path(mut self, vs: &[PatternVertex]) -> Self {
+        for w in vs.windows(2) {
+            self.edges.push((w[0], w[1]));
+        }
+        self
+    }
+
+    /// Adds a cycle over `vs`.
+    pub fn cycle(mut self, vs: &[PatternVertex]) -> Self {
+        for w in vs.windows(2) {
+            self.edges.push((w[0], w[1]));
+        }
+        if vs.len() > 2 {
+            self.edges.push((vs[vs.len() - 1], vs[0]));
+        }
+        self
+    }
+
+    /// Adds a clique over `vs`.
+    pub fn clique(mut self, vs: &[PatternVertex]) -> Self {
+        for i in 0..vs.len() {
+            for j in i + 1..vs.len() {
+                self.edges.push((vs[i], vs[j]));
+            }
+        }
+        self
+    }
+
+    /// Builds the pattern.
+    pub fn build(self) -> Pattern {
+        Pattern::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> Pattern {
+        // 0-1-2-3-0 plus 0-2
+        PatternBuilder::new(4).cycle(&[0, 1, 2, 3]).edge(0, 2).build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let p = square_with_diagonal();
+        assert_eq!(p.vertex_count(), 4);
+        assert_eq!(p.edge_count(), 5);
+        assert_eq!(p.degree(0), 3);
+        assert_eq!(p.degree(1), 2);
+        assert!(p.has_edge(0, 2));
+        assert!(!p.has_edge(1, 3));
+        assert!(p.is_connected());
+    }
+
+    #[test]
+    fn spans_and_diameter() {
+        // path 0-1-2-3
+        let p = PatternBuilder::new(4).path(&[0, 1, 2, 3]).build();
+        assert_eq!(p.span(0), 3);
+        assert_eq!(p.span(1), 2);
+        assert_eq!(p.span(2), 2);
+        assert_eq!(p.diameter(), 3);
+    }
+
+    #[test]
+    fn connected_dominating_set_checks() {
+        let p = PatternBuilder::new(4).path(&[0, 1, 2, 3]).build();
+        assert!(p.is_connected_dominating_set(&[1, 2]));
+        assert!(!p.is_connected_dominating_set(&[1])); // 3 not dominated
+        assert!(!p.is_connected_dominating_set(&[0, 3])); // not connected
+        assert_eq!(p.connected_domination_number(), 2);
+        assert_eq!(p.maximum_leaf_number(), 2);
+    }
+
+    #[test]
+    fn star_has_domination_number_one() {
+        let p = PatternBuilder::new(5)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(0, 3)
+            .edge(0, 4)
+            .build();
+        assert_eq!(p.connected_domination_number(), 1);
+        assert_eq!(p.maximum_leaf_number(), 4);
+        assert_eq!(p.span(0), 1);
+        assert_eq!(p.span(1), 2);
+    }
+
+    #[test]
+    fn triangle_domination() {
+        let p = PatternBuilder::new(3).clique(&[0, 1, 2]).build();
+        assert_eq!(p.connected_domination_number(), 1);
+        assert_eq!(p.edge_count(), 3);
+        assert_eq!(p.diameter(), 1);
+    }
+
+    #[test]
+    fn induced_subpattern() {
+        let p = square_with_diagonal();
+        let (sub, map) = p.induced(&[0, 1, 2]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 3); // triangle 0-1-2 + diagonal 0-2
+        assert_eq!(map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn paper_running_example_spans() {
+        // Figure 2(a): u0 adjacent to u1, u2, u7, u8, u9; u1-u3, u1-u4, u2-u5,
+        // u2-u6, u1-u2, u3-u4, u4-u5, u5-u6, u8-u9.
+        let p = crate::queries::running_example_pattern();
+        assert_eq!(p.vertex_count(), 10);
+        // From Section 4.2 style reasoning: u0 reaches the leaves in 2 hops.
+        assert_eq!(p.span(0), 2);
+        assert!(p.is_connected());
+    }
+}

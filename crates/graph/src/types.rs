@@ -1,0 +1,106 @@
+//! Fundamental identifier types shared across the workspace.
+
+/// Identifier of a vertex in the *data graph*.
+///
+/// The paper's largest dataset (UK2002) has 18.5M vertices, and our simulated
+/// datasets stay well below that, so `u32` is sufficient and keeps the CSR
+/// arrays, embedding tries and network messages compact.
+pub type VertexId = u32;
+
+/// Identifier of a vertex in the *query pattern*.
+///
+/// Patterns have at most a dozen vertices; `usize` keeps indexing ergonomic.
+pub type PatternVertex = usize;
+
+/// An undirected data-graph edge, stored with the smaller endpoint first so it
+/// can be used directly as a set/map key (e.g. in the edge-verification index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeKey {
+    /// Smaller endpoint.
+    pub lo: VertexId,
+    /// Larger endpoint.
+    pub hi: VertexId,
+}
+
+impl EdgeKey {
+    /// Creates a canonical edge key from an unordered vertex pair.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (self-loops are not valid edges in this workspace).
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert_ne!(a, b, "self-loops are not supported");
+        if a < b {
+            EdgeKey { lo: a, hi: b }
+        } else {
+            EdgeKey { lo: b, hi: a }
+        }
+    }
+
+    /// Returns the two endpoints in `(lo, hi)` order.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns `true` if `v` is one of the endpoints.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.lo == v || self.hi == v
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of this edge.
+    pub fn other(&self, v: VertexId) -> VertexId {
+        if v == self.lo {
+            self.hi
+        } else if v == self.hi {
+            self.lo
+        } else {
+            panic!("vertex {v} is not an endpoint of edge ({}, {})", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_key_is_canonical() {
+        assert_eq!(EdgeKey::new(3, 7), EdgeKey::new(7, 3));
+        assert_eq!(EdgeKey::new(3, 7).endpoints(), (3, 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_key_rejects_self_loop() {
+        let _ = EdgeKey::new(5, 5);
+    }
+
+    #[test]
+    fn edge_key_contains_and_other() {
+        let e = EdgeKey::new(10, 2);
+        assert!(e.contains(10));
+        assert!(e.contains(2));
+        assert!(!e.contains(3));
+        assert_eq!(e.other(2), 10);
+        assert_eq!(e.other(10), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_key_other_panics_for_non_endpoint() {
+        let e = EdgeKey::new(1, 2);
+        let _ = e.other(3);
+    }
+
+    #[test]
+    fn edge_key_ordering_is_lexicographic() {
+        let mut keys = vec![EdgeKey::new(5, 1), EdgeKey::new(0, 9), EdgeKey::new(1, 2)];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![EdgeKey::new(0, 9), EdgeKey::new(1, 2), EdgeKey::new(1, 5)]
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Graph partitioning substrate for the RADS reproduction.
+//!
+//! The paper partitions the data graph across `m` machines with METIS and
+//! stores, on each machine, the adjacency lists of the vertices it *owns*
+//! plus a replicated ownership map (one byte per vertex). This crate provides:
+//!
+//! * [`Partitioning`] — the assignment of every vertex to a machine.
+//! * [`LocalPartition`] — what one machine stores: adjacency lists of owned
+//!   vertices, the set of border vertices, border distances (Definition 1),
+//!   and local edge verification.
+//! * [`PartitionedGraph`] — the whole cluster view (all local partitions plus
+//!   the replicated ownership map), which the runtime hands to each machine.
+//! * [`partitioner`] — partitioning algorithms: hash (no locality), BFS blocks
+//!   (cheap locality), and a label-propagation + greedy refinement partitioner
+//!   standing in for METIS's multilevel k-way algorithm.
+//! * [`stats`] — partition quality metrics (edge cut, balance, border
+//!   fraction) used by tests and the experiment harness.
+
+pub mod local;
+pub mod partitioner;
+pub mod partitioning;
+pub mod stats;
+
+pub use local::LocalPartition;
+pub use partitioner::{
+    BfsPartitioner, HashPartitioner, LabelPropagationPartitioner, Partitioner, PartitionerKind,
+};
+pub use partitioning::{MachineId, PartitionedGraph, Partitioning};
+pub use stats::PartitionStats;

@@ -1,0 +1,323 @@
+//! Partitioning algorithms.
+//!
+//! The paper uses METIS's multilevel k-way partitioner. METIS is not
+//! available offline, so this module provides three partitioners spanning the
+//! locality spectrum:
+//!
+//! * [`HashPartitioner`] — vertex id modulo machine count. No locality; the
+//!   adversarial case where almost every vertex is a border vertex.
+//! * [`BfsPartitioner`] — contiguous BFS blocks of equal size. Cheap and
+//!   already gives road-network-style locality.
+//! * [`LabelPropagationPartitioner`] — balanced label propagation followed by
+//!   greedy boundary refinement, our stand-in for METIS: it minimizes the edge
+//!   cut while keeping parts balanced within a configurable slack.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use rads_graph::{algorithms, Graph, VertexId};
+
+use crate::partitioning::Partitioning;
+
+/// A k-way graph partitioner.
+pub trait Partitioner {
+    /// Splits `graph` into `machines` parts.
+    fn partition(&self, graph: &Graph, machines: usize) -> Partitioning;
+
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Which partitioner to use; a small enum so experiment configs stay `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// [`HashPartitioner`]
+    Hash,
+    /// [`BfsPartitioner`]
+    Bfs,
+    /// [`LabelPropagationPartitioner`] with default settings
+    LabelPropagation,
+}
+
+impl PartitionerKind {
+    /// Instantiates the partitioner.
+    pub fn build(self) -> Box<dyn Partitioner> {
+        match self {
+            PartitionerKind::Hash => Box::new(HashPartitioner),
+            PartitionerKind::Bfs => Box::new(BfsPartitioner),
+            PartitionerKind::LabelPropagation => Box::new(LabelPropagationPartitioner::default()),
+        }
+    }
+}
+
+/// Assigns vertex `v` to machine `v % m`. Maximum dispersion, no locality.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, graph: &Graph, machines: usize) -> Partitioning {
+        assert!(machines > 0);
+        let assignment = (0..graph.vertex_count()).map(|v| v % machines).collect();
+        Partitioning::new(assignment, machines)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Splits the graph into `m` equal-size blocks of a global BFS order, so each
+/// part is a connected, local chunk when the graph has spatial structure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BfsPartitioner;
+
+impl Partitioner for BfsPartitioner {
+    fn partition(&self, graph: &Graph, machines: usize) -> Partitioning {
+        assert!(machines > 0);
+        let n = graph.vertex_count();
+        if n == 0 {
+            return Partitioning::new(Vec::new(), machines);
+        }
+        // Global BFS order over all components.
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            queue.push_back(start as VertexId);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                for &w in graph.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        // Contiguous BFS blocks of (almost) equal size: machine of BFS rank r
+        // is `r * machines / n`, which keeps every machine non-empty whenever
+        // n >= machines.
+        let mut assignment = vec![0usize; n];
+        for (rank, &v) in order.iter().enumerate() {
+            assignment[v as usize] = (rank * machines / n).min(machines - 1);
+        }
+        Partitioning::new(assignment, machines)
+    }
+
+    fn name(&self) -> &'static str {
+        "bfs-blocks"
+    }
+}
+
+/// Balanced label propagation + greedy refinement, the METIS stand-in.
+#[derive(Debug, Clone)]
+pub struct LabelPropagationPartitioner {
+    /// Number of label-propagation sweeps.
+    pub iterations: usize,
+    /// Maximum allowed imbalance: a part may hold at most
+    /// `ceil(n / m) * (1 + slack)` vertices.
+    pub balance_slack: f64,
+    /// RNG seed (vertex visit order is shuffled each sweep).
+    pub seed: u64,
+}
+
+impl Default for LabelPropagationPartitioner {
+    fn default() -> Self {
+        LabelPropagationPartitioner { iterations: 8, balance_slack: 0.05, seed: 0x5ADD }
+    }
+}
+
+impl LabelPropagationPartitioner {
+    /// Creates a partitioner with explicit parameters.
+    pub fn new(iterations: usize, balance_slack: f64, seed: u64) -> Self {
+        LabelPropagationPartitioner { iterations, balance_slack, seed }
+    }
+}
+
+impl Partitioner for LabelPropagationPartitioner {
+    fn partition(&self, graph: &Graph, machines: usize) -> Partitioning {
+        assert!(machines > 0);
+        let n = graph.vertex_count();
+        if n == 0 {
+            return Partitioning::new(Vec::new(), machines);
+        }
+        // Seed with the BFS partitioner so the initial solution is already
+        // balanced and somewhat local.
+        let mut assignment = BfsPartitioner.partition(graph, machines).assignment().to_vec();
+        let cap = ((n.div_ceil(machines)) as f64 * (1.0 + self.balance_slack)).ceil() as usize;
+        let mut sizes = vec![0usize; machines];
+        for &m in &assignment {
+            sizes[m] += 1;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut visit: Vec<VertexId> = (0..n as VertexId).collect();
+        let mut gains = vec![0usize; machines];
+        for _ in 0..self.iterations {
+            visit.shuffle(&mut rng);
+            let mut moved = 0usize;
+            for &v in &visit {
+                let current = assignment[v as usize];
+                for g in gains.iter_mut() {
+                    *g = 0;
+                }
+                for &w in graph.neighbors(v) {
+                    gains[assignment[w as usize]] += 1;
+                }
+                // Best target respecting the balance cap.
+                let mut best = current;
+                let mut best_gain = gains[current];
+                for (m, &g) in gains.iter().enumerate() {
+                    if m == current {
+                        continue;
+                    }
+                    if g > best_gain && sizes[m] + 1 <= cap {
+                        best = m;
+                        best_gain = g;
+                    }
+                }
+                if best != current && sizes[current] > 1 {
+                    sizes[current] -= 1;
+                    sizes[best] += 1;
+                    assignment[v as usize] = best;
+                    moved += 1;
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+        // Guarantee every machine owns at least one vertex (degenerate inputs).
+        for m in 0..machines {
+            if sizes[m] == 0 {
+                if let Some(v) = (0..n).find(|&v| sizes[assignment[v]] > 1) {
+                    sizes[assignment[v]] -= 1;
+                    assignment[v] = m;
+                    sizes[m] += 1;
+                }
+            }
+        }
+        Partitioning::new(assignment, machines)
+    }
+
+    fn name(&self) -> &'static str {
+        "label-propagation"
+    }
+}
+
+/// Edge cut of an assignment: number of edges whose endpoints live on
+/// different machines.
+pub fn edge_cut(graph: &Graph, partitioning: &Partitioning) -> usize {
+    graph
+        .edges()
+        .filter(|&(u, v)| partitioning.owner(u) != partitioning.owner(v))
+        .count()
+}
+
+/// Convenience: partition and return quality statistics alongside.
+pub fn partition_with_stats(
+    partitioner: &dyn Partitioner,
+    graph: &Graph,
+    machines: usize,
+) -> (Partitioning, crate::stats::PartitionStats) {
+    let p = partitioner.partition(graph, machines);
+    let stats = crate::stats::PartitionStats::compute(graph, &p);
+    (p, stats)
+}
+
+/// Check partitions stay connected enough for BFS-based diameters; used by a
+/// couple of tests that need a quick sanity signal.
+pub fn largest_part_fraction(partitioning: &Partitioning) -> f64 {
+    let sizes = partitioning.sizes();
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    let total: usize = sizes.iter().sum();
+    if total == 0 {
+        0.0
+    } else {
+        max as f64 / total as f64
+    }
+}
+
+/// Re-export used by tests: connectivity helper from `rads-graph`.
+pub use algorithms::is_connected;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::{barabasi_albert, community_graph, grid_2d};
+
+    #[test]
+    fn hash_partitioner_is_balanced_but_cuts_everything() {
+        let g = grid_2d(10, 10);
+        let p = HashPartitioner.partition(&g, 4);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().all(|&s| s == 25));
+        // a grid has no edges between vertices with equal id mod 4 except
+        // distance-4 pairs, so nearly every edge is cut
+        let cut = edge_cut(&g, &p);
+        assert!(cut as f64 > 0.9 * g.edge_count() as f64);
+    }
+
+    #[test]
+    fn bfs_partitioner_has_low_cut_on_grid() {
+        let g = grid_2d(10, 10);
+        let p = BfsPartitioner.partition(&g, 4);
+        let cut = edge_cut(&g, &p);
+        let hash_cut = edge_cut(&g, &HashPartitioner.partition(&g, 4));
+        assert!(cut < hash_cut / 2, "bfs cut {cut} not much better than hash cut {hash_cut}");
+        assert_eq!(p.sizes().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn label_propagation_beats_or_matches_bfs_on_communities() {
+        let g = community_graph(4, 25, 0.35, 0.01, 3);
+        let bfs_cut = edge_cut(&g, &BfsPartitioner.partition(&g, 4));
+        let lp = LabelPropagationPartitioner::default();
+        let p = lp.partition(&g, 4);
+        let lp_cut = edge_cut(&g, &p);
+        assert!(lp_cut <= bfs_cut, "lp cut {lp_cut} worse than bfs cut {bfs_cut}");
+        // balance within the configured slack (plus one for rounding)
+        let cap = ((100f64 / 4.0) * 1.05).ceil() as usize + 1;
+        assert!(p.sizes().iter().all(|&s| s <= cap));
+    }
+
+    #[test]
+    fn every_machine_owns_at_least_one_vertex() {
+        let g = barabasi_albert(200, 2, 5);
+        for m in [2, 3, 5, 8] {
+            for kind in [PartitionerKind::Hash, PartitionerKind::Bfs, PartitionerKind::LabelPropagation] {
+                let p = kind.build().partition(&g, m);
+                assert!(p.sizes().iter().all(|&s| s > 0), "{kind:?} with {m} machines left a machine empty");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioner_kind_names() {
+        assert_eq!(PartitionerKind::Hash.build().name(), "hash");
+        assert_eq!(PartitionerKind::Bfs.build().name(), "bfs-blocks");
+        assert_eq!(PartitionerKind::LabelPropagation.build().name(), "label-propagation");
+    }
+
+    #[test]
+    fn single_machine_partition_has_no_cut() {
+        let g = grid_2d(5, 5);
+        for kind in [PartitionerKind::Hash, PartitionerKind::Bfs, PartitionerKind::LabelPropagation] {
+            let p = kind.build().partition(&g, 1);
+            assert_eq!(edge_cut(&g, &p), 0);
+        }
+    }
+
+    #[test]
+    fn largest_part_fraction_bounds() {
+        let g = grid_2d(6, 6);
+        let p = BfsPartitioner.partition(&g, 3);
+        let f = largest_part_fraction(&p);
+        assert!(f >= 1.0 / 3.0 && f <= 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Vertex-to-machine assignments and the cluster-wide partitioned graph view.
+
+use rads_graph::{Graph, VertexId};
+
+use crate::local::LocalPartition;
+
+/// Identifier of a machine (`M_1 .. M_m` in the paper, zero-based here).
+pub type MachineId = usize;
+
+/// The assignment of every data vertex to exactly one machine.
+///
+/// This is the "ownership record" the paper assumes is replicated on every
+/// machine ("a map whose size is |V|, ... one extra byte space for each
+/// vertex", Section 3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    assignment: Vec<MachineId>,
+    num_machines: usize,
+}
+
+impl Partitioning {
+    /// Creates a partitioning from an explicit assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= num_machines` or if `num_machines == 0`.
+    pub fn new(assignment: Vec<MachineId>, num_machines: usize) -> Self {
+        assert!(num_machines > 0, "at least one machine is required");
+        for (v, &m) in assignment.iter().enumerate() {
+            assert!(m < num_machines, "vertex {v} assigned to machine {m} >= {num_machines}");
+        }
+        Partitioning { assignment, num_machines }
+    }
+
+    /// Puts every vertex on machine 0 (the degenerate single-machine case).
+    pub fn single_machine(n: usize) -> Self {
+        Partitioning { assignment: vec![0; n], num_machines: 1 }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Number of vertices covered by this partitioning.
+    pub fn vertex_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The machine that owns `v`.
+    pub fn owner(&self, v: VertexId) -> MachineId {
+        self.assignment[v as usize]
+    }
+
+    /// Whether machine `m` owns vertex `v`.
+    pub fn owns(&self, m: MachineId, v: VertexId) -> bool {
+        self.owner(v) == m
+    }
+
+    /// All vertices owned by machine `m` (in increasing id order).
+    pub fn owned_vertices(&self, m: MachineId) -> Vec<VertexId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == m)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Number of vertices owned by each machine.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_machines];
+        for &m in &self.assignment {
+            sizes[m] += 1;
+        }
+        sizes
+    }
+
+    /// The raw assignment slice (indexed by vertex id).
+    pub fn assignment(&self) -> &[MachineId] {
+        &self.assignment
+    }
+
+    /// Approximate bytes needed to replicate the ownership map on one machine
+    /// (the paper stores one byte per vertex; we account a `u8` as well since
+    /// `num_machines <= 255` in all experiments).
+    pub fn replicated_bytes(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+/// The complete partitioned data graph: one [`LocalPartition`] per machine
+/// plus the replicated [`Partitioning`].
+///
+/// The runtime gives machine `t` shared access to `local(t)` and to the
+/// ownership map; access to *other* machines' partitions must go through
+/// messages (the engines never touch `local(s)` for `s != t` directly, which
+/// keeps the simulation faithful to the distributed setting).
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    partitioning: Partitioning,
+    locals: Vec<LocalPartition>,
+    global_vertex_count: usize,
+    global_edge_count: usize,
+}
+
+impl PartitionedGraph {
+    /// Splits `graph` according to `partitioning`.
+    pub fn build(graph: &Graph, partitioning: Partitioning) -> Self {
+        assert_eq!(
+            graph.vertex_count(),
+            partitioning.vertex_count(),
+            "partitioning does not cover the graph"
+        );
+        let locals = (0..partitioning.num_machines())
+            .map(|m| LocalPartition::build(graph, &partitioning, m))
+            .collect();
+        PartitionedGraph {
+            global_vertex_count: graph.vertex_count(),
+            global_edge_count: graph.edge_count(),
+            partitioning,
+            locals,
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.partitioning.num_machines()
+    }
+
+    /// The replicated ownership map.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Machine `m`'s local partition.
+    pub fn local(&self, m: MachineId) -> &LocalPartition {
+        &self.locals[m]
+    }
+
+    /// All local partitions.
+    pub fn locals(&self) -> &[LocalPartition] {
+        &self.locals
+    }
+
+    /// |V| of the global graph.
+    pub fn global_vertex_count(&self) -> usize {
+        self.global_vertex_count
+    }
+
+    /// |E| of the global graph.
+    pub fn global_edge_count(&self) -> usize {
+        self.global_edge_count
+    }
+
+    /// The machine owning vertex `v`.
+    pub fn owner(&self, v: VertexId) -> MachineId {
+        self.partitioning.owner(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::ring_lattice;
+
+    #[test]
+    fn partitioning_basics() {
+        let p = Partitioning::new(vec![0, 1, 0, 1, 2], 3);
+        assert_eq!(p.num_machines(), 3);
+        assert_eq!(p.vertex_count(), 5);
+        assert_eq!(p.owner(3), 1);
+        assert!(p.owns(2, 4));
+        assert!(!p.owns(0, 4));
+        assert_eq!(p.owned_vertices(0), vec![0, 2]);
+        assert_eq!(p.sizes(), vec![2, 2, 1]);
+        assert_eq!(p.replicated_bytes(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partitioning_rejects_out_of_range_machines() {
+        let _ = Partitioning::new(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn single_machine_partitioning() {
+        let p = Partitioning::single_machine(4);
+        assert_eq!(p.num_machines(), 1);
+        assert!(p.owns(0, 3));
+    }
+
+    #[test]
+    fn partitioned_graph_covers_all_edges() {
+        let g = ring_lattice(12, 1);
+        let assignment: Vec<MachineId> = (0..12).map(|v| v / 4).collect();
+        let pg = PartitionedGraph::build(&g, Partitioning::new(assignment, 3));
+        assert_eq!(pg.num_machines(), 3);
+        assert_eq!(pg.global_vertex_count(), 12);
+        assert_eq!(pg.global_edge_count(), g.edge_count());
+        // every edge of the graph is owned by at least one machine
+        for (u, v) in g.edges() {
+            let covered = (0..3).any(|m| pg.local(m).verify_edge(u, v) == Some(true));
+            assert!(covered, "edge ({u},{v}) not covered");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_panic() {
+        let g = ring_lattice(6, 0);
+        let _ = PartitionedGraph::build(&g, Partitioning::single_machine(5));
+    }
+}

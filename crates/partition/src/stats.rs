@@ -1,0 +1,134 @@
+//! Partition quality metrics.
+
+use rads_graph::Graph;
+
+use crate::partitioning::Partitioning;
+
+/// Quality statistics of a partitioning, used by tests, experiments and the
+/// dataset profiles (Table 1 companion data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Number of machines.
+    pub machines: usize,
+    /// Vertices per machine.
+    pub sizes: Vec<usize>,
+    /// Number of edges with endpoints on different machines.
+    pub edge_cut: usize,
+    /// Total number of edges.
+    pub total_edges: usize,
+    /// Number of border vertices (over all machines).
+    pub border_vertices: usize,
+    /// Total number of vertices.
+    pub total_vertices: usize,
+}
+
+impl PartitionStats {
+    /// Computes statistics of `partitioning` over `graph`.
+    pub fn compute(graph: &Graph, partitioning: &Partitioning) -> Self {
+        let machines = partitioning.num_machines();
+        let sizes = partitioning.sizes();
+        let mut edge_cut = 0usize;
+        let mut is_border = vec![false; graph.vertex_count()];
+        for (u, v) in graph.edges() {
+            if partitioning.owner(u) != partitioning.owner(v) {
+                edge_cut += 1;
+                is_border[u as usize] = true;
+                is_border[v as usize] = true;
+            }
+        }
+        PartitionStats {
+            machines,
+            sizes,
+            edge_cut,
+            total_edges: graph.edge_count(),
+            border_vertices: is_border.iter().filter(|&&b| b).count(),
+            total_vertices: graph.vertex_count(),
+        }
+    }
+
+    /// Fraction of edges cut by the partitioning.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.edge_cut as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Fraction of vertices that are border vertices.
+    pub fn border_fraction(&self) -> f64 {
+        if self.total_vertices == 0 {
+            0.0
+        } else {
+            self.border_vertices as f64 / self.total_vertices as f64
+        }
+    }
+
+    /// Load imbalance: `max part size / ideal part size` (1.0 is perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.sizes.iter().copied().max().unwrap_or(0) as f64;
+        let ideal = self.total_vertices as f64 / self.machines as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "machines={} cut={}/{} ({:.1}%) border={}/{} ({:.1}%) imbalance={:.3}",
+            self.machines,
+            self.edge_cut,
+            self.total_edges,
+            100.0 * self.cut_fraction(),
+            self.border_vertices,
+            self.total_vertices,
+            100.0 * self.border_fraction(),
+            self.imbalance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{BfsPartitioner, HashPartitioner, Partitioner};
+    use rads_graph::generators::grid_2d;
+
+    #[test]
+    fn stats_on_a_grid() {
+        let g = grid_2d(8, 8);
+        let p = BfsPartitioner.partition(&g, 4);
+        let s = PartitionStats::compute(&g, &p);
+        assert_eq!(s.machines, 4);
+        assert_eq!(s.total_vertices, 64);
+        assert_eq!(s.total_edges, g.edge_count());
+        assert!(s.cut_fraction() > 0.0 && s.cut_fraction() < 0.5);
+        assert!(s.border_fraction() < 0.8);
+        assert!(s.imbalance() >= 1.0 && s.imbalance() < 1.2);
+        let rendered = format!("{s}");
+        assert!(rendered.contains("machines=4"));
+    }
+
+    #[test]
+    fn hash_partition_has_more_border_vertices_than_bfs() {
+        let g = grid_2d(10, 10);
+        let hash = PartitionStats::compute(&g, &HashPartitioner.partition(&g, 4));
+        let bfs = PartitionStats::compute(&g, &BfsPartitioner.partition(&g, 4));
+        assert!(hash.border_fraction() > bfs.border_fraction());
+        assert!(hash.edge_cut > bfs.edge_cut);
+    }
+
+    #[test]
+    fn single_machine_stats_are_trivial() {
+        let g = grid_2d(4, 4);
+        let s = PartitionStats::compute(&g, &Partitioning::single_machine(16));
+        assert_eq!(s.edge_cut, 0);
+        assert_eq!(s.border_vertices, 0);
+        assert!((s.imbalance() - 1.0).abs() < 1e-9);
+    }
+}

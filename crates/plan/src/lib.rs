@@ -1,0 +1,33 @@
+//! Query decomposition and execution-plan computation (Section 4 of the
+//! paper).
+//!
+//! An execution plan decomposes the query pattern into a sequence of
+//! *decomposition units*, each a pivot vertex plus a set of leaf vertices
+//! (Definition 6/7). The R-Meef engine processes one unit per round, so the
+//! plan determines:
+//!
+//! * how many rounds there are (the paper proves the minimum equals the
+//!   connected domination number `c_P`, Theorem 1),
+//! * which query vertex every machine starts from (`dp0.piv`), and therefore
+//!   how much work SM-E can keep local (the span heuristic of Section 4.2),
+//! * where the verification edges fall, i.e. how early false candidates can
+//!   be filtered (the scoring function of Section 4.3).
+//!
+//! This crate provides:
+//!
+//! * [`DecompositionUnit`] / [`ExecutionPlan`] — the plan representation with
+//!   all derived information engines need (sub-patterns, expansion / sibling /
+//!   cross-unit edges, the matching order of Definition 10);
+//! * [`compute`] — the heuristic planner implementing the paper's rule chain
+//!   (minimum rounds → minimum span → maximum early filtering → pivot
+//!   degree);
+//! * [`random`] — the `RanS` (random stars) and `RanM` (random minimum-round)
+//!   baseline planners used in the Figure 13 ablation.
+
+pub mod compute;
+pub mod plan;
+pub mod random;
+
+pub use compute::{best_plan, enumerate_minimum_round_plans, PlannerConfig};
+pub use plan::{DecompositionUnit, EdgeClass, ExecutionPlan, PlanError};
+pub use random::{random_min_round_plan, random_star_plan};

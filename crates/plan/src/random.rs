@@ -1,0 +1,110 @@
+//! The baseline planners of the Figure 13 ablation.
+//!
+//! * `RanS` — a plan made of random star decomposition units (no limit on
+//!   star size, no round-count optimization).
+//! * `RanM` — a random plan among those with the minimum number of rounds
+//!   (ignores the span and scoring heuristics of Sections 4.2–4.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rads_graph::{Pattern, PatternVertex};
+
+use crate::compute::enumerate_minimum_round_plans;
+use crate::plan::{DecompositionUnit, ExecutionPlan};
+
+/// `RanS`: a random star decomposition. Starting from a random vertex, each
+/// round picks a random already-covered vertex that still has uncovered
+/// neighbours and takes a random non-empty subset of them as leaves.
+pub fn random_star_plan(pattern: &Pattern, seed: u64) -> ExecutionPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = pattern.vertex_count();
+    let mut covered = vec![false; n];
+    let start = rng.gen_range(0..n);
+    covered[start] = true;
+    let mut units: Vec<DecompositionUnit> = Vec::new();
+    while covered.iter().any(|&c| !c) {
+        // candidate pivots: covered vertices with at least one uncovered neighbour
+        let mut pivots: Vec<PatternVertex> = pattern
+            .vertices()
+            .filter(|&v| covered[v] && pattern.neighbors(v).iter().any(|&w| !covered[w]))
+            .collect();
+        pivots.shuffle(&mut rng);
+        let pivot = pivots[0];
+        let mut uncovered: Vec<PatternVertex> = pattern
+            .neighbors(pivot)
+            .iter()
+            .copied()
+            .filter(|&w| !covered[w])
+            .collect();
+        uncovered.shuffle(&mut rng);
+        // random non-empty prefix
+        let take = rng.gen_range(1..=uncovered.len());
+        let leaves: Vec<PatternVertex> = uncovered.into_iter().take(take).collect();
+        for &l in &leaves {
+            covered[l] = true;
+        }
+        units.push(DecompositionUnit::new(pivot, leaves));
+    }
+    ExecutionPlan::new(pattern.clone(), units)
+        .expect("random star construction always yields a valid plan")
+}
+
+/// `RanM`: a uniformly random plan among the enumerated minimum-round plans.
+pub fn random_min_round_plan(pattern: &Pattern, seed: u64) -> ExecutionPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plans = enumerate_minimum_round_plans(pattern);
+    let min_rounds = plans.iter().map(|p| p.rounds()).min().unwrap();
+    let minimal: Vec<ExecutionPlan> =
+        plans.into_iter().filter(|p| p.rounds() == min_rounds).collect();
+    minimal[rng.gen_range(0..minimal.len())].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::queries;
+
+    #[test]
+    fn random_star_plan_is_valid_and_reproducible() {
+        for nq in queries::standard_query_set() {
+            for seed in 0..5u64 {
+                let a = random_star_plan(&nq.pattern, seed);
+                let b = random_star_plan(&nq.pattern, seed);
+                assert_eq!(a.units(), b.units(), "{} seed {seed} not reproducible", nq.name);
+                // plan covers all vertices — ExecutionPlan::new validated it
+                assert_eq!(a.matching_order().len(), nq.pattern.vertex_count());
+                assert!(a.rounds() >= nq.pattern.connected_domination_number());
+            }
+        }
+    }
+
+    #[test]
+    fn random_star_plans_vary_with_seed() {
+        let p = queries::running_example_pattern();
+        let distinct: std::collections::HashSet<usize> =
+            (0..20).map(|s| random_star_plan(&p, s).rounds()).collect();
+        assert!(distinct.len() > 1, "RanS should produce varying round counts");
+    }
+
+    #[test]
+    fn random_min_round_plan_has_minimum_rounds() {
+        for nq in queries::standard_query_set() {
+            let c_p = nq.pattern.connected_domination_number();
+            for seed in 0..3u64 {
+                let plan = random_min_round_plan(&nq.pattern, seed);
+                assert_eq!(plan.rounds(), c_p, "{} seed {seed}", nq.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ran_s_generally_uses_more_rounds_than_ran_m() {
+        let p = queries::running_example_pattern();
+        let avg_rans: f64 =
+            (0..10).map(|s| random_star_plan(&p, s).rounds() as f64).sum::<f64>() / 10.0;
+        let ranm = random_min_round_plan(&p, 0).rounds() as f64;
+        assert!(avg_rans >= ranm);
+    }
+}

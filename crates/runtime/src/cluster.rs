@@ -1,0 +1,479 @@
+//! The cluster simulator: machines, daemon threads and engine threads.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use rads_graph::VertexId;
+use rads_partition::{LocalPartition, MachineId, PartitionedGraph, Partitioning};
+
+use crate::exchange::RowExchange;
+use crate::message::{request_bytes, response_bytes, Request, Response};
+use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
+
+/// A machine's daemon: answers requests arriving from other machines.
+///
+/// The runtime runs one daemon per machine on its own thread, concurrently
+/// with the machine's engine thread — the paper's "daemon threads listen to
+/// requests from other machines" (Section 3.1). Implementations are expected
+/// to answer from the machine's local partition and any engine-shared state
+/// (e.g. the region-group queue for `checkR` / `shareR`).
+pub trait Daemon: Send + Sync {
+    /// Handles one request from machine `from`.
+    fn handle(&self, from: MachineId, request: Request) -> Response;
+}
+
+/// The default daemon: answers `verifyE` and `fetchV` from the machine's
+/// local partition and reports every other request as unsupported.
+pub struct PartitionDaemon {
+    partitioned: Arc<PartitionedGraph>,
+    machine: MachineId,
+}
+
+impl PartitionDaemon {
+    /// Creates the daemon for `machine`.
+    pub fn new(partitioned: Arc<PartitionedGraph>, machine: MachineId) -> Self {
+        PartitionDaemon { partitioned, machine }
+    }
+
+    /// Answers a `verifyE` request against a local partition.
+    pub fn verify_edges(local: &LocalPartition, pairs: &[(VertexId, VertexId)]) -> Vec<bool> {
+        pairs
+            .iter()
+            .map(|&(u, v)| local.verify_edge(u, v).unwrap_or(false))
+            .collect()
+    }
+
+    /// Answers a `fetchV` request against a local partition. Vertices not
+    /// owned by the partition are returned with an empty adjacency list.
+    pub fn fetch_vertices(local: &LocalPartition, vertices: &[VertexId]) -> Vec<(VertexId, Vec<VertexId>)> {
+        vertices
+            .iter()
+            .map(|&v| (v, local.neighbors(v).map(|n| n.to_vec()).unwrap_or_default()))
+            .collect()
+    }
+}
+
+impl Daemon for PartitionDaemon {
+    fn handle(&self, _from: MachineId, request: Request) -> Response {
+        let local = self.partitioned.local(self.machine);
+        match request {
+            Request::VerifyEdges(pairs) => {
+                Response::EdgeVerification(Self::verify_edges(local, &pairs))
+            }
+            Request::FetchVertices(vs) => Response::Adjacency(Self::fetch_vertices(local, &vs)),
+            Request::CheckRegionGroups
+            | Request::ShareRegionGroup
+            | Request::DeliverRows { .. } => Response::Unsupported,
+        }
+    }
+}
+
+/// A request envelope travelling to a daemon.
+struct Envelope {
+    from: MachineId,
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// Everything an engine thread needs to act as one machine of the cluster.
+pub struct MachineContext {
+    machine: MachineId,
+    partitioned: Arc<PartitionedGraph>,
+    senders: Vec<Sender<Envelope>>,
+    stats: Arc<NetworkStats>,
+    exchange: Arc<RowExchange>,
+    barrier: Arc<Barrier>,
+    config: NetworkConfig,
+    local_daemon: Arc<dyn Daemon>,
+}
+
+impl MachineContext {
+    /// This machine's id.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Number of machines in the cluster.
+    pub fn machines(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The local partition of this machine.
+    pub fn partition(&self) -> &LocalPartition {
+        self.partitioned.local(self.machine)
+    }
+
+    /// The replicated ownership map.
+    pub fn ownership(&self) -> &Partitioning {
+        self.partitioned.partitioning()
+    }
+
+    /// The whole partitioned graph (engines must only read their own
+    /// partition plus the ownership map; remote data goes through requests).
+    pub fn partitioned(&self) -> &Arc<PartitionedGraph> {
+        &self.partitioned
+    }
+
+    /// Sends `request` to machine `to` and blocks until the response arrives.
+    ///
+    /// A request addressed to the local machine is served inline by the local
+    /// daemon and does not count as network traffic.
+    pub fn request(&self, to: MachineId, request: Request) -> Response {
+        if to == self.machine {
+            return self.local_daemon.handle(self.machine, request);
+        }
+        let req_bytes = request_bytes(&request);
+        self.stats.record_request(self.machine, req_bytes);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.senders[to]
+            .send(Envelope { from: self.machine, request, reply: reply_tx })
+            .expect("daemon thread is alive while engines run");
+        let response = reply_rx.recv().expect("daemon always replies");
+        let resp_bytes = response_bytes(&response);
+        self.stats.record_response(to, self.machine, resp_bytes);
+        let delay = self.config.transfer_delay(req_bytes) + self.config.transfer_delay(resp_bytes);
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
+        response
+    }
+
+    /// Sends `request` to every *other* machine and collects the responses.
+    pub fn broadcast(&self, request: Request) -> Vec<(MachineId, Response)> {
+        (0..self.machines())
+            .filter(|&m| m != self.machine)
+            .map(|m| (m, self.request(m, request.clone())))
+            .collect()
+    }
+
+    /// Waits until every machine has reached the barrier (synchronous
+    /// supersteps for the baselines; RADS never calls this in its main path).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sends intermediate-result rows to `to` under `tag` (shuffle primitive).
+    pub fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
+        self.exchange.send(&self.stats, self.machine, to, tag, rows);
+    }
+
+    /// Drains the rows addressed to this machine under `tag`.
+    pub fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>> {
+        self.exchange.take(self.machine, tag)
+    }
+
+    /// Current traffic snapshot of the whole cluster.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+/// Result of a cluster run.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// The value returned by each machine's engine, indexed by machine id.
+    pub results: Vec<R>,
+    /// Network traffic generated by the run.
+    pub traffic: TrafficSnapshot,
+    /// Wall-clock time of the whole run (spawn to last engine completion).
+    pub elapsed: Duration,
+}
+
+/// The cluster simulator.
+pub struct Cluster {
+    partitioned: Arc<PartitionedGraph>,
+    config: NetworkConfig,
+}
+
+impl Cluster {
+    /// A cluster over an already-partitioned graph with default (zero-cost)
+    /// network accounting.
+    pub fn new(partitioned: Arc<PartitionedGraph>) -> Self {
+        Cluster { partitioned, config: NetworkConfig::default() }
+    }
+
+    /// A cluster with an explicit network model.
+    pub fn with_network(partitioned: Arc<PartitionedGraph>, config: NetworkConfig) -> Self {
+        Cluster { partitioned, config }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.partitioned.num_machines()
+    }
+
+    /// The partitioned graph.
+    pub fn partitioned(&self) -> &Arc<PartitionedGraph> {
+        &self.partitioned
+    }
+
+    /// Runs a distributed computation with the default [`PartitionDaemon`] on
+    /// every machine.
+    pub fn run<R, F>(&self, engine: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&MachineContext) -> R + Send + Sync,
+    {
+        let daemons: Vec<Arc<dyn Daemon>> = (0..self.machines())
+            .map(|m| Arc::new(PartitionDaemon::new(self.partitioned.clone(), m)) as Arc<dyn Daemon>)
+            .collect();
+        self.run_with_daemons(daemons, engine)
+    }
+
+    /// Runs a distributed computation with user-provided daemons (one per
+    /// machine). The engine closure is invoked once per machine, on its own
+    /// thread, with that machine's [`MachineContext`].
+    pub fn run_with_daemons<R, F>(&self, daemons: Vec<Arc<dyn Daemon>>, engine: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&MachineContext) -> R + Send + Sync,
+    {
+        let machines = self.machines();
+        assert_eq!(daemons.len(), machines, "one daemon per machine is required");
+        let stats = Arc::new(NetworkStats::new(machines));
+        let exchange = Arc::new(RowExchange::new(machines));
+        let barrier = Arc::new(Barrier::new(machines));
+
+        let mut daemon_channels = Vec::with_capacity(machines);
+        let mut senders = Vec::with_capacity(machines);
+        for _ in 0..machines {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            daemon_channels.push(rx);
+        }
+
+        let start = Instant::now();
+        let mut results: Vec<Option<R>> = (0..machines).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            // Daemon threads: serve requests until every sender is dropped.
+            for (m, rx) in daemon_channels.into_iter().enumerate() {
+                let daemon = daemons[m].clone();
+                scope.spawn(move || {
+                    while let Ok(envelope) = rx.recv() {
+                        let response = daemon.handle(envelope.from, envelope.request);
+                        // The requester may have given up (engine finished);
+                        // ignore a closed reply channel.
+                        let _ = envelope.reply.send(response);
+                    }
+                });
+            }
+
+            // Engine threads.
+            let mut handles = Vec::with_capacity(machines);
+            for m in 0..machines {
+                let ctx = MachineContext {
+                    machine: m,
+                    partitioned: self.partitioned.clone(),
+                    senders: senders.clone(),
+                    stats: stats.clone(),
+                    exchange: exchange.clone(),
+                    barrier: barrier.clone(),
+                    config: self.config,
+                    local_daemon: daemons[m].clone(),
+                };
+                let engine = &engine;
+                handles.push(scope.spawn(move || {
+                    let ctx = ctx; // move into the thread
+                    engine(&ctx)
+                }));
+            }
+            for (m, handle) in handles.into_iter().enumerate() {
+                results[m] = Some(handle.join().expect("engine thread panicked"));
+            }
+            // All engines are done: drop the request senders so the daemon
+            // threads observe channel closure and exit before the scope ends.
+            drop(senders);
+        });
+
+        RunOutcome {
+            results: results.into_iter().map(|r| r.expect("every engine ran")).collect(),
+            traffic: stats.snapshot(),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::ring_lattice;
+    use rads_partition::{BfsPartitioner, Partitioner};
+
+    fn small_cluster(machines: usize) -> Cluster {
+        let g = ring_lattice(24, 1);
+        let partitioning = BfsPartitioner.partition(&g, machines);
+        Cluster::new(Arc::new(PartitionedGraph::build(&g, partitioning)))
+    }
+
+    #[test]
+    fn engines_run_on_every_machine() {
+        let cluster = small_cluster(4);
+        let outcome = cluster.run(|ctx| ctx.machine());
+        assert_eq!(outcome.results, vec![0, 1, 2, 3]);
+        assert_eq!(outcome.traffic.messages, 0);
+    }
+
+    #[test]
+    fn remote_fetch_returns_adjacency_and_counts_traffic() {
+        let cluster = small_cluster(2);
+        let outcome = cluster.run(|ctx| {
+            if ctx.machine() == 0 {
+                // fetch a vertex owned by machine 1
+                let foreign = ctx
+                    .ownership()
+                    .owned_vertices(1)
+                    .first()
+                    .copied()
+                    .expect("machine 1 owns vertices");
+                let response = ctx.request(1, Request::FetchVertices(vec![foreign]));
+                match response {
+                    Response::Adjacency(lists) => lists[0].1.len(),
+                    other => panic!("unexpected response {other:?}"),
+                }
+            } else {
+                0
+            }
+        });
+        assert_eq!(outcome.results[0], 4); // ring_lattice(24, 1) is 4-regular
+        assert!(outcome.traffic.messages >= 1);
+        assert!(outcome.traffic.total_bytes > 0);
+    }
+
+    #[test]
+    fn local_requests_are_free() {
+        let cluster = small_cluster(2);
+        let outcome = cluster.run(|ctx| {
+            let own = ctx.partition().owned_vertices()[0];
+            let response = ctx.request(ctx.machine(), Request::FetchVertices(vec![own]));
+            matches!(response, Response::Adjacency(_))
+        });
+        assert!(outcome.results.iter().all(|&ok| ok));
+        assert_eq!(outcome.traffic.messages, 0);
+        assert_eq!(outcome.traffic.total_bytes, 0);
+    }
+
+    #[test]
+    fn verify_edges_across_machines() {
+        let g = ring_lattice(12, 0); // simple cycle 0-1-...-11-0
+        let partitioning = BfsPartitioner.partition(&g, 3);
+        let cluster = Cluster::new(Arc::new(PartitionedGraph::build(&g, partitioning)));
+        let outcome = cluster.run(|ctx| {
+            if ctx.machine() != 0 {
+                return (true, true);
+            }
+            // edge (0,1) exists; (0,2) does not; ask a machine that owns 0 or 1
+            let owner = ctx.ownership().owner(1);
+            let resp = ctx.request(owner, Request::VerifyEdges(vec![(0, 1), (0, 2)]));
+            match resp {
+                Response::EdgeVerification(v) => (v[0], !v[1]),
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        assert!(outcome.results.iter().all(|&(a, b)| a && b));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_machines() {
+        let cluster = small_cluster(4);
+        let outcome = cluster.run(|ctx| ctx.broadcast(Request::CheckRegionGroups).len());
+        assert!(outcome.results.iter().all(|&n| n == 3));
+        // every machine sent 3 requests
+        assert_eq!(outcome.traffic.messages, 12);
+    }
+
+    #[test]
+    fn unsupported_requests_get_unsupported_response() {
+        let cluster = small_cluster(2);
+        let outcome = cluster.run(|ctx| {
+            if ctx.machine() == 0 {
+                matches!(ctx.request(1, Request::ShareRegionGroup), Response::Unsupported)
+            } else {
+                true
+            }
+        });
+        assert!(outcome.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn barrier_and_row_exchange_synchronize_supersteps() {
+        let cluster = small_cluster(3);
+        let outcome = cluster.run(|ctx| {
+            // superstep 1: everyone sends one row to machine (m+1) % 3
+            let target = (ctx.machine() + 1) % ctx.machines();
+            ctx.send_rows(target, 1, vec![vec![ctx.machine() as u32]]);
+            ctx.barrier();
+            // superstep 2: read what arrived
+            let rows = ctx.take_rows(1);
+            rows.len()
+        });
+        assert_eq!(outcome.results, vec![1, 1, 1]);
+        assert!(outcome.traffic.total_bytes > 0);
+    }
+
+    #[test]
+    fn custom_daemons_can_serve_shared_state() {
+        struct CountingDaemon {
+            base: PartitionDaemon,
+            counter: std::sync::atomic::AtomicUsize,
+        }
+        impl Daemon for CountingDaemon {
+            fn handle(&self, from: MachineId, request: Request) -> Response {
+                if matches!(request, Request::CheckRegionGroups) {
+                    let n = self.counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    return Response::RegionGroupCount(n);
+                }
+                self.base.handle(from, request)
+            }
+        }
+        let cluster = small_cluster(2);
+        let daemons: Vec<Arc<dyn Daemon>> = (0..2)
+            .map(|m| {
+                Arc::new(CountingDaemon {
+                    base: PartitionDaemon::new(cluster.partitioned().clone(), m),
+                    counter: std::sync::atomic::AtomicUsize::new(10 * m),
+                }) as Arc<dyn Daemon>
+            })
+            .collect();
+        let outcome = cluster.run_with_daemons(daemons, |ctx| {
+            let peer = 1 - ctx.machine();
+            match ctx.request(peer, Request::CheckRegionGroups) {
+                Response::RegionGroupCount(n) => n,
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        // machine 0 asked machine 1 (counter starts at 10), and vice versa
+        assert_eq!(outcome.results.iter().copied().collect::<std::collections::HashSet<_>>(),
+                   [0usize, 10].into_iter().collect());
+    }
+
+    #[test]
+    fn elapsed_time_is_reported() {
+        let cluster = small_cluster(2);
+        let outcome = cluster.run(|_| std::thread::sleep(Duration::from_millis(5)));
+        assert!(outcome.elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn latency_model_slows_remote_requests() {
+        let g = ring_lattice(12, 0);
+        let partitioning = BfsPartitioner.partition(&g, 2);
+        let pg = Arc::new(PartitionedGraph::build(&g, partitioning));
+        let config = NetworkConfig {
+            latency_per_message: Duration::from_millis(2),
+            bytes_per_second: None,
+        };
+        let cluster = Cluster::with_network(pg, config);
+        let outcome = cluster.run(|ctx| {
+            if ctx.machine() == 0 {
+                for _ in 0..5 {
+                    ctx.request(1, Request::CheckRegionGroups);
+                }
+            }
+        });
+        // 5 round trips x 2 messages x 2ms latency each = at least 20ms
+        assert!(outcome.elapsed >= Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,36 @@
+//! In-process distributed runtime simulator.
+//!
+//! The paper runs RADS and the baselines on an MPI cluster where every machine
+//! hosts (a) daemon threads answering `verifyE` / `fetchV` / `checkR` /
+//! `shareR` requests and (b) the enumeration thread. This crate reproduces
+//! that architecture with threads inside one process:
+//!
+//! * [`Cluster`] owns the partitioned data graph and spawns, per machine, a
+//!   **daemon thread** (running a user-provided [`Daemon`] implementation)
+//!   and an **engine thread** (running the distributed algorithm).
+//! * Engines talk to remote daemons through [`MachineContext::request`] —
+//!   a blocking request/response RPC over crossbeam channels. Requests to the
+//!   local machine are served directly and do **not** count as network
+//!   traffic, exactly like the paper's local verification short-cut.
+//! * [`NetworkStats`] counts messages and bytes per machine, which is what
+//!   the paper reports as "communication cost". An optional
+//!   [`NetworkConfig`] latency/bandwidth model converts bytes into simulated
+//!   wall-clock delay so that elapsed-time measurements feel the network.
+//! * Synchronous systems (TwinTwig, SEED, PSgL) additionally need barrier
+//!   supersteps and all-to-all shuffles of intermediate results;
+//!   [`MachineContext::barrier`] and the row [`exchange`] give them exactly
+//!   that while charging the same network accounting.
+//!
+//! The engines never touch another machine's partition directly — all
+//! cross-machine data flows through the messages defined in [`message`] —
+//! which is what keeps the simulation faithful to the distributed setting.
+
+pub mod cluster;
+pub mod exchange;
+pub mod message;
+pub mod network;
+
+pub use cluster::{Cluster, Daemon, MachineContext, PartitionDaemon};
+pub use exchange::RowExchange;
+pub use message::{Request, Response};
+pub use network::{NetworkConfig, NetworkStats, TrafficSnapshot};

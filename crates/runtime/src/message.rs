@@ -1,0 +1,113 @@
+//! Messages exchanged between machines.
+
+use rads_graph::VertexId;
+
+/// A request sent to another machine's daemon.
+///
+/// The first four variants are the daemon functionalities of Section 3.1;
+/// `DeliverRows` is the shuffle primitive the synchronous baselines use to
+/// redistribute intermediate results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `verifyE`: does each of these data edges exist? The receiver must own
+    /// at least one endpoint of every pair.
+    VerifyEdges(Vec<(VertexId, VertexId)>),
+    /// `fetchV`: return the adjacency lists of these vertices (which must be
+    /// owned by the receiver).
+    FetchVertices(Vec<VertexId>),
+    /// `checkR`: how many unprocessed region groups does the receiver have?
+    CheckRegionGroups,
+    /// `shareR`: hand one unprocessed region group to the requester (and mark
+    /// it processed locally).
+    ShareRegionGroup,
+    /// Deliver a batch of partial results (rows of data vertices) tagged with
+    /// an algorithm-specific channel id. Used by PSgL / TwinTwig / SEED /
+    /// Crystal for shuffling; RADS never sends this.
+    DeliverRows {
+        /// Algorithm-specific stream tag (e.g. join round number).
+        tag: u32,
+        /// The rows; all rows in one message have the same arity.
+        rows: Vec<Vec<VertexId>>,
+    },
+}
+
+/// A response returned by a daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::VerifyEdges`], in request order.
+    EdgeVerification(Vec<bool>),
+    /// Answer to [`Request::FetchVertices`]: `(vertex, adjacency list)` pairs.
+    Adjacency(Vec<(VertexId, Vec<VertexId>)>),
+    /// Answer to [`Request::CheckRegionGroups`].
+    RegionGroupCount(usize),
+    /// Answer to [`Request::ShareRegionGroup`]: a region group (candidate
+    /// vertices of the start query vertex), or `None` if none remain.
+    RegionGroup(Option<Vec<VertexId>>),
+    /// Generic acknowledgement (used for [`Request::DeliverRows`]).
+    Ack,
+    /// The receiving daemon does not implement the request.
+    Unsupported,
+}
+
+const VERTEX_BYTES: usize = std::mem::size_of::<VertexId>();
+/// Fixed per-message envelope overhead (headers, tags) charged by the
+/// accounting model.
+pub const MESSAGE_OVERHEAD_BYTES: usize = 16;
+
+/// Number of bytes a request occupies on the simulated wire.
+pub fn request_bytes(request: &Request) -> usize {
+    MESSAGE_OVERHEAD_BYTES
+        + match request {
+            Request::VerifyEdges(pairs) => pairs.len() * 2 * VERTEX_BYTES,
+            Request::FetchVertices(vs) => vs.len() * VERTEX_BYTES,
+            Request::CheckRegionGroups | Request::ShareRegionGroup => 0,
+            Request::DeliverRows { rows, .. } => {
+                4 + rows.iter().map(|r| r.len() * VERTEX_BYTES).sum::<usize>()
+            }
+        }
+}
+
+/// Number of bytes a response occupies on the simulated wire.
+pub fn response_bytes(response: &Response) -> usize {
+    MESSAGE_OVERHEAD_BYTES
+        + match response {
+            Response::EdgeVerification(bits) => bits.len(),
+            Response::Adjacency(lists) => lists
+                .iter()
+                .map(|(_, adj)| VERTEX_BYTES + adj.len() * VERTEX_BYTES)
+                .sum(),
+            Response::RegionGroupCount(_) => 8,
+            Response::RegionGroup(Some(vs)) => vs.len() * VERTEX_BYTES,
+            Response::RegionGroup(None) => 1,
+            Response::Ack | Response::Unsupported => 1,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sizes_scale_with_payload() {
+        let small = Request::VerifyEdges(vec![(0, 1)]);
+        let large = Request::VerifyEdges((0..100).map(|i| (i, i + 1)).collect());
+        assert!(request_bytes(&large) > request_bytes(&small));
+        assert_eq!(request_bytes(&small), MESSAGE_OVERHEAD_BYTES + 8);
+        assert_eq!(request_bytes(&Request::CheckRegionGroups), MESSAGE_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn response_sizes_scale_with_payload() {
+        let adj = Response::Adjacency(vec![(5, vec![1, 2, 3])]);
+        assert_eq!(response_bytes(&adj), MESSAGE_OVERHEAD_BYTES + 4 + 12);
+        let verdicts = Response::EdgeVerification(vec![true; 10]);
+        assert_eq!(response_bytes(&verdicts), MESSAGE_OVERHEAD_BYTES + 10);
+        assert_eq!(response_bytes(&Response::Ack), MESSAGE_OVERHEAD_BYTES + 1);
+    }
+
+    #[test]
+    fn deliver_rows_accounts_every_vertex() {
+        let rows = Request::DeliverRows { tag: 3, rows: vec![vec![1, 2, 3], vec![4, 5, 6]] };
+        assert_eq!(request_bytes(&rows), MESSAGE_OVERHEAD_BYTES + 4 + 24);
+    }
+}

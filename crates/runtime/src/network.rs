@@ -1,0 +1,177 @@
+//! Network accounting and the optional latency/bandwidth model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use rads_partition::MachineId;
+
+/// Simulated network parameters.
+///
+/// With the default (zero latency, unlimited bandwidth) the simulator only
+/// *counts* traffic. Experiments that want elapsed time to feel the network —
+/// the way the paper's cluster does — set a per-message latency and a
+/// bandwidth, and the runtime sleeps accordingly on every remote exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Fixed cost per remote request/response round trip.
+    pub latency_per_message: Duration,
+    /// Simulated bandwidth in bytes per second (`None` = unlimited).
+    pub bytes_per_second: Option<u64>,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { latency_per_message: Duration::ZERO, bytes_per_second: None }
+    }
+}
+
+impl NetworkConfig {
+    /// A configuration that resembles a commodity 1 Gb/s cluster with ~100 µs
+    /// round-trip latency, scaled down so simulations stay fast.
+    pub fn commodity_cluster() -> Self {
+        NetworkConfig {
+            latency_per_message: Duration::from_micros(50),
+            bytes_per_second: Some(200 * 1024 * 1024),
+        }
+    }
+
+    /// The simulated transfer delay of a message of `bytes` bytes.
+    pub fn transfer_delay(&self, bytes: usize) -> Duration {
+        let bw = match self.bytes_per_second {
+            Some(bw) if bw > 0 => {
+                Duration::from_secs_f64(bytes as f64 / bw as f64)
+            }
+            _ => Duration::ZERO,
+        };
+        self.latency_per_message + bw
+    }
+}
+
+/// Per-machine traffic counters (lock-free, updated by engine and daemon
+/// threads).
+#[derive(Debug, Default)]
+pub struct MachineTraffic {
+    /// Number of remote requests sent by this machine.
+    pub requests_sent: AtomicU64,
+    /// Bytes of requests sent by this machine.
+    pub request_bytes_sent: AtomicU64,
+    /// Bytes of responses received by this machine.
+    pub response_bytes_received: AtomicU64,
+    /// Number of requests served by this machine's daemon.
+    pub requests_served: AtomicU64,
+    /// Bytes of responses sent by this machine's daemon.
+    pub response_bytes_sent: AtomicU64,
+}
+
+/// Traffic counters for the whole cluster.
+#[derive(Debug)]
+pub struct NetworkStats {
+    per_machine: Vec<MachineTraffic>,
+}
+
+impl NetworkStats {
+    /// Creates counters for `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        NetworkStats { per_machine: (0..machines).map(|_| MachineTraffic::default()).collect() }
+    }
+
+    /// Number of machines covered.
+    pub fn machines(&self) -> usize {
+        self.per_machine.len()
+    }
+
+    /// Records a request sent from `from` of `bytes` bytes.
+    pub fn record_request(&self, from: MachineId, bytes: usize) {
+        let t = &self.per_machine[from];
+        t.requests_sent.fetch_add(1, Ordering::Relaxed);
+        t.request_bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a response of `bytes` bytes served by `by` and received by
+    /// `receiver`.
+    pub fn record_response(&self, by: MachineId, receiver: MachineId, bytes: usize) {
+        self.per_machine[by].requests_served.fetch_add(1, Ordering::Relaxed);
+        self.per_machine[by].response_bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.per_machine[receiver]
+            .response_bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        let mut snap = TrafficSnapshot::default();
+        snap.per_machine_bytes = vec![0; self.per_machine.len()];
+        for (m, t) in self.per_machine.iter().enumerate() {
+            let req = t.request_bytes_sent.load(Ordering::Relaxed);
+            let resp_out = t.response_bytes_sent.load(Ordering::Relaxed);
+            snap.messages += t.requests_sent.load(Ordering::Relaxed);
+            snap.total_bytes += req + resp_out;
+            snap.per_machine_bytes[m] = req + resp_out;
+        }
+        snap
+    }
+}
+
+/// An immutable snapshot of cluster traffic.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Total remote request count.
+    pub messages: u64,
+    /// Total bytes put on the simulated wire (requests + responses).
+    pub total_bytes: u64,
+    /// Bytes originating from each machine (its requests + its responses).
+    pub per_machine_bytes: Vec<u64>,
+}
+
+impl TrafficSnapshot {
+    /// Total traffic in mebibytes — the unit of the paper's communication
+    /// cost charts.
+    pub fn megabytes(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = NetworkStats::new(3);
+        stats.record_request(0, 100);
+        stats.record_response(1, 0, 50);
+        stats.record_request(2, 10);
+        stats.record_response(0, 2, 5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.total_bytes, 100 + 50 + 10 + 5);
+        assert_eq!(snap.per_machine_bytes, vec![105, 50, 10]);
+        assert!(snap.megabytes() > 0.0);
+    }
+
+    #[test]
+    fn default_network_has_no_delay() {
+        let cfg = NetworkConfig::default();
+        assert_eq!(cfg.transfer_delay(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_model_scales_with_bytes() {
+        let cfg = NetworkConfig {
+            latency_per_message: Duration::from_micros(10),
+            bytes_per_second: Some(1_000_000),
+        };
+        let d_small = cfg.transfer_delay(1_000);
+        let d_large = cfg.transfer_delay(1_000_000);
+        assert!(d_large > d_small);
+        assert!(d_small >= Duration::from_micros(10));
+        assert!((d_large.as_secs_f64() - 1.00001).abs() < 0.01);
+    }
+
+    #[test]
+    fn commodity_preset_is_reasonable() {
+        let cfg = NetworkConfig::commodity_cluster();
+        assert!(cfg.transfer_delay(0) >= Duration::from_micros(50));
+        assert!(cfg.bytes_per_second.is_some());
+    }
+}

@@ -1,0 +1,378 @@
+//! The backtracking enumerator.
+
+use rads_graph::{Graph, Pattern, SymmetryBreaking, VertexId};
+
+use crate::candidates::passes_filters;
+use crate::order::MatchingOrder;
+
+/// Configuration of an enumeration run.
+#[derive(Debug, Clone, Default)]
+pub struct EnumerationConfig {
+    /// Apply automorphism-based symmetry breaking (the paper applies it "by
+    /// default"); disable only to cross-check counts in tests.
+    pub disable_symmetry_breaking: bool,
+    /// Stop after this many embeddings have been reported.
+    pub max_results: Option<u64>,
+    /// Restrict the data vertices the *start* query vertex may be mapped to.
+    /// `None` means all vertices of the graph. This is how SM-E enumerates
+    /// only from the candidates with sufficient border distance.
+    pub start_candidates: Option<Vec<VertexId>>,
+    /// Explicit matching order; `None` selects [`MatchingOrder::default_for`].
+    pub order: Option<MatchingOrder>,
+}
+
+/// Statistics of an enumeration run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Number of embeddings reported to the callback.
+    pub embeddings: u64,
+    /// Number of search-tree nodes (successful partial matches) per matching
+    /// position. `nodes_per_level[i]` counts the partial matches in which
+    /// `i + 1` query vertices are mapped. RADS's memory estimator uses the sum
+    /// of this vector as the embedding-trie node count for the vertex
+    /// (Section 6).
+    pub nodes_per_level: Vec<u64>,
+    /// Candidates rejected by filters / adjacency checks / symmetry breaking.
+    pub pruned: u64,
+}
+
+impl EnumerationStats {
+    /// Total number of search-tree nodes (the embedding-trie node estimate).
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes_per_level.iter().sum()
+    }
+}
+
+/// A reusable enumerator over a graph/pattern pair.
+pub struct Enumerator<'a> {
+    graph: &'a Graph,
+    pattern: &'a Pattern,
+    config: EnumerationConfig,
+}
+
+impl<'a> Enumerator<'a> {
+    /// Creates an enumerator with the default configuration.
+    pub fn new(graph: &'a Graph, pattern: &'a Pattern) -> Self {
+        Enumerator { graph, pattern, config: EnumerationConfig::default() }
+    }
+
+    /// Creates an enumerator with an explicit configuration.
+    pub fn with_config(graph: &'a Graph, pattern: &'a Pattern, config: EnumerationConfig) -> Self {
+        Enumerator { graph, pattern, config }
+    }
+
+    /// Runs the enumeration. The callback receives each embedding as a slice
+    /// indexed by query vertex (`mapping[u]` is the data vertex of `u`) and
+    /// returns `true` to continue, `false` to stop early.
+    pub fn run<F: FnMut(&[VertexId]) -> bool>(&self, mut callback: F) -> EnumerationStats {
+        let n = self.pattern.vertex_count();
+        let mut stats = EnumerationStats {
+            embeddings: 0,
+            nodes_per_level: vec![0; n],
+            pruned: 0,
+        };
+        if n == 0 {
+            return stats;
+        }
+        let order = match &self.config.order {
+            Some(o) => o.clone(),
+            None => MatchingOrder::default_for(self.pattern),
+        };
+        let symmetry = if self.config.disable_symmetry_breaking {
+            SymmetryBreaking::disabled(self.pattern)
+        } else {
+            SymmetryBreaking::new(self.pattern)
+        };
+        let start = order.start_vertex();
+        let start_candidates: Vec<VertexId> = match &self.config.start_candidates {
+            Some(cands) => cands
+                .iter()
+                .copied()
+                .filter(|&v| passes_filters(self.graph, self.pattern, start, v))
+                .collect(),
+            None => self
+                .graph
+                .vertices()
+                .filter(|&v| passes_filters(self.graph, self.pattern, start, v))
+                .collect(),
+        };
+
+        let mut assigned: Vec<Option<VertexId>> = vec![None; n];
+        let mut mapping: Vec<VertexId> = vec![0; n];
+        let mut stop = false;
+
+        for &v0 in &start_candidates {
+            if stop {
+                break;
+            }
+            if !symmetry.check_partial(start, v0, &assigned) {
+                stats.pruned += 1;
+                continue;
+            }
+            assigned[start] = Some(v0);
+            stats.nodes_per_level[0] += 1;
+            self.extend(
+                1,
+                &order,
+                &symmetry,
+                &mut assigned,
+                &mut mapping,
+                &mut stats,
+                &mut callback,
+                &mut stop,
+            );
+            assigned[start] = None;
+        }
+        stats
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend<F: FnMut(&[VertexId]) -> bool>(
+        &self,
+        pos: usize,
+        order: &MatchingOrder,
+        symmetry: &SymmetryBreaking,
+        assigned: &mut Vec<Option<VertexId>>,
+        mapping: &mut Vec<VertexId>,
+        stats: &mut EnumerationStats,
+        callback: &mut F,
+        stop: &mut bool,
+    ) {
+        let n = self.pattern.vertex_count();
+        if pos == n {
+            for (u, a) in assigned.iter().enumerate() {
+                mapping[u] = a.expect("complete assignment");
+            }
+            stats.embeddings += 1;
+            if !callback(mapping) {
+                *stop = true;
+            }
+            if let Some(max) = self.config.max_results {
+                if stats.embeddings >= max {
+                    *stop = true;
+                }
+            }
+            return;
+        }
+        let u = order.vertex_at(pos);
+        // Seed candidates from the anchor's adjacency list.
+        let anchor_pos = order.anchor_of(pos);
+        let anchor_vertex = order.vertex_at(anchor_pos);
+        let anchor_data = assigned[anchor_vertex].expect("anchor must be assigned");
+        let seed = self.graph.neighbors(anchor_data);
+
+        'candidates: for &v in seed {
+            if *stop {
+                return;
+            }
+            // injectivity
+            if assigned.iter().any(|a| *a == Some(v)) {
+                stats.pruned += 1;
+                continue;
+            }
+            if !passes_filters(self.graph, self.pattern, u, v) {
+                stats.pruned += 1;
+                continue;
+            }
+            // adjacency with every already-matched neighbour of u
+            for &w in self.pattern.neighbors(u) {
+                if let Some(vw) = assigned[w] {
+                    if !self.graph.has_edge(v, vw) {
+                        stats.pruned += 1;
+                        continue 'candidates;
+                    }
+                }
+            }
+            if !symmetry.check_partial(u, v, assigned) {
+                stats.pruned += 1;
+                continue;
+            }
+            assigned[u] = Some(v);
+            stats.nodes_per_level[pos] += 1;
+            self.extend(pos + 1, order, symmetry, assigned, mapping, stats, callback, stop);
+            assigned[u] = None;
+        }
+    }
+}
+
+/// Enumerates embeddings of `pattern` in `graph` under `config`, invoking
+/// `callback` for each one. Returns run statistics.
+pub fn enumerate_embeddings<F: FnMut(&[VertexId]) -> bool>(
+    graph: &Graph,
+    pattern: &Pattern,
+    config: EnumerationConfig,
+    callback: F,
+) -> EnumerationStats {
+    Enumerator::with_config(graph, pattern, config).run(callback)
+}
+
+/// Counts the embeddings of `pattern` in `graph` (with symmetry breaking, so
+/// each occurrence is counted once).
+pub fn count_embeddings(graph: &Graph, pattern: &Pattern) -> u64 {
+    Enumerator::new(graph, pattern).run(|_| true).embeddings
+}
+
+/// Collects every embedding of `pattern` in `graph` as a vector indexed by
+/// query vertex. Intended for tests and small graphs.
+pub fn collect_embeddings(graph: &Graph, pattern: &Pattern) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    Enumerator::new(graph, pattern).run(|m| {
+        out.push(m.to_vec());
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::{erdos_renyi, grid_2d, ring_lattice};
+    use rads_graph::{queries, GraphBuilder, PatternBuilder};
+
+    fn triangle_pattern() -> Pattern {
+        PatternBuilder::new(3).clique(&[0, 1, 2]).build()
+    }
+
+    #[test]
+    fn counts_triangles_in_k4() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                b.add_edge(i, j);
+            }
+        }
+        let g = b.build();
+        assert_eq!(count_embeddings(&g, &triangle_pattern()), 4);
+        // 4-clique occurs exactly once
+        assert_eq!(count_embeddings(&g, &queries::c1()), 1);
+        // 4-cycle occurs 3 times in K4
+        assert_eq!(count_embeddings(&g, &queries::q1()), 3);
+    }
+
+    #[test]
+    fn counts_match_triangle_counter_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = erdos_renyi(60, 0.12, seed);
+            let expected = rads_graph::algorithms::triangle_count(&g) as u64;
+            assert_eq!(count_embeddings(&g, &triangle_pattern()), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_divides_by_automorphism_count() {
+        let g = erdos_renyi(40, 0.18, 9);
+        for q in [queries::q1(), queries::q2(), queries::c1(), triangle_pattern()] {
+            let with = count_embeddings(&g, &q);
+            let without = Enumerator::with_config(
+                &g,
+                &q,
+                EnumerationConfig { disable_symmetry_breaking: true, ..Default::default() },
+            )
+            .run(|_| true)
+            .embeddings;
+            let autos = SymmetryBreaking::new(&q).automorphism_count() as u64;
+            assert_eq!(without, with * autos);
+        }
+    }
+
+    #[test]
+    fn squares_in_a_grid() {
+        // Each unit cell of the lattice is exactly one 4-cycle; 2x2 cells in a
+        // 3x3 grid -> 4 squares.
+        let g = grid_2d(3, 3);
+        assert_eq!(count_embeddings(&g, &queries::q1()), 4);
+    }
+
+    #[test]
+    fn max_results_stops_early() {
+        let g = ring_lattice(30, 2);
+        let cfg = EnumerationConfig { max_results: Some(5), ..Default::default() };
+        let stats = enumerate_embeddings(&g, &triangle_pattern(), cfg, |_| true);
+        assert_eq!(stats.embeddings, 5);
+    }
+
+    #[test]
+    fn callback_can_stop_enumeration() {
+        let g = ring_lattice(30, 2);
+        let mut seen = 0;
+        enumerate_embeddings(&g, &triangle_pattern(), EnumerationConfig::default(), |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn start_candidate_restriction_partitions_the_result_set() {
+        let g = erdos_renyi(50, 0.15, 4);
+        let q = queries::q2();
+        let total = count_embeddings(&g, &q);
+        // Split the vertex set in two halves and restrict the start vertex.
+        let order = MatchingOrder::default_for(&q);
+        let start = order.start_vertex();
+        let _ = start;
+        let half_a: Vec<VertexId> = g.vertices().filter(|v| v % 2 == 0).collect();
+        let half_b: Vec<VertexId> = g.vertices().filter(|v| v % 2 == 1).collect();
+        let count = |cands: Vec<VertexId>| {
+            Enumerator::with_config(
+                &g,
+                &q,
+                EnumerationConfig { start_candidates: Some(cands), ..Default::default() },
+            )
+            .run(|_| true)
+            .embeddings
+        };
+        assert_eq!(count(half_a) + count(half_b), total);
+    }
+
+    #[test]
+    fn collected_embeddings_are_valid_and_distinct() {
+        let g = erdos_renyi(30, 0.2, 2);
+        let q = queries::q4();
+        let embeddings = collect_embeddings(&g, &q);
+        let mut seen = std::collections::HashSet::new();
+        for m in &embeddings {
+            // distinct data vertices
+            let mut sorted = m.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), q.vertex_count());
+            // every pattern edge is present
+            for (a, b) in q.edges() {
+                assert!(g.has_edge(m[a], m[b]));
+            }
+            assert!(seen.insert(m.clone()), "duplicate embedding {m:?}");
+        }
+        assert_eq!(embeddings.len() as u64, count_embeddings(&g, &q));
+    }
+
+    #[test]
+    fn stats_levels_are_monotone_in_meaning() {
+        let g = erdos_renyi(40, 0.15, 7);
+        let q = queries::q3();
+        let stats = Enumerator::new(&g, &q).run(|_| true);
+        assert_eq!(stats.nodes_per_level.len(), q.vertex_count());
+        assert_eq!(*stats.nodes_per_level.last().unwrap(), stats.embeddings);
+        assert!(stats.total_nodes() >= stats.embeddings);
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(count_embeddings(&g, &triangle_pattern()), 0);
+        let g2 = erdos_renyi(10, 0.3, 1);
+        let single_vertex = Pattern::from_edges(1, &[]);
+        // a single query vertex matches every data vertex
+        assert_eq!(count_embeddings(&g2, &single_vertex), 10);
+    }
+
+    #[test]
+    fn all_standard_queries_run_on_a_small_graph() {
+        let g = erdos_renyi(35, 0.2, 11);
+        for q in queries::standard_query_set() {
+            let c = count_embeddings(&g, &q.pattern);
+            // sanity: enumeration terminates and counts are deterministic
+            assert_eq!(c, count_embeddings(&g, &q.pattern), "{}", q.name);
+        }
+    }
+}

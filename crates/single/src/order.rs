@@ -1,0 +1,202 @@
+//! Matching-order selection for the backtracking enumerator.
+
+use rads_graph::{Pattern, PatternVertex};
+
+/// A total order over the query vertices in which they are matched.
+///
+/// The order is *connected*: except for the first vertex, every vertex has at
+/// least one neighbour earlier in the order, so the candidate set of each new
+/// vertex can always be derived from the adjacency list of an already-matched
+/// vertex (no Cartesian products).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingOrder {
+    order: Vec<PatternVertex>,
+    position: Vec<usize>,
+    /// For each position `i > 0`, the position of one earlier neighbour of
+    /// `order[i]` ("anchor") whose mapped data vertex seeds the candidate set.
+    anchor: Vec<usize>,
+}
+
+impl MatchingOrder {
+    /// Builds a matching order starting from `start`, then repeatedly
+    /// appending the not-yet-ordered vertex with (a) the most neighbours
+    /// already in the order, breaking ties by (b) larger pattern degree and
+    /// (c) smaller vertex id. This is the usual candidate-connectivity greedy
+    /// heuristic.
+    pub fn greedy_from(pattern: &Pattern, start: PatternVertex) -> Self {
+        let n = pattern.vertex_count();
+        assert!(start < n);
+        assert!(pattern.is_connected(), "matching order requires a connected pattern");
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        order.push(start);
+        placed[start] = true;
+        while order.len() < n {
+            let mut best: Option<(usize, usize, PatternVertex)> = None;
+            for u in pattern.vertices() {
+                if placed[u] {
+                    continue;
+                }
+                let back_edges = pattern.neighbors(u).iter().filter(|&&w| placed[w]).count();
+                if back_edges == 0 {
+                    continue;
+                }
+                let key = (back_edges, pattern.degree(u), u);
+                let better = match best {
+                    None => true,
+                    Some((be, deg, id)) => {
+                        (key.0, key.1) > (be, deg) || ((key.0, key.1) == (be, deg) && u < id)
+                    }
+                };
+                if better {
+                    best = Some(key);
+                }
+            }
+            let (_, _, next) = best.expect("pattern is connected, a next vertex must exist");
+            placed[next] = true;
+            order.push(next);
+        }
+        Self::from_order(pattern, order)
+    }
+
+    /// Builds a matching order with the given explicit vertex sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence is not a permutation of the pattern vertices or
+    /// is not connected.
+    pub fn from_order(pattern: &Pattern, order: Vec<PatternVertex>) -> Self {
+        let n = pattern.vertex_count();
+        assert_eq!(order.len(), n, "order must cover every query vertex");
+        let mut position = vec![usize::MAX; n];
+        for (i, &u) in order.iter().enumerate() {
+            assert!(u < n, "unknown query vertex {u}");
+            assert_eq!(position[u], usize::MAX, "query vertex {u} appears twice");
+            position[u] = i;
+        }
+        let mut anchor = vec![usize::MAX; n];
+        for (i, &u) in order.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            let a = pattern
+                .neighbors(u)
+                .iter()
+                .map(|&w| position[w])
+                .filter(|&p| p < i)
+                .min()
+                .unwrap_or_else(|| panic!("vertex {u} has no earlier neighbour: order is not connected"));
+            anchor[i] = a;
+        }
+        MatchingOrder { order, position, anchor }
+    }
+
+    /// Picks the start vertex with the largest degree (a cheap selectivity
+    /// proxy) and builds the greedy order from it.
+    pub fn default_for(pattern: &Pattern) -> Self {
+        let start = pattern
+            .vertices()
+            .max_by_key(|&u| (pattern.degree(u), std::cmp::Reverse(u)))
+            .unwrap_or(0);
+        Self::greedy_from(pattern, start)
+    }
+
+    /// The ordered query vertices.
+    pub fn order(&self) -> &[PatternVertex] {
+        &self.order
+    }
+
+    /// Number of query vertices.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the pattern has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The query vertex matched at position `i`.
+    pub fn vertex_at(&self, i: usize) -> PatternVertex {
+        self.order[i]
+    }
+
+    /// The position of query vertex `u` in the order.
+    pub fn position_of(&self, u: PatternVertex) -> usize {
+        self.position[u]
+    }
+
+    /// The anchor position for the vertex at position `i > 0`: an earlier
+    /// position whose query vertex is adjacent to `order[i]`.
+    pub fn anchor_of(&self, i: usize) -> usize {
+        self.anchor[i]
+    }
+
+    /// The start (first) query vertex.
+    pub fn start_vertex(&self) -> PatternVertex {
+        self.order[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::queries;
+    use rads_graph::PatternBuilder;
+
+    #[test]
+    fn greedy_order_is_connected() {
+        for q in queries::standard_query_set() {
+            let order = MatchingOrder::default_for(&q.pattern);
+            assert_eq!(order.len(), q.pattern.vertex_count());
+            for i in 1..order.len() {
+                let u = order.vertex_at(i);
+                let a = order.anchor_of(i);
+                assert!(a < i);
+                assert!(q.pattern.has_edge(u, order.vertex_at(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn start_vertex_has_max_degree() {
+        let p = queries::q4(); // house: roof-adjacent base vertices have degree 3
+        let order = MatchingOrder::default_for(&p);
+        let start = order.start_vertex();
+        assert_eq!(p.degree(start), p.vertices().map(|u| p.degree(u)).max().unwrap());
+    }
+
+    #[test]
+    fn explicit_order_roundtrips() {
+        let p = PatternBuilder::new(4).cycle(&[0, 1, 2, 3]).build();
+        let order = MatchingOrder::from_order(&p, vec![2, 1, 0, 3]);
+        assert_eq!(order.order(), &[2, 1, 0, 3]);
+        assert_eq!(order.position_of(0), 2);
+        assert_eq!(order.vertex_at(3), 3);
+        assert_eq!(order.start_vertex(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_order_is_rejected() {
+        let p = PatternBuilder::new(4).cycle(&[0, 1, 2, 3]).build();
+        // vertex 2 is not adjacent to 0, so [0, 2, ...] is not connected
+        let _ = MatchingOrder::from_order(&p, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_vertices_are_rejected() {
+        let p = PatternBuilder::new(3).clique(&[0, 1, 2]).build();
+        let _ = MatchingOrder::from_order(&p, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn greedy_from_every_start_vertex_works() {
+        let p = queries::q7();
+        for start in p.vertices() {
+            let order = MatchingOrder::greedy_from(&p, start);
+            assert_eq!(order.start_vertex(), start);
+            assert_eq!(order.len(), p.vertex_count());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # RADS — Fast and Robust Distributed Subgraph Enumeration
+//!
+//! A from-scratch Rust reproduction of *"Fast and Robust Distributed Subgraph
+//! Enumeration"* (Ren, Wang, Han, Yu — VLDB 2019). This umbrella crate
+//! re-exports the public API of every subsystem so downstream users can depend
+//! on a single crate:
+//!
+//! ```no_run
+//! use rads::prelude::*;
+//!
+//! // 1. a data graph and a query pattern
+//! let graph = rads::graph::generators::barabasi_albert(1_000, 4, 7);
+//! let pattern = rads::graph::queries::q4(); // the "house" query
+//!
+//! // 2. partition it across 4 simulated machines (METIS stand-in)
+//! let partitioning = LabelPropagationPartitioner::default().partition(&graph, 4);
+//! let cluster = Cluster::new(std::sync::Arc::new(PartitionedGraph::build(&graph, partitioning)));
+//!
+//! // 3. run RADS
+//! let outcome = run_rads(&cluster, &pattern, &RadsConfig::default());
+//! println!("{} embeddings, {:.2} MB shipped", outcome.total_embeddings, outcome.traffic.megabytes());
+//! ```
+//!
+//! The individual subsystems are documented in their own crates:
+//! [`graph`], [`partition`], [`runtime`], [`single`], [`plan`], [`core`]
+//! (the RADS engine itself), [`baselines`] and [`datasets`].
+
+/// Graph substrate: CSR graphs, generators, query patterns, algorithms.
+pub use rads_graph as graph;
+/// Partitioning substrate: k-way partitioners, border vertices, ownership.
+pub use rads_partition as partition;
+/// The in-process distributed runtime simulator.
+pub use rads_runtime as runtime;
+/// Single-machine subgraph enumeration (SM-E and ground truth).
+pub use rads_single as single;
+/// Execution-plan computation (Section 4).
+pub use rads_plan as plan;
+/// The RADS engine: embedding trie, EVI, region groups, R-Meef.
+pub use rads_core as core;
+/// PSgL, TwinTwig, SEED and Crystal baselines.
+pub use rads_baselines as baselines;
+/// Synthetic dataset suite mirroring the paper's Table 1.
+pub use rads_datasets as datasets;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use rads_baselines::{run_crystal, run_psgl, run_seed, run_twintwig, CliqueIndex};
+    pub use rads_core::{run_rads, RadsConfig, RadsOutcome};
+    pub use rads_datasets::{generate, DatasetKind, Scale};
+    pub use rads_graph::{Graph, GraphBuilder, Pattern, PatternBuilder, VertexId};
+    pub use rads_partition::{
+        BfsPartitioner, HashPartitioner, LabelPropagationPartitioner, PartitionedGraph,
+        Partitioner, Partitioning,
+    };
+    pub use rads_plan::{best_plan, ExecutionPlan, PlannerConfig};
+    pub use rads_runtime::{Cluster, NetworkConfig};
+    pub use rads_single::{collect_embeddings, count_embeddings};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        use crate::prelude::*;
+        let g = rads_graph::generators::ring_lattice(12, 1);
+        let pattern = rads_graph::queries::query_by_name("triangle").unwrap();
+        let partitioning = BfsPartitioner.partition(&g, 2);
+        let cluster = Cluster::new(std::sync::Arc::new(PartitionedGraph::build(&g, partitioning)));
+        let outcome = run_rads(&cluster, &pattern, &RadsConfig::default());
+        assert_eq!(outcome.total_embeddings, count_embeddings(&g, &pattern));
+    }
+}

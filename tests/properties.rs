@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! end-to-end distributed invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use rads::prelude::*;
+use rads_core::trie::EmbeddingTrie;
+use rads_graph::queries;
+use rads_graph::SymmetryBreaking;
+
+/// Strategy: a random connected-ish sparse graph given as (n, edge list).
+fn arb_graph(max_n: usize, max_extra_edges: usize) -> impl Strategy<Value = Graph> {
+    (4..max_n).prop_flat_map(move |n| {
+        let spanning: Vec<(usize, usize)> = (1..n).map(|v| (v, v / 2)).collect();
+        proptest::collection::vec((0..n, 0..n), 0..max_extra_edges).prop_map(move |extra| {
+            let mut b = GraphBuilder::new(n);
+            for &(u, v) in &spanning {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+            for &(u, v) in &extra {
+                if u != v {
+                    b.add_edge(u as VertexId, v as VertexId);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed RADS count equals the single-machine ground truth on
+    /// arbitrary graphs, partitioner and machine counts.
+    #[test]
+    fn rads_matches_ground_truth_on_random_graphs(
+        graph in arb_graph(40, 80),
+        machines in 1usize..5,
+        query_idx in 0usize..4,
+    ) {
+        let patterns = [
+            queries::query_by_name("triangle").unwrap(),
+            queries::q1(),
+            queries::q2(),
+            queries::q4(),
+        ];
+        let pattern = &patterns[query_idx];
+        let expected = count_embeddings(&graph, pattern);
+        let partitioning = HashPartitioner.partition(&graph, machines);
+        let cluster = Cluster::new(Arc::new(PartitionedGraph::build(&graph, partitioning)));
+        let outcome = run_rads(&cluster, pattern, &RadsConfig::default());
+        prop_assert_eq!(outcome.total_embeddings, expected);
+    }
+
+    /// Partitioners always produce a complete, in-range assignment and never
+    /// leave a machine empty (for machine counts up to the vertex count).
+    #[test]
+    fn partitioners_produce_valid_assignments(
+        graph in arb_graph(60, 60),
+        machines in 1usize..6,
+    ) {
+        for partitioner in [
+            &HashPartitioner as &dyn Partitioner,
+            &BfsPartitioner as &dyn Partitioner,
+            &LabelPropagationPartitioner::default() as &dyn Partitioner,
+        ] {
+            let p = partitioner.partition(&graph, machines);
+            prop_assert_eq!(p.vertex_count(), graph.vertex_count());
+            prop_assert_eq!(p.num_machines(), machines);
+            let sizes = p.sizes();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), graph.vertex_count());
+            if graph.vertex_count() >= machines {
+                prop_assert!(sizes.iter().all(|&s| s > 0), "{}", partitioner.name());
+            }
+        }
+    }
+
+    /// Border distances satisfy their defining property: a vertex with border
+    /// distance d has no foreign neighbour within fewer than d hops inside
+    /// the partition, and border vertices have distance 0.
+    #[test]
+    fn border_distance_definition_holds(
+        graph in arb_graph(50, 70),
+        machines in 2usize..5,
+    ) {
+        let partitioning = BfsPartitioner.partition(&graph, machines);
+        let pg = PartitionedGraph::build(&graph, partitioning);
+        for m in 0..machines {
+            let local = pg.local(m);
+            for &v in local.owned_vertices() {
+                let bd = local.border_distance(v).unwrap();
+                let is_border = local.is_border(v).unwrap();
+                prop_assert_eq!(is_border, bd == 0);
+            }
+        }
+    }
+
+    /// The embedding trie stores and retrieves arbitrary result sets
+    /// faithfully, and removal never corrupts the remaining results.
+    #[test]
+    fn trie_roundtrips_and_removals(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..50, 3..6),
+            1..40,
+        ),
+        remove_mask in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut trie = EmbeddingTrie::new();
+        let mut leaves = Vec::new();
+        for row in &rows {
+            let root = trie.add_root(row[0]);
+            let leaf = trie.add_path(root, &row[1..]);
+            leaves.push(leaf);
+        }
+        // every row can be read back (duplicate rows produce identical reads)
+        for (row, &leaf) in rows.iter().zip(&leaves) {
+            prop_assert_eq!(&trie.result(leaf), row);
+        }
+        // remove a subset, survivors stay intact
+        let mut survivors = Vec::new();
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                trie.remove(leaf);
+            } else {
+                survivors.push((i, leaf));
+            }
+        }
+        for (i, leaf) in survivors {
+            if trie.is_live(leaf) {
+                prop_assert_eq!(&trie.result(leaf), &rows[i]);
+            }
+        }
+        prop_assert!(trie.node_count() <= trie.peak_node_count());
+    }
+
+    /// The plan computed for every standard query always has exactly c_P
+    /// rounds, covers every edge once, and its matching order is a valid
+    /// permutation with the prefix property.
+    #[test]
+    fn best_plans_are_structurally_sound(query_idx in 0usize..8) {
+        let nq = &queries::standard_query_set()[query_idx];
+        let plan = best_plan(&nq.pattern, &PlannerConfig::default());
+        prop_assert_eq!(plan.rounds(), nq.pattern.connected_domination_number());
+        prop_assert_eq!(plan.edge_classes().len(), nq.pattern.edge_count());
+        let mut order = plan.matching_order().to_vec();
+        order.sort_unstable();
+        let expected: Vec<usize> = (0..nq.pattern.vertex_count()).collect();
+        prop_assert_eq!(order, expected);
+    }
+
+    /// Counting with symmetry breaking times the automorphism count equals
+    /// counting without symmetry breaking (every query, random graphs).
+    #[test]
+    fn symmetry_breaking_reduction_factor(graph in arb_graph(30, 60), query_idx in 0usize..3) {
+        let patterns = [queries::q1(), queries::q2(), queries::query_by_name("triangle").unwrap()];
+        let pattern = &patterns[query_idx];
+        let with = count_embeddings(&graph, pattern);
+        let config = rads::single::EnumerationConfig {
+            disable_symmetry_breaking: true,
+            ..Default::default()
+        };
+        let without = rads::single::Enumerator::with_config(&graph, pattern, config)
+            .run(|_| true)
+            .embeddings;
+        let autos = SymmetryBreaking::new(pattern).automorphism_count() as u64;
+        prop_assert_eq!(without, with * autos);
+    }
+}
