@@ -118,7 +118,7 @@ fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
 /// The largest clique of the pattern (brute force; patterns are tiny).
 pub fn largest_pattern_clique(pattern: &Pattern) -> Vec<PatternVertex> {
     let n = pattern.vertex_count();
-    let mut best: Vec<PatternVertex> = vec![0.min(n.saturating_sub(1))];
+    let mut best: Vec<PatternVertex> = vec![0];
     for mask in 1u32..(1 << n) {
         let vs: Vec<PatternVertex> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
         if vs.len() <= best.len() {
@@ -233,7 +233,7 @@ fn permute_into(items: &[VertexId], emit: &mut impl FnMut(&[VertexId])) {
         }
         for i in 0..k {
             heaps(k - 1, arr, emit);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 arr.swap(i, k - 1);
             } else {
                 arr.swap(0, k - 1);

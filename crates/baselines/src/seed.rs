@@ -45,7 +45,7 @@ pub fn seed_decomposition(pattern: &Pattern) -> Vec<StarUnit> {
                 .iter()
                 .enumerate()
                 .any(|(i, &a)| vs.iter().skip(i + 1).any(|&b| !covered[a][b]));
-            if is_clique && has_uncovered && best.as_ref().map_or(true, |b| vs.len() > b.len()) {
+            if is_clique && has_uncovered && best.as_ref().is_none_or(|b| vs.len() > b.len()) {
                 best = Some(vs);
             }
         }

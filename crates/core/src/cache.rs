@@ -98,9 +98,7 @@ impl ForeignVertexCache {
 
     /// Approximate heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|(_, adj)| std::mem::size_of::<VertexId>() * (adj.len() + 1))
+        self.entries.values().map(|adj| std::mem::size_of::<VertexId>() * (adj.len() + 1))
             .sum()
     }
 

@@ -141,7 +141,7 @@ fn backtrack(
     let u = ctx.leaves[idx];
     'candidates: for &v in pivot_adj {
         // injectivity against every matched query vertex
-        if f.iter().any(|&a| a == Some(v)) {
+        if f.contains(&Some(v)) {
             continue;
         }
         // degree filter, only when the full adjacency of v is known locally

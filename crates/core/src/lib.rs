@@ -24,7 +24,7 @@
 //!   requests and checkR/shareR work stealing.
 //! * [`daemon`] — the RADS daemon serving `verifyE`, `fetchV`, `checkR` and
 //!   `shareR` requests from other machines.
-//! * [`system`] — the public facade: [`run_rads`](system::run_rads) executes
+//! * [`system`] — the public facade: [`run_rads`] executes
 //!   the whole pipeline (plan → SM-E → region groups → R-Meef) on a
 //!   [`rads_runtime::Cluster`] and reports embeddings, traffic and memory
 //!   statistics.

@@ -2,8 +2,8 @@
 //!
 //! [`run_rads`] executes the whole pipeline on a [`Cluster`]: it computes the
 //! execution plan (Section 4) unless one is supplied, installs a
-//! [`RadsDaemon`](crate::daemon::RadsDaemon) on every machine, runs
-//! [`run_machine`](crate::engine::run_machine) as every machine's engine and
+//! [`crate::daemon::RadsDaemon`] on every machine, runs
+//! [`crate::engine::run_machine`] as every machine's engine and
 //! aggregates the per-machine reports.
 
 use std::sync::Arc;

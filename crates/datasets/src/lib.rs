@@ -101,7 +101,7 @@ impl Scale {
 pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
     let graph = match kind {
         DatasetKind::RoadNet => {
-            let side = (self::isqrt(scale.apply(6400)) as usize).max(10);
+            let side = self::isqrt(scale.apply(6400)).max(10);
             generators::road_network(side, side, 0.08, side / 10, seed)
         }
         DatasetKind::Dblp => {

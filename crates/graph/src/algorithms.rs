@@ -279,8 +279,8 @@ pub fn degeneracy_ordering(g: &Graph) -> (Vec<VertexId>, usize) {
     // Any vertices skipped due to stale bucket entries are appended (should
     // not happen, but keeps the function total).
     if order.len() < n {
-        for v in 0..n {
-            if !removed[v] {
+        for (v, &gone) in removed.iter().enumerate() {
+            if !gone {
                 order.push(v as VertexId);
             }
         }
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn multi_source_bfs_takes_minimum() {
         let g = path_graph(7);
-        let d = multi_source_bfs(&g, [0 as VertexId, 6].into_iter());
+        let d = multi_source_bfs(&g, [0 as VertexId, 6]);
         assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
     }
 

@@ -71,7 +71,7 @@ impl Graph {
 
     /// Iterator over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.vertex_count() as VertexId).into_iter()
+        0..self.vertex_count() as VertexId
     }
 
     /// The sorted adjacency list of `v`.

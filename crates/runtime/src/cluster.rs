@@ -263,7 +263,7 @@ impl Cluster {
 
             // Engine threads.
             let mut handles = Vec::with_capacity(machines);
-            for m in 0..machines {
+            for (m, daemon) in daemons.iter().enumerate() {
                 let ctx = MachineContext {
                     machine: m,
                     partitioned: self.partitioned.clone(),
@@ -272,7 +272,7 @@ impl Cluster {
                     exchange: exchange.clone(),
                     barrier: barrier.clone(),
                     config: self.config,
-                    local_daemon: daemons[m].clone(),
+                    local_daemon: daemon.clone(),
                 };
                 let engine = &engine;
                 handles.push(scope.spawn(move || {

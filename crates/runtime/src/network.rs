@@ -99,8 +99,10 @@ impl NetworkStats {
 
     /// A consistent snapshot of the counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
-        let mut snap = TrafficSnapshot::default();
-        snap.per_machine_bytes = vec![0; self.per_machine.len()];
+        let mut snap = TrafficSnapshot {
+            per_machine_bytes: vec![0; self.per_machine.len()],
+            ..Default::default()
+        };
         for (m, t) in self.per_machine.iter().enumerate() {
             let req = t.request_bytes_sent.load(Ordering::Relaxed);
             let resp_out = t.response_bytes_sent.load(Ordering::Relaxed);

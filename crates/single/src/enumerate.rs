@@ -166,7 +166,7 @@ impl<'a> Enumerator<'a> {
                 return;
             }
             // injectivity
-            if assigned.iter().any(|a| *a == Some(v)) {
+            if assigned.contains(&Some(v)) {
                 stats.pruned += 1;
                 continue;
             }

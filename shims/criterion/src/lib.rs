@@ -1,0 +1,191 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the criterion API the RADS benches use —
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a simple wall-clock measurement loop: each
+//! benchmark is warmed up once, then timed over `sample_size` samples, and
+//! the per-iteration minimum / median / maximum are printed to stdout.
+//! There is no statistical analysis, HTML report, or outlier rejection.
+//! Swap this path dependency for the real crate once network access is
+//! available; the bench sources are written against the real API.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample elapsed times recorded by [`Bencher::iter`].
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass.
+        black_box(routine());
+        self.times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus a parameter, e.g. `plan/q4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+fn run_benchmark(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples, times: Vec::new() };
+    f(&mut bencher);
+    bencher.times.sort_unstable();
+    if bencher.times.is_empty() {
+        println!("{label:<50} (no measurement)");
+        return;
+    }
+    let min = bencher.times[0];
+    let med = bencher.times[bencher.times.len() / 2];
+    let max = bencher.times[bencher.times.len() - 1];
+    println!("{label:<50} time: [{min:>10.2?} {med:>10.2?} {max:>10.2?}]");
+}
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: group_name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&id.id, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run_their_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("direct", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut group_runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &2usize, |b, &x| {
+            b.iter(|| group_runs += x)
+        });
+        group.finish();
+        // 5 timed samples + 1 warm-up, times input 2
+        assert_eq!(group_runs, 12);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports no-op
+//! derive macros from the sibling `serde_derive` stand-in, so that
+//! `#[derive(Serialize, Deserialize)]` annotations compile without network
+//! access. No actual serialization is implemented — the RADS workspace only
+//! *annotates* types today, it never serializes them. Swap this path
+//! dependency for the real crate once network access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

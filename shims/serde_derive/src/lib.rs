@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives are accepted and expand to nothing: types annotated with
+//! `#[derive(Serialize, Deserialize)]` compile, but no serialization code is
+//! generated. Nothing in the RADS workspace currently *calls* serde
+//! serialization — the derives only declare intent for future persistence —
+//! so no-op derives are sufficient until the real crates can be fetched.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -25,6 +25,8 @@
 //! [`graph`], [`partition`], [`runtime`], [`single`], [`plan`], [`core`]
 //! (the RADS engine itself), [`baselines`] and [`datasets`].
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 /// Graph substrate: CSR graphs, generators, query patterns, algorithms.
 pub use rads_graph as graph;
 /// Partitioning substrate: k-way partitioners, border vertices, ownership.

@@ -1,0 +1,42 @@
+//! Smoke tests for the query catalogue and the synthetic dataset suite:
+//! cheap invariants that catch a broken build long before the expensive
+//! distributed-correctness suites run.
+
+use rads_datasets::{generate, DatasetKind, Scale};
+use rads_graph::queries;
+
+#[test]
+fn every_named_query_roundtrips_and_is_connected() {
+    let named: Vec<_> =
+        queries::standard_query_set().into_iter().chain(queries::clique_query_set()).collect();
+    assert_eq!(named.len(), 12);
+    for nq in &named {
+        let looked_up = queries::query_by_name(nq.name)
+            .unwrap_or_else(|| panic!("query_by_name({}) returned None", nq.name));
+        assert_eq!(looked_up, nq.pattern, "{} does not round-trip through query_by_name", nq.name);
+        assert!(nq.pattern.is_connected(), "{} is not connected", nq.name);
+        assert!(nq.pattern.vertex_count() >= 3, "{} is degenerate", nq.name);
+    }
+    // the extra alias outside the two query sets
+    let triangle = queries::query_by_name("triangle").expect("triangle is a named query");
+    assert!(triangle.is_connected());
+    assert_eq!(triangle.vertex_count(), 3);
+    assert_eq!(triangle.edge_count(), 3);
+    assert!(queries::query_by_name("no-such-query").is_none());
+}
+
+#[test]
+fn every_dataset_kind_generates_a_non_empty_graph() {
+    for kind in DatasetKind::all() {
+        let dataset = generate(kind, Scale(0.05), 1);
+        assert!(
+            dataset.graph.vertex_count() > 0,
+            "{} generated an empty vertex set",
+            kind.name()
+        );
+        assert!(dataset.graph.edge_count() > 0, "{} generated no edges", kind.name());
+        assert_eq!(dataset.profile.vertices, dataset.graph.vertex_count());
+        assert_eq!(dataset.profile.edges, dataset.graph.edge_count());
+        assert!(dataset.profile.average_degree > 0.0);
+    }
+}
