@@ -2,51 +2,106 @@
 //! synthetic dataset suite.
 //!
 //! ```text
-//! experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K]
+//! experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]
 //!
 //! EXPERIMENT: all | table1 | table2 | fig8 | fig9 | fig10 | fig11 | fig12
-//!           | fig13 | table3 | table4 | fig15 | ablation
+//!           | fig13 | table3 | table4 | fig15 | robustness | ablation
+//!           | speedup
 //! ```
 //!
 //! The defaults (`--scale 0.12 --machines 4`) keep a full `all` run within a
 //! few minutes on a laptop. Larger scales sharpen the separation between the
 //! systems but the qualitative shape is already visible at the default.
+//!
+//! Measurement-shaped experiments (the performance figures and `speedup`)
+//! additionally emit machine-readable rows; when any were produced, the
+//! whole `BENCH_results.json` (overridable with `--out`) is rewritten with
+//! exactly this invocation's rows — run the experiments you want recorded
+//! together in one invocation.
+
+use std::time::Duration;
 
 use rads_bench::{
-    ablations, clique_queries_figure, compression_table, performance_figure,
-    plan_effectiveness_figure, robustness_experiment, scalability_figure, table1, table2, System,
+    ablations, clique_queries_figure, compression_table, parallel_speedup, performance_figure,
+    plan_effectiveness_figure, robustness_experiment, scalability_figure, table1, table2,
+    write_results_json, BenchRecord, System,
 };
 use rads_datasets::{DatasetKind, Scale};
+use rads_runtime::NetworkConfig;
+
+const KNOWN_EXPERIMENTS: &[&str] = &[
+    "all", "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table3",
+    "table4", "fig15", "robustness", "ablation", "speedup",
+];
 
 struct Options {
     experiments: Vec<String>,
     scale: Scale,
     machines: usize,
     seed: u64,
+    out: std::path::PathBuf,
+}
+
+/// Exits with an error message on stderr (malformed command lines must not
+/// silently fall back to defaults).
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]");
+    std::process::exit(2);
+}
+
+/// Parses the value of `flag`, exiting with an error when it is missing or
+/// malformed.
+fn parse_flag_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> T {
+    let Some(raw) = args.next() else {
+        usage_error(&format!("{flag} requires a value"));
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => usage_error(&format!("invalid value {raw:?} for {flag}")),
+    }
 }
 
 fn parse_args() -> Options {
     let mut experiments = Vec::new();
-    let mut scale = 0.12;
+    let mut scale = 0.12f64;
     let mut machines = 4usize;
     let mut seed = 42u64;
+    let mut out = std::path::PathBuf::from("BENCH_results.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
-            "--machines" => machines = args.next().and_then(|v| v.parse().ok()).unwrap_or(machines),
-            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--scale" => scale = parse_flag_value(&mut args, "--scale"),
+            "--machines" => machines = parse_flag_value(&mut args, "--machines"),
+            "--seed" => seed = parse_flag_value(&mut args, "--seed"),
+            "--out" => out = parse_flag_value(&mut args, "--out"),
             "--help" | "-h" => {
-                println!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K]");
+                println!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]");
                 std::process::exit(0);
             }
-            other => experiments.push(other.to_string()),
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown flag {other:?}"));
+            }
+            other if KNOWN_EXPERIMENTS.contains(&other) => experiments.push(other.to_string()),
+            other => usage_error(&format!(
+                "unknown experiment {other:?} (known: {})",
+                KNOWN_EXPERIMENTS.join(", ")
+            )),
         }
+    }
+    if !scale.is_finite() || scale <= 0.0 {
+        usage_error(&format!("--scale must be positive, got {scale}"));
+    }
+    if machines == 0 {
+        usage_error("--machines must be at least 1");
     }
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Options { experiments, scale: Scale(scale), machines, seed }
+    Options { experiments, scale: Scale(scale), machines, seed, out }
 }
 
 const STANDARD_QUERIES: [&str; 8] = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"];
@@ -57,6 +112,7 @@ fn main() {
     let want = |name: &str| {
         opts.experiments.iter().any(|e| e == name || e == "all")
     };
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     if want("table1") {
         println!("== Table 1: dataset profiles (scale {:.2}) ==", opts.scale.0);
@@ -85,7 +141,7 @@ fn main() {
         println!();
     }
 
-    let perf = |fig: &str, kind: DatasetKind| {
+    let perf = |tag: &str, fig: &str, kind: DatasetKind, records: &mut Vec<BenchRecord>| {
         println!(
             "== {fig}: performance on {} ({} machines, scale {:.2}) ==",
             kind.name(),
@@ -103,20 +159,21 @@ fn main() {
         );
         for row in rows {
             println!("{}", row.render());
+            records.push(BenchRecord::from_measurement(tag, &row));
         }
         println!();
     };
     if want("fig8") {
-        perf("Figure 8", DatasetKind::RoadNet);
+        perf("fig8", "Figure 8", DatasetKind::RoadNet, &mut records);
     }
     if want("fig9") {
-        perf("Figure 9", DatasetKind::Dblp);
+        perf("fig9", "Figure 9", DatasetKind::Dblp, &mut records);
     }
     if want("fig10") {
-        perf("Figure 10", DatasetKind::LiveJournal);
+        perf("fig10", "Figure 10", DatasetKind::LiveJournal, &mut records);
     }
     if want("fig11") {
-        perf("Figure 11", DatasetKind::Uk2002);
+        perf("fig11", "Figure 11", DatasetKind::Uk2002, &mut records);
     }
 
     if want("fig12") {
@@ -198,6 +255,7 @@ fn main() {
         for kind in [DatasetKind::RoadNet, DatasetKind::Dblp, DatasetKind::LiveJournal, DatasetKind::Uk2002] {
             for row in clique_queries_figure(kind, opts.scale, opts.machines, opts.seed) {
                 println!("{}", row.render());
+                records.push(BenchRecord::from_measurement("fig15", &row));
             }
         }
         println!();
@@ -226,5 +284,61 @@ fn main() {
             }
         }
         println!();
+    }
+
+    if want("speedup") {
+        println!(
+            "== Speedup: intra-machine worker pool on LiveJournal ({} machines, scale {:.2}, simulated 4 ms-RTT network) ==",
+            opts.machines, opts.scale.0
+        );
+        println!("dataset\tquery\tworkers\tembeddings\ttime(ms)\tcomm(MB)\tspeedup-vs-1");
+        // A latency-bearing network model (a 4 ms round trip, i.e. a cloud
+        // or cross-rack link rather than a tuned LAN): on a zero-cost
+        // network this single-process simulation cannot show the
+        // communication/computation overlap the pool buys, because compute
+        // itself does not parallelize when the host has fewer cores than
+        // simulated machines x workers.
+        let network = NetworkConfig {
+            latency_per_message: Duration::from_millis(2),
+            bytes_per_second: Some(100 * 1024 * 1024),
+        };
+        let rows = parallel_speedup(
+            DatasetKind::LiveJournal,
+            opts.scale,
+            opts.machines,
+            opts.seed,
+            network,
+            64 * 1024,
+            &["q5", "q8"],
+            &[1, 4],
+        );
+        let mut base_ms = 1.0;
+        for r in &rows {
+            if r.workers == 1 {
+                base_ms = r.elapsed_ms;
+            }
+            println!(
+                "{}\t{}\t{}\t{}\t{:.1}\t{:.4}\t{:.2}x",
+                r.dataset,
+                r.query,
+                r.workers,
+                r.embeddings,
+                r.elapsed_ms,
+                r.bytes_shipped as f64 / (1024.0 * 1024.0),
+                base_ms / r.elapsed_ms.max(1e-6),
+            );
+        }
+        records.extend(rows);
+        println!();
+    }
+
+    if !records.is_empty() {
+        match write_results_json(&opts.out, &records) {
+            Ok(()) => println!("wrote {} result rows to {}", records.len(), opts.out.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", opts.out.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -5,7 +5,14 @@
 //! dataset suite; the `experiments` binary is a thin CLI over these
 //! functions and `EXPERIMENTS.md` records the observed results next to the
 //! paper's claims. Micro-benchmarks (criterion) live in `benches/`.
+//!
+//! Measurement-shaped experiments additionally emit [`BenchRecord`]s, which
+//! the binary serializes to `BENCH_results.json` so the performance
+//! trajectory of the repository is machine-readable; [`parallel_speedup`]
+//! measures the intra-machine worker pool (wall-clock speedup of
+//! `workers = n` over `workers = 1` on a latency-bearing simulated network).
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -15,7 +22,7 @@ use rads_datasets::{generate, Dataset, DatasetKind, Scale};
 use rads_graph::{queries, Graph, Pattern};
 use rads_partition::{LabelPropagationPartitioner, PartitionedGraph, Partitioner};
 use rads_plan::{random_min_round_plan, random_star_plan};
-use rads_runtime::Cluster;
+use rads_runtime::{Cluster, NetworkConfig};
 
 /// The systems compared in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +76,9 @@ pub struct Measurement {
     pub communication_mb: f64,
     /// Peak intermediate rows held by any machine (memory pressure).
     pub peak_intermediate_rows: usize,
+    /// Intra-machine worker threads used (1 for the single-threaded
+    /// baselines; RADS honours `RadsConfig::workers`).
+    pub workers: usize,
 }
 
 impl Measurement {
@@ -95,6 +105,74 @@ pub fn build_cluster(graph: &Graph, machines: usize) -> Cluster {
     Cluster::new(Arc::new(PartitionedGraph::build(graph, partitioning)))
 }
 
+/// [`build_cluster`] with an explicit network model (latency/bandwidth are
+/// simulated by sleeping on every remote exchange).
+pub fn build_cluster_with_network(
+    graph: &Graph,
+    machines: usize,
+    network: NetworkConfig,
+) -> Cluster {
+    let partitioning = LabelPropagationPartitioner::default().partition(graph, machines);
+    Cluster::with_network(Arc::new(PartitionedGraph::build(graph, partitioning)), network)
+}
+
+/// Measures the intra-machine worker pool: RADS wall-clock for each worker
+/// count in `worker_counts` on one dataset/query, over a latency-bearing
+/// simulated network (on a real cluster the engine overlaps communication
+/// stalls with useful work; a zero-cost network would hide exactly the
+/// effect this experiment demonstrates). `budget_bytes` is the per-group
+/// memory budget `Φ` — the paper's regime has many region groups per
+/// machine, which is also what gives the pool units to schedule. Panics if
+/// any worker count changes the embedding total — the determinism contract
+/// of `RadsConfig::workers`.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_speedup(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    network: NetworkConfig,
+    budget_bytes: usize,
+    query_names: &[&str],
+    worker_counts: &[usize],
+) -> Vec<BenchRecord> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster_with_network(&dataset.graph, machines, network);
+    let mut records = Vec::new();
+    for &qname in query_names {
+        let pattern = queries::query_by_name(qname).expect("known query");
+        let mut expected = None;
+        for &workers in worker_counts {
+            let config = RadsConfig {
+                memory_budget: rads_core::memory::MemoryBudget {
+                    region_group_bytes: budget_bytes,
+                },
+                ..RadsConfig::with_workers(workers)
+            };
+            let outcome = run_rads(&cluster, &pattern, &config);
+            match expected {
+                None => expected = Some(outcome.total_embeddings),
+                Some(e) => assert_eq!(
+                    e, outcome.total_embeddings,
+                    "{qname}: workers={workers} changed the embedding count"
+                ),
+            }
+            records.push(BenchRecord {
+                experiment: "speedup".to_string(),
+                dataset: dataset.profile.name.clone(),
+                query: qname.to_string(),
+                system: "RADS".to_string(),
+                machines,
+                workers,
+                embeddings: outcome.total_embeddings,
+                elapsed_ms: outcome.elapsed.as_secs_f64() * 1000.0,
+                bytes_shipped: outcome.traffic.total_bytes,
+            });
+        }
+    }
+    records
+}
+
 /// Runs one system on one (dataset, query) pair.
 pub fn run_system(
     system: System,
@@ -106,10 +184,13 @@ pub fn run_system(
     crystal_index: Option<&CliqueIndex>,
 ) -> Measurement {
     let machines = cluster.machines();
+    let mut workers = 1;
     let start = Instant::now();
     let (embeddings, communication_mb, peak_rows) = match system {
         System::Rads => {
-            let outcome = run_rads(cluster, pattern, &RadsConfig::default());
+            let config = RadsConfig::default();
+            workers = config.workers;
+            let outcome = run_rads(cluster, pattern, &config);
             (outcome.total_embeddings, outcome.traffic.megabytes(), outcome.peak_trie_nodes())
         }
         System::Psgl => {
@@ -146,7 +227,103 @@ pub fn run_system(
         elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
         communication_mb,
         peak_intermediate_rows: peak_rows,
+        workers,
     }
+}
+
+/// One machine-readable result row of `BENCH_results.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment that produced the row (e.g. `"fig10"`, `"speedup"`).
+    pub experiment: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Query name.
+    pub query: String,
+    /// System name.
+    pub system: String,
+    /// Machines in the simulated cluster.
+    pub machines: usize,
+    /// Intra-machine worker threads.
+    pub workers: usize,
+    /// Embeddings found.
+    pub embeddings: u64,
+    /// Elapsed wall-clock milliseconds.
+    pub elapsed_ms: f64,
+    /// Bytes put on the simulated wire.
+    pub bytes_shipped: u64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a [`Measurement`] produced by `experiment`.
+    pub fn from_measurement(experiment: &str, m: &Measurement) -> Self {
+        BenchRecord {
+            experiment: experiment.to_string(),
+            dataset: m.dataset.clone(),
+            query: m.query.clone(),
+            system: m.system.to_string(),
+            machines: m.machines,
+            workers: m.workers,
+            embeddings: m.embeddings,
+            elapsed_ms: m.elapsed_ms,
+            bytes_shipped: (m.communication_mb * 1024.0 * 1024.0).round() as u64,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"experiment\":{},\"dataset\":{},\"query\":{},\"system\":{},",
+                "\"machines\":{},\"workers\":{},\"embeddings\":{},",
+                "\"elapsed_ms\":{:.3},\"bytes_shipped\":{}}}"
+            ),
+            json_string(&self.experiment),
+            json_string(&self.dataset),
+            json_string(&self.query),
+            json_string(&self.system),
+            self.machines,
+            self.workers,
+            self.embeddings,
+            self.elapsed_ms,
+            self.bytes_shipped,
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `records` as a pretty-printed JSON array (one record per line).
+pub fn render_results_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes `records` to `path` as JSON (the `BENCH_results.json` format).
+pub fn write_results_json(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    std::fs::write(path, render_results_json(records))
 }
 
 /// Table 1: the dataset profiles.
@@ -464,8 +641,64 @@ mod tests {
             elapsed_ms: 1.5,
             communication_mb: 0.25,
             peak_intermediate_rows: 7,
+            workers: 2,
         };
         let line = m.render();
         assert!(line.contains("RADS") && line.contains("q1") && line.contains("4m"));
+        let record = BenchRecord::from_measurement("fig9", &m);
+        assert_eq!(record.bytes_shipped, 262144);
+        assert_eq!(record.workers, 2);
+        let json = record.to_json();
+        assert!(json.contains("\"experiment\":\"fig9\""));
+        assert!(json.contains("\"bytes_shipped\":262144"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn results_json_renders_an_array() {
+        let m = Measurement {
+            system: "RADS",
+            dataset: "DBLP".into(),
+            query: "q2".into(),
+            machines: 2,
+            embeddings: 3,
+            elapsed_ms: 0.5,
+            communication_mb: 0.0,
+            peak_intermediate_rows: 1,
+            workers: 1,
+        };
+        let records = vec![
+            BenchRecord::from_measurement("fig9", &m),
+            BenchRecord::from_measurement("fig9", &m),
+        ];
+        let text = render_results_json(&records);
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"));
+        assert_eq!(text.matches("\"query\":\"q2\"").count(), 2);
+        assert_eq!(render_results_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn parallel_speedup_records_identical_counts_per_worker_count() {
+        let records = parallel_speedup(
+            DatasetKind::Dblp,
+            Scale(0.08),
+            2,
+            9,
+            NetworkConfig::default(),
+            64 * 1024,
+            &["q1"],
+            &[1, 2],
+        );
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].embeddings, records[1].embeddings);
+        assert_eq!(records[0].workers, 1);
+        assert_eq!(records[1].workers, 2);
+        assert!(records.iter().all(|r| r.experiment == "speedup" && r.system == "RADS"));
     }
 }

@@ -4,9 +4,25 @@
 //! remaining start candidates, then the multi-round expand / verify & filter
 //! loop per region group, and finally checkR/shareR work stealing once the
 //! local queue is empty.
+//!
+//! With `workers > 1` the machine drains its region groups with an
+//! intra-machine [`rads_exec`] worker pool instead of a single loop. Region
+//! groups are fully independent units of work, so each pool worker runs the
+//! exact sequential drain loop — pop a group from the shared queue, process
+//! it, steal from other machines once the queue is empty — against its own
+//! foreign-vertex cache (contention-free reads: no worker ever blocks on
+//! another worker's cache) and its own partial [`MachineOutput`]. The
+//! partials are merged at the end-of-phase barrier by summing counters,
+//! maxing peaks and sorting collected embeddings, all order-insensitive
+//! reductions, so every result surfaced by [`run_machine`] is independent of
+//! the worker count and of scheduling. Only the communication-volume
+//! counters (cache hits/misses, `fetchV`/`verifyE` request counts) may vary
+//! with `workers > 1`, because which worker's cache already holds a foreign
+//! vertex depends on which worker processed the earlier group.
 
 use std::collections::HashMap;
 
+use rads_exec::{scoped_workers, ExecConfig};
 use rads_graph::{Pattern, SymmetryBreaking, VertexId};
 use rads_graph::types::EdgeKey;
 use rads_partition::LocalPartition;
@@ -41,6 +57,10 @@ pub struct EngineConfig {
     pub collect_embeddings: bool,
     /// RNG seed for region grouping.
     pub seed: u64,
+    /// Intra-machine worker threads (see the [module docs](self)).
+    pub workers: usize,
+    /// Start candidates per SM-E work unit (the stealing granularity).
+    pub steal_granularity: usize,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +73,8 @@ impl Default for EngineConfig {
             budget: MemoryBudget::default(),
             collect_embeddings: false,
             seed: 0x5AD5,
+            workers: 1,
+            steal_granularity: rads_exec::DEFAULT_STEAL_GRANULARITY,
         }
     }
 }
@@ -105,10 +127,42 @@ pub struct MachineOutput {
     /// Total embeddings found by this machine (SM-E + distributed).
     pub count: u64,
     /// The embeddings themselves (only when `collect_embeddings` is set),
-    /// indexed by query vertex.
+    /// indexed by query vertex and sorted lexicographically — the sort is
+    /// what keeps the output independent of the intra-machine worker
+    /// schedule.
     pub embeddings: Vec<Vec<VertexId>>,
     /// Run statistics.
     pub stats: EngineStats,
+}
+
+impl MachineOutput {
+    /// Folds one pool worker's partial output into the machine total. Every
+    /// reduction is order-insensitive (sums and maxes), so the merged result
+    /// does not depend on worker order or scheduling.
+    fn absorb(&mut self, worker: MachineOutput) {
+        self.count += worker.count;
+        self.embeddings.extend(worker.embeddings);
+        let s = &mut self.stats;
+        let w = worker.stats;
+        s.sme_embeddings += w.sme_embeddings;
+        s.distributed_embeddings += w.distributed_embeddings;
+        s.sme_candidates += w.sme_candidates;
+        s.distributed_candidates += w.distributed_candidates;
+        s.groups_created += w.groups_created;
+        s.groups_processed += w.groups_processed;
+        s.groups_stolen += w.groups_stolen;
+        s.peak_trie_nodes = s.peak_trie_nodes.max(w.peak_trie_nodes);
+        s.trie_nodes_created += w.trie_nodes_created;
+        s.embedding_list_bytes += w.embedding_list_bytes;
+        s.embedding_trie_bytes += w.embedding_trie_bytes;
+        s.cache_entries += w.cache_entries;
+        s.cache_hits += w.cache_hits;
+        s.cache_misses += w.cache_misses;
+        s.fetch_requests += w.fetch_requests;
+        s.verify_requests += w.verify_requests;
+        s.undetermined_edges += w.undetermined_edges;
+        s.candidates_filtered += w.candidates_filtered;
+    }
 }
 
 /// Adjacency oracle over the machine's partition, the persistent cache and a
@@ -139,9 +193,10 @@ pub fn run_machine(
     let mut output = MachineOutput::default();
     let local = ctx.partition();
     let symmetry = SymmetryBreaking::new(pattern);
+    let exec = ExecConfig { workers: config.workers, steal_granularity: config.steal_granularity };
 
     // ---- Phase 1: SM-E -----------------------------------------------------
-    let sme = run_sme(local, pattern, plan, config.enable_sme);
+    let sme = run_sme(local, pattern, plan, config.enable_sme, &exec);
     output.stats.sme_embeddings = sme.count;
     output.stats.sme_candidates = sme.local_candidates;
     output.count += sme.count;
@@ -162,17 +217,49 @@ pub fn run_machine(
     output.stats.groups_created = groups.len();
     group_queue.lock().extend(groups);
 
-    // ---- Phase 3: R-Meef over the local region groups ------------------------
+    // ---- Phases 3 + 4: drain region groups on the worker pool ----------------
+    // The shared queue doubles as the pool's injector; it must stay the
+    // single source of waiting groups because other machines' shareR
+    // requests take from it too. With workers == 1 the closure runs inline
+    // on the engine thread — the paper's sequential path, unchanged.
+    let worker_outputs = scoped_workers(exec.effective_workers(), |_worker| {
+        drain_region_groups(ctx, pattern, plan, &symmetry, &group_queue, config)
+    });
+    for worker_output in worker_outputs {
+        output.absorb(worker_output);
+    }
+    if config.collect_embeddings {
+        output.embeddings.sort_unstable();
+    }
+    output
+}
+
+/// One pool worker's share of phases 3 and 4: process local region groups
+/// until the machine's queue is empty, then steal groups from the most
+/// loaded other machine (checkR / shareR) until the cluster has none left.
+/// Exactly the sequential drain loop, against a worker-private cache and
+/// output.
+fn drain_region_groups(
+    ctx: &MachineContext,
+    pattern: &Pattern,
+    plan: &ExecutionPlan,
+    symmetry: &SymmetryBreaking,
+    group_queue: &GroupQueue,
+    config: &EngineConfig,
+) -> MachineOutput {
+    let mut output = MachineOutput::default();
     let mut cache = if config.enable_cache {
         ForeignVertexCache::new()
     } else {
         ForeignVertexCache::disabled()
     };
+
+    // ---- Phase 3: R-Meef over the local region groups ------------------------
     loop {
         let group = group_queue.lock().pop_front();
         let Some(group) = group else { break };
         process_region_group(
-            ctx, pattern, plan, &symmetry, &group, &mut cache, config, &mut output,
+            ctx, pattern, plan, symmetry, &group, &mut cache, config, &mut output,
         );
         output.stats.groups_processed += 1;
     }
@@ -195,7 +282,7 @@ pub fn run_machine(
             match ctx.request(target, Request::ShareRegionGroup) {
                 Response::RegionGroup(Some(group)) => {
                     process_region_group(
-                        ctx, pattern, plan, &symmetry, &group, &mut cache, config, &mut output,
+                        ctx, pattern, plan, symmetry, &group, &mut cache, config, &mut output,
                     );
                     output.stats.groups_processed += 1;
                     output.stats.groups_stolen += 1;

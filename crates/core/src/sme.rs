@@ -6,13 +6,21 @@
 //! processed with the single-machine enumerator over the induced subgraph of
 //! the machine's owned vertices, without any communication; the remaining
 //! candidates are handed to the distributed R-Meef phase.
+//!
+//! Since every start candidate roots an independent search tree, the phase
+//! parallelizes trivially: the candidate list is cut into work units of
+//! `steal_granularity` candidates and mapped over the [`rads_exec`] pool.
+//! Per-unit embeddings and statistics are merged back **in unit order**, so
+//! the outcome is bit-identical for every worker count.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
+use rads_exec::{parallel_map, ExecConfig};
 use rads_graph::{Graph, GraphBuilder, Pattern, VertexId};
 use rads_partition::LocalPartition;
 use rads_plan::ExecutionPlan;
-use rads_single::{EnumerationConfig, Enumerator, MatchingOrder};
+use rads_single::{EnumerationConfig, EnumerationStats, Enumerator, MatchingOrder};
 
 use crate::memory::SpaceEstimator;
 
@@ -66,7 +74,8 @@ pub fn owned_subgraph(local: &LocalPartition) -> OwnedSubgraph {
     OwnedSubgraph { graph: builder.build(), global_of_dense: owned.to_vec(), dense_of_global }
 }
 
-/// Runs SM-E on one machine.
+/// Runs SM-E on one machine, fanning the start candidates out to
+/// `exec.workers` pool workers.
 ///
 /// * `enabled = false` (ablation) sends every start candidate to the
 ///   distributed phase and derives the space estimator from a degree-based
@@ -76,6 +85,7 @@ pub fn run_sme(
     pattern: &Pattern,
     plan: &ExecutionPlan,
     enabled: bool,
+    exec: &ExecConfig,
 ) -> SmeResult {
     let start = plan.start_vertex();
     let span = pattern.span(start) as u32;
@@ -115,16 +125,47 @@ pub fn run_sme(
     let dense_candidates: Vec<VertexId> =
         local_cands.iter().map(|v| sub.dense_of_global[v]).collect();
     let order = MatchingOrder::greedy_from(pattern, start);
-    let config = EnumerationConfig {
-        start_candidates: Some(dense_candidates),
-        order: Some(order),
-        ..Default::default()
-    };
-    let mut embeddings = Vec::new();
-    let stats = Enumerator::with_config(&sub.graph, pattern, config).run(|mapping| {
-        embeddings.push(mapping.iter().map(|&dv| sub.global_of_dense[dv as usize]).collect());
-        true
+
+    // One work unit per `steal_granularity` start candidates; each unit runs
+    // the enumerator over its own sub-range of the shared candidate list.
+    let granularity = exec.effective_granularity();
+    let units: Vec<Range<usize>> = (0..dense_candidates.len())
+        .step_by(granularity)
+        .map(|lo| lo..(lo + granularity).min(dense_candidates.len()))
+        .collect();
+    let unit_exec = ExecConfig { workers: exec.effective_workers(), steal_granularity: 1 };
+    let (unit_results, _) = parallel_map(&unit_exec, &units, |_, _, range| {
+        // Each unit owns only its slice of the candidate list (cloning the
+        // full list per unit would cost O(candidates² / granularity)); the
+        // range split is equivalent to `EnumerationConfig::start_range`
+        // because sub-ranges are taken before the per-vertex filters.
+        let config = EnumerationConfig {
+            start_candidates: Some(dense_candidates[range.clone()].to_vec()),
+            order: Some(order.clone()),
+            ..Default::default()
+        };
+        let mut embeddings: Vec<Vec<VertexId>> = Vec::new();
+        let stats = Enumerator::with_config(&sub.graph, pattern, config).run(|mapping| {
+            embeddings.push(mapping.iter().map(|&dv| sub.global_of_dense[dv as usize]).collect());
+            true
+        });
+        (embeddings, stats)
     });
+
+    // Merge in unit order: identical to one sequential sweep.
+    let mut embeddings = Vec::new();
+    let mut stats = EnumerationStats::default();
+    for (unit_embeddings, unit_stats) in unit_results {
+        embeddings.extend(unit_embeddings);
+        stats.embeddings += unit_stats.embeddings;
+        stats.pruned += unit_stats.pruned;
+        if stats.nodes_per_level.len() < unit_stats.nodes_per_level.len() {
+            stats.nodes_per_level.resize(unit_stats.nodes_per_level.len(), 0);
+        }
+        for (level, n) in unit_stats.nodes_per_level.iter().enumerate() {
+            stats.nodes_per_level[level] += n;
+        }
+    }
 
     SmeResult {
         count: embeddings.len() as u64,
@@ -151,7 +192,7 @@ mod tests {
         let pg = PartitionedGraph::build(&g, Partitioning::single_machine(g.vertex_count()));
         let pattern = queries::q2();
         let plan = best_plan(&pattern, &PlannerConfig::default());
-        let result = run_sme(pg.local(0), &pattern, &plan, true);
+        let result = run_sme(pg.local(0), &pattern, &plan, true, &ExecConfig::sequential());
         // no border vertices at all: every candidate is local
         assert!(result.remaining_candidates.is_empty());
         assert_eq!(result.count, count_embeddings(&g, &pattern));
@@ -166,7 +207,7 @@ mod tests {
         let plan = best_plan(&pattern, &PlannerConfig::default());
         for m in 0..4 {
             let local = pg.local(m);
-            let result = run_sme(local, &pattern, &plan, true);
+            let result = run_sme(local, &pattern, &plan, true, &ExecConfig::sequential());
             for emb in &result.embeddings {
                 for &v in emb {
                     assert!(local.owns(v), "SM-E produced a foreign vertex {v} on machine {m}");
@@ -184,8 +225,8 @@ mod tests {
         let plan = best_plan(&pattern, &PlannerConfig::default());
         for m in 0..2 {
             let local = pg.local(m);
-            let with = run_sme(local, &pattern, &plan, true);
-            let without = run_sme(local, &pattern, &plan, false);
+            let with = run_sme(local, &pattern, &plan, true, &ExecConfig::sequential());
+            let without = run_sme(local, &pattern, &plan, false, &ExecConfig::sequential());
             assert_eq!(without.count, 0);
             assert_eq!(without.local_candidates, 0);
             assert_eq!(
@@ -197,12 +238,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sme_is_bit_identical_to_sequential() {
+        let g = grid_2d(12, 12);
+        let partitioning = BfsPartitioner.partition(&g, 2);
+        let pg = PartitionedGraph::build(&g, partitioning);
+        let pattern = queries::q1();
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        for m in 0..2 {
+            let local = pg.local(m);
+            let sequential = run_sme(local, &pattern, &plan, true, &ExecConfig::sequential());
+            for workers in [2, 4, 8] {
+                let exec = ExecConfig { workers, steal_granularity: 3 };
+                let parallel = run_sme(local, &pattern, &plan, true, &exec);
+                assert_eq!(parallel.embeddings, sequential.embeddings, "machine {m}");
+                assert_eq!(parallel.count, sequential.count);
+                assert_eq!(parallel.trie_nodes, sequential.trie_nodes);
+                assert_eq!(parallel.local_candidates, sequential.local_candidates);
+                assert_eq!(parallel.remaining_candidates, sequential.remaining_candidates);
+                assert_eq!(parallel.estimator, sequential.estimator);
+            }
+        }
+    }
+
+    #[test]
     fn estimator_reflects_search_effort() {
         let g = community_graph(2, 15, 0.5, 0.02, 9);
         let pg = PartitionedGraph::build(&g, Partitioning::single_machine(g.vertex_count()));
         let pattern = queries::q4();
         let plan = best_plan(&pattern, &PlannerConfig::default());
-        let result = run_sme(pg.local(0), &pattern, &plan, true);
+        let result = run_sme(pg.local(0), &pattern, &plan, true, &ExecConfig::sequential());
         assert!(result.trie_nodes > 0);
         assert!(result.estimator.nodes_per_candidate() >= 1.0);
     }

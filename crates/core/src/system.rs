@@ -44,6 +44,30 @@ pub struct RadsConfig {
     pub rho: f64,
     /// RNG seed (region grouping).
     pub seed: u64,
+    /// Intra-machine parallelism: the number of worker threads each machine
+    /// uses for SM-E start-candidate enumeration and R-Meef region-group
+    /// processing (a [`rads_exec`] work-stealing pool).
+    ///
+    /// **Determinism guarantees.** For any worker count, a run returns
+    /// exactly the same `total_embeddings`, the same per-machine embedding
+    /// counts, the same collected embeddings (sorted lexicographically per
+    /// machine), and the same values for every schedule-independent
+    /// statistic (SM-E counters, groups created, trie sizes and peaks,
+    /// undetermined edges, filtered candidates). With `workers == 1` the
+    /// engine runs the paper's sequential code path inline — no pool thread
+    /// is spawned. Only communication-volume numbers (cache hits/misses,
+    /// `fetchV`/`verifyE` request counts and therefore traffic bytes) may
+    /// vary with `workers > 1`, because foreign-vertex caches are
+    /// worker-private and which worker's cache already holds a vertex
+    /// depends on the schedule.
+    ///
+    /// `Default` reads the `RADS_WORKERS` environment variable (see
+    /// [`rads_exec::workers_from_env`]), defaulting to 1.
+    pub workers: usize,
+    /// Work-stealing granularity: start candidates per SM-E work unit.
+    /// Smaller units spread imbalanced candidates better; larger units
+    /// amortize scheduling. Ignored when `workers == 1`.
+    pub steal_granularity: usize,
 }
 
 impl Default for RadsConfig {
@@ -58,7 +82,17 @@ impl Default for RadsConfig {
             plan_override: None,
             rho: 1.0,
             seed: 42,
+            workers: rads_exec::workers_from_env(),
+            steal_granularity: rads_exec::DEFAULT_STEAL_GRANULARITY,
         }
+    }
+}
+
+impl RadsConfig {
+    /// The default configuration with an explicit worker count (ignoring the
+    /// `RADS_WORKERS` environment variable).
+    pub fn with_workers(workers: usize) -> Self {
+        RadsConfig { workers, ..Default::default() }
     }
 }
 
@@ -148,6 +182,8 @@ pub fn run_rads(cluster: &Cluster, pattern: &Pattern, config: &RadsConfig) -> Ra
         budget: config.memory_budget,
         collect_embeddings: config.collect_embeddings,
         seed: config.seed,
+        workers: config.workers,
+        steal_granularity: config.steal_granularity,
     };
 
     let plan_for_engines = plan.clone();
@@ -270,11 +306,13 @@ mod tests {
     fn disabling_sme_pushes_everything_to_the_distributed_phase() {
         let g = grid_2d(8, 8);
         let cluster = cluster_for(&g, 2, &BfsPartitioner);
-        let with_sme = run_rads(&cluster, &queries::q1(), &RadsConfig::default());
+        // workers pinned to 1: the final traffic comparison is only monotone
+        // under the sequential schedule (caches are worker-private)
+        let with_sme = run_rads(&cluster, &queries::q1(), &RadsConfig::with_workers(1));
         let without_sme = run_rads(
             &cluster,
             &queries::q1(),
-            &RadsConfig { enable_sme: false, ..Default::default() },
+            &RadsConfig { enable_sme: false, ..RadsConfig::with_workers(1) },
         );
         assert_eq!(with_sme.total_embeddings, without_sme.total_embeddings);
         assert_eq!(without_sme.sme_embeddings(), 0);
@@ -287,11 +325,13 @@ mod tests {
         let g = barabasi_albert(120, 3, 9);
         let cluster = cluster_for(&g, 3, &HashPartitioner);
         let q = queries::q4();
-        let cached = run_rads(&cluster, &q, &RadsConfig::default());
+        // workers pinned to 1: the compared traffic volumes are only
+        // monotone under the sequential schedule (caches are worker-private)
+        let cached = run_rads(&cluster, &q, &RadsConfig::with_workers(1));
         let uncached = run_rads(
             &cluster,
             &q,
-            &RadsConfig { enable_cache: false, ..Default::default() },
+            &RadsConfig { enable_cache: false, ..RadsConfig::with_workers(1) },
         );
         assert_eq!(cached.total_embeddings, uncached.total_embeddings);
         assert!(cached.traffic.total_bytes <= uncached.traffic.total_bytes);
@@ -377,10 +417,13 @@ mod tests {
         let partitioning = rads_partition::Partitioning::new(assignment, 2);
         let cluster = Cluster::new(Arc::new(PartitionedGraph::build(&g, partitioning)));
         let q = queries::q2();
+        // workers pinned to 1: with an intra-machine pool, machine 0's own
+        // workers can drain its queue before machine 1 gets to steal, which
+        // is correct but defeats the imbalance this test sets up
         let config = RadsConfig {
             enable_sme: false,
             memory_budget: MemoryBudget { region_group_bytes: 1024 },
-            ..Default::default()
+            ..RadsConfig::with_workers(1)
         };
         let outcome = run_rads(&cluster, &q, &config);
         assert_eq!(outcome.total_embeddings, count_embeddings(&g, &q));
@@ -396,6 +439,79 @@ mod tests {
             let cluster = cluster_for(&g, 3, &HashPartitioner);
             let outcome = run_rads(&cluster, &q.pattern, &RadsConfig::default());
             assert_eq!(outcome.total_embeddings, expected, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn worker_counts_never_change_results() {
+        // The RadsConfig::workers determinism contract: counts, collected
+        // embeddings and every schedule-independent statistic are identical
+        // for any worker count.
+        let g = community_graph(3, 14, 0.35, 0.03, 11);
+        let q = queries::q4();
+        let expected = count_embeddings(&g, &q);
+        let cluster = cluster_for(&g, 3, &BfsPartitioner);
+        // Cross-machine load sharing redistributes groups by idleness, which
+        // is timing-dependent even sequentially; it stays off here so the
+        // *per-machine* attribution below is comparable between runs.
+        let baseline = run_rads(
+            &cluster,
+            &q,
+            &RadsConfig {
+                collect_embeddings: true,
+                enable_load_sharing: false,
+                ..RadsConfig::with_workers(1)
+            },
+        );
+        assert_eq!(baseline.total_embeddings, expected);
+        for workers in [2, 4, 8] {
+            let config = RadsConfig {
+                collect_embeddings: true,
+                enable_load_sharing: false,
+                steal_granularity: 4,
+                ..RadsConfig::with_workers(workers)
+            };
+            let outcome = run_rads(&cluster, &q, &config);
+            assert_eq!(outcome.total_embeddings, expected, "workers {workers}");
+            for (m, (a, b)) in
+                baseline.per_machine.iter().zip(outcome.per_machine.iter()).enumerate()
+            {
+                assert_eq!(a.count, b.count, "workers {workers} machine {m}");
+                assert_eq!(a.embeddings, b.embeddings, "workers {workers} machine {m}");
+                let (sa, sb) = (&a.stats, &b.stats);
+                assert_eq!(sa.sme_embeddings, sb.sme_embeddings);
+                assert_eq!(sa.sme_candidates, sb.sme_candidates);
+                assert_eq!(sa.distributed_candidates, sb.distributed_candidates);
+                assert_eq!(sa.groups_created, sb.groups_created);
+                assert_eq!(sa.undetermined_edges, sb.undetermined_edges);
+                assert_eq!(sa.candidates_filtered, sb.candidates_filtered);
+                assert_eq!(sa.trie_nodes_created, sb.trie_nodes_created);
+                assert_eq!(sa.embedding_list_bytes, sb.embedding_list_bytes);
+                assert_eq!(sa.embedding_trie_bytes, sb.embedding_trie_bytes);
+                assert_eq!(sa.peak_trie_nodes, sb.peak_trie_nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_workers_with_load_sharing_and_ablations_stay_correct() {
+        // Cross-machine stealing, disabled SM-E and disabled cache all
+        // interact with the intra-machine pool; counts must never move.
+        let g = barabasi_albert(100, 3, 5);
+        let q = queries::q2();
+        let expected = count_embeddings(&g, &q);
+        let cluster = cluster_for(&g, 3, &HashPartitioner);
+        for config in [
+            RadsConfig::with_workers(4),
+            RadsConfig { enable_sme: false, ..RadsConfig::with_workers(4) },
+            RadsConfig { enable_cache: false, ..RadsConfig::with_workers(3) },
+            RadsConfig {
+                memory_budget: MemoryBudget { region_group_bytes: 64 },
+                ..RadsConfig::with_workers(2)
+            },
+        ] {
+            let outcome = run_rads(&cluster, &q, &config);
+            assert_eq!(outcome.total_embeddings, expected, "{config:?}");
         }
     }
 

@@ -1,0 +1,210 @@
+//! The scoped work-stealing pool.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::deque::{Stealer, Worker};
+
+use crate::ExecConfig;
+
+/// What the pool actually did, for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Worker threads used (1 = ran inline on the caller's thread).
+    pub workers: usize,
+    /// Work units (chunks of items) executed.
+    pub tasks: usize,
+    /// Work units a worker took from a sibling's deque instead of its own.
+    pub steals: usize,
+}
+
+/// Runs `f(worker_id)` on `workers` scoped threads and returns the results in
+/// worker-id order. With `workers <= 1` the closure runs inline on the
+/// caller's thread — the exact sequential path, no thread is spawned.
+///
+/// The closure is responsible for its own work sharing (the engine passes a
+/// shared queue); this helper only owns thread lifecycle and deterministic
+/// result collection. A panicking worker propagates as a panic here.
+pub fn scoped_workers<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 {
+        return vec![f(0)];
+    }
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> =
+            (0..workers).map(|w| scope.spawn(move |_| f(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+    .expect("worker pool panicked")
+}
+
+/// Maps `f` over `items` on a work-stealing pool and returns the results in
+/// item order, together with pool statistics.
+///
+/// Items are grouped into work units of `config.steal_granularity` items;
+/// units are dealt round-robin onto per-worker deques; a worker pops its own
+/// deque LIFO and, when empty, steals FIFO from its siblings (starting at its
+/// right neighbour, so contention spreads). Each worker buffers `(index,
+/// result)` pairs privately and the pool scatters them into the output vector
+/// afterwards, so the result is bit-identical for every worker count (the
+/// determinism contract in the [crate docs](crate)) as long as `f` is pure.
+///
+/// `f` receives `(worker_id, item_index, &item)`.
+pub fn parallel_map<T, R, F>(config: &ExecConfig, items: &[T], f: F) -> (Vec<R>, ExecStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
+    let workers = config.effective_workers();
+    let granularity = config.effective_granularity();
+    let mut stats = ExecStats { workers, ..Default::default() };
+
+    if workers <= 1 || items.len() <= granularity {
+        stats.workers = 1;
+        stats.tasks = usize::from(!items.is_empty());
+        let out = items.iter().enumerate().map(|(i, item)| f(0, i, item)).collect();
+        return (out, stats);
+    }
+
+    // Deal work units (index ranges) round-robin onto the per-worker deques.
+    let deques: Vec<Worker<Range<usize>>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Range<usize>>> = deques.iter().map(|d| d.stealer()).collect();
+    let mut task_count = 0;
+    for (t, start) in (0..items.len()).step_by(granularity).enumerate() {
+        let end = (start + granularity).min(items.len());
+        deques[t % workers].push(start..end);
+        task_count += 1;
+    }
+    stats.tasks = task_count;
+
+    let steals = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = scoped_workers(workers, |w| {
+        let mut buffer: Vec<(usize, R)> = Vec::new();
+        loop {
+            // Own deque first; then scan the siblings for work to steal.
+            let unit = deques[w].pop().or_else(|| {
+                (1..workers).find_map(|offset| {
+                    let victim = (w + offset) % workers;
+                    let stolen = stealers[victim].steal().success();
+                    if stolen.is_some() {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    stolen
+                })
+            });
+            let Some(range) = unit else { break };
+            for i in range {
+                buffer.push((i, f(w, i, &items[i])));
+            }
+        }
+        buffer
+    });
+    stats.steals = steals.load(Ordering::Relaxed);
+
+    // Scatter the buffered results back into item order.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} executed twice");
+        slots[i] = Some(r);
+    }
+    let out = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("item {i} was never executed")))
+        .collect();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_workers_results_are_in_worker_order() {
+        for n in [1, 2, 5] {
+            let ids = scoped_workers(n, |w| w * 10);
+            assert_eq!(ids, (0..n).map(|w| w * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order_for_every_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8] {
+            let cfg = ExecConfig { workers, steal_granularity: 4 };
+            let (out, stats) = parallel_map(&cfg, &items, |_, _, &x| x * x);
+            assert_eq!(out, expected, "workers {workers}");
+            assert_eq!(stats.workers, workers.max(1));
+            if workers > 1 {
+                assert!(stats.tasks >= items.len() / 4, "workers {workers}: {stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        let cfg = ExecConfig { workers: 4, steal_granularity: 1 };
+        let (_, stats) = parallel_map(&cfg, &items, |_, i, _| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        assert_eq!(stats.tasks, 100);
+    }
+
+    #[test]
+    fn imbalanced_work_gets_stolen() {
+        // Worker 0's deque gets every slow task (round-robin deal with
+        // granularity 1 puts items 0, 4, 8, .. there); the other workers'
+        // tasks finish immediately, so they must steal to stay busy.
+        let items: Vec<usize> = (0..64).collect();
+        let cfg = ExecConfig { workers: 4, steal_granularity: 1 };
+        let (out, stats) = parallel_map(&cfg, &items, |_, i, &x| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert!(stats.steals > 0, "no stealing happened: {stats:?}");
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let cfg = ExecConfig { workers: 8, steal_granularity: 16 };
+        let (out, stats) = parallel_map(&cfg, &[1, 2, 3], |w, _, &x| {
+            assert_eq!(w, 0);
+            x * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let cfg = ExecConfig::with_workers(4);
+        let (out, stats) = parallel_map(&cfg, &[] as &[u32], |_, _, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.tasks, 0);
+    }
+
+    #[test]
+    fn worker_ids_are_within_range() {
+        let items: Vec<u32> = (0..200).collect();
+        let cfg = ExecConfig { workers: 3, steal_granularity: 2 };
+        let (ids, _) = parallel_map(&cfg, &items, |w, _, _| w);
+        assert!(ids.iter().all(|&w| w < 3));
+    }
+}

@@ -136,6 +136,11 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
                 chosen.insert(t);
             }
         }
+        // Sorted, not in HashSet order: the iteration feeds the `targets`
+        // list that later draws sample from, so a process-random order would
+        // make the generated graph irreproducible across runs.
+        let mut chosen: Vec<VertexId> = chosen.into_iter().collect();
+        chosen.sort_unstable();
         for &t in &chosen {
             b.add_edge(v as VertexId, t);
             targets.push(v as VertexId);

@@ -78,6 +78,18 @@ struct Envelope {
 }
 
 /// Everything an engine thread needs to act as one machine of the cluster.
+///
+/// The context is `Send + Sync` **and** cheaply `Clone` (every field is an id,
+/// a handle or an `Arc`), so a machine's engine may fan its work out to an
+/// intra-machine worker pool: workers either share one context by reference
+/// or carry their own clone. Every concurrency-relevant operation is safe
+/// under that sharing — [`request`](MachineContext::request) creates a fresh
+/// single-use reply channel per call, and the network accounting behind
+/// [`traffic`](MachineContext::traffic) is atomic. Only
+/// [`barrier`](MachineContext::barrier) must stay on the engine thread: it
+/// synchronizes *machines*, and a second thread of the same machine waiting
+/// on it would deadlock the superstep (RADS never calls it; the shuffle-based
+/// baselines are single-threaded per machine).
 pub struct MachineContext {
     machine: MachineId,
     partitioned: Arc<PartitionedGraph>,
@@ -88,6 +100,28 @@ pub struct MachineContext {
     config: NetworkConfig,
     local_daemon: Arc<dyn Daemon>,
 }
+
+impl Clone for MachineContext {
+    fn clone(&self) -> Self {
+        MachineContext {
+            machine: self.machine,
+            partitioned: self.partitioned.clone(),
+            senders: self.senders.clone(),
+            stats: self.stats.clone(),
+            exchange: self.exchange.clone(),
+            barrier: self.barrier.clone(),
+            config: self.config,
+            local_daemon: self.local_daemon.clone(),
+        }
+    }
+}
+
+// The promise the engine-side worker pool builds on; a compile error here
+// means a field of `MachineContext` lost thread safety.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync + Clone>() {}
+    assert_shareable::<MachineContext>()
+};
 
 impl MachineContext {
     /// This machine's id.
@@ -447,6 +481,53 @@ mod tests {
         // machine 0 asked machine 1 (counter starts at 10), and vice versa
         assert_eq!(outcome.results.iter().copied().collect::<std::collections::HashSet<_>>(),
                    [0usize, 10].into_iter().collect());
+    }
+
+    #[test]
+    fn intra_machine_worker_threads_can_share_the_context() {
+        // Four worker threads per machine fire remote requests concurrently
+        // through the same (shared or cloned) context; every reply must reach
+        // the thread that asked, and the atomic traffic accounting must see
+        // every message exactly once.
+        let cluster = small_cluster(2);
+        let outcome = cluster.run(|ctx| {
+            let peer = 1 - ctx.machine();
+            let foreign = ctx.ownership().owned_vertices(peer).to_vec();
+            let fetch_all = |ctx: &MachineContext| {
+                let mut degree_sum = 0;
+                for &v in &foreign {
+                    match ctx.request(peer, Request::FetchVertices(vec![v])) {
+                        Response::Adjacency(lists) => degree_sum += lists[0].1.len(),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                degree_sum
+            };
+            let per_worker: Vec<usize> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|w| {
+                        let fetch_all = &fetch_all;
+                        // even workers share the engine's context by
+                        // reference, odd workers carry their own clone
+                        let owned = (w % 2 == 1).then(|| ctx.clone());
+                        scope.spawn(move || fetch_all(owned.as_ref().unwrap_or(ctx)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            // all workers fetched the same vertices, so they agree
+            assert!(per_worker.windows(2).all(|w| w[0] == w[1]));
+            (per_worker[0], foreign.len())
+        });
+        let (sum0, n0) = outcome.results[0];
+        assert!(sum0 > 0 && n0 > 0);
+        // 2 machines x 4 workers x |foreign| single-vertex requests
+        let expected_messages: u64 = outcome
+            .results
+            .iter()
+            .map(|&(_, n)| 4 * n as u64)
+            .sum();
+        assert_eq!(outcome.traffic.messages, expected_messages);
     }
 
     #[test]

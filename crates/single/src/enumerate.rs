@@ -17,6 +17,14 @@ pub struct EnumerationConfig {
     /// `None` means all vertices of the graph. This is how SM-E enumerates
     /// only from the candidates with sufficient border distance.
     pub start_candidates: Option<Vec<VertexId>>,
+    /// Enumerate only the start candidates at these positions of the start
+    /// candidate list (the explicit one, or all graph vertices in vertex
+    /// order when `start_candidates` is `None`). The range is applied
+    /// *before* the per-vertex filters and is clamped to the list length, so
+    /// a family of runs whose ranges partition `0..len` partitions the
+    /// result set exactly — this is what makes start-candidate work units
+    /// splittable for the intra-machine worker pool.
+    pub start_range: Option<std::ops::Range<usize>>,
     /// Explicit matching order; `None` selects [`MatchingOrder::default_for`].
     pub order: Option<MatchingOrder>,
 }
@@ -84,18 +92,23 @@ impl<'a> Enumerator<'a> {
             SymmetryBreaking::new(self.pattern)
         };
         let start = order.start_vertex();
-        let start_candidates: Vec<VertexId> = match &self.config.start_candidates {
-            Some(cands) => cands
-                .iter()
-                .copied()
-                .filter(|&v| passes_filters(self.graph, self.pattern, start, v))
-                .collect(),
-            None => self
-                .graph
-                .vertices()
-                .filter(|&v| passes_filters(self.graph, self.pattern, start, v))
-                .collect(),
+        let all_candidates: Vec<VertexId> = match &self.config.start_candidates {
+            Some(cands) => cands.clone(),
+            None => self.graph.vertices().collect(),
         };
+        let ranged = match &self.config.start_range {
+            Some(range) => {
+                let lo = range.start.min(all_candidates.len());
+                let hi = range.end.min(all_candidates.len());
+                &all_candidates[lo..hi.max(lo)]
+            }
+            None => &all_candidates[..],
+        };
+        let start_candidates: Vec<VertexId> = ranged
+            .iter()
+            .copied()
+            .filter(|&v| passes_filters(self.graph, self.pattern, start, v))
+            .collect();
 
         let mut assigned: Vec<Option<VertexId>> = vec![None; n];
         let mut mapping: Vec<VertexId> = vec![0; n];
@@ -323,6 +336,54 @@ mod tests {
             .embeddings
         };
         assert_eq!(count(half_a) + count(half_b), total);
+    }
+
+    #[test]
+    fn start_range_chunks_partition_the_result_set() {
+        let g = erdos_renyi(50, 0.15, 8);
+        let q = queries::q2();
+        let total = count_embeddings(&g, &q);
+        let candidates: Vec<VertexId> = g.vertices().collect();
+        let count_range = |range: std::ops::Range<usize>| {
+            Enumerator::with_config(
+                &g,
+                &q,
+                EnumerationConfig {
+                    start_candidates: Some(candidates.clone()),
+                    start_range: Some(range),
+                    ..Default::default()
+                },
+            )
+            .run(|_| true)
+            .embeddings
+        };
+        // any chunking of 0..len partitions the result set
+        for chunk in [7usize, 16, 50] {
+            let mut sum = 0;
+            let mut lo = 0;
+            while lo < candidates.len() {
+                sum += count_range(lo..(lo + chunk).min(candidates.len()));
+                lo += chunk;
+            }
+            assert_eq!(sum, total, "chunk size {chunk}");
+        }
+        // out-of-bounds ranges are clamped instead of panicking
+        assert_eq!(count_range(0..usize::MAX), total);
+        assert_eq!(count_range(candidates.len() + 5..candidates.len() + 9), 0);
+        // a range also applies to the implicit all-vertices candidate list
+        let implicit_total: u64 = [0..25usize, 25..50]
+            .into_iter()
+            .map(|range| {
+                Enumerator::with_config(
+                    &g,
+                    &q,
+                    EnumerationConfig { start_range: Some(range), ..Default::default() },
+                )
+                .run(|_| true)
+                .embeddings
+            })
+            .sum();
+        assert_eq!(implicit_total, total);
     }
 
     #[test]

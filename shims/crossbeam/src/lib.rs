@@ -1,13 +1,30 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
-//! crate, backed by `std::sync::mpsc`.
+//! crate, backed by the standard library.
 //!
-//! Only [`channel`] is provided, and only the constructors and methods the
-//! RADS runtime uses: [`channel::unbounded`], [`channel::bounded`],
-//! cloneable [`channel::Sender`]s and blocking [`channel::Receiver::recv`].
-//! `bounded` is implemented without backpressure (it never blocks the
-//! sender); the runtime only uses it for single-use reply channels, where
-//! the two behave identically. Swap this path dependency for the real crate
-//! once network access is available.
+//! Three modules are provided, covering the API subset the RADS workspace
+//! uses (plus, in [`deque`], the rest of the classic work-stealing trio so
+//! the stand-in mirrors the real crate's shape):
+//!
+//! * [`channel`] — multi-producer channels over `std::sync::mpsc`:
+//!   [`channel::unbounded`], [`channel::bounded`], cloneable
+//!   [`channel::Sender`]s and blocking [`channel::Receiver::recv`].
+//!   `bounded` is implemented without backpressure (it never blocks the
+//!   sender); the runtime only uses it for single-use reply channels, where
+//!   the two behave identically.
+//! * [`deque`] — the work-stealing deque trio of `crossbeam-deque`
+//!   ([`deque::Worker`], [`deque::Stealer`], [`deque::Injector`]). The real
+//!   crate implements the lock-free Chase–Lev deque; this stand-in guards a
+//!   `VecDeque` with a mutex, which preserves the API and the LIFO-pop /
+//!   FIFO-steal discipline but not the lock-freedom. [`deque::Steal::Retry`]
+//!   is consequently never returned (the mutex serialises racing stealers),
+//!   which callers written against the real API already handle.
+//! * [`thread`] — scoped threads ([`thread::scope`] /
+//!   `Scope::spawn(|scope| ..)`), a thin adapter over `std::thread::scope`
+//!   that restores crossbeam's `Result`-returning signature (a panicking
+//!   child surfaces as `Err` instead of resuming the unwind).
+//!
+//! Swap this path dependency for the real crate once network access is
+//! available.
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
@@ -92,9 +109,231 @@ pub mod channel {
     }
 }
 
+/// Work-stealing deques, mirroring `crossbeam::deque` (`crossbeam-deque`).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Which end [`Worker::pop`] takes from.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        /// Pop the most recently pushed task (the Chase–Lev default).
+        Lifo,
+        /// Pop the oldest task.
+        Fifo,
+    }
+
+    /// The owner's handle of a work-stealing deque.
+    ///
+    /// The owner pushes and pops at one end; [`Stealer`]s created with
+    /// [`Worker::stealer`] take from the opposite end. Unlike the real
+    /// crossbeam `Worker` (which is `!Sync` because the owner side is
+    /// single-threaded by construction), this mutex-backed stand-in is
+    /// naturally `Sync`; code written against the real API is unaffected.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A deque whose owner pops the most recently pushed task.
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+        }
+
+        /// A deque whose owner pops the oldest task.
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque mutex poisoned").push_back(task);
+        }
+
+        /// Pops a task from the owner's end (`None` when empty).
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("deque mutex poisoned");
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// `true` when the deque currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque mutex poisoned").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque mutex poisoned").len()
+        }
+
+        /// A new stealing handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: self.queue.clone() }
+        }
+    }
+
+    /// A stealing handle of a [`Worker`]'s deque. Cloneable and shareable.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: self.queue.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the deque (FIFO end).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque mutex poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the deque currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque mutex poisoned").is_empty()
+        }
+    }
+
+    /// A FIFO queue shared by all workers of a pool (the global task source).
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector mutex poisoned").push_back(task);
+        }
+
+        /// Steals the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector mutex poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the injector currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector mutex poisoned").is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector mutex poisoned").len()
+        }
+    }
+
+    /// The outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// A race was lost and the attempt should be retried. Never produced
+        /// by this mutex-backed stand-in, but part of the real API.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// `true` when the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// `true` when the attempt lost a race and should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+    }
+}
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// The error a scope returns when a spawned thread panicked.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope in which threads borrowing non-`'static` data can be spawned.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // `std::thread::Scope` is `Sync`, so handing copies of the wrapper to
+    // spawned threads (crossbeam passes `&Scope` into every closure) is safe.
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a scoped thread (see [`Scope::spawn`]).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish and returns its result, or the
+        /// panic payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope, runs `f` in it, and joins every spawned thread before
+    /// returning. Returns `Err` with the first panic payload if `f` or any
+    /// unjoined spawned thread panicked (the real crossbeam contract; the
+    /// underlying `std::thread::scope` would instead resume the unwind).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, RecvError};
+    use super::deque::{Injector, Steal, Worker};
 
     #[test]
     fn send_recv_roundtrip_across_threads() {
@@ -111,5 +350,97 @@ mod tests {
         let (tx, rx) = bounded::<u8>(1);
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn lifo_worker_pops_newest_stealers_take_oldest() {
+        let w: Worker<u32> = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        let s = w.stealer();
+        assert_eq!(s.steal().success(), Some(1)); // FIFO end
+        assert_eq!(w.pop(), Some(3)); // LIFO end
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.is_empty());
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn fifo_worker_pops_oldest() {
+        let w: Worker<u32> = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_is_shared_fifo() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(inj.is_empty());
+        inj.push(7);
+        inj.push(8);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success(7));
+        assert_eq!(inj.steal(), Steal::Success(8));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn stealers_drain_a_worker_from_other_threads() {
+        let w: Worker<usize> = Worker::new_lifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let total: usize = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let stealer = w.stealer();
+                    s.spawn(move |_| {
+                        let mut sum = 0;
+                        while let Some(task) = stealer.steal().success() {
+                            sum += task;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, (0..100).sum());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn scope_joins_and_returns_the_closure_value() {
+        let data = [1, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn scope_surfaces_child_panics_as_err() {
+        let result = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("child panic"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
     }
 }

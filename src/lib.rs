@@ -22,8 +22,8 @@
 //! ```
 //!
 //! The individual subsystems are documented in their own crates:
-//! [`graph`], [`partition`], [`runtime`], [`single`], [`plan`], [`core`]
-//! (the RADS engine itself), [`baselines`] and [`datasets`].
+//! [`graph`], [`partition`], [`runtime`], [`single`], [`exec`], [`plan`],
+//! [`core`] (the RADS engine itself), [`baselines`] and [`datasets`].
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -35,6 +35,8 @@ pub use rads_partition as partition;
 pub use rads_runtime as runtime;
 /// Single-machine subgraph enumeration (SM-E and ground truth).
 pub use rads_single as single;
+/// Intra-machine work-stealing worker pool.
+pub use rads_exec as exec;
 /// Execution-plan computation (Section 4).
 pub use rads_plan as plan;
 /// The RADS engine: embedding trie, EVI, region groups, R-Meef.
