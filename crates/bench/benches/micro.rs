@@ -1,16 +1,57 @@
-//! Criterion micro-benchmarks of RADS's building blocks: the embedding trie,
-//! the edge-verification index, plan computation, border-distance
-//! computation, partitioning and the single-machine enumerator.
+//! Criterion micro-benchmarks of RADS's building blocks: the sorted-set
+//! intersection kernels, the embedding trie, the edge-verification index,
+//! plan computation, border-distance computation, partitioning and the
+//! single-machine enumerator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rads_core::trie::EmbeddingTrie;
 use rads_core::evi::EdgeVerificationIndex;
 use rads_graph::generators::{barabasi_albert, grid_2d};
+use rads_graph::intersect::{intersect_k_into, intersect_pair_into, IntersectStats};
 use rads_graph::{queries, VertexId};
 use rads_partition::{BfsPartitioner, HashPartitioner, LabelPropagationPartitioner, LocalPartition, Partitioner};
 use rads_plan::{best_plan, PlannerConfig};
 use rads_single::count_embeddings;
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection");
+    // comparable lengths -> linear-merge dispatch
+    let a: Vec<VertexId> = (0..20_000).map(|i| i * 3).collect();
+    let b: Vec<VertexId> = (0..20_000).map(|i| i * 5).collect();
+    group.bench_function("merge_20k_x_20k", |bench| {
+        let (mut out, mut stats) = (Vec::new(), IntersectStats::default());
+        bench.iter(|| {
+            intersect_pair_into(&a, &b, &mut out, &mut stats);
+            out.len()
+        })
+    });
+    // 1000x length skew -> galloping dispatch
+    let small: Vec<VertexId> = (0..200).map(|i| i * 997).collect();
+    let big: Vec<VertexId> = (0..200_000).collect();
+    group.bench_function("gallop_200_x_200k", |bench| {
+        let (mut out, mut stats) = (Vec::new(), IntersectStats::default());
+        bench.iter(|| {
+            intersect_pair_into(&small, &big, &mut out, &mut stats);
+            out.len()
+        })
+    });
+    // k-way over the adjacency lists of power-law hubs — the shape the
+    // enumerator produces on clique queries
+    let g = barabasi_albert(3000, 8, 5);
+    let mut by_degree: Vec<VertexId> = g.vertices().collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let hubs: Vec<&[VertexId]> = by_degree[..4].iter().map(|&v| g.neighbors(v)).collect();
+    group.bench_function("kway_4_hub_adjacency", |bench| {
+        let (mut out, mut tmp, mut stats) = (Vec::new(), Vec::new(), IntersectStats::default());
+        bench.iter(|| {
+            let mut lists = hubs.clone();
+            intersect_k_into(&mut lists, &mut out, &mut tmp, &mut stats);
+            out.len()
+        })
+    });
+    group.finish();
+}
 
 fn bench_trie(c: &mut Criterion) {
     let mut group = c.benchmark_group("embedding_trie");
@@ -118,6 +159,7 @@ fn bench_single_machine(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_intersection,
     bench_trie,
     bench_evi,
     bench_planner,

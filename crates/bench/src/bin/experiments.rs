@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]
+//!             [--reps R]
 //!
 //! EXPERIMENT: all | table1 | table2 | fig8 | fig9 | fig10 | fig11 | fig12
 //!           | fig13 | table3 | table4 | fig15 | robustness | ablation
-//!           | speedup
+//!           | speedup | intersect
 //! ```
+//!
+//! `--reps` controls how many timed repetitions the `intersect` experiment
+//! averages per kernel (default 3; CI smoke runs use 1 with a small
+//! `--scale`).
 //!
 //! The defaults (`--scale 0.12 --machines 4`) keep a full `all` run within a
 //! few minutes on a laptop. Larger scales sharpen the separation between the
@@ -22,16 +27,16 @@
 use std::time::Duration;
 
 use rads_bench::{
-    ablations, clique_queries_figure, compression_table, parallel_speedup, performance_figure,
-    plan_effectiveness_figure, robustness_experiment, scalability_figure, table1, table2,
-    write_results_json, BenchRecord, System,
+    ablations, clique_queries_figure, compression_table, intersect_speedup, parallel_speedup,
+    performance_figure, plan_effectiveness_figure, robustness_experiment, scalability_figure,
+    table1, table2, write_results_json, BenchRecord, System,
 };
 use rads_datasets::{DatasetKind, Scale};
 use rads_runtime::NetworkConfig;
 
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "all", "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table3",
-    "table4", "fig15", "robustness", "ablation", "speedup",
+    "table4", "fig15", "robustness", "ablation", "speedup", "intersect",
 ];
 
 struct Options {
@@ -40,13 +45,16 @@ struct Options {
     machines: usize,
     seed: u64,
     out: std::path::PathBuf,
+    reps: u32,
 }
 
 /// Exits with an error message on stderr (malformed command lines must not
 /// silently fall back to defaults).
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]");
+    eprintln!(
+        "usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE] [--reps R]"
+    );
     std::process::exit(2);
 }
 
@@ -71,6 +79,7 @@ fn parse_args() -> Options {
     let mut machines = 4usize;
     let mut seed = 42u64;
     let mut out = std::path::PathBuf::from("BENCH_results.json");
+    let mut reps = 3u32;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,8 +87,9 @@ fn parse_args() -> Options {
             "--machines" => machines = parse_flag_value(&mut args, "--machines"),
             "--seed" => seed = parse_flag_value(&mut args, "--seed"),
             "--out" => out = parse_flag_value(&mut args, "--out"),
+            "--reps" => reps = parse_flag_value(&mut args, "--reps"),
             "--help" | "-h" => {
-                println!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]");
+                println!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE] [--reps R]");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => {
@@ -98,10 +108,13 @@ fn parse_args() -> Options {
     if machines == 0 {
         usage_error("--machines must be at least 1");
     }
+    if reps == 0 {
+        usage_error("--reps must be at least 1");
+    }
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Options { experiments, scale: Scale(scale), machines, seed, out }
+    Options { experiments, scale: Scale(scale), machines, seed, out, reps }
 }
 
 const STANDARD_QUERIES: [&str; 8] = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"];
@@ -327,6 +340,42 @@ fn main() {
                 r.bytes_shipped as f64 / (1024.0 * 1024.0),
                 base_ms / r.elapsed_ms.max(1e-6),
             );
+        }
+        records.extend(rows);
+        println!();
+    }
+
+    if want("intersect") {
+        println!(
+            "== Intersect: candidate-generation kernels on LiveJournal (single thread, scale {:.2}, {} reps) ==",
+            opts.scale.0, opts.reps
+        );
+        println!("dataset\tquery\tkernel\tembeddings\ttime(ms)\temb/s\tspeedup-vs-probe");
+        let rows = intersect_speedup(
+            DatasetKind::LiveJournal,
+            opts.scale,
+            opts.machines,
+            opts.seed,
+            &["q5", "q8", "c1", "c2", "c3", "c4"],
+            &[1, 2, 4, 8],
+            opts.reps,
+        );
+        // intersect_speedup emits a (probe, intersect) pair per query
+        for pair in rows.chunks(2) {
+            let probe_ms = pair[0].elapsed_ms;
+            assert_eq!(pair[0].system, "probe-kernel");
+            for r in pair {
+                println!(
+                    "{}\t{}\t{}\t{}\t{:.1}\t{:.0}\t{:.2}x",
+                    r.dataset,
+                    r.query,
+                    r.system,
+                    r.embeddings,
+                    r.elapsed_ms,
+                    r.embeddings_per_sec,
+                    probe_ms / r.elapsed_ms.max(1e-6),
+                );
+            }
         }
         records.extend(rows);
         println!();

@@ -157,6 +157,7 @@ pub fn parallel_speedup(
                     "{qname}: workers={workers} changed the embedding count"
                 ),
             }
+            let elapsed_ms = outcome.elapsed.as_secs_f64() * 1000.0;
             records.push(BenchRecord {
                 experiment: "speedup".to_string(),
                 dataset: dataset.profile.name.clone(),
@@ -165,8 +166,88 @@ pub fn parallel_speedup(
                 machines,
                 workers,
                 embeddings: outcome.total_embeddings,
-                elapsed_ms: outcome.elapsed.as_secs_f64() * 1000.0,
+                elapsed_ms,
+                embeddings_per_sec: embeddings_per_sec(outcome.total_embeddings, elapsed_ms),
                 bytes_shipped: outcome.traffic.total_bytes,
+            });
+        }
+    }
+    records
+}
+
+/// The `intersect` experiment: wall-clock of the intersection-based
+/// candidate-generation kernel against the pre-intersection probe kernel
+/// ([`rads_single::CandidateKernel`]) on single-thread enumeration over one
+/// dataset, plus a correctness gate for the distributed engine.
+///
+/// For every query the single-machine enumeration runs `repetitions` times
+/// per kernel (summed, to keep short runs out of timer noise; `elapsed_ms`
+/// in the records is the per-run mean). Panics if the two kernels disagree
+/// on the embedding count, or if `run_rads` over a `machines`-machine
+/// cluster with any worker count in `worker_counts` deviates from that
+/// ground truth — the acceptance gate that the kernel swap changed no
+/// result.
+///
+/// Returns two [`BenchRecord`]s per query, systems `"probe-kernel"` and
+/// `"intersect-kernel"` (`machines = workers = 1`: both rows time the pure
+/// single-thread enumeration path).
+pub fn intersect_speedup(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    query_names: &[&str],
+    worker_counts: &[usize],
+    repetitions: u32,
+) -> Vec<BenchRecord> {
+    use rads_single::{CandidateKernel, EnumerationConfig, Enumerator};
+
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster(&dataset.graph, machines);
+    let mut records = Vec::new();
+    for &qname in query_names {
+        let pattern = queries::query_by_name(qname).expect("known query");
+        let time_kernel = |kernel: CandidateKernel| {
+            let config = EnumerationConfig { kernel, ..Default::default() };
+            let start = Instant::now();
+            let mut count = 0;
+            for _ in 0..repetitions.max(1) {
+                count =
+                    Enumerator::with_config(&dataset.graph, &pattern, config.clone())
+                        .run(|_| true)
+                        .embeddings;
+            }
+            (count, start.elapsed().as_secs_f64() * 1000.0 / repetitions.max(1) as f64)
+        };
+        let (probe_count, probe_ms) = time_kernel(CandidateKernel::Probe);
+        let (fast_count, fast_ms) = time_kernel(CandidateKernel::Intersect);
+        assert_eq!(
+            probe_count, fast_count,
+            "{qname}: the intersection kernel changed the embedding count"
+        );
+        // distributed correctness gate: every worker count must reproduce the
+        // single-machine ground truth
+        for &workers in worker_counts {
+            let outcome = run_rads(&cluster, &pattern, &RadsConfig::with_workers(workers));
+            assert_eq!(
+                outcome.total_embeddings, fast_count,
+                "{qname}: workers={workers} deviates from single-machine ground truth"
+            );
+        }
+        for (system, count, ms) in
+            [("probe-kernel", probe_count, probe_ms), ("intersect-kernel", fast_count, fast_ms)]
+        {
+            records.push(BenchRecord {
+                experiment: "intersect".to_string(),
+                dataset: dataset.profile.name.clone(),
+                query: qname.to_string(),
+                system: system.to_string(),
+                machines: 1,
+                workers: 1,
+                embeddings: count,
+                elapsed_ms: ms,
+                embeddings_per_sec: embeddings_per_sec(count, ms),
+                bytes_shipped: 0,
             });
         }
     }
@@ -231,6 +312,16 @@ pub fn run_system(
     }
 }
 
+/// Embeddings per second for a run that found `embeddings` in `elapsed_ms`
+/// (zero when no time was observed, so records never contain NaN/inf).
+pub fn embeddings_per_sec(embeddings: u64, elapsed_ms: f64) -> f64 {
+    if elapsed_ms > 0.0 {
+        embeddings as f64 / (elapsed_ms / 1000.0)
+    } else {
+        0.0
+    }
+}
+
 /// One machine-readable result row of `BENCH_results.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
@@ -250,6 +341,9 @@ pub struct BenchRecord {
     pub embeddings: u64,
     /// Elapsed wall-clock milliseconds.
     pub elapsed_ms: f64,
+    /// Embedding throughput (`embeddings / elapsed seconds`) — the
+    /// size-independent number future PRs compare to track regressions.
+    pub embeddings_per_sec: f64,
     /// Bytes put on the simulated wire.
     pub bytes_shipped: u64,
 }
@@ -266,6 +360,7 @@ impl BenchRecord {
             workers: m.workers,
             embeddings: m.embeddings,
             elapsed_ms: m.elapsed_ms,
+            embeddings_per_sec: embeddings_per_sec(m.embeddings, m.elapsed_ms),
             bytes_shipped: (m.communication_mb * 1024.0 * 1024.0).round() as u64,
         }
     }
@@ -275,7 +370,7 @@ impl BenchRecord {
             concat!(
                 "{{\"experiment\":{},\"dataset\":{},\"query\":{},\"system\":{},",
                 "\"machines\":{},\"workers\":{},\"embeddings\":{},",
-                "\"elapsed_ms\":{:.3},\"bytes_shipped\":{}}}"
+                "\"elapsed_ms\":{:.3},\"embeddings_per_sec\":{:.1},\"bytes_shipped\":{}}}"
             ),
             json_string(&self.experiment),
             json_string(&self.dataset),
@@ -285,6 +380,7 @@ impl BenchRecord {
             self.workers,
             self.embeddings,
             self.elapsed_ms,
+            self.embeddings_per_sec,
             self.bytes_shipped,
         )
     }
@@ -681,6 +777,39 @@ mod tests {
         assert!(text.starts_with("[\n") && text.ends_with("]\n"));
         assert_eq!(text.matches("\"query\":\"q2\"").count(), 2);
         assert_eq!(render_results_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn intersect_experiment_pins_kernel_equivalence() {
+        let records =
+            intersect_speedup(DatasetKind::Dblp, Scale(0.08), 2, 9, &["q1", "c1"], &[1, 2], 1);
+        assert_eq!(records.len(), 4);
+        for pair in records.chunks(2) {
+            assert_eq!(pair[0].system, "probe-kernel");
+            assert_eq!(pair[1].system, "intersect-kernel");
+            assert_eq!(pair[0].embeddings, pair[1].embeddings);
+            assert_eq!(pair[0].experiment, "intersect");
+        }
+    }
+
+    #[test]
+    fn throughput_is_finite_and_consistent() {
+        assert_eq!(embeddings_per_sec(500, 250.0), 2000.0);
+        assert_eq!(embeddings_per_sec(500, 0.0), 0.0);
+        let m = Measurement {
+            system: "RADS",
+            dataset: "DBLP".into(),
+            query: "q1".into(),
+            machines: 1,
+            embeddings: 100,
+            elapsed_ms: 50.0,
+            communication_mb: 0.0,
+            peak_intermediate_rows: 0,
+            workers: 1,
+        };
+        let record = BenchRecord::from_measurement("fig9", &m);
+        assert_eq!(record.embeddings_per_sec, 2000.0);
+        assert!(record.to_json().contains("\"embeddings_per_sec\":2000.0"));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use rads_runtime::{MachineContext, Request, Response};
 use crate::cache::ForeignVertexCache;
 use crate::daemon::GroupQueue;
 use crate::evi::EdgeVerificationIndex;
-use crate::expand::{expand_embedding, AdjacencyOracle, CandidateExtension, UnitExpansion};
+use crate::expand::{AdjacencyOracle, Expander, ExtensionBuffer, UnitExpansion};
 use crate::memory::MemoryBudget;
 use crate::region::{find_region_groups, GroupingStrategy};
 use crate::sme::run_sme;
@@ -119,6 +119,11 @@ pub struct EngineStats {
     pub undetermined_edges: u64,
     /// Embedding candidates removed by remote verification.
     pub candidates_filtered: u64,
+    /// Intersection-kernel counters of the R-Meef expansion. Like the
+    /// communication counters, these may vary with `workers > 1`: which
+    /// back-edge endpoints have locally known adjacency depends on the
+    /// worker-private cache contents and therefore on the schedule.
+    pub intersect: rads_graph::IntersectStats,
 }
 
 /// Result of one machine's run.
@@ -162,6 +167,7 @@ impl MachineOutput {
         s.verify_requests += w.verify_requests;
         s.undetermined_edges += w.undetermined_edges;
         s.candidates_filtered += w.candidates_filtered;
+        s.intersect.absorb(&w.intersect);
     }
 }
 
@@ -253,13 +259,17 @@ fn drain_region_groups(
     } else {
         ForeignVertexCache::disabled()
     };
+    // One expander per pool worker: its candidate buffers, backtracking
+    // stacks and flat extension output are reused across every parent
+    // embedding, round and region group this worker processes.
+    let mut expander = Expander::new();
 
     // ---- Phase 3: R-Meef over the local region groups ------------------------
     loop {
         let group = group_queue.lock().pop_front();
         let Some(group) = group else { break };
         process_region_group(
-            ctx, pattern, plan, symmetry, &group, &mut cache, config, &mut output,
+            ctx, pattern, plan, symmetry, &group, &mut cache, &mut expander, config, &mut output,
         );
         output.stats.groups_processed += 1;
     }
@@ -282,7 +292,8 @@ fn drain_region_groups(
             match ctx.request(target, Request::ShareRegionGroup) {
                 Response::RegionGroup(Some(group)) => {
                     process_region_group(
-                        ctx, pattern, plan, symmetry, &group, &mut cache, config, &mut output,
+                        ctx, pattern, plan, symmetry, &group, &mut cache, &mut expander, config,
+                        &mut output,
                     );
                     output.stats.groups_processed += 1;
                     output.stats.groups_stolen += 1;
@@ -298,6 +309,7 @@ fn drain_region_groups(
     output.stats.cache_hits = hits;
     output.stats.cache_misses = misses;
     output.stats.cache_entries = cache.len();
+    output.stats.intersect = expander.intersect_stats().clone();
     output
 }
 
@@ -311,6 +323,7 @@ fn process_region_group(
     symmetry: &SymmetryBreaking,
     group: &[VertexId],
     cache: &mut ForeignVertexCache,
+    expander: &mut Expander,
     config: &EngineConfig,
     output: &mut MachineOutput,
 ) {
@@ -363,12 +376,12 @@ fn process_region_group(
             for &v0 in group {
                 f.iter_mut().for_each(|x| *x = None);
                 f[start] = Some(v0);
-                let extensions = expand_embedding(&expansion, &mut f, &oracle);
+                let extensions = expander.expand(&expansion, &mut f, &oracle);
                 if extensions.is_empty() {
                     continue;
                 }
                 let root = trie.add_root(v0);
-                insert_extensions(&mut trie, root, &extensions, &mut evi);
+                insert_extensions(&mut trie, root, extensions, &mut evi);
             }
         } else {
             for &parent in &parents {
@@ -377,13 +390,13 @@ fn process_region_group(
                 for (pos, &v) in result.iter().enumerate() {
                     f[order[pos]] = Some(v);
                 }
-                let extensions = expand_embedding(&expansion, &mut f, &oracle);
+                let extensions = expander.expand(&expansion, &mut f, &oracle);
                 if extensions.is_empty() {
                     // the embedding of P_{i-1} cannot be extended: drop it
                     trie.remove(parent);
                     continue;
                 }
-                insert_extensions(&mut trie, parent, &extensions, &mut evi);
+                insert_extensions(&mut trie, parent, extensions, &mut evi);
             }
         }
         output.stats.undetermined_edges += evi.len() as u64;
@@ -426,25 +439,26 @@ fn process_region_group(
 fn insert_extensions(
     trie: &mut EmbeddingTrie,
     parent: NodeId,
-    extensions: &[CandidateExtension],
+    extensions: &ExtensionBuffer,
     evi: &mut EdgeVerificationIndex,
 ) {
     let mut prev: Vec<(VertexId, NodeId)> = Vec::new();
-    for ext in extensions {
+    for i in 0..extensions.len() {
+        let leaves = extensions.leaves(i);
         let mut common = 0;
         while common < prev.len()
-            && common < ext.leaves.len().saturating_sub(1)
-            && prev[common].0 == ext.leaves[common]
+            && common < leaves.len().saturating_sub(1)
+            && prev[common].0 == leaves[common]
         {
             common += 1;
         }
         prev.truncate(common);
         let mut node = if common == 0 { parent } else { prev[common - 1].1 };
-        for &v in &ext.leaves[common..] {
+        for &v in &leaves[common..] {
             node = trie.add_child(node, v);
             prev.push((v, node));
         }
-        for &(a, b) in &ext.undetermined {
+        for &(a, b) in extensions.undetermined(i) {
             evi.add(a, b, node);
         }
     }

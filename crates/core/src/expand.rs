@@ -5,13 +5,23 @@
 //! neighbourhood of the pivot's data vertex, checking every verification edge
 //! that can be decided locally (owned or cached endpoint) and recording the
 //! rest as *undetermined edges* to be verified remotely in batch.
+//!
+//! Candidate generation is intersection-based: before scanning, the pivot's
+//! adjacency list is intersected ([`rads_graph::intersect`]) with the
+//! adjacency list of every back-edge endpoint whose adjacency is *locally
+//! known* (owned or cached), so candidates refuted by a known back edge are
+//! never materialized. Only the back edges whose endpoint adjacency is
+//! unknown fall back to per-candidate [`AdjacencyOracle::decide_edge`] probes
+//! and the undetermined-edge bookkeeping.
 
+use rads_graph::intersect::{intersect_k_into, IntersectStats};
 use rads_graph::{Pattern, PatternVertex, SymmetryBreaking, VertexId};
 use rads_plan::ExecutionPlan;
 
 /// Read-only access to adjacency lists the machine can see: owned vertices
 /// and cached foreign vertices. Lists must be sorted and complete (global
-/// adjacency), so membership tests and degree filters are sound.
+/// adjacency), so membership tests, degree filters and intersections are
+/// sound.
 pub trait AdjacencyOracle {
     /// The full adjacency list of `v`, if known on this machine.
     fn adjacency(&self, v: VertexId) -> Option<&[VertexId]>;
@@ -88,6 +98,10 @@ impl<'a> UnitExpansion<'a> {
 /// One embedding candidate produced by expanding a single parent embedding:
 /// the data vertices of the unit's leaves (aligned with
 /// [`UnitExpansion::leaves`]) plus the undetermined edges it depends on.
+///
+/// The engine's hot loop reads extensions directly out of the flat
+/// [`ExtensionBuffer`]; this owned form exists for tests and one-shot callers
+/// ([`expand_embedding`], [`ExtensionBuffer::to_extensions`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateExtension {
     /// Data vertices assigned to the unit's leaves, in matching order.
@@ -96,82 +110,245 @@ pub struct CandidateExtension {
     pub undetermined: Vec<(VertexId, VertexId)>,
 }
 
-/// Expands one embedding `f` of `P_{i-1}` (given as an assignment indexed by
-/// query vertex, with exactly the vertices of `P_{i-1}` set) into all
-/// embedding candidates of `P_i` visible from this machine.
-///
-/// `f` is used as scratch space during the backtracking and restored before
-/// returning.
-pub fn expand_embedding(
-    ctx: &UnitExpansion<'_>,
-    f: &mut [Option<VertexId>],
-    oracle: &dyn AdjacencyOracle,
-) -> Vec<CandidateExtension> {
-    let pivot_data = f[ctx.pivot].expect("the unit pivot must be matched by the parent embedding");
-    let Some(pivot_adj) = oracle.adjacency(pivot_data) else {
-        // The engine fetches the pivot's adjacency before expanding; reaching
-        // this branch means the vertex has no adjacency at all.
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    let mut leaves_assigned: Vec<VertexId> = Vec::with_capacity(ctx.leaves.len());
-    let mut undetermined: Vec<(VertexId, VertexId)> = Vec::new();
-    backtrack(ctx, 0, pivot_adj, f, oracle, &mut leaves_assigned, &mut undetermined, &mut out);
-    out
+/// The embedding candidates of one parent embedding, stored flat: all leaf
+/// assignments in one vector (extension `i` occupies the `i`-th chunk of
+/// `leaf_count` entries) and all undetermined edges in one shared pool sliced
+/// by per-extension ranges. Reused across parents — after the buffers have
+/// grown to their working size, expansion allocates nothing per extension.
+#[derive(Debug, Default)]
+pub struct ExtensionBuffer {
+    leaf_count: usize,
+    leaves: Vec<VertexId>,
+    /// Per-extension `(start, end)` range into `pool`.
+    undetermined_ranges: Vec<(usize, usize)>,
+    pool: Vec<(VertexId, VertexId)>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn backtrack(
-    ctx: &UnitExpansion<'_>,
-    idx: usize,
-    pivot_adj: &[VertexId],
-    f: &mut [Option<VertexId>],
-    oracle: &dyn AdjacencyOracle,
-    leaves_assigned: &mut Vec<VertexId>,
-    undetermined: &mut Vec<(VertexId, VertexId)>,
-    out: &mut Vec<CandidateExtension>,
-) {
-    if idx == ctx.leaves.len() {
-        out.push(CandidateExtension {
-            leaves: leaves_assigned.clone(),
-            undetermined: undetermined.clone(),
-        });
-        return;
+impl ExtensionBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let u = ctx.leaves[idx];
-    'candidates: for &v in pivot_adj {
-        // injectivity against every matched query vertex
-        if f.contains(&Some(v)) {
-            continue;
+
+    /// Clears the buffer and fixes the per-extension leaf count.
+    fn reset(&mut self, leaf_count: usize) {
+        self.leaf_count = leaf_count;
+        self.leaves.clear();
+        self.undetermined_ranges.clear();
+        self.pool.clear();
+    }
+
+    /// Number of extensions currently stored.
+    pub fn len(&self) -> usize {
+        self.undetermined_ranges.len()
+    }
+
+    /// `true` when no extension is stored.
+    pub fn is_empty(&self) -> bool {
+        self.undetermined_ranges.is_empty()
+    }
+
+    /// The leaf assignment of extension `i`, aligned with
+    /// [`UnitExpansion::leaves`].
+    pub fn leaves(&self, i: usize) -> &[VertexId] {
+        &self.leaves[i * self.leaf_count..(i + 1) * self.leaf_count]
+    }
+
+    /// The undetermined data edges of extension `i`.
+    pub fn undetermined(&self, i: usize) -> &[(VertexId, VertexId)] {
+        let (start, end) = self.undetermined_ranges[i];
+        &self.pool[start..end]
+    }
+
+    /// Appends one complete extension (copies the current backtracking
+    /// stacks into the flat storage).
+    fn push(&mut self, leaves: &[VertexId], undetermined: &[(VertexId, VertexId)]) {
+        debug_assert_eq!(leaves.len(), self.leaf_count);
+        self.leaves.extend_from_slice(leaves);
+        let start = self.pool.len();
+        self.pool.extend_from_slice(undetermined);
+        self.undetermined_ranges.push((start, self.pool.len()));
+    }
+
+    /// Copies the buffer out into owned [`CandidateExtension`]s (tests and
+    /// one-shot callers).
+    pub fn to_extensions(&self) -> Vec<CandidateExtension> {
+        (0..self.len())
+            .map(|i| CandidateExtension {
+                leaves: self.leaves(i).to_vec(),
+                undetermined: self.undetermined(i).to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// Back-edge endpoints whose adjacency is known locally are intersected
+/// up-front; at most this many lists are collected per leaf (the rest fall
+/// back to per-candidate probes, which is always correct, just slower).
+/// Patterns have at most ~10 vertices, so the cap is never hit in practice.
+const KNOWN_LISTS_CAP: usize = 16;
+
+/// Reusable expansion state: per-leaf candidate buffers, per-leaf probe
+/// lists, the backtracking stacks and the output [`ExtensionBuffer`]. One
+/// `Expander` serves arbitrarily many parent embeddings, rounds and region
+/// groups; every buffer is reused, so the steady-state expansion loop is
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct Expander {
+    out: ExtensionBuffer,
+    /// Per-leaf candidate buffers (intersection results).
+    bufs: Vec<Vec<VertexId>>,
+    /// Per-leaf endpoints that must be probed per candidate (adjacency not
+    /// locally known, or beyond [`KNOWN_LISTS_CAP`]).
+    probes: Vec<Vec<VertexId>>,
+    /// k-way intersection scratch.
+    tmp: Vec<VertexId>,
+    /// Backtracking stack of assigned leaves.
+    leaves_assigned: Vec<VertexId>,
+    /// Backtracking stack of undetermined edges.
+    undetermined: Vec<(VertexId, VertexId)>,
+    /// Intersection-kernel counters, accumulated over the expander's life.
+    intersect_stats: IntersectStats,
+}
+
+impl Expander {
+    /// A fresh expander with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intersection-kernel counters accumulated since construction.
+    pub fn intersect_stats(&self) -> &IntersectStats {
+        &self.intersect_stats
+    }
+
+    /// Expands one embedding `f` of `P_{i-1}` (given as an assignment indexed
+    /// by query vertex, with exactly the vertices of `P_{i-1}` set) into all
+    /// embedding candidates of `P_i` visible from this machine. The returned
+    /// buffer is valid until the next `expand` call.
+    ///
+    /// `f` is used as scratch space during the backtracking and restored
+    /// before returning. Generic over the oracle so the innermost loop is
+    /// statically dispatched (no `&dyn` indirection per candidate).
+    pub fn expand<O: AdjacencyOracle + ?Sized>(
+        &mut self,
+        ctx: &UnitExpansion<'_>,
+        f: &mut [Option<VertexId>],
+        oracle: &O,
+    ) -> &ExtensionBuffer {
+        self.out.reset(ctx.leaves.len());
+        if self.bufs.len() < ctx.leaves.len() {
+            self.bufs.resize_with(ctx.leaves.len(), Vec::new);
+            self.probes.resize_with(ctx.leaves.len(), Vec::new);
         }
-        // degree filter, only when the full adjacency of v is known locally
-        if let Some(adj) = oracle.adjacency(v) {
-            if adj.len() < ctx.pattern.degree(u) {
-                continue;
-            }
+        self.leaves_assigned.clear();
+        self.undetermined.clear();
+        let pivot_data =
+            f[ctx.pivot].expect("the unit pivot must be matched by the parent embedding");
+        let Some(pivot_adj) = oracle.adjacency(pivot_data) else {
+            // The engine fetches the pivot's adjacency before expanding;
+            // reaching this branch means the vertex has no adjacency at all.
+            return &self.out;
+        };
+        self.backtrack(ctx, 0, pivot_adj, f, oracle);
+        &self.out
+    }
+
+    fn backtrack<O: AdjacencyOracle + ?Sized>(
+        &mut self,
+        ctx: &UnitExpansion<'_>,
+        idx: usize,
+        pivot_adj: &[VertexId],
+        f: &mut [Option<VertexId>],
+        oracle: &O,
+    ) {
+        if idx == ctx.leaves.len() {
+            // split borrows: `out` is disjoint from the stacks
+            let Expander { out, leaves_assigned, undetermined, .. } = self;
+            out.push(leaves_assigned, undetermined);
+            return;
         }
-        if !ctx.symmetry.check_partial(u, v, f) {
-            continue;
-        }
-        let undetermined_before = undetermined.len();
+        let u = ctx.leaves[idx];
+
+        // Partition the leaf's back edges: endpoints with locally known
+        // adjacency join the intersection, the rest are probed per candidate.
+        let mut known: [&[VertexId]; KNOWN_LISTS_CAP] = [&[]; KNOWN_LISTS_CAP];
+        let mut known_len = 0usize;
+        let mut probe = std::mem::take(&mut self.probes[idx]);
+        probe.clear();
         for &u2 in &ctx.back_edges[idx] {
             let v2 = f[u2].expect("back-edge endpoint is matched");
-            match oracle.decide_edge(v, v2) {
-                Some(true) => {}
-                Some(false) => {
-                    undetermined.truncate(undetermined_before);
-                    continue 'candidates;
+            // reserve the last slot of `known` for the pivot adjacency
+            match oracle.adjacency(v2) {
+                Some(adj) if known_len < KNOWN_LISTS_CAP - 1 => {
+                    known[known_len] = adj;
+                    known_len += 1;
                 }
-                None => undetermined.push((v, v2)),
+                _ => probe.push(v2),
             }
         }
-        f[u] = Some(v);
-        leaves_assigned.push(v);
-        backtrack(ctx, idx + 1, pivot_adj, f, oracle, leaves_assigned, undetermined, out);
-        leaves_assigned.pop();
-        f[u] = None;
-        undetermined.truncate(undetermined_before);
+
+        let mut buf = std::mem::take(&mut self.bufs[idx]);
+        let candidates: &[VertexId] = if known_len == 0 {
+            pivot_adj
+        } else {
+            known[known_len] = pivot_adj;
+            intersect_k_into(
+                &mut known[..known_len + 1],
+                &mut buf,
+                &mut self.tmp,
+                &mut self.intersect_stats,
+            );
+            &buf
+        };
+
+        'candidates: for &v in candidates {
+            // injectivity against every matched query vertex
+            if f.contains(&Some(v)) {
+                continue;
+            }
+            // degree filter, only when the full adjacency of v is known locally
+            if let Some(adj) = oracle.adjacency(v) {
+                if adj.len() < ctx.pattern.degree(u) {
+                    continue;
+                }
+            }
+            if !ctx.symmetry.check_partial(u, v, f) {
+                continue;
+            }
+            let undetermined_before = self.undetermined.len();
+            for &v2 in &probe {
+                match oracle.decide_edge(v, v2) {
+                    Some(true) => {}
+                    Some(false) => {
+                        self.undetermined.truncate(undetermined_before);
+                        continue 'candidates;
+                    }
+                    None => self.undetermined.push((v, v2)),
+                }
+            }
+            f[u] = Some(v);
+            self.leaves_assigned.push(v);
+            self.backtrack(ctx, idx + 1, pivot_adj, f, oracle);
+            self.leaves_assigned.pop();
+            f[u] = None;
+            self.undetermined.truncate(undetermined_before);
+        }
+
+        self.bufs[idx] = buf;
+        self.probes[idx] = probe;
     }
+}
+
+/// One-shot convenience over [`Expander::expand`] returning owned
+/// extensions. The engine reuses an [`Expander`] instead; this entry point
+/// serves tests and callers that expand a single embedding.
+pub fn expand_embedding<O: AdjacencyOracle + ?Sized>(
+    ctx: &UnitExpansion<'_>,
+    f: &mut [Option<VertexId>],
+    oracle: &O,
+) -> Vec<CandidateExtension> {
+    Expander::new().expand(ctx, f, oracle).to_extensions()
 }
 
 #[cfg(test)]
@@ -309,5 +486,72 @@ mod tests {
         for e in &ext1 {
             assert!(e.undetermined.is_empty());
         }
+    }
+
+    /// A reusable expander and the one-shot helper must produce identical
+    /// extension sets, and the flat buffer must round-trip through
+    /// `to_extensions` — on a mixed known/unknown oracle so both the
+    /// intersection path and the probe fallback are exercised.
+    #[test]
+    fn expander_reuse_matches_one_shot_expansion() {
+        let pattern = queries::q1(); // 4-cycle: leaves with non-pivot back edges
+        let plan = best_plan(&pattern, &PlannerConfig::default());
+        let symmetry = SymmetryBreaking::disabled(&pattern);
+        // a 4x4 grid-ish graph, half the vertices known locally
+        let edges: Vec<(VertexId, VertexId)> = (0..12u32)
+            .flat_map(|i| [(i, (i + 1) % 12), (i, (i + 3) % 12)])
+            .collect();
+        let known: Vec<VertexId> = (0..12).filter(|v| v % 2 == 0).collect();
+        let oracle = MapOracle::from_edges(&known, &edges);
+        let mut expander = Expander::new();
+        let ctx = UnitExpansion::new(&pattern, &plan, &symmetry, 0);
+        for start_data in 0..12u32 {
+            if oracle.adjacency(start_data).is_none() {
+                continue;
+            }
+            let mut f = vec![None; pattern.vertex_count()];
+            f[ctx.pivot()] = Some(start_data);
+            let reused = expander.expand(&ctx, &mut f, &oracle).to_extensions();
+            let mut f2 = vec![None; pattern.vertex_count()];
+            f2[ctx.pivot()] = Some(start_data);
+            let one_shot = expand_embedding(&ctx, &mut f2, &oracle);
+            assert_eq!(reused, one_shot, "pivot {start_data}");
+            // scratch restored
+            assert_eq!(f.iter().filter(|a| a.is_some()).count(), 1);
+        }
+
+        // A triangle unit has a leaf-to-leaf back edge, so with the endpoint
+        // adjacency known locally the intersection kernel must run.
+        let triangle = queries::query_by_name("triangle").unwrap();
+        let tri_plan = best_plan(&triangle, &PlannerConfig::default());
+        let tri_symmetry = SymmetryBreaking::disabled(&triangle);
+        let tri_ctx = UnitExpansion::new(&triangle, &tri_plan, &tri_symmetry, 0);
+        let tri_edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+        let tri_oracle = MapOracle::from_edges(&[0, 1, 2, 3], &tri_edges);
+        let mut f = vec![None; 3];
+        f[tri_ctx.pivot()] = Some(2);
+        let exts = expander.expand(&tri_ctx, &mut f, &tri_oracle).to_extensions();
+        assert_eq!(exts.len(), 2); // both leaf orders of the one triangle
+        assert!(expander.intersect_stats().kernel_calls > 0);
+    }
+
+    /// The flat buffer addresses extensions correctly (leaf chunks and
+    /// undetermined ranges).
+    #[test]
+    fn extension_buffer_layout() {
+        let mut buf = ExtensionBuffer::new();
+        buf.reset(2);
+        buf.push(&[10, 11], &[(1, 2)]);
+        buf.push(&[10, 12], &[]);
+        buf.push(&[13, 14], &[(3, 4), (5, 6)]);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.leaves(0), &[10, 11]);
+        assert_eq!(buf.leaves(2), &[13, 14]);
+        assert_eq!(buf.undetermined(0), &[(1, 2)]);
+        assert_eq!(buf.undetermined(1), &[]);
+        assert_eq!(buf.undetermined(2), &[(3, 4), (5, 6)]);
+        buf.reset(1);
+        assert!(buf.is_empty());
     }
 }

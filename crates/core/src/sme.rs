@@ -20,7 +20,7 @@ use rads_exec::{parallel_map, ExecConfig};
 use rads_graph::{Graph, GraphBuilder, Pattern, VertexId};
 use rads_partition::LocalPartition;
 use rads_plan::ExecutionPlan;
-use rads_single::{EnumerationConfig, EnumerationStats, Enumerator, MatchingOrder};
+use rads_single::{EnumerationStats, Enumerator, MatchingOrder, SharedRun};
 
 use crate::memory::SpaceEstimator;
 
@@ -124,10 +124,17 @@ pub fn run_sme(
     let sub = owned_subgraph(local);
     let dense_candidates: Vec<VertexId> =
         local_cands.iter().map(|v| sub.dense_of_global[v]).collect();
-    let order = MatchingOrder::greedy_from(pattern, start);
+    // Matching order, symmetry constraints and filter thresholds are derived
+    // once per machine run and shared (borrowed) by every work unit — a unit
+    // is only `steal_granularity` start candidates, far too small to amortize
+    // re-deriving them.
+    let shared = SharedRun::new(pattern, MatchingOrder::greedy_from(pattern, start), false);
+    let enumerator = Enumerator::new(&sub.graph, pattern);
 
     // One work unit per `steal_granularity` start candidates; each unit runs
-    // the enumerator over its own sub-range of the shared candidate list.
+    // the enumerator over its own sub-range of the shared (borrowed, never
+    // cloned) candidate list. Sub-ranges are taken before the per-vertex
+    // filters, so the units partition the result set exactly.
     let granularity = exec.effective_granularity();
     let units: Vec<Range<usize>> = (0..dense_candidates.len())
         .step_by(granularity)
@@ -135,20 +142,13 @@ pub fn run_sme(
         .collect();
     let unit_exec = ExecConfig { workers: exec.effective_workers(), steal_granularity: 1 };
     let (unit_results, _) = parallel_map(&unit_exec, &units, |_, _, range| {
-        // Each unit owns only its slice of the candidate list (cloning the
-        // full list per unit would cost O(candidates² / granularity)); the
-        // range split is equivalent to `EnumerationConfig::start_range`
-        // because sub-ranges are taken before the per-vertex filters.
-        let config = EnumerationConfig {
-            start_candidates: Some(dense_candidates[range.clone()].to_vec()),
-            order: Some(order.clone()),
-            ..Default::default()
-        };
         let mut embeddings: Vec<Vec<VertexId>> = Vec::new();
-        let stats = Enumerator::with_config(&sub.graph, pattern, config).run(|mapping| {
-            embeddings.push(mapping.iter().map(|&dv| sub.global_of_dense[dv as usize]).collect());
-            true
-        });
+        let stats =
+            enumerator.run_units(&shared, &dense_candidates, Some(range.clone()), |mapping| {
+                embeddings
+                    .push(mapping.iter().map(|&dv| sub.global_of_dense[dv as usize]).collect());
+                true
+            });
         (embeddings, stats)
     });
 
@@ -157,14 +157,7 @@ pub fn run_sme(
     let mut stats = EnumerationStats::default();
     for (unit_embeddings, unit_stats) in unit_results {
         embeddings.extend(unit_embeddings);
-        stats.embeddings += unit_stats.embeddings;
-        stats.pruned += unit_stats.pruned;
-        if stats.nodes_per_level.len() < unit_stats.nodes_per_level.len() {
-            stats.nodes_per_level.resize(unit_stats.nodes_per_level.len(), 0);
-        }
-        for (level, n) in unit_stats.nodes_per_level.iter().enumerate() {
-            stats.nodes_per_level[level] += n;
-        }
+        stats.absorb(&unit_stats);
     }
 
     SmeResult {

@@ -1,0 +1,353 @@
+//! Multi-way sorted-set intersection kernels.
+//!
+//! Intersection-based candidate generation is the core speed lever of modern
+//! subgraph enumerators (HUGE, Yang et al., VLDB 2021; Kimmig, Meyerhenke &
+//! Strash 2018): instead of scanning one anchor adjacency list and rejecting
+//! candidates with a binary-search probe per back edge, the enumerator
+//! intersects the adjacency lists of *all* already-matched neighbours, so the
+//! candidate pool shrinks multiplicatively before any per-candidate filter
+//! runs.
+//!
+//! # Preconditions
+//!
+//! Every input slice must be **strictly sorted ascending** (sorted and
+//! deduplicated). Adjacency lists obtained from [`crate::Graph`] satisfy this
+//! by construction — `Graph::from_csr` checks strict sortedness (in debug
+//! builds) and [`crate::GraphBuilder`] sorts and deduplicates — as do the
+//! cached foreign adjacency lists of the distributed engine, which are
+//! verbatim copies of owner-side CSR slices. The kernels do not re-check the
+//! invariant; unsorted input yields an unspecified (but memory-safe) result.
+//!
+//! # Kernels
+//!
+//! * [`intersect_pair_into`] — adaptive two-way intersection: a linear merge
+//!   for lists of comparable length, a galloping (exponential-probe)
+//!   intersection when one list is at least [`GALLOP_RATIO`] times longer
+//!   than the other.
+//! * [`intersect_k_into`] — adaptive k-way intersection that starts from the
+//!   shortest list and folds the remaining lists in ascending length order,
+//!   so the running intersection stays as small as possible and the skewed
+//!   later steps dispatch to the galloping kernel automatically.
+//!
+//! Both kernels report what they did through [`IntersectStats`], which the
+//! enumeration engines surface (e.g. via
+//! `rads_single::EnumerationStats::intersect`) so benchmarks and tests can
+//! observe kernel behaviour without re-instrumenting the hot loop.
+
+use crate::types::VertexId;
+
+/// Length ratio beyond which [`intersect_pair_into`] switches from the linear
+/// merge to the galloping kernel.
+///
+/// The crossover is machine-dependent but flat around this value: galloping
+/// costs `O(s · log(l / s))` for list lengths `s <= l`, a merge costs
+/// `O(s + l)`, so galloping wins clearly once `l / s` exceeds a small
+/// constant. 16 matches the conventional choice in the literature.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Counters describing the intersection work of a run.
+///
+/// All fields are totals, so merging the stats of independent work units is a
+/// field-wise sum ([`IntersectStats::absorb`]) — order-insensitive, which is
+/// what keeps parallel runs' merged statistics identical to sequential runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntersectStats {
+    /// Two-way kernel invocations (a k-way call counts its k − 1 folds).
+    pub kernel_calls: u64,
+    /// Two-way calls dispatched to the linear merge.
+    pub merge_dispatches: u64,
+    /// Two-way calls dispatched to the galloping kernel.
+    pub gallop_dispatches: u64,
+    /// Elements inspected across all kernels: merge-loop steps plus galloping
+    /// probe/bisection steps. The cost proxy for the candidate generation.
+    pub elements_scanned: u64,
+}
+
+impl IntersectStats {
+    /// Adds `other`'s counters into `self` (field-wise sum).
+    pub fn absorb(&mut self, other: &IntersectStats) {
+        self.kernel_calls += other.kernel_calls;
+        self.merge_dispatches += other.merge_dispatches;
+        self.gallop_dispatches += other.gallop_dispatches;
+        self.elements_scanned += other.elements_scanned;
+    }
+}
+
+/// Intersects two strictly sorted slices into `out` (cleared first),
+/// dispatching between the linear merge and the galloping kernel based on the
+/// length ratio (see [`GALLOP_RATIO`]).
+pub fn intersect_pair_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    out: &mut Vec<VertexId>,
+    stats: &mut IntersectStats,
+) {
+    out.clear();
+    stats.kernel_calls += 1;
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        // Count it as a (trivial) merge dispatch so call totals add up.
+        stats.merge_dispatches += 1;
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        stats.gallop_dispatches += 1;
+        gallop_into(small, large, out, stats);
+    } else {
+        stats.merge_dispatches += 1;
+        merge_into(small, large, out, stats);
+    }
+}
+
+/// Linear merge of two strictly sorted slices.
+fn merge_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>, stats: &mut IntersectStats) {
+    let (mut i, mut j) = (0, 0);
+    let mut steps = 0u64;
+    while i < a.len() && j < b.len() {
+        steps += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    stats.elements_scanned += steps;
+}
+
+/// First index `i` in `list` with `list[i] >= x`, found by exponential
+/// probing from the front followed by a binary search of the final bracket.
+/// `steps` accrues the number of probe/bisection steps taken.
+fn lower_bound_gallop(list: &[VertexId], x: VertexId, steps: &mut u64) -> usize {
+    let mut bound = 1usize;
+    while bound <= list.len() && list[bound - 1] < x {
+        *steps += 1;
+        bound <<= 1;
+    }
+    let lo = bound >> 1;
+    let hi = bound.min(list.len());
+    let window = &list[lo..hi];
+    *steps += usize::BITS.saturating_sub(window.len().leading_zeros()) as u64;
+    lo + window.partition_point(|&y| y < x)
+}
+
+/// Galloping intersection: for each element of the (much) shorter list,
+/// exponentially probe forward in the remainder of the longer list.
+fn gallop_into(
+    small: &[VertexId],
+    large: &[VertexId],
+    out: &mut Vec<VertexId>,
+    stats: &mut IntersectStats,
+) {
+    let mut steps = 0u64;
+    let mut rest = large;
+    for &x in small {
+        let i = lower_bound_gallop(rest, x, &mut steps);
+        if i == rest.len() {
+            break;
+        }
+        if rest[i] == x {
+            out.push(x);
+            rest = &rest[i + 1..];
+        } else {
+            rest = &rest[i..];
+        }
+    }
+    stats.elements_scanned += steps;
+}
+
+/// Adaptive k-way intersection of strictly sorted slices into `out`
+/// (cleared first), using `tmp` as scratch so repeated calls are
+/// allocation-free once the buffers have grown.
+///
+/// `lists` is reordered in place: the kernel sorts it by ascending length and
+/// folds left-to-right, so the running intersection is never larger than the
+/// shortest list and the later, increasingly skewed folds dispatch to the
+/// galloping kernel. With zero lists the result is empty; with one list the
+/// result is a copy of it.
+pub fn intersect_k_into(
+    lists: &mut [&[VertexId]],
+    out: &mut Vec<VertexId>,
+    tmp: &mut Vec<VertexId>,
+    stats: &mut IntersectStats,
+) {
+    out.clear();
+    match lists {
+        [] => {}
+        [only] => out.extend_from_slice(only),
+        _ => {
+            lists.sort_unstable_by_key(|l| l.len());
+            intersect_pair_into(lists[0], lists[1], out, stats);
+            for list in &lists[2..] {
+                if out.is_empty() {
+                    return;
+                }
+                intersect_pair_into(out, list, tmp, stats);
+                std::mem::swap(out, tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: membership testing against the first list.
+    fn naive(lists: &[&[VertexId]]) -> Vec<VertexId> {
+        let Some(first) = lists.first() else { return Vec::new() };
+        first
+            .iter()
+            .copied()
+            .filter(|v| lists[1..].iter().all(|l| l.binary_search(v).is_ok()))
+            .collect()
+    }
+
+    fn pair(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stats = IntersectStats::default();
+        intersect_pair_into(a, b, &mut out, &mut stats);
+        assert_eq!(stats.kernel_calls, 1);
+        assert_eq!(stats.merge_dispatches + stats.gallop_dispatches, 1);
+        out
+    }
+
+    fn kway(lists: &[&[VertexId]]) -> Vec<VertexId> {
+        let mut lists = lists.to_vec();
+        let (mut out, mut tmp) = (Vec::new(), Vec::new());
+        let mut stats = IntersectStats::default();
+        intersect_k_into(&mut lists, &mut out, &mut tmp, &mut stats);
+        out
+    }
+
+    #[test]
+    fn empty_lists() {
+        assert!(pair(&[], &[]).is_empty());
+        assert!(pair(&[], &[1, 2, 3]).is_empty());
+        assert!(pair(&[1, 2, 3], &[]).is_empty());
+        assert!(kway(&[]).is_empty());
+        assert!(kway(&[&[], &[1, 2]]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges() {
+        let a: Vec<VertexId> = (0..50).collect();
+        let b: Vec<VertexId> = (100..150).collect();
+        assert!(pair(&a, &b).is_empty());
+        assert!(pair(&b, &a).is_empty());
+        // interleaved but still disjoint
+        let evens: Vec<VertexId> = (0..100).map(|i| 2 * i).collect();
+        let odds: Vec<VertexId> = (0..100).map(|i| 2 * i + 1).collect();
+        assert!(pair(&evens, &odds).is_empty());
+    }
+
+    #[test]
+    fn subset_is_returned_whole() {
+        let big: Vec<VertexId> = (0..10_000).collect();
+        let small: Vec<VertexId> = (0..20).map(|i| i * 311).collect();
+        assert_eq!(pair(&small, &big), small);
+        assert_eq!(pair(&big, &small), small);
+        assert_eq!(kway(&[&big, &small, &big]), small);
+    }
+
+    #[test]
+    fn single_list_is_copied() {
+        let a: Vec<VertexId> = vec![3, 7, 9];
+        assert_eq!(kway(&[&a]), a);
+    }
+
+    #[test]
+    fn crossover_dispatches_by_length_ratio() {
+        let short: Vec<VertexId> = (0..10).map(|i| i * 5).collect();
+        let just_under: Vec<VertexId> =
+            (0..(short.len() * GALLOP_RATIO - 1) as VertexId).collect();
+        let mut out = Vec::new();
+        let mut stats = IntersectStats::default();
+        intersect_pair_into(&short, &just_under, &mut out, &mut stats);
+        assert_eq!(stats.merge_dispatches, 1);
+        assert_eq!(stats.gallop_dispatches, 0);
+        let long: Vec<VertexId> = (0..(short.len() * GALLOP_RATIO) as VertexId).collect();
+        intersect_pair_into(&short, &long, &mut out, &mut stats);
+        assert_eq!(stats.gallop_dispatches, 1);
+        // same answer on both sides of the crossover
+        assert_eq!(pair(&short, &just_under), pair(&short, &long));
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_lists() {
+        // deterministic pseudo-random strictly-sorted lists of varied lengths
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50u32 {
+            let k = 2 + (trial % 4) as usize;
+            let lists: Vec<Vec<VertexId>> = (0..k)
+                .map(|_| {
+                    let len = (next() % 200) as usize;
+                    let mut l: Vec<VertexId> =
+                        (0..len).map(|_| (next() % 500) as VertexId).collect();
+                    l.sort_unstable();
+                    l.dedup();
+                    l
+                })
+                .collect();
+            let refs: Vec<&[VertexId]> = lists.iter().map(|l| l.as_slice()).collect();
+            let expected = {
+                // naive intersects against lists[1..]; order by the same
+                // shortest-first rule the kernel uses for a fair comparison
+                let mut sorted = refs.clone();
+                sorted.sort_by_key(|l| l.len());
+                naive(&sorted)
+            };
+            assert_eq!(kway(&refs), expected, "trial {trial}");
+            if k >= 2 {
+                assert_eq!(pair(refs[0], refs[1]), naive(&[refs[0], refs[1]]));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_absorb_sums_fields() {
+        let mut a = IntersectStats {
+            kernel_calls: 1,
+            merge_dispatches: 1,
+            gallop_dispatches: 0,
+            elements_scanned: 10,
+        };
+        let b = IntersectStats {
+            kernel_calls: 2,
+            merge_dispatches: 1,
+            gallop_dispatches: 1,
+            elements_scanned: 5,
+        };
+        a.absorb(&b);
+        assert_eq!(a.kernel_calls, 3);
+        assert_eq!(a.merge_dispatches, 2);
+        assert_eq!(a.gallop_dispatches, 1);
+        assert_eq!(a.elements_scanned, 15);
+    }
+
+    #[test]
+    fn kway_scratch_buffers_are_reusable() {
+        let a: Vec<VertexId> = (0..100).collect();
+        let b: Vec<VertexId> = (50..150).collect();
+        let c: Vec<VertexId> = (0..200).map(|i| i * 2).collect();
+        let mut lists: Vec<&[VertexId]> = vec![&a, &b, &c];
+        let (mut out, mut tmp) = (Vec::new(), Vec::new());
+        let mut stats = IntersectStats::default();
+        intersect_k_into(&mut lists, &mut out, &mut tmp, &mut stats);
+        let first = out.clone();
+        // second call with dirty buffers must produce the same result
+        let mut lists2: Vec<&[VertexId]> = vec![&c, &a, &b];
+        intersect_k_into(&mut lists2, &mut out, &mut tmp, &mut stats);
+        assert_eq!(out, first);
+        assert_eq!(first, naive(&[&b, &a, &c]));
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`algorithms`] — BFS, multi-source BFS, shortest distances, connected
 //!   components, triangle/clique enumeration, spanning trees and diameter
 //!   estimation.
+//! * [`intersect`] — multi-way sorted-set intersection kernels (linear merge,
+//!   galloping, adaptive k-way) used by the enumeration engines for
+//!   intersection-based candidate generation.
 //! * [`io`] — the plain-text adjacency-list format used by the paper for
 //!   on-disk graphs.
 //!
@@ -28,6 +31,7 @@ pub mod algorithms;
 pub mod builder;
 pub mod csr;
 pub mod generators;
+pub mod intersect;
 pub mod io;
 pub mod metrics;
 pub mod pattern;
@@ -37,6 +41,7 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+pub use intersect::IntersectStats;
 pub use pattern::{Pattern, PatternBuilder};
 pub use queries::{clique_query_set, standard_query_set, NamedQuery};
 pub use symmetry::SymmetryBreaking;

@@ -2,6 +2,66 @@
 
 use rads_graph::{Graph, Pattern, PatternVertex, VertexId};
 
+/// Per-query-vertex filter thresholds, precomputed once per enumeration run.
+///
+/// [`passes_filters`] re-derives the pattern-side minimum neighbour degree on
+/// every call, which is wasteful inside the enumeration hot loop where the
+/// same query vertex is tested against thousands of data-vertex candidates.
+/// This struct hoists both thresholds out of the loop; `passes` is then two
+/// array reads plus one (early-exiting) scan of the candidate's adjacency
+/// list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterThresholds {
+    /// `degree[u]` — the pattern degree of `u` (candidates need at least it).
+    degree: Vec<usize>,
+    /// `min_nbr_degree[u]` — the minimum pattern degree among `u`'s
+    /// neighbours; a data neighbour counts as "strong" if its degree reaches
+    /// this.
+    min_nbr_degree: Vec<usize>,
+}
+
+impl FilterThresholds {
+    /// Precomputes the thresholds for every query vertex of `pattern`.
+    pub fn new(pattern: &Pattern) -> Self {
+        let degree: Vec<usize> = pattern.vertices().map(|u| pattern.degree(u)).collect();
+        let min_nbr_degree = pattern
+            .vertices()
+            .map(|u| {
+                pattern
+                    .neighbors(u)
+                    .iter()
+                    .map(|&w| pattern.degree(w))
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect();
+        FilterThresholds { degree, min_nbr_degree }
+    }
+
+    /// Returns `true` if data vertex `v` passes the structural filters for
+    /// query vertex `u` (same semantics as [`passes_filters`]).
+    pub fn passes(&self, graph: &Graph, u: PatternVertex, v: VertexId) -> bool {
+        let du = self.degree[u];
+        if graph.degree(v) < du {
+            return false;
+        }
+        if du == 0 {
+            return true;
+        }
+        let need = self.min_nbr_degree[u];
+        let mut strong = 0usize;
+        for &w in graph.neighbors(v) {
+            if graph.degree(w) >= need {
+                strong += 1;
+                if strong >= du {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
 /// Returns `true` if data vertex `v` passes the cheap structural filters for
 /// query vertex `u`:
 ///
@@ -11,46 +71,34 @@ use rads_graph::{Graph, Pattern, PatternVertex, VertexId};
 ///
 /// These are the standard TurboIso-style pruning rules; they are sound (never
 /// reject a vertex that participates in an embedding mapping `u -> v`).
+///
+/// One-shot convenience over [`FilterThresholds`]; code that tests many
+/// candidates against the same pattern should build the thresholds once
+/// instead.
 pub fn passes_filters(graph: &Graph, pattern: &Pattern, u: PatternVertex, v: VertexId) -> bool {
-    let du = pattern.degree(u);
-    if graph.degree(v) < du {
-        return false;
-    }
-    if du == 0 {
-        return true;
-    }
-    let min_nbr_deg = pattern
-        .neighbors(u)
-        .iter()
-        .map(|&w| pattern.degree(w))
-        .min()
-        .unwrap_or(0);
-    let strong_neighbors = graph
-        .neighbors(v)
-        .iter()
-        .filter(|&&w| graph.degree(w) >= min_nbr_deg)
-        .count();
-    strong_neighbors >= du
+    FilterThresholds::new(pattern).passes(graph, u, v)
 }
 
 /// Candidate set of query vertex `u`: every data vertex passing
 /// [`passes_filters`].
 pub fn candidates(graph: &Graph, pattern: &Pattern, u: PatternVertex) -> Vec<VertexId> {
+    let thresholds = FilterThresholds::new(pattern);
     graph
         .vertices()
-        .filter(|&v| passes_filters(graph, pattern, u, v))
+        .filter(|&v| thresholds.passes(graph, u, v))
         .collect()
 }
 
 /// Candidate-set sizes of all query vertices (used to pick the start vertex
 /// with the best selectivity).
 pub fn candidate_counts(graph: &Graph, pattern: &Pattern) -> Vec<usize> {
+    let thresholds = FilterThresholds::new(pattern);
     pattern
         .vertices()
         .map(|u| {
             graph
                 .vertices()
-                .filter(|&v| passes_filters(graph, pattern, u, v))
+                .filter(|&v| thresholds.passes(graph, u, v))
                 .count()
         })
         .collect()
@@ -95,5 +143,29 @@ mod tests {
         assert_eq!(counts.len(), 3);
         // the triangle 0-1-2 exists, vertex 3 is excluded by the degree filter
         assert!(counts.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn thresholds_agree_with_one_shot_filter() {
+        let g = GraphBuilder::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 3)],
+        );
+        for p in [
+            PatternBuilder::new(3).clique(&[0, 1, 2]).build(),
+            PatternBuilder::new(4).cycle(&[0, 1, 2, 3]).build(),
+            PatternBuilder::new(2).edge(0, 1).build(),
+        ] {
+            let thresholds = FilterThresholds::new(&p);
+            for u in p.vertices() {
+                for v in g.vertices() {
+                    assert_eq!(
+                        thresholds.passes(&g, u, v),
+                        passes_filters(&g, &p, u, v),
+                        "u={u} v={v}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,9 +1,35 @@
 //! The backtracking enumerator.
+//!
+//! Candidate generation is **intersection-based** by default: at every
+//! matching position the enumerator intersects the adjacency lists of all
+//! already-matched pattern neighbours ([`rads_graph::intersect`]), so a
+//! candidate is only ever inspected if it is adjacent to *every* matched
+//! neighbour. The pre-intersection kernel — seed from one anchor adjacency
+//! list, reject with one `has_edge` binary search per back edge — is kept as
+//! [`CandidateKernel::Probe`] so tests and benchmarks can pin the two paths
+//! against each other.
 
+use std::ops::Range;
+
+use rads_graph::intersect::{intersect_k_into, IntersectStats};
 use rads_graph::{Graph, Pattern, SymmetryBreaking, VertexId};
 
-use crate::candidates::passes_filters;
+use crate::candidates::FilterThresholds;
 use crate::order::MatchingOrder;
+
+/// How candidates for each matching position are generated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CandidateKernel {
+    /// Intersect the adjacency lists of every already-matched pattern
+    /// neighbour (shortest list first, galloping on skewed length ratios).
+    /// The default and the fast path.
+    #[default]
+    Intersect,
+    /// The pre-intersection kernel: scan the anchor's adjacency list and
+    /// probe each remaining back edge with a binary search. Kept for
+    /// equivalence tests and before/after benchmarks.
+    Probe,
+}
 
 /// Configuration of an enumeration run.
 #[derive(Debug, Clone, Default)]
@@ -24,9 +50,11 @@ pub struct EnumerationConfig {
     /// a family of runs whose ranges partition `0..len` partitions the
     /// result set exactly — this is what makes start-candidate work units
     /// splittable for the intra-machine worker pool.
-    pub start_range: Option<std::ops::Range<usize>>,
+    pub start_range: Option<Range<usize>>,
     /// Explicit matching order; `None` selects [`MatchingOrder::default_for`].
     pub order: Option<MatchingOrder>,
+    /// Candidate-generation kernel (default: [`CandidateKernel::Intersect`]).
+    pub kernel: CandidateKernel,
 }
 
 /// Statistics of an enumeration run.
@@ -38,16 +66,74 @@ pub struct EnumerationStats {
     /// position. `nodes_per_level[i]` counts the partial matches in which
     /// `i + 1` query vertices are mapped. RADS's memory estimator uses the sum
     /// of this vector as the embedding-trie node count for the vertex
-    /// (Section 6).
+    /// (Section 6). Identical for both [`CandidateKernel`]s.
     pub nodes_per_level: Vec<u64>,
-    /// Candidates rejected by filters / adjacency checks / symmetry breaking.
+    /// Candidates inspected but rejected by filters / adjacency checks /
+    /// symmetry breaking. Kernel-dependent: the intersection kernel never
+    /// materializes the candidates the probe kernel rejects with adjacency
+    /// checks, so its `pruned` is smaller for the same search.
     pub pruned: u64,
+    /// Intersection-kernel counters (all zero under the probe kernel).
+    pub intersect: IntersectStats,
 }
 
 impl EnumerationStats {
     /// Total number of search-tree nodes (the embedding-trie node estimate).
     pub fn total_nodes(&self) -> u64 {
         self.nodes_per_level.iter().sum()
+    }
+
+    /// Adds the counters of an independent work unit (field-wise sums, level
+    /// counters padded to the longer vector).
+    pub fn absorb(&mut self, other: &EnumerationStats) {
+        self.embeddings += other.embeddings;
+        self.pruned += other.pruned;
+        self.intersect.absorb(&other.intersect);
+        if self.nodes_per_level.len() < other.nodes_per_level.len() {
+            self.nodes_per_level.resize(other.nodes_per_level.len(), 0);
+        }
+        for (level, n) in other.nodes_per_level.iter().enumerate() {
+            self.nodes_per_level[level] += n;
+        }
+    }
+}
+
+/// Per-run-family state derived from the pattern once and shared by every
+/// work unit of a run: the matching order, the symmetry-breaking constraints
+/// and the precomputed filter thresholds. Building these is cheap relative to
+/// a whole enumeration but not relative to one *work unit* of the
+/// intra-machine pool (tens of start candidates), which is why SM-E derives
+/// one `SharedRun` per machine run instead of one per unit.
+#[derive(Debug, Clone)]
+pub struct SharedRun {
+    order: MatchingOrder,
+    symmetry: SymmetryBreaking,
+    thresholds: FilterThresholds,
+}
+
+impl SharedRun {
+    /// Builds the shared state for `pattern` with an explicit matching order.
+    pub fn new(pattern: &Pattern, order: MatchingOrder, disable_symmetry_breaking: bool) -> Self {
+        let symmetry = if disable_symmetry_breaking {
+            SymmetryBreaking::disabled(pattern)
+        } else {
+            SymmetryBreaking::new(pattern)
+        };
+        SharedRun { order, symmetry, thresholds: FilterThresholds::new(pattern) }
+    }
+
+    /// Builds the shared state a given `config` implies.
+    pub fn for_config(pattern: &Pattern, config: &EnumerationConfig) -> Self {
+        let order = match &config.order {
+            Some(o) => o.clone(),
+            None => MatchingOrder::default_for(pattern),
+        };
+        Self::new(pattern, order, config.disable_symmetry_breaking)
+    }
+
+    /// The matching order of this run family.
+    pub fn order(&self) -> &MatchingOrder {
+        &self.order
     }
 }
 
@@ -72,138 +158,258 @@ impl<'a> Enumerator<'a> {
     /// Runs the enumeration. The callback receives each embedding as a slice
     /// indexed by query vertex (`mapping[u]` is the data vertex of `u`) and
     /// returns `true` to continue, `false` to stop early.
-    pub fn run<F: FnMut(&[VertexId]) -> bool>(&self, mut callback: F) -> EnumerationStats {
-        let n = self.pattern.vertex_count();
-        let mut stats = EnumerationStats {
-            embeddings: 0,
-            nodes_per_level: vec![0; n],
-            pruned: 0,
-        };
-        if n == 0 {
-            return stats;
+    pub fn run<F: FnMut(&[VertexId]) -> bool>(&self, callback: F) -> EnumerationStats {
+        if self.pattern.vertex_count() == 0 {
+            return EnumerationStats::default();
         }
-        let order = match &self.config.order {
-            Some(o) => o.clone(),
-            None => MatchingOrder::default_for(self.pattern),
-        };
-        let symmetry = if self.config.disable_symmetry_breaking {
-            SymmetryBreaking::disabled(self.pattern)
-        } else {
-            SymmetryBreaking::new(self.pattern)
-        };
-        let start = order.start_vertex();
-        let all_candidates: Vec<VertexId> = match &self.config.start_candidates {
-            Some(cands) => cands.clone(),
-            None => self.graph.vertices().collect(),
-        };
-        let ranged = match &self.config.start_range {
-            Some(range) => {
-                let lo = range.start.min(all_candidates.len());
-                let hi = range.end.min(all_candidates.len());
-                &all_candidates[lo..hi.max(lo)]
+        let shared = SharedRun::for_config(self.pattern, &self.config);
+        let all_vertices: Vec<VertexId>;
+        let candidates: &[VertexId] = match &self.config.start_candidates {
+            Some(cands) => cands,
+            None => {
+                all_vertices = self.graph.vertices().collect();
+                &all_vertices
             }
-            None => &all_candidates[..],
         };
-        let start_candidates: Vec<VertexId> = ranged
-            .iter()
-            .copied()
-            .filter(|&v| passes_filters(self.graph, self.pattern, start, v))
-            .collect();
-
-        let mut assigned: Vec<Option<VertexId>> = vec![None; n];
-        let mut mapping: Vec<VertexId> = vec![0; n];
-        let mut stop = false;
-
-        for &v0 in &start_candidates {
-            if stop {
-                break;
-            }
-            if !symmetry.check_partial(start, v0, &assigned) {
-                stats.pruned += 1;
-                continue;
-            }
-            assigned[start] = Some(v0);
-            stats.nodes_per_level[0] += 1;
-            self.extend(
-                1,
-                &order,
-                &symmetry,
-                &mut assigned,
-                &mut mapping,
-                &mut stats,
-                &mut callback,
-                &mut stop,
-            );
-            assigned[start] = None;
-        }
-        stats
+        self.run_units(&shared, candidates, self.config.start_range.clone(), callback)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn extend<F: FnMut(&[VertexId]) -> bool>(
+    /// Runs the enumeration over one sub-range of an externally owned start
+    /// candidate list, with externally shared per-run state. This is the
+    /// splittable entry point the SM-E worker pool uses: the candidate list,
+    /// matching order, symmetry constraints and filter thresholds are built
+    /// once per machine run and borrowed by every work unit, so a unit costs
+    /// no setup beyond its own scratch buffers.
+    ///
+    /// `range = None` means the whole list; ranges are clamped to the list
+    /// length, and a family of calls whose ranges partition `0..len`
+    /// partitions the result set exactly (the range applies *before* the
+    /// per-vertex filters). `config.start_candidates`, `config.start_range`
+    /// and `config.order` are ignored by this entry point.
+    pub fn run_units<F: FnMut(&[VertexId]) -> bool>(
         &self,
-        pos: usize,
-        order: &MatchingOrder,
-        symmetry: &SymmetryBreaking,
-        assigned: &mut Vec<Option<VertexId>>,
-        mapping: &mut Vec<VertexId>,
-        stats: &mut EnumerationStats,
-        callback: &mut F,
-        stop: &mut bool,
-    ) {
+        shared: &SharedRun,
+        candidates: &[VertexId],
+        range: Option<Range<usize>>,
+        callback: F,
+    ) -> EnumerationStats {
         let n = self.pattern.vertex_count();
-        if pos == n {
-            for (u, a) in assigned.iter().enumerate() {
-                mapping[u] = a.expect("complete assignment");
+        let mut search = Search {
+            graph: self.graph,
+            pattern: self.pattern,
+            shared,
+            kernel: self.config.kernel,
+            max_results: self.config.max_results,
+            assigned: vec![None; n],
+            matched: Vec::with_capacity(n),
+            mapping: vec![0; n],
+            bufs: vec![Vec::new(); n],
+            tmp: Vec::new(),
+            lists: Vec::with_capacity(n),
+            stats: EnumerationStats {
+                nodes_per_level: vec![0; n],
+                ..EnumerationStats::default()
+            },
+            callback,
+            stop: false,
+        };
+        if n == 0 {
+            return search.stats;
+        }
+        let ranged = match range {
+            Some(range) => {
+                let lo = range.start.min(candidates.len());
+                let hi = range.end.min(candidates.len());
+                &candidates[lo..hi.max(lo)]
             }
-            stats.embeddings += 1;
-            if !callback(mapping) {
-                *stop = true;
+            None => candidates,
+        };
+        let start = shared.order.start_vertex();
+        for &v0 in ranged {
+            if search.stop {
+                break;
             }
-            if let Some(max) = self.config.max_results {
-                if stats.embeddings >= max {
-                    *stop = true;
-                }
+            if !shared.thresholds.passes(self.graph, start, v0) {
+                continue;
             }
+            if !shared.symmetry.check_partial(start, v0, &search.assigned) {
+                search.stats.pruned += 1;
+                continue;
+            }
+            search.place(start, v0, 0);
+            search.extend(1);
+            search.unplace(start, v0);
+        }
+        search.stats
+    }
+}
+
+/// The backtracking state of one run: the partial assignment, the reusable
+/// per-level candidate buffers and the statistics. Scratch vectors are
+/// allocated once per [`Enumerator::run_units`] call and reused across the
+/// whole search tree, so the inner loop is allocation-free once the buffers
+/// have grown to their working size.
+struct Search<'e, F> {
+    graph: &'e Graph,
+    pattern: &'e Pattern,
+    shared: &'e SharedRun,
+    kernel: CandidateKernel,
+    max_results: Option<u64>,
+    /// `assigned[u]` — the data vertex matched to query vertex `u`.
+    assigned: Vec<Option<VertexId>>,
+    /// The currently matched data vertices, kept sorted: injectivity is a
+    /// binary search instead of an `assigned.contains(&Some(v))` scan.
+    matched: Vec<VertexId>,
+    /// Callback scratch (embedding indexed by query vertex).
+    mapping: Vec<VertexId>,
+    /// Per-level candidate buffers for the intersection kernel.
+    bufs: Vec<Vec<VertexId>>,
+    /// k-way intersection scratch.
+    tmp: Vec<VertexId>,
+    /// Adjacency-list collection scratch (used transiently before recursing,
+    /// never across a recursive call).
+    lists: Vec<&'e [VertexId]>,
+    stats: EnumerationStats,
+    callback: F,
+    stop: bool,
+}
+
+impl<F: FnMut(&[VertexId]) -> bool> Search<'_, F> {
+    /// Records the match `u -> v` (position `pos` of the order).
+    fn place(&mut self, u: usize, v: VertexId, pos: usize) {
+        self.assigned[u] = Some(v);
+        let idx = self.matched.binary_search(&v).unwrap_err();
+        self.matched.insert(idx, v);
+        self.stats.nodes_per_level[pos] += 1;
+    }
+
+    /// Reverts [`Search::place`].
+    fn unplace(&mut self, u: usize, v: VertexId) {
+        self.assigned[u] = None;
+        let idx = self.matched.binary_search(&v).expect("placed vertex");
+        self.matched.remove(idx);
+    }
+
+    /// Extends the partial match at position `pos` of the matching order.
+    fn extend(&mut self, pos: usize) {
+        if pos == self.pattern.vertex_count() {
+            self.emit();
             return;
         }
-        let u = order.vertex_at(pos);
-        // Seed candidates from the anchor's adjacency list.
-        let anchor_pos = order.anchor_of(pos);
-        let anchor_vertex = order.vertex_at(anchor_pos);
-        let anchor_data = assigned[anchor_vertex].expect("anchor must be assigned");
-        let seed = self.graph.neighbors(anchor_data);
+        let u = self.shared.order.vertex_at(pos);
+        match self.kernel {
+            CandidateKernel::Intersect => self.extend_intersect(pos, u),
+            CandidateKernel::Probe => self.extend_probe(pos, u),
+        }
+    }
 
-        'candidates: for &v in seed {
-            if *stop {
+    /// Reports a complete embedding.
+    fn emit(&mut self) {
+        for (u, a) in self.assigned.iter().enumerate() {
+            self.mapping[u] = a.expect("complete assignment");
+        }
+        self.stats.embeddings += 1;
+        if !(self.callback)(&self.mapping) {
+            self.stop = true;
+        }
+        if let Some(max) = self.max_results {
+            if self.stats.embeddings >= max {
+                self.stop = true;
+            }
+        }
+    }
+
+    /// Intersection kernel: candidates are the intersection of the adjacency
+    /// lists of every already-matched pattern neighbour of `u`, so no
+    /// per-candidate adjacency check is needed afterwards.
+    fn extend_intersect(&mut self, pos: usize, u: usize) {
+        self.lists.clear();
+        for &w in self.pattern.neighbors(u) {
+            if let Some(vw) = self.assigned[w] {
+                self.lists.push(self.graph.neighbors(vw));
+            }
+        }
+        // The matching order is connected, so at least one neighbour of `u`
+        // is always matched.
+        debug_assert!(!self.lists.is_empty());
+        if self.lists.len() == 1 {
+            // Single back edge: the adjacency list itself is the candidate
+            // set; intersecting would only copy it.
+            let seed = self.lists[0];
+            self.scan_candidates(pos, u, seed);
+        } else {
+            let mut buf = std::mem::take(&mut self.bufs[pos]);
+            // Disjoint &mut borrows of self fields; `lists` is free for
+            // reuse by deeper levels once the candidates are materialized.
+            intersect_k_into(&mut self.lists, &mut buf, &mut self.tmp, &mut self.stats.intersect);
+            self.scan_candidates(pos, u, &buf);
+            self.bufs[pos] = buf;
+        }
+    }
+
+    /// Filters `candidates` (already adjacency-correct) and recurses.
+    fn scan_candidates(&mut self, pos: usize, u: usize, candidates: &[VertexId]) {
+        for &v in candidates {
+            if self.stop {
                 return;
             }
             // injectivity
-            if assigned.contains(&Some(v)) {
-                stats.pruned += 1;
+            if self.matched.binary_search(&v).is_ok() {
+                self.stats.pruned += 1;
                 continue;
             }
-            if !passes_filters(self.graph, self.pattern, u, v) {
-                stats.pruned += 1;
+            if !self.shared.thresholds.passes(self.graph, u, v) {
+                self.stats.pruned += 1;
+                continue;
+            }
+            if !self.shared.symmetry.check_partial(u, v, &self.assigned) {
+                self.stats.pruned += 1;
+                continue;
+            }
+            self.place(u, v, pos);
+            self.extend(pos + 1);
+            self.unplace(u, v);
+        }
+    }
+
+    /// Probe kernel (pre-intersection behaviour): seed candidates from the
+    /// anchor's adjacency list, reject with one `has_edge` binary search per
+    /// remaining back edge.
+    fn extend_probe(&mut self, pos: usize, u: usize) {
+        let anchor_pos = self.shared.order.anchor_of(pos);
+        let anchor_vertex = self.shared.order.vertex_at(anchor_pos);
+        let anchor_data = self.assigned[anchor_vertex].expect("anchor must be assigned");
+        let seed = self.graph.neighbors(anchor_data);
+
+        'candidates: for &v in seed {
+            if self.stop {
+                return;
+            }
+            // injectivity
+            if self.matched.binary_search(&v).is_ok() {
+                self.stats.pruned += 1;
+                continue;
+            }
+            if !self.shared.thresholds.passes(self.graph, u, v) {
+                self.stats.pruned += 1;
                 continue;
             }
             // adjacency with every already-matched neighbour of u
             for &w in self.pattern.neighbors(u) {
-                if let Some(vw) = assigned[w] {
+                if let Some(vw) = self.assigned[w] {
                     if !self.graph.has_edge(v, vw) {
-                        stats.pruned += 1;
+                        self.stats.pruned += 1;
                         continue 'candidates;
                     }
                 }
             }
-            if !symmetry.check_partial(u, v, assigned) {
-                stats.pruned += 1;
+            if !self.shared.symmetry.check_partial(u, v, &self.assigned) {
+                self.stats.pruned += 1;
                 continue;
             }
-            assigned[u] = Some(v);
-            stats.nodes_per_level[pos] += 1;
-            self.extend(pos + 1, order, symmetry, assigned, mapping, stats, callback, stop);
-            assigned[u] = None;
+            self.place(u, v, pos);
+            self.extend(pos + 1);
+            self.unplace(u, v);
         }
     }
 }
@@ -321,9 +527,6 @@ mod tests {
         let q = queries::q2();
         let total = count_embeddings(&g, &q);
         // Split the vertex set in two halves and restrict the start vertex.
-        let order = MatchingOrder::default_for(&q);
-        let start = order.start_vertex();
-        let _ = start;
         let half_a: Vec<VertexId> = g.vertices().filter(|v| v % 2 == 0).collect();
         let half_b: Vec<VertexId> = g.vertices().filter(|v| v % 2 == 1).collect();
         let count = |cands: Vec<VertexId>| {
@@ -435,5 +638,56 @@ mod tests {
             // sanity: enumeration terminates and counts are deterministic
             assert_eq!(c, count_embeddings(&g, &q.pattern), "{}", q.name);
         }
+    }
+
+    /// Both kernels must walk the *same* search tree: identical embeddings in
+    /// identical order, identical per-level node counts. (`pruned` is
+    /// kernel-dependent by design — the intersection kernel never sees the
+    /// candidates the probe kernel rejects with adjacency checks.)
+    #[test]
+    fn kernels_agree_on_embeddings_and_search_tree() {
+        let g = erdos_renyi(45, 0.18, 13);
+        for q in queries::standard_query_set() {
+            let run = |kernel: CandidateKernel| {
+                let mut embeddings = Vec::new();
+                let stats = Enumerator::with_config(
+                    &g,
+                    &q.pattern,
+                    EnumerationConfig { kernel, ..Default::default() },
+                )
+                .run(|m| {
+                    embeddings.push(m.to_vec());
+                    true
+                });
+                (embeddings, stats)
+            };
+            let (fast, fast_stats) = run(CandidateKernel::Intersect);
+            let (probe, probe_stats) = run(CandidateKernel::Probe);
+            assert_eq!(fast, probe, "{}", q.name);
+            assert_eq!(fast_stats.embeddings, probe_stats.embeddings, "{}", q.name);
+            assert_eq!(fast_stats.nodes_per_level, probe_stats.nodes_per_level, "{}", q.name);
+            assert_eq!(probe_stats.intersect, Default::default(), "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn run_units_matches_run_and_absorbs_stats() {
+        let g = erdos_renyi(40, 0.2, 21);
+        let q = queries::q2();
+        let enumerator = Enumerator::new(&g, &q);
+        let whole = enumerator.run(|_| true);
+        let shared = SharedRun::for_config(&q, &EnumerationConfig::default());
+        let candidates: Vec<VertexId> = g.vertices().collect();
+        let mut merged = EnumerationStats::default();
+        for lo in (0..candidates.len()).step_by(11) {
+            let unit = enumerator.run_units(
+                &shared,
+                &candidates,
+                Some(lo..(lo + 11).min(candidates.len())),
+                |_| true,
+            );
+            merged.absorb(&unit);
+        }
+        assert_eq!(merged, whole);
     }
 }

@@ -24,8 +24,9 @@ pub mod candidates;
 pub mod enumerate;
 pub mod order;
 
+pub use candidates::FilterThresholds;
 pub use enumerate::{
-    collect_embeddings, count_embeddings, enumerate_embeddings, EnumerationConfig,
-    EnumerationStats, Enumerator,
+    collect_embeddings, count_embeddings, enumerate_embeddings, CandidateKernel,
+    EnumerationConfig, EnumerationStats, Enumerator, SharedRun,
 };
 pub use order::MatchingOrder;

@@ -1,0 +1,81 @@
+//! Pins the intersection-based candidate-generation kernel
+//! ([`rads::single::CandidateKernel::Intersect`], the default) against the
+//! pre-intersection probe kernel across the four dataset stand-ins, every
+//! standard and clique query, and multiple generator seeds: identical
+//! embeddings in identical order, identical per-level search-tree node
+//! counts. The probe kernel is the pre-optimization code path, kept exactly
+//! so this equivalence stays checkable.
+
+use rads::prelude::*;
+use rads::single::{CandidateKernel, EnumerationConfig, Enumerator};
+use rads_graph::queries;
+
+/// Both kernels walk the search tree in the same order, so capping the run
+/// keeps the comparison exact over the compared prefix while holding the
+/// densest stand-ins (millions of embeddings) to test-suite-friendly sizes.
+const MAX_RESULTS: u64 = 200_000;
+
+/// Streams the run into an order-sensitive FNV-1a digest instead of
+/// collecting embeddings: any difference in the embeddings *or their order*
+/// changes the digest.
+fn run_kernel(graph: &Graph, pattern: &Pattern, kernel: CandidateKernel) -> (u64, u64, Vec<u64>) {
+    let mut digest: u64 = 0xcbf29ce484222325;
+    let stats = Enumerator::with_config(
+        graph,
+        pattern,
+        EnumerationConfig { kernel, max_results: Some(MAX_RESULTS), ..Default::default() },
+    )
+    .run(|m| {
+        for &v in m {
+            digest ^= v as u64 + 1;
+            digest = digest.wrapping_mul(0x100000001b3);
+        }
+        true
+    });
+    (digest, stats.embeddings, stats.nodes_per_level)
+}
+
+fn assert_kernels_agree(graph: &Graph, pattern: &Pattern, label: &str) {
+    let (fast_digest, fast_count, fast_levels) =
+        run_kernel(graph, pattern, CandidateKernel::Intersect);
+    let (probe_digest, probe_count, probe_levels) =
+        run_kernel(graph, pattern, CandidateKernel::Probe);
+    assert_eq!(fast_count, probe_count, "{label}: embedding count diverged");
+    assert_eq!(fast_digest, probe_digest, "{label}: embeddings or their order diverged");
+    assert_eq!(fast_levels, probe_levels, "{label}: search-tree shape diverged");
+}
+
+#[test]
+fn kernels_agree_on_every_dataset_standin_and_standard_query() {
+    for kind in DatasetKind::all() {
+        // UK2002's stand-in is by far the densest (Barabási–Albert m = 8);
+        // shrink it further so the debug-mode suite stays fast.
+        let scale = if kind == DatasetKind::Uk2002 { Scale(0.008) } else { Scale(0.02) };
+        for seed in [3u64, 11] {
+            let dataset = generate(kind, scale, seed);
+            for nq in queries::standard_query_set() {
+                assert_kernels_agree(
+                    &dataset.graph,
+                    &nq.pattern,
+                    &format!("{}/seed {seed}/{}", kind.name(), nq.name),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_clique_queries() {
+    // the clique queries are where the intersection path diverges most from
+    // the probe path (every position has multiple back edges)
+    for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
+        let dataset = generate(kind, Scale(0.03), 7);
+        for nq in queries::clique_query_set() {
+            assert_kernels_agree(
+                &dataset.graph,
+                &nq.pattern,
+                &format!("{}/{}", kind.name(), nq.name),
+            );
+        }
+    }
+}

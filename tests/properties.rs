@@ -150,6 +150,42 @@ proptest! {
         prop_assert_eq!(order, expected);
     }
 
+    /// The intersection candidate-generation kernel and the pre-intersection
+    /// probe kernel walk the same search tree on arbitrary graphs: identical
+    /// embeddings in identical order, identical per-level node counts.
+    #[test]
+    fn intersection_and_probe_kernels_agree(
+        graph in arb_graph(40, 120),
+        query_idx in 0usize..5,
+    ) {
+        use rads::single::{CandidateKernel, EnumerationConfig, Enumerator};
+        let patterns = [
+            queries::query_by_name("triangle").unwrap(),
+            queries::q1(),
+            queries::q2(),
+            queries::q5(),
+            queries::c1(),
+        ];
+        let pattern = &patterns[query_idx];
+        let run = |kernel: CandidateKernel| {
+            let mut embeddings = Vec::new();
+            let stats = Enumerator::with_config(
+                &graph,
+                pattern,
+                EnumerationConfig { kernel, ..Default::default() },
+            )
+            .run(|m| {
+                embeddings.push(m.to_vec());
+                true
+            });
+            (embeddings, stats.nodes_per_level)
+        };
+        let (fast, fast_levels) = run(CandidateKernel::Intersect);
+        let (probe, probe_levels) = run(CandidateKernel::Probe);
+        prop_assert_eq!(fast, probe);
+        prop_assert_eq!(fast_levels, probe_levels);
+    }
+
     /// Counting with symmetry breaking times the automorphism count equals
     /// counting without symmetry breaking (every query, random graphs).
     #[test]
