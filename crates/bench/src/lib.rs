@@ -146,6 +146,7 @@ pub fn parallel_speedup(
             let config = RadsConfig {
                 memory_budget: rads_core::memory::MemoryBudget {
                     region_group_bytes: budget_bytes,
+                    ..Default::default()
                 },
                 ..RadsConfig::with_workers(workers)
             };
@@ -169,6 +170,8 @@ pub fn parallel_speedup(
                 elapsed_ms,
                 embeddings_per_sec: embeddings_per_sec(outcome.total_embeddings, elapsed_ms),
                 bytes_shipped: outcome.traffic.total_bytes,
+                peak_tracked_bytes: outcome.peak_tracked_bytes(),
+                budget_bytes: budget_bytes as u64,
             });
         }
     }
@@ -248,6 +251,8 @@ pub fn intersect_speedup(
                 elapsed_ms: ms,
                 embeddings_per_sec: embeddings_per_sec(count, ms),
                 bytes_shipped: 0,
+                peak_tracked_bytes: 0,
+                budget_bytes: 0,
             });
         }
     }
@@ -346,6 +351,12 @@ pub struct BenchRecord {
     pub embeddings_per_sec: f64,
     /// Bytes put on the simulated wire.
     pub bytes_shipped: u64,
+    /// Peak bytes of intermediate results (trie + expansion buffers) any
+    /// worker held — the number the memory governor keeps at or below `Φ`.
+    /// `0` for experiments that do not measure memory.
+    pub peak_tracked_bytes: u64,
+    /// The per-group budget `Φ` the run was given (`0` = not measured).
+    pub budget_bytes: u64,
 }
 
 impl BenchRecord {
@@ -362,6 +373,8 @@ impl BenchRecord {
             elapsed_ms: m.elapsed_ms,
             embeddings_per_sec: embeddings_per_sec(m.embeddings, m.elapsed_ms),
             bytes_shipped: (m.communication_mb * 1024.0 * 1024.0).round() as u64,
+            peak_tracked_bytes: 0,
+            budget_bytes: 0,
         }
     }
 
@@ -370,7 +383,8 @@ impl BenchRecord {
             concat!(
                 "{{\"experiment\":{},\"dataset\":{},\"query\":{},\"system\":{},",
                 "\"machines\":{},\"workers\":{},\"embeddings\":{},",
-                "\"elapsed_ms\":{:.3},\"embeddings_per_sec\":{:.1},\"bytes_shipped\":{}}}"
+                "\"elapsed_ms\":{:.3},\"embeddings_per_sec\":{:.1},\"bytes_shipped\":{},",
+                "\"peak_tracked_bytes\":{},\"budget_bytes\":{}}}"
             ),
             json_string(&self.experiment),
             json_string(&self.dataset),
@@ -382,6 +396,8 @@ impl BenchRecord {
             self.elapsed_ms,
             self.embeddings_per_sec,
             self.bytes_shipped,
+            self.peak_tracked_bytes,
+            self.budget_bytes,
         )
     }
 }
@@ -654,7 +670,7 @@ pub fn robustness_experiment(
     let mut rows = Vec::new();
 
     let rads_budget = RadsConfig {
-        memory_budget: rads_core::memory::MemoryBudget { region_group_bytes: cap_bytes / 4 },
+        memory_budget: rads_core::memory::MemoryBudget::from_bytes(cap_bytes / 4),
         ..Default::default()
     };
     let rads = run_rads(&cluster, &pattern, &rads_budget);
@@ -674,6 +690,137 @@ pub fn robustness_experiment(
         crystal.peak_intermediate_bytes() <= cap_bytes,
     ));
     rows
+}
+
+/// The adversarial hub workload of the governor robustness experiment: a
+/// graph plus partitioning built so the *static* space estimate is wildly
+/// wrong.
+///
+/// Two machines each own half of a sparse chorded ring (every ring vertex
+/// closes a couple of triangles, so SM-E fits a small nodes-per-candidate
+/// estimate from the partition interiors), and many disjoint dense *hub
+/// pods* — 12-vertex cliques — straddle the partition cut: every pod vertex
+/// is adjacent to pod-mates on the other machine, so all of them have border
+/// distance 0, are excluded from the SM-E sample, and land in the
+/// distributed phase, where each generates hundreds of times the estimated
+/// intermediate results. Region groups sized from the ring-fitted estimate
+/// pack many pod vertices together and blow an order of magnitude past `Φ`
+/// unless the runtime governor splits them; at the same time no *single*
+/// start candidate exceeds a few tens of KiB, so the governor's `Φ/2`
+/// single-unit contract holds for budgets well below the aggregate overflow.
+pub fn hub_trap_workload(scale: Scale, seed: u64) -> (Graph, rads_partition::Partitioning) {
+    use rads_graph::GraphBuilder;
+    const POD: usize = 12;
+    // Ring size scales; the pod count keeps a floor so the aggregate
+    // explosion factor survives smoke-mode scales.
+    let ring = (((1600.0 * scale.0).round() as usize).max(160) / 2) * 2;
+    let pods = (ring / 16).max(24);
+    let n = ring + pods * POD;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..ring as u32 {
+        b.add_edge(i, (i + 1) % ring as u32);
+        b.add_edge(i, (i + 2) % ring as u32);
+    }
+    for p in 0..pods {
+        let base = (ring + p * POD) as u32;
+        for i in 0..POD as u32 {
+            for j in i + 1..POD as u32 {
+                b.add_edge(base + i, base + j);
+            }
+        }
+    }
+    // Tie every pod into the ring *near the two borders only* (the cut at
+    // ring/2 and the wrap-around at 0), so the ring interior keeps its
+    // border distance and SM-E still trains the — soon to be defeated —
+    // estimate on it; `seed` perturbs the attachment points.
+    let cut = ring as u32 / 2;
+    for p in 0..pods as u32 {
+        let base = ring as u32 + p * POD as u32;
+        let offset = (seed as u32).wrapping_add(3 * p) % 8;
+        b.add_edge(base, (cut + offset) % ring as u32);
+        b.add_edge(base + 1, (offset * 2) % ring as u32);
+    }
+    let graph = b.build();
+    // Machine 0: first half of the ring and the even pod vertices; machine
+    // 1: the rest. Alternating ownership inside a pod puts every pod vertex
+    // on the border.
+    let assignment: Vec<usize> = (0..n)
+        .map(|v| {
+            if v < ring {
+                usize::from(v >= ring / 2)
+            } else {
+                (v - ring) % 2
+            }
+        })
+        .collect();
+    (graph, rads_partition::Partitioning::new(assignment, 2))
+}
+
+/// The governor robustness experiment: on [`hub_trap_workload`], the static
+/// estimate packs hub candidates into groups that overflow `Φ` by ≥ 10x
+/// (demonstrated by the `RADS-static` rows, which disable runtime
+/// enforcement), while the governor keeps the peak at or under `Φ`
+/// (`RADS-governor` rows) — with embedding counts equal to the
+/// single-machine ground truth in every configuration. Panics if any of
+/// those properties fails, so committed rows are self-verifying.
+pub fn governor_robustness(
+    scale: Scale,
+    seed: u64,
+    budget_bytes: usize,
+    worker_counts: &[usize],
+) -> Vec<BenchRecord> {
+    let (graph, partitioning) = hub_trap_workload(scale, seed);
+    let cluster = Cluster::new(Arc::new(PartitionedGraph::build(&graph, partitioning)));
+    let pattern = queries::query_by_name("q2").expect("known query");
+    let expected = rads_single::count_embeddings(&graph, &pattern);
+    let mut records = Vec::new();
+    for &workers in worker_counts {
+        for (system, enforce) in [("RADS-static", false), ("RADS-governor", true)] {
+            let config = RadsConfig {
+                memory_budget: rads_core::MemoryBudget::from_bytes(budget_bytes),
+                enforce_memory_budget: enforce,
+                ..RadsConfig::with_workers(workers)
+            };
+            let start = Instant::now();
+            let outcome = run_rads(&cluster, &pattern, &config);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(
+                outcome.total_embeddings, expected,
+                "{system} workers={workers}: counts deviate from ground truth"
+            );
+            let peak = outcome.peak_tracked_bytes();
+            if enforce {
+                assert!(
+                    peak <= budget_bytes as u64,
+                    "{system} workers={workers}: peak {peak} B exceeds Φ = {budget_bytes} B — \
+                     if Φ was overridden (--budget), it must stay at least twice the workload's \
+                     largest single-candidate footprint (the governor's Φ/2 single-unit contract)"
+                );
+            } else {
+                assert!(
+                    peak >= 10 * budget_bytes as u64,
+                    "the workload must defeat the static estimate by ≥ 10x, got peak {peak} B vs \
+                     Φ = {budget_bytes} B — if Φ was overridden (--budget), it must stay at most \
+                     1/10th of the workload's unguarded peak (≈ 1 MiB at smoke scales)"
+                );
+            }
+            records.push(BenchRecord {
+                experiment: "robustness".to_string(),
+                dataset: "HubTrap".to_string(),
+                query: "q2".to_string(),
+                system: system.to_string(),
+                machines: 2,
+                workers,
+                embeddings: outcome.total_embeddings,
+                elapsed_ms,
+                embeddings_per_sec: embeddings_per_sec(outcome.total_embeddings, elapsed_ms),
+                bytes_shipped: outcome.traffic.total_bytes,
+                peak_tracked_bytes: peak,
+                budget_bytes: budget_bytes as u64,
+            });
+        }
+    }
+    records
 }
 
 /// Convenience used by the binary and smoke tests: a small dataset for quick
@@ -810,6 +957,21 @@ mod tests {
         let record = BenchRecord::from_measurement("fig9", &m);
         assert_eq!(record.embeddings_per_sec, 2000.0);
         assert!(record.to_json().contains("\"embeddings_per_sec\":2000.0"));
+    }
+
+    #[test]
+    fn governor_robustness_rows_are_self_verifying() {
+        // `governor_robustness` panics unless: counts equal ground truth,
+        // governor peak ≤ Φ, static peak ≥ 10 Φ. Smoke scale, workers 1 & 2.
+        let records = governor_robustness(Scale(0.05), 42, 64 * 1024, &[1, 2]);
+        assert_eq!(records.len(), 4);
+        for pair in records.chunks(2) {
+            assert_eq!(pair[0].system, "RADS-static");
+            assert_eq!(pair[1].system, "RADS-governor");
+            assert_eq!(pair[0].embeddings, pair[1].embeddings);
+            assert!(pair[0].peak_tracked_bytes >= 10 * pair[0].budget_bytes);
+            assert!(pair[1].peak_tracked_bytes <= pair[1].budget_bytes);
+        }
     }
 
     #[test]

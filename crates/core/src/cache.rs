@@ -4,33 +4,94 @@
 //! undetermined edges attached to this vertex, we can verify them locally
 //! without sending requests to other machines. Also we do not re-fetch any
 //! foreign vertex if it is already cached previously." (Appendix B)
+//!
+//! The paper gives fetched foreign vertices a *separate, evictable*
+//! allowance: they are not part of a region group's intermediate results, so
+//! they are excluded from the group estimate `φ(rg)`, and may be dropped at
+//! any time without affecting correctness (a dropped vertex is simply
+//! re-fetched on next use). This cache enforces that allowance with a
+//! byte-bounded LRU policy: entries form an intrusive recency list (O(1)
+//! touch and evict), every insert evicts least-recently-used entries until
+//! the new adjacency list fits, and the hit/miss/eviction counters are
+//! surfaced through `EngineStats` so experiments can report cache pressure.
 
 use std::collections::HashMap;
 
 use rads_graph::VertexId;
 
-/// Per-machine cache of foreign adjacency lists fetched with `fetchV`.
-#[derive(Debug, Default, Clone)]
+/// Hit/miss/eviction counters of a [`ForeignVertexCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the vertex already cached.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    adjacency: Vec<VertexId>,
+    /// More recently used neighbour in the recency list (`None` = newest).
+    prev: Option<VertexId>,
+    /// Less recently used neighbour (`None` = oldest, next to evict).
+    next: Option<VertexId>,
+}
+
+/// Per-machine cache of foreign adjacency lists fetched with `fetchV`,
+/// bounded to `capacity_bytes` with LRU eviction.
+#[derive(Debug, Clone)]
 pub struct ForeignVertexCache {
-    entries: HashMap<VertexId, Vec<VertexId>>,
-    /// Number of lookups that found the vertex already cached.
-    hits: u64,
-    /// Number of lookups that missed.
-    misses: u64,
+    entries: HashMap<VertexId, Entry>,
+    /// Most recently used vertex.
+    head: Option<VertexId>,
+    /// Least recently used vertex (evicted first).
+    tail: Option<VertexId>,
+    /// Current accounted bytes of every cached adjacency list.
+    bytes: usize,
+    /// Highest `bytes` ever observed.
+    peak_bytes: usize,
+    /// Byte capacity; inserts evict until the new entry fits.
+    capacity_bytes: usize,
+    stats: CacheStats,
     /// Whether caching is enabled; when disabled (ablation), inserts are
-    /// dropped so every use re-fetches.
+    /// dropped so every use re-fetches — misses are still counted, so the
+    /// ablation run reports the full fetch pressure it causes.
     enabled: bool,
 }
 
+impl Default for ForeignVertexCache {
+    fn default() -> Self {
+        ForeignVertexCache::new()
+    }
+}
+
 impl ForeignVertexCache {
-    /// An enabled, empty cache.
+    /// An enabled cache with no byte bound (legacy behaviour; the engine uses
+    /// [`ForeignVertexCache::with_capacity`]).
     pub fn new() -> Self {
-        ForeignVertexCache { enabled: true, ..Default::default() }
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// An enabled, empty cache that evicts LRU entries to keep its accounted
+    /// bytes at or below `capacity_bytes`.
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        ForeignVertexCache {
+            entries: HashMap::new(),
+            head: None,
+            tail: None,
+            bytes: 0,
+            peak_bytes: 0,
+            capacity_bytes,
+            stats: CacheStats::default(),
+            enabled: true,
+        }
     }
 
     /// A cache that never retains anything (the `ablation_cache` setting).
     pub fn disabled() -> Self {
-        ForeignVertexCache { enabled: false, ..Default::default() }
+        ForeignVertexCache { enabled: false, ..Self::new() }
     }
 
     /// Whether caching is enabled.
@@ -48,29 +109,116 @@ impl ForeignVertexCache {
         self.entries.is_empty()
     }
 
+    /// The byte capacity inserts are held to.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes the accounting model charges for caching `adjacency` under one
+    /// vertex key (the key plus its list entries).
+    pub fn entry_bytes(adjacency_len: usize) -> usize {
+        std::mem::size_of::<VertexId>() * (adjacency_len + 1)
+    }
+
+    /// Unlinks `vertex` from the recency list (must be present).
+    fn unlink(&mut self, vertex: VertexId) {
+        let (prev, next) = {
+            let e = &self.entries[&vertex];
+            (e.prev, e.next)
+        };
+        match prev {
+            Some(p) => self.entries.get_mut(&p).expect("linked prev").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.entries.get_mut(&n).expect("linked next").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    /// Links `vertex` (already in `entries`) as the most recently used.
+    fn link_front(&mut self, vertex: VertexId) {
+        let old_head = self.head;
+        {
+            let e = self.entries.get_mut(&vertex).expect("entry present");
+            e.prev = None;
+            e.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.entries.get_mut(&h).expect("old head").prev = Some(vertex);
+        }
+        self.head = Some(vertex);
+        if self.tail.is_none() {
+            self.tail = Some(vertex);
+        }
+    }
+
+    /// Moves `vertex` to the front of the recency list.
+    fn touch(&mut self, vertex: VertexId) {
+        if self.head == Some(vertex) {
+            return;
+        }
+        self.unlink(vertex);
+        self.link_front(vertex);
+    }
+
+    /// Evicts the least recently used entry. Returns `false` when empty.
+    fn evict_one(&mut self) -> bool {
+        let Some(victim) = self.tail else { return false };
+        self.unlink(victim);
+        let entry = self.entries.remove(&victim).expect("tail entry");
+        self.bytes -= Self::entry_bytes(entry.adjacency.len());
+        self.stats.evictions += 1;
+        true
+    }
+
     /// Inserts a fetched adjacency list (sorted). A no-op when disabled.
+    /// Evicts LRU entries until the new list fits the capacity; a list that
+    /// cannot fit even in an empty cache is not retained at all (it would
+    /// only displace everything else for a single use).
     pub fn insert(&mut self, vertex: VertexId, mut adjacency: Vec<VertexId>) {
         if !self.enabled {
             return;
         }
+        let new_bytes = Self::entry_bytes(adjacency.len());
+        if new_bytes > self.capacity_bytes {
+            return;
+        }
         adjacency.sort_unstable();
-        self.entries.insert(vertex, adjacency);
+        if self.entries.contains_key(&vertex) {
+            // re-fetch of a cached vertex: replace the payload and refresh
+            self.unlink(vertex);
+            let entry = self.entries.remove(&vertex).expect("present");
+            self.bytes -= Self::entry_bytes(entry.adjacency.len());
+        }
+        while self.bytes + new_bytes > self.capacity_bytes {
+            if !self.evict_one() {
+                break;
+            }
+        }
+        self.entries.insert(vertex, Entry { adjacency, prev: None, next: None });
+        self.bytes += new_bytes;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.link_front(vertex);
     }
 
-    /// Looks up the adjacency list of `vertex`, recording hit/miss statistics.
+    /// Looks up the adjacency list of `vertex`, recording hit/miss statistics
+    /// and refreshing its recency on a hit.
     pub fn get(&mut self, vertex: VertexId) -> Option<&[VertexId]> {
         if self.entries.contains_key(&vertex) {
-            self.hits += 1;
-            self.entries.get(&vertex).map(|v| v.as_slice())
+            self.stats.hits += 1;
+            self.touch(vertex);
+            self.entries.get(&vertex).map(|e| e.adjacency.as_slice())
         } else {
-            self.misses += 1;
+            self.stats.misses += 1;
             None
         }
     }
 
-    /// Non-recording lookup (used by read-only verification paths).
+    /// Non-recording lookup (used by read-only verification paths). Does not
+    /// refresh recency.
     pub fn peek(&self, vertex: VertexId) -> Option<&[VertexId]> {
-        self.entries.get(&vertex).map(|v| v.as_slice())
+        self.entries.get(&vertex).map(|e| e.adjacency.as_slice())
     }
 
     /// `true` if `vertex` is cached.
@@ -82,30 +230,49 @@ impl ForeignVertexCache {
     /// existence of the edge `(u, v)`. Returns `None` when neither endpoint
     /// is cached.
     pub fn verify_edge(&self, u: VertexId, v: VertexId) -> Option<bool> {
-        if let Some(adj) = self.entries.get(&u) {
-            return Some(adj.binary_search(&v).is_ok());
+        if let Some(e) = self.entries.get(&u) {
+            return Some(e.adjacency.binary_search(&v).is_ok());
         }
-        if let Some(adj) = self.entries.get(&v) {
-            return Some(adj.binary_search(&u).is_ok());
+        if let Some(e) = self.entries.get(&v) {
+            return Some(e.adjacency.binary_search(&u).is_ok());
         }
         None
     }
 
-    /// (hits, misses) counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Accounted heap footprint in bytes of the cached adjacency lists.
     pub fn memory_bytes(&self) -> usize {
-        self.entries.values().map(|adj| std::mem::size_of::<VertexId>() * (adj.len() + 1))
-            .sum()
+        self.bytes
+    }
+
+    /// Highest accounted footprint ever observed.
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// The cached vertices from most to least recently used (tests and
+    /// diagnostics).
+    pub fn recency_order(&self) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        let mut cur = self.head;
+        while let Some(v) = cur {
+            out.push(v);
+            cur = self.entries[&v].next;
+        }
+        out
     }
 
     /// Drops every cached entry (used between region groups when the memory
-    /// budget requires it).
+    /// budget requires it). Not counted as evictions.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.head = None;
+        self.tail = None;
+        self.bytes = 0;
     }
 }
 
@@ -120,8 +287,8 @@ mod tests {
         cache.insert(5, vec![3, 1, 2]);
         assert_eq!(cache.get(5).unwrap(), &[1, 2, 3]);
         assert!(cache.contains(5));
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (1, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
         assert_eq!(cache.len(), 1);
         assert!(cache.memory_bytes() > 0);
     }
@@ -137,12 +304,16 @@ mod tests {
     }
 
     #[test]
-    fn disabled_cache_never_stores() {
+    fn disabled_cache_never_stores_but_still_counts_misses() {
         let mut cache = ForeignVertexCache::disabled();
         cache.insert(5, vec![1]);
         assert!(cache.is_empty());
         assert!(!cache.is_enabled());
         assert!(cache.get(5).is_none());
+        assert!(cache.get(5).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 2, 0));
+        assert_eq!(cache.memory_bytes(), 0);
     }
 
     #[test]
@@ -153,5 +324,85 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.memory_bytes(), 0);
+        assert_eq!(cache.stats().evictions, 0);
+        // still usable after clearing
+        cache.insert(9, vec![1, 2]);
+        assert_eq!(cache.recency_order(), vec![9]);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_and_evictions() {
+        // capacity for exactly two 2-neighbour entries
+        let entry = ForeignVertexCache::entry_bytes(2);
+        let mut cache = ForeignVertexCache::with_capacity(2 * entry);
+        cache.insert(1, vec![10, 11]);
+        cache.insert(2, vec![20, 21]);
+        assert_eq!(cache.memory_bytes(), 2 * entry);
+        assert_eq!(cache.peak_memory_bytes(), 2 * entry);
+        // the third insert must evict the least recently used (vertex 1)
+        cache.insert(3, vec![30, 31]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.memory_bytes(), 2 * entry);
+        assert!(!cache.contains(1));
+        assert!(cache.contains(2) && cache.contains(3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_order_follows_recorded_use() {
+        let entry = ForeignVertexCache::entry_bytes(1);
+        let mut cache = ForeignVertexCache::with_capacity(3 * entry);
+        cache.insert(1, vec![9]);
+        cache.insert(2, vec![9]);
+        cache.insert(3, vec![9]);
+        assert_eq!(cache.recency_order(), vec![3, 2, 1]);
+        // touching 1 moves it to the front, so 2 is now the LRU victim
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.recency_order(), vec![1, 3, 2]);
+        cache.insert(4, vec![9]);
+        assert!(!cache.contains(2), "the LRU entry (2) must be the one evicted");
+        assert_eq!(cache.recency_order(), vec![4, 1, 3]);
+        // peek must NOT refresh recency: 3 stays the victim
+        assert!(cache.peek(3).is_some());
+        assert!(cache.peek(3).is_some());
+        cache.insert(5, vec![9]);
+        assert!(!cache.contains(3));
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_retained() {
+        let mut cache = ForeignVertexCache::with_capacity(ForeignVertexCache::entry_bytes(2));
+        cache.insert(1, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(cache.is_empty(), "an entry larger than the whole capacity is not cached");
+        assert_eq!(cache.stats().evictions, 0);
+        // a fitting entry is unaffected
+        cache.insert(2, vec![1, 2]);
+        assert!(cache.contains(2));
+    }
+
+    #[test]
+    fn reinserting_a_vertex_replaces_its_payload_and_bytes() {
+        let entry1 = ForeignVertexCache::entry_bytes(1);
+        let entry3 = ForeignVertexCache::entry_bytes(3);
+        let mut cache = ForeignVertexCache::with_capacity(1024);
+        cache.insert(7, vec![1]);
+        assert_eq!(cache.memory_bytes(), entry1);
+        cache.insert(7, vec![3, 2, 1]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.memory_bytes(), entry3);
+        assert_eq!(cache.get(7).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut cache = ForeignVertexCache::new();
+        for v in 0..100u32 {
+            cache.insert(v, vec![v + 1, v + 2]);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.peak_memory_bytes(), cache.memory_bytes());
     }
 }

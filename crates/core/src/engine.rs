@@ -20,7 +20,7 @@
 //! with `workers > 1`, because which worker's cache already holds a foreign
 //! vertex depends on which worker processed the earlier group.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rads_exec::{scoped_workers, ExecConfig};
 use rads_graph::{Pattern, SymmetryBreaking, VertexId};
@@ -33,7 +33,8 @@ use crate::cache::ForeignVertexCache;
 use crate::daemon::GroupQueue;
 use crate::evi::EdgeVerificationIndex;
 use crate::expand::{AdjacencyOracle, Expander, ExtensionBuffer, UnitExpansion};
-use crate::memory::MemoryBudget;
+use crate::governor::MemoryGovernor;
+use crate::memory::{MemoryBudget, SpaceEstimator};
 use crate::region::{find_region_groups, GroupingStrategy};
 use crate::sme::run_sme;
 use crate::trie::{EmbeddingTrie, NodeId};
@@ -51,8 +52,13 @@ pub struct EngineConfig {
     pub enable_load_sharing: bool,
     /// How region groups are formed.
     pub grouping: GroupingStrategy,
-    /// Per-group memory budget `Φ`.
+    /// Per-group memory budget `Φ` plus the foreign-vertex cache allowance.
     pub budget: MemoryBudget,
+    /// Enforce the budget at runtime (the [`MemoryGovernor`]): overflowing
+    /// region groups are split mid-flight and the space estimator is
+    /// re-fitted online. `false` trusts the a-priori sizing only — the
+    /// `RADS-static` ablation of the robustness experiment.
+    pub enforce_budget: bool,
     /// Collect full embeddings (tests / small runs) instead of only counting.
     pub collect_embeddings: bool,
     /// RNG seed for region grouping.
@@ -71,6 +77,7 @@ impl Default for EngineConfig {
             enable_load_sharing: true,
             grouping: GroupingStrategy::Proximity,
             budget: MemoryBudget::default(),
+            enforce_budget: true,
             collect_embeddings: false,
             seed: 0x5AD5,
             workers: 1,
@@ -111,6 +118,25 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Foreign-vertex cache misses.
     pub cache_misses: u64,
+    /// Entries the byte-bounded cache evicted to stay under its allowance.
+    pub cache_evictions: u64,
+    /// Highest byte footprint any single worker's cache reached (each worker
+    /// cache has its own [`MemoryBudget::cache_bytes`] allowance).
+    pub cache_peak_bytes: u64,
+    /// Highest bytes of intermediate results (trie + expansion buffers) seen
+    /// at any governor checkpoint on any worker — the runtime counterpart of
+    /// `Φ`.
+    pub peak_tracked_bytes: u64,
+    /// Region groups the governor split mid-flight.
+    pub governor_splits: u64,
+    /// Start candidates shed from overflowing groups and re-queued.
+    pub respilled_candidates: u64,
+    /// Times the online re-fit raised the space estimate.
+    pub estimator_refits: u64,
+    /// Bytes per start candidate the *static* (SM-E-fitted) estimator
+    /// predicted — comparing it against `peak_tracked_bytes` of an
+    /// unlimited-budget run shows how wrong the prior was.
+    pub estimated_bytes_per_candidate: u64,
     /// Number of `fetchV` requests sent.
     pub fetch_requests: u64,
     /// Number of `verifyE` requests sent.
@@ -163,6 +189,14 @@ impl MachineOutput {
         s.cache_entries += w.cache_entries;
         s.cache_hits += w.cache_hits;
         s.cache_misses += w.cache_misses;
+        s.cache_evictions += w.cache_evictions;
+        s.cache_peak_bytes = s.cache_peak_bytes.max(w.cache_peak_bytes);
+        s.peak_tracked_bytes = s.peak_tracked_bytes.max(w.peak_tracked_bytes);
+        s.governor_splits += w.governor_splits;
+        s.respilled_candidates += w.respilled_candidates;
+        s.estimator_refits += w.estimator_refits;
+        s.estimated_bytes_per_candidate =
+            s.estimated_bytes_per_candidate.max(w.estimated_bytes_per_candidate);
         s.fetch_requests += w.fetch_requests;
         s.verify_requests += w.verify_requests;
         s.undetermined_edges += w.undetermined_edges;
@@ -171,20 +205,84 @@ impl MachineOutput {
     }
 }
 
-/// Adjacency oracle over the machine's partition, the persistent cache and a
-/// per-round scratch cache (used when caching is disabled for the ablation).
+/// Adjacency oracle over the machine's partition, the persistent cache, a
+/// per-round scratch cache (used when caching is disabled for the ablation)
+/// and an optional transient entry: the adjacency of the pivot currently
+/// being expanded when the byte-bounded cache evicted it (or refused it as
+/// oversized) between fetch and use. The transient keeps expansion correct
+/// under arbitrary cache pressure — a pivot whose adjacency is invisible
+/// would silently drop every embedding extending through it.
 struct MachineOracle<'a> {
     local: &'a LocalPartition,
     cache: &'a ForeignVertexCache,
     scratch: &'a ForeignVertexCache,
+    transient: Option<&'a (VertexId, Vec<VertexId>)>,
 }
 
 impl AdjacencyOracle for MachineOracle<'_> {
     fn adjacency(&self, v: VertexId) -> Option<&[VertexId]> {
+        let transient = match self.transient {
+            Some((tv, adj)) if *tv == v => Some(adj.as_slice()),
+            _ => None,
+        };
         self.local
             .neighbors(v)
             .or_else(|| self.cache.peek(v))
             .or_else(|| self.scratch.peek(v))
+            .or(transient)
+    }
+}
+
+/// Makes sure the adjacency of `pivot` is visible to the next expansion:
+/// owned, cached, or fetched now (the round's batch prefetch can be undone by
+/// LRU eviction before the pivot is reached, and an adjacency list larger
+/// than the whole cache allowance is never retained at all). Returns the
+/// fetched list for use as the oracle's transient entry when the cache would
+/// refuse to retain it.
+///
+/// This is the *recorded* cache access of the engine: it uses
+/// [`ForeignVertexCache::get`], so every pivot expansion counts a hit or
+/// miss and refreshes the entry's LRU recency — without it, eviction would
+/// degenerate to FIFO and the hottest hub adjacency would be the first to
+/// go. (The read-only `peek`/`verify_edge` paths deliberately stay
+/// non-recording.)
+fn ensure_pivot_adjacency(
+    ctx: &MachineContext,
+    local: &LocalPartition,
+    pivot: VertexId,
+    cache: &mut ForeignVertexCache,
+    scratch: &mut ForeignVertexCache,
+    stats: &mut EngineStats,
+) -> Option<(VertexId, Vec<VertexId>)> {
+    if local.owns(pivot) {
+        return None;
+    }
+    // records the hit/miss on the worker's reported cache, even when the
+    // cache is disabled (the ablation still counts the misses it causes)
+    if cache.get(pivot).is_some() || scratch.get(pivot).is_some() {
+        return None;
+    }
+    stats.fetch_requests += 1;
+    let owner = ctx.ownership().owner(pivot);
+    match ctx.request(owner, Request::FetchVertices(vec![pivot])) {
+        Response::Adjacency(lists) => {
+            let mut transient = None;
+            for (v, mut adj) in lists {
+                let target = if cache.is_enabled() { &mut *cache } else { &mut *scratch };
+                if v == pivot
+                    && ForeignVertexCache::entry_bytes(adj.len()) > target.capacity_bytes()
+                {
+                    // the cache would refuse it as oversized: hand the list
+                    // to the oracle directly instead of losing it
+                    adj.sort_unstable();
+                    transient = Some((v, adj));
+                } else {
+                    target.insert(v, adj);
+                }
+            }
+            transient
+        }
+        other => panic!("unexpected fetchV response: {other:?}"),
     }
 }
 
@@ -226,14 +324,18 @@ pub fn run_machine(
     // ---- Phases 3 + 4: drain region groups on the worker pool ----------------
     // The shared queue doubles as the pool's injector; it must stay the
     // single source of waiting groups because other machines' shareR
-    // requests take from it too. With workers == 1 the closure runs inline
-    // on the engine thread — the paper's sequential path, unchanged.
+    // requests take from it too (and because the governor re-queues the
+    // shed half of a split group there). With workers == 1 the closure runs
+    // inline on the engine thread — the paper's sequential path, unchanged.
+    let estimator = sme.estimator;
     let worker_outputs = scoped_workers(exec.effective_workers(), |_worker| {
-        drain_region_groups(ctx, pattern, plan, &symmetry, &group_queue, config)
+        drain_region_groups(ctx, pattern, plan, &symmetry, &group_queue, config, estimator)
     });
     for worker_output in worker_outputs {
         output.absorb(worker_output);
     }
+    output.stats.estimated_bytes_per_candidate =
+        (estimator.nodes_per_candidate() * EmbeddingTrie::NODE_BYTES as f64).round() as u64;
     if config.collect_embeddings {
         output.embeddings.sort_unstable();
     }
@@ -243,8 +345,14 @@ pub fn run_machine(
 /// One pool worker's share of phases 3 and 4: process local region groups
 /// until the machine's queue is empty, then steal groups from the most
 /// loaded other machine (checkR / shareR) until the cluster has none left.
-/// Exactly the sequential drain loop, against a worker-private cache and
-/// output.
+/// Exactly the sequential drain loop, against a worker-private cache,
+/// governor and output.
+///
+/// The governor's split path re-queues shed candidates on this machine's
+/// shared queue, so a worker that splits a group finds the shed half on its
+/// own next `pop_front` (it is still inside this loop when it pushes), and
+/// other machines' `shareR` requests can steal it meanwhile.
+#[allow(clippy::too_many_arguments)]
 fn drain_region_groups(
     ctx: &MachineContext,
     pattern: &Pattern,
@@ -252,24 +360,28 @@ fn drain_region_groups(
     symmetry: &SymmetryBreaking,
     group_queue: &GroupQueue,
     config: &EngineConfig,
+    estimator: SpaceEstimator,
 ) -> MachineOutput {
     let mut output = MachineOutput::default();
     let mut cache = if config.enable_cache {
-        ForeignVertexCache::new()
+        ForeignVertexCache::with_capacity(config.budget.cache_bytes)
     } else {
         ForeignVertexCache::disabled()
     };
     // One expander per pool worker: its candidate buffers, backtracking
     // stacks and flat extension output are reused across every parent
-    // embedding, round and region group this worker processes.
+    // embedding, round and region group this worker processes. Likewise one
+    // governor: its observations and re-fitted estimator carry across groups.
     let mut expander = Expander::new();
+    let mut governor = MemoryGovernor::new(config.budget, config.enforce_budget, estimator);
 
     // ---- Phase 3: R-Meef over the local region groups ------------------------
     loop {
         let group = group_queue.lock().pop_front();
         let Some(group) = group else { break };
         process_region_group(
-            ctx, pattern, plan, symmetry, &group, &mut cache, &mut expander, config, &mut output,
+            ctx, pattern, plan, symmetry, &group, &mut cache, &mut expander, &mut governor,
+            group_queue, config, &mut output,
         );
         output.stats.groups_processed += 1;
     }
@@ -291,12 +403,24 @@ fn drain_region_groups(
             }
             match ctx.request(target, Request::ShareRegionGroup) {
                 Response::RegionGroup(Some(group)) => {
+                    // A stolen group that overflows is split onto *this*
+                    // machine's queue — the thief keeps the shed work.
                     process_region_group(
-                        ctx, pattern, plan, symmetry, &group, &mut cache, &mut expander, config,
-                        &mut output,
+                        ctx, pattern, plan, symmetry, &group, &mut cache, &mut expander,
+                        &mut governor, group_queue, config, &mut output,
                     );
                     output.stats.groups_processed += 1;
                     output.stats.groups_stolen += 1;
+                    // drain any shed work before stealing more
+                    loop {
+                        let local_group = group_queue.lock().pop_front();
+                        let Some(local_group) = local_group else { break };
+                        process_region_group(
+                            ctx, pattern, plan, symmetry, &local_group, &mut cache, &mut expander,
+                            &mut governor, group_queue, config, &mut output,
+                        );
+                        output.stats.groups_processed += 1;
+                    }
                 }
                 // Someone else got there first; re-check the cluster.
                 Response::RegionGroup(None) => continue,
@@ -305,16 +429,34 @@ fn drain_region_groups(
         }
     }
 
-    let (hits, misses) = cache.stats();
-    output.stats.cache_hits = hits;
-    output.stats.cache_misses = misses;
+    let cache_stats = cache.stats();
+    output.stats.cache_hits = cache_stats.hits;
+    output.stats.cache_misses = cache_stats.misses;
+    output.stats.cache_evictions = cache_stats.evictions;
+    output.stats.cache_peak_bytes = cache.peak_memory_bytes() as u64;
     output.stats.cache_entries = cache.len();
     output.stats.intersect = expander.intersect_stats().clone();
+    output.stats.peak_tracked_bytes = governor.stats.peak_tracked_bytes;
+    output.stats.governor_splits = governor.stats.splits;
+    output.stats.respilled_candidates = governor.stats.respilled_candidates;
+    output.stats.estimator_refits = governor.stats.estimator_refits;
     output
 }
 
 /// Processes one region group: the multi-round expand / verify & filter loop
-/// of Algorithm 4.
+/// of Algorithm 4, under runtime budget enforcement.
+///
+/// The governor checkpoints the tracked bytes (trie + expansion buffers)
+/// after every start candidate in round 0 and after every root subtree in
+/// later rounds. When admitting the next unit of work could cross `Φ`, the
+/// not-yet-expanded start candidates are shed: their partial subtrees are
+/// removed from the trie, and the candidates are re-grouped under the
+/// re-fitted estimator and pushed back on `group_queue`. Shed candidates
+/// restart from round 0 in their new group, so every embedding is still
+/// found exactly once — region groups partition the start candidates, and
+/// the shed candidates' partial results are discarded before harvest. The
+/// first in-flight candidate of a group is never shed, so re-queued groups
+/// shrink strictly and the split recursion terminates.
 #[allow(clippy::too_many_arguments)]
 fn process_region_group(
     ctx: &MachineContext,
@@ -324,6 +466,8 @@ fn process_region_group(
     group: &[VertexId],
     cache: &mut ForeignVertexCache,
     expander: &mut Expander,
+    governor: &mut MemoryGovernor,
+    group_queue: &GroupQueue,
     config: &EngineConfig,
     output: &mut MachineOutput,
 ) {
@@ -332,7 +476,9 @@ fn process_region_group(
     let order = plan.matching_order();
     let mut trie = EmbeddingTrie::new();
     let mut evi = EdgeVerificationIndex::new();
-    let mut scratch_cache = ForeignVertexCache::new();
+    let mut scratch_cache = ForeignVertexCache::with_capacity(config.budget.cache_bytes);
+    // Start candidates still in flight; shrinks when the governor sheds.
+    let mut retained = group.len();
 
     for round in 0..plan.rounds() {
         evi.clear();
@@ -350,6 +496,7 @@ fn process_region_group(
             trie.nodes_at_depth(prefix_before - 1)
         };
         let pivot_vertex = plan.units()[round].pivot;
+        let pivot_pos = order.iter().position(|&u| u == pivot_vertex).expect("pivot in order");
         let mut to_fetch: Vec<VertexId> = Vec::new();
         if round == 0 {
             // stolen region groups may contain candidates owned elsewhere
@@ -357,7 +504,6 @@ fn process_region_group(
                 !local.owns(v) && !cache.contains(v) && !scratch_cache.contains(v)
             }));
         } else {
-            let pivot_pos = order.iter().position(|&u| u == pivot_vertex).expect("pivot in order");
             for &leaf in &parents {
                 let result = trie.result(leaf);
                 let v = result[pivot_pos];
@@ -368,12 +514,33 @@ fn process_region_group(
         }
         fetch_foreign(ctx, &mut to_fetch, cache, &mut scratch_cache, &mut output.stats);
 
-        // -- expand
-        let oracle = MachineOracle { local, cache, scratch: &scratch_cache };
+        // -- expand (with governor checkpoints; the oracle is rebuilt per
+        //    pivot because the byte-bounded cache may have to re-fetch)
         let mut f: Vec<Option<VertexId>> = vec![None; n];
         if round == 0 {
             let start = plan.start_vertex();
-            for &v0 in group {
+            for (i, &v0) in group.iter().enumerate() {
+                let tracked = trie.memory_bytes() + expander.memory_bytes();
+                if i > 0 && governor.should_spill_candidate(tracked) {
+                    retained = i;
+                    // re-fit from the candidates expanded so far, so the shed
+                    // remainder is re-grouped at the observed cost, not the
+                    // defeated prior (otherwise the spill would recurse one
+                    // candidate at a time)
+                    governor.refit(trie.node_count(), i);
+                    spill_candidates(governor, local, &group[i..], config, group_queue, round);
+                    break;
+                }
+                let before = trie.memory_bytes();
+                let transient = ensure_pivot_adjacency(
+                    ctx, local, v0, cache, &mut scratch_cache, &mut output.stats,
+                );
+                let oracle = MachineOracle {
+                    local,
+                    cache,
+                    scratch: &scratch_cache,
+                    transient: transient.as_ref(),
+                };
                 f.iter_mut().for_each(|x| *x = None);
                 f[start] = Some(v0);
                 let extensions = expander.expand(&expansion, &mut f, &oracle);
@@ -382,21 +549,74 @@ fn process_region_group(
                 }
                 let root = trie.add_root(v0);
                 insert_extensions(&mut trie, root, extensions, &mut evi);
+                let tracked = trie.memory_bytes() + expander.memory_bytes();
+                governor.observe_candidate_delta(tracked.saturating_sub(before));
+                governor.track(tracked);
             }
         } else {
-            for &parent in &parents {
-                let result = trie.result(parent);
-                f.iter_mut().for_each(|x| *x = None);
-                for (pos, &v) in result.iter().enumerate() {
-                    f[order[pos]] = Some(v);
+            // Cluster the parents by their root (start candidate) so whole
+            // subtrees can be shed mid-round: the EVI of this round only
+            // references nodes under already-expanded roots, which shedding
+            // the *remaining* roots never touches.
+            let mut clustered: Vec<(NodeId, NodeId)> =
+                parents.iter().map(|&p| (trie.root_of(p), p)).collect();
+            clustered.sort_unstable();
+            let mut idx = 0;
+            let mut expanded_roots = 0usize;
+            while idx < clustered.len() {
+                let root = clustered[idx].0;
+                let end = clustered[idx..]
+                    .iter()
+                    .position(|&(r, _)| r != root)
+                    .map_or(clustered.len(), |o| idx + o);
+                let tracked = trie.memory_bytes() + expander.memory_bytes();
+                if expanded_roots > 0 && governor.should_spill_root(tracked) {
+                    // shed this and every remaining root in one pass
+                    let mut shed_roots: HashSet<NodeId> = HashSet::new();
+                    let mut shed_candidates: Vec<VertexId> = Vec::new();
+                    for &(r, _) in &clustered[idx..] {
+                        if shed_roots.insert(r) {
+                            shed_candidates.push(trie.vertex(r));
+                        }
+                    }
+                    // re-fit from the in-flight candidates before re-grouping
+                    // the shed ones (see the round-0 spill above)
+                    governor.refit(trie.node_count(), retained);
+                    retained -= shed_candidates.len();
+                    trie.remove_subtrees(&shed_roots);
+                    spill_candidates(governor, local, &shed_candidates, config, group_queue, round);
+                    break;
                 }
-                let extensions = expander.expand(&expansion, &mut f, &oracle);
-                if extensions.is_empty() {
-                    // the embedding of P_{i-1} cannot be extended: drop it
-                    trie.remove(parent);
-                    continue;
+                let before = trie.memory_bytes();
+                for &(_, parent) in &clustered[idx..end] {
+                    let result = trie.result(parent);
+                    let transient = ensure_pivot_adjacency(
+                        ctx, local, result[pivot_pos], cache, &mut scratch_cache,
+                        &mut output.stats,
+                    );
+                    let oracle = MachineOracle {
+                        local,
+                        cache,
+                        scratch: &scratch_cache,
+                        transient: transient.as_ref(),
+                    };
+                    f.iter_mut().for_each(|x| *x = None);
+                    for (pos, &v) in result.iter().enumerate() {
+                        f[order[pos]] = Some(v);
+                    }
+                    let extensions = expander.expand(&expansion, &mut f, &oracle);
+                    if extensions.is_empty() {
+                        // the embedding of P_{i-1} cannot be extended: drop it
+                        trie.remove(parent);
+                        continue;
+                    }
+                    insert_extensions(&mut trie, parent, extensions, &mut evi);
                 }
-                insert_extensions(&mut trie, parent, extensions, &mut evi);
+                let tracked = trie.memory_bytes() + expander.memory_bytes();
+                governor.observe_root_delta(tracked.saturating_sub(before));
+                governor.track(tracked);
+                expanded_roots += 1;
+                idx = end;
             }
         }
         output.stats.undetermined_edges += evi.len() as u64;
@@ -430,6 +650,29 @@ fn process_region_group(
         }
     }
     output.stats.trie_nodes_created += trie.total_created();
+    // -- online re-fit: what this group's retained candidates actually cost
+    governor.refit(trie.peak_node_count(), retained);
+}
+
+/// Re-groups candidates shed from an overflowing region group and re-queues
+/// them on the machine's shared queue, where this worker's drain loop (or
+/// another machine's `shareR`) picks them up.
+fn spill_candidates(
+    governor: &mut MemoryGovernor,
+    local: &LocalPartition,
+    shed: &[VertexId],
+    config: &EngineConfig,
+    group_queue: &GroupQueue,
+    round: usize,
+) {
+    // Deterministic per spill site, so `workers = 1` runs reproduce exactly.
+    let seed = config
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(shed.len() as u64)
+        .wrapping_add((round as u64) << 32);
+    let groups = governor.split(local, shed, config.grouping, seed);
+    group_queue.lock().extend(groups);
 }
 
 /// Inserts the extensions of one parent embedding under `parent`, sharing the

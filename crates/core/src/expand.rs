@@ -170,6 +170,16 @@ impl ExtensionBuffer {
         self.undetermined_ranges.push((start, self.pool.len()));
     }
 
+    /// Live bytes of the stored extensions (what the memory governor charges
+    /// against the intermediate-result budget: the data held for the parent
+    /// currently being expanded, not the buffers' sticky capacity, which is
+    /// reusable scratch).
+    pub fn memory_bytes(&self) -> usize {
+        self.leaves.len() * std::mem::size_of::<VertexId>()
+            + self.undetermined_ranges.len() * std::mem::size_of::<(usize, usize)>()
+            + self.pool.len() * std::mem::size_of::<(VertexId, VertexId)>()
+    }
+
     /// Copies the buffer out into owned [`CandidateExtension`]s (tests and
     /// one-shot callers).
     pub fn to_extensions(&self) -> Vec<CandidateExtension> {
@@ -220,6 +230,13 @@ impl Expander {
     /// Intersection-kernel counters accumulated since construction.
     pub fn intersect_stats(&self) -> &IntersectStats {
         &self.intersect_stats
+    }
+
+    /// Live bytes of the current extension output (see
+    /// [`ExtensionBuffer::memory_bytes`]); the governor adds this to the trie
+    /// footprint at every checkpoint.
+    pub fn memory_bytes(&self) -> usize {
+        self.out.memory_bytes()
     }
 
     /// Expands one embedding `f` of `P_{i-1}` (given as an assignment indexed
@@ -551,7 +568,13 @@ mod tests {
         assert_eq!(buf.undetermined(0), &[(1, 2)]);
         assert_eq!(buf.undetermined(1), &[]);
         assert_eq!(buf.undetermined(2), &[(3, 4), (5, 6)]);
+        let expected_bytes = 6 * std::mem::size_of::<VertexId>()
+            + 3 * std::mem::size_of::<(usize, usize)>()
+            + 3 * std::mem::size_of::<(VertexId, VertexId)>();
+        assert_eq!(buf.memory_bytes(), expected_bytes);
         buf.reset(1);
         assert!(buf.is_empty());
+        // live bytes drop on reset even though capacity is retained
+        assert_eq!(buf.memory_bytes(), 0);
     }
 }

@@ -17,6 +17,10 @@
 //! * [`memory`] / [`region`] — the memory-control strategies of Section 6:
 //!   per-candidate space estimation derived from SM-E statistics and the
 //!   proximity-greedy region grouping of Algorithm 3.
+//! * [`governor`] — the runtime memory governor: enforces the budget `Φ`
+//!   *while* R-Meef runs by tracking live bytes, adaptively splitting
+//!   overflowing region groups and re-fitting the space estimator online
+//!   (static sizing alone is defeated by adversarial hub workloads).
 //! * [`expand`] — the `expandEmbedTrie` / `adjEnum` backtracking expansion of
 //!   Algorithms 1 and 2.
 //! * [`engine`] — the **R-Meef** multi-round expand / verify & filter engine
@@ -34,11 +38,15 @@ pub mod daemon;
 pub mod engine;
 pub mod evi;
 pub mod expand;
+pub mod governor;
 pub mod memory;
 pub mod region;
 pub mod sme;
 pub mod system;
 pub mod trie;
 
+pub use cache::ForeignVertexCache;
+pub use governor::MemoryGovernor;
+pub use memory::{MemoryBudget, SpaceEstimator};
 pub use system::{run_rads, MachineReport, RadsConfig, RadsOutcome, RegionGroupStrategy};
 pub use trie::{EmbeddingTrie, NodeId};

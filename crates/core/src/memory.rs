@@ -8,29 +8,96 @@
 //! equals the trie node count of the local embeddings). Fetched foreign
 //! vertices get a separate small allowance and can be evicted, so they are
 //! excluded from the group estimate, just as in the paper.
+//!
+//! The estimate is only a *prior*: on adversarial inputs (power-law hubs,
+//! clique queries) the distributed candidates behave nothing like the SM-E
+//! sample and the static estimate can be an order of magnitude too low. The
+//! [`crate::governor::MemoryGovernor`] therefore re-fits
+//! [`SpaceEstimator::refit`] online from the nodes-per-candidate it actually
+//! observes, and the engine enforces the budget at runtime instead of
+//! trusting the prior.
 
 use crate::trie::EmbeddingTrie;
+
+/// Environment variable read by [`MemoryBudget::from_env`] (and therefore by
+/// `RadsConfig::default()`): the per-region-group budget `Φ` in bytes, with
+/// optional `k`/`m`/`g` suffix (e.g. `RADS_MEMORY_BUDGET=64k`). The same
+/// value also bounds the foreign-vertex cache allowance, so a tiny budget
+/// exercises the governor's split *and* the cache's eviction paths — the CI
+/// matrix runs the whole suite once under `RADS_MEMORY_BUDGET=4k`.
+pub const MEMORY_BUDGET_ENV: &str = "RADS_MEMORY_BUDGET";
 
 /// The per-machine memory budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryBudget {
-    /// `Φ`: the bytes one region group's intermediate results may occupy.
+    /// `Φ`: the bytes one region group's intermediate results (embedding-trie
+    /// nodes plus expansion buffers) may occupy. Enforced a priori by region
+    /// grouping and at runtime by the memory governor.
     pub region_group_bytes: usize,
+    /// The separate, evictable allowance for fetched foreign vertices
+    /// (Appendix B): the byte capacity of each worker's LRU
+    /// [`crate::cache::ForeignVertexCache`].
+    pub cache_bytes: usize,
 }
 
 impl Default for MemoryBudget {
     fn default() -> Self {
-        // A deliberately small default so the grouping logic is exercised even
-        // on the laptop-scale datasets of this reproduction.
-        MemoryBudget { region_group_bytes: 4 * 1024 * 1024 }
+        MemoryBudget {
+            // A deliberately small default so the grouping logic is exercised
+            // even on the laptop-scale datasets of this reproduction.
+            region_group_bytes: 4 * 1024 * 1024,
+            // Foreign vertices are cheap to re-fetch; a few MiB of adjacency
+            // lists is plenty at reproduction scale.
+            cache_bytes: 8 * 1024 * 1024,
+        }
     }
 }
 
 impl MemoryBudget {
-    /// A budget of `mb` mebibytes per region group.
+    /// A budget of `mb` mebibytes per region group (cache allowance at its
+    /// default).
     pub fn from_megabytes(mb: usize) -> Self {
-        MemoryBudget { region_group_bytes: mb * 1024 * 1024 }
+        MemoryBudget { region_group_bytes: mb * 1024 * 1024, ..Default::default() }
     }
+
+    /// A budget of `bytes` for the region groups *and* for the cache
+    /// allowance — the shape the `RADS_MEMORY_BUDGET` variable configures.
+    pub fn from_bytes(bytes: usize) -> Self {
+        MemoryBudget { region_group_bytes: bytes, cache_bytes: bytes }
+    }
+
+    /// An effectively unlimited budget (grouping degenerates to one group per
+    /// machine and the governor never splits).
+    pub fn unlimited() -> Self {
+        MemoryBudget { region_group_bytes: usize::MAX, cache_bytes: usize::MAX }
+    }
+
+    /// The budget configured by the `RADS_MEMORY_BUDGET` environment
+    /// variable, or `None` when unset or unparsable. Accepts plain bytes or a
+    /// `k`/`m`/`g` binary suffix, case-insensitive: `65536`, `64k`, `4m`,
+    /// `1g`.
+    pub fn from_env() -> Option<Self> {
+        parse_bytes(&std::env::var(MEMORY_BUDGET_ENV).ok()?).map(Self::from_bytes)
+    }
+
+    /// [`MemoryBudget::from_env`] with the default as fallback.
+    pub fn default_from_env() -> Self {
+        Self::from_env().unwrap_or_default()
+    }
+}
+
+/// Parses `64k`-style byte sizes (plain number, or `k`/`m`/`g` binary
+/// suffix, case-insensitive). Returns `None` for malformed or zero values.
+pub fn parse_bytes(raw: &str) -> Option<usize> {
+    let s = raw.trim();
+    let (digits, multiplier) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1024usize),
+        'm' | 'M' => (&s[..s.len() - 1], 1024 * 1024),
+        'g' | 'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    let value: usize = digits.trim().parse().ok()?;
+    value.checked_mul(multiplier).filter(|&b| b > 0)
 }
 
 /// Estimates the space cost `φ(rg)` of the results originating from a region
@@ -66,6 +133,21 @@ impl SpaceEstimator {
         self.nodes_per_candidate
     }
 
+    /// Online re-fit from runtime observations (the governor feeds it the
+    /// per-candidate trie growth it actually saw). The estimate is raised to
+    /// the observed value but never lowered — under-estimation is what blows
+    /// the budget, while over-estimation merely yields smaller groups.
+    /// Returns `true` when the estimate changed.
+    pub fn refit(&mut self, observed_nodes_per_candidate: f64) -> bool {
+        let observed = observed_nodes_per_candidate.min(1e12);
+        if observed > self.nodes_per_candidate {
+            self.nodes_per_candidate = observed;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Estimated bytes of intermediate results for a region group of
     /// `group_size` candidates (`φ(rg)`).
     pub fn estimate_group_bytes(&self, group_size: usize) -> usize {
@@ -75,6 +157,9 @@ impl SpaceEstimator {
     /// The largest group size whose estimate fits in the budget (at least 1,
     /// so progress is always possible).
     pub fn max_group_size(&self, budget: &MemoryBudget) -> usize {
+        if budget.region_group_bytes == usize::MAX {
+            return usize::MAX;
+        }
         let per_candidate = (self.nodes_per_candidate * EmbeddingTrie::NODE_BYTES as f64).max(1.0);
         ((budget.region_group_bytes as f64 / per_candidate) as usize).max(1)
     }
@@ -108,16 +193,52 @@ mod tests {
     #[test]
     fn max_group_size_respects_budget() {
         let e = SpaceEstimator::from_sme(1200, 10); // 120 nodes per candidate
-        let budget = MemoryBudget { region_group_bytes: 120 * EmbeddingTrie::NODE_BYTES * 7 };
+        let budget = MemoryBudget {
+            region_group_bytes: 120 * EmbeddingTrie::NODE_BYTES * 7,
+            ..Default::default()
+        };
         assert_eq!(e.max_group_size(&budget), 7);
         // a tiny budget still allows one candidate per group
-        let tiny = MemoryBudget { region_group_bytes: 1 };
+        let tiny = MemoryBudget { region_group_bytes: 1, ..Default::default() };
         assert_eq!(e.max_group_size(&tiny), 1);
+        // the unlimited budget never caps a group
+        assert_eq!(e.max_group_size(&MemoryBudget::unlimited()), usize::MAX);
     }
 
     #[test]
     fn budget_constructors() {
         assert_eq!(MemoryBudget::from_megabytes(2).region_group_bytes, 2 * 1024 * 1024);
         assert!(MemoryBudget::default().region_group_bytes > 0);
+        assert!(MemoryBudget::default().cache_bytes > 0);
+        let b = MemoryBudget::from_bytes(4096);
+        assert_eq!((b.region_group_bytes, b.cache_bytes), (4096, 4096));
+        assert_eq!(MemoryBudget::unlimited().region_group_bytes, usize::MAX);
+    }
+
+    #[test]
+    fn byte_size_parsing() {
+        assert_eq!(parse_bytes("65536"), Some(65536));
+        assert_eq!(parse_bytes("64k"), Some(64 * 1024));
+        assert_eq!(parse_bytes(" 4M "), Some(4 * 1024 * 1024));
+        assert_eq!(parse_bytes("1g"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_bytes("0"), None);
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("k"), None);
+    }
+
+    #[test]
+    fn refit_only_raises_the_estimate() {
+        let mut e = SpaceEstimator::from_sme(100, 10); // 10 nodes/candidate
+        assert!(!e.refit(5.0), "refit must not lower the estimate");
+        assert!((e.nodes_per_candidate() - 10.0).abs() < 1e-9);
+        assert!(e.refit(250.0));
+        assert!((e.nodes_per_candidate() - 250.0).abs() < 1e-9);
+        // a raised estimate shrinks the admissible group size
+        let budget = MemoryBudget {
+            region_group_bytes: 250 * EmbeddingTrie::NODE_BYTES * 3,
+            ..Default::default()
+        };
+        assert_eq!(e.max_group_size(&budget), 3);
     }
 }

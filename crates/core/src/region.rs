@@ -127,7 +127,7 @@ mod tests {
         let local = pg.local(0);
         let candidates: Vec<VertexId> = g.vertices().collect();
         let estimator = SpaceEstimator::from_sme(400, 40); // 10 nodes per candidate
-        let budget = MemoryBudget { region_group_bytes: 10 * crate::trie::EmbeddingTrie::NODE_BYTES * 8 };
+        let budget = MemoryBudget { region_group_bytes: 10 * crate::trie::EmbeddingTrie::NODE_BYTES * 8, ..Default::default() };
         for strategy in [GroupingStrategy::Proximity, GroupingStrategy::Random] {
             let groups =
                 find_region_groups(local, &candidates, &estimator, &budget, strategy, 7);
@@ -160,7 +160,7 @@ mod tests {
         let local = pg.local(0);
         let candidates: Vec<VertexId> = g.vertices().collect();
         let estimator = SpaceEstimator::from_sme(120, 12); // 10 nodes/candidate
-        let budget = MemoryBudget { region_group_bytes: 10 * crate::trie::EmbeddingTrie::NODE_BYTES * 6 };
+        let budget = MemoryBudget { region_group_bytes: 10 * crate::trie::EmbeddingTrie::NODE_BYTES * 6, ..Default::default() };
         let groups = find_region_groups(
             local,
             &candidates,
@@ -187,7 +187,7 @@ mod tests {
         let local = pg.local(0);
         let candidates: Vec<VertexId> = g.vertices().collect();
         let estimator = SpaceEstimator::from_sme(1000, 10);
-        let budget = MemoryBudget { region_group_bytes: 1 };
+        let budget = MemoryBudget { region_group_bytes: 1, ..Default::default() };
         let groups = find_region_groups(
             local,
             &candidates,

@@ -32,8 +32,22 @@ pub struct RadsConfig {
     pub enable_load_sharing: bool,
     /// Region-group formation strategy (Algorithm 3 vs random).
     pub grouping: GroupingStrategy,
-    /// Per-region-group memory budget `Φ`.
+    /// Per-region-group memory budget `Φ` plus the foreign-vertex cache
+    /// allowance. `Default` honours the `RADS_MEMORY_BUDGET` environment
+    /// variable (see [`crate::memory::MEMORY_BUDGET_ENV`]): e.g.
+    /// `RADS_MEMORY_BUDGET=64k` caps both at 64 KiB, which the CI matrix
+    /// uses to exercise the governor's split and the cache's eviction paths
+    /// under the whole test suite.
     pub memory_budget: MemoryBudget,
+    /// Enforce the budget at runtime with the
+    /// [`crate::governor::MemoryGovernor`]: track live bytes while R-Meef
+    /// runs, split overflowing region groups adaptively and re-fit the space
+    /// estimator online. Embedding counts and collected embeddings are
+    /// identical either way (region groups partition the start candidates no
+    /// matter how often they are re-split); disabling it reproduces the
+    /// paper's static a-priori sizing, which the robustness experiment shows
+    /// blowing through `Φ` on adversarial hub workloads. Default: true.
+    pub enforce_memory_budget: bool,
     /// Collect the embeddings themselves (tests / small runs); otherwise only
     /// counts are returned.
     pub collect_embeddings: bool,
@@ -77,7 +91,8 @@ impl Default for RadsConfig {
             enable_cache: true,
             enable_load_sharing: true,
             grouping: GroupingStrategy::Proximity,
-            memory_budget: MemoryBudget::default(),
+            memory_budget: MemoryBudget::default_from_env(),
+            enforce_memory_budget: true,
             collect_embeddings: false,
             plan_override: None,
             rho: 1.0,
@@ -154,6 +169,27 @@ impl RadsOutcome {
     pub fn peak_trie_nodes(&self) -> usize {
         self.per_machine.iter().map(|m| m.stats.peak_trie_nodes).max().unwrap_or(0)
     }
+
+    /// Peak tracked bytes (trie + expansion buffers) any worker reached —
+    /// the number the governor holds at or below `Φ`.
+    pub fn peak_tracked_bytes(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.peak_tracked_bytes).max().unwrap_or(0)
+    }
+
+    /// Region-group splits the governor performed across all machines.
+    pub fn governor_splits(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.governor_splits).sum()
+    }
+
+    /// Foreign-vertex cache evictions across all machines.
+    pub fn cache_evictions(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.cache_evictions).sum()
+    }
+
+    /// Peak cache bytes any single worker's cache reached.
+    pub fn cache_peak_bytes(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.stats.cache_peak_bytes).max().unwrap_or(0)
+    }
 }
 
 /// Runs RADS for `pattern` on `cluster`.
@@ -180,6 +216,7 @@ pub fn run_rads(cluster: &Cluster, pattern: &Pattern, config: &RadsConfig) -> Ra
         enable_load_sharing: config.enable_load_sharing,
         grouping: config.grouping,
         budget: config.memory_budget,
+        enforce_budget: config.enforce_memory_budget,
         collect_embeddings: config.collect_embeddings,
         seed: config.seed,
         workers: config.workers,
@@ -307,13 +344,15 @@ mod tests {
         let g = grid_2d(8, 8);
         let cluster = cluster_for(&g, 2, &BfsPartitioner);
         // workers pinned to 1: the final traffic comparison is only monotone
-        // under the sequential schedule (caches are worker-private)
-        let with_sme = run_rads(&cluster, &queries::q1(), &RadsConfig::with_workers(1));
-        let without_sme = run_rads(
-            &cluster,
-            &queries::q1(),
-            &RadsConfig { enable_sme: false, ..RadsConfig::with_workers(1) },
-        );
+        // under the sequential schedule (caches are worker-private); budget
+        // pinned so a tiny RADS_MEMORY_BUDGET cannot skew it via re-fetches
+        let base = RadsConfig {
+            memory_budget: MemoryBudget::default(),
+            ..RadsConfig::with_workers(1)
+        };
+        let with_sme = run_rads(&cluster, &queries::q1(), &base);
+        let without_sme =
+            run_rads(&cluster, &queries::q1(), &RadsConfig { enable_sme: false, ..base.clone() });
         assert_eq!(with_sme.total_embeddings, without_sme.total_embeddings);
         assert_eq!(without_sme.sme_embeddings(), 0);
         // pushing work to the distributed phase can only increase traffic
@@ -326,13 +365,15 @@ mod tests {
         let cluster = cluster_for(&g, 3, &HashPartitioner);
         let q = queries::q4();
         // workers pinned to 1: the compared traffic volumes are only
-        // monotone under the sequential schedule (caches are worker-private)
-        let cached = run_rads(&cluster, &q, &RadsConfig::with_workers(1));
-        let uncached = run_rads(
-            &cluster,
-            &q,
-            &RadsConfig { enable_cache: false, ..RadsConfig::with_workers(1) },
-        );
+        // monotone under the sequential schedule (caches are worker-private);
+        // budget pinned so a tiny RADS_MEMORY_BUDGET cannot skew it
+        let base = RadsConfig {
+            memory_budget: MemoryBudget::default(),
+            ..RadsConfig::with_workers(1)
+        };
+        let cached = run_rads(&cluster, &q, &base);
+        let uncached =
+            run_rads(&cluster, &q, &RadsConfig { enable_cache: false, ..base.clone() });
         assert_eq!(cached.total_embeddings, uncached.total_embeddings);
         assert!(cached.traffic.total_bytes <= uncached.traffic.total_bytes);
     }
@@ -379,7 +420,7 @@ mod tests {
         let expected = count_embeddings(&g, &q);
         let cluster = cluster_for(&g, 2, &HashPartitioner);
         let config = RadsConfig {
-            memory_budget: MemoryBudget { region_group_bytes: 1 },
+            memory_budget: MemoryBudget { region_group_bytes: 1, ..Default::default() },
             ..Default::default()
         };
         let outcome = run_rads(&cluster, &q, &config);
@@ -422,7 +463,7 @@ mod tests {
         // is correct but defeats the imbalance this test sets up
         let config = RadsConfig {
             enable_sme: false,
-            memory_budget: MemoryBudget { region_group_bytes: 1024 },
+            memory_budget: MemoryBudget { region_group_bytes: 1024, ..Default::default() },
             ..RadsConfig::with_workers(1)
         };
         let outcome = run_rads(&cluster, &q, &config);
@@ -453,13 +494,19 @@ mod tests {
         let cluster = cluster_for(&g, 3, &BfsPartitioner);
         // Cross-machine load sharing redistributes groups by idleness, which
         // is timing-dependent even sequentially; it stays off here so the
-        // *per-machine* attribution below is comparable between runs.
+        // *per-machine* attribution below is comparable between runs. The
+        // budget is pinned (not read from RADS_MEMORY_BUDGET) because a
+        // budget tight enough to trigger governor splits makes where a group
+        // is split — and with it the recompute-bearing counters below —
+        // schedule-dependent; counts stay identical either way, which the
+        // budget-sweep suite pins separately.
         let baseline = run_rads(
             &cluster,
             &q,
             &RadsConfig {
                 collect_embeddings: true,
                 enable_load_sharing: false,
+                memory_budget: MemoryBudget::default(),
                 ..RadsConfig::with_workers(1)
             },
         );
@@ -469,6 +516,7 @@ mod tests {
                 collect_embeddings: true,
                 enable_load_sharing: false,
                 steal_granularity: 4,
+                memory_budget: MemoryBudget::default(),
                 ..RadsConfig::with_workers(workers)
             };
             let outcome = run_rads(&cluster, &q, &config);
@@ -506,7 +554,7 @@ mod tests {
             RadsConfig { enable_sme: false, ..RadsConfig::with_workers(4) },
             RadsConfig { enable_cache: false, ..RadsConfig::with_workers(3) },
             RadsConfig {
-                memory_budget: MemoryBudget { region_group_bytes: 64 },
+                memory_budget: MemoryBudget { region_group_bytes: 64, ..Default::default() },
                 ..RadsConfig::with_workers(2)
             },
         ] {

@@ -201,6 +201,39 @@ impl EmbeddingTrie {
         }
     }
 
+    /// The root ancestor of `id` (the node storing the start-candidate
+    /// vertex of the result `id` belongs to). Depths are bounded by the
+    /// pattern size, so the walk is a handful of pointer chases.
+    pub fn root_of(&self, id: NodeId) -> NodeId {
+        debug_assert!(self.is_live(id));
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Removes the entire subtrees rooted at `roots` (which must be live root
+    /// nodes) and returns the number of nodes removed. Used by the memory
+    /// governor to shed whole start candidates from an in-flight region
+    /// group: one linear pass marks every live node whose root ancestor is in
+    /// the set, so the cost is independent of how many roots are shed.
+    pub fn remove_subtrees(&mut self, roots: &std::collections::HashSet<NodeId>) -> usize {
+        if roots.is_empty() {
+            return 0;
+        }
+        debug_assert!(roots.iter().all(|&r| self.is_live(r) && self.parent(r).is_none()));
+        let doomed: Vec<NodeId> = (0..self.nodes.len() as NodeId)
+            .filter(|&id| self.nodes[id as usize].live && roots.contains(&self.root_of(id)))
+            .collect();
+        for &id in &doomed {
+            self.nodes[id as usize].live = false;
+            self.free.push(id);
+            self.live_count -= 1;
+        }
+        doomed.len()
+    }
+
     /// All live nodes at `depth` (the results of the sub-pattern whose prefix
     /// length is `depth + 1`).
     pub fn nodes_at_depth(&self, depth: usize) -> Vec<NodeId> {
@@ -358,6 +391,44 @@ mod tests {
         trie.remove(b);
         assert_eq!(trie.node_count(), 0);
         assert_eq!(trie.peak_node_count(), 3);
+    }
+
+    #[test]
+    fn root_of_walks_to_the_start_candidate() {
+        let mut trie = EmbeddingTrie::new();
+        let r0 = trie.add_root(10);
+        let r1 = trie.add_root(20);
+        let a = trie.add_child(r0, 11);
+        let b = trie.add_child(a, 12);
+        let c = trie.add_child(r1, 21);
+        assert_eq!(trie.root_of(r0), r0);
+        assert_eq!(trie.root_of(b), r0);
+        assert_eq!(trie.root_of(c), r1);
+    }
+
+    #[test]
+    fn remove_subtrees_sheds_whole_start_candidates() {
+        let mut trie = EmbeddingTrie::new();
+        let r0 = trie.add_root(10);
+        let r1 = trie.add_root(20);
+        let a = trie.add_child(r0, 11);
+        trie.add_child(a, 12);
+        trie.add_child(a, 13);
+        let keep = trie.add_child(r1, 21);
+        let removed =
+            trie.remove_subtrees(&[r0].into_iter().collect::<std::collections::HashSet<_>>());
+        assert_eq!(removed, 4);
+        assert_eq!(trie.node_count(), 2);
+        assert!(!trie.is_live(r0));
+        assert!(!trie.is_live(a));
+        assert!(trie.is_live(keep));
+        assert_eq!(trie.roots(), vec![r1]);
+        // freed slots are reusable
+        let r2 = trie.add_root(30);
+        assert!(trie.is_live(r2));
+        assert_eq!(trie.node_count(), 3);
+        // empty set is a no-op
+        assert_eq!(trie.remove_subtrees(&std::collections::HashSet::new()), 0);
     }
 
     #[test]

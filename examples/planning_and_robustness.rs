@@ -50,7 +50,7 @@ fn main() {
     println!("budget        groups  peak trie nodes  embeddings  communication");
     for budget_bytes in [4 * 1024 * 1024usize, 64 * 1024, 4 * 1024, 256] {
         let config = RadsConfig {
-            memory_budget: MemoryBudget { region_group_bytes: budget_bytes },
+            memory_budget: MemoryBudget { region_group_bytes: budget_bytes, ..Default::default() },
             ..Default::default()
         };
         let outcome = run_rads(&cluster, &pattern, &config);

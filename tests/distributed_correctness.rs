@@ -104,8 +104,15 @@ fn sme_dominates_on_road_networks_and_traffic_stays_low() {
     let cluster = cluster_with(&dataset.graph, 4, &LabelPropagationPartitioner::default());
     let pattern = queries::q1();
     // workers pinned to 1: traffic volumes are schedule-dependent with an
-    // intra-machine pool (worker-private caches may duplicate fetches)
-    let rads = run_rads(&cluster, &pattern, &RadsConfig::with_workers(1));
+    // intra-machine pool (worker-private caches may duplicate fetches); the
+    // budget is pinned because a tiny RADS_MEMORY_BUDGET shrinks the cache
+    // allowance and the resulting re-fetches would invalidate the traffic
+    // comparison this test makes
+    let config = RadsConfig {
+        memory_budget: rads_core::MemoryBudget::default(),
+        ..RadsConfig::with_workers(1)
+    };
+    let rads = run_rads(&cluster, &pattern, &config);
     let psgl = run_psgl(&cluster, &pattern);
     assert_eq!(rads.total_embeddings, psgl.total_embeddings);
     // the headline RoadNet claims: most work is local and RADS ships less
@@ -119,8 +126,13 @@ fn baselines_ship_more_intermediate_state_than_rads_on_dense_graphs() {
     let dataset = generate(DatasetKind::LiveJournal, Scale(0.03), 9);
     let cluster = cluster_with(&dataset.graph, 4, &HashPartitioner);
     let pattern = queries::q4();
-    // workers pinned to 1, as above: the compared quantity is traffic
-    let rads = run_rads(&cluster, &pattern, &RadsConfig::with_workers(1));
+    // workers pinned to 1 and budget pinned, as above: the compared
+    // quantity is traffic
+    let config = RadsConfig {
+        memory_budget: rads_core::MemoryBudget::default(),
+        ..RadsConfig::with_workers(1)
+    };
+    let rads = run_rads(&cluster, &pattern, &config);
     let twintwig = run_twintwig(&cluster, &pattern);
     assert_eq!(rads.total_embeddings, twintwig.total_embeddings);
     assert!(

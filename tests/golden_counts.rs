@@ -1,0 +1,121 @@
+//! Golden-count regression fixtures: the embedding counts of every standard
+//! (q1–q8) and clique (c1–c4) query on all four dataset stand-ins, at a
+//! fixed scale and seed, pinned in `tests/golden_counts.tsv`.
+//!
+//! The recompute-style suites (`distributed_correctness`, properties) verify
+//! that every system agrees with the single-machine enumerator — but if the
+//! *enumerator itself* regresses, they all agree on the wrong number. This
+//! suite compares against committed constants instead, and reports every
+//! mismatch in one readable expected-vs-actual table rather than stopping at
+//! the first.
+
+use std::collections::BTreeMap;
+
+use rads_datasets::{generate, DatasetKind, Scale};
+use rads_graph::queries;
+use rads_single::count_embeddings;
+
+/// Must match the generation parameters recorded in the fixture header.
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+
+const FIXTURE: &str = include_str!("golden_counts.tsv");
+
+fn parse_fixture() -> BTreeMap<(String, String), u64> {
+    let mut expected = BTreeMap::new();
+    for (lineno, line) in FIXTURE.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (Some(dataset), Some(query), Some(count)) =
+            (fields.next(), fields.next(), fields.next())
+        else {
+            panic!("golden_counts.tsv line {}: expected 3 tab-separated fields: {line:?}",
+                lineno + 1);
+        };
+        let count: u64 = count
+            .parse()
+            .unwrap_or_else(|_| panic!("golden_counts.tsv line {}: bad count {count:?}", lineno + 1));
+        let prev = expected.insert((dataset.to_string(), query.to_string()), count);
+        assert!(prev.is_none(), "duplicate fixture row for {dataset}/{query}");
+    }
+    expected
+}
+
+#[test]
+fn embedding_counts_match_the_committed_fixture() {
+    let expected = parse_fixture();
+    // the fixture must cover the full matrix: 4 datasets x 12 queries
+    assert_eq!(expected.len(), 48, "fixture does not cover 4 datasets x 12 queries");
+
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut checked = 0;
+    for kind in DatasetKind::all() {
+        let dataset = generate(kind, Scale(SCALE), SEED);
+        for nq in queries::standard_query_set().into_iter().chain(queries::clique_query_set()) {
+            let key = (kind.name().to_string(), nq.name.to_string());
+            let Some(&golden) = expected.get(&key) else {
+                mismatches.push(format!(
+                    "{:<12} {:<4} missing from fixture (actual {})",
+                    kind.name(),
+                    nq.name,
+                    count_embeddings(&dataset.graph, &nq.pattern)
+                ));
+                continue;
+            };
+            let actual = count_embeddings(&dataset.graph, &nq.pattern);
+            checked += 1;
+            if actual != golden {
+                mismatches.push(format!(
+                    "{:<12} {:<4} expected {:>10}  actual {:>10}  ({:+})",
+                    kind.name(),
+                    nq.name,
+                    golden,
+                    actual,
+                    actual as i64 - golden as i64,
+                ));
+            }
+        }
+    }
+    assert_eq!(checked, 48);
+    assert!(
+        mismatches.is_empty(),
+        "{} golden-count mismatch(es) — either the enumerator or a generator regressed, \
+         or an intentional change needs the fixture regenerated:\n  dataset      query    \
+         expected      actual\n  {}",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
+fn distributed_counts_match_the_fixture_on_a_spot_check() {
+    // The full 48-cell matrix through `run_rads` would be slow; one
+    // non-trivial cell per dataset keeps the distributed path pinned to the
+    // same committed constants.
+    use rads::prelude::*;
+    use std::sync::Arc;
+
+    let expected = parse_fixture();
+    for (kind, qname) in [
+        (DatasetKind::RoadNet, "q1"),
+        (DatasetKind::Dblp, "q2"),
+        (DatasetKind::LiveJournal, "c1"),
+        (DatasetKind::Uk2002, "q2"),
+    ] {
+        let dataset = generate(kind, Scale(SCALE), SEED);
+        let pattern = queries::query_by_name(qname).unwrap();
+        let golden = expected[&(kind.name().to_string(), qname.to_string())];
+        let partitioning = HashPartitioner.partition(&dataset.graph, 3);
+        let cluster = Cluster::new(Arc::new(PartitionedGraph::build(&dataset.graph, partitioning)));
+        let outcome = run_rads(&cluster, &pattern, &RadsConfig::default());
+        assert_eq!(
+            outcome.total_embeddings,
+            golden,
+            "{} {qname}: distributed count deviates from the committed golden count",
+            kind.name()
+        );
+    }
+}

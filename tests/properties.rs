@@ -186,6 +186,125 @@ proptest! {
         prop_assert_eq!(fast_levels, probe_levels);
     }
 
+    /// Structural trie invariants under arbitrary interleaved insert/remove
+    /// scripts, checked against a shadow tree that implements the specified
+    /// cascade semantics independently:
+    ///
+    /// * `live_count` always equals the number of live nodes, which are
+    ///   exactly the ancestors of the live leaves (removal prunes childless
+    ///   ancestors, so no orphan interior node survives);
+    /// * every live node's `child_count` matches its actual live children;
+    /// * node ids stay unique and results stay correct across slab reuse
+    ///   (freed ids may be re-allocated, but no two live nodes ever share an
+    ///   id and every live node's root-to-node path matches the shadow).
+    #[test]
+    fn trie_cascade_invariants_under_random_scripts(
+        ops in proptest::collection::vec((0u8..8, any::<u16>(), 0u32..40), 1..120),
+    ) {
+        use std::collections::{HashMap, HashSet};
+
+        #[derive(Clone)]
+        struct ShadowNode {
+            vertex: u32,
+            parent: Option<u32>,
+            children: HashSet<u32>,
+        }
+        let mut trie = EmbeddingTrie::new();
+        let mut shadow: HashMap<u32, ShadowNode> = HashMap::new();
+
+        for (kind, pick, vertex) in ops {
+            let live: Vec<u32> = {
+                let mut ids: Vec<u32> = shadow.keys().copied().collect();
+                ids.sort_unstable();
+                ids
+            };
+            match kind {
+                // add a root
+                0 | 1 => {
+                    let id = trie.add_root(vertex);
+                    prop_assert!(!shadow.contains_key(&id), "id {id} double-allocated");
+                    shadow.insert(id, ShadowNode { vertex, parent: None, children: HashSet::new() });
+                }
+                // add a child of a random live node
+                2..=4 if !live.is_empty() => {
+                    let parent = live[pick as usize % live.len()];
+                    let id = trie.add_child(parent, vertex);
+                    prop_assert!(!shadow.contains_key(&id), "id {id} double-allocated");
+                    shadow.get_mut(&parent).unwrap().children.insert(id);
+                    shadow.insert(
+                        id,
+                        ShadowNode { vertex, parent: Some(parent), children: HashSet::new() },
+                    );
+                }
+                // remove a random live leaf (with the specified cascade)
+                _ if !live.is_empty() => {
+                    let leaves: Vec<u32> = live
+                        .iter()
+                        .copied()
+                        .filter(|id| shadow[id].children.is_empty())
+                        .collect();
+                    if leaves.is_empty() {
+                        continue;
+                    }
+                    let leaf = leaves[pick as usize % leaves.len()];
+                    trie.remove(leaf);
+                    // shadow cascade: delete the leaf, then every ancestor
+                    // whose child set drains
+                    let mut cur = leaf;
+                    loop {
+                        let parent = shadow.remove(&cur).unwrap().parent;
+                        let Some(p) = parent else { break };
+                        let siblings = shadow.get_mut(&p).unwrap();
+                        siblings.children.remove(&cur);
+                        if !siblings.children.is_empty() {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    // double removal is a no-op
+                    trie.remove(leaf);
+                    prop_assert!(!trie.is_live(leaf));
+                }
+                _ => {}
+            }
+
+            // -- invariants after every operation ------------------------------
+            prop_assert_eq!(trie.node_count(), shadow.len());
+            for (&id, node) in &shadow {
+                prop_assert!(trie.is_live(id));
+                prop_assert_eq!(trie.vertex(id), node.vertex);
+                prop_assert_eq!(trie.parent(id), node.parent);
+                prop_assert_eq!(trie.child_count(id), node.children.len());
+            }
+            // live nodes are exactly the ancestors of live leaves: every
+            // childless shadow node is a leaf, and walking all leaf-to-root
+            // paths must visit every live node exactly through the shadow
+            let mut reachable: HashSet<u32> = HashSet::new();
+            for (&id, node) in &shadow {
+                if node.children.is_empty() {
+                    let mut cur = Some(id);
+                    while let Some(c) = cur {
+                        reachable.insert(c);
+                        cur = shadow[&c].parent;
+                    }
+                }
+            }
+            prop_assert_eq!(reachable.len(), trie.node_count(), "orphan interior nodes survive");
+        }
+
+        // results stay correct across all the slab reuse the script caused
+        for &id in shadow.keys() {
+            let mut expected = Vec::new();
+            let mut cur = Some(id);
+            while let Some(c) = cur {
+                expected.push(shadow[&c].vertex);
+                cur = shadow[&c].parent;
+            }
+            expected.reverse();
+            prop_assert_eq!(trie.result(id), expected);
+        }
+    }
+
     /// Counting with symmetry breaking times the automorphism count equals
     /// counting without symmetry breaking (every query, random graphs).
     #[test]
