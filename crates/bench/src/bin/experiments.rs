@@ -4,11 +4,21 @@
 //! ```text
 //! experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]
 //!             [--reps R] [--budget BYTES]
+//! experiments validate [--out FILE]
 //!
 //! EXPERIMENT: all | table1 | table2 | fig8 | fig9 | fig10 | fig11 | fig12
 //!           | fig13 | table3 | table4 | fig15 | robustness | ablation
-//!           | speedup | intersect
+//!           | speedup | intersect | sockets
 //! ```
+//!
+//! `validate` is the schema gate: it parses the committed
+//! `BENCH_results.json` (or `--out FILE`) and exits nonzero if the file is
+//! missing, malformed, empty, or any row lacks a required field — so
+//! experiment-format drift is caught at PR time, not when a later analysis
+//! breaks. `sockets` runs the same queries over the in-process transport
+//! and over a real 4-process Unix-domain-socket cluster (spawning the
+//! `rads-node` binary built next to this one), asserts count equality and
+//! records simulated-model bytes vs real framed wire bytes side by side.
 //!
 //! `--reps` controls how many timed repetitions the `intersect` experiment
 //! averages per kernel (default 3; CI smoke runs use 1 with a small
@@ -43,7 +53,7 @@ use rads_runtime::NetworkConfig;
 
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "all", "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table3",
-    "table4", "fig15", "robustness", "ablation", "speedup", "intersect",
+    "table4", "fig15", "robustness", "ablation", "speedup", "intersect", "sockets", "validate",
 ];
 
 struct Options {
@@ -142,8 +152,36 @@ const PLAN_QUERIES: [&str; 5] = ["q4", "q5", "q6", "q7", "q8"];
 /// `Φ/2` single-unit contract with ample margin.
 const GOVERNOR_BUDGET: usize = 64 * 1024;
 
+/// The `validate` subcommand: parse the committed results file and fail on
+/// schema drift.
+fn run_validate(path: &std::path::Path) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    match rads_bench::validate_results_json(&text) {
+        Ok(rows) => {
+            println!("{}: {rows} result rows, schema OK", path.display());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {} failed schema validation: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.experiments.iter().any(|e| e == "validate") {
+        if opts.experiments.len() > 1 {
+            usage_error("validate cannot be combined with experiments");
+        }
+        run_validate(&opts.out);
+    }
     let want = |name: &str| {
         opts.experiments.iter().any(|e| e == name || e == "all")
     };
@@ -426,6 +464,53 @@ fn main() {
         }
         records.extend(rows);
         println!();
+    }
+
+    if want("sockets") {
+        let explicit = opts.experiments.iter().any(|e| e == "sockets");
+        match rads_bench::procs::sibling_node_binary() {
+            Ok(node_binary) => {
+                println!(
+                    "== Sockets: real {}-process UDS cluster vs the simulated transport (scale {:.2}) ==",
+                    opts.machines, opts.scale.0
+                );
+                println!("dataset\tquery\tsystem\tembeddings\ttime(ms)\tbytes shipped");
+                // asserts internally that the multi-process cluster's counts
+                // equal the in-process transport's on every query
+                let rows = rads_bench::procs::socket_vs_simulated(
+                    DatasetKind::LiveJournal,
+                    opts.scale,
+                    opts.machines,
+                    opts.seed,
+                    &["q1", "q5"],
+                    &node_binary,
+                    Duration::from_secs(300),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("error: sockets experiment failed: {e}");
+                    std::process::exit(1);
+                });
+                for pair in rows.chunks(2) {
+                    assert_eq!(pair[0].system, "RADS-sim");
+                    for r in pair {
+                        println!(
+                            "{}\t{}\t{}\t{}\t{:.1}\t{}",
+                            r.dataset, r.query, r.system, r.embeddings, r.elapsed_ms,
+                            r.bytes_shipped,
+                        );
+                    }
+                }
+                records.extend(rows);
+                println!();
+            }
+            // `all` runs stay usable without a pre-built rads-node; asking
+            // for the experiment by name makes the missing binary an error
+            Err(e) if explicit => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            Err(e) => println!("skipping sockets experiment: {e}\n"),
+        }
     }
 
     if !records.is_empty() {

@@ -1,0 +1,223 @@
+//! `rads-node` — run RADS as a real multi-process cluster.
+//!
+//! One binary, two roles:
+//!
+//! ```text
+//! # coordinator: spawn a whole single-host cluster and print a summary
+//! rads-node run --machines 4 --query q5 \
+//!     [--transport uds|tcp] [--dataset LiveJournal] [--scale 0.05]
+//!     [--seed 42] [--workers N] [--budget BYTES] [--timeout-secs 300] [--json]
+//!
+//! # worker: one machine of a cluster (normally spawned by `run`)
+//! rads-node worker --machine M --machines N --addrs uds:...,uds:... \
+//!     --dataset ... --scale ... --seed ... --query ... [--workers N]
+//!     [--budget BYTES] [--timeout-secs T]
+//! ```
+//!
+//! `run` allocates the listen addresses (fresh Unix socket paths under the
+//! temp dir, or probed loopback TCP ports), spawns `machines - 1` worker
+//! processes of **this same executable**, acts as machine 0 itself,
+//! collects every worker's result frame under a hard deadline
+//! (`--timeout-secs`, default 300 — a deadlocked transport exits nonzero
+//! instead of hanging a CI runner), and prints the aggregate: embedding
+//! counts per machine and in total, plus the *real framed bytes* each
+//! process put on the wire. The last stdout line is a single-line JSON
+//! summary (only line with `--json`) that scripts and the CI smoke job
+//! parse.
+//!
+//! Every process rebuilds the deterministic dataset stand-in and
+//! partitioning locally from `(dataset, scale, seed, machines)`, so no
+//! graph data is shipped; the engine, planner, governor and worker pool are
+//! exactly the code the in-process simulator runs — which is why the
+//! counts must be (and are, see the `cluster-smoke` CI job) bit-identical
+//! across transports.
+
+use std::time::Duration;
+
+use rads_bench::procs::{
+    dataset_by_name, run_coordinator, run_worker, ClusterSpec, ClusterSummary,
+};
+use rads_datasets::DatasetKind;
+use rads_runtime::{PeerAddr, TransportKind};
+
+const DEFAULT_TIMEOUT_SECS: u64 = 300;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  rads-node run --machines N --query Q [--transport uds|tcp] [--dataset D]\n\
+         \x20          [--scale S] [--seed K] [--workers W] [--budget BYTES]\n\
+         \x20          [--timeout-secs T] [--json]\n\
+         \x20 rads-node worker --machine M --machines N --addrs A0,A1,.. --dataset D\n\
+         \x20          --scale S --seed K --query Q [--workers W] [--budget BYTES]\n\
+         \x20          [--timeout-secs T]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+struct Flags {
+    values: Vec<(String, String)>,
+    json: bool,
+}
+
+impl Flags {
+    /// Parses `--flag value` pairs (plus the bare `--json` switch).
+    fn parse(args: &[String]) -> Flags {
+        let mut values = Vec::new();
+        let mut json = false;
+        let mut i = 0;
+        while i < args.len() {
+            let flag = &args[i];
+            if flag == "--json" {
+                json = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--help" || flag == "-h" {
+                usage();
+            }
+            let Some(name) = flag.strip_prefix("--") else {
+                eprintln!("error: unexpected argument {flag:?}");
+                usage();
+            };
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            };
+            values.push((name.to_string(), value.clone()));
+            i += 2;
+        }
+        Flags { values, json }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.get(name).map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                fail(&format!("invalid value {raw:?} for --{name}"));
+            })
+        })
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> T {
+        self.parsed(name).unwrap_or_else(|| fail(&format!("--{name} is required")))
+    }
+}
+
+fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
+    let dataset_name = flags.get("dataset").unwrap_or("LiveJournal");
+    let dataset: DatasetKind = dataset_by_name(dataset_name)
+        .unwrap_or_else(|| fail(&format!("unknown dataset {dataset_name:?} (RoadNet | DBLP | LiveJournal | UK2002)")));
+    let budget = flags.get("budget").map(|raw| {
+        rads_core::memory::parse_bytes(raw)
+            .unwrap_or_else(|| fail(&format!("invalid byte size {raw:?} for --budget")))
+    });
+    let scale: f64 = flags.parsed("scale").unwrap_or(0.05);
+    if !scale.is_finite() || scale <= 0.0 {
+        fail(&format!("--scale must be positive, got {scale}"));
+    }
+    ClusterSpec {
+        machines,
+        dataset,
+        scale,
+        seed: flags.parsed("seed").unwrap_or(42),
+        query: flags.get("query").unwrap_or_else(|| fail("--query is required")).to_string(),
+        workers: flags.parsed("workers").unwrap_or_else(rads_exec::workers_from_env),
+        budget,
+    }
+}
+
+fn timeout_from_flags(flags: &Flags) -> Duration {
+    Duration::from_secs(flags.parsed::<u64>("timeout-secs").unwrap_or(DEFAULT_TIMEOUT_SECS).max(1))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else { usage() };
+    let flags = Flags::parse(&args[1..]);
+
+    match mode.as_str() {
+        "run" => {
+            let machines: usize = flags.require("machines");
+            if machines == 0 {
+                fail("--machines must be at least 1");
+            }
+            let spec = spec_from_flags(&flags, machines);
+            let kind = match flags.get("transport") {
+                None => TransportKind::Uds.effective(),
+                Some(raw) => match TransportKind::parse(raw) {
+                    Some(TransportKind::InProcess) | None => {
+                        fail(&format!("--transport must be uds or tcp, got {raw:?}"))
+                    }
+                    Some(kind) => kind.effective(),
+                },
+            };
+            let timeout = timeout_from_flags(&flags);
+            let node_binary = std::env::current_exe()
+                .unwrap_or_else(|e| fail(&format!("cannot locate this executable: {e}")));
+            if !flags.json {
+                println!(
+                    "cluster: {} machines over {} | dataset {} scale {} seed {} | query {} | workers {}",
+                    spec.machines,
+                    kind.name(),
+                    spec.dataset.name(),
+                    spec.scale,
+                    spec.seed,
+                    spec.query,
+                    spec.workers,
+                );
+            }
+            match run_coordinator(&spec, kind, &node_binary, timeout) {
+                Ok(summary) => {
+                    if !flags.json {
+                        print_human(&summary);
+                    }
+                    println!("{}", summary.to_json());
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "worker" => {
+            let machines: usize = flags.require("machines");
+            let machine: usize = flags.require("machine");
+            let spec = spec_from_flags(&flags, machines);
+            let addr_list: String = flags.require("addrs");
+            let addrs: Vec<PeerAddr> = addr_list
+                .split(',')
+                .map(|raw| PeerAddr::parse(raw).unwrap_or_else(|e| fail(&e)))
+                .collect();
+            if addrs.len() != machines {
+                fail(&format!("--addrs lists {} addresses for {machines} machines", addrs.len()));
+            }
+            let timeout = timeout_from_flags(&flags);
+            if let Err(e) = run_worker(&spec, machine, addrs, timeout) {
+                fail(&e);
+            }
+        }
+        other => {
+            eprintln!("error: unknown mode {other:?}");
+            usage();
+        }
+    }
+}
+
+fn print_human(summary: &ClusterSummary) {
+    println!("machine\tembeddings\tsme\twire bytes\twire msgs\tengine ms");
+    for m in &summary.per_machine {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.1}",
+            m.machine, m.embeddings, m.sme_embeddings, m.wire_bytes, m.wire_messages, m.elapsed_ms
+        );
+    }
+    println!(
+        "total\t{} embeddings\t{} wire bytes\t{} requests\t{:.1} ms",
+        summary.total_embeddings, summary.wire_bytes, summary.wire_messages, summary.elapsed_ms
+    );
+}

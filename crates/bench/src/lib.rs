@@ -12,6 +12,9 @@
 //! measures the intra-machine worker pool (wall-clock speedup of
 //! `workers = n` over `workers = 1` on a latency-bearing simulated network).
 
+pub mod json;
+pub mod procs;
+
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -436,6 +439,54 @@ pub fn render_results_json(records: &[BenchRecord]) -> String {
 /// Writes `records` to `path` as JSON (the `BENCH_results.json` format).
 pub fn write_results_json(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
     std::fs::write(path, render_results_json(records))
+}
+
+/// String-typed fields every `BENCH_results.json` row must carry.
+pub const RESULT_STRING_FIELDS: [&str; 4] = ["experiment", "dataset", "query", "system"];
+/// Non-negative-integer fields every row must carry.
+pub const RESULT_COUNT_FIELDS: [&str; 6] =
+    ["machines", "workers", "embeddings", "bytes_shipped", "peak_tracked_bytes", "budget_bytes"];
+/// Finite non-negative float fields every row must carry.
+pub const RESULT_FLOAT_FIELDS: [&str; 2] = ["elapsed_ms", "embeddings_per_sec"];
+
+/// Validates the `BENCH_results.json` schema: a non-empty array whose every
+/// row carries all [`RESULT_STRING_FIELDS`], [`RESULT_COUNT_FIELDS`] and
+/// [`RESULT_FLOAT_FIELDS`] with the right types. Returns the row count, or
+/// a message naming the first offending row and field — the
+/// `experiments validate` CI gate fails on any drift in the committed
+/// experiment format.
+pub fn validate_results_json(text: &str) -> Result<usize, String> {
+    let parsed = json::Json::parse(text)?;
+    let rows = parsed.as_array().ok_or("top-level value must be an array")?;
+    if rows.is_empty() {
+        return Err("the results array is empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in RESULT_STRING_FIELDS {
+            let value = row.get(key).ok_or(format!("row {i}: missing field {key:?}"))?;
+            if value.as_str().is_none() {
+                return Err(format!("row {i}: field {key:?} must be a string"));
+            }
+        }
+        for key in RESULT_COUNT_FIELDS {
+            let value = row.get(key).ok_or(format!("row {i}: missing field {key:?}"))?;
+            if value.as_u64().is_none() {
+                return Err(format!("row {i}: field {key:?} must be a non-negative integer"));
+            }
+        }
+        for key in RESULT_FLOAT_FIELDS {
+            let value = row.get(key).ok_or(format!("row {i}: missing field {key:?}"))?;
+            match value.as_f64() {
+                Some(f) if f.is_finite() && f >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "row {i}: field {key:?} must be a finite non-negative number"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(rows.len())
 }
 
 /// Table 1: the dataset profiles.
@@ -957,6 +1008,30 @@ mod tests {
         let record = BenchRecord::from_measurement("fig9", &m);
         assert_eq!(record.embeddings_per_sec, 2000.0);
         assert!(record.to_json().contains("\"embeddings_per_sec\":2000.0"));
+    }
+
+    #[test]
+    fn results_schema_validation_accepts_the_writer_and_rejects_drift() {
+        let m = Measurement {
+            system: "RADS",
+            dataset: "DBLP".into(),
+            query: "q1".into(),
+            machines: 2,
+            embeddings: 5,
+            elapsed_ms: 1.0,
+            communication_mb: 0.0,
+            peak_intermediate_rows: 0,
+            workers: 1,
+        };
+        let good = render_results_json(&[BenchRecord::from_measurement("fig9", &m)]);
+        assert_eq!(validate_results_json(&good), Ok(1));
+        // empty array, missing field, wrong type, malformed JSON
+        assert!(validate_results_json("[\n]\n").is_err());
+        let missing = good.replace("\"embeddings\":5,", "");
+        assert!(validate_results_json(&missing).unwrap_err().contains("embeddings"));
+        let wrong_type = good.replace("\"machines\":2", "\"machines\":\"two\"");
+        assert!(validate_results_json(&wrong_type).unwrap_err().contains("machines"));
+        assert!(validate_results_json("{not json").is_err());
     }
 
     #[test]

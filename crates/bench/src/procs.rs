@@ -1,0 +1,793 @@
+//! Multi-process cluster orchestration (the `rads-node` binary's engine
+//! room).
+//!
+//! A **real** RADS cluster is N OS processes, one machine each: every
+//! process builds the deterministic dataset stand-in and its partitioning
+//! locally (the generators are seed-stable across processes, so no graph
+//! data crosses the wire), starts a [`SocketNode`] — listener, daemon,
+//! pipelined peer connections — and runs the unmodified
+//! [`rads_core::engine::run_machine`] over the socket transport.
+//!
+//! Roles:
+//!
+//! * [`run_worker`] — one non-coordinator machine: run the engine, deliver
+//!   a result frame to machine 0, wait for the shutdown order, drain.
+//! * [`run_coordinator`] — machine 0: allocate the cluster's addresses,
+//!   spawn the workers (the same binary, `worker` mode), run its own
+//!   engine, collect every worker's result with a **hard deadline** (a
+//!   deadlocked or crashed worker fails the run fast instead of hanging
+//!   forever), broadcast shutdown and aggregate a [`ClusterSummary`].
+//!
+//! The summary is also emitted as single-line JSON so scripts, the
+//! `sockets` experiment and the CI smoke test can parse one process's
+//! stdout ([`ClusterSummary::parse_json`]) and compare the cluster's counts
+//! against the in-process transport. `wire_bytes` in the summary are *real
+//! framed bytes* summed over every process — the ground truth the simulated
+//! cost model is judged against.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use rads_core::daemon::{new_group_queue, RadsDaemon};
+use rads_core::engine::{run_machine, EngineConfig, MachineOutput};
+use rads_core::memory::MemoryBudget;
+use rads_datasets::{generate, DatasetKind, Scale};
+use rads_graph::queries;
+use rads_partition::{LabelPropagationPartitioner, PartitionedGraph, Partitioner};
+use rads_plan::{best_plan, PlannerConfig};
+use rads_runtime::transport::scratch_socket_dir;
+use rads_runtime::{
+    Daemon, MachineContext, NetworkStats, PeerAddr, SocketListener, SocketNode, TrafficSnapshot,
+    TransportKind,
+};
+
+use crate::json::Json;
+
+/// Everything every process of one cluster run must agree on. The
+/// coordinator forwards these to its workers verbatim as CLI flags
+/// ([`worker_args`]), which is what guarantees all N processes build the
+/// same graph, partitioning and plan.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of machines (= processes).
+    pub machines: usize,
+    /// Which dataset stand-in to generate.
+    pub dataset: DatasetKind,
+    /// Generator scale.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Query name (see [`rads_graph::queries::query_by_name`]).
+    pub query: String,
+    /// Intra-machine worker threads per process.
+    pub workers: usize,
+    /// Per-group memory budget override (`None` = `RADS_MEMORY_BUDGET` /
+    /// default).
+    pub budget: Option<usize>,
+}
+
+/// Parses a dataset stand-in by its paper name (case-insensitive).
+pub fn dataset_by_name(name: &str) -> Option<DatasetKind> {
+    DatasetKind::all().into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Builds the deterministic partitioned graph every process of the cluster
+/// agrees on (same generator, same seed, same partitioner as
+/// [`crate::build_cluster`]).
+pub fn build_partitioned(spec: &ClusterSpec) -> Arc<PartitionedGraph> {
+    let dataset = generate(spec.dataset, Scale(spec.scale), spec.seed);
+    let partitioning = LabelPropagationPartitioner::default().partition(&dataset.graph, spec.machines);
+    Arc::new(PartitionedGraph::build(&dataset.graph, partitioning))
+}
+
+/// The engine configuration of a node process — mirrors
+/// `RadsConfig::default()` so a multi-process run is comparable 1:1 with
+/// `run_rads` on an in-process cluster.
+fn engine_config(spec: &ClusterSpec) -> EngineConfig {
+    let budget = match spec.budget {
+        Some(bytes) => MemoryBudget::from_bytes(bytes),
+        None => MemoryBudget::default_from_env(),
+    };
+    EngineConfig {
+        budget,
+        seed: 42,
+        workers: spec.workers,
+        ..EngineConfig::default()
+    }
+}
+
+/// Starts this machine's node and runs its engine to completion. Returns
+/// the node (still serving its daemon — the cluster may not be done), the
+/// engine output and this process's real wire traffic.
+fn run_node_engine(
+    spec: &ClusterSpec,
+    machine: usize,
+    addrs: Vec<PeerAddr>,
+) -> Result<(SocketNode, MachineOutput, Arc<NetworkStats>, Duration), String> {
+    let pattern = queries::query_by_name(&spec.query)
+        .ok_or_else(|| format!("unknown query {:?}", spec.query))?;
+    // Bind the listener *before* the expensive graph build: peers whose
+    // generation finishes first connect immediately (their requests queue in
+    // the accept backlog), instead of burning their bounded connect-retry
+    // window against a process that is still generating the dataset.
+    let listener = SocketListener::bind(&addrs[machine])
+        .map_err(|e| format!("machine {machine}: cannot bind {}: {e}", addrs[machine]))?;
+    let partitioned = build_partitioned(spec);
+    let stats = Arc::new(NetworkStats::new(spec.machines));
+    let queue = new_group_queue();
+    let daemon: Arc<dyn Daemon> =
+        Arc::new(RadsDaemon::new(partitioned.clone(), machine, queue.clone()));
+    let node = SocketNode::start_with_listener(machine, addrs, listener, daemon.clone(), stats.clone());
+    let ctx = MachineContext::assemble(partitioned, node.transport(), daemon);
+    let plan = best_plan(&pattern, &PlannerConfig { rho: 1.0 });
+    let config = engine_config(spec);
+    let start = Instant::now();
+    let output = run_machine(&ctx, &pattern, &plan, &config, queue);
+    Ok((node, output, stats, start.elapsed()))
+}
+
+// --------------------------------------------------------------------------
+// result payload (worker → coordinator), little-endian fixed layout
+// --------------------------------------------------------------------------
+
+/// What one machine reports into the cluster summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSummary {
+    /// Machine id.
+    pub machine: usize,
+    /// Embeddings this machine found.
+    pub embeddings: u64,
+    /// Embeddings found in the SM-E phase.
+    pub sme_embeddings: u64,
+    /// Real framed bytes this process put on the wire.
+    pub wire_bytes: u64,
+    /// Remote requests this process sent.
+    pub wire_messages: u64,
+    /// This machine's engine wall-clock in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+fn encode_result(m: &MachineSummary) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(44);
+    buf.extend_from_slice(&(m.machine as u32).to_le_bytes());
+    buf.extend_from_slice(&m.embeddings.to_le_bytes());
+    buf.extend_from_slice(&m.sme_embeddings.to_le_bytes());
+    buf.extend_from_slice(&m.wire_bytes.to_le_bytes());
+    buf.extend_from_slice(&m.wire_messages.to_le_bytes());
+    buf.extend_from_slice(&m.elapsed_ms.to_bits().to_le_bytes());
+    buf
+}
+
+fn decode_result(buf: &[u8]) -> Result<MachineSummary, String> {
+    if buf.len() != 44 {
+        return Err(format!("result payload of {} bytes, expected 44", buf.len()));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
+    let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+    Ok(MachineSummary {
+        machine: u32_at(0) as usize,
+        embeddings: u64_at(4),
+        sme_embeddings: u64_at(12),
+        wire_bytes: u64_at(20),
+        wire_messages: u64_at(28),
+        elapsed_ms: f64::from_bits(u64_at(36)),
+    })
+}
+
+fn machine_summary(
+    machine: usize,
+    output: &MachineOutput,
+    wire: &TrafficSnapshot,
+    elapsed: Duration,
+) -> MachineSummary {
+    MachineSummary {
+        machine,
+        embeddings: output.count,
+        sme_embeddings: output.stats.sme_embeddings,
+        wire_bytes: wire.total_bytes,
+        wire_messages: wire.messages,
+        elapsed_ms: elapsed.as_secs_f64() * 1000.0,
+    }
+}
+
+// --------------------------------------------------------------------------
+// worker
+// --------------------------------------------------------------------------
+
+/// Runs one worker process: engine → result frame to the coordinator →
+/// wait for the shutdown order → drain. `addrs[machine]` is this worker's
+/// listen address.
+pub fn run_worker(
+    spec: &ClusterSpec,
+    machine: usize,
+    addrs: Vec<PeerAddr>,
+    timeout: Duration,
+) -> Result<(), String> {
+    if machine == 0 || machine >= spec.machines {
+        return Err(format!("worker machine id {machine} out of range 1..{}", spec.machines));
+    }
+    let (node, output, stats, elapsed) = run_node_engine(spec, machine, addrs)?;
+    let summary = machine_summary(machine, &output, &stats.snapshot(), elapsed);
+    node.send_result(0, &encode_result(&summary));
+    let ordered = node.wait_shutdown(timeout);
+    node.finish_shutdown();
+    if ordered {
+        Ok(())
+    } else {
+        Err(format!(
+            "machine {machine}: no shutdown order within {}s of finishing",
+            timeout.as_secs()
+        ))
+    }
+}
+
+// --------------------------------------------------------------------------
+// coordinator
+// --------------------------------------------------------------------------
+
+/// The aggregated outcome of one multi-process cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// Query name.
+    pub query: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Transport name (`uds` / `tcp`).
+    pub transport: String,
+    /// Number of machine processes.
+    pub machines: usize,
+    /// Intra-machine worker threads per process.
+    pub workers: usize,
+    /// Embeddings over all machines.
+    pub total_embeddings: u64,
+    /// Real framed bytes over all processes.
+    pub wire_bytes: u64,
+    /// Remote requests over all processes.
+    pub wire_messages: u64,
+    /// Coordinator wall-clock (spawn to all-results) in milliseconds.
+    pub elapsed_ms: f64,
+    /// Per-machine breakdown, indexed by machine id.
+    pub per_machine: Vec<MachineSummary>,
+}
+
+impl ClusterSummary {
+    /// Renders the summary as one line of JSON (the coordinator's stdout
+    /// contract).
+    pub fn to_json(&self) -> String {
+        let per_machine: Vec<String> = self
+            .per_machine
+            .iter()
+            .map(|m| {
+                format!(
+                    concat!(
+                        "{{\"machine\":{},\"embeddings\":{},\"sme_embeddings\":{},",
+                        "\"wire_bytes\":{},\"wire_messages\":{},\"elapsed_ms\":{:.3}}}"
+                    ),
+                    m.machine, m.embeddings, m.sme_embeddings, m.wire_bytes, m.wire_messages,
+                    m.elapsed_ms,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"query\":\"{}\",\"dataset\":\"{}\",\"transport\":\"{}\",",
+                "\"machines\":{},\"workers\":{},\"total_embeddings\":{},",
+                "\"wire_bytes\":{},\"wire_messages\":{},\"elapsed_ms\":{:.3},",
+                "\"per_machine\":[{}]}}"
+            ),
+            self.query,
+            self.dataset,
+            self.transport,
+            self.machines,
+            self.workers,
+            self.total_embeddings,
+            self.wire_bytes,
+            self.wire_messages,
+            self.elapsed_ms,
+            per_machine.join(","),
+        )
+    }
+
+    /// Parses a summary back from coordinator output: the last line that
+    /// parses as a JSON object wins (diagnostics may precede it).
+    pub fn parse_json(output: &str) -> Result<ClusterSummary, String> {
+        let line = output
+            .lines()
+            .rev()
+            .find(|l| l.trim_start().starts_with('{'))
+            .ok_or("no JSON object line in coordinator output")?;
+        let v = Json::parse(line.trim())?;
+        let str_field = |k: &str| {
+            v.get(k).and_then(Json::as_str).map(str::to_string).ok_or(format!("missing {k}"))
+        };
+        let u64_field = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("missing {k}"));
+        let mut per_machine = Vec::new();
+        for row in v.get("per_machine").and_then(Json::as_array).ok_or("missing per_machine")? {
+            let m = |k: &str| row.get(k).and_then(Json::as_u64).ok_or(format!("missing per_machine {k}"));
+            per_machine.push(MachineSummary {
+                machine: m("machine")? as usize,
+                embeddings: m("embeddings")?,
+                sme_embeddings: m("sme_embeddings")?,
+                wire_bytes: m("wire_bytes")?,
+                wire_messages: m("wire_messages")?,
+                elapsed_ms: row
+                    .get("elapsed_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing per_machine elapsed_ms")?,
+            });
+        }
+        Ok(ClusterSummary {
+            query: str_field("query")?,
+            dataset: str_field("dataset")?,
+            transport: str_field("transport")?,
+            machines: u64_field("machines")? as usize,
+            workers: u64_field("workers")? as usize,
+            total_embeddings: u64_field("total_embeddings")?,
+            wire_bytes: u64_field("wire_bytes")?,
+            wire_messages: u64_field("wire_messages")?,
+            elapsed_ms: v.get("elapsed_ms").and_then(Json::as_f64).ok_or("missing elapsed_ms")?,
+            per_machine,
+        })
+    }
+}
+
+/// Allocates one listen address per machine: fresh Unix socket paths, or
+/// free loopback TCP ports (probed by binding port 0 and releasing — a
+/// worker landing on a just-taken port fails its bind loudly rather than
+/// hanging).
+pub fn allocate_addrs(kind: TransportKind, machines: usize) -> Result<Vec<PeerAddr>, String> {
+    match kind.effective() {
+        TransportKind::Uds => {
+            let dir = scratch_socket_dir();
+            Ok((0..machines).map(|m| PeerAddr::Uds(dir.join(format!("m{m}.sock")))).collect())
+        }
+        TransportKind::Tcp => {
+            let listeners: Vec<std::net::TcpListener> = (0..machines)
+                .map(|_| {
+                    std::net::TcpListener::bind("127.0.0.1:0")
+                        .map_err(|e| format!("cannot probe a free port: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            listeners
+                .iter()
+                .map(|l| {
+                    l.local_addr()
+                        .map(|a| PeerAddr::Tcp(a.to_string()))
+                        .map_err(|e| format!("cannot read probed port: {e}"))
+                })
+                .collect()
+        }
+        TransportKind::InProcess => {
+            Err("a multi-process cluster needs a socket transport (uds or tcp)".to_string())
+        }
+    }
+}
+
+/// The `worker`-mode argument vector for machine `machine` of `spec` — the
+/// single place the coordinator→worker CLI contract lives.
+pub fn worker_args(
+    spec: &ClusterSpec,
+    machine: usize,
+    addrs: &[PeerAddr],
+    timeout: Duration,
+) -> Vec<String> {
+    let addr_list =
+        addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",");
+    let mut args = vec![
+        "worker".to_string(),
+        "--machine".to_string(),
+        machine.to_string(),
+        "--machines".to_string(),
+        spec.machines.to_string(),
+        "--addrs".to_string(),
+        addr_list,
+        "--dataset".to_string(),
+        spec.dataset.name().to_string(),
+        "--scale".to_string(),
+        format!("{}", spec.scale),
+        "--seed".to_string(),
+        spec.seed.to_string(),
+        "--query".to_string(),
+        spec.query.clone(),
+        "--workers".to_string(),
+        spec.workers.to_string(),
+        "--timeout-secs".to_string(),
+        timeout.as_secs().max(1).to_string(),
+    ];
+    if let Some(budget) = spec.budget {
+        args.push("--budget".to_string());
+        args.push(budget.to_string());
+    }
+    args
+}
+
+fn kill_children(children: &mut [(usize, Child)]) {
+    for (_, child) in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Runs a whole multi-process cluster: spawns `spec.machines - 1` workers
+/// (the `node_binary` in `worker` mode), acts as machine 0, and enforces
+/// `timeout` as a hard deadline on the whole run — every phase fails with
+/// a clean `Err` (workers killed, scratch sockets removed), never a hang.
+/// Machine 0's engine runs on a helper thread polled by the main thread,
+/// so the deadline also covers the enumeration itself: a worker that
+/// stays alive but wedges mid-request blocks the engine in a recv with no
+/// timeout. On that path the unjoinable engine thread is abandoned — both
+/// real callers (`rads-node`, `experiments`) exit shortly after the `Err`,
+/// so nothing outlives it in practice.
+pub fn run_coordinator(
+    spec: &ClusterSpec,
+    kind: TransportKind,
+    node_binary: &Path,
+    timeout: Duration,
+) -> Result<ClusterSummary, String> {
+    let kind = kind.effective();
+    if spec.machines == 0 {
+        return Err("a cluster needs at least one machine".to_string());
+    }
+    let addrs = allocate_addrs(kind, spec.machines)?;
+    let children: Arc<StdMutex<Vec<(usize, Child)>>> = Arc::new(StdMutex::new(Vec::new()));
+    for machine in 1..spec.machines {
+        let child = Command::new(node_binary)
+            .args(worker_args(spec, machine, &addrs, timeout))
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {machine} ({}): {e}", node_binary.display()))?;
+        children.lock().expect("children lock").push((machine, child));
+    }
+
+    let start = Instant::now();
+    let deadline = start + timeout;
+    // Machine 0's engine runs on a watched thread so the deadline also
+    // covers the enumeration itself: a worker that stays alive but wedges
+    // mid-request blocks the engine in a recv with no timeout, out of
+    // reach of any return path. On deadline the engine thread is abandoned
+    // (it is unjoinable by construction — both real callers exit shortly
+    // after the Err) and the workers are killed.
+    let engine_rx = {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let spec = spec.clone();
+        let engine_addrs = addrs.clone();
+        std::thread::Builder::new()
+            .name("rads-coordinator-engine".to_string())
+            .spawn(move || {
+                let _ = tx.send(run_node_engine(&spec, 0, engine_addrs));
+            })
+            .expect("spawn coordinator engine thread");
+        rx
+    };
+    let result = (|| {
+        let engine_outcome = loop {
+            match engine_rx.try_recv() {
+                Ok(outcome) => break outcome,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    return Err("coordinator engine thread died without reporting".to_string())
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    for (machine, child) in children.lock().expect("children lock").iter_mut() {
+                        if let Ok(Some(status)) = child.try_wait() {
+                            if !status.success() {
+                                return Err(format!(
+                                    "worker machine {machine} exited early ({status})"
+                                ));
+                            }
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "hard timeout: coordinator engine still running after {}s — \
+                             treating the transport as deadlocked",
+                            timeout.as_secs()
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        };
+        let (node, output, stats, elapsed0) = engine_outcome?;
+        let worker_ids: Vec<usize> = (1..spec.machines).collect();
+        let mut payloads = Vec::new();
+        if !worker_ids.is_empty() {
+            loop {
+                match node.wait_results(&worker_ids, Duration::from_millis(500)) {
+                    Ok(p) => {
+                        payloads = p;
+                        break;
+                    }
+                    Err(missing) => {
+                        for (machine, child) in children.lock().expect("children lock").iter_mut() {
+                            if let Ok(Some(status)) = child.try_wait() {
+                                if !status.success() {
+                                    return Err(format!(
+                                        "worker machine {machine} exited early ({status})"
+                                    ));
+                                }
+                            }
+                        }
+                        if Instant::now() >= deadline {
+                            return Err(format!(
+                                "hard timeout: no result from machines {missing:?} within {}s — \
+                                 treating the transport as deadlocked",
+                                timeout.as_secs()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        node.broadcast_shutdown();
+        node.finish_shutdown();
+
+        let mut per_machine =
+            vec![machine_summary(0, &output, &stats.snapshot(), elapsed0)];
+        for payload in payloads {
+            per_machine.push(decode_result(&payload)?);
+        }
+        per_machine.sort_by_key(|m| m.machine);
+        Ok(ClusterSummary {
+            query: spec.query.clone(),
+            dataset: spec.dataset.name().to_string(),
+            transport: kind.name().to_string(),
+            machines: spec.machines,
+            workers: spec.workers,
+            total_embeddings: per_machine.iter().map(|m| m.embeddings).sum(),
+            wire_bytes: per_machine.iter().map(|m| m.wire_bytes).sum(),
+            wire_messages: per_machine.iter().map(|m| m.wire_messages).sum(),
+            elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+            per_machine,
+        })
+    })();
+
+    let result = result.and_then(|summary| {
+        // reap the workers (they received the shutdown order)
+        let reap_deadline = Instant::now() + Duration::from_secs(10);
+        for (machine, child) in children.lock().expect("children lock").iter_mut() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) if status.success() => break,
+                    Ok(Some(status)) => {
+                        return Err(format!("worker machine {machine} exited with {status}"))
+                    }
+                    Ok(None) if Instant::now() >= reap_deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(format!("worker machine {machine} ignored shutdown"));
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(e) => return Err(format!("waiting for worker {machine}: {e}")),
+                }
+            }
+        }
+        Ok(summary)
+    });
+    if result.is_err() {
+        kill_children(&mut children.lock().expect("children lock"));
+    }
+    // scratch socket files live under a per-run directory
+    if let Some(PeerAddr::Uds(path)) = addrs.first() {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    result
+}
+
+/// The `sockets` experiment: the same queries on the same dataset stand-in
+/// over (a) the in-process channel transport with its *simulated* byte
+/// model and (b) a real multi-process UDS cluster (this process as
+/// coordinator + `machines - 1` spawned `rads-node` workers) counting
+/// *real framed bytes*. Panics if the two transports disagree on any
+/// embedding count — the ground-truth gate of the socket runtime — and
+/// returns a `RADS-sim` / `RADS-uds` record pair per query whose
+/// `bytes_shipped` columns compare the cost model against the wire.
+pub fn socket_vs_simulated(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    query_names: &[&str],
+    node_binary: &Path,
+    timeout: Duration,
+) -> Result<Vec<crate::BenchRecord>, String> {
+    use rads_core::{run_rads, RadsConfig};
+
+    let dataset = generate(kind, scale, seed);
+    // the baseline leg is pinned to the channel simulator: its whole point
+    // is recording the *modelled* bytes, which RADS_TRANSPORT=uds would
+    // silently turn into a second wire measurement
+    let partitioning =
+        LabelPropagationPartitioner::default().partition(&dataset.graph, machines);
+    let cluster = rads_runtime::Cluster::with_transport(
+        Arc::new(PartitionedGraph::build(&dataset.graph, partitioning)),
+        TransportKind::InProcess,
+    );
+    let mut records = Vec::new();
+    for &qname in query_names {
+        let pattern = queries::query_by_name(qname).ok_or(format!("unknown query {qname:?}"))?;
+        let config = RadsConfig::default();
+        let workers = config.workers;
+        let sim_start = Instant::now();
+        let sim = run_rads(&cluster, &pattern, &config);
+        let sim_ms = sim_start.elapsed().as_secs_f64() * 1000.0;
+
+        let spec = ClusterSpec {
+            machines,
+            dataset: kind,
+            scale: scale.0,
+            seed,
+            query: qname.to_string(),
+            workers,
+            budget: None,
+        };
+        let summary = run_coordinator(&spec, TransportKind::Uds, node_binary, timeout)?;
+        assert_eq!(
+            summary.total_embeddings, sim.total_embeddings,
+            "{qname}: the real-socket cluster deviates from the in-process transport"
+        );
+        // comparable to the sim row's run_rads wall clock: the slowest
+        // machine's *engine* time — the coordinator's own elapsed_ms also
+        // counts process spawning and N independent dataset generations
+        let uds_ms = summary
+            .per_machine
+            .iter()
+            .map(|m| m.elapsed_ms)
+            .fold(0.0f64, f64::max);
+        for (system, bytes, ms) in [
+            ("RADS-sim", sim.traffic.total_bytes, sim_ms),
+            ("RADS-uds", summary.wire_bytes, uds_ms),
+        ] {
+            records.push(crate::BenchRecord {
+                experiment: "sockets".to_string(),
+                dataset: dataset.profile.name.clone(),
+                query: qname.to_string(),
+                system: system.to_string(),
+                machines,
+                workers,
+                embeddings: sim.total_embeddings,
+                elapsed_ms: ms,
+                embeddings_per_sec: crate::embeddings_per_sec(sim.total_embeddings, ms),
+                bytes_shipped: bytes,
+                peak_tracked_bytes: 0,
+                budget_bytes: 0,
+            });
+        }
+    }
+    Ok(records)
+}
+
+/// The `rads-node` binary next to another binary of the same build (the
+/// `experiments` CLI and the integration tests use this to find it).
+pub fn sibling_node_binary() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("current_exe has no parent dir")?;
+    // integration-test binaries live one level deeper (target/debug/deps)
+    for candidate_dir in [dir, dir.parent().unwrap_or(dir)] {
+        let candidate = candidate_dir.join(format!("rads-node{}", std::env::consts::EXE_SUFFIX));
+        if candidate.exists() {
+            return Ok(candidate);
+        }
+    }
+    Err(format!(
+        "rads-node binary not found next to {} — build it first (cargo build --bin rads-node)",
+        exe.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_payload_round_trips() {
+        let summary = MachineSummary {
+            machine: 3,
+            embeddings: 12345,
+            sme_embeddings: 77,
+            wire_bytes: 987654321,
+            wire_messages: 4321,
+            elapsed_ms: 15.625,
+        };
+        assert_eq!(decode_result(&encode_result(&summary)), Ok(summary));
+        assert!(decode_result(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn cluster_summary_json_round_trips() {
+        let summary = ClusterSummary {
+            query: "q5".into(),
+            dataset: "LiveJournal".into(),
+            transport: "uds".into(),
+            machines: 4,
+            workers: 2,
+            total_embeddings: 99,
+            wire_bytes: 1234,
+            wire_messages: 56,
+            elapsed_ms: 78.5,
+            per_machine: vec![
+                MachineSummary {
+                    machine: 0,
+                    embeddings: 40,
+                    sme_embeddings: 11,
+                    wire_bytes: 600,
+                    wire_messages: 30,
+                    elapsed_ms: 70.125,
+                },
+                MachineSummary {
+                    machine: 1,
+                    embeddings: 59,
+                    sme_embeddings: 0,
+                    wire_bytes: 634,
+                    wire_messages: 26,
+                    elapsed_ms: 69.0,
+                },
+            ],
+        };
+        let rendered = format!("spawned 3 workers\n{}\n", summary.to_json());
+        assert_eq!(ClusterSummary::parse_json(&rendered), Ok(summary));
+    }
+
+    #[test]
+    fn dataset_names_resolve_case_insensitively() {
+        assert_eq!(dataset_by_name("livejournal"), Some(DatasetKind::LiveJournal));
+        assert_eq!(dataset_by_name("DBLP"), Some(DatasetKind::Dblp));
+        assert_eq!(dataset_by_name("RoadNet"), Some(DatasetKind::RoadNet));
+        assert_eq!(dataset_by_name("uk2002"), Some(DatasetKind::Uk2002));
+        assert_eq!(dataset_by_name("atlantis"), None);
+    }
+
+    #[test]
+    fn worker_args_carry_the_whole_spec() {
+        let spec = ClusterSpec {
+            machines: 3,
+            dataset: DatasetKind::Dblp,
+            scale: 0.05,
+            seed: 9,
+            query: "q2".into(),
+            workers: 2,
+            budget: Some(65536),
+        };
+        let addrs = vec![
+            PeerAddr::Uds("/tmp/a/m0.sock".into()),
+            PeerAddr::Uds("/tmp/a/m1.sock".into()),
+            PeerAddr::Uds("/tmp/a/m2.sock".into()),
+        ];
+        let args = worker_args(&spec, 2, &addrs, Duration::from_secs(60));
+        let joined = args.join(" ");
+        assert!(joined.starts_with("worker --machine 2 --machines 3"));
+        assert!(joined.contains("--addrs uds:/tmp/a/m0.sock,uds:/tmp/a/m1.sock,uds:/tmp/a/m2.sock"));
+        assert!(joined.contains("--dataset DBLP"));
+        assert!(joined.contains("--scale 0.05"));
+        assert!(joined.contains("--query q2"));
+        assert!(joined.contains("--workers 2"));
+        assert!(joined.contains("--budget 65536"));
+        assert!(joined.contains("--timeout-secs 60"));
+    }
+
+    #[test]
+    fn address_allocation_matches_the_transport() {
+        let uds = allocate_addrs(TransportKind::Uds, 3).unwrap();
+        assert_eq!(uds.len(), 3);
+        if cfg!(unix) {
+            assert!(matches!(&uds[0], PeerAddr::Uds(_)));
+            // all three live in the same scratch dir
+            let dirs: std::collections::HashSet<_> = uds
+                .iter()
+                .map(|a| match a {
+                    PeerAddr::Uds(p) => p.parent().unwrap().to_path_buf(),
+                    PeerAddr::Tcp(_) => unreachable!(),
+                })
+                .collect();
+            assert_eq!(dirs.len(), 1);
+            let _ = std::fs::remove_dir_all(dirs.into_iter().next().unwrap());
+        }
+        let tcp = allocate_addrs(TransportKind::Tcp, 2).unwrap();
+        assert!(matches!(&tcp[0], PeerAddr::Tcp(_)));
+        assert_ne!(tcp[0], tcp[1]);
+        assert!(allocate_addrs(TransportKind::InProcess, 2).is_err());
+    }
+}

@@ -5,6 +5,13 @@
 //! region-group queue: `checkR` (how many groups are still unprocessed) and
 //! `shareR` (hand one unprocessed group to the requester and mark it
 //! processed locally).
+//!
+//! The daemon is transport-agnostic and must stay safe under *concurrent*
+//! requests: the in-process runtime serializes them on one daemon thread,
+//! but the socket transport serves every inbound peer connection on its own
+//! handler thread, so two machines' `shareR` calls can race. The mutex
+//! around the shared [`GroupQueue`] makes check-then-share atomic enough —
+//! a group is handed out exactly once no matter how requests interleave.
 
 use std::collections::VecDeque;
 use std::sync::Arc;

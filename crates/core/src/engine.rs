@@ -707,9 +707,18 @@ fn insert_extensions(
     }
 }
 
-/// Batches `fetchV` requests per owner machine and inserts the returned
-/// adjacency lists into the cache (or the per-round scratch cache when the
-/// persistent cache is disabled).
+/// Vertices per `fetchV` request. Per-owner batches are chunked so one
+/// response cannot grow without bound: the socket transport caps frames at
+/// 64 MiB ([`rads_runtime::wire::MAX_FRAME_BYTES`]), and an uncapped
+/// round's foreign set would cross it long before a single adjacency list
+/// does. At 4096 vertices a response stays far under the cap for any
+/// realistic degree distribution of the dataset stand-ins.
+const FETCH_CHUNK_VERTICES: usize = 4096;
+
+/// Batches `fetchV` requests per owner machine (chunked, see
+/// [`FETCH_CHUNK_VERTICES`]) and inserts the returned adjacency lists into
+/// the cache (or the per-round scratch cache when the persistent cache is
+/// disabled).
 fn fetch_foreign(
     ctx: &MachineContext,
     to_fetch: &mut Vec<VertexId>,
@@ -727,18 +736,20 @@ fn fetch_foreign(
         by_owner.entry(ctx.ownership().owner(v)).or_default().push(v);
     }
     for (owner, vertices) in by_owner {
-        stats.fetch_requests += 1;
-        match ctx.request(owner, Request::FetchVertices(vertices)) {
-            Response::Adjacency(lists) => {
-                for (v, adj) in lists {
-                    if cache.is_enabled() {
-                        cache.insert(v, adj);
-                    } else {
-                        scratch.insert(v, adj);
+        for chunk in vertices.chunks(FETCH_CHUNK_VERTICES) {
+            stats.fetch_requests += 1;
+            match ctx.request(owner, Request::FetchVertices(chunk.to_vec())) {
+                Response::Adjacency(lists) => {
+                    for (v, adj) in lists {
+                        if cache.is_enabled() {
+                            cache.insert(v, adj);
+                        } else {
+                            scratch.insert(v, adj);
+                        }
                     }
                 }
+                other => panic!("unexpected fetchV response: {other:?}"),
             }
-            other => panic!("unexpected fetchV response: {other:?}"),
         }
     }
 }

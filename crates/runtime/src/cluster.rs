@@ -1,24 +1,47 @@
-//! The cluster simulator: machines, daemon threads and engine threads.
+//! The cluster runtime: machines, daemons, engines — over either transport.
+//!
+//! [`Cluster`] owns the partitioned data graph and runs one engine per
+//! machine. How the machines talk is decided by [`TransportKind`]:
+//!
+//! * [`TransportKind::InProcess`] — daemon *threads* served over crossbeam
+//!   channels, the original simulator (and the only mode with a simulated
+//!   latency/bandwidth model).
+//! * [`TransportKind::Uds`] / [`TransportKind::Tcp`] — every machine is a
+//!   [`crate::transport::SocketNode`]: a real listener, real connections,
+//!   the length-prefixed [`crate::wire`] framing, and traffic counters that
+//!   report actual framed bytes. Engines still run as threads of this
+//!   process (one process, N sockets); the `rads-node` binary runs the same
+//!   node runtime with one *process* per machine.
+//!
+//! The default is read from `RADS_TRANSPORT` (see
+//! [`TransportKind::from_env`]), so an unmodified test suite can be pointed
+//! at the socket stack wholesale — the engines cannot tell the difference,
+//! which is the point: [`MachineContext`]'s API is transport-independent.
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::unbounded;
 
 use rads_graph::VertexId;
 use rads_partition::{LocalPartition, MachineId, PartitionedGraph, Partitioning};
 
-use crate::exchange::RowExchange;
-use crate::message::{request_bytes, response_bytes, Request, Response};
+use crate::message::{Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
+use crate::transport::{
+    scratch_socket_dir, ChannelTransport, Envelope, PeerAddr, SocketListener, SocketNode,
+    Transport, TransportKind,
+};
 
 /// A machine's daemon: answers requests arriving from other machines.
 ///
-/// The runtime runs one daemon per machine on its own thread, concurrently
-/// with the machine's engine thread — the paper's "daemon threads listen to
-/// requests from other machines" (Section 3.1). Implementations are expected
-/// to answer from the machine's local partition and any engine-shared state
-/// (e.g. the region-group queue for `checkR` / `shareR`).
+/// The runtime runs one daemon per machine, concurrently with the machine's
+/// engine — the paper's "daemon threads listen to requests from other
+/// machines" (Section 3.1). Implementations are expected to answer from the
+/// machine's local partition and any engine-shared state (e.g. the
+/// region-group queue for `checkR` / `shareR`). A daemon must be prepared
+/// to serve several requests concurrently (the socket transport handles
+/// each inbound connection on its own thread).
 pub trait Daemon: Send + Sync {
     /// Handles one request from machine `from`.
     fn handle(&self, from: MachineId, request: Request) -> Response;
@@ -70,34 +93,23 @@ impl Daemon for PartitionDaemon {
     }
 }
 
-/// A request envelope travelling to a daemon.
-struct Envelope {
-    from: MachineId,
-    request: Request,
-    reply: Sender<Response>,
-}
-
 /// Everything an engine thread needs to act as one machine of the cluster.
 ///
-/// The context is `Send + Sync` **and** cheaply `Clone` (every field is an id,
-/// a handle or an `Arc`), so a machine's engine may fan its work out to an
-/// intra-machine worker pool: workers either share one context by reference
-/// or carry their own clone. Every concurrency-relevant operation is safe
-/// under that sharing — [`request`](MachineContext::request) creates a fresh
-/// single-use reply channel per call, and the network accounting behind
-/// [`traffic`](MachineContext::traffic) is atomic. Only
+/// The context is `Send + Sync` **and** cheaply `Clone` (every field is an
+/// id, a handle or an `Arc`), so a machine's engine may fan its work out to
+/// an intra-machine worker pool: workers either share one context by
+/// reference or carry their own clone. Every concurrency-relevant operation
+/// is safe under that sharing — [`request`](MachineContext::request) is
+/// matched to its response per call on either transport, and the network
+/// accounting behind [`traffic`](MachineContext::traffic) is atomic. Only
 /// [`barrier`](MachineContext::barrier) must stay on the engine thread: it
 /// synchronizes *machines*, and a second thread of the same machine waiting
-/// on it would deadlock the superstep (RADS never calls it; the shuffle-based
-/// baselines are single-threaded per machine).
+/// on it would deadlock the superstep (RADS never calls it; the
+/// shuffle-based baselines are single-threaded per machine).
 pub struct MachineContext {
     machine: MachineId,
     partitioned: Arc<PartitionedGraph>,
-    senders: Vec<Sender<Envelope>>,
-    stats: Arc<NetworkStats>,
-    exchange: Arc<RowExchange>,
-    barrier: Arc<Barrier>,
-    config: NetworkConfig,
+    transport: Arc<dyn Transport>,
     local_daemon: Arc<dyn Daemon>,
 }
 
@@ -106,11 +118,7 @@ impl Clone for MachineContext {
         MachineContext {
             machine: self.machine,
             partitioned: self.partitioned.clone(),
-            senders: self.senders.clone(),
-            stats: self.stats.clone(),
-            exchange: self.exchange.clone(),
-            barrier: self.barrier.clone(),
-            config: self.config,
+            transport: self.transport.clone(),
             local_daemon: self.local_daemon.clone(),
         }
     }
@@ -124,6 +132,18 @@ const _: () = {
 };
 
 impl MachineContext {
+    /// Assembles a context from its parts. [`Cluster`] does this for every
+    /// machine of a single-process run; a multi-process worker (the
+    /// `rads-node` binary) does it once, with the transport of its
+    /// [`SocketNode`] and its own daemon.
+    pub fn assemble(
+        partitioned: Arc<PartitionedGraph>,
+        transport: Arc<dyn Transport>,
+        local_daemon: Arc<dyn Daemon>,
+    ) -> MachineContext {
+        MachineContext { machine: transport.machine(), partitioned, transport, local_daemon }
+    }
+
     /// This machine's id.
     pub fn machine(&self) -> MachineId {
         self.machine
@@ -131,7 +151,7 @@ impl MachineContext {
 
     /// Number of machines in the cluster.
     pub fn machines(&self) -> usize {
-        self.senders.len()
+        self.transport.machines()
     }
 
     /// The local partition of this machine.
@@ -158,20 +178,7 @@ impl MachineContext {
         if to == self.machine {
             return self.local_daemon.handle(self.machine, request);
         }
-        let req_bytes = request_bytes(&request);
-        self.stats.record_request(self.machine, req_bytes);
-        let (reply_tx, reply_rx) = bounded(1);
-        self.senders[to]
-            .send(Envelope { from: self.machine, request, reply: reply_tx })
-            .expect("daemon thread is alive while engines run");
-        let response = reply_rx.recv().expect("daemon always replies");
-        let resp_bytes = response_bytes(&response);
-        self.stats.record_response(to, self.machine, resp_bytes);
-        let delay = self.config.transfer_delay(req_bytes) + self.config.transfer_delay(resp_bytes);
-        if delay > Duration::ZERO {
-            std::thread::sleep(delay);
-        }
-        response
+        self.transport.request(to, request)
     }
 
     /// Sends `request` to every *other* machine and collects the responses.
@@ -185,22 +192,22 @@ impl MachineContext {
     /// Waits until every machine has reached the barrier (synchronous
     /// supersteps for the baselines; RADS never calls this in its main path).
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.transport.barrier();
     }
 
     /// Sends intermediate-result rows to `to` under `tag` (shuffle primitive).
     pub fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
-        self.exchange.send(&self.stats, self.machine, to, tag, rows);
+        self.transport.send_rows(to, tag, rows);
     }
 
     /// Drains the rows addressed to this machine under `tag`.
     pub fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>> {
-        self.exchange.take(self.machine, tag)
+        self.transport.take_rows(tag)
     }
 
-    /// Current traffic snapshot of the whole cluster.
+    /// Current traffic snapshot of the cluster (this process's machines).
     pub fn traffic(&self) -> TrafficSnapshot {
-        self.stats.snapshot()
+        self.transport.traffic()
     }
 }
 
@@ -215,22 +222,41 @@ pub struct RunOutcome<R> {
     pub elapsed: Duration,
 }
 
-/// The cluster simulator.
+/// The cluster runtime.
 pub struct Cluster {
     partitioned: Arc<PartitionedGraph>,
     config: NetworkConfig,
+    transport: TransportKind,
 }
 
 impl Cluster {
-    /// A cluster over an already-partitioned graph with default (zero-cost)
-    /// network accounting.
+    /// A cluster over an already-partitioned graph. The transport comes from
+    /// `RADS_TRANSPORT` (default: the in-process simulator with zero-cost
+    /// network accounting).
     pub fn new(partitioned: Arc<PartitionedGraph>) -> Self {
-        Cluster { partitioned, config: NetworkConfig::default() }
+        Cluster {
+            partitioned,
+            config: NetworkConfig::default(),
+            transport: TransportKind::from_env(),
+        }
     }
 
-    /// A cluster with an explicit network model.
+    /// A cluster with an explicit *simulated* network model. Latency and
+    /// bandwidth are features of the simulator, so this forces the
+    /// in-process transport regardless of `RADS_TRANSPORT` — a socket
+    /// transport's delays are real, not configured.
     pub fn with_network(partitioned: Arc<PartitionedGraph>, config: NetworkConfig) -> Self {
-        Cluster { partitioned, config }
+        Cluster { partitioned, config, transport: TransportKind::InProcess }
+    }
+
+    /// A cluster pinned to `transport`, ignoring `RADS_TRANSPORT`.
+    pub fn with_transport(partitioned: Arc<PartitionedGraph>, transport: TransportKind) -> Self {
+        Cluster { partitioned, config: NetworkConfig::default(), transport }
+    }
+
+    /// Which transport this cluster runs on.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport
     }
 
     /// Number of machines.
@@ -264,10 +290,22 @@ impl Cluster {
         R: Send,
         F: Fn(&MachineContext) -> R + Send + Sync,
     {
+        assert_eq!(daemons.len(), self.machines(), "one daemon per machine is required");
+        match self.transport.effective() {
+            TransportKind::InProcess => self.run_channel(daemons, engine),
+            kind => self.run_socket(kind, daemons, engine),
+        }
+    }
+
+    /// The in-process path: daemon threads behind channels.
+    fn run_channel<R, F>(&self, daemons: Vec<Arc<dyn Daemon>>, engine: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&MachineContext) -> R + Send + Sync,
+    {
         let machines = self.machines();
-        assert_eq!(daemons.len(), machines, "one daemon per machine is required");
         let stats = Arc::new(NetworkStats::new(machines));
-        let exchange = Arc::new(RowExchange::new(machines));
+        let exchange = Arc::new(crate::exchange::RowExchange::new(machines));
         let barrier = Arc::new(Barrier::new(machines));
 
         let mut daemon_channels = Vec::with_capacity(machines);
@@ -285,37 +323,48 @@ impl Cluster {
             // Daemon threads: serve requests until every sender is dropped.
             for (m, rx) in daemon_channels.into_iter().enumerate() {
                 let daemon = daemons[m].clone();
-                scope.spawn(move || {
-                    while let Ok(envelope) = rx.recv() {
-                        let response = daemon.handle(envelope.from, envelope.request);
-                        // The requester may have given up (engine finished);
-                        // ignore a closed reply channel.
-                        let _ = envelope.reply.send(response);
-                    }
-                });
+                std::thread::Builder::new()
+                    .name(format!("rads-daemon-m{m}"))
+                    .spawn_scoped(scope, move || {
+                        while let Ok(envelope) = rx.recv() {
+                            let response = daemon.handle(envelope.from, envelope.request);
+                            // The requester may have given up (engine
+                            // finished); ignore a closed reply channel.
+                            let _ = envelope.reply.send(response);
+                        }
+                    })
+                    .expect("spawn daemon thread");
             }
 
             // Engine threads.
             let mut handles = Vec::with_capacity(machines);
             for (m, daemon) in daemons.iter().enumerate() {
+                let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new(
+                    m,
+                    senders.clone(),
+                    stats.clone(),
+                    exchange.clone(),
+                    barrier.clone(),
+                    self.config,
+                ));
                 let ctx = MachineContext {
                     machine: m,
                     partitioned: self.partitioned.clone(),
-                    senders: senders.clone(),
-                    stats: stats.clone(),
-                    exchange: exchange.clone(),
-                    barrier: barrier.clone(),
-                    config: self.config,
+                    transport,
                     local_daemon: daemon.clone(),
                 };
                 let engine = &engine;
-                handles.push(scope.spawn(move || {
-                    let ctx = ctx; // move into the thread
-                    engine(&ctx)
-                }));
+                let handle = std::thread::Builder::new()
+                    .name(format!("rads-engine-m{m}"))
+                    .spawn_scoped(scope, move || {
+                        let ctx = ctx; // move into the thread
+                        engine(&ctx)
+                    })
+                    .expect("spawn engine thread");
+                handles.push(handle);
             }
             for (m, handle) in handles.into_iter().enumerate() {
-                results[m] = Some(handle.join().expect("engine thread panicked"));
+                results[m] = Some(join_engine(m, handle));
             }
             // All engines are done: drop the request senders so the daemon
             // threads observe channel closure and exit before the scope ends.
@@ -328,6 +377,124 @@ impl Cluster {
             elapsed: start.elapsed(),
         }
     }
+
+    /// The socket path: every machine is a [`SocketNode`] of this process.
+    /// All listeners are bound before any engine starts (no connect races),
+    /// and the drain is two-phase across all nodes (see
+    /// [`SocketNode::begin_shutdown`]).
+    fn run_socket<R, F>(
+        &self,
+        kind: TransportKind,
+        daemons: Vec<Arc<dyn Daemon>>,
+        engine: F,
+    ) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&MachineContext) -> R + Send + Sync,
+    {
+        let machines = self.machines();
+        let stats = Arc::new(NetworkStats::new(machines));
+
+        // Bind every listener first and collect the real addresses.
+        let scratch = (kind == TransportKind::Uds).then(scratch_socket_dir);
+        let mut listeners = Vec::with_capacity(machines);
+        let mut addrs = Vec::with_capacity(machines);
+        for m in 0..machines {
+            let requested = match (&scratch, kind) {
+                (Some(dir), _) => PeerAddr::Uds(dir.join(format!("m{m}.sock"))),
+                (None, _) => PeerAddr::Tcp("127.0.0.1:0".to_string()),
+            };
+            let listener = SocketListener::bind(&requested)
+                .unwrap_or_else(|e| panic!("machine {m}: cannot bind {requested}: {e}"));
+            addrs.push(listener.local_addr().expect("listener has an address"));
+            listeners.push(listener);
+        }
+
+        let nodes: Vec<SocketNode> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(m, listener)| {
+                SocketNode::start_with_listener(
+                    m,
+                    addrs.clone(),
+                    listener,
+                    daemons[m].clone(),
+                    stats.clone(),
+                )
+            })
+            .collect();
+
+        let start = Instant::now();
+        let mut results: Vec<Option<R>> = (0..machines).map(|_| None).collect();
+        // The engine scope is unwind-guarded: a panicking engine must not
+        // leak the nodes' acceptor/handler/reader threads (they outlive the
+        // scope) or the scratch socket directory — drain first, re-panic
+        // after.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(machines);
+                for (m, node) in nodes.iter().enumerate() {
+                    let ctx = MachineContext {
+                        machine: m,
+                        partitioned: self.partitioned.clone(),
+                        transport: node.transport(),
+                        local_daemon: daemons[m].clone(),
+                    };
+                    let engine = &engine;
+                    let handle = std::thread::Builder::new()
+                        .name(format!("rads-engine-m{m}"))
+                        .spawn_scoped(scope, move || {
+                            let ctx = ctx;
+                            engine(&ctx)
+                        })
+                        .expect("spawn engine thread");
+                    handles.push(handle);
+                }
+                for (m, handle) in handles.into_iter().enumerate() {
+                    results[m] = Some(join_engine(m, handle));
+                }
+            });
+        }));
+        let elapsed = start.elapsed();
+
+        // Two-phase drain: close every node's client connections before any
+        // node waits for its handler threads.
+        for node in &nodes {
+            node.begin_shutdown();
+        }
+        for node in nodes {
+            node.finish_shutdown();
+        }
+        if let Some(dir) = scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        if let Err(payload) = run {
+            std::panic::resume_unwind(payload);
+        }
+
+        RunOutcome {
+            results: results.into_iter().map(|r| r.expect("every engine ran")).collect(),
+            traffic: stats.snapshot(),
+            elapsed,
+        }
+    }
+}
+
+/// Joins an engine thread, tagging any panic with the machine id so a
+/// multi-machine failure names its machine instead of surfacing as a
+/// generic join error.
+fn join_engine<'scope, R>(
+    machine: usize,
+    handle: std::thread::ScopedJoinHandle<'scope, R>,
+) -> R {
+    handle.join().unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        panic!("machine {machine} engine panicked: {message}");
+    })
 }
 
 #[cfg(test)]
@@ -546,7 +713,10 @@ mod tests {
             latency_per_message: Duration::from_millis(2),
             bytes_per_second: None,
         };
+        // the latency model is a simulator feature: with_network pins the
+        // in-process transport no matter what RADS_TRANSPORT says
         let cluster = Cluster::with_network(pg, config);
+        assert_eq!(cluster.transport_kind(), TransportKind::InProcess);
         let outcome = cluster.run(|ctx| {
             if ctx.machine() == 0 {
                 for _ in 0..5 {
@@ -556,5 +726,123 @@ mod tests {
         });
         // 5 round trips x 2 messages x 2ms latency each = at least 20ms
         assert!(outcome.elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn engine_panics_are_tagged_with_the_machine_id() {
+        let cluster = small_cluster(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.run(|ctx| {
+                if ctx.machine() == 2 {
+                    panic!("engine exploded on purpose");
+                }
+            })
+        }));
+        let payload = result.expect_err("the run must propagate the panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("tagged panics carry a String payload");
+        assert!(message.contains("machine 2"), "panic message lost the machine id: {message}");
+        assert!(
+            message.contains("engine exploded on purpose"),
+            "panic message lost the original cause: {message}"
+        );
+    }
+
+    /// Runs the same engine on every transport and asserts the per-machine
+    /// results agree — the core transport-equivalence property the whole
+    /// test suite relies on when `RADS_TRANSPORT` points it at sockets.
+    fn assert_transports_agree<R, F>(machines: usize, engine: F)
+    where
+        R: Send + PartialEq + std::fmt::Debug,
+        F: Fn(&MachineContext) -> R + Send + Sync + Copy,
+    {
+        let g = ring_lattice(24, 1);
+        let partitioning = BfsPartitioner.partition(&g, machines);
+        let pg = Arc::new(PartitionedGraph::build(&g, partitioning));
+        let kinds: &[TransportKind] = if cfg!(unix) {
+            &[TransportKind::InProcess, TransportKind::Uds, TransportKind::Tcp]
+        } else {
+            &[TransportKind::InProcess, TransportKind::Tcp]
+        };
+        let mut baseline: Option<Vec<R>> = None;
+        for &kind in kinds {
+            let cluster = Cluster::with_transport(pg.clone(), kind);
+            let outcome = cluster.run(engine);
+            match &baseline {
+                None => baseline = Some(outcome.results),
+                Some(expected) => {
+                    assert_eq!(&outcome.results, expected, "transport {} deviates", kind.name())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn socket_transports_return_identical_results() {
+        assert_transports_agree(3, |ctx| {
+            // every machine fetches every foreign vertex and sums degrees
+            let mut sum = 0usize;
+            for peer in 0..ctx.machines() {
+                if peer == ctx.machine() {
+                    continue;
+                }
+                let foreign = ctx.ownership().owned_vertices(peer).to_vec();
+                match ctx.request(peer, Request::FetchVertices(foreign)) {
+                    Response::Adjacency(lists) => {
+                        sum += lists.iter().map(|(_, adj)| adj.len()).sum::<usize>()
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            sum
+        });
+    }
+
+    #[test]
+    fn socket_barrier_and_rows_match_channel_semantics() {
+        assert_transports_agree(3, |ctx| {
+            let target = (ctx.machine() + 1) % ctx.machines();
+            ctx.send_rows(target, 7, vec![vec![ctx.machine() as u32, 9]]);
+            ctx.barrier();
+            let rows = ctx.take_rows(7);
+            ctx.barrier();
+            rows
+        });
+    }
+
+    #[test]
+    fn socket_traffic_counts_real_framed_bytes() {
+        use crate::wire;
+        let g = ring_lattice(12, 0);
+        let partitioning = BfsPartitioner.partition(&g, 2);
+        let pg = Arc::new(PartitionedGraph::build(&g, partitioning));
+        let kind = if cfg!(unix) { TransportKind::Uds } else { TransportKind::Tcp };
+        let cluster = Cluster::with_transport(pg, kind);
+        let expected_response = Response::EdgeVerification(vec![true, false]);
+        let outcome = cluster.run(|ctx| {
+            if ctx.machine() == 0 {
+                // an edge query machine 1 can answer: ring edges are
+                // (v, v+1 mod 12); (v, v+3 mod 12) never exists
+                let v = ctx.ownership().owned_vertices(1)[0];
+                ctx.request(1, Request::VerifyEdges(vec![(v, (v + 1) % 12), (v, (v + 3) % 12)]))
+            } else {
+                Response::Ack
+            }
+        });
+        assert_eq!(outcome.results[0], expected_response);
+        // exactly one remote request: its frame + the response frame + the
+        // one-off handshake frame are the only bytes on the wire (frame
+        // sizes depend only on the pair count, not the vertex values)
+        let mut req_payload = Vec::new();
+        wire::encode_request(&Request::VerifyEdges(vec![(0, 1), (0, 2)]), &mut req_payload);
+        let mut resp_payload = Vec::new();
+        wire::encode_response(&expected_response, &mut resp_payload);
+        let expected_bytes = wire::frame_bytes(req_payload.len())
+            + wire::frame_bytes(resp_payload.len())
+            + wire::frame_bytes(4); // Hello
+        assert_eq!(outcome.traffic.messages, 1);
+        assert_eq!(outcome.traffic.total_bytes, expected_bytes as u64);
     }
 }

@@ -61,6 +61,18 @@ impl RowExchange {
             // the Ack response is negligible but charged for symmetry
             stats.record_response(to, from, crate::message::MESSAGE_OVERHEAD_BYTES + 1);
         }
+        self.deliver(to, tag, rows);
+    }
+
+    /// Appends `rows` to `to`'s inbox without touching the accounting — the
+    /// delivery primitive shared by both transports (the channel transport
+    /// charges modelled bytes in [`send`](RowExchange::send); the socket
+    /// transport's daemon side calls this when a real `DeliverRows` frame
+    /// arrives, the real bytes having been charged at the sender).
+    pub(crate) fn deliver(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
+        if rows.is_empty() {
+            return;
+        }
         self.inboxes[to].lock().push(Batch { tag, rows });
     }
 

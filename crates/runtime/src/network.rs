@@ -61,6 +61,10 @@ pub struct MachineTraffic {
     pub requests_served: AtomicU64,
     /// Bytes of responses sent by this machine's daemon.
     pub response_bytes_sent: AtomicU64,
+    /// Bytes of one-way control frames sent by this machine (socket
+    /// transport only: handshakes, barrier notifications, result delivery,
+    /// shutdown orders). Counted in byte totals but never in `messages`.
+    pub control_bytes_sent: AtomicU64,
 }
 
 /// Traffic counters for the whole cluster.
@@ -97,6 +101,12 @@ impl NetworkStats {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records `bytes` of a one-way control frame sent by `from` (no
+    /// response and no message-count increment).
+    pub fn record_control(&self, from: MachineId, bytes: usize) {
+        self.per_machine[from].control_bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot of the counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
         let mut snap = TrafficSnapshot {
@@ -106,9 +116,10 @@ impl NetworkStats {
         for (m, t) in self.per_machine.iter().enumerate() {
             let req = t.request_bytes_sent.load(Ordering::Relaxed);
             let resp_out = t.response_bytes_sent.load(Ordering::Relaxed);
+            let control = t.control_bytes_sent.load(Ordering::Relaxed);
             snap.messages += t.requests_sent.load(Ordering::Relaxed);
-            snap.total_bytes += req + resp_out;
-            snap.per_machine_bytes[m] = req + resp_out;
+            snap.total_bytes += req + resp_out + control;
+            snap.per_machine_bytes[m] = req + resp_out + control;
         }
         snap
     }

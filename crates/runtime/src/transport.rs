@@ -1,0 +1,1066 @@
+//! The transport abstraction and its two implementations.
+//!
+//! [`Transport`] is the seam between the engines and the cluster fabric:
+//! everything a [`crate::MachineContext`] does that crosses a machine
+//! boundary — request/response RPC, the superstep barrier, the row shuffle
+//! and traffic accounting — goes through this trait. Two implementations
+//! exist:
+//!
+//! * [`ChannelTransport`] — the original in-process simulator: crossbeam
+//!   channels between threads, *modelled* byte accounting
+//!   ([`crate::message::request_bytes`]) and an optional latency/bandwidth
+//!   model that sleeps per exchange.
+//! * [`SocketTransport`] — real length-prefixed binary frames
+//!   ([`crate::wire`]) over TCP or Unix-domain sockets, one lazily-created
+//!   connection per peer with correlation-id pipelining (several engine
+//!   workers share one connection and requests overlap), and *real* byte
+//!   accounting: the traffic counters report exactly the framed bytes put on
+//!   the wire, headers included.
+//!
+//! # Contract
+//!
+//! Implementations must uphold what the engines assume:
+//!
+//! * **`request` is blocking RPC.** It returns the daemon's response to this
+//!   request, however many requests other threads of the same machine have
+//!   in flight (the socket transport matches responses by correlation id;
+//!   the channel transport by per-call reply channels). Requests from one
+//!   machine to one peer may be answered in any order relative to other
+//!   threads' requests — engines never assume cross-thread ordering.
+//! * **`barrier` synchronizes machines, not threads.** Exactly one thread
+//!   per machine may enter it, every machine must enter it the same number
+//!   of times, and it returns only after all machines entered the same
+//!   epoch. The socket transport implements it as an all-to-all
+//!   notification (one `Barrier` frame to every peer, then wait for the
+//!   matching epoch from every peer).
+//! * **`send_rows` delivers before it returns.** After `send_rows(to, ..)`
+//!   returns, a `take_rows` on machine `to` that starts after a subsequent
+//!   barrier observes the rows (the socket transport sends a `DeliverRows`
+//!   request and waits for the acknowledgement).
+//! * **Local work is free.** Requests addressed to the sending machine are
+//!   short-cut by [`crate::MachineContext`] before the transport is
+//!   reached; self-addressed `send_rows` *do* reach the transport, and
+//!   every implementation must deliver them into its own inbox without
+//!   charging traffic (the shuffle baselines self-send routinely).
+//! * **Byte accounting.** `traffic` reports, per machine, the bytes that
+//!   machine originated (its requests + the responses its daemon served).
+//!   The channel transport charges the paper's cost model; the socket
+//!   transport charges real framed bytes, with one-way control frames
+//!   (handshake, barrier, shutdown) in the byte totals but not in the
+//!   message count — `messages` stays "number of remote requests" on both.
+//!
+//! A multi-process cluster runs one [`SocketNode`] per OS process (see the
+//! `rads-node` binary); a single-process cluster can also run every machine
+//! over sockets ([`crate::Cluster`] with [`TransportKind::Uds`] /
+//! [`TransportKind::Tcp`], e.g. via `RADS_TRANSPORT=uds`), which exercises
+//! the identical wire path with the engines as threads.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier as ThreadBarrier, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use rads_graph::VertexId;
+use rads_partition::MachineId;
+
+use crate::cluster::Daemon;
+use crate::exchange::RowExchange;
+use crate::message::{request_bytes, response_bytes, Request, Response};
+use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
+use crate::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameKind,
+};
+
+/// Environment variable selecting the cluster transport (`in-process`,
+/// `uds`, `tcp`); read by [`TransportKind::from_env`].
+pub const TRANSPORT_ENV: &str = "RADS_TRANSPORT";
+
+/// How long a lazy peer connection keeps retrying before giving up — covers
+/// worker processes of a multi-process cluster that start seconds apart.
+const CONNECT_RETRY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which transport a [`crate::Cluster`] runs its machines over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Crossbeam channels between threads (the simulator; supports the
+    /// latency/bandwidth model).
+    InProcess,
+    /// Unix-domain sockets (same-host real transport; unix only).
+    Uds,
+    /// TCP over loopback (or, for multi-process clusters, any reachable
+    /// address).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parses `in-process` / `channel`, `uds` / `unix`, `tcp`.
+    pub fn parse(raw: &str) -> Option<TransportKind> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "in-process" | "inprocess" | "channel" | "sim" => Some(TransportKind::InProcess),
+            "uds" | "unix" => Some(TransportKind::Uds),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+
+    /// The transport selected by the `RADS_TRANSPORT` environment variable
+    /// (default: in-process). Unknown values panic rather than silently
+    /// simulating a cluster the caller asked to be real.
+    pub fn from_env() -> TransportKind {
+        match std::env::var(TRANSPORT_ENV) {
+            Ok(raw) => TransportKind::parse(&raw).unwrap_or_else(|| {
+                panic!("{TRANSPORT_ENV}={raw:?} is not a transport (in-process | uds | tcp)")
+            }),
+            Err(_) => TransportKind::InProcess,
+        }
+    }
+
+    /// UDS is not available off unix; fall back to loopback TCP there.
+    pub fn effective(self) -> TransportKind {
+        if cfg!(unix) {
+            self
+        } else if self == TransportKind::Uds {
+            TransportKind::Tcp
+        } else {
+            self
+        }
+    }
+
+    /// Display name (used in logs and bench records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "in-process",
+            TransportKind::Uds => "uds",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// Everything machine-crossing a [`crate::MachineContext`] needs; see the
+/// [module docs](self) for the contract.
+pub trait Transport: Send + Sync {
+    /// This machine's id.
+    fn machine(&self) -> MachineId;
+    /// Number of machines in the cluster.
+    fn machines(&self) -> usize;
+    /// Blocking request/response RPC to the daemon of machine `to`
+    /// (`to != machine()`; local requests never reach the transport).
+    fn request(&self, to: MachineId, request: Request) -> Response;
+    /// Superstep barrier across all machines.
+    fn barrier(&self);
+    /// Delivers rows to machine `to` under `tag` (free when `to` is this
+    /// machine; empty row batches are dropped).
+    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>);
+    /// Drains the rows delivered to this machine under `tag`.
+    fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>>;
+    /// Traffic counters. On a multi-process cluster each process sees its
+    /// own machine's row; single-process clusters see every machine.
+    fn traffic(&self) -> TrafficSnapshot;
+}
+
+// ---------------------------------------------------------------------------
+// ChannelTransport — the in-process simulator
+// ---------------------------------------------------------------------------
+
+/// A request envelope travelling to an in-process daemon thread.
+pub(crate) struct Envelope {
+    pub(crate) from: MachineId,
+    pub(crate) request: Request,
+    pub(crate) reply: Sender<Response>,
+}
+
+/// The original in-process transport: requests travel over crossbeam
+/// channels to daemon threads, bytes are charged by the paper's cost model,
+/// and the optional [`NetworkConfig`] latency/bandwidth model sleeps per
+/// exchange.
+pub struct ChannelTransport {
+    machine: MachineId,
+    senders: Vec<Sender<Envelope>>,
+    stats: Arc<NetworkStats>,
+    exchange: Arc<RowExchange>,
+    barrier: Arc<ThreadBarrier>,
+    config: NetworkConfig,
+}
+
+impl ChannelTransport {
+    pub(crate) fn new(
+        machine: MachineId,
+        senders: Vec<Sender<Envelope>>,
+        stats: Arc<NetworkStats>,
+        exchange: Arc<RowExchange>,
+        barrier: Arc<ThreadBarrier>,
+        config: NetworkConfig,
+    ) -> Self {
+        ChannelTransport { machine, senders, stats, exchange, barrier, config }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    fn machines(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn request(&self, to: MachineId, request: Request) -> Response {
+        debug_assert_ne!(to, self.machine, "local requests are served inline");
+        let req_bytes = request_bytes(&request);
+        self.stats.record_request(self.machine, req_bytes);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.senders[to]
+            .send(Envelope { from: self.machine, request, reply: reply_tx })
+            .expect("daemon thread is alive while engines run");
+        let response = reply_rx.recv().expect("daemon always replies");
+        let resp_bytes = response_bytes(&response);
+        self.stats.record_response(to, self.machine, resp_bytes);
+        let delay = self.config.transfer_delay(req_bytes) + self.config.transfer_delay(resp_bytes);
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
+        response
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
+        self.exchange.send(&self.stats, self.machine, to, tag, rows);
+    }
+
+    fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>> {
+        self.exchange.take(self.machine, tag)
+    }
+
+    fn traffic(&self) -> TrafficSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// addresses, streams, listeners
+// ---------------------------------------------------------------------------
+
+/// A machine's listen address: `tcp:HOST:PORT` or `uds:PATH`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerAddr {
+    /// TCP host:port.
+    Tcp(String),
+    /// Unix-domain socket path (unix only).
+    Uds(PathBuf),
+}
+
+impl PeerAddr {
+    /// Parses `tcp:127.0.0.1:4100` or `uds:/run/rads/m0.sock`.
+    pub fn parse(raw: &str) -> Result<PeerAddr, String> {
+        if let Some(rest) = raw.strip_prefix("tcp:") {
+            if rest.is_empty() {
+                return Err(format!("empty tcp address in {raw:?}"));
+            }
+            Ok(PeerAddr::Tcp(rest.to_string()))
+        } else if let Some(rest) = raw.strip_prefix("uds:") {
+            if rest.is_empty() {
+                return Err(format!("empty socket path in {raw:?}"));
+            }
+            Ok(PeerAddr::Uds(PathBuf::from(rest)))
+        } else {
+            Err(format!("address {raw:?} must start with tcp: or uds:"))
+        }
+    }
+}
+
+impl std::fmt::Display for PeerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerAddr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+            PeerAddr::Uds(path) => write!(f, "uds:{}", path.display()),
+        }
+    }
+}
+
+/// A connected stream of either family.
+enum SocketStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl SocketStream {
+    fn connect(addr: &PeerAddr) -> io::Result<SocketStream> {
+        match addr {
+            PeerAddr::Tcp(hostport) => {
+                let stream = TcpStream::connect(hostport.as_str())?;
+                stream.set_nodelay(true).ok();
+                Ok(SocketStream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            PeerAddr::Uds(path) => Ok(SocketStream::Uds(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            PeerAddr::Uds(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            )),
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<SocketStream> {
+        Ok(match self {
+            SocketStream::Tcp(s) => SocketStream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            SocketStream::Uds(s) => SocketStream::Uds(s.try_clone()?),
+        })
+    }
+
+    fn shutdown_both(&self) {
+        match self {
+            SocketStream::Tcp(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+            #[cfg(unix)]
+            SocketStream::Uds(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+        }
+    }
+
+    fn set_blocking(&self) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.set_nonblocking(false),
+            #[cfg(unix)]
+            SocketStream::Uds(s) => s.set_nonblocking(false),
+        }
+    }
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            SocketStream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            SocketStream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            SocketStream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener of either family. Unix listeners unlink their socket
+/// file on drop.
+pub struct SocketListener {
+    inner: ListenerInner,
+}
+
+enum ListenerInner {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener, PathBuf),
+}
+
+impl SocketListener {
+    /// Binds `addr`. A stale Unix socket file at the path is removed first
+    /// (a crashed predecessor must not block a restart).
+    pub fn bind(addr: &PeerAddr) -> io::Result<SocketListener> {
+        match addr {
+            PeerAddr::Tcp(hostport) => {
+                Ok(SocketListener { inner: ListenerInner::Tcp(TcpListener::bind(hostport.as_str())?) })
+            }
+            #[cfg(unix)]
+            PeerAddr::Uds(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                if let Some(dir) = path.parent() {
+                    std::fs::create_dir_all(dir)?;
+                }
+                Ok(SocketListener {
+                    inner: ListenerInner::Uds(UnixListener::bind(path)?, path.clone()),
+                })
+            }
+            #[cfg(not(unix))]
+            PeerAddr::Uds(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// The address peers should connect to (resolves a `tcp:...:0` bind to
+    /// the actual port).
+    pub fn local_addr(&self) -> io::Result<PeerAddr> {
+        match &self.inner {
+            ListenerInner::Tcp(l) => Ok(PeerAddr::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            ListenerInner::Uds(_, path) => Ok(PeerAddr::Uds(path.clone())),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match &self.inner {
+            ListenerInner::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            ListenerInner::Uds(l, _) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> io::Result<SocketStream> {
+        match &self.inner {
+            ListenerInner::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true).ok();
+                Ok(SocketStream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            ListenerInner::Uds(l, _) => {
+                let (stream, _) = l.accept()?;
+                Ok(SocketStream::Uds(stream))
+            }
+        }
+    }
+}
+
+impl Drop for SocketListener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let ListenerInner::Uds(_, path) = &self.inner {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A fresh directory for this process's scratch Unix sockets, short enough
+/// for the ~100-byte `sun_path` limit.
+pub fn scratch_socket_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rads-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch socket dir");
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// SocketNode — one machine's socket runtime
+// ---------------------------------------------------------------------------
+
+/// A pending-response slot; the connection reader thread fills it.
+type PendingMap = Mutex<HashMap<u64, Sender<Response>>>;
+
+/// One lazily-established client connection to a peer machine. All engine
+/// threads of the machine share it: writes are serialized by the stream
+/// mutex, responses are matched back to callers by correlation id, so
+/// requests pipeline.
+struct PeerClient {
+    stream: Mutex<SocketStream>,
+    pending: Arc<PendingMap>,
+    next_correlation: AtomicU64,
+    /// Set by the reader thread on exit, *before* it drains `pending`.
+    /// A request that races past its own closed-check has necessarily
+    /// inserted its reply slot before the drain, so the drain drops the
+    /// slot and the requester's `recv` fails — either way the caller
+    /// panics promptly instead of waiting on a reply that cannot come.
+    closed: Arc<AtomicBool>,
+}
+
+/// Epoch-counted distributed barrier arrivals.
+#[derive(Default)]
+struct BarrierState {
+    arrived: StdMutex<HashMap<u64, usize>>,
+    condvar: Condvar,
+}
+
+impl BarrierState {
+    fn arrive(&self, epoch: u64) {
+        *self.arrived.lock().expect("barrier lock").entry(epoch).or_insert(0) += 1;
+        self.condvar.notify_all();
+    }
+
+    fn wait(&self, epoch: u64, expected: usize) {
+        let mut arrived = self.arrived.lock().expect("barrier lock");
+        while arrived.get(&epoch).copied().unwrap_or(0) < expected {
+            arrived = self.condvar.wait(arrived).expect("barrier wait");
+        }
+        arrived.remove(&epoch);
+    }
+}
+
+/// Result payloads collected by the coordinator (indexed by machine id) and
+/// the shutdown flag a worker waits on.
+#[derive(Default)]
+struct ControlState {
+    results: StdMutex<HashMap<MachineId, Vec<u8>>>,
+    shutdown: AtomicBool,
+    condvar: Condvar,
+}
+
+/// Everything the node's threads share.
+struct NodeShared {
+    machine: MachineId,
+    addrs: Vec<PeerAddr>,
+    daemon: Arc<dyn Daemon>,
+    stats: Arc<NetworkStats>,
+    exchange: RowExchange,
+    peers: Vec<Mutex<Option<Arc<PeerClient>>>>,
+    barrier: BarrierState,
+    barrier_epoch: AtomicU64,
+    control: ControlState,
+    /// Connection handler + reader threads, joined at shutdown.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NodeShared {
+    fn machines(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The client connection to `to`, establishing it (with retry — the
+    /// peer process may still be starting) on first use. Panics on failure:
+    /// for requests, barriers and result delivery an unreachable peer is
+    /// fatal (see [`NodeShared::try_peer`] for the tolerant path).
+    fn peer(self: &Arc<Self>, to: MachineId) -> Arc<PeerClient> {
+        self.try_peer(to, CONNECT_RETRY_TIMEOUT).unwrap_or_else(|e| {
+            panic!(
+                "machine {}: cannot talk to machine {to} at {}: {e}",
+                self.machine, self.addrs[to]
+            )
+        })
+    }
+
+    /// Fallible [`peer`](NodeShared::peer): the shutdown broadcast uses it
+    /// so one dead worker cannot crash the coordinator's drain.
+    fn try_peer(
+        self: &Arc<Self>,
+        to: MachineId,
+        connect_timeout: Duration,
+    ) -> io::Result<Arc<PeerClient>> {
+        let mut slot = self.peers[to].lock();
+        if let Some(client) = slot.as_ref() {
+            return Ok(client.clone());
+        }
+        let stream = connect_with_retry(&self.addrs[to], connect_timeout)?;
+        // handshake: tell the peer's daemon who is calling
+        let hello = (self.machine as u32).to_le_bytes();
+        let mut write_half = stream.try_clone()?;
+        let written = write_frame(&mut write_half, FrameKind::Hello, 0, &hello)?;
+        self.stats.record_control(self.machine, written);
+        let client = Arc::new(PeerClient {
+            stream: Mutex::new(write_half),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            next_correlation: AtomicU64::new(1),
+            closed: Arc::new(AtomicBool::new(false)),
+        });
+        let pending = client.pending.clone();
+        let closed = client.closed.clone();
+        let mut read_half = stream;
+        let reader = std::thread::Builder::new()
+            .name(format!("rads-m{}-reader-to-m{to}", self.machine))
+            .spawn(move || {
+                loop {
+                    match read_frame(&mut read_half) {
+                        Ok(Some(frame)) if frame.kind == FrameKind::Response => {
+                            let Ok(response) = decode_response(&frame.payload) else { break };
+                            if let Some(tx) = pending.lock().remove(&frame.correlation) {
+                                let _ = tx.send(response);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                // Mark the connection dead *before* draining, then drop the
+                // reply senders: requesters blocked on this connection error
+                // out, and later requests see `closed` (see PeerClient).
+                closed.store(true, Ordering::SeqCst);
+                pending.lock().clear();
+            })
+            .expect("spawn reader thread");
+        self.threads.lock().push(reader);
+        *slot = Some(client.clone());
+        Ok(client)
+    }
+
+    /// Sends a one-way control frame to `to`, charging real bytes.
+    fn send_control(self: &Arc<Self>, to: MachineId, kind: FrameKind, correlation: u64, payload: &[u8]) {
+        let client = self.peer(to);
+        let written = {
+            let mut stream = client.stream.lock();
+            write_frame(&mut *stream, kind, correlation, payload)
+        }
+        .unwrap_or_else(|e| {
+            panic!("machine {}: control frame to machine {to} failed: {e}", self.machine)
+        });
+        self.stats.record_control(self.machine, written);
+    }
+}
+
+fn connect_with_retry(addr: &PeerAddr, timeout: Duration) -> io::Result<SocketStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match SocketStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One machine of a socket cluster: the listener + acceptor ("the daemon
+/// side"), the lazily-connected peer clients ("the engine side") and the
+/// control state (distributed barrier, result collection, shutdown).
+///
+/// Lifecycle: [`SocketNode::start`] (or
+/// [`SocketNode::start_with_listener`]) → hand [`SocketNode::transport`] to
+/// a [`crate::MachineContext`] and run the engine → when *every* machine's
+/// engine is done, [`SocketNode::begin_shutdown`] on all nodes (closes this
+/// node's client connections, so peers' handler threads drain), then
+/// [`SocketNode::finish_shutdown`] on all nodes (joins every thread). The
+/// two-phase split is what makes the drain deadlock-free: no node waits for
+/// its handlers before every node has closed the connections those handlers
+/// serve.
+pub struct SocketNode {
+    shared: Arc<NodeShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl SocketNode {
+    /// Binds `addrs[machine]` and starts the node.
+    pub fn start(
+        machine: MachineId,
+        addrs: Vec<PeerAddr>,
+        daemon: Arc<dyn Daemon>,
+        stats: Arc<NetworkStats>,
+    ) -> io::Result<SocketNode> {
+        let listener = SocketListener::bind(&addrs[machine])?;
+        Ok(Self::start_with_listener(machine, addrs, listener, daemon, stats))
+    }
+
+    /// Starts the node on an already-bound listener (used by the
+    /// single-process socket cluster, which binds every listener before any
+    /// engine starts, and by TCP callers that bound port 0 to discover the
+    /// port).
+    pub fn start_with_listener(
+        machine: MachineId,
+        addrs: Vec<PeerAddr>,
+        listener: SocketListener,
+        daemon: Arc<dyn Daemon>,
+        stats: Arc<NetworkStats>,
+    ) -> SocketNode {
+        let machines = addrs.len();
+        let shared = Arc::new(NodeShared {
+            machine,
+            addrs,
+            daemon,
+            stats,
+            exchange: RowExchange::new(machines),
+            peers: (0..machines).map(|_| Mutex::new(None)).collect(),
+            barrier: BarrierState::default(),
+            barrier_epoch: AtomicU64::new(0),
+            control: ControlState::default(),
+            threads: Mutex::new(Vec::new()),
+        });
+        listener.set_nonblocking(true).expect("nonblocking listener");
+        let acceptor_shared = shared.clone();
+        let acceptor = std::thread::Builder::new()
+            .name(format!("rads-m{machine}-acceptor"))
+            .spawn(move || accept_loop(acceptor_shared, listener))
+            .expect("spawn acceptor thread");
+        SocketNode { shared, acceptor: Some(acceptor) }
+    }
+
+    /// This machine's id.
+    pub fn machine(&self) -> MachineId {
+        self.shared.machine
+    }
+
+    /// The transport handle engines use (cheap to clone via `Arc`).
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        Arc::new(SocketTransport { shared: self.shared.clone() })
+    }
+
+    /// Worker → coordinator: delivers this machine's opaque result payload
+    /// (the frame's correlation id carries the machine id).
+    pub fn send_result(&self, coordinator: MachineId, payload: &[u8]) {
+        self.shared.send_control(
+            coordinator,
+            FrameKind::Result,
+            self.shared.machine as u64,
+            payload,
+        );
+    }
+
+    /// Coordinator: blocks until every machine in `from` delivered a result
+    /// frame, or `timeout` elapsed. Returns the payloads in `from` order.
+    pub fn wait_results(
+        &self,
+        from: &[MachineId],
+        timeout: Duration,
+    ) -> Result<Vec<Vec<u8>>, Vec<MachineId>> {
+        let deadline = Instant::now() + timeout;
+        let mut results = self.shared.control.results.lock().expect("results lock");
+        loop {
+            if from.iter().all(|m| results.contains_key(m)) {
+                return Ok(from.iter().map(|m| results.remove(m).expect("present")).collect());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(from.iter().copied().filter(|m| !results.contains_key(m)).collect());
+            }
+            let (guard, _) = self
+                .shared
+                .control
+                .condvar
+                .wait_timeout(results, deadline - now)
+                .expect("results wait");
+            results = guard;
+        }
+    }
+
+    /// Coordinator: orders every other machine to shut down. Unreachable
+    /// peers are skipped — a worker that already died needs no shutdown
+    /// order, and panicking here would abort the drain that kills the
+    /// remaining workers and removes the scratch sockets.
+    pub fn broadcast_shutdown(&self) {
+        const SHUTDOWN_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+        for to in 0..self.shared.machines() {
+            if to == self.shared.machine {
+                continue;
+            }
+            let Ok(client) = self.shared.try_peer(to, SHUTDOWN_CONNECT_TIMEOUT) else { continue };
+            let written = {
+                let mut stream = client.stream.lock();
+                write_frame(&mut *stream, FrameKind::Shutdown, 0, &[])
+            };
+            if let Ok(written) = written {
+                self.shared.stats.record_control(self.shared.machine, written);
+            }
+        }
+    }
+
+    /// Worker: blocks until a shutdown frame arrives (or `timeout`).
+    /// Returns whether the shutdown order was received.
+    pub fn wait_shutdown(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut results = self.shared.control.results.lock().expect("results lock");
+        while !self.shared.control.shutdown.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .control
+                .condvar
+                .wait_timeout(results, deadline - now)
+                .expect("shutdown wait");
+            results = guard;
+        }
+        true
+    }
+
+    /// Drain phase A: stop accepting, close this node's client connections
+    /// (peers' handler threads see end-of-stream and exit). Must run on
+    /// every node of the cluster before any node runs
+    /// [`finish_shutdown`](SocketNode::finish_shutdown).
+    pub fn begin_shutdown(&self) {
+        self.shared.control.shutdown.store(true, Ordering::SeqCst);
+        for slot in &self.shared.peers {
+            if let Some(client) = slot.lock().take() {
+                client.stream.lock().shutdown_both();
+            }
+        }
+    }
+
+    /// Drain phase B: joins the acceptor, handler and reader threads.
+    pub fn finish_shutdown(mut self) {
+        self.begin_shutdown(); // idempotent; covers single-node callers
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        loop {
+            let Some(handle) = self.shared.threads.lock().pop() else { break };
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Polling accept loop: nonblocking accepts with a short sleep, so shutdown
+/// needs no self-connection nudge and cannot race the listener teardown.
+fn accept_loop(shared: Arc<NodeShared>, listener: SocketListener) {
+    loop {
+        if shared.control.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                stream.set_blocking().expect("accepted stream blocking");
+                let handler_shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("rads-m{}-daemon-conn", shared.machine))
+                    .spawn(move || serve_connection(handler_shared, stream))
+                    .expect("spawn connection handler");
+                shared.threads.lock().push(handle);
+            }
+            // WouldBlock is the idle poll; anything else (ECONNABORTED from
+            // a peer dying mid-handshake, EINTR, transient resource
+            // pressure) must not kill the acceptor — a node that stops
+            // accepting strands every later peer in its connect retry.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Serves one inbound connection: requests are answered through the
+/// [`Daemon`] (with `DeliverRows` intercepted into the local row exchange),
+/// control frames update the node state. Returns when the peer closes or a
+/// protocol violation occurs.
+fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
+    let mut peer: Option<MachineId> = None;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        match frame.kind {
+            FrameKind::Hello => {
+                if frame.payload.len() != 4 {
+                    return;
+                }
+                let id = u32::from_le_bytes(frame.payload[..4].try_into().expect("4 bytes"));
+                if (id as usize) < shared.machines() {
+                    peer = Some(id as usize);
+                } else {
+                    return;
+                }
+            }
+            FrameKind::Request => {
+                // the handshake names the requester; a request before it is
+                // a protocol violation
+                let Some(from) = peer else { return };
+                let Ok(request) = decode_request(&frame.payload) else { return };
+                let response = match request {
+                    Request::DeliverRows { tag, rows } => {
+                        shared.exchange.deliver(shared.machine, tag, rows);
+                        Response::Ack
+                    }
+                    other => shared.daemon.handle(from, other),
+                };
+                let mut payload = Vec::new();
+                encode_response(&response, &mut payload);
+                match write_frame(&mut stream, FrameKind::Response, frame.correlation, &payload) {
+                    Ok(written) => shared.stats.record_response(shared.machine, from, written),
+                    Err(e) => {
+                        // The requester will only see "connection closed";
+                        // name the real cause (e.g. a response over the
+                        // frame cap) on this side before dropping the link.
+                        eprintln!(
+                            "machine {}: dropping connection from machine {from}: \
+                             response of {} payload bytes failed to send: {e}",
+                            shared.machine,
+                            payload.len(),
+                        );
+                        return;
+                    }
+                }
+            }
+            FrameKind::Barrier => {
+                if frame.payload.len() != 8 {
+                    return;
+                }
+                let epoch = u64::from_le_bytes(frame.payload[..8].try_into().expect("8 bytes"));
+                shared.barrier.arrive(epoch);
+            }
+            FrameKind::Result => {
+                let from = frame.correlation as MachineId;
+                shared
+                    .control
+                    .results
+                    .lock()
+                    .expect("results lock")
+                    .insert(from, frame.payload);
+                shared.control.condvar.notify_all();
+            }
+            FrameKind::Shutdown => {
+                // flip the flag under the condvar's mutex: a waiter between
+                // its flag check and its wait must not miss the notification
+                let _waiters = shared.control.results.lock().expect("results lock");
+                shared.control.shutdown.store(true, Ordering::SeqCst);
+                shared.control.condvar.notify_all();
+            }
+            FrameKind::Response => return, // responses never arrive on inbound connections
+        }
+    }
+}
+
+/// The real-socket [`Transport`]: frames over TCP or Unix-domain sockets,
+/// pipelined per peer connection, counting exactly the bytes on the wire.
+pub struct SocketTransport {
+    shared: Arc<NodeShared>,
+}
+
+impl Transport for SocketTransport {
+    fn machine(&self) -> MachineId {
+        self.shared.machine
+    }
+
+    fn machines(&self) -> usize {
+        self.shared.machines()
+    }
+
+    fn request(&self, to: MachineId, request: Request) -> Response {
+        debug_assert_ne!(to, self.shared.machine, "local requests are served inline");
+        let client = self.shared.peer(to);
+        let correlation = client.next_correlation.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        client.pending.lock().insert(correlation, reply_tx);
+        if client.closed.load(Ordering::SeqCst) {
+            // reader already exited: a write could still land in the socket
+            // buffer without error and nobody would ever deliver the reply
+            client.pending.lock().remove(&correlation);
+            panic!(
+                "machine {}: connection to machine {to} is closed (daemon died or sent a \
+                 malformed response)",
+                self.shared.machine
+            );
+        }
+        let mut payload = Vec::new();
+        encode_request(&request, &mut payload);
+        let written = {
+            let mut stream = client.stream.lock();
+            write_frame(&mut *stream, FrameKind::Request, correlation, &payload)
+        }
+        .unwrap_or_else(|e| {
+            panic!("machine {}: request to machine {to} failed: {e}", self.shared.machine)
+        });
+        self.shared.stats.record_request(self.shared.machine, written);
+        reply_rx.recv().unwrap_or_else(|_| {
+            panic!(
+                "machine {}: connection to machine {to} closed before the response arrived",
+                self.shared.machine
+            )
+        })
+    }
+
+    fn barrier(&self) {
+        let machines = self.shared.machines();
+        if machines <= 1 {
+            return;
+        }
+        let epoch = self.shared.barrier_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        // payload is the epoch alone: arrivals are counted, not attributed
+        // (every machine enters each epoch exactly once, and frames of one
+        // peer arrive in connection order)
+        let payload = epoch.to_le_bytes();
+        for to in 0..machines {
+            if to != self.shared.machine {
+                self.shared.send_control(to, FrameKind::Barrier, 0, &payload);
+            }
+        }
+        self.shared.barrier.wait(epoch, machines - 1);
+    }
+
+    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
+        if rows.is_empty() {
+            return;
+        }
+        if to == self.shared.machine {
+            self.shared.exchange.deliver(to, tag, rows);
+            return;
+        }
+        match self.request(to, Request::DeliverRows { tag, rows }) {
+            Response::Ack => {}
+            other => panic!(
+                "machine {}: DeliverRows to machine {to} answered {other:?}",
+                self.shared.machine
+            ),
+        }
+    }
+
+    fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>> {
+        self.shared.exchange.take(self.shared.machine, tag)
+    }
+
+    fn traffic(&self) -> TrafficSnapshot {
+        self.shared.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_parses_and_falls_back() {
+        assert_eq!(TransportKind::parse("uds"), Some(TransportKind::Uds));
+        assert_eq!(TransportKind::parse("UNIX"), Some(TransportKind::Uds));
+        assert_eq!(TransportKind::parse("tcp"), Some(TransportKind::Tcp));
+        assert_eq!(TransportKind::parse("in-process"), Some(TransportKind::InProcess));
+        assert_eq!(TransportKind::parse("channel"), Some(TransportKind::InProcess));
+        assert_eq!(TransportKind::parse("smoke-signals"), None);
+        if cfg!(unix) {
+            assert_eq!(TransportKind::Uds.effective(), TransportKind::Uds);
+        } else {
+            assert_eq!(TransportKind::Uds.effective(), TransportKind::Tcp);
+        }
+    }
+
+    #[test]
+    fn peer_addr_parses_both_schemes() {
+        assert_eq!(
+            PeerAddr::parse("tcp:127.0.0.1:4100"),
+            Ok(PeerAddr::Tcp("127.0.0.1:4100".into()))
+        );
+        assert_eq!(PeerAddr::parse("uds:/tmp/m0.sock"), Ok(PeerAddr::Uds("/tmp/m0.sock".into())));
+        assert!(PeerAddr::parse("carrier-pigeon:coop").is_err());
+        assert!(PeerAddr::parse("tcp:").is_err());
+        assert!(PeerAddr::parse("uds:").is_err());
+        assert_eq!(PeerAddr::parse("uds:/tmp/x.sock").unwrap().to_string(), "uds:/tmp/x.sock");
+    }
+
+    #[test]
+    fn barrier_state_counts_per_epoch() {
+        let b = BarrierState::default();
+        b.arrive(1);
+        b.arrive(1);
+        b.arrive(2);
+        b.wait(1, 2); // returns immediately: both arrivals are in
+        // epoch 1 was consumed, epoch 2 still has its single arrival
+        assert_eq!(b.arrived.lock().unwrap().get(&2), Some(&1));
+        assert!(b.arrived.lock().unwrap().get(&1).is_none());
+    }
+
+    #[test]
+    fn scratch_socket_dirs_are_unique() {
+        let a = scratch_socket_dir();
+        let b = scratch_socket_dir();
+        assert_ne!(a, b);
+        assert!(a.exists() && b.exists());
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+}

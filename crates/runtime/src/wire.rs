@@ -1,0 +1,622 @@
+//! The wire format of the socket transport.
+//!
+//! Every message travelling between two machines is one **frame**:
+//!
+//! ```text
+//! [ body length: u32 LE ][ kind: u8 ][ correlation id: u64 LE ][ payload ]
+//! '------ 4 bytes ------''-------- body (length bytes) -----------------'
+//! ```
+//!
+//! The body length covers the kind byte, the correlation id and the payload
+//! (`payload.len() + 9`), so a reader always knows exactly how many bytes to
+//! consume before the next frame starts. A length prefix larger than
+//! [`MAX_FRAME_BYTES`] is rejected before anything is allocated — a corrupt
+//! or hostile peer cannot make the daemon reserve gigabytes.
+//!
+//! [`FrameKind::Request`] and [`FrameKind::Response`] frames carry an encoded
+//! [`Request`] / [`Response`] payload; the correlation id pairs a response
+//! with the request it answers, which is what lets several engine workers
+//! pipeline requests over one connection. The remaining kinds are one-way
+//! control frames of the node runtime (connection handshake, distributed
+//! barrier, result delivery and shutdown) whose payloads are defined by
+//! [`crate::transport`].
+//!
+//! The codec is hand-rolled little-endian binary — no serde, no reflection —
+//! because the message set is small, closed and hot: `fetchV` responses
+//! dominate the byte volume and encode as raw `u32` runs. Every decoder is
+//! total: any byte sequence either decodes to a value or returns a
+//! [`WireError`]; malformed input never panics. `decode_request` /
+//! `decode_response` additionally reject trailing bytes so a frame is either
+//! exactly one message or an error.
+
+use std::io::{self, Read, Write};
+
+use rads_graph::VertexId;
+
+use crate::message::{Request, Response};
+
+/// Hard ceiling on the frame body length (64 MiB). Larger frames are
+/// rejected at the length prefix, before allocation.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Bytes of the fixed frame header: length prefix + kind + correlation id.
+pub const FRAME_HEADER_BYTES: usize = 4 + 1 + 8;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Connection handshake: the payload is the connecting machine's id
+    /// (`u32`). Sent once, as the first frame of every client connection.
+    Hello,
+    /// An encoded [`Request`]; the receiver must answer with a `Response`
+    /// frame carrying the same correlation id.
+    Request,
+    /// An encoded [`Response`] to the request with the same correlation id.
+    Response,
+    /// Distributed-barrier notification: payload is the `epoch: u64` alone
+    /// (arrivals are counted, not attributed). One-way; no response frame.
+    Barrier,
+    /// A worker process delivering its engine result to the coordinator.
+    /// Payload layout is owned by the caller (opaque here). One-way.
+    Result,
+    /// Coordinator-to-worker shutdown order. Empty payload. One-way.
+    Shutdown,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Request => 2,
+            FrameKind::Response => 3,
+            FrameKind::Barrier => 4,
+            FrameKind::Result => 5,
+            FrameKind::Shutdown => 6,
+        }
+    }
+
+    fn from_u8(raw: u8) -> Result<Self, WireError> {
+        Ok(match raw {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Request,
+            3 => FrameKind::Response,
+            4 => FrameKind::Barrier,
+            5 => FrameKind::Result,
+            6 => FrameKind::Shutdown,
+            other => return Err(WireError::UnknownKind(other)),
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// Pairs responses with requests; 0 for control frames.
+    pub correlation: u64,
+    /// The encoded message.
+    pub payload: Vec<u8>,
+}
+
+/// Why a byte sequence is not a valid message or frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the message did.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// The declared body length.
+        declared: usize,
+    },
+    /// The length prefix is smaller than the fixed body header.
+    FrameTooSmall {
+        /// The declared body length.
+        declared: usize,
+    },
+    /// The frame kind byte is not a known [`FrameKind`].
+    UnknownKind(u8),
+    /// A message tag byte is not a known variant.
+    UnknownTag(u8),
+    /// The message decoded but bytes were left over.
+    TrailingBytes {
+        /// How many undecoded bytes followed the message.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::FrameTooLarge { declared } => {
+                write!(f, "frame body of {declared} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+            WireError::FrameTooSmall { declared } => {
+                write!(f, "frame body of {declared} bytes is smaller than the 9-byte body header")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive encode / decode
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked reader over an encoded message.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A length field that is about to size an allocation of `elem_bytes`
+    /// per element: checked against the bytes actually remaining, so a lying
+    /// length cannot over-allocate.
+    fn checked_len(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_bytes) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn vertices(&mut self) -> Result<Vec<VertexId>, WireError> {
+        let n = self.checked_len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes { extra: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+fn put_vertices(buf: &mut Vec<u8>, vs: &[VertexId]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u32(buf, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// message codec
+// ---------------------------------------------------------------------------
+
+const REQ_VERIFY_EDGES: u8 = 0;
+const REQ_FETCH_VERTICES: u8 = 1;
+const REQ_CHECK_REGION_GROUPS: u8 = 2;
+const REQ_SHARE_REGION_GROUP: u8 = 3;
+const REQ_DELIVER_ROWS: u8 = 4;
+
+const RESP_EDGE_VERIFICATION: u8 = 0;
+const RESP_ADJACENCY: u8 = 1;
+const RESP_REGION_GROUP_COUNT: u8 = 2;
+const RESP_REGION_GROUP: u8 = 3;
+const RESP_ACK: u8 = 4;
+const RESP_UNSUPPORTED: u8 = 5;
+
+/// Appends the encoding of `request` to `buf`.
+pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
+    match request {
+        Request::VerifyEdges(pairs) => {
+            buf.push(REQ_VERIFY_EDGES);
+            put_u32(buf, pairs.len() as u32);
+            for &(u, v) in pairs {
+                put_u32(buf, u);
+                put_u32(buf, v);
+            }
+        }
+        Request::FetchVertices(vs) => {
+            buf.push(REQ_FETCH_VERTICES);
+            put_vertices(buf, vs);
+        }
+        Request::CheckRegionGroups => buf.push(REQ_CHECK_REGION_GROUPS),
+        Request::ShareRegionGroup => buf.push(REQ_SHARE_REGION_GROUP),
+        Request::DeliverRows { tag, rows } => {
+            buf.push(REQ_DELIVER_ROWS);
+            put_u32(buf, *tag);
+            put_u32(buf, rows.len() as u32);
+            for row in rows {
+                put_vertices(buf, row);
+            }
+        }
+    }
+}
+
+/// Decodes exactly one [`Request`] from `buf` (trailing bytes are an error).
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(buf);
+    let request = match r.u8()? {
+        REQ_VERIFY_EDGES => {
+            let n = r.checked_len(8)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((r.u32()?, r.u32()?));
+            }
+            Request::VerifyEdges(pairs)
+        }
+        REQ_FETCH_VERTICES => Request::FetchVertices(r.vertices()?),
+        REQ_CHECK_REGION_GROUPS => Request::CheckRegionGroups,
+        REQ_SHARE_REGION_GROUP => Request::ShareRegionGroup,
+        REQ_DELIVER_ROWS => {
+            let tag = r.u32()?;
+            let n = r.checked_len(4)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(r.vertices()?);
+            }
+            Request::DeliverRows { tag, rows }
+        }
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(request)
+}
+
+/// Appends the encoding of `response` to `buf`.
+pub fn encode_response(response: &Response, buf: &mut Vec<u8>) {
+    match response {
+        Response::EdgeVerification(bits) => {
+            buf.push(RESP_EDGE_VERIFICATION);
+            put_u32(buf, bits.len() as u32);
+            buf.extend(bits.iter().map(|&b| b as u8));
+        }
+        Response::Adjacency(lists) => {
+            buf.push(RESP_ADJACENCY);
+            put_u32(buf, lists.len() as u32);
+            for (v, adj) in lists {
+                put_u32(buf, *v);
+                put_vertices(buf, adj);
+            }
+        }
+        Response::RegionGroupCount(n) => {
+            buf.push(RESP_REGION_GROUP_COUNT);
+            put_u64(buf, *n as u64);
+        }
+        Response::RegionGroup(group) => {
+            buf.push(RESP_REGION_GROUP);
+            match group {
+                Some(vs) => {
+                    buf.push(1);
+                    put_vertices(buf, vs);
+                }
+                None => buf.push(0),
+            }
+        }
+        Response::Ack => buf.push(RESP_ACK),
+        Response::Unsupported => buf.push(RESP_UNSUPPORTED),
+    }
+}
+
+/// Decodes exactly one [`Response`] from `buf` (trailing bytes are an error).
+pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(buf);
+    let response = match r.u8()? {
+        RESP_EDGE_VERIFICATION => {
+            let n = r.checked_len(1)?;
+            let bytes = r.take(n)?;
+            Response::EdgeVerification(bytes.iter().map(|&b| b != 0).collect())
+        }
+        RESP_ADJACENCY => {
+            let n = r.checked_len(8)?;
+            let mut lists = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = r.u32()?;
+                lists.push((v, r.vertices()?));
+            }
+            Response::Adjacency(lists)
+        }
+        RESP_REGION_GROUP_COUNT => Response::RegionGroupCount(r.u64()? as usize),
+        RESP_REGION_GROUP => match r.u8()? {
+            0 => Response::RegionGroup(None),
+            _ => Response::RegionGroup(Some(r.vertices()?)),
+        },
+        RESP_ACK => Response::Ack,
+        RESP_UNSUPPORTED => Response::Unsupported,
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(response)
+}
+
+// ---------------------------------------------------------------------------
+// framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame and returns the total bytes put on the wire (header +
+/// payload) — the number the socket transport's traffic accounting records.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    correlation: u64,
+    payload: &[u8],
+) -> io::Result<usize> {
+    let body_len = payload.len() + 9;
+    if body_len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { declared: body_len }.into());
+    }
+    // One contiguous write: with TCP_NODELAY, a separate 13-byte header
+    // write would flush as its own segment, doubling the packet count of
+    // the small-frame-dominated fetchV/verifyE traffic.
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+    frame.push(kind.to_u8());
+    frame.extend_from_slice(&correlation.to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// The bytes [`write_frame`] puts on the wire for a payload of `payload_len`
+/// bytes.
+pub fn frame_bytes(payload_len: usize) -> usize {
+    FRAME_HEADER_BYTES + payload_len
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (the peer
+/// closed between frames); end-of-stream in the middle of a frame, an
+/// oversized or undersized length prefix and an unknown kind byte are
+/// errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no next frame" from "frame cut short": EOF on the very
+    // first byte is a clean close, EOF after it is truncation.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let body_len = u32::from_le_bytes(len_buf) as usize;
+    if body_len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { declared: body_len }.into());
+    }
+    if body_len < 9 {
+        return Err(WireError::FrameTooSmall { declared: body_len }.into());
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated.into()
+        } else {
+            e
+        }
+    })?;
+    let kind = FrameKind::from_u8(body[0]).map_err(io::Error::from)?;
+    let correlation = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+    Ok(Some(Frame { kind, correlation, payload: body[9..].to_vec() }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: Request) {
+        let mut buf = Vec::new();
+        encode_request(&request, &mut buf);
+        assert_eq!(decode_request(&buf), Ok(request));
+    }
+
+    fn roundtrip_response(response: Response) {
+        let mut buf = Vec::new();
+        encode_response(&response, &mut buf);
+        assert_eq!(decode_response(&buf), Ok(response));
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        roundtrip_request(Request::VerifyEdges(vec![]));
+        roundtrip_request(Request::VerifyEdges(vec![(0, 1), (u32::MAX, 7)]));
+        roundtrip_request(Request::FetchVertices(vec![]));
+        roundtrip_request(Request::FetchVertices(vec![3, 1, 4, 1, 5]));
+        roundtrip_request(Request::CheckRegionGroups);
+        roundtrip_request(Request::ShareRegionGroup);
+        roundtrip_request(Request::DeliverRows { tag: 0, rows: vec![] });
+        roundtrip_request(Request::DeliverRows {
+            tag: u32::MAX,
+            rows: vec![vec![], vec![1], vec![2, 3, 4]],
+        });
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        roundtrip_response(Response::EdgeVerification(vec![]));
+        roundtrip_response(Response::EdgeVerification(vec![true, false, true]));
+        roundtrip_response(Response::Adjacency(vec![]));
+        // empty adjacency lists are a legal and common payload (a vertex the
+        // partition does not own)
+        roundtrip_response(Response::Adjacency(vec![(9, vec![]), (2, vec![0, 5])]));
+        roundtrip_response(Response::RegionGroupCount(0));
+        roundtrip_response(Response::RegionGroupCount(usize::MAX));
+        roundtrip_response(Response::RegionGroup(None));
+        roundtrip_response(Response::RegionGroup(Some(vec![])));
+        roundtrip_response(Response::RegionGroup(Some(vec![8, 8, 8])));
+        roundtrip_response(Response::Ack);
+        roundtrip_response(Response::Unsupported);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_byte_stream() {
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        encode_request(&Request::FetchVertices(vec![1, 2, 3]), &mut payload);
+        let n1 = write_frame(&mut wire, FrameKind::Request, 42, &payload).unwrap();
+        let n2 = write_frame(&mut wire, FrameKind::Shutdown, 0, &[]).unwrap();
+        assert_eq!(n1, frame_bytes(payload.len()));
+        assert_eq!(n2, frame_bytes(0));
+        assert_eq!(wire.len(), n1 + n2);
+
+        let mut cursor = wire.as_slice();
+        let f1 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(f1.kind, FrameKind::Request);
+        assert_eq!(f1.correlation, 42);
+        assert_eq!(decode_request(&f1.payload), Ok(Request::FetchVertices(vec![1, 2, 3])));
+        let f2 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!((f2.kind, f2.correlation, f2.payload.len()), (FrameKind::Shutdown, 0, 0));
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after the last frame");
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        // 2 of the 4 length-prefix bytes
+        let mut cursor: &[u8] = &[7, 0];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Response, 1, &[9, 9, 9, 9]).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut cursor = wire.as_slice();
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 32]);
+        let mut cursor = wire.as_slice();
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn undersized_length_prefix_is_rejected() {
+        // body length 3 cannot even hold the kind byte + correlation id
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&3u32.to_le_bytes());
+        wire.extend_from_slice(&[2, 0, 0]);
+        let mut cursor = wire.as_slice();
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("smaller"), "{err}");
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Hello, 0, &[1, 2, 3]).unwrap();
+        wire[4] = 250; // corrupt the kind byte
+        let mut cursor = wire.as_slice();
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("unknown frame kind"), "{err}");
+    }
+
+    #[test]
+    fn unknown_message_tags_are_rejected() {
+        assert_eq!(decode_request(&[200]), Err(WireError::UnknownTag(200)));
+        assert_eq!(decode_response(&[200]), Err(WireError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn empty_and_truncated_messages_are_rejected() {
+        assert_eq!(decode_request(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_response(&[]), Err(WireError::Truncated));
+        // FetchVertices claiming 5 vertices but carrying 1
+        let mut buf = Vec::new();
+        encode_request(&Request::FetchVertices(vec![1]), &mut buf);
+        buf[1..5].copy_from_slice(&5u32.to_le_bytes());
+        assert_eq!(decode_request(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn lying_length_fields_cannot_over_allocate() {
+        // a 9-byte message claiming 2^32-1 adjacency entries must fail fast
+        let mut buf = vec![RESP_ADJACENCY];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0; 4]);
+        assert_eq!(decode_response(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_request(&Request::CheckRegionGroups, &mut buf);
+        buf.push(0);
+        assert_eq!(decode_request(&buf), Err(WireError::TrailingBytes { extra: 1 }));
+        let mut buf = Vec::new();
+        encode_response(&Response::Ack, &mut buf);
+        buf.extend_from_slice(&[1, 2]);
+        assert_eq!(decode_response(&buf), Err(WireError::TrailingBytes { extra: 2 }));
+    }
+
+    #[test]
+    fn oversized_write_is_rejected() {
+        let payload = vec![0u8; MAX_FRAME_BYTES - 8];
+        let err = write_frame(&mut Vec::new(), FrameKind::Result, 0, &payload).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn bool_encoding_is_one_byte_per_edge() {
+        let mut buf = Vec::new();
+        encode_response(&Response::EdgeVerification(vec![true; 10]), &mut buf);
+        assert_eq!(buf.len(), 1 + 4 + 10);
+    }
+}

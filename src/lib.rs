@@ -31,7 +31,8 @@
 pub use rads_graph as graph;
 /// Partitioning substrate: k-way partitioners, border vertices, ownership.
 pub use rads_partition as partition;
-/// The in-process distributed runtime simulator.
+/// The cluster runtime: in-process simulator and real TCP/UDS sockets
+/// behind one `Transport` surface.
 pub use rads_runtime as runtime;
 /// Single-machine subgraph enumeration (SM-E and ground truth).
 pub use rads_single as single;
@@ -57,7 +58,7 @@ pub mod prelude {
         Partitioner, Partitioning,
     };
     pub use rads_plan::{best_plan, ExecutionPlan, PlannerConfig};
-    pub use rads_runtime::{Cluster, NetworkConfig};
+    pub use rads_runtime::{Cluster, NetworkConfig, TransportKind};
     pub use rads_single::{collect_embeddings, count_embeddings};
 }
 

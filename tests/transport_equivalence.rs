@@ -1,0 +1,68 @@
+//! Transport conformance at the full-system level: `run_rads` (and a
+//! shuffle-based baseline, which exercises barriers and the row exchange)
+//! must produce identical results whether the cluster fabric is the
+//! in-process channel simulator, Unix-domain sockets or loopback TCP.
+//!
+//! The per-transport plumbing differs completely — crossbeam channels vs
+//! length-prefixed frames, `std::sync::Barrier` vs all-to-all barrier
+//! frames, modelled vs real byte accounting — so count equality here means
+//! the wire codec, request pipelining, the distributed barrier and the
+//! shutdown drain are all correct under the engine's real traffic.
+
+use std::sync::Arc;
+
+use rads::prelude::*;
+use rads_graph::queries;
+use rads_partition::PartitionedGraph;
+use rads_runtime::Cluster;
+
+fn transports() -> &'static [TransportKind] {
+    if cfg!(unix) {
+        &[TransportKind::InProcess, TransportKind::Uds, TransportKind::Tcp]
+    } else {
+        &[TransportKind::InProcess, TransportKind::Tcp]
+    }
+}
+
+#[test]
+fn rads_counts_are_transport_invariant() {
+    for (kind_name, scale) in [(DatasetKind::Dblp, 0.08), (DatasetKind::LiveJournal, 0.04)] {
+        let dataset = generate(kind_name, Scale(scale), 11);
+        let partitioning = LabelPropagationPartitioner::default().partition(&dataset.graph, 4);
+        let pg = Arc::new(PartitionedGraph::build(&dataset.graph, partitioning));
+        for query in ["q1", "q4", "q5"] {
+            let pattern = queries::query_by_name(query).expect("known query");
+            let expected = count_embeddings(&dataset.graph, &pattern);
+            for &transport in transports() {
+                let cluster = Cluster::with_transport(pg.clone(), transport);
+                let outcome = run_rads(&cluster, &pattern, &RadsConfig::default());
+                assert_eq!(
+                    outcome.total_embeddings,
+                    expected,
+                    "{} / {query} over {:?} deviates from ground truth",
+                    dataset.profile.name,
+                    transport,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shuffle_baseline_is_transport_invariant() {
+    // PSgL shuffles rows through barriers every superstep — the heaviest
+    // user of the exchange + barrier path the socket transport reimplements.
+    let dataset = generate(DatasetKind::Dblp, Scale(0.06), 3);
+    let partitioning = LabelPropagationPartitioner::default().partition(&dataset.graph, 3);
+    let pg = Arc::new(PartitionedGraph::build(&dataset.graph, partitioning));
+    let pattern = queries::query_by_name("q1").expect("known query");
+    let expected = count_embeddings(&dataset.graph, &pattern);
+    for &transport in transports() {
+        let cluster = Cluster::with_transport(pg.clone(), transport);
+        let outcome = run_psgl(&cluster, &pattern);
+        assert_eq!(
+            outcome.total_embeddings, expected,
+            "PSgL over {transport:?} deviates from ground truth"
+        );
+    }
+}
