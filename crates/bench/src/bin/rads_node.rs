@@ -37,6 +37,7 @@ use std::time::Duration;
 use rads_bench::procs::{
     dataset_by_name, run_coordinator, run_worker, ClusterSpec, ClusterSummary,
 };
+use rads_core::RoundDriver;
 use rads_datasets::DatasetKind;
 use rads_runtime::{PeerAddr, TransportKind};
 
@@ -46,9 +47,11 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  rads-node run --machines N --query Q [--transport uds|tcp] [--dataset D]\n\
          \x20          [--scale S] [--seed K] [--workers W] [--budget BYTES]\n\
+         \x20          [--driver serial|async] [--fetch-chunk V] [--no-cache]\n\
          \x20          [--timeout-secs T] [--json]\n\
          \x20 rads-node worker --machine M --machines N --addrs A0,A1,.. --dataset D\n\
          \x20          --scale S --seed K --query Q [--workers W] [--budget BYTES]\n\
+         \x20          [--driver serial|async] [--fetch-chunk V] [--no-cache]\n\
          \x20          [--timeout-secs T]"
     );
     std::process::exit(2);
@@ -62,18 +65,26 @@ fn fail(message: &str) -> ! {
 struct Flags {
     values: Vec<(String, String)>,
     json: bool,
+    no_cache: bool,
 }
 
 impl Flags {
-    /// Parses `--flag value` pairs (plus the bare `--json` switch).
+    /// Parses `--flag value` pairs (plus the bare `--json` / `--no-cache`
+    /// switches).
     fn parse(args: &[String]) -> Flags {
         let mut values = Vec::new();
         let mut json = false;
+        let mut no_cache = false;
         let mut i = 0;
         while i < args.len() {
             let flag = &args[i];
             if flag == "--json" {
                 json = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--no-cache" {
+                no_cache = true;
                 i += 1;
                 continue;
             }
@@ -91,7 +102,7 @@ impl Flags {
             values.push((name.to_string(), value.clone()));
             i += 2;
         }
-        Flags { values, json }
+        Flags { values, json, no_cache }
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -131,6 +142,19 @@ fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
         query: flags.get("query").unwrap_or_else(|| fail("--query is required")).to_string(),
         workers: flags.parsed("workers").unwrap_or_else(rads_exec::workers_from_env),
         budget,
+        driver: flags
+            .get("driver")
+            .map(|raw| {
+                RoundDriver::parse(raw)
+                    .unwrap_or_else(|| fail(&format!("--driver must be serial or async, got {raw:?}")))
+            })
+            .unwrap_or_else(RoundDriver::from_env),
+        fetch_chunk: flags.parsed("fetch-chunk").inspect(|&chunk: &usize| {
+            if chunk == 0 {
+                fail("--fetch-chunk must be at least 1");
+            }
+        }),
+        cache: !flags.no_cache,
     }
 }
 
@@ -164,7 +188,7 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("cannot locate this executable: {e}")));
             if !flags.json {
                 println!(
-                    "cluster: {} machines over {} | dataset {} scale {} seed {} | query {} | workers {}",
+                    "cluster: {} machines over {} | dataset {} scale {} seed {} | query {} | workers {} | driver {}",
                     spec.machines,
                     kind.name(),
                     spec.dataset.name(),
@@ -172,6 +196,7 @@ fn main() {
                     spec.seed,
                     spec.query,
                     spec.workers,
+                    spec.driver.name(),
                 );
             }
             match run_coordinator(&spec, kind, &node_binary, timeout) {

@@ -10,7 +10,11 @@
 //! the binary serializes to `BENCH_results.json` so the performance
 //! trajectory of the repository is machine-readable; [`parallel_speedup`]
 //! measures the intra-machine worker pool (wall-clock speedup of
-//! `workers = n` over `workers = 1` on a latency-bearing simulated network).
+//! `workers = n` over `workers = 1` on a latency-bearing simulated network)
+//! and [`overlap_speedup`] compares the serial round driver against the
+//! async one (same network, identical counts asserted per query; the
+//! `overlap` rows in `BENCH_results.json` carry its UDS-cluster counterpart
+//! from [`procs::overlap_sockets`] too).
 
 pub mod json;
 pub mod procs;
@@ -20,7 +24,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rads_baselines::{run_crystal, run_psgl, run_seed, run_twintwig, CliqueIndex};
-use rads_core::{run_rads, RadsConfig};
+use rads_core::{run_rads, RadsConfig, RoundDriver};
 use rads_datasets::{generate, Dataset, DatasetKind, Scale};
 use rads_graph::{queries, Graph, Pattern};
 use rads_partition::{LabelPropagationPartitioner, PartitionedGraph, Partitioner};
@@ -175,6 +179,73 @@ pub fn parallel_speedup(
                 bytes_shipped: outcome.traffic.total_bytes,
                 peak_tracked_bytes: outcome.peak_tracked_bytes(),
                 budget_bytes: budget_bytes as u64,
+            });
+        }
+    }
+    records
+}
+
+/// The `overlap` experiment's simulated leg: wall-clock of the async
+/// scatter/harvest round driver against the serial oracle on a
+/// latency-bearing network. The serial driver pays the full round trip for
+/// every fetchV chunk in sequence; the async driver scatters all chunks of
+/// a round before harvesting, so their latency windows overlap — on a
+/// network with per-message latency the gap is structural, not a tuning
+/// artifact. Each driver runs `reps` times and the fastest run is recorded
+/// (minimum, not mean: scheduling noise only ever adds time). Panics if the
+/// drivers disagree on any embedding count — the determinism contract of
+/// `RadsConfig::round_driver`.
+///
+/// Returns a `RADS-serial` / `RADS-async` record pair per query.
+pub fn overlap_speedup(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    network: NetworkConfig,
+    query_names: &[&str],
+    reps: u32,
+) -> Vec<BenchRecord> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster_with_network(&dataset.graph, machines, network);
+    let mut records = Vec::new();
+    for &qname in query_names {
+        let pattern = queries::query_by_name(qname).expect("known query");
+        let mut expected = None;
+        for driver in [RoundDriver::Serial, RoundDriver::Async] {
+            let config = RadsConfig::with_round_driver(driver);
+            let mut best: Option<rads_core::RadsOutcome> = None;
+            for _ in 0..reps.max(1) {
+                let outcome = run_rads(&cluster, &pattern, &config);
+                if best.as_ref().is_none_or(|b| outcome.elapsed < b.elapsed) {
+                    best = Some(outcome);
+                }
+            }
+            let outcome = best.expect("reps >= 1");
+            match expected {
+                None => expected = Some(outcome.total_embeddings),
+                Some(e) => assert_eq!(
+                    e, outcome.total_embeddings,
+                    "{qname}: the async driver changed the embedding count"
+                ),
+            }
+            let elapsed_ms = outcome.elapsed.as_secs_f64() * 1000.0;
+            records.push(BenchRecord {
+                experiment: "overlap".to_string(),
+                dataset: dataset.profile.name.clone(),
+                query: qname.to_string(),
+                system: match driver {
+                    RoundDriver::Serial => "RADS-serial".to_string(),
+                    RoundDriver::Async => "RADS-async".to_string(),
+                },
+                machines,
+                workers: config.workers,
+                embeddings: outcome.total_embeddings,
+                elapsed_ms,
+                embeddings_per_sec: embeddings_per_sec(outcome.total_embeddings, elapsed_ms),
+                bytes_shipped: outcome.traffic.total_bytes,
+                peak_tracked_bytes: outcome.peak_tracked_bytes(),
+                budget_bytes: 0,
             });
         }
     }

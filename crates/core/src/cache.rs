@@ -202,6 +202,15 @@ impl ForeignVertexCache {
         self.link_front(vertex);
     }
 
+    /// Bulk [`insert`](Self::insert) of a harvested `fetchV` response: the
+    /// lists land in response order, so the harvest order of the async
+    /// driver (its deterministic issue order) is also the LRU recency order.
+    pub fn insert_all(&mut self, lists: Vec<(VertexId, Vec<VertexId>)>) {
+        for (vertex, adjacency) in lists {
+            self.insert(vertex, adjacency);
+        }
+    }
+
     /// Looks up the adjacency list of `vertex`, recording hit/miss statistics
     /// and refreshing its recency on a hit.
     pub fn get(&mut self, vertex: VertexId) -> Option<&[VertexId]> {

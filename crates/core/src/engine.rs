@@ -19,15 +19,52 @@
 //! counters (cache hits/misses, `fetchV`/`verifyE` request counts) may vary
 //! with `workers > 1`, because which worker's cache already holds a foreign
 //! vertex depends on which worker processed the earlier group.
+//!
+//! # Round drivers: scatter / harvest
+//!
+//! The communication of each round runs under one of two [`RoundDriver`]s,
+//! selected by [`EngineConfig::driver`] (`RADS_ROUND_DRIVER=serial|async`
+//! for the env-driven default):
+//!
+//! * [`RoundDriver::Serial`] issues every `fetchV` / `verifyE` request with
+//!   a blocking round-trip, exactly the paper's sequential loop — the
+//!   differential-testing oracle.
+//! * [`RoundDriver::Async`] (the default) splits each round's communication
+//!   into a *scatter* phase — every per-owner request chunk is issued
+//!   immediately via the transport's split-phase RPC, so their round-trips
+//!   overlap on the wire — and a *harvest* phase that redeems the pending
+//!   responses **in issue order**. On top of that, while the pool expands
+//!   one region group, the round-0 `fetchV` chunks of the *next* queued
+//!   group are already in flight (a bounded [`rads_exec::InflightWindow`]
+//!   of pending completions, budget-aware via
+//!   [`MemoryGovernor::prefetch_quota`]); the harvested adjacency warms the
+//!   worker's foreign-vertex cache before that group starts expanding.
+//!   Prefetching is *latency-adaptive*: the demand-fetch path feeds its
+//!   observed first-response wait into
+//!   [`EngineStats::fetch_wait_micros`], and on a fabric that answers
+//!   faster than the engine could stall (nothing to hide) the prefetcher
+//!   stops scattering rather than burn CPU duplicating the next group's
+//!   round-0 computation.
+//!
+//! **Determinism contract under reordering.** Requests are scattered in a
+//! deterministic order (owners ascending, chunks in sorted-vertex order)
+//! and harvested in that same issue order, and the transport guarantees
+//! each pending handle resolves to *its own* request's response no matter
+//! how the network interleaves or reorders the replies (the fault-injection
+//! suite pins this with adversarial completion orders). Embedding counts,
+//! collected embeddings and every schedule-independent statistic are
+//! therefore bit-identical between the two drivers; prefetching only warms
+//! caches, so — as with `workers > 1` — only the communication-volume
+//! counters may differ.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-use rads_exec::{scoped_workers, ExecConfig};
+use rads_exec::{scoped_workers, ExecConfig, InflightWindow};
 use rads_graph::{Pattern, SymmetryBreaking, VertexId};
 use rads_graph::types::EdgeKey;
 use rads_partition::LocalPartition;
 use rads_plan::ExecutionPlan;
-use rads_runtime::{MachineContext, Request, Response};
+use rads_runtime::{MachineContext, PendingResponse, Request, Response};
 
 use crate::cache::ForeignVertexCache;
 use crate::daemon::GroupQueue;
@@ -35,9 +72,58 @@ use crate::evi::EdgeVerificationIndex;
 use crate::expand::{AdjacencyOracle, Expander, ExtensionBuffer, UnitExpansion};
 use crate::governor::MemoryGovernor;
 use crate::memory::{MemoryBudget, SpaceEstimator};
-use crate::region::{find_region_groups, GroupingStrategy};
+use crate::region::{find_region_groups, foreign_members, GroupingStrategy};
 use crate::sme::run_sme;
 use crate::trie::{EmbeddingTrie, NodeId};
+
+/// Environment variable selecting the [`RoundDriver`]
+/// (`RADS_ROUND_DRIVER=serial|async`); consulted by
+/// [`RoundDriver::from_env`] and therefore by `RadsConfig::default()`.
+pub const ROUND_DRIVER_ENV: &str = "RADS_ROUND_DRIVER";
+
+/// How a round's `fetchV` / `verifyE` communication is driven; see the
+/// [module docs](self#round-drivers-scatter--harvest).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoundDriver {
+    /// Blocking round-trip per request — the paper's sequential loop, kept
+    /// as the differential-testing oracle.
+    Serial,
+    /// Scatter all per-owner chunks concurrently, harvest in issue order,
+    /// and prefetch the next region group's round-0 fetches.
+    #[default]
+    Async,
+}
+
+impl RoundDriver {
+    /// Parses a driver name (the accepted `RADS_ROUND_DRIVER` values).
+    pub fn parse(name: &str) -> Option<RoundDriver> {
+        match name {
+            "serial" => Some(RoundDriver::Serial),
+            "async" => Some(RoundDriver::Async),
+            _ => None,
+        }
+    }
+
+    /// The driver's name as accepted by [`parse`](Self::parse).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoundDriver::Serial => "serial",
+            RoundDriver::Async => "async",
+        }
+    }
+
+    /// Reads [`ROUND_DRIVER_ENV`], defaulting to [`RoundDriver::Async`].
+    /// An unknown value panics (a typo silently running the wrong driver
+    /// would defeat the differential matrix).
+    pub fn from_env() -> RoundDriver {
+        match std::env::var(ROUND_DRIVER_ENV) {
+            Ok(value) => RoundDriver::parse(&value).unwrap_or_else(|| {
+                panic!("{ROUND_DRIVER_ENV}={value:?}: expected \"serial\" or \"async\"")
+            }),
+            Err(_) => RoundDriver::default(),
+        }
+    }
+}
 
 /// Per-machine engine configuration (the knobs of `RadsConfig` that the
 /// engine itself needs).
@@ -67,6 +153,16 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Start candidates per SM-E work unit (the stealing granularity).
     pub steal_granularity: usize,
+    /// How the rounds' communication is driven (see the
+    /// [module docs](self#round-drivers-scatter--harvest)).
+    pub driver: RoundDriver,
+    /// Vertices per `fetchV` request ([`DEFAULT_FETCH_CHUNK_VERTICES`]).
+    /// Smaller chunks split a round's foreign set into more frames — the
+    /// `overlap` benchmark lowers this on the real-socket leg so a round
+    /// spans as many round trips as it would on a network whose latency
+    /// dwarfs a same-host socket's. Chunking never changes results, only
+    /// how the same request sequence is framed.
+    pub fetch_chunk_vertices: usize,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +178,8 @@ impl Default for EngineConfig {
             seed: 0x5AD5,
             workers: 1,
             steal_granularity: rads_exec::DEFAULT_STEAL_GRANULARITY,
+            driver: RoundDriver::default(),
+            fetch_chunk_vertices: DEFAULT_FETCH_CHUNK_VERTICES,
         }
     }
 }
@@ -139,6 +237,12 @@ pub struct EngineStats {
     pub estimated_bytes_per_candidate: u64,
     /// Number of `fetchV` requests sent.
     pub fetch_requests: u64,
+    /// EWMA (µs) of how long the async driver waited for the *first*
+    /// `fetchV` response after scattering a round's chunks — the engine's
+    /// own estimate of how much link latency there is to hide (everything
+    /// after the first response overlaps). Zero until an async round has
+    /// fetched something; merged across workers by `max`.
+    pub fetch_wait_micros: u64,
     /// Number of `verifyE` requests sent.
     pub verify_requests: u64,
     /// Distinct undetermined edges put into the EVI.
@@ -198,6 +302,7 @@ impl MachineOutput {
         s.estimated_bytes_per_candidate =
             s.estimated_bytes_per_candidate.max(w.estimated_bytes_per_candidate);
         s.fetch_requests += w.fetch_requests;
+        s.fetch_wait_micros = s.fetch_wait_micros.max(w.fetch_wait_micros);
         s.verify_requests += w.verify_requests;
         s.undetermined_edges += w.undetermined_edges;
         s.candidates_filtered += w.candidates_filtered;
@@ -264,7 +369,9 @@ fn ensure_pivot_adjacency(
     }
     stats.fetch_requests += 1;
     let owner = ctx.ownership().owner(pivot);
-    match ctx.request(owner, Request::FetchVertices(vec![pivot])) {
+    let pending = ctx.request_async(owner, Request::FetchVertices(vec![pivot]));
+    let correlation = pending.correlation();
+    match pending.wait() {
         Response::Adjacency(lists) => {
             let mut transient = None;
             for (v, mut adj) in lists {
@@ -282,8 +389,28 @@ fn ensure_pivot_adjacency(
             }
             transient
         }
-        other => panic!("unexpected fetchV response: {other:?}"),
+        other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
     }
+}
+
+/// A daemon answered with the wrong response variant: a routing or protocol
+/// bug. The message names both ends of the exchange and the correlation id
+/// of the pipelined connection (`n/a` on transports without correlation
+/// ids, e.g. a local short-circuited or channel-simulated request), which
+/// is what lets the mis-tagged frame be found in a wire capture.
+fn unexpected_response(
+    ctx: &MachineContext,
+    what: &str,
+    from: usize,
+    correlation: Option<u64>,
+    response: &Response,
+) -> ! {
+    let me = ctx.machine();
+    let correlation = correlation.map_or_else(|| "n/a".to_string(), |c| c.to_string());
+    panic!(
+        "machine {me}: unexpected {what} response from machine {from} \
+         (correlation {correlation}): {response:?}"
+    )
 }
 
 /// Runs the full RADS pipeline on one machine of the cluster.
@@ -376,21 +503,45 @@ fn drain_region_groups(
     let mut governor = MemoryGovernor::new(config.budget, config.enforce_budget, estimator);
 
     // ---- Phase 3: R-Meef over the local region groups ------------------------
+    // The async driver's group-level pipeline: before expanding the popped
+    // group, scatter the round-0 fetches of the *next* queued group, so its
+    // foreign adjacency streams in while this group computes. The prefetch
+    // only warms this worker's cache — if the targeted group is meanwhile
+    // stolen by another machine or re-split by the governor, the harvested
+    // entries are merely unused cache content, so counts never move.
+    let mut prefetch = GroupPrefetch::new(config);
     loop {
-        let group = group_queue.lock().pop_front();
+        let (group, upcoming) = {
+            let mut queue = group_queue.lock();
+            let group = queue.pop_front();
+            let upcoming = group.is_some().then(|| queue.front().cloned()).flatten();
+            (group, upcoming)
+        };
         let Some(group) = group else { break };
+        // complete the fetches scattered while the previous group expanded
+        prefetch.harvest_all(ctx, &mut cache);
+        if let Some(next) = upcoming {
+            prefetch.scatter(ctx, ctx.partition(), &next, &mut cache, &governor, &mut output.stats);
+        }
         process_region_group(
             ctx, pattern, plan, symmetry, &group, &mut cache, &mut expander, &mut governor,
             group_queue, config, &mut output,
         );
         output.stats.groups_processed += 1;
     }
+    // a targeted group that was stolen leaves its prefetch un-harvested
+    prefetch.harvest_all(ctx, &mut cache);
 
     // ---- Phase 4: work stealing (checkR / shareR) -----------------------------
     if config.enable_load_sharing && ctx.machines() > 1 {
         loop {
-            let counts: Vec<(usize, usize)> = ctx
-                .broadcast(Request::CheckRegionGroups)
+            // the async driver scatters the checkR poll so the peers serve
+            // it concurrently; results are identical, only pacing differs
+            let polled = match config.driver {
+                RoundDriver::Serial => ctx.broadcast(Request::CheckRegionGroups),
+                RoundDriver::Async => ctx.broadcast_scatter(Request::CheckRegionGroups),
+            };
+            let counts: Vec<(usize, usize)> = polled
                 .into_iter()
                 .filter_map(|(m, resp)| match resp {
                     Response::RegionGroupCount(n) => Some((m, n)),
@@ -500,8 +651,8 @@ fn process_region_group(
         let mut to_fetch: Vec<VertexId> = Vec::new();
         if round == 0 {
             // stolen region groups may contain candidates owned elsewhere
-            to_fetch.extend(group.iter().copied().filter(|&v| {
-                !local.owns(v) && !cache.contains(v) && !scratch_cache.contains(v)
+            to_fetch.extend(foreign_members(local, group, |v| {
+                cache.contains(v) || scratch_cache.contains(v)
             }));
         } else {
             for &leaf in &parents {
@@ -512,7 +663,15 @@ fn process_region_group(
                 }
             }
         }
-        fetch_foreign(ctx, &mut to_fetch, cache, &mut scratch_cache, &mut output.stats);
+        fetch_foreign(
+            ctx,
+            config.driver,
+            config.fetch_chunk_vertices,
+            &mut to_fetch,
+            cache,
+            &mut scratch_cache,
+            &mut output.stats,
+        );
 
         // -- expand (with governor checkpoints; the oracle is rebuilt per
         //    pivot because the byte-bounded cache may have to re-fetch)
@@ -622,7 +781,9 @@ fn process_region_group(
         output.stats.undetermined_edges += evi.len() as u64;
 
         // -- verify & filter
-        verify_and_filter(ctx, &evi, &mut trie, cache, &scratch_cache, local, &mut output.stats);
+        verify_and_filter(
+            ctx, config.driver, &evi, &mut trie, cache, &scratch_cache, local, &mut output.stats,
+        );
 
         // -- intermediate-result accounting (Tables 3–4): what an uncompressed
         //    embedding list of this round's results would cost vs the trie.
@@ -707,20 +868,134 @@ fn insert_extensions(
     }
 }
 
-/// Vertices per `fetchV` request. Per-owner batches are chunked so one
-/// response cannot grow without bound: the socket transport caps frames at
-/// 64 MiB ([`rads_runtime::wire::MAX_FRAME_BYTES`]), and an uncapped
-/// round's foreign set would cross it long before a single adjacency list
-/// does. At 4096 vertices a response stays far under the cap for any
-/// realistic degree distribution of the dataset stand-ins.
-const FETCH_CHUNK_VERTICES: usize = 4096;
+/// Default vertices per `fetchV` request
+/// ([`EngineConfig::fetch_chunk_vertices`]). Per-owner batches are chunked
+/// so one response cannot grow without bound: the socket transport caps
+/// frames at 64 MiB ([`rads_runtime::wire::MAX_FRAME_BYTES`]), and an
+/// uncapped round's foreign set would cross it long before a single
+/// adjacency list does. At 4096 vertices a response stays far under the cap
+/// for any realistic degree distribution of the dataset stand-ins.
+pub const DEFAULT_FETCH_CHUNK_VERTICES: usize = 4096;
+
+/// Upper bound on the `fetchV` chunks a [`GroupPrefetch`] keeps pending at
+/// once. Pushing past a full window completes the oldest chunk immediately
+/// ([`InflightWindow`]), bounding both the responses parked in transport
+/// buffers and the latency any single harvest can add.
+const PREFETCH_WINDOW_CHUNKS: usize = 8;
+
+/// Observed first-response wait (µs, EWMA — see
+/// [`EngineStats::fetch_wait_micros`]) below which [`GroupPrefetch`] stops
+/// scattering: a fabric that answers faster than this leaves no stall
+/// worth hiding, so prefetching would only burn the CPU the current
+/// group's expansion needs. One simulated-WAN round trip is milliseconds;
+/// a same-host socket answers in tens of µs.
+const PREFETCH_MIN_WAIT_MICROS: u64 = 500;
+
+/// The async driver's group-level pipeline stage: scatters the round-0
+/// `fetchV` chunks of an *upcoming* region group so they are in flight
+/// while the current group expands, then harvests them into the worker's
+/// persistent cache just before the targeted group is popped.
+///
+/// Inactive (every call a no-op) under the serial driver, when the
+/// persistent cache is disabled — a prefetch that cannot be retained
+/// anywhere would be pure waste — and once the observed fetch latency
+/// drops below [`PREFETCH_MIN_WAIT_MICROS`] (a fabric that fast leaves
+/// nothing to hide). The vertex count per scatter is capped by
+/// [`MemoryGovernor::prefetch_quota`]: prefetching more than the cache's
+/// free allowance would evict entries the in-flight group still needs.
+struct GroupPrefetch {
+    enabled: bool,
+    chunk: usize,
+    window: InflightWindow<PendingResponse>,
+}
+
+impl GroupPrefetch {
+    fn new(config: &EngineConfig) -> GroupPrefetch {
+        GroupPrefetch {
+            enabled: config.driver == RoundDriver::Async && config.enable_cache,
+            chunk: config.fetch_chunk_vertices.max(1),
+            window: InflightWindow::new(PREFETCH_WINDOW_CHUNKS),
+        }
+    }
+
+    /// Issues the round-0 foreign fetches of `group`, up to the governor's
+    /// budget-aware quota. A push that overflows the in-flight window
+    /// completes the oldest pending chunk into the cache right away.
+    fn scatter(
+        &mut self,
+        ctx: &MachineContext,
+        local: &LocalPartition,
+        group: &[VertexId],
+        cache: &mut ForeignVertexCache,
+        governor: &MemoryGovernor,
+        stats: &mut EngineStats,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        // Prefetching duplicates the next group's round-0 demand
+        // computation, spending local CPU to hide link latency. When the
+        // demand path's observed first-response wait says the fabric
+        // answers before the engine could stall, that duplicate work is a
+        // pure loss — skip it. No sample yet means the link speed is
+        // unknown; prefetch until proven fast.
+        if (1..PREFETCH_MIN_WAIT_MICROS).contains(&stats.fetch_wait_micros) {
+            return;
+        }
+        let quota = governor.prefetch_quota(cache.len(), cache.memory_bytes());
+        if quota == 0 {
+            return;
+        }
+        let mut to_fetch = foreign_members(local, group, |v| cache.contains(v));
+        to_fetch.sort_unstable();
+        to_fetch.dedup();
+        to_fetch.truncate(quota);
+        let mut by_owner: BTreeMap<usize, Vec<VertexId>> = BTreeMap::new();
+        for v in to_fetch {
+            by_owner.entry(ctx.ownership().owner(v)).or_default().push(v);
+        }
+        for (&owner, vertices) in &by_owner {
+            for chunk in vertices.chunks(self.chunk) {
+                stats.fetch_requests += 1;
+                let pending = ctx.request_async(owner, Request::FetchVertices(chunk.to_vec()));
+                if let Some(oldest) = self.window.push(pending) {
+                    Self::harvest_one(ctx, oldest, cache);
+                }
+            }
+        }
+    }
+
+    /// Completes every pending prefetch chunk into `cache`.
+    fn harvest_all(&mut self, ctx: &MachineContext, cache: &mut ForeignVertexCache) {
+        while let Some(pending) = self.window.pop() {
+            Self::harvest_one(ctx, pending, cache);
+        }
+    }
+
+    fn harvest_one(ctx: &MachineContext, pending: PendingResponse, cache: &mut ForeignVertexCache) {
+        let (owner, correlation) = (pending.to(), pending.correlation());
+        match pending.wait() {
+            Response::Adjacency(lists) => cache.insert_all(lists),
+            other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
+        }
+    }
+}
 
 /// Batches `fetchV` requests per owner machine (chunked, see
-/// [`FETCH_CHUNK_VERTICES`]) and inserts the returned adjacency lists into
+/// [`EngineConfig::fetch_chunk_vertices`]) and inserts the returned
+/// adjacency lists into
 /// the cache (or the per-round scratch cache when the persistent cache is
 /// disabled).
+///
+/// Owners are visited in ascending machine order and each owner's vertices
+/// in sorted order, so the request sequence is deterministic. The serial
+/// driver round-trips each chunk before issuing the next; the async driver
+/// scatters every chunk first and then harvests the responses in issue
+/// order, overlapping all the round-trips of the round on the wire.
 fn fetch_foreign(
     ctx: &MachineContext,
+    driver: RoundDriver,
+    chunk_vertices: usize,
     to_fetch: &mut Vec<VertexId>,
     cache: &mut ForeignVertexCache,
     scratch: &mut ForeignVertexCache,
@@ -731,25 +1006,60 @@ fn fetch_foreign(
     }
     to_fetch.sort_unstable();
     to_fetch.dedup();
-    let mut by_owner: HashMap<usize, Vec<VertexId>> = HashMap::new();
+    let mut by_owner: BTreeMap<usize, Vec<VertexId>> = BTreeMap::new();
     for &v in to_fetch.iter() {
         by_owner.entry(ctx.ownership().owner(v)).or_default().push(v);
     }
-    for (owner, vertices) in by_owner {
-        for chunk in vertices.chunks(FETCH_CHUNK_VERTICES) {
+    let insert = |cache: &mut ForeignVertexCache, scratch: &mut ForeignVertexCache, lists| {
+        if cache.is_enabled() {
+            cache.insert_all(lists);
+        } else {
+            scratch.insert_all(lists);
+        }
+    };
+    let mut pending: Vec<PendingResponse> = Vec::new();
+    for (&owner, vertices) in &by_owner {
+        for chunk in vertices.chunks(chunk_vertices.max(1)) {
             stats.fetch_requests += 1;
-            match ctx.request(owner, Request::FetchVertices(chunk.to_vec())) {
-                Response::Adjacency(lists) => {
-                    for (v, adj) in lists {
-                        if cache.is_enabled() {
-                            cache.insert(v, adj);
-                        } else {
-                            scratch.insert(v, adj);
-                        }
+            match driver {
+                RoundDriver::Serial => {
+                    match ctx.request(owner, Request::FetchVertices(chunk.to_vec())) {
+                        Response::Adjacency(lists) => insert(cache, scratch, lists),
+                        other => unexpected_response(ctx, "fetchV", owner, None, &other),
                     }
                 }
-                other => panic!("unexpected fetchV response: {other:?}"),
+                RoundDriver::Async => {
+                    pending.push(ctx.request_async(owner, Request::FetchVertices(chunk.to_vec())));
+                }
             }
+        }
+    }
+    // harvest in issue order: the cache's LRU recency is then independent of
+    // the order in which the network delivered the responses
+    let mut pending = pending.into_iter();
+    if let Some(p) = pending.next() {
+        // The wait for the first response approximates one link round trip
+        // (every later response overlaps with it); its EWMA is what
+        // [`GroupPrefetch::scatter`] consults to decide whether scattering
+        // a group ahead can pay for itself.
+        let started = std::time::Instant::now();
+        let (owner, correlation) = (p.to(), p.correlation());
+        let response = p.wait();
+        let waited = (started.elapsed().as_micros() as u64).max(1);
+        stats.fetch_wait_micros = match stats.fetch_wait_micros {
+            0 => waited,
+            ewma => (3 * ewma + waited) / 4,
+        };
+        match response {
+            Response::Adjacency(lists) => insert(cache, scratch, lists),
+            other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
+        }
+    }
+    for p in pending {
+        let (owner, correlation) = (p.to(), p.correlation());
+        match p.wait() {
+            Response::Adjacency(lists) => insert(cache, scratch, lists),
+            other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
         }
     }
 }
@@ -758,8 +1068,16 @@ fn fetch_foreign(
 /// cache are answered locally, the rest are batched per verifier machine into
 /// `verifyE` requests; candidates depending on a non-existent edge are removed
 /// from the trie.
+///
+/// The EVI already batches every undetermined edge of all the round's
+/// expansions into one request per verifier machine, in deterministic
+/// (sorted-edge, ascending-owner) order. The async driver additionally
+/// scatters all per-machine requests before harvesting any answer, so the
+/// verifiers work concurrently instead of one blocking round-trip at a time.
+#[allow(clippy::too_many_arguments)]
 fn verify_and_filter(
     ctx: &MachineContext,
+    driver: RoundDriver,
     evi: &EdgeVerificationIndex,
     trie: &mut EmbeddingTrie,
     cache: &ForeignVertexCache,
@@ -785,19 +1103,41 @@ fn verify_and_filter(
         }
     }
     // group the remaining edges by the owner of their lower endpoint
-    let mut by_owner: HashMap<usize, Vec<(VertexId, VertexId)>> = HashMap::new();
+    // (`remote` is in sorted-edge order, so the grouped requests are too)
+    let mut by_owner: BTreeMap<usize, Vec<(VertexId, VertexId)>> = BTreeMap::new();
     for edge in remote {
         by_owner.entry(ctx.ownership().owner(edge.lo)).or_default().push((edge.lo, edge.hi));
     }
-    for (owner, pairs) in by_owner {
+    let record = |verdicts: &mut HashMap<EdgeKey, bool>,
+                      pairs: Vec<(VertexId, VertexId)>,
+                      answers: Vec<bool>| {
+        for ((u, v), exists) in pairs.into_iter().zip(answers) {
+            verdicts.insert(EdgeKey::new(u, v), exists);
+        }
+    };
+    let mut pending: Vec<(Vec<(VertexId, VertexId)>, PendingResponse)> = Vec::new();
+    for (&owner, pairs) in &by_owner {
         stats.verify_requests += 1;
-        match ctx.request(owner, Request::VerifyEdges(pairs.clone())) {
-            Response::EdgeVerification(answers) => {
-                for ((u, v), exists) in pairs.into_iter().zip(answers) {
-                    verdicts.insert(EdgeKey::new(u, v), exists);
+        match driver {
+            RoundDriver::Serial => {
+                match ctx.request(owner, Request::VerifyEdges(pairs.clone())) {
+                    Response::EdgeVerification(answers) => {
+                        record(&mut verdicts, pairs.clone(), answers)
+                    }
+                    other => unexpected_response(ctx, "verifyE", owner, None, &other),
                 }
             }
-            other => panic!("unexpected verifyE response: {other:?}"),
+            RoundDriver::Async => {
+                let p = ctx.request_async(owner, Request::VerifyEdges(pairs.clone()));
+                pending.push((pairs.clone(), p));
+            }
+        }
+    }
+    for (pairs, p) in pending {
+        let (owner, correlation) = (p.to(), p.correlation());
+        match p.wait() {
+            Response::EdgeVerification(answers) => record(&mut verdicts, pairs, answers),
+            other => unexpected_response(ctx, "verifyE", owner, correlation, &other),
         }
     }
     stats.candidates_filtered += evi.filter_failed(trie, &verdicts) as u64;

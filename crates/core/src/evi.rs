@@ -7,8 +7,14 @@
 //! each edge is sent in a single batched `verifyE` request and, if it turns
 //! out not to exist, every candidate depending on it is filtered at once
 //! (Proposition 2).
+//!
+//! The index iterates its edges in sorted [`EdgeKey`] order. The async round
+//! driver scatters one `verifyE` request per verifier machine and harvests
+//! the responses in issue order; a deterministic edge order is what makes
+//! the per-machine request payloads — and with them the byte-level traffic
+//! accounting — reproducible across runs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rads_graph::types::EdgeKey;
 use rads_graph::VertexId;
@@ -19,7 +25,7 @@ use crate::trie::{EmbeddingTrie, NodeId};
 /// The edge verification index of one round.
 #[derive(Debug, Default, Clone)]
 pub struct EdgeVerificationIndex {
-    entries: HashMap<EdgeKey, Vec<NodeId>>,
+    entries: BTreeMap<EdgeKey, Vec<NodeId>>,
 }
 
 impl EdgeVerificationIndex {
@@ -55,20 +61,21 @@ impl EdgeVerificationIndex {
         self.entries.clear();
     }
 
-    /// Iterates over the undetermined edges.
+    /// Iterates over the undetermined edges in sorted order.
     pub fn edges(&self) -> impl Iterator<Item = &EdgeKey> {
         self.entries.keys()
     }
 
     /// Groups the undetermined edges by the machine that will verify them:
     /// the owner of one of the endpoints (preferring the lower endpoint's
-    /// owner purely for determinism). Returns, per machine, the list of edges
-    /// to put in that machine's `verifyE` request.
+    /// owner purely for determinism). Returns, per machine in ascending
+    /// machine order, the list of edges to put in that machine's `verifyE`
+    /// request — the deterministic scatter order of the async driver.
     pub fn group_by_verifier(
         &self,
         ownership: &Partitioning,
-    ) -> HashMap<MachineId, Vec<(VertexId, VertexId)>> {
-        let mut grouped: HashMap<MachineId, Vec<(VertexId, VertexId)>> = HashMap::new();
+    ) -> BTreeMap<MachineId, Vec<(VertexId, VertexId)>> {
+        let mut grouped: BTreeMap<MachineId, Vec<(VertexId, VertexId)>> = BTreeMap::new();
         for key in self.entries.keys() {
             let target = ownership.owner(key.lo);
             grouped.entry(target).or_default().push((key.lo, key.hi));

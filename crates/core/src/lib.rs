@@ -46,7 +46,10 @@ pub mod system;
 pub mod trie;
 
 pub use cache::ForeignVertexCache;
+pub use engine::{RoundDriver, ROUND_DRIVER_ENV};
 pub use governor::MemoryGovernor;
 pub use memory::{MemoryBudget, SpaceEstimator};
-pub use system::{run_rads, MachineReport, RadsConfig, RadsOutcome, RegionGroupStrategy};
+pub use system::{
+    run_rads, run_rads_wrapped, MachineReport, RadsConfig, RadsOutcome, RegionGroupStrategy,
+};
 pub use trie::{EmbeddingTrie, NodeId};

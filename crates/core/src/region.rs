@@ -37,6 +37,20 @@ pub fn proximity(adjacency: &[VertexId], group_neighborhood: &HashSet<VertexId>)
     shared as f64 / adjacency.len() as f64
 }
 
+/// The members of `group` whose adjacency is *foreign*: not owned by this
+/// machine and not already covered per `cached`. This is the round-0
+/// `fetchV` set of a region group — computed both when a group starts its
+/// first round and, by the async driver, one group ahead so the fetches are
+/// already in flight while the previous group is still expanding. Order is
+/// the group's member order; callers sort/dedup as part of batching.
+pub fn foreign_members(
+    local: &LocalPartition,
+    group: &[VertexId],
+    cached: impl Fn(VertexId) -> bool,
+) -> Vec<VertexId> {
+    group.iter().copied().filter(|&v| !local.owns(v) && !cached(v)).collect()
+}
+
 /// Splits `candidates` (start-vertex candidates owned by this machine) into
 /// region groups.
 ///

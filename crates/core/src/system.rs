@@ -21,10 +21,10 @@ use std::time::Duration;
 
 use rads_graph::{Pattern, VertexId};
 use rads_plan::{best_plan, ExecutionPlan, PlannerConfig};
-use rads_runtime::{Cluster, Daemon, TrafficSnapshot};
+use rads_runtime::{Cluster, Daemon, TrafficSnapshot, Transport};
 
 use crate::daemon::{new_group_queue, GroupQueue, RadsDaemon};
-use crate::engine::{run_machine, EngineConfig, EngineStats};
+use crate::engine::{run_machine, EngineConfig, EngineStats, RoundDriver};
 use crate::memory::MemoryBudget;
 use crate::region::GroupingStrategy;
 
@@ -92,6 +92,21 @@ pub struct RadsConfig {
     /// Smaller units spread imbalanced candidates better; larger units
     /// amortize scheduling. Ignored when `workers == 1`.
     pub steal_granularity: usize,
+    /// How each round's `fetchV` / `verifyE` communication is driven:
+    /// [`RoundDriver::Async`] (default) scatters all per-owner requests
+    /// concurrently and prefetches the next region group's fetches;
+    /// [`RoundDriver::Serial`] is the paper's blocking loop, kept as the
+    /// differential-testing oracle. Counts and collected embeddings are
+    /// bit-identical between the two (see the engine's
+    /// [module docs](crate::engine)); only communication-volume counters
+    /// may differ. `Default` reads the `RADS_ROUND_DRIVER` environment
+    /// variable (see [`crate::engine::ROUND_DRIVER_ENV`]).
+    pub round_driver: RoundDriver,
+    /// Vertices per `fetchV` request
+    /// ([`crate::engine::DEFAULT_FETCH_CHUNK_VERTICES`]). Chunking only
+    /// frames the same deterministic request sequence — results are
+    /// identical for any value ≥ 1.
+    pub fetch_chunk_vertices: usize,
 }
 
 impl Default for RadsConfig {
@@ -109,6 +124,8 @@ impl Default for RadsConfig {
             seed: 42,
             workers: rads_exec::workers_from_env(),
             steal_granularity: rads_exec::DEFAULT_STEAL_GRANULARITY,
+            round_driver: RoundDriver::from_env(),
+            fetch_chunk_vertices: crate::engine::DEFAULT_FETCH_CHUNK_VERTICES,
         }
     }
 }
@@ -118,6 +135,12 @@ impl RadsConfig {
     /// `RADS_WORKERS` environment variable).
     pub fn with_workers(workers: usize) -> Self {
         RadsConfig { workers, ..Default::default() }
+    }
+
+    /// The default configuration with an explicit round driver (ignoring the
+    /// `RADS_ROUND_DRIVER` environment variable).
+    pub fn with_round_driver(round_driver: RoundDriver) -> Self {
+        RadsConfig { round_driver, ..Default::default() }
     }
 }
 
@@ -204,6 +227,20 @@ impl RadsOutcome {
 
 /// Runs RADS for `pattern` on `cluster`.
 pub fn run_rads(cluster: &Cluster, pattern: &Pattern, config: &RadsConfig) -> RadsOutcome {
+    run_rads_wrapped(cluster, pattern, config, |_machine, transport| transport)
+}
+
+/// [`run_rads`] with a [`Transport`] wrapper interposed between every
+/// machine's engine and the fabric — the hook the fault-injection suite
+/// uses to wrap each machine in a [`rads_runtime::FaultTransport`]. `wrap`
+/// is called once per machine with its id and underlying transport; local
+/// (short-circuited) requests never reach the wrapper.
+pub fn run_rads_wrapped(
+    cluster: &Cluster,
+    pattern: &Pattern,
+    config: &RadsConfig,
+    wrap: impl Fn(usize, Arc<dyn Transport>) -> Arc<dyn Transport> + Send + Sync,
+) -> RadsOutcome {
     let plan = config
         .plan_override
         .clone()
@@ -231,13 +268,18 @@ pub fn run_rads(cluster: &Cluster, pattern: &Pattern, config: &RadsConfig) -> Ra
         seed: config.seed,
         workers: config.workers,
         steal_granularity: config.steal_granularity,
+        driver: config.round_driver,
+        fetch_chunk_vertices: config.fetch_chunk_vertices,
     };
 
     let plan_for_engines = plan.clone();
     let queues_for_engines = queues.clone();
     let outcome = cluster.run_with_daemons(daemons, move |ctx| {
+        let machine = ctx.machine();
+        let mut ctx = ctx.clone();
+        ctx.wrap_transport(|transport| wrap(machine, transport));
         run_machine(
-            ctx,
+            &ctx,
             pattern,
             &plan_for_engines,
             &engine_config,

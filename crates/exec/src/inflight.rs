@@ -1,0 +1,82 @@
+//! A bounded window of in-flight completions.
+//!
+//! The async round engine scatters split-phase requests and harvests them
+//! later; [`InflightWindow`] is the scheduling primitive that keeps the
+//! number of outstanding completions bounded. Pushing into a full window
+//! hands back the *oldest* item for the caller to complete first, so
+//! harvest order stays the deterministic issue order no matter how the
+//! underlying fabric reorders responses — the same FIFO discipline
+//! [`parallel_map`](crate::parallel_map) uses to keep results in item
+//! order.
+
+use std::collections::VecDeque;
+
+/// A FIFO of at most `capacity` outstanding items. Pushing into a full
+/// window hands back the oldest item for the caller to complete first, so
+/// harvest order stays the deterministic issue order no matter how the
+/// underlying fabric reorders responses.
+#[derive(Debug)]
+pub struct InflightWindow<T> {
+    window: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> InflightWindow<T> {
+    /// An empty window admitting at most `capacity` in-flight items
+    /// (`capacity` 0 is clamped to 1: a window that can hold nothing would
+    /// make every push return its own item and never overlap anything).
+    pub fn new(capacity: usize) -> InflightWindow<T> {
+        InflightWindow { window: VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    /// Adds `item` to the window. When the window is already full, the
+    /// *oldest* in-flight item is evicted and returned — the caller must
+    /// complete it now, preserving issue order.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted =
+            if self.window.len() == self.capacity { self.window.pop_front() } else { None };
+        self.window.push_back(item);
+        evicted
+    }
+
+    /// Removes and returns the oldest in-flight item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.window.pop_front()
+    }
+
+    /// Number of items currently in flight.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_preserves_issue_order() {
+        let mut window = InflightWindow::new(2);
+        assert_eq!(window.push(1), None);
+        assert_eq!(window.push(2), None);
+        assert_eq!(window.push(3), Some(1), "oldest item is completed first");
+        assert_eq!(window.push(4), Some(2));
+        assert_eq!(window.pop(), Some(3));
+        assert_eq!(window.pop(), Some(4));
+        assert_eq!(window.pop(), None);
+        assert!(window.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut window = InflightWindow::new(0);
+        assert_eq!(window.push('a'), None);
+        assert_eq!(window.len(), 1);
+        assert_eq!(window.push('b'), Some('a'));
+    }
+}

@@ -29,8 +29,8 @@ use rads_partition::{LocalPartition, MachineId, PartitionedGraph, Partitioning};
 use crate::message::{Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 use crate::transport::{
-    scratch_socket_dir, ChannelTransport, Envelope, PeerAddr, SocketListener, SocketNode,
-    Transport, TransportKind,
+    scratch_socket_dir, ChannelTransport, Envelope, PeerAddr, PendingResponse, SocketListener,
+    SocketNode, Transport, TransportKind,
 };
 
 /// A machine's daemon: answers requests arriving from other machines.
@@ -181,12 +181,51 @@ impl MachineContext {
         self.transport.request(to, request)
     }
 
+    /// Split-phase variant of [`request`](Self::request): sends `request` to
+    /// machine `to` immediately and returns a [`PendingResponse`] to redeem
+    /// later, letting the caller scatter many requests before harvesting any
+    /// response. A request addressed to the local machine is served inline
+    /// (already complete when the handle is returned) and stays free.
+    pub fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
+        if to == self.machine {
+            return PendingResponse::ready(to, self.local_daemon.handle(self.machine, request));
+        }
+        self.transport.request_async(to, request)
+    }
+
+    /// Replaces the transport with `wrap(transport)` — the hook the
+    /// fault-injection tests use to interpose a
+    /// [`FaultTransport`](crate::fault::FaultTransport) between the engine
+    /// and the real fabric. Local requests still bypass the wrapper (they
+    /// never were transport traffic).
+    pub fn wrap_transport<F>(&mut self, wrap: F)
+    where
+        F: FnOnce(Arc<dyn Transport>) -> Arc<dyn Transport>,
+    {
+        self.transport = wrap(self.transport.clone());
+    }
+
     /// Sends `request` to every *other* machine and collects the responses.
     pub fn broadcast(&self, request: Request) -> Vec<(MachineId, Response)> {
         (0..self.machines())
             .filter(|&m| m != self.machine)
             .map(|m| (m, self.request(m, request.clone())))
             .collect()
+    }
+
+    /// Scatter-phase [`broadcast`](Self::broadcast): sends `request` to
+    /// every other machine *before* harvesting any response, so the peers
+    /// serve concurrently and one round trip's latency covers all of them
+    /// instead of accumulating per peer. Responses are harvested in machine
+    /// order — the result is element-for-element identical to
+    /// [`broadcast`](Self::broadcast), only the pacing differs. The async
+    /// round driver polls `checkR` through this.
+    pub fn broadcast_scatter(&self, request: Request) -> Vec<(MachineId, Response)> {
+        let pending: Vec<(MachineId, PendingResponse)> = (0..self.machines())
+            .filter(|&m| m != self.machine)
+            .map(|m| (m, self.request_async(m, request.clone())))
+            .collect();
+        pending.into_iter().map(|(m, p)| (m, p.wait())).collect()
     }
 
     /// Waits until every machine has reached the barrier (synchronous

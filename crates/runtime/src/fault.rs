@@ -1,0 +1,379 @@
+//! Fault injection for the transport layer.
+//!
+//! [`FaultTransport`] wraps any [`Transport`] and perturbs the *response
+//! path* of split-phase RPC the way a congested or badly-behaved network
+//! would, without touching the requests themselves:
+//!
+//! * **delay** — every response is held for a configured duration before
+//!   its caller sees it;
+//! * **reorder** — responses complete in the *reverse* of issue order per
+//!   peer: redeeming the oldest outstanding handle first forces every
+//!   younger request to finish before it, the exact inversion of the
+//!   deterministic scatter/harvest order the async round engine uses;
+//! * **duplicate** — every response is delivered twice; the copy targets an
+//!   already-occupied slot and must be discarded, mirroring how the socket
+//!   transport's correlation map drops a duplicate correlation id.
+//!
+//! Faults are configured per peer machine ([`FaultPlan`]), so a test can
+//! make exactly one machine's link adversarial; alternatively
+//! [`FaultTransport::with_shared_pen`] funnels every peer through one pen so
+//! the inversion crosses peer boundaries — the shape that actually stresses
+//! a scatter issuing one chunk per owner. [`FaultStats`] counts what
+//! actually happened, which lets tests assert the fault really fired rather
+//! than silently passing on a path that never reordered anything.
+//!
+//! The harness deliberately perturbs *completion order and timing only* —
+//! each handle still resolves to its own request's response, as the
+//! [`Transport`] contract requires. That is the invariant the engine's
+//! harvest code depends on, and the fault tests prove embedding counts are
+//! bit-identical under any completion order the plan can produce.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use rads_graph::VertexId;
+use rads_partition::MachineId;
+
+use crate::message::{Request, Response};
+use crate::network::TrafficSnapshot;
+use crate::transport::{PendingResponse, Transport};
+
+/// What to do to responses arriving from one peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Hold every response this long before releasing it to its caller.
+    pub delay: Duration,
+    /// Complete outstanding requests newest-first instead of oldest-first.
+    pub reorder: bool,
+    /// Deliver every response twice; the duplicate must be discarded.
+    pub duplicate: bool,
+}
+
+impl FaultPlan {
+    /// A plan that perturbs nothing (the default).
+    pub fn benign() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The adversarial everything-at-once plan.
+    pub fn hostile(delay: Duration) -> FaultPlan {
+        FaultPlan { delay, reorder: true, duplicate: true }
+    }
+}
+
+/// Counters of faults that actually fired.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Responses released only after an injected delay.
+    pub delayed: AtomicU64,
+    /// Responses completed for a different ticket than the caller was
+    /// harvesting (i.e. the inversion really changed the completion order).
+    pub reordered: AtomicU64,
+    /// Duplicate response copies that were discarded.
+    pub duplicates_discarded: AtomicU64,
+}
+
+impl FaultStats {
+    /// Snapshot as plain numbers `(delayed, reordered, duplicates_discarded)`.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.delayed.load(Ordering::Relaxed),
+            self.reordered.load(Ordering::Relaxed),
+            self.duplicates_discarded.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Per-peer holding pen: outstanding inner handles (issue order) and
+/// responses already forced to completion, waiting for their caller.
+#[derive(Default)]
+struct Pen {
+    inflight: VecDeque<(u64, PendingResponse)>,
+    arrived: HashMap<u64, Response>,
+    next_ticket: u64,
+}
+
+struct FaultShared {
+    plans: Vec<FaultPlan>,
+    /// One pen per peer, or a single pen for all peers in shared-pen mode
+    /// (see [`FaultTransport::with_shared_pen`]).
+    pens: Vec<(Mutex<Pen>, Condvar)>,
+    stats: Arc<FaultStats>,
+}
+
+impl FaultShared {
+    fn pen_index(&self, to: MachineId) -> usize {
+        if self.pens.len() == 1 {
+            0
+        } else {
+            to
+        }
+    }
+}
+
+/// A [`Transport`] wrapper injecting the faults of a [`FaultPlan`] into the
+/// response path; see the [module docs](self).
+pub struct FaultTransport {
+    inner: Arc<dyn Transport>,
+    shared: Arc<FaultShared>,
+}
+
+impl FaultTransport {
+    /// Wraps `inner`, applying `plan` to responses from every peer.
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> FaultTransport {
+        let machines = inner.machines();
+        Self::with_plans(inner, vec![plan; machines])
+    }
+
+    /// Wraps `inner` with one plan per peer machine (`plans.len()` must be
+    /// the cluster size; the self entry is never consulted).
+    pub fn with_plans(inner: Arc<dyn Transport>, plans: Vec<FaultPlan>) -> FaultTransport {
+        assert_eq!(plans.len(), inner.machines(), "one fault plan per machine");
+        let pens = plans.iter().map(|_| (Mutex::new(Pen::default()), Condvar::new())).collect();
+        FaultTransport {
+            inner,
+            shared: Arc::new(FaultShared { plans, pens, stats: Arc::new(FaultStats::default()) }),
+        }
+    }
+
+    /// Wraps `inner`, applying `plan` through a single holding pen shared by
+    /// *all* peers, so completion-order inversion crosses peer boundaries: a
+    /// scatter of one chunk per owner — the async engine's common shape,
+    /// where each per-peer pen would only ever hold one request — still
+    /// completes youngest-first globally. This is the strongest reordering
+    /// the harvest can face: responses from different machines finishing in
+    /// the exact reverse of issue order.
+    pub fn with_shared_pen(inner: Arc<dyn Transport>, plan: FaultPlan) -> FaultTransport {
+        let machines = inner.machines();
+        FaultTransport {
+            inner,
+            shared: Arc::new(FaultShared {
+                plans: vec![plan; machines],
+                pens: vec![(Mutex::new(Pen::default()), Condvar::new())],
+                stats: Arc::new(FaultStats::default()),
+            }),
+        }
+    }
+
+    /// The fault counters (shared with every handle this transport issued).
+    pub fn stats(&self) -> Arc<FaultStats> {
+        self.shared.stats.clone()
+    }
+}
+
+/// Blocks until the response for `ticket` is available, forcing outstanding
+/// requests to completion in the plan's order along the way.
+fn take(shared: &FaultShared, to: MachineId, ticket: u64) -> Response {
+    let plan = shared.plans[to];
+    let (pen_lock, condvar) = &shared.pens[shared.pen_index(to)];
+    let mut pen = pen_lock.lock().expect("fault pen lock");
+    loop {
+        if let Some(response) = pen.arrived.remove(&ticket) {
+            drop(pen);
+            if plan.delay > Duration::ZERO {
+                shared.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(plan.delay);
+            }
+            return response;
+        }
+        // Not arrived yet: force one outstanding request to completion —
+        // the youngest under reorder, the oldest otherwise.
+        let next = if plan.reorder { pen.inflight.pop_back() } else { pen.inflight.pop_front() };
+        match next {
+            Some((completed, pending)) => {
+                drop(pen); // wait off-lock so siblings can make progress
+                let response = pending.wait();
+                if completed != ticket {
+                    shared.stats.reordered.fetch_add(1, Ordering::Relaxed);
+                }
+                pen = pen_lock.lock().expect("fault pen lock");
+                if plan.duplicate {
+                    // the second copy always finds the slot occupied — the
+                    // discard is what the dedup layer must get right
+                    let first = pen.arrived.insert(completed, response.clone());
+                    debug_assert!(first.is_none(), "ticket {completed} completed twice");
+                    if pen.arrived.insert(completed, response).is_some() {
+                        shared.stats.duplicates_discarded.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    pen.arrived.insert(completed, response);
+                }
+                condvar.notify_all();
+            }
+            None => {
+                // another thread popped our handle and is waiting on it
+                pen = condvar.wait(pen).expect("fault pen wait");
+            }
+        }
+    }
+}
+
+impl Transport for FaultTransport {
+    fn machine(&self) -> MachineId {
+        self.inner.machine()
+    }
+
+    fn machines(&self) -> usize {
+        self.inner.machines()
+    }
+
+    fn request(&self, to: MachineId, request: Request) -> Response {
+        self.request_async(to, request).wait()
+    }
+
+    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
+        let inner_pending = self.inner.request_async(to, request);
+        let correlation = inner_pending.correlation();
+        let ticket = {
+            let index = self.shared.pen_index(to);
+            let mut pen = self.shared.pens[index].0.lock().expect("fault pen lock");
+            let ticket = pen.next_ticket;
+            pen.next_ticket += 1;
+            pen.inflight.push_back((ticket, inner_pending));
+            ticket
+        };
+        let shared = self.shared.clone();
+        PendingResponse::deferred(to, correlation, move || take(&shared, to, ticket))
+    }
+
+    fn barrier(&self) {
+        self.inner.barrier();
+    }
+
+    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
+        self.inner.send_rows(to, tag, rows);
+    }
+
+    fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>> {
+        self.inner.take_rows(tag)
+    }
+
+    fn traffic(&self) -> TrafficSnapshot {
+        self.inner.traffic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transport whose daemon answers FetchVertices with the vertex ids
+    /// echoed back, recording the order in which requests *complete*.
+    struct EchoTransport {
+        completions: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl Transport for EchoTransport {
+        fn machine(&self) -> MachineId {
+            0
+        }
+        fn machines(&self) -> usize {
+            3
+        }
+        fn request(&self, to: MachineId, request: Request) -> Response {
+            self.request_async(to, request).wait()
+        }
+        fn request_async(&self, _to: MachineId, request: Request) -> PendingResponse {
+            let Request::FetchVertices(vs) = request else { panic!("echo only fetches") };
+            let completions = self.completions.clone();
+            PendingResponse::deferred(1, Some(vs[0] as u64), move || {
+                completions.lock().unwrap().push(vs[0] as u64);
+                Response::Adjacency(vec![(vs[0], vec![])])
+            })
+        }
+        fn barrier(&self) {}
+        fn send_rows(&self, _to: MachineId, _tag: u32, _rows: Vec<Vec<VertexId>>) {}
+        fn take_rows(&self, _tag: u32) -> Vec<Vec<VertexId>> {
+            Vec::new()
+        }
+        fn traffic(&self) -> TrafficSnapshot {
+            TrafficSnapshot::default()
+        }
+    }
+
+    fn scatter_harvest(plan: FaultPlan) -> (Vec<u64>, Vec<u64>, Arc<FaultStats>) {
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        let echo = Arc::new(EchoTransport { completions: completions.clone() });
+        let faulty = FaultTransport::new(echo, plan);
+        let stats = faulty.stats();
+        let pendings: Vec<PendingResponse> = (0..5u32)
+            .map(|i| faulty.request_async(1, Request::FetchVertices(vec![i])))
+            .collect();
+        // harvest in issue order, as the engine does
+        let harvested: Vec<u64> = pendings
+            .into_iter()
+            .map(|p| match p.wait() {
+                Response::Adjacency(lists) => lists[0].0 as u64,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let completions = completions.lock().unwrap().clone();
+        (harvested, completions, stats)
+    }
+
+    #[test]
+    fn benign_plan_completes_in_issue_order() {
+        let (harvested, completions, stats) = scatter_harvest(FaultPlan::benign());
+        assert_eq!(harvested, vec![0, 1, 2, 3, 4], "every caller got its own response");
+        assert_eq!(completions, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn reorder_inverts_completion_but_not_matching() {
+        let plan = FaultPlan { reorder: true, ..FaultPlan::default() };
+        let (harvested, completions, stats) = scatter_harvest(plan);
+        // matching is untouched: handle i still resolves to response i
+        assert_eq!(harvested, vec![0, 1, 2, 3, 4]);
+        // but the wire completed them youngest-first
+        assert_eq!(completions, vec![4, 3, 2, 1, 0]);
+        let (_, reordered, _) = stats.counts();
+        assert_eq!(reordered, 4, "all but the caller's own completion were inversions");
+    }
+
+    #[test]
+    fn shared_pen_inverts_across_peer_boundaries() {
+        // One request per peer — each per-peer pen would hold a single
+        // entry and never invert; the shared pen still reverses globally.
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        let echo = Arc::new(EchoTransport { completions: completions.clone() });
+        let plan = FaultPlan { reorder: true, ..FaultPlan::default() };
+        let faulty = FaultTransport::with_shared_pen(echo, plan);
+        let stats = faulty.stats();
+        let pendings: Vec<PendingResponse> = (0..2u32)
+            .map(|i| faulty.request_async(1 + i as usize % 2, Request::FetchVertices(vec![i])))
+            .collect();
+        let harvested: Vec<u64> = pendings
+            .into_iter()
+            .map(|p| match p.wait() {
+                Response::Adjacency(lists) => lists[0].0 as u64,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(harvested, vec![0, 1], "matching survives cross-peer inversion");
+        assert_eq!(*completions.lock().unwrap(), vec![1, 0], "completed youngest-first");
+        assert_eq!(stats.counts().1, 1);
+    }
+
+    #[test]
+    fn duplicates_are_discarded_and_counted() {
+        let plan = FaultPlan { duplicate: true, ..FaultPlan::default() };
+        let (harvested, _, stats) = scatter_harvest(plan);
+        assert_eq!(harvested, vec![0, 1, 2, 3, 4]);
+        let (_, _, discarded) = stats.counts();
+        assert_eq!(discarded, 5, "every response delivered one discarded copy");
+    }
+
+    #[test]
+    fn delays_are_applied_and_counted() {
+        let plan = FaultPlan { delay: Duration::from_millis(2), ..FaultPlan::default() };
+        let started = std::time::Instant::now();
+        let (harvested, _, stats) = scatter_harvest(plan);
+        assert_eq!(harvested, vec![0, 1, 2, 3, 4]);
+        assert!(started.elapsed() >= Duration::from_millis(10), "5 responses x 2ms");
+        let (delayed, _, _) = stats.counts();
+        assert_eq!(delayed, 5);
+    }
+}

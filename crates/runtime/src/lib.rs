@@ -53,6 +53,7 @@
 
 pub mod cluster;
 pub mod exchange;
+pub mod fault;
 pub mod message;
 pub mod network;
 pub mod transport;
@@ -60,6 +61,9 @@ pub mod wire;
 
 pub use cluster::{Cluster, Daemon, MachineContext, PartitionDaemon, RunOutcome};
 pub use exchange::RowExchange;
+pub use fault::{FaultPlan, FaultStats, FaultTransport};
 pub use message::{Request, Response};
 pub use network::{NetworkConfig, NetworkStats, TrafficSnapshot};
-pub use transport::{PeerAddr, SocketListener, SocketNode, Transport, TransportKind, TRANSPORT_ENV};
+pub use transport::{
+    PeerAddr, PendingResponse, SocketListener, SocketNode, Transport, TransportKind, TRANSPORT_ENV,
+};

@@ -27,6 +27,18 @@
 //!   the channel transport by per-call reply channels). Requests from one
 //!   machine to one peer may be answered in any order relative to other
 //!   threads' requests — engines never assume cross-thread ordering.
+//! * **`request_async` is split-phase RPC.** It puts the request on the
+//!   wire (or in the daemon's queue) before returning and hands back a
+//!   [`PendingResponse`] redeemed later with
+//!   [`wait`](PendingResponse::wait); a caller may scatter any number of
+//!   requests to any mix of peers before harvesting, and may harvest in any
+//!   order — each handle always resolves to the response of *its own*
+//!   request (never a sibling's), no matter how the peer interleaves or the
+//!   network reorders the replies. `request(to, r)` is semantically
+//!   `request_async(to, r).wait()`; the channel transport additionally
+//!   starts the simulated transfer clock at issue time, so scattered
+//!   requests overlap their modelled latency exactly like pipelined frames
+//!   overlap on a real socket.
 //! * **`barrier` synchronizes machines, not threads.** Exactly one thread
 //!   per machine may enter it, every machine must enter it the same number
 //!   of times, and it returns only after all machines entered the same
@@ -77,8 +89,8 @@ use crate::exchange::RowExchange;
 use crate::message::{request_bytes, response_bytes, Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 use crate::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    FrameKind,
+    decode_request, decode_response, encode_request, encode_response, read_message, write_frame,
+    write_message, FrameKind,
 };
 
 /// Environment variable selecting the cluster transport (`in-process`,
@@ -146,6 +158,65 @@ impl TransportKind {
     }
 }
 
+/// A response that may not have arrived yet: the handle
+/// [`Transport::request_async`] returns for a request already on the wire.
+///
+/// Redeem it with [`wait`](PendingResponse::wait). Handles are independent:
+/// dropping one without waiting is allowed (the response is discarded when
+/// it arrives), and waiting handles in any order — including the reverse of
+/// issue order — always delivers each request its own response, because the
+/// socket transport matches by correlation id and the channel transport by
+/// per-call reply channels.
+pub struct PendingResponse {
+    to: MachineId,
+    correlation: Option<u64>,
+    inner: PendingInner,
+}
+
+enum PendingInner {
+    Ready(Response),
+    Wait(Box<dyn FnOnce() -> Response + Send>),
+}
+
+impl PendingResponse {
+    /// A handle over a response that is already available (local
+    /// short-circuits and synchronous fallbacks).
+    pub fn ready(to: MachineId, response: Response) -> PendingResponse {
+        PendingResponse { to, correlation: None, inner: PendingInner::Ready(response) }
+    }
+
+    /// A handle whose response is produced by `wait` when redeemed.
+    /// `correlation` is the wire correlation id when the transport has one
+    /// (`None` on the channel simulator), surfaced purely for diagnostics.
+    pub fn deferred(
+        to: MachineId,
+        correlation: Option<u64>,
+        wait: impl FnOnce() -> Response + Send + 'static,
+    ) -> PendingResponse {
+        PendingResponse { to, correlation, inner: PendingInner::Wait(Box::new(wait)) }
+    }
+
+    /// The machine this request was addressed to.
+    pub fn to(&self) -> MachineId {
+        self.to
+    }
+
+    /// The wire correlation id of the request, when the transport assigns
+    /// one. Engine diagnostics quote it so a mis-tagged or lost response
+    /// can be traced to a frame.
+    pub fn correlation(&self) -> Option<u64> {
+        self.correlation
+    }
+
+    /// Blocks until the response arrives and returns it.
+    pub fn wait(self) -> Response {
+        match self.inner {
+            PendingInner::Ready(response) => response,
+            PendingInner::Wait(wait) => wait(),
+        }
+    }
+}
+
 /// Everything machine-crossing a [`crate::MachineContext`] needs; see the
 /// [module docs](self) for the contract.
 pub trait Transport: Send + Sync {
@@ -156,6 +227,14 @@ pub trait Transport: Send + Sync {
     /// Blocking request/response RPC to the daemon of machine `to`
     /// (`to != machine()`; local requests never reach the transport).
     fn request(&self, to: MachineId, request: Request) -> Response;
+    /// Split-phase RPC: issues the request now, returns a handle redeemed
+    /// later (see the [module docs](self)). The default implementation is
+    /// the synchronous fallback — correct for any transport, overlapping
+    /// nothing; both built-in transports override it with a genuinely
+    /// pipelined version.
+    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
+        PendingResponse::ready(to, self.request(to, request))
+    }
     /// Superstep barrier across all machines.
     fn barrier(&self);
     /// Delivers rows to machine `to` under `tag` (free when `to` is this
@@ -230,6 +309,39 @@ impl Transport for ChannelTransport {
             std::thread::sleep(delay);
         }
         response
+    }
+
+    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
+        debug_assert_ne!(to, self.machine, "local requests are served inline");
+        let req_bytes = request_bytes(&request);
+        self.stats.record_request(self.machine, req_bytes);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.senders[to]
+            .send(Envelope { from: self.machine, request, reply: reply_tx })
+            .expect("daemon thread is alive while engines run");
+        // The simulated transfer clock starts at issue time: a wait resolves
+        // at max(daemon done, issued + modelled delay), so scattered requests
+        // overlap their latency the way pipelined frames do on a real wire —
+        // while the blocking `request` above keeps the serial model (full
+        // delay after the exchange) the pre-async experiments were
+        // calibrated against.
+        let issued_at = Instant::now();
+        let stats = self.stats.clone();
+        let config = self.config;
+        let machine = self.machine;
+        PendingResponse::deferred(to, None, move || {
+            let response = reply_rx.recv().expect("daemon always replies");
+            let resp_bytes = response_bytes(&response);
+            stats.record_response(to, machine, resp_bytes);
+            let deadline = issued_at
+                + config.transfer_delay(req_bytes)
+                + config.transfer_delay(resp_bytes);
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+            response
+        })
     }
 
     fn barrier(&self) {
@@ -581,7 +693,11 @@ impl NodeShared {
             .name(format!("rads-m{}-reader-to-m{to}", self.machine))
             .spawn(move || {
                 loop {
-                    match read_frame(&mut read_half) {
+                    // read_message reassembles continuation runs, so an
+                    // adjacency response above the frame cap arrives here as
+                    // one logical frame; a duplicate correlation id (the
+                    // slot was already consumed) is dropped on the floor.
+                    match read_message(&mut read_half) {
                         Ok(Some(frame)) if frame.kind == FrameKind::Response => {
                             let Ok(response) = decode_response(&frame.payload) else { break };
                             if let Some(tx) = pending.lock().remove(&frame.correlation) {
@@ -842,7 +958,7 @@ fn accept_loop(shared: Arc<NodeShared>, listener: SocketListener) {
 fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
     let mut peer: Option<MachineId> = None;
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_message(&mut stream) {
             Ok(Some(frame)) => frame,
             Ok(None) | Err(_) => return,
         };
@@ -872,12 +988,14 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                 };
                 let mut payload = Vec::new();
                 encode_response(&response, &mut payload);
-                match write_frame(&mut stream, FrameKind::Response, frame.correlation, &payload) {
+                // write_message splits responses above the frame cap into a
+                // continuation run; `written` covers every frame of the run.
+                match write_message(&mut stream, FrameKind::Response, frame.correlation, &payload) {
                     Ok(written) => shared.stats.record_response(shared.machine, from, written),
                     Err(e) => {
                         // The requester will only see "connection closed";
-                        // name the real cause (e.g. a response over the
-                        // frame cap) on this side before dropping the link.
+                        // name the real cause on this side before dropping
+                        // the link.
                         eprintln!(
                             "machine {}: dropping connection from machine {from}: \
                              response of {} payload bytes failed to send: {e}",
@@ -913,6 +1031,7 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                 shared.control.condvar.notify_all();
             }
             FrameKind::Response => return, // responses never arrive on inbound connections
+            FrameKind::Continue => return, // read_message reassembles runs; a stray one is a bug
         }
     }
 }
@@ -933,6 +1052,10 @@ impl Transport for SocketTransport {
     }
 
     fn request(&self, to: MachineId, request: Request) -> Response {
+        self.request_async(to, request).wait()
+    }
+
+    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
         debug_assert_ne!(to, self.shared.machine, "local requests are served inline");
         let client = self.shared.peer(to);
         let correlation = client.next_correlation.fetch_add(1, Ordering::Relaxed);
@@ -952,17 +1075,23 @@ impl Transport for SocketTransport {
         encode_request(&request, &mut payload);
         let written = {
             let mut stream = client.stream.lock();
-            write_frame(&mut *stream, FrameKind::Request, correlation, &payload)
+            write_message(&mut *stream, FrameKind::Request, correlation, &payload)
         }
         .unwrap_or_else(|e| {
-            panic!("machine {}: request to machine {to} failed: {e}", self.shared.machine)
-        });
-        self.shared.stats.record_request(self.shared.machine, written);
-        reply_rx.recv().unwrap_or_else(|_| {
             panic!(
-                "machine {}: connection to machine {to} closed before the response arrived",
+                "machine {}: request to machine {to} (correlation {correlation}) failed: {e}",
                 self.shared.machine
             )
+        });
+        self.shared.stats.record_request(self.shared.machine, written);
+        let machine = self.shared.machine;
+        PendingResponse::deferred(to, Some(correlation), move || {
+            reply_rx.recv().unwrap_or_else(|_| {
+                panic!(
+                    "machine {machine}: connection to machine {to} closed before the response \
+                     to correlation {correlation} arrived"
+                )
+            })
         })
     }
 

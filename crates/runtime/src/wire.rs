@@ -28,6 +28,21 @@
 //! [`WireError`]; malformed input never panics. `decode_request` /
 //! `decode_response` additionally reject trailing bytes so a frame is either
 //! exactly one message or an error.
+//!
+//! # Multi-frame messages (continuation)
+//!
+//! A single *message* is no longer capped at one frame: a payload larger
+//! than the frame cap is written by [`write_message`] as a run of
+//! [`FrameKind::Continue`] frames — each carrying `[sequence: u32 LE]` plus
+//! a chunk of the payload, all tagged with the message's correlation id —
+//! terminated by a final frame of the real kind carrying the last chunk.
+//! [`read_message`] reassembles the run and hands back one logical
+//! [`Frame`]; a message that fits in one frame is written and read exactly
+//! as before, byte for byte. The reassembler is as strict as the rest of
+//! the codec: a continuation run must be contiguous on its connection, so a
+//! correlation id switch mid-run, an out-of-order sequence number, a stream
+//! that ends before the final frame, or an assembled message above
+//! [`MAX_MESSAGE_BYTES`] are all hard [`WireError`]s.
 
 use std::io::{self, Read, Write};
 
@@ -36,11 +51,21 @@ use rads_graph::VertexId;
 use crate::message::{Request, Response};
 
 /// Hard ceiling on the frame body length (64 MiB). Larger frames are
-/// rejected at the length prefix, before allocation.
+/// rejected at the length prefix, before allocation. Messages above this
+/// size travel as a [`FrameKind::Continue`] run (see [`write_message`]).
 pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Hard ceiling on a reassembled multi-frame message (1 GiB): the point at
+/// which [`read_message`] stops believing a continuation run is legitimate
+/// rather than a hostile or broken peer streaming chunks forever.
+pub const MAX_MESSAGE_BYTES: usize = 1024 * 1024 * 1024;
 
 /// Bytes of the fixed frame header: length prefix + kind + correlation id.
 pub const FRAME_HEADER_BYTES: usize = 4 + 1 + 8;
+
+/// Bytes of the sequence-number prefix inside a [`FrameKind::Continue`]
+/// payload.
+pub const CONTINUE_SEQ_BYTES: usize = 4;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +86,11 @@ pub enum FrameKind {
     Result,
     /// Coordinator-to-worker shutdown order. Empty payload. One-way.
     Shutdown,
+    /// One chunk of a message too large for a single frame: payload is
+    /// `[sequence: u32 LE][payload chunk]`, correlation id is the message's.
+    /// Never surfaced by [`read_message`] — runs are reassembled into the
+    /// final frame's kind.
+    Continue,
 }
 
 impl FrameKind {
@@ -72,6 +102,7 @@ impl FrameKind {
             FrameKind::Barrier => 4,
             FrameKind::Result => 5,
             FrameKind::Shutdown => 6,
+            FrameKind::Continue => 7,
         }
     }
 
@@ -83,6 +114,7 @@ impl FrameKind {
             4 => FrameKind::Barrier,
             5 => FrameKind::Result,
             6 => FrameKind::Shutdown,
+            7 => FrameKind::Continue,
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -123,6 +155,28 @@ pub enum WireError {
         /// How many undecoded bytes followed the message.
         extra: usize,
     },
+    /// A frame inside a continuation run carried a different correlation id
+    /// than the frame that started the run — runs must be contiguous on
+    /// their connection.
+    ContinuationMismatch {
+        /// Correlation id of the frame that started the run.
+        expected: u64,
+        /// Correlation id of the offending frame.
+        got: u64,
+    },
+    /// A [`FrameKind::Continue`] frame arrived with the wrong sequence
+    /// number (runs are strictly in-order, starting at 0).
+    ContinuationOutOfOrder {
+        /// The sequence number the reassembler was waiting for.
+        expected: u32,
+        /// The sequence number the frame carried.
+        got: u32,
+    },
+    /// A reassembled message grew past [`MAX_MESSAGE_BYTES`].
+    MessageTooLarge {
+        /// The configured ceiling that was exceeded.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -139,6 +193,18 @@ impl std::fmt::Display for WireError {
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the message")
+            }
+            WireError::ContinuationMismatch { expected, got } => write!(
+                f,
+                "continuation run for correlation {expected} interrupted by a frame \
+                 with correlation {got}"
+            ),
+            WireError::ContinuationOutOfOrder { expected, got } => write!(
+                f,
+                "continuation frame out of order: expected sequence {expected}, got {got}"
+            ),
+            WireError::MessageTooLarge { limit } => {
+                write!(f, "reassembled message exceeds the {limit}-byte message cap")
             }
         }
     }
@@ -449,6 +515,121 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     Ok(Some(Frame { kind, correlation, payload: body[9..].to_vec() }))
 }
 
+// ---------------------------------------------------------------------------
+// multi-frame messages
+// ---------------------------------------------------------------------------
+
+/// Writes one logical message of `kind`, splitting payloads that do not fit
+/// in a single frame into a [`FrameKind::Continue`] run (see the module
+/// docs). Returns the total bytes put on the wire over all frames — the
+/// number the socket transport's traffic accounting records. A message that
+/// fits in one frame produces byte-for-byte the same wire output as
+/// [`write_frame`].
+pub fn write_message(
+    w: &mut impl Write,
+    kind: FrameKind,
+    correlation: u64,
+    payload: &[u8],
+) -> io::Result<usize> {
+    write_message_with_cap(w, kind, correlation, payload, MAX_FRAME_BYTES)
+}
+
+/// [`write_message`] with an explicit frame cap, so tests can exercise
+/// multi-frame splits without materializing 64 MiB payloads. `frame_cap`
+/// bounds each frame's *body* length (kind + correlation + payload chunk)
+/// exactly like [`MAX_FRAME_BYTES`] bounds production frames.
+pub fn write_message_with_cap(
+    w: &mut impl Write,
+    kind: FrameKind,
+    correlation: u64,
+    payload: &[u8],
+    frame_cap: usize,
+) -> io::Result<usize> {
+    assert!(kind != FrameKind::Continue, "Continue frames are emitted here, never passed in");
+    let chunk_cap = frame_cap
+        .checked_sub(9 + CONTINUE_SEQ_BYTES)
+        .filter(|&c| c > 0)
+        .expect("frame cap must leave room for a body header, a sequence number and data");
+    if payload.len() + 9 <= frame_cap {
+        return write_frame(w, kind, correlation, payload);
+    }
+    // All chunks except the last travel as Continue frames; the final chunk
+    // rides in the frame of the real kind, which is what tells the reader
+    // the run is over.
+    let mut written = 0;
+    let mut chunks = payload.chunks(chunk_cap).enumerate().peekable();
+    while let Some((seq, chunk)) = chunks.next() {
+        if chunks.peek().is_some() {
+            let mut body = Vec::with_capacity(CONTINUE_SEQ_BYTES + chunk.len());
+            body.extend_from_slice(&(seq as u32).to_le_bytes());
+            body.extend_from_slice(chunk);
+            written += write_frame(w, FrameKind::Continue, correlation, &body)?;
+        } else {
+            written += write_frame(w, kind, correlation, chunk)?;
+        }
+    }
+    Ok(written)
+}
+
+/// Reads one logical message: a plain frame is returned as-is, a
+/// [`FrameKind::Continue`] run is reassembled into a single [`Frame`] of
+/// the terminating frame's kind. Returns `Ok(None)` on a clean end-of-stream
+/// *between* messages; a stream that ends mid-run is [`WireError::Truncated`],
+/// and a run that switches correlation id, skips a sequence number or grows
+/// past [`MAX_MESSAGE_BYTES`] is rejected with the matching [`WireError`].
+pub fn read_message(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let Some(first) = read_frame(r)? else { return Ok(None) };
+    if first.kind != FrameKind::Continue {
+        return Ok(Some(first));
+    }
+    let correlation = first.correlation;
+    let mut assembled = continuation_chunk(&first, correlation, 0)?.to_vec();
+    let mut next_seq: u32 = 1;
+    loop {
+        if assembled.len() > MAX_MESSAGE_BYTES {
+            return Err(WireError::MessageTooLarge { limit: MAX_MESSAGE_BYTES }.into());
+        }
+        let Some(frame) = read_frame(r)? else {
+            // the peer closed with the run unterminated
+            return Err(WireError::Truncated.into());
+        };
+        if frame.correlation != correlation {
+            return Err(WireError::ContinuationMismatch {
+                expected: correlation,
+                got: frame.correlation,
+            }
+            .into());
+        }
+        if frame.kind == FrameKind::Continue {
+            assembled.extend_from_slice(continuation_chunk(&frame, correlation, next_seq)?);
+            next_seq = next_seq
+                .checked_add(1)
+                .ok_or(WireError::MessageTooLarge { limit: MAX_MESSAGE_BYTES })?;
+        } else {
+            assembled.extend_from_slice(&frame.payload);
+            return Ok(Some(Frame { kind: frame.kind, correlation, payload: assembled }));
+        }
+    }
+}
+
+/// Validates one [`FrameKind::Continue`] frame of a run and returns its data
+/// chunk (the payload behind the sequence prefix).
+fn continuation_chunk(
+    frame: &Frame,
+    correlation: u64,
+    expected_seq: u32,
+) -> Result<&[u8], WireError> {
+    debug_assert_eq!(frame.correlation, correlation);
+    if frame.payload.len() < CONTINUE_SEQ_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let seq = u32::from_le_bytes(frame.payload[..CONTINUE_SEQ_BYTES].try_into().expect("4 bytes"));
+    if seq != expected_seq {
+        return Err(WireError::ContinuationOutOfOrder { expected: expected_seq, got: seq });
+    }
+    Ok(&frame.payload[CONTINUE_SEQ_BYTES..])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,5 +799,126 @@ mod tests {
         let mut buf = Vec::new();
         encode_response(&Response::EdgeVerification(vec![true; 10]), &mut buf);
         assert_eq!(buf.len(), 1 + 4 + 10);
+    }
+
+    #[test]
+    fn single_frame_messages_are_byte_identical_to_write_frame() {
+        let mut payload = Vec::new();
+        encode_request(&Request::FetchVertices(vec![1, 2, 3]), &mut payload);
+        let mut as_frame = Vec::new();
+        let mut as_message = Vec::new();
+        let n1 = write_frame(&mut as_frame, FrameKind::Request, 9, &payload).unwrap();
+        let n2 = write_message(&mut as_message, FrameKind::Request, 9, &payload).unwrap();
+        assert_eq!(as_frame, as_message);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn oversized_messages_round_trip_through_a_continuation_run() {
+        // a payload needing 3 frames under a tiny cap (chunk budget 64-9-4=51)
+        let payload: Vec<u8> = (0..=255u8).cycle().take(150).collect();
+        let mut wire = Vec::new();
+        let written =
+            write_message_with_cap(&mut wire, FrameKind::Response, 77, &payload, 64).unwrap();
+        assert_eq!(written, wire.len());
+        // the run is visible as raw frames: Continue, Continue, then Response
+        let mut cursor = wire.as_slice();
+        let kinds: Vec<FrameKind> =
+            std::iter::from_fn(|| read_frame(&mut cursor).unwrap().map(|f| f.kind)).collect();
+        assert_eq!(kinds.last(), Some(&FrameKind::Response));
+        assert!(kinds[..kinds.len() - 1].iter().all(|&k| k == FrameKind::Continue));
+        assert!(kinds.len() >= 3, "expected a multi-frame run, got {kinds:?}");
+        // and reassembles into one logical frame
+        let mut cursor = wire.as_slice();
+        let frame = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!((frame.kind, frame.correlation), (FrameKind::Response, 77));
+        assert_eq!(frame.payload, payload);
+        assert!(read_message(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_continuation_runs_are_rejected() {
+        let payload = vec![7u8; 200];
+        let mut wire = Vec::new();
+        write_message_with_cap(&mut wire, FrameKind::Response, 5, &payload, 64).unwrap();
+        // drop the terminating frame: clean EOF mid-run must not look like a
+        // clean close
+        let mut cursor = wire.as_slice();
+        let first = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(first.kind, FrameKind::Continue);
+        let mut one_frame = Vec::new();
+        write_frame(&mut one_frame, first.kind, first.correlation, &first.payload).unwrap();
+        let err = read_message(&mut one_frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn continuation_correlation_switches_are_rejected() {
+        let payload = vec![1u8; 200];
+        let mut wire = Vec::new();
+        write_message_with_cap(&mut wire, FrameKind::Response, 10, &payload, 64).unwrap();
+        // retag the terminating frame with a different correlation id
+        let mut frames = Vec::new();
+        let mut cursor = wire.as_slice();
+        while let Some(f) = read_frame(&mut cursor).unwrap() {
+            frames.push(f);
+        }
+        let mut rewired = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            let corr = if i == frames.len() - 1 { 999 } else { f.correlation };
+            write_frame(&mut rewired, f.kind, corr, &f.payload).unwrap();
+        }
+        let err = read_message(&mut rewired.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("correlation 999"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_continuation_sequences_are_rejected() {
+        let payload = vec![2u8; 300];
+        let mut wire = Vec::new();
+        write_message_with_cap(&mut wire, FrameKind::Response, 4, &payload, 64).unwrap();
+        let mut frames = Vec::new();
+        let mut cursor = wire.as_slice();
+        while let Some(f) = read_frame(&mut cursor).unwrap() {
+            frames.push(f);
+        }
+        assert!(frames.len() >= 3);
+        frames.swap(0, 1); // two Continue frames out of order
+        let mut rewired = Vec::new();
+        for f in &frames {
+            write_frame(&mut rewired, f.kind, f.correlation, &f.payload).unwrap();
+        }
+        let err = read_message(&mut rewired.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn adjacency_response_above_the_frame_cap_round_trips() {
+        // One adjacency list whose encoding alone exceeds MAX_FRAME_BYTES
+        // (> 16 Mi neighbours at 4 bytes each): the hard limit PR 5 left in
+        // place, now carried by a real continuation run.
+        let neighbours: Vec<VertexId> = (0..17_000_000u32).collect();
+        let response = Response::Adjacency(vec![(42, neighbours.clone())]);
+        let mut payload = Vec::new();
+        encode_response(&response, &mut payload);
+        assert!(payload.len() + 9 > MAX_FRAME_BYTES, "payload must exceed one frame");
+
+        let mut wire = Vec::new();
+        let written = write_message(&mut wire, FrameKind::Response, 31, &payload).unwrap();
+        assert_eq!(written, wire.len());
+        assert!(written > payload.len(), "continuation headers add real wire bytes");
+
+        let mut cursor = wire.as_slice();
+        let frame = read_message(&mut cursor).unwrap().unwrap();
+        assert!(read_message(&mut cursor).unwrap().is_none());
+        assert_eq!((frame.kind, frame.correlation), (FrameKind::Response, 31));
+        match decode_response(&frame.payload).unwrap() {
+            Response::Adjacency(lists) => {
+                assert_eq!(lists.len(), 1);
+                assert_eq!(lists[0].0, 42);
+                assert_eq!(lists[0].1, neighbours);
+            }
+            other => panic!("expected an adjacency response, got {other:?}"),
+        }
     }
 }

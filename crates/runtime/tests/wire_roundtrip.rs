@@ -6,10 +6,18 @@
 use proptest::prelude::*;
 
 use rads_runtime::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Frame, FrameKind, MAX_FRAME_BYTES,
+    decode_request, decode_response, encode_request, encode_response, read_frame, read_message,
+    write_frame, write_message, write_message_with_cap, Frame, FrameKind, CONTINUE_SEQ_BYTES,
+    MAX_FRAME_BYTES,
 };
 use rads_runtime::{Request, Response};
+
+/// A deliberately tiny frame cap so multi-frame continuation runs can be
+/// exercised without materializing 64 MiB payloads. Each frame's body holds
+/// the 9-byte header, the 4-byte sequence number and up to
+/// [`TEST_CHUNK`] payload bytes.
+const TEST_FRAME_CAP: usize = 64;
+const TEST_CHUNK: usize = TEST_FRAME_CAP - 9 - CONTINUE_SEQ_BYTES;
 
 fn arb_vertices(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..=u32::MAX, 0..max_len)
@@ -115,6 +123,133 @@ proptest! {
         let mut cursor = bytes.as_slice();
         let _ = read_frame(&mut cursor);
     }
+
+    /// Payloads straddling the 1-, 2- and 3-frame boundaries (every chunk
+    /// multiple ± 1 byte) reassemble to exactly the written bytes, and a
+    /// payload that fits in one frame produces byte-identical wire output
+    /// to a bare [`write_frame`] — the continuation layer must be invisible
+    /// when it is not needed.
+    #[test]
+    fn continuation_runs_reassemble_across_frame_boundaries(
+        boundary in 0usize..4,
+        delta in 0usize..=2, // boundary*chunk - 1, exactly, + 1
+        fill in any::<u8>(),
+        correlation in 0u64..=u64::MAX,
+    ) {
+        let Some(len) = (boundary * TEST_CHUNK + delta).checked_sub(1) else {
+            return; // boundary 0, delta 0: no length -1
+        };
+        let payload: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+        let mut wire = Vec::new();
+        let written = write_message_with_cap(
+            &mut wire, FrameKind::Response, correlation, &payload, TEST_FRAME_CAP,
+        ).expect("write message");
+        prop_assert_eq!(written, wire.len(), "reported bytes must match the wire");
+        let mut cursor = wire.as_slice();
+        let frame = read_message(&mut cursor).expect("read message").expect("one message");
+        prop_assert!(read_message(&mut cursor).expect("clean tail").is_none());
+        prop_assert_eq!(frame.kind, FrameKind::Response);
+        prop_assert_eq!(frame.correlation, correlation);
+        prop_assert_eq!(frame.payload, payload.clone());
+        if payload.len() + 9 <= TEST_FRAME_CAP {
+            let mut single = Vec::new();
+            write_frame(&mut single, FrameKind::Response, correlation, &payload)
+                .expect("write frame");
+            prop_assert_eq!(single, wire, "single-frame messages must not change shape");
+        }
+    }
+
+    /// Cutting a continuation run anywhere strictly inside it — mid-frame
+    /// or exactly between two frames of the run — is truncation, never a
+    /// shorter-but-valid message.
+    #[test]
+    fn truncated_continuation_runs_are_rejected(
+        extra in 0usize..(2 * TEST_CHUNK),
+        cut in 1usize..512,
+    ) {
+        // at least two frames: one Continue + the terminating Response
+        let payload: Vec<u8> = (0..TEST_CHUNK + 1 + extra).map(|i| i as u8).collect();
+        let mut wire = Vec::new();
+        write_message_with_cap(&mut wire, FrameKind::Response, 7, &payload, TEST_FRAME_CAP)
+            .expect("write message");
+        if cut >= wire.len() {
+            return; // out of range for this payload size — nothing to cut
+        }
+        let mut cursor = &wire[..cut];
+        prop_assert!(read_message(&mut cursor).is_err(), "cut at byte {} decoded", cut);
+    }
+}
+
+/// A run whose terminating frame carries a different correlation id is
+/// rejected: responses are matched to requests by correlation, so a run
+/// interleaved with another message's frame must never reassemble.
+#[test]
+fn continuation_run_with_mismatched_correlation_is_rejected() {
+    let mut wire = Vec::new();
+    let mut body = Vec::new();
+    body.extend_from_slice(&0u32.to_le_bytes());
+    body.extend_from_slice(&[0xAA; 10]);
+    write_frame(&mut wire, FrameKind::Continue, 1, &body).expect("write continue");
+    write_frame(&mut wire, FrameKind::Response, 2, &[0xBB; 4]).expect("write response");
+    let err = read_message(&mut wire.as_slice()).expect_err("correlation switch mid-run");
+    assert!(err.to_string().contains("correlation"), "{err}");
+}
+
+/// A run that skips a sequence number is rejected — a dropped or reordered
+/// continuation frame must surface as an error, not as silently reassembled
+/// garbage.
+#[test]
+fn continuation_run_with_skipped_sequence_is_rejected() {
+    let mut wire = Vec::new();
+    for seq in [0u32, 2] {
+        let mut body = Vec::new();
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.extend_from_slice(&[0xCC; 8]);
+        write_frame(&mut wire, FrameKind::Continue, 5, &body).expect("write continue");
+    }
+    write_frame(&mut wire, FrameKind::Response, 5, &[0xDD; 4]).expect("write response");
+    let err = read_message(&mut wire.as_slice()).expect_err("sequence skip mid-run");
+    assert!(err.to_string().contains("sequence"), "{err}");
+}
+
+/// An adjacency response larger than [`MAX_FRAME_BYTES`] — a hub vertex
+/// whose encoded neighbourhood exceeds the 64 MiB frame cap — round-trips
+/// through a real continuation run at the *production* cap. Before the
+/// multi-frame layer this payload was simply unsendable.
+#[test]
+fn adjacency_response_over_the_frame_cap_round_trips() {
+    let adj: Vec<u32> = (0..17_000_000u32).collect(); // 68 MB encoded
+    let response = Response::Adjacency(vec![(1, adj)]);
+    let mut payload = Vec::new();
+    encode_response(&response, &mut payload);
+    assert!(payload.len() > MAX_FRAME_BYTES, "payload must exceed the frame cap");
+    let mut wire = Vec::new();
+    let written =
+        write_message(&mut wire, FrameKind::Response, 3, &payload).expect("write message");
+    assert_eq!(written, wire.len());
+    // the run really is multi-frame: it starts with a Continue frame
+    let first = read_frame(&mut wire.as_slice()).expect("read").expect("frame");
+    assert_eq!(first.kind, FrameKind::Continue);
+    let mut cursor = wire.as_slice();
+    let frame = read_message(&mut cursor).expect("read message").expect("one message");
+    assert!(read_message(&mut cursor).expect("clean tail").is_none());
+    assert_eq!(frame.kind, FrameKind::Response);
+    assert_eq!(frame.correlation, 3);
+    assert_eq!(decode_response(&frame.payload), Ok(response));
+}
+
+/// A stream that ends cleanly *between* the frames of a run (peer closed
+/// with the run unterminated) is truncation, not end-of-stream.
+#[test]
+fn continuation_run_ending_between_frames_is_truncation() {
+    let payload: Vec<u8> = (0..2 * TEST_CHUNK).map(|i| i as u8).collect();
+    let mut wire = Vec::new();
+    write_message_with_cap(&mut wire, FrameKind::Response, 9, &payload, TEST_FRAME_CAP)
+        .expect("write message");
+    // keep exactly the first frame of the run
+    let first_len = 4 + u32::from_le_bytes(wire[..4].try_into().expect("4 bytes")) as usize;
+    let err = read_message(&mut &wire[..first_len]).expect_err("unterminated run");
+    assert!(err.to_string().contains("truncated"), "{err}");
 }
 
 /// A frame at the size cap is readable; one byte past it is rejected from a
