@@ -4,18 +4,25 @@
 //! ```text
 //! experiments [EXPERIMENT..] [--scale S] [--machines N] [--seed K] [--out FILE]
 //!             [--reps R] [--budget BYTES]
-//! experiments validate [--out FILE]
+//! experiments validate [--out FILE] [--trace FILE] [--metrics FILE]
 //!
 //! EXPERIMENT: all | table1 | table2 | fig8 | fig9 | fig10 | fig11 | fig12
 //!           | fig13 | table3 | table4 | fig15 | robustness | ablation
-//!           | speedup | intersect | sockets | overlap
+//!           | speedup | intersect | sockets | overlap | observe
 //! ```
 //!
 //! `validate` is the schema gate: it parses the committed
 //! `BENCH_results.json` (or `--out FILE`) and exits nonzero if the file is
 //! missing, malformed, empty, or any row lacks a required field — so
 //! experiment-format drift is caught at PR time, not when a later analysis
-//! breaks. `sockets` runs the same queries over the in-process transport
+//! breaks. With `--trace FILE` and/or `--metrics FILE` it instead validates
+//! observability artifacts written by `rads-node --trace-out` /
+//! `--metrics-out` (`validate_trace_json` checks every span closed, parent
+//! ids resolving and parent-before-child timestamps;
+//! `validate_metrics_json` checks metric types and histogram-bucket
+//! consistency). `observe` measures the overhead of enabling tracing +
+//! metrics on identical runs, asserting bit-identical embedding counts.
+//! `sockets` runs the same queries over the in-process transport
 //! and over a real 4-process Unix-domain-socket cluster (spawning the
 //! `rads-node` binary built next to this one), asserts count equality and
 //! records simulated-model bytes vs real framed wire bytes side by side.
@@ -49,9 +56,9 @@ use std::time::Duration;
 
 use rads_bench::{
     ablations, clique_queries_figure, compression_table, governor_robustness, intersect_speedup,
-    overlap_speedup, parallel_speedup, performance_figure, plan_effectiveness_figure,
-    robustness_experiment, scalability_figure, table1, table2, write_results_json, BenchRecord,
-    System,
+    observe_overhead, overlap_speedup, parallel_speedup, performance_figure,
+    plan_effectiveness_figure, robustness_experiment, scalability_figure, table1, table2,
+    write_results_json, BenchRecord, System,
 };
 use rads_datasets::{DatasetKind, Scale};
 use rads_runtime::NetworkConfig;
@@ -59,7 +66,7 @@ use rads_runtime::NetworkConfig;
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "all", "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table3",
     "table4", "fig15", "robustness", "ablation", "speedup", "intersect", "sockets", "overlap",
-    "validate",
+    "observe", "validate",
 ];
 
 struct Options {
@@ -70,6 +77,8 @@ struct Options {
     out: std::path::PathBuf,
     reps: u32,
     budget: usize,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
 }
 
 /// Exits with an error message on stderr (malformed command lines must not
@@ -105,9 +114,13 @@ fn parse_args() -> Options {
     let mut out = std::path::PathBuf::from("BENCH_results.json");
     let mut reps = 3u32;
     let mut budget = GOVERNOR_BUDGET;
+    let mut trace = None;
+    let mut metrics = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trace" => trace = Some(parse_flag_value(&mut args, "--trace")),
+            "--metrics" => metrics = Some(parse_flag_value(&mut args, "--metrics")),
             "--scale" => scale = parse_flag_value(&mut args, "--scale"),
             "--machines" => machines = parse_flag_value(&mut args, "--machines"),
             "--seed" => seed = parse_flag_value(&mut args, "--seed"),
@@ -146,7 +159,7 @@ fn parse_args() -> Options {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Options { experiments, scale: Scale(scale), machines, seed, out, reps, budget }
+    Options { experiments, scale: Scale(scale), machines, seed, out, reps, budget, trace, metrics }
 }
 
 const STANDARD_QUERIES: [&str; 8] = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"];
@@ -158,26 +171,36 @@ const PLAN_QUERIES: [&str; 5] = ["q4", "q5", "q6", "q7", "q8"];
 /// `Φ/2` single-unit contract with ample margin.
 const GOVERNOR_BUDGET: usize = 64 * 1024;
 
-/// The `validate` subcommand: parse the committed results file and fail on
-/// schema drift.
-fn run_validate(path: &std::path::Path) -> ! {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) => {
+/// The `validate` subcommand. Default target: the committed results file
+/// (`--out`), failing on schema drift. With `--trace` / `--metrics` it
+/// validates those observability artifacts instead.
+fn run_validate(opts: &Options) -> ! {
+    let read = |path: &std::path::Path| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: cannot read {}: {e}", path.display());
             std::process::exit(1);
+        })
+    };
+    let report = |path: &std::path::Path, what: &str, outcome: Result<usize, String>| {
+        match outcome {
+            Ok(n) => println!("{}: {n} {what}, schema OK", path.display()),
+            Err(e) => {
+                eprintln!("error: {} failed schema validation: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     };
-    match rads_bench::validate_results_json(&text) {
-        Ok(rows) => {
-            println!("{}: {rows} result rows, schema OK", path.display());
-            std::process::exit(0);
-        }
-        Err(e) => {
-            eprintln!("error: {} failed schema validation: {e}", path.display());
-            std::process::exit(1);
-        }
+    if opts.trace.is_none() && opts.metrics.is_none() {
+        report(&opts.out, "result rows", rads_bench::validate_results_json(&read(&opts.out)));
+        std::process::exit(0);
     }
+    if let Some(path) = &opts.trace {
+        report(path, "spans", rads_bench::validate_trace_json(&read(path)));
+    }
+    if let Some(path) = &opts.metrics {
+        report(path, "metrics", rads_bench::validate_metrics_json(&read(path)));
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -186,7 +209,7 @@ fn main() {
         if opts.experiments.len() > 1 {
             usage_error("validate cannot be combined with experiments");
         }
-        run_validate(&opts.out);
+        run_validate(&opts);
     }
     let want = |name: &str| {
         opts.experiments.iter().any(|e| e == name || e == "all")
@@ -608,6 +631,41 @@ fn main() {
             }
             Err(e) => println!("skipping the overlap experiment's UDS leg: {e}\n"),
         }
+    }
+
+    if want("observe") {
+        println!(
+            "== Observe: observability overhead on LiveJournal ({} machines, scale {:.2}, {} reps) ==",
+            opts.machines, opts.scale.0, opts.reps
+        );
+        println!("dataset\tquery\tsystem\tembeddings\ttime(ms)\toverhead-vs-off");
+        // asserts internally that enabling tracing + metrics changes no
+        // embedding count; the committed rows pin the ≤2% overhead budget
+        let rows = observe_overhead(
+            DatasetKind::LiveJournal,
+            opts.scale,
+            opts.machines,
+            opts.seed,
+            &["q5", "q8"],
+            opts.reps,
+        );
+        for pair in rows.chunks(2) {
+            let off_ms = pair[0].elapsed_ms;
+            assert_eq!(pair[0].system, "RADS-obs-off");
+            for r in pair {
+                println!(
+                    "{}\t{}\t{}\t{}\t{:.1}\t{:+.2}%",
+                    r.dataset,
+                    r.query,
+                    r.system,
+                    r.embeddings,
+                    r.elapsed_ms,
+                    (r.elapsed_ms / off_ms.max(1e-6) - 1.0) * 100.0,
+                );
+            }
+        }
+        records.extend(rows);
+        println!();
     }
 
     if !records.is_empty() {

@@ -25,6 +25,16 @@
 //! summary (only line with `--json`) that scripts and the CI smoke job
 //! parse.
 //!
+//! `--trace-out FILE` / `--metrics-out FILE` turn on the observability
+//! layer (equivalently: `RADS_TRACE=1` / `RADS_METRICS=1`) and write each
+//! process's Chrome trace-event JSON and metrics snapshot when the run
+//! ends: the coordinator writes `FILE` itself, worker `K` writes
+//! `FILE.mK`, and each metrics JSON gets a Prometheus-text sibling at
+//! `<path>.prom`. With metrics on, workers also stream their registry
+//! snapshots to the coordinator over the wire, and the JSON summary gains
+//! a cluster-wide `metrics` object plus per-machine
+//! `fetch_wait_demand_us` / `fetch_wait_prefetch_us` columns.
+//!
 //! Every process rebuilds the deterministic dataset stand-in and
 //! partitioning locally from `(dataset, scale, seed, machines)`, so no
 //! graph data is shipped; the engine, planner, governor and worker pool are
@@ -48,10 +58,12 @@ fn usage() -> ! {
         "usage:\n  rads-node run --machines N --query Q [--transport uds|tcp] [--dataset D]\n\
          \x20          [--scale S] [--seed K] [--workers W] [--budget BYTES]\n\
          \x20          [--driver serial|async] [--fetch-chunk V] [--no-cache]\n\
+         \x20          [--trace-out FILE] [--metrics-out FILE]\n\
          \x20          [--timeout-secs T] [--json]\n\
          \x20 rads-node worker --machine M --machines N --addrs A0,A1,.. --dataset D\n\
          \x20          --scale S --seed K --query Q [--workers W] [--budget BYTES]\n\
          \x20          [--driver serial|async] [--fetch-chunk V] [--no-cache]\n\
+         \x20          [--trace-out FILE] [--metrics-out FILE]\n\
          \x20          [--timeout-secs T]"
     );
     std::process::exit(2);
@@ -123,6 +135,17 @@ impl Flags {
 }
 
 fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
+    // The artifact flags imply their toggles: pointing a run at an output
+    // file is the request to record. (The RADS_TRACE / RADS_METRICS env
+    // toggles work too — every worker inherits the coordinator's env.)
+    let trace_out = flags.get("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        rads_obs::set_trace_enabled(true);
+    }
+    let metrics_out = flags.get("metrics-out").map(std::path::PathBuf::from);
+    if metrics_out.is_some() {
+        rads_obs::set_metrics_enabled(true);
+    }
     let dataset_name = flags.get("dataset").unwrap_or("LiveJournal");
     let dataset: DatasetKind = dataset_by_name(dataset_name)
         .unwrap_or_else(|| fail(&format!("unknown dataset {dataset_name:?} (RoadNet | DBLP | LiveJournal | UK2002)")));
@@ -155,6 +178,8 @@ fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
             }
         }),
         cache: !flags.no_cache,
+        trace_out,
+        metrics_out,
     }
 }
 

@@ -49,6 +49,14 @@ impl Json {
         }
     }
 
+    /// The members if this is an object, in source order.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
     /// The member named `key` if this is an object (last wins).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

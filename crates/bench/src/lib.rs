@@ -560,6 +560,235 @@ pub fn validate_results_json(text: &str) -> Result<usize, String> {
     Ok(rows.len())
 }
 
+/// Validates a Chrome trace-event JSON artifact written by
+/// `rads-node --trace-out` (the [`rads_obs::drain_chrome_trace`] format):
+///
+/// * the top level is an object with a `traceEvents` array;
+/// * every complete (`"ph":"X"`) event carries `name`, `cat`, `ts`, `dur`,
+///   `pid`, `tid` and an `args` object with a unique nonzero `id`;
+/// * every `parent` id is 0 (a root) or resolves to another span of the
+///   same process, and a child never starts before its parent;
+/// * the `span_accounting` metadata event reports `started == closed` —
+///   every span opened during the run was closed (no leaked guards).
+///
+/// Returns the number of spans, or a message naming the first violation.
+pub fn validate_trace_json(text: &str) -> Result<usize, String> {
+    let parsed = json::Json::parse(text)?;
+    let events = parsed
+        .get("traceEvents")
+        .and_then(json::Json::as_array)
+        .ok_or("top-level object must carry a traceEvents array")?;
+    let event_u64 = |event: &json::Json, key: &str, what: &str| {
+        event.get(key).and_then(json::Json::as_u64).ok_or(format!("{what}: missing {key:?}"))
+    };
+    // first pass: collect span ids and start times per process
+    let mut spans: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+    let mut accounting = None;
+    for (i, event) in events.iter().enumerate() {
+        let what = format!("traceEvents[{i}]");
+        let ph = event.get("ph").and_then(json::Json::as_str).ok_or(format!("{what}: missing ph"))?;
+        let name =
+            event.get("name").and_then(json::Json::as_str).ok_or(format!("{what}: missing name"))?;
+        match ph {
+            "M" => {
+                if name == "span_accounting" {
+                    let args = event.get("args").ok_or(format!("{what}: missing args"))?;
+                    accounting = Some((
+                        event_u64(args, "started", &what)?,
+                        event_u64(args, "closed", &what)?,
+                    ));
+                }
+            }
+            "X" => {
+                event
+                    .get("cat")
+                    .and_then(json::Json::as_str)
+                    .ok_or(format!("{what}: span {name:?} missing cat"))?;
+                let pid = event_u64(event, "pid", &what)?;
+                event_u64(event, "tid", &what)?;
+                let ts = event_u64(event, "ts", &what)?;
+                event_u64(event, "dur", &what)?;
+                let args = event.get("args").ok_or(format!("{what}: span {name:?} missing args"))?;
+                let id = event_u64(args, "id", &what)?;
+                if id == 0 {
+                    return Err(format!("{what}: span {name:?} has id 0"));
+                }
+                if spans.insert((pid, id), ts).is_some() {
+                    return Err(format!("{what}: duplicate span id {id} in process {pid}"));
+                }
+            }
+            other => return Err(format!("{what}: unknown event phase {other:?}")),
+        }
+    }
+    // second pass: parents resolve within the process and started first
+    for (i, event) in events.iter().enumerate() {
+        if event.get("ph").and_then(json::Json::as_str) != Some("X") {
+            continue;
+        }
+        let what = format!("traceEvents[{i}]");
+        let pid = event_u64(event, "pid", &what)?;
+        let ts = event_u64(event, "ts", &what)?;
+        let args = event.get("args").ok_or(format!("{what}: missing args"))?;
+        let parent = event_u64(args, "parent", &what)?;
+        if parent == 0 {
+            continue;
+        }
+        let Some(&parent_ts) = spans.get(&(pid, parent)) else {
+            return Err(format!("{what}: parent {parent} does not resolve in process {pid}"));
+        };
+        if parent_ts > ts {
+            return Err(format!(
+                "{what}: starts at {ts}µs before its parent {parent} at {parent_ts}µs"
+            ));
+        }
+    }
+    let (started, closed) = accounting.ok_or("no span_accounting metadata event")?;
+    if started != closed {
+        return Err(format!("span accounting: {started} spans started but {closed} closed"));
+    }
+    if started != spans.len() as u64 {
+        return Err(format!(
+            "span accounting reports {started} spans but the file holds {}",
+            spans.len()
+        ));
+    }
+    Ok(spans.len())
+}
+
+/// Validates a metrics JSON artifact written by `rads-node --metrics-out`
+/// (the [`rads_obs::MetricsSnapshot::to_json`] format): a `metrics` object
+/// whose every entry is a counter/gauge with a non-negative `value`, or a
+/// histogram whose `buckets` close with an `"+Inf"` bucket and whose
+/// per-bucket counts sum to `count`. Returns the number of metrics.
+pub fn validate_metrics_json(text: &str) -> Result<usize, String> {
+    let parsed = json::Json::parse(text)?;
+    let metrics = parsed
+        .get("metrics")
+        .and_then(json::Json::as_object)
+        .ok_or("top-level object must carry a metrics object")?;
+    for (name, value) in metrics {
+        let kind = value
+            .get("type")
+            .and_then(json::Json::as_str)
+            .ok_or(format!("metric {name:?}: missing type"))?;
+        match kind {
+            "counter" | "gauge" => {
+                value
+                    .get("value")
+                    .and_then(json::Json::as_u64)
+                    .ok_or(format!("metric {name:?}: missing integer value"))?;
+            }
+            "histogram" => {
+                let buckets = value
+                    .get("buckets")
+                    .and_then(json::Json::as_array)
+                    .ok_or(format!("metric {name:?}: missing buckets"))?;
+                let last = buckets.last().ok_or(format!("metric {name:?}: no buckets"))?;
+                if last.get("le").and_then(json::Json::as_str) != Some("+Inf") {
+                    return Err(format!("metric {name:?}: buckets must close with le \"+Inf\""));
+                }
+                let mut total = 0u64;
+                for (b, bucket) in buckets.iter().enumerate() {
+                    total += bucket
+                        .get("count")
+                        .and_then(json::Json::as_u64)
+                        .ok_or(format!("metric {name:?}: bucket {b} missing count"))?;
+                }
+                let count = value
+                    .get("count")
+                    .and_then(json::Json::as_u64)
+                    .ok_or(format!("metric {name:?}: missing count"))?;
+                value
+                    .get("sum")
+                    .and_then(json::Json::as_u64)
+                    .ok_or(format!("metric {name:?}: missing sum"))?;
+                if total != count {
+                    return Err(format!(
+                        "metric {name:?}: buckets sum to {total} but count says {count}"
+                    ));
+                }
+            }
+            other => return Err(format!("metric {name:?}: unknown type {other:?}")),
+        }
+    }
+    Ok(metrics.len())
+}
+
+/// The `observe` experiment: the cost of the observability layer. Every
+/// query runs on the same in-process cluster twice per rep — once with
+/// tracing and metrics force-disabled, once with both force-enabled — and
+/// the fastest rep per leg is recorded (minimum, not mean: noise only adds
+/// time). Panics if enabling observability changes any embedding count —
+/// the *no-perturbation* contract: spans and metric recordings must never
+/// influence enumeration order or results. The committed rows pin the
+/// overhead budget (≤2% on the enabled leg) that keeps the instrumentation
+/// shippable in release builds.
+///
+/// Trace buffers and the metrics registry are drained and reset between
+/// reps so the enabled leg measures steady-state recording, not unbounded
+/// accumulation. On return both toggles are left disabled (their
+/// programmatic default).
+///
+/// Returns a `RADS-obs-off` / `RADS-obs-on` record pair per query.
+pub fn observe_overhead(
+    kind: DatasetKind,
+    scale: Scale,
+    machines: usize,
+    seed: u64,
+    query_names: &[&str],
+    reps: u32,
+) -> Vec<BenchRecord> {
+    let dataset = generate(kind, scale, seed);
+    let cluster = build_cluster(&dataset.graph, machines);
+    let mut records = Vec::new();
+    for &qname in query_names {
+        let pattern = queries::query_by_name(qname).expect("known query");
+        let config = RadsConfig::default();
+        let mut expected = None;
+        for (system, enabled) in [("RADS-obs-off", false), ("RADS-obs-on", true)] {
+            rads_obs::set_metrics_enabled(enabled);
+            rads_obs::set_trace_enabled(enabled);
+            let mut best: Option<rads_core::RadsOutcome> = None;
+            for _ in 0..reps.max(1) {
+                let outcome = run_rads(&cluster, &pattern, &config);
+                // drain what this rep recorded: steady-state cost, not
+                // unbounded accumulation across reps
+                rads_obs::discard_trace();
+                rads_obs::Registry::global().reset();
+                if best.as_ref().is_none_or(|b| outcome.elapsed < b.elapsed) {
+                    best = Some(outcome);
+                }
+            }
+            let outcome = best.expect("reps >= 1");
+            match expected {
+                None => expected = Some(outcome.total_embeddings),
+                Some(e) => assert_eq!(
+                    e, outcome.total_embeddings,
+                    "{qname}: enabling observability changed the embedding count"
+                ),
+            }
+            let elapsed_ms = outcome.elapsed.as_secs_f64() * 1000.0;
+            records.push(BenchRecord {
+                experiment: "observe".to_string(),
+                dataset: dataset.profile.name.clone(),
+                query: qname.to_string(),
+                system: system.to_string(),
+                machines,
+                workers: config.workers,
+                embeddings: outcome.total_embeddings,
+                elapsed_ms,
+                embeddings_per_sec: embeddings_per_sec(outcome.total_embeddings, elapsed_ms),
+                bytes_shipped: outcome.traffic.total_bytes,
+                peak_tracked_bytes: outcome.peak_tracked_bytes(),
+                budget_bytes: 0,
+            });
+        }
+        rads_obs::set_metrics_enabled(false);
+        rads_obs::set_trace_enabled(false);
+    }
+    records
+}
+
 /// Table 1: the dataset profiles.
 pub fn table1(scale: Scale, seed: u64) -> Vec<rads_datasets::DatasetProfile> {
     rads_datasets::generate_all(scale, seed).into_iter().map(|d| d.profile).collect()

@@ -78,6 +78,51 @@ pub struct ClusterSpec {
     /// paper's communication-heavy regime; counts are identical either way
     /// (the `ablation_cache` axis).
     pub cache: bool,
+    /// Write this process's Chrome trace-event JSON here when the run ends
+    /// (implies tracing on). On the coordinator this is the *base* path:
+    /// machine 0 writes it verbatim, worker `K` writes `<path>.m<K>` (the
+    /// coordinator derives the per-worker path in [`worker_args`]).
+    pub trace_out: Option<PathBuf>,
+    /// Write this process's metrics snapshot here when the run ends
+    /// (implies metrics on): JSON at the path itself, Prometheus text at
+    /// `<path>.prom`. Same per-machine `.m<K>` derivation as `trace_out`.
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// The artifact path of machine `machine` under base path `base`: machine 0
+/// (the coordinator) owns the base path itself, worker `K` gets `base.mK`.
+pub fn machine_artifact(base: &Path, machine: usize) -> PathBuf {
+    if machine == 0 {
+        base.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}.m{machine}", base.display()))
+    }
+}
+
+/// Sibling path of a metrics JSON artifact holding the Prometheus text
+/// rendering.
+pub fn prometheus_sibling(path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.prom", path.display()))
+}
+
+/// Writes this process's observability artifacts (trace JSON, metrics
+/// JSON with its Prometheus text sibling) to the paths in `spec`, if any.
+/// Called once per process after its node finished shutting down, so
+/// daemon-thread trace buffers have flushed.
+fn write_observability_artifacts(spec: &ClusterSpec) -> Result<(), String> {
+    if let Some(path) = &spec.trace_out {
+        std::fs::write(path, rads_obs::drain_chrome_trace())
+            .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &spec.metrics_out {
+        let snapshot = rads_obs::Registry::global().snapshot();
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?;
+        let prom = prometheus_sibling(path);
+        std::fs::write(&prom, snapshot.to_prometheus())
+            .map_err(|e| format!("cannot write metrics to {}: {e}", prom.display()))?;
+    }
+    Ok(())
 }
 
 /// Parses a dataset stand-in by its paper name (case-insensitive).
@@ -114,14 +159,24 @@ fn engine_config(spec: &ClusterSpec) -> EngineConfig {
     }
 }
 
+/// Interval at which a worker streams its metrics snapshot to the
+/// coordinator over the wire (a [`rads_runtime::wire::FrameKind::Metrics`]
+/// frame; newer frames replace older on the receiving side).
+const METRICS_TICK: Duration = Duration::from_millis(250);
+
 /// Starts this machine's node and runs its engine to completion. Returns
 /// the node (still serving its daemon — the cluster may not be done), the
 /// engine output and this process's real wire traffic.
+///
+/// While the engine runs, a non-coordinator machine with metrics enabled
+/// streams its registry snapshot to machine 0 every [`METRICS_TICK`], so
+/// the coordinator holds a recent view of the whole cluster at any moment.
 fn run_node_engine(
     spec: &ClusterSpec,
     machine: usize,
     addrs: Vec<PeerAddr>,
 ) -> Result<(SocketNode, MachineOutput, Arc<NetworkStats>, Duration), String> {
+    rads_obs::set_trace_process(machine as u64);
     let pattern = queries::query_by_name(&spec.query)
         .ok_or_else(|| format!("unknown query {:?}", spec.query))?;
     // Bind the listener *before* the expensive graph build: peers whose
@@ -139,9 +194,34 @@ fn run_node_engine(
     let ctx = MachineContext::assemble(partitioned, node.transport(), daemon);
     let plan = best_plan(&pattern, &PlannerConfig { rho: 1.0 });
     let config = engine_config(spec);
+    let ticker = if machine != 0 && rads_obs::metrics_enabled() {
+        let publisher = node.metrics_publisher(0);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("rads-metrics-ticker".to_string())
+            .spawn(move || {
+                while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(METRICS_TICK);
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    publisher.send(&rads_obs::Registry::global().snapshot().encode());
+                }
+            })
+            .expect("spawn metrics ticker thread");
+        Some((stop, handle))
+    } else {
+        None
+    };
     let start = Instant::now();
     let output = run_machine(&ctx, &pattern, &plan, &config, queue);
-    Ok((node, output, stats, start.elapsed()))
+    let elapsed = start.elapsed();
+    if let Some((stop, handle)) = ticker {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    Ok((node, output, stats, elapsed))
 }
 
 // --------------------------------------------------------------------------
@@ -161,24 +241,38 @@ pub struct MachineSummary {
     pub wire_bytes: u64,
     /// Remote requests this process sent.
     pub wire_messages: u64,
+    /// EWMA (µs) of the first-response wait after scattering a round's
+    /// *demand* `fetchV` chunks — ≈ one link round trip, and the signal the
+    /// prefetcher consults ([`rads_core::engine::EngineStats::fetch_wait_micros`]).
+    pub fetch_wait_demand_us: u64,
+    /// EWMA (µs) of the wait to harvest one *prefetched* chunk — the
+    /// residual stall the group-ahead pipeline failed to hide.
+    pub fetch_wait_prefetch_us: u64,
     /// This machine's engine wall-clock in milliseconds.
     pub elapsed_ms: f64,
 }
 
+const RESULT_PAYLOAD_BYTES: usize = 60;
+
 fn encode_result(m: &MachineSummary) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(44);
+    let mut buf = Vec::with_capacity(RESULT_PAYLOAD_BYTES);
     buf.extend_from_slice(&(m.machine as u32).to_le_bytes());
     buf.extend_from_slice(&m.embeddings.to_le_bytes());
     buf.extend_from_slice(&m.sme_embeddings.to_le_bytes());
     buf.extend_from_slice(&m.wire_bytes.to_le_bytes());
     buf.extend_from_slice(&m.wire_messages.to_le_bytes());
+    buf.extend_from_slice(&m.fetch_wait_demand_us.to_le_bytes());
+    buf.extend_from_slice(&m.fetch_wait_prefetch_us.to_le_bytes());
     buf.extend_from_slice(&m.elapsed_ms.to_bits().to_le_bytes());
     buf
 }
 
 fn decode_result(buf: &[u8]) -> Result<MachineSummary, String> {
-    if buf.len() != 44 {
-        return Err(format!("result payload of {} bytes, expected 44", buf.len()));
+    if buf.len() != RESULT_PAYLOAD_BYTES {
+        return Err(format!(
+            "result payload of {} bytes, expected {RESULT_PAYLOAD_BYTES}",
+            buf.len()
+        ));
     }
     let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
     let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
@@ -188,7 +282,9 @@ fn decode_result(buf: &[u8]) -> Result<MachineSummary, String> {
         sme_embeddings: u64_at(12),
         wire_bytes: u64_at(20),
         wire_messages: u64_at(28),
-        elapsed_ms: f64::from_bits(u64_at(36)),
+        fetch_wait_demand_us: u64_at(36),
+        fetch_wait_prefetch_us: u64_at(44),
+        elapsed_ms: f64::from_bits(u64_at(52)),
     })
 }
 
@@ -204,6 +300,8 @@ fn machine_summary(
         sme_embeddings: output.stats.sme_embeddings,
         wire_bytes: wire.total_bytes,
         wire_messages: wire.messages,
+        fetch_wait_demand_us: output.stats.fetch_wait_micros,
+        fetch_wait_prefetch_us: output.stats.prefetch_wait_micros,
         elapsed_ms: elapsed.as_secs_f64() * 1000.0,
     }
 }
@@ -225,10 +323,19 @@ pub fn run_worker(
         return Err(format!("worker machine id {machine} out of range 1..{}", spec.machines));
     }
     let (node, output, stats, elapsed) = run_node_engine(spec, machine, addrs)?;
-    let summary = machine_summary(machine, &output, &stats.snapshot(), elapsed);
+    let wire = stats.snapshot();
+    rads_core::obs::publish_traffic(&wire);
+    // The final metrics frame travels on the same ordered connection as the
+    // result frame below, so once the coordinator has collected every
+    // result, its metrics map holds every machine's *final* snapshot.
+    if rads_obs::metrics_enabled() {
+        node.metrics_publisher(0).send(&rads_obs::Registry::global().snapshot().encode());
+    }
+    let summary = machine_summary(machine, &output, &wire, elapsed);
     node.send_result(0, &encode_result(&summary));
     let ordered = node.wait_shutdown(timeout);
     node.finish_shutdown();
+    write_observability_artifacts(spec)?;
     if ordered {
         Ok(())
     } else {
@@ -264,8 +371,33 @@ pub struct ClusterSummary {
     pub wire_messages: u64,
     /// Coordinator wall-clock (spawn to all-results) in milliseconds.
     pub elapsed_ms: f64,
+    /// Cluster-wide scalar metrics, sorted by name: every worker's final
+    /// registry snapshot (streamed over the wire as metrics frames) absorbed
+    /// into the coordinator's own — counters summed, gauges maxed,
+    /// histograms reduced to `<name>_sum` / `<name>_count`. Empty when
+    /// metrics are disabled.
+    pub metrics: Vec<(String, u64)>,
     /// Per-machine breakdown, indexed by machine id.
     pub per_machine: Vec<MachineSummary>,
+}
+
+/// Flattens a snapshot into sorted `(name, value)` scalar pairs: counters
+/// and gauges verbatim, histograms as `<name>_sum` / `<name>_count`.
+fn scalar_metrics(snapshot: &rads_obs::MetricsSnapshot) -> Vec<(String, u64)> {
+    let mut pairs = Vec::with_capacity(snapshot.entries.len());
+    for entry in &snapshot.entries {
+        match &entry.value {
+            rads_obs::MetricValue::Counter(value) | rads_obs::MetricValue::Gauge(value) => {
+                pairs.push((entry.name.clone(), *value));
+            }
+            rads_obs::MetricValue::Histogram { count, sum, .. } => {
+                pairs.push((format!("{}_count", entry.name), *count));
+                pairs.push((format!("{}_sum", entry.name), *sum));
+            }
+        }
+    }
+    pairs.sort();
+    pairs
 }
 
 impl ClusterSummary {
@@ -279,19 +411,29 @@ impl ClusterSummary {
                 format!(
                     concat!(
                         "{{\"machine\":{},\"embeddings\":{},\"sme_embeddings\":{},",
-                        "\"wire_bytes\":{},\"wire_messages\":{},\"elapsed_ms\":{:.3}}}"
+                        "\"wire_bytes\":{},\"wire_messages\":{},",
+                        "\"fetch_wait_demand_us\":{},\"fetch_wait_prefetch_us\":{},",
+                        "\"elapsed_ms\":{:.3}}}"
                     ),
-                    m.machine, m.embeddings, m.sme_embeddings, m.wire_bytes, m.wire_messages,
+                    m.machine,
+                    m.embeddings,
+                    m.sme_embeddings,
+                    m.wire_bytes,
+                    m.wire_messages,
+                    m.fetch_wait_demand_us,
+                    m.fetch_wait_prefetch_us,
                     m.elapsed_ms,
                 )
             })
             .collect();
+        let metrics: Vec<String> =
+            self.metrics.iter().map(|(name, value)| format!("\"{name}\":{value}")).collect();
         format!(
             concat!(
                 "{{\"query\":\"{}\",\"dataset\":\"{}\",\"transport\":\"{}\",",
                 "\"machines\":{},\"workers\":{},\"total_embeddings\":{},",
                 "\"wire_bytes\":{},\"wire_messages\":{},\"elapsed_ms\":{:.3},",
-                "\"per_machine\":[{}]}}"
+                "\"metrics\":{{{}}},\"per_machine\":[{}]}}"
             ),
             self.query,
             self.dataset,
@@ -302,6 +444,7 @@ impl ClusterSummary {
             self.wire_bytes,
             self.wire_messages,
             self.elapsed_ms,
+            metrics.join(","),
             per_machine.join(","),
         )
     }
@@ -328,11 +471,22 @@ impl ClusterSummary {
                 sme_embeddings: m("sme_embeddings")?,
                 wire_bytes: m("wire_bytes")?,
                 wire_messages: m("wire_messages")?,
+                fetch_wait_demand_us: m("fetch_wait_demand_us")?,
+                fetch_wait_prefetch_us: m("fetch_wait_prefetch_us")?,
                 elapsed_ms: row
                     .get("elapsed_ms")
                     .and_then(Json::as_f64)
                     .ok_or("missing per_machine elapsed_ms")?,
             });
+        }
+        // tolerate a missing metrics object (older producers / disabled)
+        let mut metrics = Vec::new();
+        if let Some(members) = v.get("metrics").and_then(Json::as_object) {
+            for (name, value) in members {
+                let value =
+                    value.as_u64().ok_or(format!("non-integer metrics value for {name}"))?;
+                metrics.push((name.clone(), value));
+            }
         }
         Ok(ClusterSummary {
             query: str_field("query")?,
@@ -344,6 +498,7 @@ impl ClusterSummary {
             wire_bytes: u64_field("wire_bytes")?,
             wire_messages: u64_field("wire_messages")?,
             elapsed_ms: v.get("elapsed_ms").and_then(Json::as_f64).ok_or("missing elapsed_ms")?,
+            metrics,
             per_machine,
         })
     }
@@ -424,6 +579,14 @@ pub fn worker_args(
     }
     if !spec.cache {
         args.push("--no-cache".to_string());
+    }
+    if let Some(base) = &spec.trace_out {
+        args.push("--trace-out".to_string());
+        args.push(machine_artifact(base, machine).display().to_string());
+    }
+    if let Some(base) = &spec.metrics_out {
+        args.push("--metrics-out".to_string());
+        args.push(machine_artifact(base, machine).display().to_string());
     }
     args
 }
@@ -545,11 +708,31 @@ pub fn run_coordinator(
                 }
             }
         }
+        let wire0 = stats.snapshot();
+        rads_core::obs::publish_traffic(&wire0);
+        // Every result frame followed its machine's final metrics frame on
+        // the same ordered connection, so the metrics map now holds each
+        // worker's final snapshot; absorb them into the coordinator's own.
+        let mut metrics = Vec::new();
+        if rads_obs::metrics_enabled() {
+            let mut snapshot = rads_obs::Registry::global().snapshot();
+            for (machine, payload) in node.take_metrics() {
+                match rads_obs::MetricsSnapshot::decode(&payload) {
+                    Ok(worker) => snapshot.absorb(&worker),
+                    Err(e) => {
+                        return Err(format!(
+                            "machine {machine} sent an undecodable metrics frame: {e}"
+                        ))
+                    }
+                }
+            }
+            metrics = scalar_metrics(&snapshot);
+        }
         node.broadcast_shutdown();
         node.finish_shutdown();
+        write_observability_artifacts(spec)?;
 
-        let mut per_machine =
-            vec![machine_summary(0, &output, &stats.snapshot(), elapsed0)];
+        let mut per_machine = vec![machine_summary(0, &output, &wire0, elapsed0)];
         for payload in payloads {
             per_machine.push(decode_result(&payload)?);
         }
@@ -564,6 +747,7 @@ pub fn run_coordinator(
             wire_bytes: per_machine.iter().map(|m| m.wire_bytes).sum(),
             wire_messages: per_machine.iter().map(|m| m.wire_messages).sum(),
             elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+            metrics,
             per_machine,
         })
     })();
@@ -651,6 +835,8 @@ pub fn socket_vs_simulated(
             driver: config.round_driver,
             fetch_chunk: None,
             cache: true,
+            trace_out: None,
+            metrics_out: None,
         };
         let summary = run_coordinator(&spec, TransportKind::Uds, node_binary, timeout)?;
         assert_eq!(
@@ -755,6 +941,8 @@ pub fn overlap_sockets(
                     driver,
                     fetch_chunk: Some(OVERLAP_FETCH_CHUNK),
                     cache: true,
+                    trace_out: None,
+                    metrics_out: None,
                 };
                 let summary = run_coordinator(&spec, TransportKind::Uds, node_binary, timeout)?;
                 let ms = summary
@@ -829,9 +1017,13 @@ mod tests {
             sme_embeddings: 77,
             wire_bytes: 987654321,
             wire_messages: 4321,
+            fetch_wait_demand_us: 640,
+            fetch_wait_prefetch_us: 12,
             elapsed_ms: 15.625,
         };
-        assert_eq!(decode_result(&encode_result(&summary)), Ok(summary));
+        let encoded = encode_result(&summary);
+        assert_eq!(encoded.len(), RESULT_PAYLOAD_BYTES);
+        assert_eq!(decode_result(&encoded), Ok(summary));
         assert!(decode_result(&[1, 2, 3]).is_err());
     }
 
@@ -847,6 +1039,11 @@ mod tests {
             wire_bytes: 1234,
             wire_messages: 56,
             elapsed_ms: 78.5,
+            metrics: vec![
+                ("rads_net_bytes_total".to_string(), 1234),
+                ("rads_net_frame_bytes_count".to_string(), 56),
+                ("rads_net_frame_bytes_sum".to_string(), 1100),
+            ],
             per_machine: vec![
                 MachineSummary {
                     machine: 0,
@@ -854,6 +1051,8 @@ mod tests {
                     sme_embeddings: 11,
                     wire_bytes: 600,
                     wire_messages: 30,
+                    fetch_wait_demand_us: 523,
+                    fetch_wait_prefetch_us: 0,
                     elapsed_ms: 70.125,
                 },
                 MachineSummary {
@@ -862,6 +1061,8 @@ mod tests {
                     sme_embeddings: 0,
                     wire_bytes: 634,
                     wire_messages: 26,
+                    fetch_wait_demand_us: 77,
+                    fetch_wait_prefetch_us: 3,
                     elapsed_ms: 69.0,
                 },
             ],
@@ -892,6 +1093,8 @@ mod tests {
             driver: RoundDriver::Async,
             fetch_chunk: Some(512),
             cache: false,
+            trace_out: Some(PathBuf::from("/tmp/a/trace.json")),
+            metrics_out: Some(PathBuf::from("/tmp/a/metrics.json")),
         };
         let addrs = vec![
             PeerAddr::Uds("/tmp/a/m0.sock".into()),
@@ -911,6 +1114,19 @@ mod tests {
         assert!(joined.contains("--fetch-chunk 512"));
         assert!(joined.contains("--no-cache"));
         assert!(joined.contains("--timeout-secs 60"));
+        assert!(joined.contains("--trace-out /tmp/a/trace.json.m2"));
+        assert!(joined.contains("--metrics-out /tmp/a/metrics.json.m2"));
+    }
+
+    #[test]
+    fn artifact_paths_derive_per_machine() {
+        let base = Path::new("/tmp/run/trace.json");
+        assert_eq!(machine_artifact(base, 0), base);
+        assert_eq!(machine_artifact(base, 3), PathBuf::from("/tmp/run/trace.json.m3"));
+        assert_eq!(
+            prometheus_sibling(Path::new("/tmp/run/metrics.json")),
+            PathBuf::from("/tmp/run/metrics.json.prom")
+        );
     }
 
     #[test]

@@ -238,11 +238,16 @@ pub struct EngineStats {
     /// Number of `fetchV` requests sent.
     pub fetch_requests: u64,
     /// EWMA (µs) of how long the async driver waited for the *first*
-    /// `fetchV` response after scattering a round's chunks — the engine's
-    /// own estimate of how much link latency there is to hide (everything
-    /// after the first response overlaps). Zero until an async round has
-    /// fetched something; merged across workers by `max`.
+    /// `fetchV` response after scattering a round's *demand* chunks — the
+    /// engine's own estimate of how much link latency there is to hide
+    /// (everything after the first response overlaps). Zero until an async
+    /// round has fetched something; merged across workers by `max`.
     pub fetch_wait_micros: u64,
+    /// EWMA (µs) of how long harvesting one *prefetched* chunk blocked —
+    /// the residual stall left after the lookahead overlapped the fetch
+    /// with the previous group's compute (near zero when prefetch wins).
+    /// Zero until a prefetched chunk was harvested; merged by `max`.
+    pub prefetch_wait_micros: u64,
     /// Number of `verifyE` requests sent.
     pub verify_requests: u64,
     /// Distinct undetermined edges put into the EVI.
@@ -303,6 +308,7 @@ impl MachineOutput {
             s.estimated_bytes_per_candidate.max(w.estimated_bytes_per_candidate);
         s.fetch_requests += w.fetch_requests;
         s.fetch_wait_micros = s.fetch_wait_micros.max(w.fetch_wait_micros);
+        s.prefetch_wait_micros = s.prefetch_wait_micros.max(w.prefetch_wait_micros);
         s.verify_requests += w.verify_requests;
         s.undetermined_edges += w.undetermined_edges;
         s.candidates_filtered += w.candidates_filtered;
@@ -425,9 +431,15 @@ pub fn run_machine(
     let local = ctx.partition();
     let symmetry = SymmetryBreaking::new(pattern);
     let exec = ExecConfig { workers: config.workers, steal_granularity: config.steal_granularity };
+    let mut query_span = rads_obs::span("query", "engine");
+    query_span.attr("machine", ctx.machine() as u64);
+    query_span.attr("workers", config.workers as u64);
 
     // ---- Phase 1: SM-E -----------------------------------------------------
+    let mut sme_span = rads_obs::span("sme", "engine");
     let sme = run_sme(local, pattern, plan, config.enable_sme, &exec);
+    sme_span.attr("embeddings", sme.count);
+    drop(sme_span);
     output.stats.sme_embeddings = sme.count;
     output.stats.sme_candidates = sme.local_candidates;
     output.count += sme.count;
@@ -437,6 +449,7 @@ pub fn run_machine(
 
     // ---- Phase 2: region grouping -------------------------------------------
     output.stats.distributed_candidates = sme.remaining_candidates.len();
+    let mut grouping_span = rads_obs::span("region_grouping", "engine");
     let groups = find_region_groups(
         local,
         &sme.remaining_candidates,
@@ -445,6 +458,8 @@ pub fn run_machine(
         config.grouping,
         config.seed ^ ctx.machine() as u64,
     );
+    grouping_span.attr("groups", groups.len() as u64);
+    drop(grouping_span);
     output.stats.groups_created = groups.len();
     group_queue.lock().extend(groups);
 
@@ -466,6 +481,13 @@ pub fn run_machine(
     if config.collect_embeddings {
         output.embeddings.sort_unstable();
     }
+    crate::obs::publish_engine_stats(&output.stats);
+    drop(query_span);
+    // The engine thread may live past this run (it is the process main
+    // thread in `rads-node`); push its buffered spans to the collector so a
+    // drain right after the run sees the full timeline. Worker threads
+    // flushed when they exited.
+    rads_obs::flush_thread();
     output
 }
 
@@ -501,6 +523,7 @@ fn drain_region_groups(
     // governor: its observations and re-fitted estimator carry across groups.
     let mut expander = Expander::new();
     let mut governor = MemoryGovernor::new(config.budget, config.enforce_budget, estimator);
+    let _drain_span = rads_obs::span("drain", "engine");
 
     // ---- Phase 3: R-Meef over the local region groups ------------------------
     // The async driver's group-level pipeline: before expanding the popped
@@ -519,7 +542,7 @@ fn drain_region_groups(
         };
         let Some(group) = group else { break };
         // complete the fetches scattered while the previous group expanded
-        prefetch.harvest_all(ctx, &mut cache);
+        prefetch.harvest_all(ctx, &mut cache, &mut output.stats);
         if let Some(next) = upcoming {
             prefetch.scatter(ctx, ctx.partition(), &next, &mut cache, &governor, &mut output.stats);
         }
@@ -530,10 +553,11 @@ fn drain_region_groups(
         output.stats.groups_processed += 1;
     }
     // a targeted group that was stolen leaves its prefetch un-harvested
-    prefetch.harvest_all(ctx, &mut cache);
+    prefetch.harvest_all(ctx, &mut cache, &mut output.stats);
 
     // ---- Phase 4: work stealing (checkR / shareR) -----------------------------
     if config.enable_load_sharing && ctx.machines() > 1 {
+        let _steal_span = rads_obs::span("steal", "engine");
         loop {
             // the async driver scatters the checkR poll so the peers serve
             // it concurrently; results are identical, only pacing differs
@@ -630,8 +654,13 @@ fn process_region_group(
     let mut scratch_cache = ForeignVertexCache::with_capacity(config.budget.cache_bytes);
     // Start candidates still in flight; shrinks when the governor sheds.
     let mut retained = group.len();
+    let mut group_span = rads_obs::span("region_group", "engine");
+    group_span.attr("candidates", group.len() as u64);
+    let scanned_before = expander.intersect_stats().elements_scanned;
 
     for round in 0..plan.rounds() {
+        let mut round_span = rads_obs::span("round", "engine");
+        round_span.attr("round", round as u64);
         evi.clear();
         if !config.enable_cache {
             scratch_cache.clear();
@@ -675,6 +704,7 @@ fn process_region_group(
 
         // -- expand (with governor checkpoints; the oracle is rebuilt per
         //    pivot because the byte-bounded cache may have to re-fetch)
+        let mut expand_span = rads_obs::span("expand", "engine");
         let mut f: Vec<Option<VertexId>> = vec![None; n];
         if round == 0 {
             let start = plan.start_vertex();
@@ -778,12 +808,17 @@ fn process_region_group(
                 idx = end;
             }
         }
+        expand_span.attr("trie_nodes", trie.node_count() as u64);
+        drop(expand_span);
         output.stats.undetermined_edges += evi.len() as u64;
 
         // -- verify & filter
+        let mut verify_span = rads_obs::span("verifyE", "engine");
+        verify_span.attr("edges", evi.len() as u64);
         verify_and_filter(
             ctx, config.driver, &evi, &mut trie, cache, &scratch_cache, local, &mut output.stats,
         );
+        drop(verify_span);
 
         // -- intermediate-result accounting (Tables 3–4): what an uncompressed
         //    embedding list of this round's results would cost vs the trie.
@@ -793,6 +828,11 @@ fn process_region_group(
         output.stats.embedding_trie_bytes +=
             trie.node_count() as u64 * EmbeddingTrie::NODE_BYTES as u64;
         output.stats.peak_trie_nodes = output.stats.peak_trie_nodes.max(trie.peak_node_count());
+        if rads_obs::metrics_enabled() {
+            let live = (trie.memory_bytes() + expander.memory_bytes()) as u64;
+            crate::obs::live_bytes_histogram().observe(live);
+            crate::obs::live_bytes_watermark().observe_max(live);
+        }
     }
 
     // -- harvest the final embeddings of this region group
@@ -811,6 +851,17 @@ fn process_region_group(
         }
     }
     output.stats.trie_nodes_created += trie.total_created();
+    if rads_obs::metrics_enabled() {
+        // Intersect selectivity of this group: trie nodes produced per 100
+        // elements the kernels scanned while generating its candidates.
+        let scanned = expander.intersect_stats().elements_scanned - scanned_before;
+        if let Some(pct) = (trie.total_created() * 100).checked_div(scanned) {
+            crate::obs::selectivity_histogram().observe(pct.min(100));
+        }
+    }
+    group_span.attr("retained", retained as u64);
+    group_span.attr("embeddings", final_leaves.len() as u64);
+    drop(group_span);
     // -- online re-fit: what this group's retained candidates actually cost
     governor.refit(trie.peak_node_count(), retained);
 }
@@ -954,27 +1005,61 @@ impl GroupPrefetch {
         for v in to_fetch {
             by_owner.entry(ctx.ownership().owner(v)).or_default().push(v);
         }
+        let mut scatter_span = rads_obs::span("prefetch.scatter", "prefetch");
+        let mut chunks = 0u64;
         for (&owner, vertices) in &by_owner {
             for chunk in vertices.chunks(self.chunk) {
                 stats.fetch_requests += 1;
+                chunks += 1;
                 let pending = ctx.request_async(owner, Request::FetchVertices(chunk.to_vec()));
                 if let Some(oldest) = self.window.push(pending) {
-                    Self::harvest_one(ctx, oldest, cache);
+                    Self::harvest_one(ctx, oldest, cache, stats);
                 }
             }
         }
+        scatter_span.attr("chunks", chunks);
     }
 
     /// Completes every pending prefetch chunk into `cache`.
-    fn harvest_all(&mut self, ctx: &MachineContext, cache: &mut ForeignVertexCache) {
-        while let Some(pending) = self.window.pop() {
-            Self::harvest_one(ctx, pending, cache);
+    fn harvest_all(
+        &mut self,
+        ctx: &MachineContext,
+        cache: &mut ForeignVertexCache,
+        stats: &mut EngineStats,
+    ) {
+        if self.window.is_empty() {
+            return;
         }
+        let mut harvest_span = rads_obs::span("prefetch.harvest", "prefetch");
+        let mut chunks = 0u64;
+        while let Some(pending) = self.window.pop() {
+            chunks += 1;
+            Self::harvest_one(ctx, pending, cache, stats);
+        }
+        harvest_span.attr("chunks", chunks);
     }
 
-    fn harvest_one(ctx: &MachineContext, pending: PendingResponse, cache: &mut ForeignVertexCache) {
+    fn harvest_one(
+        ctx: &MachineContext,
+        pending: PendingResponse,
+        cache: &mut ForeignVertexCache,
+        stats: &mut EngineStats,
+    ) {
         let (owner, correlation) = (pending.to(), pending.correlation());
-        match pending.wait() {
+        // How long harvesting blocks on a *prefetched* chunk is the residual
+        // stall the group-ahead pipeline failed to hide — near zero when the
+        // scatter won the race against the expand phase.
+        let started = std::time::Instant::now();
+        let response = pending.wait();
+        let waited = (started.elapsed().as_micros() as u64).max(1);
+        stats.prefetch_wait_micros = match stats.prefetch_wait_micros {
+            0 => waited,
+            ewma => (3 * ewma + waited) / 4,
+        };
+        if rads_obs::metrics_enabled() {
+            crate::obs::prefetch_wait_histogram().observe(waited);
+        }
+        match response {
             Response::Adjacency(lists) => cache.insert_all(lists),
             other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
         }
@@ -1018,22 +1103,36 @@ fn fetch_foreign(
         }
     };
     let mut pending: Vec<PendingResponse> = Vec::new();
-    for (&owner, vertices) in &by_owner {
-        for chunk in vertices.chunks(chunk_vertices.max(1)) {
-            stats.fetch_requests += 1;
-            match driver {
-                RoundDriver::Serial => {
-                    match ctx.request(owner, Request::FetchVertices(chunk.to_vec())) {
-                        Response::Adjacency(lists) => insert(cache, scratch, lists),
-                        other => unexpected_response(ctx, "fetchV", owner, None, &other),
+    {
+        // The serial driver round-trips inside this span, the async driver
+        // only issues — either way "scatter" covers the request-side work.
+        let mut scatter_span = rads_obs::span("scatter", "engine");
+        let mut chunks = 0u64;
+        for (&owner, vertices) in &by_owner {
+            for chunk in vertices.chunks(chunk_vertices.max(1)) {
+                stats.fetch_requests += 1;
+                chunks += 1;
+                match driver {
+                    RoundDriver::Serial => {
+                        match ctx.request(owner, Request::FetchVertices(chunk.to_vec())) {
+                            Response::Adjacency(lists) => insert(cache, scratch, lists),
+                            other => unexpected_response(ctx, "fetchV", owner, None, &other),
+                        }
                     }
-                }
-                RoundDriver::Async => {
-                    pending.push(ctx.request_async(owner, Request::FetchVertices(chunk.to_vec())));
+                    RoundDriver::Async => {
+                        pending
+                            .push(ctx.request_async(owner, Request::FetchVertices(chunk.to_vec())));
+                    }
                 }
             }
         }
+        scatter_span.attr("chunks", chunks);
     }
+    if driver == RoundDriver::Serial {
+        return;
+    }
+    let mut harvest_span = rads_obs::span("harvest", "engine");
+    harvest_span.attr("chunks", pending.len() as u64);
     // harvest in issue order: the cache's LRU recency is then independent of
     // the order in which the network delivered the responses
     let mut pending = pending.into_iter();
@@ -1050,6 +1149,9 @@ fn fetch_foreign(
             0 => waited,
             ewma => (3 * ewma + waited) / 4,
         };
+        if rads_obs::metrics_enabled() {
+            crate::obs::demand_wait_histogram().observe(waited);
+        }
         match response {
             Response::Adjacency(lists) => insert(cache, scratch, lists),
             other => unexpected_response(ctx, "fetchV", owner, correlation, &other),

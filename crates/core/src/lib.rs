@@ -40,6 +40,7 @@ pub mod evi;
 pub mod expand;
 pub mod governor;
 pub mod memory;
+pub mod obs;
 pub mod region;
 pub mod sme;
 pub mod system;

@@ -292,6 +292,7 @@ pub fn run_rads_wrapped(
         .into_iter()
         .map(|out| MachineReport { count: out.count, embeddings: out.embeddings, stats: out.stats })
         .collect();
+    crate::obs::publish_traffic(&outcome.traffic);
     RadsOutcome {
         total_embeddings: per_machine.iter().map(|m| m.count).sum(),
         per_machine,

@@ -10,6 +10,16 @@
 //! order.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Window occupancy observed at every push — how much split-phase overlap
+/// the engine actually sustains (`rads_inflight_window_depth`).
+fn depth_histogram() -> &'static rads_obs::Histogram {
+    static CELL: OnceLock<rads_obs::Histogram> = OnceLock::new();
+    CELL.get_or_init(|| {
+        rads_obs::Registry::global().histogram("rads_inflight_window_depth", rads_obs::DEPTH_BUCKETS)
+    })
+}
 
 /// A FIFO of at most `capacity` outstanding items. Pushing into a full
 /// window hands back the oldest item for the caller to complete first, so
@@ -36,6 +46,9 @@ impl<T> InflightWindow<T> {
         let evicted =
             if self.window.len() == self.capacity { self.window.pop_front() } else { None };
         self.window.push_back(item);
+        if rads_obs::metrics_enabled() {
+            depth_histogram().observe(self.window.len() as u64);
+        }
         evicted
     }
 

@@ -1,0 +1,703 @@
+//! Named metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! # Model
+//!
+//! A [`Registry`] maps metric *names* to live cells. Handles ([`Counter`],
+//! [`Gauge`], [`Histogram`]) are cheap `Arc` clones of those cells: callers
+//! register once (typically through a lazily initialised `OnceLock` next to
+//! the instrumented code) and record through the handle on the hot path.
+//! Recording is a relaxed atomic op guarded by [`metrics_enabled`]; with
+//! metrics disabled every recording call is a single relaxed load and a
+//! predictable branch, so instrumentation can stay in release builds.
+//!
+//! Most code records into the process-wide [`Registry::global`] registry.
+//! Fresh registries ([`Registry::new`]) exist for tests.
+//!
+//! # Naming convention
+//!
+//! Metric names are `snake_case`, Prometheus-safe (`[a-z0-9_]`), and follow
+//! `rads_<subsystem>_<quantity>[_<unit>]`:
+//!
+//! * counters end in `_total` (`rads_cache_hits_total`),
+//! * durations are microseconds with a `_us` suffix
+//!   (`rads_fetch_demand_wait_us`),
+//! * sizes are bytes with a `_bytes` suffix (`rads_net_frame_bytes`).
+//!
+//! # Exports
+//!
+//! [`Registry::snapshot`] produces an immutable [`MetricsSnapshot`] that can
+//! be rendered as machine-readable JSON ([`MetricsSnapshot::to_json`]) or a
+//! Prometheus-style text page ([`MetricsSnapshot::to_prometheus`]), merged
+//! across machines ([`MetricsSnapshot::absorb`]), or shipped over the wire
+//! via the compact binary codec ([`MetricsSnapshot::encode`] /
+//! [`MetricsSnapshot::decode`]) used by the cluster's periodic metrics
+//! frames.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable that enables metrics collection (`1`/`true`/`on`).
+pub const METRICS_ENV: &str = "RADS_METRICS";
+
+/// 0 = not yet resolved, 1 = disabled, 2 = enabled.
+static METRICS_STATE: AtomicU8 = AtomicU8::new(0);
+
+fn env_truthy(var: &str) -> bool {
+    matches!(
+        std::env::var(var).ok().as_deref(),
+        Some("1") | Some("true") | Some("on") | Some("yes")
+    )
+}
+
+/// Whether metric recording is currently enabled.
+///
+/// Resolved from [`METRICS_ENV`] on first use; [`set_metrics_enabled`]
+/// overrides it at runtime (used by `--metrics-out` and the equivalence
+/// tests). The disabled path is a single relaxed load.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    match METRICS_STATE.load(Ordering::Relaxed) {
+        0 => {
+            let enabled = env_truthy(METRICS_ENV);
+            METRICS_STATE.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+            enabled
+        }
+        state => state == 2,
+    }
+}
+
+/// Forces metric recording on or off for this process, overriding the
+/// environment toggle.
+pub fn set_metrics_enabled(enabled: bool) {
+    METRICS_STATE.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `delta` to the counter. No-op while metrics are disabled.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if metrics_enabled() {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one. No-op while metrics are disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (reads regardless of the enabled toggle).
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the most recent (or maximum) observed value.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge. No-op while metrics are disabled.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if metrics_enabled() {
+            self.cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `value` if it is higher than the current reading
+    /// (high-watermark semantics). No-op while metrics are disabled.
+    #[inline]
+    pub fn observe_max(&self, value: u64) {
+        if metrics_enabled() {
+            self.cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (reads regardless of the enabled toggle).
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCell {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last one is the overflow (+Inf) bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one sample. No-op while metrics are disabled.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        let cell = &self.cell;
+        let idx = cell.bounds.partition_point(|&bound| bound < value);
+        cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics.
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry (for tests; production code uses [`Registry::global`]).
+    pub fn new() -> Registry {
+        Registry { metrics: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The process-wide registry every subsystem records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Registers (or retrieves) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter { cell: Arc::new(AtomicU64::new(0)) }))
+        {
+            Metric::Counter(counter) => counter.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge { cell: Arc::new(AtomicU64::new(0)) }))
+        {
+            Metric::Gauge(gauge) => gauge.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram called `name` with the given
+    /// inclusive finite bucket bounds (an overflow bucket is implicit).
+    /// Bounds must be strictly increasing and are fixed at first
+    /// registration.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|pair| pair[0] < pair[1]),
+            "histogram {name:?} bounds must be strictly increasing"
+        );
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Histogram {
+                cell: Arc::new(HistogramCell {
+                    bounds: bounds.to_vec(),
+                    buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }),
+            })
+        }) {
+            Metric::Histogram(histogram) => histogram.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Zeroes every registered metric *in place*. Existing handles stay
+    /// valid and keep pointing at the (now zeroed) cells — required because
+    /// instrumented code caches handles in `OnceLock`s.
+    pub fn reset(&self) {
+        let metrics = self.metrics.lock().unwrap();
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(counter) => counter.cell.store(0, Ordering::Relaxed),
+                Metric::Gauge(gauge) => gauge.cell.store(0, Ordering::Relaxed),
+                Metric::Histogram(histogram) => {
+                    for bucket in &histogram.cell.buckets {
+                        bucket.store(0, Ordering::Relaxed);
+                    }
+                    histogram.cell.count.store(0, Ordering::Relaxed);
+                    histogram.cell.sum.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// An immutable point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().unwrap();
+        let entries = metrics
+            .iter()
+            .map(|(name, metric)| MetricEntry {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(counter) => MetricValue::Counter(counter.value()),
+                    Metric::Gauge(gauge) => MetricValue::Gauge(gauge.value()),
+                    Metric::Histogram(histogram) => {
+                        let cell = &histogram.cell;
+                        MetricValue::Histogram {
+                            bounds: cell.bounds.clone(),
+                            buckets: cell
+                                .buckets
+                                .iter()
+                                .map(|bucket| bucket.load(Ordering::Relaxed))
+                                .collect(),
+                            count: cell.count.load(Ordering::Relaxed),
+                            sum: cell.sum.load(Ordering::Relaxed),
+                        }
+                    }
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last/maximum observed value.
+    Gauge(u64),
+    /// Fixed-bucket histogram: `buckets.len() == bounds.len() + 1` with the
+    /// final bucket counting overflow samples.
+    Histogram {
+        /// Inclusive upper bounds of the finite buckets.
+        bounds: Vec<u64>,
+        /// Per-bucket sample counts (non-cumulative).
+        buckets: Vec<u64>,
+        /// Total sample count.
+        count: u64,
+        /// Sum of all samples.
+        sum: u64,
+    },
+}
+
+/// A named metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// The registered metric name.
+    pub name: String,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// An immutable snapshot of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The captured metrics, sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+const TAG_COUNTER: u8 = 1;
+const TAG_GAUGE: u8 = 2;
+const TAG_HISTOGRAM: u8 = 3;
+
+impl MetricsSnapshot {
+    /// Looks up a scalar metric (counter or gauge) by name.
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|entry| entry.name == name).and_then(
+            |entry| match entry.value {
+                MetricValue::Counter(value) | MetricValue::Gauge(value) => Some(value),
+                MetricValue::Histogram { .. } => None,
+            },
+        )
+    }
+
+    /// Merges `other` into `self`: counters and histogram buckets are
+    /// summed, gauges take the maximum (cluster-wide watermark semantics).
+    /// Metrics present only in `other` are appended; the result stays sorted
+    /// by name.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for theirs in &other.entries {
+            match self.entries.binary_search_by(|entry| entry.name.as_str().cmp(&theirs.name)) {
+                Err(at) => self.entries.insert(at, theirs.clone()),
+                Ok(at) => {
+                    let ours = &mut self.entries[at];
+                    match (&mut ours.value, &theirs.value) {
+                        (MetricValue::Counter(mine), MetricValue::Counter(other)) => {
+                            *mine += other;
+                        }
+                        (MetricValue::Gauge(mine), MetricValue::Gauge(other)) => {
+                            *mine = (*mine).max(*other);
+                        }
+                        (
+                            MetricValue::Histogram { bounds, buckets, count, sum },
+                            MetricValue::Histogram {
+                                bounds: their_bounds,
+                                buckets: their_buckets,
+                                count: their_count,
+                                sum: their_sum,
+                            },
+                        ) if bounds == their_bounds => {
+                            for (mine, other) in buckets.iter_mut().zip(their_buckets) {
+                                *mine += other;
+                            }
+                            *count += their_count;
+                            *sum += their_sum;
+                        }
+                        _ => panic!(
+                            "metric {:?} has incompatible shapes across machines",
+                            theirs.name
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the snapshot as a machine-readable JSON object:
+    /// `{"metrics":{"name":{"type":...,...},...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":{");
+        for (idx, entry) in self.entries.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&entry.name);
+            out.push_str("\":");
+            match &entry.value {
+                MetricValue::Counter(value) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{value}}}"));
+                }
+                MetricValue::Gauge(value) => {
+                    out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{value}}}"));
+                }
+                MetricValue::Histogram { bounds, buckets, count, sum } => {
+                    out.push_str("{\"type\":\"histogram\",\"buckets\":[");
+                    for (idx, count) in buckets.iter().enumerate() {
+                        if idx > 0 {
+                            out.push(',');
+                        }
+                        let le = bounds
+                            .get(idx)
+                            .map(|bound| bound.to_string())
+                            .unwrap_or_else(|| "\"+Inf\"".to_string());
+                        out.push_str(&format!("{{\"le\":{le},\"count\":{count}}}"));
+                    }
+                    out.push_str(&format!("],\"count\":{count},\"sum\":{sum}}}"));
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot as a Prometheus text-format page.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            match &entry.value {
+                MetricValue::Counter(value) => {
+                    out.push_str(&format!("# TYPE {} counter\n{} {}\n", entry.name, entry.name, value));
+                }
+                MetricValue::Gauge(value) => {
+                    out.push_str(&format!("# TYPE {} gauge\n{} {}\n", entry.name, entry.name, value));
+                }
+                MetricValue::Histogram { bounds, buckets, count, sum } => {
+                    out.push_str(&format!("# TYPE {} histogram\n", entry.name));
+                    let mut cumulative = 0u64;
+                    for (idx, bucket) in buckets.iter().enumerate() {
+                        cumulative += bucket;
+                        let le = bounds
+                            .get(idx)
+                            .map(|bound| bound.to_string())
+                            .unwrap_or_else(|| "+Inf".to_string());
+                        out.push_str(&format!(
+                            "{}_bucket{{le=\"{le}\"}} {cumulative}\n",
+                            entry.name
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum {sum}\n{}_count {count}\n", entry.name, entry.name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Encodes the snapshot with the compact length-prefixed binary codec
+    /// used by the cluster's periodic metrics frames.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for entry in &self.entries {
+            let name = entry.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            match &entry.value {
+                MetricValue::Counter(value) => {
+                    out.push(TAG_COUNTER);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+                MetricValue::Gauge(value) => {
+                    out.push(TAG_GAUGE);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+                MetricValue::Histogram { bounds, buckets, count, sum } => {
+                    out.push(TAG_HISTOGRAM);
+                    out.extend_from_slice(&(bounds.len() as u32).to_le_bytes());
+                    for bound in bounds {
+                        out.extend_from_slice(&bound.to_le_bytes());
+                    }
+                    for bucket in buckets {
+                        out.extend_from_slice(&bucket.to_le_bytes());
+                    }
+                    out.extend_from_slice(&count.to_le_bytes());
+                    out.extend_from_slice(&sum.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a snapshot produced by [`MetricsSnapshot::encode`].
+    pub fn decode(payload: &[u8]) -> Result<MetricsSnapshot, String> {
+        struct Reader<'a> {
+            bytes: &'a [u8],
+            at: usize,
+        }
+        impl Reader<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8], String> {
+                let end = self
+                    .at
+                    .checked_add(n)
+                    .filter(|&end| end <= self.bytes.len())
+                    .ok_or_else(|| "metrics payload truncated".to_string())?;
+                let slice = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(slice)
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn u32(&mut self) -> Result<u32, String> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u16(&mut self) -> Result<u16, String> {
+                Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+            }
+        }
+        let mut reader = Reader { bytes: payload, at: 0 };
+        let entries = reader.u32()? as usize;
+        let mut snapshot = MetricsSnapshot::default();
+        for _ in 0..entries {
+            let name_len = reader.u16()? as usize;
+            let name = String::from_utf8(reader.take(name_len)?.to_vec())
+                .map_err(|_| "metric name is not UTF-8".to_string())?;
+            let tag = reader.take(1)?[0];
+            let value = match tag {
+                TAG_COUNTER => MetricValue::Counter(reader.u64()?),
+                TAG_GAUGE => MetricValue::Gauge(reader.u64()?),
+                TAG_HISTOGRAM => {
+                    let bound_count = reader.u32()? as usize;
+                    let bounds =
+                        (0..bound_count).map(|_| reader.u64()).collect::<Result<Vec<_>, _>>()?;
+                    let buckets = (0..=bound_count)
+                        .map(|_| reader.u64())
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let count = reader.u64()?;
+                    let sum = reader.u64()?;
+                    MetricValue::Histogram { bounds, buckets, count, sum }
+                }
+                other => return Err(format!("unknown metric tag {other}")),
+            };
+            snapshot.entries.push(MetricEntry { name, value });
+        }
+        if reader.at != payload.len() {
+            return Err("trailing bytes after metrics payload".to_string());
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enabled toggle is process-global, so tests that flip it must not
+    /// interleave with each other.
+    fn toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn with_metrics_on<T>(body: impl FnOnce() -> T) -> T {
+        let _guard = toggle_lock();
+        set_metrics_enabled(true);
+        let result = body();
+        set_metrics_enabled(false);
+        result
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_record() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            let counter = registry.counter("rads_test_hits_total");
+            counter.add(3);
+            counter.inc();
+            let gauge = registry.gauge("rads_test_depth");
+            gauge.set(5);
+            gauge.observe_max(2); // lower than current → no change
+            gauge.observe_max(9);
+            let histogram = registry.histogram("rads_test_wait_us", &[10, 100]);
+            histogram.observe(5); // bucket 0
+            histogram.observe(10); // inclusive bound → bucket 0
+            histogram.observe(50); // bucket 1
+            histogram.observe(1_000); // overflow
+
+            let snapshot = registry.snapshot();
+            assert_eq!(snapshot.scalar("rads_test_hits_total"), Some(4));
+            assert_eq!(snapshot.scalar("rads_test_depth"), Some(9));
+            let entry = snapshot
+                .entries
+                .iter()
+                .find(|entry| entry.name == "rads_test_wait_us")
+                .unwrap();
+            assert_eq!(
+                entry.value,
+                MetricValue::Histogram {
+                    bounds: vec![10, 100],
+                    buckets: vec![2, 1, 1],
+                    count: 4,
+                    sum: 1_065,
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _guard = toggle_lock();
+        set_metrics_enabled(false);
+        let registry = Registry::new();
+        let counter = registry.counter("rads_test_noop_total");
+        counter.add(100);
+        assert_eq!(counter.value(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_cells_in_place() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            let counter = registry.counter("rads_test_reset_total");
+            counter.add(7);
+            registry.reset();
+            assert_eq!(counter.value(), 0);
+            counter.add(2); // the pre-reset handle still feeds the registry
+            assert_eq!(registry.snapshot().scalar("rads_test_reset_total"), Some(2));
+        });
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_binary_codec() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            registry.counter("rads_test_a_total").add(11);
+            registry.gauge("rads_test_b").set(22);
+            registry.histogram("rads_test_c_us", &[1, 2, 4]).observe(3);
+            let snapshot = registry.snapshot();
+            let decoded = MetricsSnapshot::decode(&snapshot.encode()).unwrap();
+            assert_eq!(decoded, snapshot);
+        });
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payloads() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            registry.counter("rads_test_d_total").add(1);
+            let encoded = registry.snapshot().encode();
+            assert!(MetricsSnapshot::decode(&encoded[..encoded.len() - 1]).is_err());
+        });
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_gauges() {
+        with_metrics_on(|| {
+            let a = Registry::new();
+            a.counter("rads_test_sum_total").add(1);
+            a.gauge("rads_test_peak").set(10);
+            a.histogram("rads_test_h_us", &[5]).observe(1);
+            let b = Registry::new();
+            b.counter("rads_test_sum_total").add(2);
+            b.counter("rads_test_only_b_total").add(9);
+            b.gauge("rads_test_peak").set(4);
+            b.histogram("rads_test_h_us", &[5]).observe(100);
+
+            let mut merged = a.snapshot();
+            merged.absorb(&b.snapshot());
+            assert_eq!(merged.scalar("rads_test_sum_total"), Some(3));
+            assert_eq!(merged.scalar("rads_test_only_b_total"), Some(9));
+            assert_eq!(merged.scalar("rads_test_peak"), Some(10));
+            let entry = merged
+                .entries
+                .iter()
+                .find(|entry| entry.name == "rads_test_h_us")
+                .unwrap();
+            assert_eq!(
+                entry.value,
+                MetricValue::Histogram { bounds: vec![5], buckets: vec![1, 1], count: 2, sum: 101 }
+            );
+        });
+    }
+
+    #[test]
+    fn exports_render_both_formats() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            registry.counter("rads_test_x_total").add(5);
+            registry.histogram("rads_test_y_us", &[10]).observe(7);
+            let snapshot = registry.snapshot();
+            let json = snapshot.to_json();
+            assert!(json.contains("\"rads_test_x_total\":{\"type\":\"counter\",\"value\":5}"));
+            assert!(json.contains("\"le\":\"+Inf\""));
+            let prom = snapshot.to_prometheus();
+            assert!(prom.contains("# TYPE rads_test_x_total counter"));
+            assert!(prom.contains("rads_test_y_us_bucket{le=\"+Inf\"} 1"));
+            assert!(prom.contains("rads_test_y_us_sum 7"));
+        });
+    }
+}

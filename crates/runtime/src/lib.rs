@@ -38,8 +38,10 @@
 //!   [`MachineContext::take_rows`] observes them.
 //! * **Byte accounting** — [`MachineContext::traffic`] reports per-machine
 //!   originated bytes: modelled bytes on the channel transport, real framed
-//!   bytes (control frames included, in bytes but not in the message count)
-//!   on the socket transport. Local requests are always free.
+//!   bytes on the socket transport. Control frames are charged in *bytes*
+//!   on both transports (real frames on sockets, the modelled barrier
+//!   notifications in-process — see [`TrafficSnapshot::control_bytes`])
+//!   and never in the message count. Local requests are always free.
 //!
 //! [`NetworkStats`] counts messages and bytes per machine, which is what
 //! the paper reports as "communication cost". Synchronous systems
@@ -65,5 +67,6 @@ pub use fault::{FaultPlan, FaultStats, FaultTransport};
 pub use message::{Request, Response};
 pub use network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 pub use transport::{
-    PeerAddr, PendingResponse, SocketListener, SocketNode, Transport, TransportKind, TRANSPORT_ENV,
+    MetricsPublisher, PeerAddr, PendingResponse, SocketListener, SocketNode, Transport,
+    TransportKind, TRANSPORT_ENV,
 };

@@ -61,9 +61,13 @@ pub struct MachineTraffic {
     pub requests_served: AtomicU64,
     /// Bytes of responses sent by this machine's daemon.
     pub response_bytes_sent: AtomicU64,
-    /// Bytes of one-way control frames sent by this machine (socket
-    /// transport only: handshakes, barrier notifications, result delivery,
-    /// shutdown orders). Counted in byte totals but never in `messages`.
+    /// Bytes of one-way control frames sent by this machine: handshakes,
+    /// barrier notifications, result delivery, shutdown orders, metrics
+    /// frames. The socket transport records the real framed bytes; the
+    /// in-process transport records the modelled frame size of the control
+    /// frames it *would* send (barrier notifications), so traffic is
+    /// comparable across transports. Counted in byte totals and surfaced in
+    /// [`TrafficSnapshot::control_bytes`], but never in `messages`.
     pub control_bytes_sent: AtomicU64,
 }
 
@@ -119,6 +123,7 @@ impl NetworkStats {
             let control = t.control_bytes_sent.load(Ordering::Relaxed);
             snap.messages += t.requests_sent.load(Ordering::Relaxed);
             snap.total_bytes += req + resp_out + control;
+            snap.control_bytes += control;
             snap.per_machine_bytes[m] = req + resp_out + control;
         }
         snap
@@ -128,11 +133,18 @@ impl NetworkStats {
 /// An immutable snapshot of cluster traffic.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct TrafficSnapshot {
-    /// Total remote request count.
+    /// Total remote request count. Control frames are never counted here —
+    /// on either transport — only in the byte totals.
     pub messages: u64,
-    /// Total bytes put on the simulated wire (requests + responses).
+    /// Total bytes put on the wire (requests + responses + control frames).
     pub total_bytes: u64,
-    /// Bytes originating from each machine (its requests + its responses).
+    /// Bytes of one-way control frames (a subset of `total_bytes`). Both
+    /// transports account control traffic in bytes: the socket transport
+    /// counts real framed bytes, the in-process transport the modelled
+    /// frame size of its barrier notifications.
+    pub control_bytes: u64,
+    /// Bytes originating from each machine (its requests + its responses
+    /// + its control frames).
     pub per_machine_bytes: Vec<u64>,
 }
 
@@ -155,10 +167,12 @@ mod tests {
         stats.record_response(1, 0, 50);
         stats.record_request(2, 10);
         stats.record_response(0, 2, 5);
+        stats.record_control(1, 13);
         let snap = stats.snapshot();
-        assert_eq!(snap.messages, 2);
-        assert_eq!(snap.total_bytes, 100 + 50 + 10 + 5);
-        assert_eq!(snap.per_machine_bytes, vec![105, 50, 10]);
+        assert_eq!(snap.messages, 2, "control frames never count as messages");
+        assert_eq!(snap.total_bytes, 100 + 50 + 10 + 5 + 13);
+        assert_eq!(snap.control_bytes, 13);
+        assert_eq!(snap.per_machine_bytes, vec![105, 63, 10]);
         assert!(snap.megabytes() > 0.0);
     }
 

@@ -55,11 +55,16 @@
 //!   every implementation must deliver them into its own inbox without
 //!   charging traffic (the shuffle baselines self-send routinely).
 //! * **Byte accounting.** `traffic` reports, per machine, the bytes that
-//!   machine originated (its requests + the responses its daemon served).
-//!   The channel transport charges the paper's cost model; the socket
-//!   transport charges real framed bytes, with one-way control frames
-//!   (handshake, barrier, shutdown) in the byte totals but not in the
-//!   message count — `messages` stays "number of remote requests" on both.
+//!   machine originated (its requests, the responses its daemon served,
+//!   and its one-way control frames). Control traffic is accounted in
+//!   *bytes* on both transports — the socket transport charges the real
+//!   framed bytes of its handshake/barrier/result/shutdown/metrics frames,
+//!   and the channel transport charges the modelled frame size of the
+//!   barrier notifications it would have sent (the only control frames an
+//!   in-process cluster needs) — surfaced separately as
+//!   [`TrafficSnapshot::control_bytes`](crate::TrafficSnapshot). Control
+//!   frames never count as messages: `messages` stays "number of remote
+//!   requests" on both transports, so traffic shapes are comparable.
 //!
 //! A multi-process cluster runs one [`SocketNode`] per OS process (see the
 //! `rads-node` binary); a single-process cluster can also run every machine
@@ -89,9 +94,30 @@ use crate::exchange::RowExchange;
 use crate::message::{request_bytes, response_bytes, Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 use crate::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_message, write_frame,
-    write_message, FrameKind,
+    decode_request, decode_response, encode_request, encode_response, frame_bytes, read_message,
+    write_frame, write_message, FrameKind,
 };
+
+/// Trace span name for an in-flight RPC (the `rpc.<request>` naming
+/// convention of [`rads_obs::trace`]).
+fn rpc_span_name(request: &Request) -> &'static str {
+    match request {
+        Request::VerifyEdges(_) => "rpc.verifyE",
+        Request::FetchVertices(_) => "rpc.fetchV",
+        Request::CheckRegionGroups => "rpc.checkR",
+        Request::ShareRegionGroup => "rpc.shareR",
+        Request::DeliverRows { .. } => "rpc.rows",
+    }
+}
+
+/// Histogram of framed message sizes put on (or served onto) the wire.
+fn frame_bytes_histogram() -> &'static rads_obs::Histogram {
+    static HISTOGRAM: std::sync::OnceLock<rads_obs::Histogram> = std::sync::OnceLock::new();
+    HISTOGRAM.get_or_init(|| {
+        rads_obs::Registry::global()
+            .histogram("rads_net_frame_bytes", rads_obs::FRAME_BYTES_BUCKETS)
+    })
+}
 
 /// Environment variable selecting the cluster transport (`in-process`,
 /// `uds`, `tcp`); read by [`TransportKind::from_env`].
@@ -295,6 +321,7 @@ impl Transport for ChannelTransport {
 
     fn request(&self, to: MachineId, request: Request) -> Response {
         debug_assert_ne!(to, self.machine, "local requests are served inline");
+        let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
         let req_bytes = request_bytes(&request);
         self.stats.record_request(self.machine, req_bytes);
         let (reply_tx, reply_rx) = bounded(1);
@@ -308,12 +335,19 @@ impl Transport for ChannelTransport {
         if delay > Duration::ZERO {
             std::thread::sleep(delay);
         }
+        rpc_span.attr("to", to as u64);
+        rpc_span.attr("req_bytes", req_bytes as u64);
+        rpc_span.attr("resp_bytes", resp_bytes as u64);
+        rpc_span.finish();
         response
     }
 
     fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
         debug_assert_ne!(to, self.machine, "local requests are served inline");
+        let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
         let req_bytes = request_bytes(&request);
+        rpc_span.attr("to", to as u64);
+        rpc_span.attr("req_bytes", req_bytes as u64);
         self.stats.record_request(self.machine, req_bytes);
         let (reply_tx, reply_rx) = bounded(1);
         self.senders[to]
@@ -340,11 +374,24 @@ impl Transport for ChannelTransport {
             if deadline > now {
                 std::thread::sleep(deadline - now);
             }
+            let mut rpc_span = rpc_span;
+            rpc_span.attr("resp_bytes", resp_bytes as u64);
+            rpc_span.finish();
             response
         })
     }
 
     fn barrier(&self) {
+        // Mirror the socket transport's all-to-all barrier notification in
+        // the modelled accounting — one Barrier frame (u64 epoch payload)
+        // to every remote peer, charged as control *bytes* only — so the
+        // two transports report comparable traffic shapes.
+        let notification = frame_bytes(8);
+        for peer in 0..self.senders.len() {
+            if peer != self.machine {
+                self.stats.record_control(self.machine, notification);
+            }
+        }
         self.barrier.wait();
     }
 
@@ -626,6 +673,9 @@ impl BarrierState {
 #[derive(Default)]
 struct ControlState {
     results: StdMutex<HashMap<MachineId, Vec<u8>>>,
+    /// Latest metrics snapshot received from each machine (newer frames
+    /// replace older ones — each frame carries a full snapshot).
+    metrics: StdMutex<HashMap<MachineId, Vec<u8>>>,
     shutdown: AtomicBool,
     condvar: Condvar,
 }
@@ -876,6 +926,32 @@ impl SocketNode {
         }
     }
 
+    /// A handle for shipping metrics snapshots to machine `to` (the
+    /// coordinator). Cheap; usable from a background ticker thread while
+    /// the engine runs — metrics frames interleave with request frames on
+    /// the same pipelined connection.
+    pub fn metrics_publisher(&self, to: MachineId) -> MetricsPublisher {
+        MetricsPublisher { shared: self.shared.clone(), to }
+    }
+
+    /// Coordinator: drains the latest metrics snapshot received from each
+    /// machine, sorted by machine id. Frames that arrive later replace
+    /// earlier ones, so after the result frames are in (results are sent
+    /// *after* the final metrics frame on the same ordered connection) this
+    /// holds each worker's final snapshot.
+    pub fn take_metrics(&self) -> Vec<(MachineId, Vec<u8>)> {
+        let mut drained: Vec<(MachineId, Vec<u8>)> = self
+            .shared
+            .control
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .drain()
+            .collect();
+        drained.sort_by_key(|(machine, _)| *machine);
+        drained
+    }
+
     /// Worker: blocks until a shutdown frame arrives (or `timeout`).
     /// Returns whether the shutdown order was received.
     pub fn wait_shutdown(&self, timeout: Duration) -> bool {
@@ -919,6 +995,38 @@ impl SocketNode {
         loop {
             let Some(handle) = self.shared.threads.lock().pop() else { break };
             let _ = handle.join();
+        }
+    }
+}
+
+/// A worker-side handle that ships [`FrameKind::Metrics`] snapshots to the
+/// coordinator (created by [`SocketNode::metrics_publisher`]). Sends are
+/// tolerant: a ticker thread must not crash the worker because the
+/// coordinator went away mid-run.
+pub struct MetricsPublisher {
+    shared: Arc<NodeShared>,
+    to: MachineId,
+}
+
+impl MetricsPublisher {
+    /// Sends one full metrics snapshot (the `rads-obs` binary codec);
+    /// returns `false` if the peer is unreachable or the write failed, so
+    /// the ticker can stop.
+    pub fn send(&self, payload: &[u8]) -> bool {
+        const METRICS_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+        let Ok(client) = self.shared.try_peer(self.to, METRICS_CONNECT_TIMEOUT) else {
+            return false;
+        };
+        let written = {
+            let mut stream = client.stream.lock();
+            write_frame(&mut *stream, FrameKind::Metrics, self.shared.machine as u64, payload)
+        };
+        match written {
+            Ok(written) => {
+                self.shared.stats.record_control(self.shared.machine, written);
+                true
+            }
+            Err(_) => false,
         }
     }
 }
@@ -991,7 +1099,10 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                 // write_message splits responses above the frame cap into a
                 // continuation run; `written` covers every frame of the run.
                 match write_message(&mut stream, FrameKind::Response, frame.correlation, &payload) {
-                    Ok(written) => shared.stats.record_response(shared.machine, from, written),
+                    Ok(written) => {
+                        shared.stats.record_response(shared.machine, from, written);
+                        frame_bytes_histogram().observe(written as u64);
+                    }
                     Err(e) => {
                         // The requester will only see "connection closed";
                         // name the real cause on this side before dropping
@@ -1022,6 +1133,18 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                     .expect("results lock")
                     .insert(from, frame.payload);
                 shared.control.condvar.notify_all();
+            }
+            FrameKind::Metrics => {
+                let from = frame.correlation as MachineId;
+                if from >= shared.machines() {
+                    return;
+                }
+                shared
+                    .control
+                    .metrics
+                    .lock()
+                    .expect("metrics lock")
+                    .insert(from, frame.payload);
             }
             FrameKind::Shutdown => {
                 // flip the flag under the condvar's mutex: a waiter between
@@ -1057,6 +1180,7 @@ impl Transport for SocketTransport {
 
     fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
         debug_assert_ne!(to, self.shared.machine, "local requests are served inline");
+        let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
         let client = self.shared.peer(to);
         let correlation = client.next_correlation.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = bounded(1);
@@ -1084,14 +1208,20 @@ impl Transport for SocketTransport {
             )
         });
         self.shared.stats.record_request(self.shared.machine, written);
+        frame_bytes_histogram().observe(written as u64);
+        rpc_span.attr("to", to as u64);
+        rpc_span.attr("correlation", correlation);
+        rpc_span.attr("req_bytes", written as u64);
         let machine = self.shared.machine;
         PendingResponse::deferred(to, Some(correlation), move || {
-            reply_rx.recv().unwrap_or_else(|_| {
+            let response = reply_rx.recv().unwrap_or_else(|_| {
                 panic!(
                     "machine {machine}: connection to machine {to} closed before the response \
                      to correlation {correlation} arrived"
                 )
-            })
+            });
+            rpc_span.finish();
+            response
         })
     }
 

@@ -86,6 +86,11 @@ pub enum FrameKind {
     Result,
     /// Coordinator-to-worker shutdown order. Empty payload. One-way.
     Shutdown,
+    /// A worker process shipping a metrics snapshot to the coordinator for
+    /// cluster-wide aggregation (periodically during a run and once after
+    /// the engine finishes). Payload is the `rads-obs` binary snapshot
+    /// codec; correlation id is the sending machine's id. One-way.
+    Metrics,
     /// One chunk of a message too large for a single frame: payload is
     /// `[sequence: u32 LE][payload chunk]`, correlation id is the message's.
     /// Never surfaced by [`read_message`] — runs are reassembled into the
@@ -103,6 +108,7 @@ impl FrameKind {
             FrameKind::Result => 5,
             FrameKind::Shutdown => 6,
             FrameKind::Continue => 7,
+            FrameKind::Metrics => 8,
         }
     }
 
@@ -115,6 +121,7 @@ impl FrameKind {
             5 => FrameKind::Result,
             6 => FrameKind::Shutdown,
             7 => FrameKind::Continue,
+            8 => FrameKind::Metrics,
             other => return Err(WireError::UnknownKind(other)),
         })
     }

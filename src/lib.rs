@@ -23,10 +23,14 @@
 //!
 //! The individual subsystems are documented in their own crates:
 //! [`graph`], [`partition`], [`runtime`], [`single`], [`exec`], [`plan`],
-//! [`core`] (the RADS engine itself), [`baselines`] and [`datasets`].
+//! [`core`] (the RADS engine itself), [`baselines`], [`datasets`] and
+//! [`obs`] (tracing + metrics).
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+/// Observability: structured tracing (Chrome trace-event export) and the
+/// named metrics registry (JSON / Prometheus snapshots).
+pub use rads_obs as obs;
 /// Graph substrate: CSR graphs, generators, query patterns, algorithms.
 pub use rads_graph as graph;
 /// Partitioning substrate: k-way partitioners, border vertices, ownership.

@@ -1,0 +1,164 @@
+//! Observation must never perturb enumeration: every run with
+//! `RADS_TRACE` / `RADS_METRICS` enabled must be *bit-identical* — same
+//! total count, same embeddings (pinned by a digest of the sorted
+//! embedding list) — to the same run with observability off, across every
+//! dataset stand-in, the full q1–q8 query set and both round drivers.
+//!
+//! The obs-on leg additionally checks the layer actually recorded
+//! something (published engine counters match the run's own report), so a
+//! gating bug that silently disabled recording cannot pass as "no
+//! perturbation".
+//!
+//! The observability toggles are process-global, so every test in this
+//! binary serializes on one mutex; the matrix is sized accordingly
+//! (in-process transport only — the 4-process cluster artifacts have
+//! their own test in `crates/bench/tests/observe_cluster.rs`).
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rads::prelude::*;
+use rads_core::RoundDriver;
+use rads_graph::queries;
+
+/// Serializes the tests in this binary: the `RADS_TRACE` / `RADS_METRICS`
+/// toggles and the metrics registry are process-global, and the test
+/// harness is multi-threaded.
+fn obs_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// FNV-1a over the sorted embedding list — a stable fingerprint that two
+/// runs share iff they produced exactly the same embeddings.
+fn digest(mut embeddings: Vec<Vec<VertexId>>) -> u64 {
+    embeddings.sort();
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut mix = |byte: u8| {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    for embedding in &embeddings {
+        for &v in embedding {
+            for byte in v.to_le_bytes() {
+                mix(byte);
+            }
+        }
+        mix(0xff); // embedding separator
+    }
+    hash
+}
+
+/// Runs the q1–q8 × driver matrix for one dataset stand-in, comparing the
+/// obs-off and obs-on legs of every cell.
+fn check_dataset(kind: DatasetKind, scale: f64, machines: usize, seed: u64) {
+    // Above this count, materializing every embedding in four runs per query
+    // dominates the suite's wall clock; those cells are pinned by count only.
+    const DIGEST_CEILING: u64 = 100_000;
+    let _guard = obs_lock().lock().unwrap();
+    let dataset = generate(kind, Scale(scale), seed);
+    let partitioning =
+        LabelPropagationPartitioner::default().partition(&dataset.graph, machines);
+    let pg = Arc::new(PartitionedGraph::build(&dataset.graph, partitioning));
+    let cluster = Cluster::new(pg);
+    for nq in queries::standard_query_set() {
+        let collect = count_embeddings(&dataset.graph, &nq.pattern) <= DIGEST_CEILING;
+        for driver in [RoundDriver::Serial, RoundDriver::Async] {
+            let cell = format!("{} / {} / {driver:?}", dataset.profile.name, nq.name);
+            let config = RadsConfig {
+                collect_embeddings: collect,
+                ..RadsConfig::with_round_driver(driver)
+            };
+
+            rads_obs::set_metrics_enabled(false);
+            rads_obs::set_trace_enabled(false);
+            let baseline = run_rads(&cluster, &nq.pattern, &config);
+
+            rads_obs::set_metrics_enabled(true);
+            rads_obs::set_trace_enabled(true);
+            let observed = run_rads(&cluster, &nq.pattern, &config);
+            let snapshot = rads_obs::Registry::global().snapshot();
+            rads_obs::set_metrics_enabled(false);
+            rads_obs::set_trace_enabled(false);
+            rads_obs::discard_trace();
+            rads_obs::Registry::global().reset();
+
+            assert_eq!(
+                observed.total_embeddings, baseline.total_embeddings,
+                "count deviates with observability on, {cell}"
+            );
+            if collect {
+                assert_eq!(
+                    digest(observed.all_embeddings()),
+                    digest(baseline.all_embeddings()),
+                    "embeddings deviate with observability on, {cell}"
+                );
+            }
+            // The obs-on leg really recorded: the registry's published
+            // counters agree with the run's own deterministic report.
+            let published = snapshot.scalar("rads_sme_embeddings_total").unwrap_or(0)
+                + snapshot.scalar("rads_distributed_embeddings_total").unwrap_or(0);
+            assert_eq!(published, observed.total_embeddings, "registry misses embeddings, {cell}");
+            assert_eq!(
+                snapshot.scalar("rads_net_messages_total"),
+                Some(observed.traffic.messages),
+                "registry misses traffic, {cell}"
+            );
+        }
+    }
+}
+
+#[test]
+fn roadnet_is_observation_invariant() {
+    check_dataset(DatasetKind::RoadNet, 0.05, 4, 11);
+}
+
+#[test]
+fn dblp_is_observation_invariant() {
+    check_dataset(DatasetKind::Dblp, 0.02, 4, 11);
+}
+
+#[test]
+fn livejournal_is_observation_invariant() {
+    check_dataset(DatasetKind::LiveJournal, 0.012, 4, 11);
+}
+
+#[test]
+fn uk2002_is_observation_invariant() {
+    check_dataset(DatasetKind::Uk2002, 0.004, 4, 11);
+}
+
+/// Satellite regression for the control-frame accounting asymmetry: the
+/// socket transport always charged its one-way control frames as bytes,
+/// while the in-process channel transport dropped its barrier
+/// notifications from the accounting entirely — so the two fabrics
+/// reported incomparable traffic shapes for any barrier-using workload.
+/// PSgL shuffles through a barrier every superstep, the heaviest user of
+/// that path: both fabrics must now report nonzero control *bytes* for it,
+/// and control frames must never leak into the request count.
+#[test]
+fn control_bytes_are_accounted_on_both_transports() {
+    let _guard = obs_lock().lock().unwrap();
+    let dataset = generate(DatasetKind::Dblp, Scale(0.04), 11);
+    let partitioning = LabelPropagationPartitioner::default().partition(&dataset.graph, 4);
+    let pg = Arc::new(PartitionedGraph::build(&dataset.graph, partitioning));
+    let pattern = queries::query_by_name("q1").expect("known query");
+    let mut counts = Vec::new();
+    for &transport in &[TransportKind::InProcess, TransportKind::Tcp] {
+        let cluster = Cluster::with_transport(pg.clone(), transport);
+        let outcome = run_psgl(&cluster, &pattern);
+        assert!(
+            outcome.traffic.control_bytes > 0,
+            "{transport:?}: barrier notifications must be charged as control bytes"
+        );
+        assert!(
+            outcome.traffic.control_bytes < outcome.traffic.total_bytes,
+            "{transport:?}: control bytes are a strict subset of the total"
+        );
+        assert!(
+            outcome.traffic.messages > 0,
+            "{transport:?}: a 4-machine shuffle always sends rows"
+        );
+        counts.push(outcome.total_embeddings);
+    }
+    assert_eq!(counts[0], counts[1], "fabrics disagree on the embedding count");
+}
