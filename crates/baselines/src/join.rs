@@ -157,12 +157,12 @@ pub fn distributed_join(
             outgoing[route_key(&key, machines)].push(row.clone());
         }
         for (target, batch) in outgoing.into_iter().enumerate() {
-            ctx.send_rows(target, tag, batch);
+            ctx.send_rows(target, tag, batch).unwrap_or_else(|e| panic!("{e}"));
         }
     };
     shuffle(&left.rows, &left_key_cols, tag_base);
     shuffle(&right.rows, &right_key_cols, tag_base + 1);
-    ctx.barrier();
+    ctx.barrier().unwrap_or_else(|e| panic!("{e}"));
 
     let left_in = ctx.take_rows(tag_base);
     let right_in = ctx.take_rows(tag_base + 1);
@@ -193,7 +193,7 @@ pub fn distributed_join(
     }
     stats.observe_rows(out.rows.len(), out.schema.len());
     // keep all machines in lock-step before the next round reuses tags
-    ctx.barrier();
+    ctx.barrier().unwrap_or_else(|e| panic!("{e}"));
     out
 }
 

@@ -45,7 +45,7 @@ pub fn run_psgl(cluster: &Cluster, pattern: &Pattern) -> BaselineOutcome {
         for pos in 1..n {
             let expand_tag = expand_tag(pos);
             let verify_tag = verify_tag(pos);
-            ctx.barrier();
+            ctx.barrier().unwrap_or_else(|e| panic!("{e}"));
 
             // --- expansion phase: we own the anchor's data vertex -----------
             let incoming = ctx.take_rows(expand_tag);
@@ -75,9 +75,9 @@ pub fn run_psgl(cluster: &Cluster, pattern: &Pattern) -> BaselineOutcome {
             let produced: usize = extended.iter().map(|b| b.len()).sum();
             stats.observe_rows(produced, pos + 1);
             for (target, batch) in extended.into_iter().enumerate() {
-                ctx.send_rows(target, verify_tag, batch);
+                ctx.send_rows(target, verify_tag, batch).unwrap_or_else(|e| panic!("{e}"));
             }
-            ctx.barrier();
+            ctx.barrier().unwrap_or_else(|e| panic!("{e}"));
 
             // --- verification phase: we own the newly matched vertex ---------
             let incoming = ctx.take_rows(verify_tag);
@@ -137,7 +137,7 @@ fn route_for_expansion(
         outgoing[ctx.ownership().owner(row[anchor_pos])].push(row);
     }
     for (target, batch) in outgoing.into_iter().enumerate() {
-        ctx.send_rows(target, expand_tag(pos), batch);
+        ctx.send_rows(target, expand_tag(pos), batch).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

@@ -45,7 +45,7 @@
 use std::time::Duration;
 
 use rads_bench::procs::{
-    dataset_by_name, run_coordinator, run_worker, ClusterSpec, ClusterSummary,
+    dataset_by_name, run_coordinator, run_worker, ClusterSpec, ClusterSummary, FaultPolicy,
 };
 use rads_core::RoundDriver;
 use rads_datasets::DatasetKind;
@@ -59,6 +59,7 @@ fn usage() -> ! {
          \x20          [--scale S] [--seed K] [--workers W] [--budget BYTES]\n\
          \x20          [--driver serial|async] [--fetch-chunk V] [--no-cache]\n\
          \x20          [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20          [--fault-policy fail-fast|recover] [--chaos-kill-ms MS]\n\
          \x20          [--timeout-secs T] [--json]\n\
          \x20 rads-node worker --machine M --machines N --addrs A0,A1,.. --dataset D\n\
          \x20          --scale S --seed K --query Q [--workers W] [--budget BYTES]\n\
@@ -171,7 +172,9 @@ fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
                 RoundDriver::parse(raw)
                     .unwrap_or_else(|| fail(&format!("--driver must be serial or async, got {raw:?}")))
             })
-            .unwrap_or_else(RoundDriver::from_env),
+            .unwrap_or_else(|| {
+                RoundDriver::from_env().unwrap_or_else(|e| fail(&e.to_string()))
+            }),
         fetch_chunk: flags.parsed("fetch-chunk").inspect(|&chunk: &usize| {
             if chunk == 0 {
                 fail("--fetch-chunk must be at least 1");
@@ -180,6 +183,36 @@ fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
         cache: !flags.no_cache,
         trace_out,
         metrics_out,
+        fault_policy: flags
+            .get("fault-policy")
+            .map(|raw| {
+                FaultPolicy::from_env_value(Some(raw))
+                    .unwrap_or_else(|_| fail(&format!("--fault-policy must be fail-fast or recover, got {raw:?}")))
+            })
+            .unwrap_or_else(|| FaultPolicy::from_env().unwrap_or_else(|e| fail(&e.to_string()))),
+        chaos_kill_ms: flags.parsed("chaos-kill-ms"),
+    }
+}
+
+/// Validates every RADS_* environment knob this process (and the workers it
+/// spawns, which inherit the environment) will read, so a typo fails the
+/// run up front with one clear message instead of a mid-run panic deep in a
+/// worker.
+fn validate_env() {
+    if let Err(e) = TransportKind::from_env() {
+        fail(&e.to_string());
+    }
+    if let Err(e) = RoundDriver::from_env() {
+        fail(&e.to_string());
+    }
+    if let Err(e) = rads_core::memory::MemoryBudget::from_env() {
+        fail(&e.to_string());
+    }
+    if let Err(e) = FaultPolicy::from_env() {
+        fail(&e.to_string());
+    }
+    if let Err(e) = rads_runtime::transport::barrier_timeout_from_env() {
+        fail(&e.to_string());
     }
 }
 
@@ -191,6 +224,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = args.first() else { usage() };
     let flags = Flags::parse(&args[1..]);
+    validate_env();
 
     match mode.as_str() {
         "run" => {
@@ -270,4 +304,14 @@ fn print_human(summary: &ClusterSummary) {
         "total\t{} embeddings\t{} wire bytes\t{} requests\t{:.1} ms",
         summary.total_embeddings, summary.wire_bytes, summary.wire_messages, summary.elapsed_ms
     );
+    println!(
+        "resilience ({})\t{} rpc retries\t{} reconnects\t{} heartbeats missed",
+        summary.fault_policy, summary.rpc_retries, summary.reconnects, summary.heartbeats_missed
+    );
+    if !summary.machines_recovered.is_empty() {
+        println!(
+            "recovered machines {:?}: {} region groups recomputed in-process after worker loss",
+            summary.machines_recovered, summary.groups_recovered
+        );
+    }
 }

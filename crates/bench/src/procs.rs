@@ -25,6 +25,7 @@
 //! framed bytes* summed over every process — the ground truth the simulated
 //! cost model is judged against.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex as StdMutex};
@@ -39,11 +40,76 @@ use rads_partition::{LabelPropagationPartitioner, PartitionedGraph, Partitioner}
 use rads_plan::{best_plan, PlannerConfig};
 use rads_runtime::transport::scratch_socket_dir;
 use rads_runtime::{
-    Daemon, MachineContext, NetworkStats, PeerAddr, SocketListener, SocketNode, TrafficSnapshot,
-    TransportKind,
+    ConfigError, Daemon, MachineContext, NetworkStats, NodeMonitor, PeerAddr, SocketListener,
+    SocketNode, TrafficSnapshot, TransportKind,
 };
 
 use crate::json::Json;
+
+/// Environment variable selecting what the coordinator does when a worker
+/// process dies mid-run (see [`FaultPolicy`]): `fail-fast` (default) or
+/// `recover`.
+pub const FAULT_POLICY_ENV: &str = "RADS_FAULT_POLICY";
+
+/// What the coordinator does when it confirms a worker process died before
+/// delivering its result.
+///
+/// Death is confirmed by `Child::try_wait` — the OS reaping the worker is
+/// authoritative. Stale heartbeats (a worker that stopped streaming its
+/// periodic metrics frames) are only *counted* (`heartbeats_missed` in the
+/// [`ClusterSummary`]), never acted on: a slow machine is not a dead one,
+/// and the run's hard deadline already bounds a genuine wedge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Kill the surviving workers and fail the run with a structured
+    /// per-machine report naming the dead machine(s). Nothing hangs: the
+    /// report is produced within the run's deadline.
+    #[default]
+    FailFast,
+    /// Kill the surviving workers and deterministically recompute the run
+    /// on an in-process cluster, yielding the same embedding counts the
+    /// socket cluster would have produced (the generators and the engine
+    /// are seed-stable; `socket_transports_reproduce_the_simulator_counts`
+    /// pins the equivalence). The *whole* run is recomputed, not just the
+    /// dead machine's region groups: checkR/shareR work stealing means a
+    /// lost machine's groups may already be half-processed elsewhere, so
+    /// per-machine shares are not individually reconstructible — but the
+    /// cluster total is deterministic, and that is what recovery restores.
+    Recover,
+}
+
+impl FaultPolicy {
+    /// CLI / summary name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPolicy::FailFast => "fail-fast",
+            FaultPolicy::Recover => "recover",
+        }
+    }
+
+    /// The policy selected by `RADS_FAULT_POLICY` (default
+    /// [`FaultPolicy::FailFast`]); a typed error for anything else.
+    pub fn from_env() -> Result<FaultPolicy, ConfigError> {
+        Self::from_env_value(std::env::var(FAULT_POLICY_ENV).ok().as_deref())
+    }
+
+    /// [`FaultPolicy::from_env`] over an explicit value (`None` = unset),
+    /// unit-testable without mutating the environment.
+    pub fn from_env_value(raw: Option<&str>) -> Result<FaultPolicy, ConfigError> {
+        match raw {
+            None => Ok(FaultPolicy::default()),
+            Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "fail-fast" | "failfast" => Ok(FaultPolicy::FailFast),
+                "recover" => Ok(FaultPolicy::Recover),
+                _ => Err(ConfigError {
+                    var: FAULT_POLICY_ENV,
+                    value: raw.to_string(),
+                    expected: "\"fail-fast\" or \"recover\"",
+                }),
+            },
+        }
+    }
+}
 
 /// Everything every process of one cluster run must agree on. The
 /// coordinator forwards these to its workers verbatim as CLI flags
@@ -87,6 +153,13 @@ pub struct ClusterSpec {
     /// (implies metrics on): JSON at the path itself, Prometheus text at
     /// `<path>.prom`. Same per-machine `.m<K>` derivation as `trace_out`.
     pub metrics_out: Option<PathBuf>,
+    /// Coordinator-side: what to do when a worker process dies mid-run.
+    /// Not forwarded to workers — only the coordinator acts on it.
+    pub fault_policy: FaultPolicy,
+    /// Chaos mode: the coordinator SIGKILLs the highest-id worker this many
+    /// milliseconds after spawning it — a real mid-run process loss, used by
+    /// the chaos suite to prove the fault policy. Coordinator-side only.
+    pub chaos_kill_ms: Option<u64>,
 }
 
 /// The artifact path of machine `machine` under base path `base`: machine 0
@@ -175,6 +248,7 @@ fn run_node_engine(
     spec: &ClusterSpec,
     machine: usize,
     addrs: Vec<PeerAddr>,
+    monitor_tx: Option<std::sync::mpsc::Sender<NodeMonitor>>,
 ) -> Result<(SocketNode, MachineOutput, Arc<NetworkStats>, Duration), String> {
     rads_obs::set_trace_process(machine as u64);
     let pattern = queries::query_by_name(&spec.query)
@@ -191,6 +265,11 @@ fn run_node_engine(
     let daemon: Arc<dyn Daemon> =
         Arc::new(RadsDaemon::new(partitioned.clone(), machine, queue.clone()));
     let node = SocketNode::start_with_listener(machine, addrs, listener, daemon.clone(), stats.clone());
+    if let Some(tx) = monitor_tx {
+        // hand the coordinator's main thread a liveness view before the
+        // engine starts (the node itself stays on this thread)
+        let _ = tx.send(node.monitor());
+    }
     let ctx = MachineContext::assemble(partitioned, node.transport(), daemon);
     let plan = best_plan(&pattern, &PlannerConfig { rho: 1.0 });
     let config = engine_config(spec);
@@ -250,9 +329,15 @@ pub struct MachineSummary {
     pub fetch_wait_prefetch_us: u64,
     /// This machine's engine wall-clock in milliseconds.
     pub elapsed_ms: f64,
+    /// RPCs this machine transparently re-issued after a transient
+    /// transport failure (the retry/backoff layer in
+    /// [`rads_runtime::MachineContext`]).
+    pub rpc_retries: u64,
+    /// Dead peer connections this machine replaced with a fresh dial.
+    pub reconnects: u64,
 }
 
-const RESULT_PAYLOAD_BYTES: usize = 60;
+const RESULT_PAYLOAD_BYTES: usize = 76;
 
 fn encode_result(m: &MachineSummary) -> Vec<u8> {
     let mut buf = Vec::with_capacity(RESULT_PAYLOAD_BYTES);
@@ -264,6 +349,8 @@ fn encode_result(m: &MachineSummary) -> Vec<u8> {
     buf.extend_from_slice(&m.fetch_wait_demand_us.to_le_bytes());
     buf.extend_from_slice(&m.fetch_wait_prefetch_us.to_le_bytes());
     buf.extend_from_slice(&m.elapsed_ms.to_bits().to_le_bytes());
+    buf.extend_from_slice(&m.rpc_retries.to_le_bytes());
+    buf.extend_from_slice(&m.reconnects.to_le_bytes());
     buf
 }
 
@@ -285,6 +372,8 @@ fn decode_result(buf: &[u8]) -> Result<MachineSummary, String> {
         fetch_wait_demand_us: u64_at(36),
         fetch_wait_prefetch_us: u64_at(44),
         elapsed_ms: f64::from_bits(u64_at(52)),
+        rpc_retries: u64_at(60),
+        reconnects: u64_at(68),
     })
 }
 
@@ -293,6 +382,7 @@ fn machine_summary(
     output: &MachineOutput,
     wire: &TrafficSnapshot,
     elapsed: Duration,
+    reconnects: u64,
 ) -> MachineSummary {
     MachineSummary {
         machine,
@@ -303,6 +393,8 @@ fn machine_summary(
         fetch_wait_demand_us: output.stats.fetch_wait_micros,
         fetch_wait_prefetch_us: output.stats.prefetch_wait_micros,
         elapsed_ms: elapsed.as_secs_f64() * 1000.0,
+        rpc_retries: output.stats.rpc_retries,
+        reconnects,
     }
 }
 
@@ -322,7 +414,7 @@ pub fn run_worker(
     if machine == 0 || machine >= spec.machines {
         return Err(format!("worker machine id {machine} out of range 1..{}", spec.machines));
     }
-    let (node, output, stats, elapsed) = run_node_engine(spec, machine, addrs)?;
+    let (node, output, stats, elapsed) = run_node_engine(spec, machine, addrs, None)?;
     let wire = stats.snapshot();
     rads_core::obs::publish_traffic(&wire);
     // The final metrics frame travels on the same ordered connection as the
@@ -331,8 +423,9 @@ pub fn run_worker(
     if rads_obs::metrics_enabled() {
         node.metrics_publisher(0).send(&rads_obs::Registry::global().snapshot().encode());
     }
-    let summary = machine_summary(machine, &output, &wire, elapsed);
-    node.send_result(0, &encode_result(&summary));
+    let summary = machine_summary(machine, &output, &wire, elapsed, node.reconnects());
+    node.send_result(0, &encode_result(&summary))
+        .map_err(|e| format!("machine {machine}: cannot deliver result to coordinator: {e}"))?;
     let ordered = node.wait_shutdown(timeout);
     node.finish_shutdown();
     write_observability_artifacts(spec)?;
@@ -377,6 +470,25 @@ pub struct ClusterSummary {
     /// histograms reduced to `<name>_sum` / `<name>_count`. Empty when
     /// metrics are disabled.
     pub metrics: Vec<(String, u64)>,
+    /// The fault policy the coordinator ran under
+    /// ([`FaultPolicy::name`]).
+    pub fault_policy: String,
+    /// RPCs transparently re-issued after transient transport failures,
+    /// over all machines.
+    pub rpc_retries: u64,
+    /// Dead peer connections replaced with a fresh dial, over all machines.
+    pub reconnects: u64,
+    /// Heartbeat intervals in which a worker that had already been heard
+    /// from went silent (no metrics/result frame for more than the
+    /// staleness threshold), summed over workers. Advisory only — worker
+    /// death is confirmed by process exit, never inferred from this.
+    pub heartbeats_missed: u64,
+    /// Machines whose results were recomputed in-process after their worker
+    /// process died ([`FaultPolicy::Recover`]). Empty on a clean run.
+    pub machines_recovered: Vec<usize>,
+    /// Region groups belonging to the recovered machines that the
+    /// deterministic rebuild recomputed. Zero on a clean run.
+    pub groups_recovered: u64,
     /// Per-machine breakdown, indexed by machine id.
     pub per_machine: Vec<MachineSummary>,
 }
@@ -413,7 +525,7 @@ impl ClusterSummary {
                         "{{\"machine\":{},\"embeddings\":{},\"sme_embeddings\":{},",
                         "\"wire_bytes\":{},\"wire_messages\":{},",
                         "\"fetch_wait_demand_us\":{},\"fetch_wait_prefetch_us\":{},",
-                        "\"elapsed_ms\":{:.3}}}"
+                        "\"elapsed_ms\":{:.3},\"rpc_retries\":{},\"reconnects\":{}}}"
                     ),
                     m.machine,
                     m.embeddings,
@@ -423,16 +535,23 @@ impl ClusterSummary {
                     m.fetch_wait_demand_us,
                     m.fetch_wait_prefetch_us,
                     m.elapsed_ms,
+                    m.rpc_retries,
+                    m.reconnects,
                 )
             })
             .collect();
         let metrics: Vec<String> =
             self.metrics.iter().map(|(name, value)| format!("\"{name}\":{value}")).collect();
+        let machines_recovered: Vec<String> =
+            self.machines_recovered.iter().map(|m| m.to_string()).collect();
         format!(
             concat!(
                 "{{\"query\":\"{}\",\"dataset\":\"{}\",\"transport\":\"{}\",",
                 "\"machines\":{},\"workers\":{},\"total_embeddings\":{},",
                 "\"wire_bytes\":{},\"wire_messages\":{},\"elapsed_ms\":{:.3},",
+                "\"fault_policy\":\"{}\",\"resilience\":{{",
+                "\"rpc_retries\":{},\"reconnects\":{},\"heartbeats_missed\":{},",
+                "\"machines_recovered\":[{}],\"groups_recovered\":{}}},",
                 "\"metrics\":{{{}}},\"per_machine\":[{}]}}"
             ),
             self.query,
@@ -444,6 +563,12 @@ impl ClusterSummary {
             self.wire_bytes,
             self.wire_messages,
             self.elapsed_ms,
+            self.fault_policy,
+            self.rpc_retries,
+            self.reconnects,
+            self.heartbeats_missed,
+            machines_recovered.join(","),
+            self.groups_recovered,
             metrics.join(","),
             per_machine.join(","),
         )
@@ -477,6 +602,9 @@ impl ClusterSummary {
                     .get("elapsed_ms")
                     .and_then(Json::as_f64)
                     .ok_or("missing per_machine elapsed_ms")?,
+                // absent in pre-resilience producers
+                rpc_retries: m("rpc_retries").unwrap_or(0),
+                reconnects: m("reconnects").unwrap_or(0),
             });
         }
         // tolerate a missing metrics object (older producers / disabled)
@@ -488,6 +616,16 @@ impl ClusterSummary {
                 metrics.push((name.clone(), value));
             }
         }
+        // tolerate a missing resilience object (pre-resilience producers)
+        let resilience = v.get("resilience");
+        let res_u64 = |k: &str| {
+            resilience.and_then(|r| r.get(k)).and_then(Json::as_u64).unwrap_or(0)
+        };
+        let machines_recovered = resilience
+            .and_then(|r| r.get("machines_recovered"))
+            .and_then(Json::as_array)
+            .map(|rows| rows.iter().filter_map(Json::as_u64).map(|m| m as usize).collect())
+            .unwrap_or_default();
         Ok(ClusterSummary {
             query: str_field("query")?,
             dataset: str_field("dataset")?,
@@ -499,6 +637,16 @@ impl ClusterSummary {
             wire_messages: u64_field("wire_messages")?,
             elapsed_ms: v.get("elapsed_ms").and_then(Json::as_f64).ok_or("missing elapsed_ms")?,
             metrics,
+            fault_policy: v
+                .get("fault_policy")
+                .and_then(Json::as_str)
+                .unwrap_or(FaultPolicy::FailFast.name())
+                .to_string(),
+            rpc_retries: res_u64("rpc_retries"),
+            reconnects: res_u64("reconnects"),
+            heartbeats_missed: res_u64("heartbeats_missed"),
+            machines_recovered,
+            groups_recovered: res_u64("groups_recovered"),
             per_machine,
         })
     }
@@ -598,6 +746,187 @@ fn kill_children(children: &mut [(usize, Child)]) {
     }
 }
 
+/// A worker that has been heard from (its heartbeat carrier is the periodic
+/// metrics stream, [`METRICS_TICK`]) counts missed heartbeats once it has
+/// been silent this long. Advisory accounting only — never a death verdict.
+const HEARTBEAT_STALE: Duration = Duration::from_millis(1000);
+
+/// The coordinator's per-poll watchdog over its worker processes: confirms
+/// deaths via `try_wait` (authoritative — the OS reaped the process), fires
+/// the chaos kill when due, and keeps the advisory missed-heartbeat
+/// account from the node's heartbeat map.
+struct ClusterWatch {
+    children: Arc<StdMutex<Vec<(usize, Child)>>>,
+    monitor_rx: std::sync::mpsc::Receiver<NodeMonitor>,
+    monitor: Option<NodeMonitor>,
+    chaos_at: Option<Instant>,
+    /// Highest missed-heartbeat count observed per machine (staleness is
+    /// measured against the machine's *latest* frame, so a recovered stream
+    /// resets the instantaneous count; the max preserves the episode).
+    missed: HashMap<usize, u64>,
+    /// Workers confirmed dead with a non-success exit status, in discovery
+    /// order: `(machine, status)`.
+    dead: Vec<(usize, String)>,
+}
+
+impl ClusterWatch {
+    fn new(
+        children: Arc<StdMutex<Vec<(usize, Child)>>>,
+        monitor_rx: std::sync::mpsc::Receiver<NodeMonitor>,
+        chaos_at: Option<Instant>,
+    ) -> ClusterWatch {
+        ClusterWatch { children, monitor_rx, monitor: None, chaos_at, missed: HashMap::new(), dead: Vec::new() }
+    }
+
+    /// One poll tick. Returns true if any worker is now confirmed dead.
+    fn poll(&mut self) -> bool {
+        if self.monitor.is_none() {
+            self.monitor = self.monitor_rx.try_recv().ok();
+        }
+        if let Some(at) = self.chaos_at {
+            if Instant::now() >= at {
+                self.chaos_at = None;
+                // SIGKILL the highest-id worker: a real, unannounced process
+                // loss in the middle of the run
+                if let Some((_, child)) =
+                    self.children.lock().expect("children lock").last_mut()
+                {
+                    let _ = child.kill();
+                }
+            }
+        }
+        if rads_obs::metrics_enabled() {
+            if let Some(monitor) = &self.monitor {
+                for (machine, last) in monitor.heartbeats() {
+                    let silent = last.elapsed();
+                    if silent > HEARTBEAT_STALE {
+                        let now_missed = 1 + (silent - HEARTBEAT_STALE).as_millis() as u64
+                            / METRICS_TICK.as_millis() as u64;
+                        let entry = self.missed.entry(machine).or_insert(0);
+                        *entry = (*entry).max(now_missed);
+                    }
+                }
+            }
+        }
+        for (machine, child) in self.children.lock().expect("children lock").iter_mut() {
+            if self.dead.iter().any(|(m, _)| m == machine) {
+                continue;
+            }
+            if let Ok(Some(status)) = child.try_wait() {
+                if !status.success() {
+                    self.dead.push((*machine, status.to_string()));
+                }
+            }
+        }
+        !self.dead.is_empty()
+    }
+
+    fn heartbeats_missed(&self) -> u64 {
+        self.missed.values().sum()
+    }
+}
+
+/// One-line JSON report of a worker-loss event: which policy was in force
+/// and which machines died with what status. This is the "structured
+/// per-machine error report" of the fail-fast policy — embedded in the
+/// `Err` string so callers (and the chaos suite) can parse it.
+fn fault_report(spec: &ClusterSpec, dead: &[(usize, String)]) -> String {
+    let dead_json: Vec<String> = dead
+        .iter()
+        .map(|(machine, status)| format!("{{\"machine\":{machine},\"status\":\"{status}\"}}"))
+        .collect();
+    format!(
+        "{{\"fault\":\"worker-loss\",\"policy\":\"{}\",\"machines\":{},\"dead\":[{}]}}",
+        spec.fault_policy.name(),
+        spec.machines,
+        dead_json.join(","),
+    )
+}
+
+/// The [`FaultPolicy::Recover`] path: after confirmed worker loss, rebuild
+/// the run deterministically on an in-process cluster (same generators,
+/// same partitioning, same engine — see the policy's doc for why the whole
+/// run is recomputed rather than only the dead machine's region groups) and
+/// synthesize the summary the socket cluster would have produced. Embedding
+/// counts are bit-identical to a clean run; the wire columns are zero
+/// because the rebuild never touches a socket.
+fn recover_in_process(
+    spec: &ClusterSpec,
+    kind: TransportKind,
+    dead: &[(usize, String)],
+    heartbeats_missed: u64,
+    start: Instant,
+) -> Result<ClusterSummary, String> {
+    use rads_core::{run_rads, RadsConfig};
+    let pattern = queries::query_by_name(&spec.query)
+        .ok_or_else(|| format!("unknown query {:?}", spec.query))?;
+    let partitioned = build_partitioned(spec);
+    let cluster = rads_runtime::Cluster::with_transport(partitioned, TransportKind::InProcess);
+    let econf = engine_config(spec);
+    let config = RadsConfig {
+        memory_budget: econf.budget,
+        workers: spec.workers,
+        round_driver: spec.driver,
+        fetch_chunk_vertices: econf.fetch_chunk_vertices,
+        enable_cache: spec.cache,
+        ..RadsConfig::default()
+    };
+    let rebuild_start = Instant::now();
+    let outcome = run_rads(&cluster, &pattern, &config);
+    let rebuild_ms = rebuild_start.elapsed().as_secs_f64() * 1000.0;
+    let machines_recovered: Vec<usize> = dead.iter().map(|(m, _)| *m).collect();
+    let groups_recovered: u64 = machines_recovered
+        .iter()
+        .map(|&m| outcome.per_machine[m].stats.groups_created as u64)
+        .sum();
+    if rads_obs::metrics_enabled() {
+        let registry = rads_obs::Registry::global();
+        registry.counter("rads_heartbeats_missed_total").add(heartbeats_missed);
+        registry.counter("rads_region_groups_recovered_total").add(groups_recovered);
+    }
+    let per_machine: Vec<MachineSummary> = outcome
+        .per_machine
+        .iter()
+        .enumerate()
+        .map(|(machine, report)| MachineSummary {
+            machine,
+            embeddings: report.count,
+            sme_embeddings: report.stats.sme_embeddings,
+            wire_bytes: 0,
+            wire_messages: 0,
+            fetch_wait_demand_us: report.stats.fetch_wait_micros,
+            fetch_wait_prefetch_us: report.stats.prefetch_wait_micros,
+            elapsed_ms: rebuild_ms,
+            rpc_retries: report.stats.rpc_retries,
+            reconnects: 0,
+        })
+        .collect();
+    let metrics = if rads_obs::metrics_enabled() {
+        scalar_metrics(&rads_obs::Registry::global().snapshot())
+    } else {
+        Vec::new()
+    };
+    Ok(ClusterSummary {
+        query: spec.query.clone(),
+        dataset: spec.dataset.name().to_string(),
+        transport: kind.name().to_string(),
+        machines: spec.machines,
+        workers: spec.workers,
+        total_embeddings: outcome.total_embeddings,
+        wire_bytes: 0,
+        wire_messages: 0,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+        metrics,
+        fault_policy: spec.fault_policy.name().to_string(),
+        rpc_retries: per_machine.iter().map(|m| m.rpc_retries).sum(),
+        reconnects: 0,
+        heartbeats_missed,
+        machines_recovered,
+        groups_recovered,
+        per_machine,
+    })
+}
+
 /// Runs a whole multi-process cluster: spawns `spec.machines - 1` workers
 /// (the `node_binary` in `worker` mode), acts as machine 0, and enforces
 /// `timeout` as a hard deadline on the whole run — every phase fails with
@@ -637,6 +966,12 @@ pub fn run_coordinator(
     // reach of any return path. On deadline the engine thread is abandoned
     // (it is unjoinable by construction — both real callers exit shortly
     // after the Err) and the workers are killed.
+    let (monitor_tx, monitor_rx) = std::sync::mpsc::channel();
+    let mut watch = ClusterWatch::new(
+        children.clone(),
+        monitor_rx,
+        spec.chaos_kill_ms.map(|ms| start + Duration::from_millis(ms)),
+    );
     let engine_rx = {
         let (tx, rx) = std::sync::mpsc::channel();
         let spec = spec.clone();
@@ -644,27 +979,48 @@ pub fn run_coordinator(
         std::thread::Builder::new()
             .name("rads-coordinator-engine".to_string())
             .spawn(move || {
-                let _ = tx.send(run_node_engine(&spec, 0, engine_addrs));
+                let _ = tx.send(run_node_engine(&spec, 0, engine_addrs, Some(monitor_tx)));
             })
             .expect("spawn coordinator engine thread");
         rx
+    };
+    // Dispatches a confirmed worker loss per the spec's fault policy:
+    // fail-fast kills the survivors and surfaces the structured report;
+    // recover kills the survivors (their partial results are unusable — the
+    // rebuild is all-machine) and recomputes in-process. Either way the
+    // coordinator's own engine thread is abandoned: it may be blocked on,
+    // or panicking over, a connection to a machine that no longer exists.
+    let on_worker_loss = |watch: &ClusterWatch| -> Result<ClusterSummary, String> {
+        kill_children(&mut children.lock().expect("children lock"));
+        match spec.fault_policy {
+            FaultPolicy::FailFast => Err(format!(
+                "fault policy fail-fast: worker machine(s) {:?} died mid-run; report: {}",
+                watch.dead.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+                fault_report(spec, &watch.dead),
+            )),
+            FaultPolicy::Recover => {
+                recover_in_process(spec, kind, &watch.dead, watch.heartbeats_missed(), start)
+            }
+        }
     };
     let result = (|| {
         let engine_outcome = loop {
             match engine_rx.try_recv() {
                 Ok(outcome) => break outcome,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                    return Err("coordinator engine thread died without reporting".to_string())
+                    // The engine thread panicking is itself a worker-loss
+                    // symptom: its RPCs to the dead machine exhausted their
+                    // retries. Confirm via the process table before blaming
+                    // the engine.
+                    watch.poll();
+                    if !watch.dead.is_empty() {
+                        return on_worker_loss(&watch);
+                    }
+                    return Err("coordinator engine thread died without reporting".to_string());
                 }
                 Err(std::sync::mpsc::TryRecvError::Empty) => {
-                    for (machine, child) in children.lock().expect("children lock").iter_mut() {
-                        if let Ok(Some(status)) = child.try_wait() {
-                            if !status.success() {
-                                return Err(format!(
-                                    "worker machine {machine} exited early ({status})"
-                                ));
-                            }
-                        }
+                    if watch.poll() {
+                        return on_worker_loss(&watch);
                     }
                     if Instant::now() >= deadline {
                         return Err(format!(
@@ -688,14 +1044,8 @@ pub fn run_coordinator(
                         break;
                     }
                     Err(missing) => {
-                        for (machine, child) in children.lock().expect("children lock").iter_mut() {
-                            if let Ok(Some(status)) = child.try_wait() {
-                                if !status.success() {
-                                    return Err(format!(
-                                        "worker machine {machine} exited early ({status})"
-                                    ));
-                                }
-                            }
+                        if watch.poll() {
+                            return on_worker_loss(&watch);
                         }
                         if Instant::now() >= deadline {
                             return Err(format!(
@@ -710,6 +1060,12 @@ pub fn run_coordinator(
         }
         let wire0 = stats.snapshot();
         rads_core::obs::publish_traffic(&wire0);
+        let heartbeats_missed = watch.heartbeats_missed();
+        if rads_obs::metrics_enabled() {
+            rads_obs::Registry::global()
+                .counter("rads_heartbeats_missed_total")
+                .add(heartbeats_missed);
+        }
         // Every result frame followed its machine's final metrics frame on
         // the same ordered connection, so the metrics map now holds each
         // worker's final snapshot; absorb them into the coordinator's own.
@@ -728,11 +1084,13 @@ pub fn run_coordinator(
             }
             metrics = scalar_metrics(&snapshot);
         }
+        let reconnects0 = node.reconnects();
         node.broadcast_shutdown();
         node.finish_shutdown();
         write_observability_artifacts(spec)?;
 
-        let mut per_machine = vec![machine_summary(0, &output, &wire0, elapsed0)];
+        let mut per_machine =
+            vec![machine_summary(0, &output, &wire0, elapsed0, reconnects0)];
         for payload in payloads {
             per_machine.push(decode_result(&payload)?);
         }
@@ -748,11 +1106,21 @@ pub fn run_coordinator(
             wire_messages: per_machine.iter().map(|m| m.wire_messages).sum(),
             elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
             metrics,
+            fault_policy: spec.fault_policy.name().to_string(),
+            rpc_retries: per_machine.iter().map(|m| m.rpc_retries).sum(),
+            reconnects: per_machine.iter().map(|m| m.reconnects).sum(),
+            heartbeats_missed,
+            machines_recovered: Vec::new(),
+            groups_recovered: 0,
             per_machine,
         })
     })();
 
     let result = result.and_then(|summary| {
+        // a recovered run already killed and reaped its workers
+        if !summary.machines_recovered.is_empty() {
+            return Ok(summary);
+        }
         // reap the workers (they received the shutdown order)
         let reap_deadline = Instant::now() + Duration::from_secs(10);
         for (machine, child) in children.lock().expect("children lock").iter_mut() {
@@ -837,6 +1205,8 @@ pub fn socket_vs_simulated(
             cache: true,
             trace_out: None,
             metrics_out: None,
+            fault_policy: FaultPolicy::default(),
+            chaos_kill_ms: None,
         };
         let summary = run_coordinator(&spec, TransportKind::Uds, node_binary, timeout)?;
         assert_eq!(
@@ -943,6 +1313,8 @@ pub fn overlap_sockets(
                     cache: true,
                     trace_out: None,
                     metrics_out: None,
+                    fault_policy: FaultPolicy::default(),
+                    chaos_kill_ms: None,
                 };
                 let summary = run_coordinator(&spec, TransportKind::Uds, node_binary, timeout)?;
                 let ms = summary
@@ -1020,6 +1392,8 @@ mod tests {
             fetch_wait_demand_us: 640,
             fetch_wait_prefetch_us: 12,
             elapsed_ms: 15.625,
+            rpc_retries: 7,
+            reconnects: 2,
         };
         let encoded = encode_result(&summary);
         assert_eq!(encoded.len(), RESULT_PAYLOAD_BYTES);
@@ -1044,6 +1418,12 @@ mod tests {
                 ("rads_net_frame_bytes_count".to_string(), 56),
                 ("rads_net_frame_bytes_sum".to_string(), 1100),
             ],
+            fault_policy: "recover".to_string(),
+            rpc_retries: 9,
+            reconnects: 3,
+            heartbeats_missed: 4,
+            machines_recovered: vec![3],
+            groups_recovered: 17,
             per_machine: vec![
                 MachineSummary {
                     machine: 0,
@@ -1054,6 +1434,8 @@ mod tests {
                     fetch_wait_demand_us: 523,
                     fetch_wait_prefetch_us: 0,
                     elapsed_ms: 70.125,
+                    rpc_retries: 6,
+                    reconnects: 1,
                 },
                 MachineSummary {
                     machine: 1,
@@ -1064,11 +1446,51 @@ mod tests {
                     fetch_wait_demand_us: 77,
                     fetch_wait_prefetch_us: 3,
                     elapsed_ms: 69.0,
+                    rpc_retries: 3,
+                    reconnects: 2,
                 },
             ],
         };
         let rendered = format!("spawned 3 workers\n{}\n", summary.to_json());
         assert_eq!(ClusterSummary::parse_json(&rendered), Ok(summary));
+    }
+
+    #[test]
+    fn fault_policy_env_values_parse_or_error() {
+        assert_eq!(FaultPolicy::from_env_value(None), Ok(FaultPolicy::FailFast));
+        assert_eq!(FaultPolicy::from_env_value(Some("fail-fast")), Ok(FaultPolicy::FailFast));
+        assert_eq!(FaultPolicy::from_env_value(Some("Recover")), Ok(FaultPolicy::Recover));
+        let err = FaultPolicy::from_env_value(Some("retry-forever")).expect_err("typed error");
+        assert_eq!(err.var, FAULT_POLICY_ENV);
+        assert!(err.to_string().contains("retry-forever"), "{err}");
+    }
+
+    #[test]
+    fn fault_report_names_every_dead_machine() {
+        let spec = ClusterSpec {
+            machines: 4,
+            dataset: DatasetKind::Dblp,
+            scale: 0.05,
+            seed: 9,
+            query: "q2".into(),
+            workers: 1,
+            budget: None,
+            driver: RoundDriver::Async,
+            fetch_chunk: None,
+            cache: true,
+            trace_out: None,
+            metrics_out: None,
+            fault_policy: FaultPolicy::FailFast,
+            chaos_kill_ms: None,
+        };
+        let report =
+            fault_report(&spec, &[(2, "signal: 9".to_string()), (3, "exit status: 1".to_string())]);
+        assert!(report.contains("\"policy\":\"fail-fast\""), "{report}");
+        assert!(report.contains("{\"machine\":2,\"status\":\"signal: 9\"}"), "{report}");
+        assert!(report.contains("{\"machine\":3,\"status\":\"exit status: 1\"}"), "{report}");
+        // the report is itself parseable JSON
+        let parsed = Json::parse(&report).expect("report parses");
+        assert_eq!(parsed.get("fault").and_then(Json::as_str), Some("worker-loss"));
     }
 
     #[test]
@@ -1095,6 +1517,8 @@ mod tests {
             cache: false,
             trace_out: Some(PathBuf::from("/tmp/a/trace.json")),
             metrics_out: Some(PathBuf::from("/tmp/a/metrics.json")),
+            fault_policy: FaultPolicy::default(),
+            chaos_kill_ms: None,
         };
         let addrs = vec![
             PeerAddr::Uds("/tmp/a/m0.sock".into()),

@@ -64,7 +64,7 @@ use rads_graph::{Pattern, SymmetryBreaking, VertexId};
 use rads_graph::types::EdgeKey;
 use rads_partition::LocalPartition;
 use rads_plan::ExecutionPlan;
-use rads_runtime::{MachineContext, PendingResponse, Request, Response};
+use rads_runtime::{ConfigError, MachineContext, PendingResponse, Request, Response, TransportError};
 
 use crate::cache::ForeignVertexCache;
 use crate::daemon::GroupQueue;
@@ -113,14 +113,23 @@ impl RoundDriver {
     }
 
     /// Reads [`ROUND_DRIVER_ENV`], defaulting to [`RoundDriver::Async`].
-    /// An unknown value panics (a typo silently running the wrong driver
-    /// would defeat the differential matrix).
-    pub fn from_env() -> RoundDriver {
-        match std::env::var(ROUND_DRIVER_ENV) {
-            Ok(value) => RoundDriver::parse(&value).unwrap_or_else(|| {
-                panic!("{ROUND_DRIVER_ENV}={value:?}: expected \"serial\" or \"async\"")
+    /// An unknown value is a typed [`ConfigError`] (a typo silently running
+    /// the wrong driver would defeat the differential matrix; binaries exit
+    /// cleanly with the message instead of panicking mid-run).
+    pub fn from_env() -> Result<RoundDriver, ConfigError> {
+        Self::from_env_value(std::env::var(ROUND_DRIVER_ENV).ok().as_deref())
+    }
+
+    /// [`from_env`](Self::from_env) over an explicit value (`None` = unset),
+    /// so the parse is testable without racing on process-global env state.
+    pub fn from_env_value(raw: Option<&str>) -> Result<RoundDriver, ConfigError> {
+        match raw {
+            None => Ok(RoundDriver::default()),
+            Some(value) => RoundDriver::parse(value).ok_or_else(|| ConfigError {
+                var: ROUND_DRIVER_ENV,
+                value: value.to_string(),
+                expected: "\"serial\" or \"async\"",
             }),
-            Err(_) => RoundDriver::default(),
         }
     }
 }
@@ -250,6 +259,11 @@ pub struct EngineStats {
     pub prefetch_wait_micros: u64,
     /// Number of `verifyE` requests sent.
     pub verify_requests: u64,
+    /// Transient RPC failures healed by transparent re-issue (retry with
+    /// backoff, or a synchronous re-send after a failed async harvest).
+    /// Zero on a healthy fabric; under fault injection this proves the
+    /// retry layer fired while counts stayed bit-identical.
+    pub rpc_retries: u64,
     /// Distinct undetermined edges put into the EVI.
     pub undetermined_edges: u64,
     /// Embedding candidates removed by remote verification.
@@ -310,6 +324,7 @@ impl MachineOutput {
         s.fetch_wait_micros = s.fetch_wait_micros.max(w.fetch_wait_micros);
         s.prefetch_wait_micros = s.prefetch_wait_micros.max(w.prefetch_wait_micros);
         s.verify_requests += w.verify_requests;
+        s.rpc_retries += w.rpc_retries;
         s.undetermined_edges += w.undetermined_edges;
         s.candidates_filtered += w.candidates_filtered;
         s.intersect.absorb(&w.intersect);
@@ -375,9 +390,10 @@ fn ensure_pivot_adjacency(
     }
     stats.fetch_requests += 1;
     let owner = ctx.ownership().owner(pivot);
-    let pending = ctx.request_async(owner, Request::FetchVertices(vec![pivot]));
+    let request = Request::FetchVertices(vec![pivot]);
+    let pending = ctx.request_async(owner, request.clone());
     let correlation = pending.correlation();
-    match pending.wait() {
+    match ctx.harvest(pending, owner, &request).unwrap_or_else(|e| transport_failed(ctx, e)) {
         Response::Adjacency(lists) => {
             let mut transient = None;
             for (v, mut adj) in lists {
@@ -417,6 +433,17 @@ fn unexpected_response(
         "machine {me}: unexpected {what} response from machine {from} \
          (correlation {correlation}): {response:?}"
     )
+}
+
+/// An RPC failed past the retry/backoff policy (terminal error, or the
+/// retry budget ran out). The engine cannot make progress without the
+/// answer, so the machine goes down carrying the typed error message; the
+/// engine-thread panic is tagged with the machine id by the runtime, and in
+/// a multi-process cluster the coordinator observes the worker's exit and
+/// applies `RADS_FAULT_POLICY` (fail fast with a structured report, or
+/// recompute the lost shares).
+fn transport_failed(ctx: &MachineContext, error: TransportError) -> ! {
+    panic!("machine {}: unrecoverable transport failure: {error}", ctx.machine())
 }
 
 /// Runs the full RADS pipeline on one machine of the cluster.
@@ -481,6 +508,10 @@ pub fn run_machine(
     if config.collect_embeddings {
         output.embeddings.sort_unstable();
     }
+    // The retry counter lives on the shared context (all workers and the
+    // prefetcher funnel through it), so it is read once here, not summed
+    // from worker partials.
+    output.stats.rpc_retries = ctx.rpc_retries();
     crate::obs::publish_engine_stats(&output.stats);
     drop(query_span);
     // The engine thread may live past this run (it is the process main
@@ -561,10 +592,13 @@ fn drain_region_groups(
         loop {
             // the async driver scatters the checkR poll so the peers serve
             // it concurrently; results are identical, only pacing differs
+            // checkR is idempotent: both paths retry transient failures
+            // internally; an error here means a peer is gone past recovery.
             let polled = match config.driver {
                 RoundDriver::Serial => ctx.broadcast(Request::CheckRegionGroups),
                 RoundDriver::Async => ctx.broadcast_scatter(Request::CheckRegionGroups),
-            };
+            }
+            .unwrap_or_else(|e| transport_failed(ctx, e));
             let counts: Vec<(usize, usize)> = polled
                 .into_iter()
                 .filter_map(|(m, resp)| match resp {
@@ -576,7 +610,13 @@ fn drain_region_groups(
             if pending == 0 {
                 break;
             }
-            match ctx.request(target, Request::ShareRegionGroup) {
+            // shareR pops the target's queue — not idempotent, so a failure
+            // is returned on first error, never blindly re-sent (a duplicate
+            // could lose a region group). Terminal for this machine.
+            match ctx
+                .request(target, Request::ShareRegionGroup)
+                .unwrap_or_else(|e| transport_failed(ctx, e))
+            {
                 Response::RegionGroup(Some(group)) => {
                     // A stolen group that overflows is split onto *this*
                     // machine's queue — the thief keeps the shed work.
@@ -1060,8 +1100,13 @@ impl GroupPrefetch {
             crate::obs::prefetch_wait_histogram().observe(waited);
         }
         match response {
-            Response::Adjacency(lists) => cache.insert_all(lists),
-            other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
+            Ok(Response::Adjacency(lists)) => cache.insert_all(lists),
+            Ok(other) => unexpected_response(ctx, "fetchV", owner, correlation, &other),
+            // Prefetch is pure cache warming: a failed chunk is simply not
+            // inserted, and the demand path re-fetches it later under the
+            // full retry policy. Dropping it here keeps counts identical
+            // under fault injection without retrying speculative work.
+            Err(_) => {}
         }
     }
 }
@@ -1102,7 +1147,9 @@ fn fetch_foreign(
             scratch.insert_all(lists);
         }
     };
-    let mut pending: Vec<PendingResponse> = Vec::new();
+    // async scatter: each handle keeps its request so a transiently failed
+    // harvest can re-issue it synchronously (fetchV is idempotent)
+    let mut pending: Vec<(Request, PendingResponse)> = Vec::new();
     {
         // The serial driver round-trips inside this span, the async driver
         // only issues — either way "scatter" covers the request-side work.
@@ -1112,16 +1159,20 @@ fn fetch_foreign(
             for chunk in vertices.chunks(chunk_vertices.max(1)) {
                 stats.fetch_requests += 1;
                 chunks += 1;
+                let request = Request::FetchVertices(chunk.to_vec());
                 match driver {
                     RoundDriver::Serial => {
-                        match ctx.request(owner, Request::FetchVertices(chunk.to_vec())) {
+                        match ctx
+                            .request(owner, request)
+                            .unwrap_or_else(|e| transport_failed(ctx, e))
+                        {
                             Response::Adjacency(lists) => insert(cache, scratch, lists),
                             other => unexpected_response(ctx, "fetchV", owner, None, &other),
                         }
                     }
                     RoundDriver::Async => {
-                        pending
-                            .push(ctx.request_async(owner, Request::FetchVertices(chunk.to_vec())));
+                        let p = ctx.request_async(owner, request.clone());
+                        pending.push((request, p));
                     }
                 }
             }
@@ -1136,14 +1187,14 @@ fn fetch_foreign(
     // harvest in issue order: the cache's LRU recency is then independent of
     // the order in which the network delivered the responses
     let mut pending = pending.into_iter();
-    if let Some(p) = pending.next() {
+    if let Some((request, p)) = pending.next() {
         // The wait for the first response approximates one link round trip
         // (every later response overlaps with it); its EWMA is what
         // [`GroupPrefetch::scatter`] consults to decide whether scattering
         // a group ahead can pay for itself.
         let started = std::time::Instant::now();
         let (owner, correlation) = (p.to(), p.correlation());
-        let response = p.wait();
+        let response = ctx.harvest(p, owner, &request).unwrap_or_else(|e| transport_failed(ctx, e));
         let waited = (started.elapsed().as_micros() as u64).max(1);
         stats.fetch_wait_micros = match stats.fetch_wait_micros {
             0 => waited,
@@ -1157,9 +1208,9 @@ fn fetch_foreign(
             other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
         }
     }
-    for p in pending {
+    for (request, p) in pending {
         let (owner, correlation) = (p.to(), p.correlation());
-        match p.wait() {
+        match ctx.harvest(p, owner, &request).unwrap_or_else(|e| transport_failed(ctx, e)) {
             Response::Adjacency(lists) => insert(cache, scratch, lists),
             other => unexpected_response(ctx, "fetchV", owner, correlation, &other),
         }
@@ -1217,12 +1268,15 @@ fn verify_and_filter(
             verdicts.insert(EdgeKey::new(u, v), exists);
         }
     };
-    let mut pending: Vec<(Vec<(VertexId, VertexId)>, PendingResponse)> = Vec::new();
+    // (pairs sent, the request for harvest's retry re-issue, the handle)
+    type PendingVerify = (Vec<(VertexId, VertexId)>, Request, PendingResponse);
+    let mut pending: Vec<PendingVerify> = Vec::new();
     for (&owner, pairs) in &by_owner {
         stats.verify_requests += 1;
+        let request = Request::VerifyEdges(pairs.clone());
         match driver {
             RoundDriver::Serial => {
-                match ctx.request(owner, Request::VerifyEdges(pairs.clone())) {
+                match ctx.request(owner, request).unwrap_or_else(|e| transport_failed(ctx, e)) {
                     Response::EdgeVerification(answers) => {
                         record(&mut verdicts, pairs.clone(), answers)
                     }
@@ -1230,14 +1284,14 @@ fn verify_and_filter(
                 }
             }
             RoundDriver::Async => {
-                let p = ctx.request_async(owner, Request::VerifyEdges(pairs.clone()));
-                pending.push((pairs.clone(), p));
+                let p = ctx.request_async(owner, request.clone());
+                pending.push((pairs.clone(), request, p));
             }
         }
     }
-    for (pairs, p) in pending {
+    for (pairs, request, p) in pending {
         let (owner, correlation) = (p.to(), p.correlation());
-        match p.wait() {
+        match ctx.harvest(p, owner, &request).unwrap_or_else(|e| transport_failed(ctx, e)) {
             Response::EdgeVerification(answers) => record(&mut verdicts, pairs, answers),
             other => unexpected_response(ctx, "verifyE", owner, correlation, &other),
         }

@@ -18,6 +18,7 @@
 //! trusting the prior.
 
 use crate::trie::EmbeddingTrie;
+use rads_runtime::ConfigError;
 
 /// Environment variable read by [`MemoryBudget::from_env`] (and therefore by
 /// `RadsConfig::default()`): the per-region-group budget `Φ` in bytes, with
@@ -73,16 +74,36 @@ impl MemoryBudget {
     }
 
     /// The budget configured by the `RADS_MEMORY_BUDGET` environment
-    /// variable, or `None` when unset or unparsable. Accepts plain bytes or a
-    /// `k`/`m`/`g` binary suffix, case-insensitive: `65536`, `64k`, `4m`,
-    /// `1g`.
-    pub fn from_env() -> Option<Self> {
-        parse_bytes(&std::env::var(MEMORY_BUDGET_ENV).ok()?).map(Self::from_bytes)
+    /// variable: `Ok(None)` when unset, `Ok(Some(..))` for a valid size, and
+    /// a typed [`ConfigError`] for a malformed or zero value (instead of the
+    /// old behaviour of silently falling back to the default). Accepts plain
+    /// bytes or a `k`/`m`/`g` binary suffix, case-insensitive: `65536`,
+    /// `64k`, `4m`, `1g`.
+    pub fn from_env() -> Result<Option<Self>, ConfigError> {
+        Self::from_env_value(std::env::var(MEMORY_BUDGET_ENV).ok().as_deref())
     }
 
-    /// [`MemoryBudget::from_env`] with the default as fallback.
+    /// [`MemoryBudget::from_env`] over an explicit value (`None` = unset), so
+    /// the parse rules are unit-testable without mutating the environment.
+    pub fn from_env_value(raw: Option<&str>) -> Result<Option<Self>, ConfigError> {
+        match raw {
+            None => Ok(None),
+            Some(raw) => match parse_bytes(raw) {
+                Some(bytes) => Ok(Some(Self::from_bytes(bytes))),
+                None => Err(ConfigError {
+                    var: MEMORY_BUDGET_ENV,
+                    value: raw.to_string(),
+                    expected: "a positive byte count, optionally with a k/m/g suffix (e.g. 64k)",
+                }),
+            },
+        }
+    }
+
+    /// [`MemoryBudget::from_env`] with the default as fallback. Library-level
+    /// backstop: binaries should call `from_env()` up front and report the
+    /// [`ConfigError`] cleanly; this panics only if they did not.
     pub fn default_from_env() -> Self {
-        Self::from_env().unwrap_or_default()
+        Self::from_env().unwrap_or_else(|e| panic!("{e}")).unwrap_or_default()
     }
 }
 
@@ -168,6 +189,26 @@ impl SpaceEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_env_value_parses_suffixes_and_rejects_garbage() {
+        assert_eq!(MemoryBudget::from_env_value(None).expect("unset"), None);
+        assert_eq!(
+            MemoryBudget::from_env_value(Some("64k")).expect("64k"),
+            Some(MemoryBudget::from_bytes(64 * 1024))
+        );
+        assert_eq!(
+            MemoryBudget::from_env_value(Some("4M")).expect("4M"),
+            Some(MemoryBudget::from_bytes(4 * 1024 * 1024))
+        );
+        for bad in ["", "lots", "-4k", "0", "4q"] {
+            let err = MemoryBudget::from_env_value(Some(bad))
+                .expect_err("garbage must be a typed error, not a silent default");
+            assert_eq!(err.var, MEMORY_BUDGET_ENV);
+            assert_eq!(err.value, bad);
+            assert!(err.to_string().contains(MEMORY_BUDGET_ENV), "{err}");
+        }
+    }
 
     #[test]
     fn sme_estimator_averages_nodes() {

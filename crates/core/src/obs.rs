@@ -104,6 +104,10 @@ pub fn publish_engine_stats(stats: &EngineStats) {
     gauge("rads_fetch_demand_wait_ewma_us").observe_max(stats.fetch_wait_micros);
     gauge("rads_fetch_prefetch_wait_ewma_us").observe_max(stats.prefetch_wait_micros);
     live_bytes_watermark().observe_max(stats.peak_tracked_bytes);
+    // stats.rpc_retries is deliberately NOT published here: the resilience
+    // counters (rads_rpc_retries_total, rads_reconnects_total, ...) are
+    // incremented live at their event sites in rads-runtime, and re-adding
+    // the end-of-run aggregate would double-count every retry.
 }
 
 /// Publishes a cluster (or machine) traffic snapshot into the global

@@ -124,7 +124,10 @@ impl Default for RadsConfig {
             seed: 42,
             workers: rads_exec::workers_from_env(),
             steal_granularity: rads_exec::DEFAULT_STEAL_GRANULARITY,
-            round_driver: RoundDriver::from_env(),
+            // Library backstop: binaries validate RADS_ROUND_DRIVER up front
+            // (and exit cleanly with the ConfigError message) before any
+            // Default::default() runs.
+            round_driver: RoundDriver::from_env().unwrap_or_else(|e| panic!("{e}")),
             fetch_chunk_vertices: crate::engine::DEFAULT_FETCH_CHUNK_VERTICES,
         }
     }

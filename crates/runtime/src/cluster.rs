@@ -18,6 +18,7 @@
 //! at the socket stack wholesale — the engines cannot tell the difference,
 //! which is the point: [`MachineContext`]'s API is transport-independent.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -26,12 +27,43 @@ use crossbeam::channel::unbounded;
 use rads_graph::VertexId;
 use rads_partition::{LocalPartition, MachineId, PartitionedGraph, Partitioning};
 
+use crate::error::TransportError;
 use crate::message::{Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 use crate::transport::{
     scratch_socket_dir, ChannelTransport, Envelope, PeerAddr, PendingResponse, SocketListener,
     SocketNode, Transport, TransportKind,
 };
+
+/// Retries after the first attempt of an idempotent RPC (5 attempts total).
+const RPC_RETRY_LIMIT: u32 = 4;
+/// First backoff step; doubles per retry up to [`RPC_BACKOFF_CAP`].
+const RPC_BACKOFF_BASE: Duration = Duration::from_millis(2);
+/// Ceiling of one backoff sleep.
+const RPC_BACKOFF_CAP: Duration = Duration::from_millis(200);
+/// Cumulative per-RPC deadline: once this much wall clock has elapsed since
+/// the first attempt, the next transient failure is returned, not retried.
+const RPC_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Exponential backoff with deterministic jitter: sleep `attempt` (1-based)
+/// lands in `[step/2, step]` where `step = min(base << (attempt-1), cap)`.
+/// The jitter de-synchronizes machines hammering one recovering peer
+/// without pulling in a randomness dependency — an xorshift mix of the
+/// (machine, peer, attempt) triple, so runs stay reproducible.
+fn backoff_delay(machine: MachineId, to: MachineId, attempt: u32) -> Duration {
+    let shift = (attempt.saturating_sub(1)).min(16);
+    let step = RPC_BACKOFF_BASE.saturating_mul(1 << shift).min(RPC_BACKOFF_CAP);
+    let mut x = (machine as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((to as u64) << 32)
+        .wrapping_add(attempt as u64)
+        | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let half = step.as_millis() as u64 / 2;
+    Duration::from_millis(half + x % (half + 1))
+}
 
 /// A machine's daemon: answers requests arriving from other machines.
 ///
@@ -111,6 +143,9 @@ pub struct MachineContext {
     partitioned: Arc<PartitionedGraph>,
     transport: Arc<dyn Transport>,
     local_daemon: Arc<dyn Daemon>,
+    /// Transient RPC failures healed by re-issuing the request (shared by
+    /// every clone of this machine's context).
+    retries: Arc<AtomicU64>,
 }
 
 impl Clone for MachineContext {
@@ -120,6 +155,7 @@ impl Clone for MachineContext {
             partitioned: self.partitioned.clone(),
             transport: self.transport.clone(),
             local_daemon: self.local_daemon.clone(),
+            retries: self.retries.clone(),
         }
     }
 }
@@ -141,7 +177,13 @@ impl MachineContext {
         transport: Arc<dyn Transport>,
         local_daemon: Arc<dyn Daemon>,
     ) -> MachineContext {
-        MachineContext { machine: transport.machine(), partitioned, transport, local_daemon }
+        MachineContext {
+            machine: transport.machine(),
+            partitioned,
+            transport,
+            local_daemon,
+            retries: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// This machine's id.
@@ -174,11 +216,52 @@ impl MachineContext {
     ///
     /// A request addressed to the local machine is served inline by the local
     /// daemon and does not count as network traffic.
-    pub fn request(&self, to: MachineId, request: Request) -> Response {
+    ///
+    /// # Retry semantics
+    ///
+    /// An [idempotent](Request::idempotent) request that fails with a
+    /// [transient](TransportError::is_transient) error is re-issued under
+    /// bounded exponential backoff with deterministic jitter — up to
+    /// `RPC_RETRY_LIMIT` retries within an `RPC_DEADLINE` wall-clock
+    /// budget. Re-issuing goes through the transport afresh (a new
+    /// correlation id, reconnecting first if the connection died), which is
+    /// exactly what makes retrying sound for the pure reads `fetchV` /
+    /// `verifyE` / `checkR`. Non-idempotent requests (`shareR`,
+    /// `DeliverRows`) and terminal errors are returned on first failure;
+    /// the caller escalates to its fault policy.
+    pub fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
         if to == self.machine {
-            return self.local_daemon.handle(self.machine, request);
+            return Ok(self.local_daemon.handle(self.machine, request));
         }
-        self.transport.request(to, request)
+        if !request.idempotent() {
+            return self.transport.request(to, request);
+        }
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match self.transport.request(to, request.clone()) {
+                Ok(response) => return Ok(response),
+                Err(error) => {
+                    let budget_left = attempt < RPC_RETRY_LIMIT
+                        && started.elapsed() < RPC_DEADLINE;
+                    if !error.is_transient() || !budget_left {
+                        return Err(error);
+                    }
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if rads_obs::metrics_enabled() {
+                        rads_obs::Registry::global().counter("rads_rpc_retries_total").add(1);
+                    }
+                    std::thread::sleep(backoff_delay(self.machine, to, attempt));
+                }
+            }
+        }
+    }
+
+    /// Number of transparent RPC retries this machine's context performed
+    /// (across all clones sharing it).
+    pub fn rpc_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Split-phase variant of [`request`](Self::request): sends `request` to
@@ -191,6 +274,30 @@ impl MachineContext {
             return PendingResponse::ready(to, self.local_daemon.handle(self.machine, request));
         }
         self.transport.request_async(to, request)
+    }
+
+    /// Redeems `pending`; if it failed transiently and `request` is
+    /// idempotent, falls back to a synchronous re-issue through
+    /// [`request`](Self::request) (which applies the retry/backoff policy).
+    /// This is how scatter/harvest call sites heal individual failed
+    /// handles without rebuilding the whole scatter.
+    pub fn harvest(
+        &self,
+        pending: PendingResponse,
+        to: MachineId,
+        request: &Request,
+    ) -> Result<Response, TransportError> {
+        match pending.wait() {
+            Ok(response) => Ok(response),
+            Err(error) if error.is_transient() && request.idempotent() => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                if rads_obs::metrics_enabled() {
+                    rads_obs::Registry::global().counter("rads_rpc_retries_total").add(1);
+                }
+                self.request(to, request.clone())
+            }
+            Err(error) => Err(error),
+        }
     }
 
     /// Replaces the transport with `wrap(transport)` — the hook the
@@ -206,10 +313,11 @@ impl MachineContext {
     }
 
     /// Sends `request` to every *other* machine and collects the responses.
-    pub fn broadcast(&self, request: Request) -> Vec<(MachineId, Response)> {
+    /// Stops at the first machine whose request fails past the retry policy.
+    pub fn broadcast(&self, request: Request) -> Result<Vec<(MachineId, Response)>, TransportError> {
         (0..self.machines())
             .filter(|&m| m != self.machine)
-            .map(|m| (m, self.request(m, request.clone())))
+            .map(|m| self.request(m, request.clone()).map(|r| (m, r)))
             .collect()
     }
 
@@ -218,25 +326,41 @@ impl MachineContext {
     /// serve concurrently and one round trip's latency covers all of them
     /// instead of accumulating per peer. Responses are harvested in machine
     /// order — the result is element-for-element identical to
-    /// [`broadcast`](Self::broadcast), only the pacing differs. The async
-    /// round driver polls `checkR` through this.
-    pub fn broadcast_scatter(&self, request: Request) -> Vec<(MachineId, Response)> {
+    /// [`broadcast`](Self::broadcast), only the pacing differs; a handle
+    /// that failed transiently is healed by the same synchronous re-issue
+    /// (the request is idempotent whenever this is used for polling). The
+    /// async round driver polls `checkR` through this.
+    pub fn broadcast_scatter(
+        &self,
+        request: Request,
+    ) -> Result<Vec<(MachineId, Response)>, TransportError> {
         let pending: Vec<(MachineId, PendingResponse)> = (0..self.machines())
             .filter(|&m| m != self.machine)
             .map(|m| (m, self.request_async(m, request.clone())))
             .collect();
-        pending.into_iter().map(|(m, p)| (m, p.wait())).collect()
+        pending
+            .into_iter()
+            .map(|(m, p)| self.harvest(p, m, &request).map(|r| (m, r)))
+            .collect()
     }
 
     /// Waits until every machine has reached the barrier (synchronous
-    /// supersteps for the baselines; RADS never calls this in its main path).
-    pub fn barrier(&self) {
-        self.transport.barrier();
+    /// supersteps for the baselines; RADS never calls this in its main
+    /// path). On the socket transport the wait is bounded by
+    /// `RADS_BARRIER_TIMEOUT_SECS`; the error names the epoch and exactly
+    /// which machines never arrived.
+    pub fn barrier(&self) -> Result<(), TransportError> {
+        self.transport.barrier()
     }
 
     /// Sends intermediate-result rows to `to` under `tag` (shuffle primitive).
-    pub fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
-        self.transport.send_rows(to, tag, rows);
+    pub fn send_rows(
+        &self,
+        to: MachineId,
+        tag: u32,
+        rows: Vec<Vec<VertexId>>,
+    ) -> Result<(), TransportError> {
+        self.transport.send_rows(to, tag, rows)
     }
 
     /// Drains the rows addressed to this machine under `tag`.
@@ -273,11 +397,11 @@ impl Cluster {
     /// `RADS_TRANSPORT` (default: the in-process simulator with zero-cost
     /// network accounting).
     pub fn new(partitioned: Arc<PartitionedGraph>) -> Self {
-        Cluster {
-            partitioned,
-            config: NetworkConfig::default(),
-            transport: TransportKind::from_env(),
-        }
+        // Library-level backstop: binaries (rads-node, the bench runners)
+        // validate RADS_TRANSPORT up front and exit with the ConfigError
+        // message; reaching this panic means an embedder skipped that.
+        let transport = TransportKind::from_env().unwrap_or_else(|e| panic!("{e}"));
+        Cluster { partitioned, config: NetworkConfig::default(), transport }
     }
 
     /// A cluster with an explicit *simulated* network model. Latency and
@@ -391,6 +515,7 @@ impl Cluster {
                     partitioned: self.partitioned.clone(),
                     transport,
                     local_daemon: daemon.clone(),
+                    retries: Arc::new(AtomicU64::new(0)),
                 };
                 let engine = &engine;
                 let handle = std::thread::Builder::new()
@@ -478,6 +603,7 @@ impl Cluster {
                         partitioned: self.partitioned.clone(),
                         transport: node.transport(),
                         local_daemon: daemons[m].clone(),
+                        retries: Arc::new(AtomicU64::new(0)),
                     };
                     let engine = &engine;
                     let handle = std::thread::Builder::new()
@@ -568,7 +694,7 @@ mod tests {
                     .first()
                     .copied()
                     .expect("machine 1 owns vertices");
-                let response = ctx.request(1, Request::FetchVertices(vec![foreign]));
+                let response = ctx.request(1, Request::FetchVertices(vec![foreign])).expect("rpc");
                 match response {
                     Response::Adjacency(lists) => lists[0].1.len(),
                     other => panic!("unexpected response {other:?}"),
@@ -587,7 +713,7 @@ mod tests {
         let cluster = small_cluster(2);
         let outcome = cluster.run(|ctx| {
             let own = ctx.partition().owned_vertices()[0];
-            let response = ctx.request(ctx.machine(), Request::FetchVertices(vec![own]));
+            let response = ctx.request(ctx.machine(), Request::FetchVertices(vec![own])).expect("local");
             matches!(response, Response::Adjacency(_))
         });
         assert!(outcome.results.iter().all(|&ok| ok));
@@ -606,7 +732,7 @@ mod tests {
             }
             // edge (0,1) exists; (0,2) does not; ask a machine that owns 0 or 1
             let owner = ctx.ownership().owner(1);
-            let resp = ctx.request(owner, Request::VerifyEdges(vec![(0, 1), (0, 2)]));
+            let resp = ctx.request(owner, Request::VerifyEdges(vec![(0, 1), (0, 2)])).expect("rpc");
             match resp {
                 Response::EdgeVerification(v) => (v[0], !v[1]),
                 other => panic!("unexpected {other:?}"),
@@ -618,7 +744,7 @@ mod tests {
     #[test]
     fn broadcast_reaches_all_other_machines() {
         let cluster = small_cluster(4);
-        let outcome = cluster.run(|ctx| ctx.broadcast(Request::CheckRegionGroups).len());
+        let outcome = cluster.run(|ctx| ctx.broadcast(Request::CheckRegionGroups).expect("broadcast").len());
         assert!(outcome.results.iter().all(|&n| n == 3));
         // every machine sent 3 requests
         assert_eq!(outcome.traffic.messages, 12);
@@ -629,7 +755,7 @@ mod tests {
         let cluster = small_cluster(2);
         let outcome = cluster.run(|ctx| {
             if ctx.machine() == 0 {
-                matches!(ctx.request(1, Request::ShareRegionGroup), Response::Unsupported)
+                matches!(ctx.request(1, Request::ShareRegionGroup).expect("rpc"), Response::Unsupported)
             } else {
                 true
             }
@@ -643,8 +769,8 @@ mod tests {
         let outcome = cluster.run(|ctx| {
             // superstep 1: everyone sends one row to machine (m+1) % 3
             let target = (ctx.machine() + 1) % ctx.machines();
-            ctx.send_rows(target, 1, vec![vec![ctx.machine() as u32]]);
-            ctx.barrier();
+            ctx.send_rows(target, 1, vec![vec![ctx.machine() as u32]]).expect("send");
+            ctx.barrier().expect("barrier");
             // superstep 2: read what arrived
             let rows = ctx.take_rows(1);
             rows.len()
@@ -679,7 +805,7 @@ mod tests {
             .collect();
         let outcome = cluster.run_with_daemons(daemons, |ctx| {
             let peer = 1 - ctx.machine();
-            match ctx.request(peer, Request::CheckRegionGroups) {
+            match ctx.request(peer, Request::CheckRegionGroups).expect("rpc") {
                 Response::RegionGroupCount(n) => n,
                 other => panic!("unexpected {other:?}"),
             }
@@ -702,7 +828,7 @@ mod tests {
             let fetch_all = |ctx: &MachineContext| {
                 let mut degree_sum = 0;
                 for &v in &foreign {
-                    match ctx.request(peer, Request::FetchVertices(vec![v])) {
+                    match ctx.request(peer, Request::FetchVertices(vec![v])).expect("rpc") {
                         Response::Adjacency(lists) => degree_sum += lists[0].1.len(),
                         other => panic!("unexpected {other:?}"),
                     }
@@ -759,7 +885,7 @@ mod tests {
         let outcome = cluster.run(|ctx| {
             if ctx.machine() == 0 {
                 for _ in 0..5 {
-                    ctx.request(1, Request::CheckRegionGroups);
+                    ctx.request(1, Request::CheckRegionGroups).expect("rpc");
                 }
             }
         });
@@ -828,7 +954,7 @@ mod tests {
                     continue;
                 }
                 let foreign = ctx.ownership().owned_vertices(peer).to_vec();
-                match ctx.request(peer, Request::FetchVertices(foreign)) {
+                match ctx.request(peer, Request::FetchVertices(foreign)).expect("rpc") {
                     Response::Adjacency(lists) => {
                         sum += lists.iter().map(|(_, adj)| adj.len()).sum::<usize>()
                     }
@@ -843,10 +969,10 @@ mod tests {
     fn socket_barrier_and_rows_match_channel_semantics() {
         assert_transports_agree(3, |ctx| {
             let target = (ctx.machine() + 1) % ctx.machines();
-            ctx.send_rows(target, 7, vec![vec![ctx.machine() as u32, 9]]);
-            ctx.barrier();
+            ctx.send_rows(target, 7, vec![vec![ctx.machine() as u32, 9]]).expect("send");
+            ctx.barrier().expect("barrier");
             let rows = ctx.take_rows(7);
-            ctx.barrier();
+            ctx.barrier().expect("barrier");
             rows
         });
     }
@@ -866,6 +992,7 @@ mod tests {
                 // (v, v+1 mod 12); (v, v+3 mod 12) never exists
                 let v = ctx.ownership().owned_vertices(1)[0];
                 ctx.request(1, Request::VerifyEdges(vec![(v, (v + 1) % 12), (v, (v + 3) % 12)]))
+                    .expect("rpc")
             } else {
                 Response::Ack
             }
@@ -883,5 +1010,139 @@ mod tests {
             + wire::frame_bytes(4); // Hello
         assert_eq!(outcome.traffic.messages, 1);
         assert_eq!(outcome.traffic.total_bytes, expected_bytes as u64);
+    }
+
+    // -----------------------------------------------------------------------
+    // The retry policy: bounded, idempotent-only, jittered backoff.
+    // -----------------------------------------------------------------------
+
+    /// A transport whose peer answers with a connection reset for the first
+    /// `fail_first` requests, then serves normally; counts every attempt it
+    /// sees, so tests can pin exactly how often the retry layer re-issued.
+    struct FlakyTransport {
+        fail_first: u64,
+        attempts: AtomicU64,
+    }
+
+    impl Transport for FlakyTransport {
+        fn machine(&self) -> MachineId {
+            0
+        }
+        fn machines(&self) -> usize {
+            2
+        }
+        fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
+            let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
+            if attempt < self.fail_first {
+                return Err(TransportError::Reset {
+                    machine: 0,
+                    to,
+                    detail: format!("flaky link, attempt {attempt}"),
+                });
+            }
+            match request {
+                Request::CheckRegionGroups => Ok(Response::RegionGroupCount(7)),
+                Request::ShareRegionGroup => Ok(Response::RegionGroup(None)),
+                other => panic!("flaky stub only serves checkR/shareR, got {other:?}"),
+            }
+        }
+        fn barrier(&self) -> Result<(), TransportError> {
+            Ok(())
+        }
+        fn send_rows(
+            &self,
+            _to: MachineId,
+            _tag: u32,
+            _rows: Vec<Vec<VertexId>>,
+        ) -> Result<(), TransportError> {
+            Ok(())
+        }
+        fn take_rows(&self, _tag: u32) -> Vec<Vec<VertexId>> {
+            Vec::new()
+        }
+        fn traffic(&self) -> TrafficSnapshot {
+            TrafficSnapshot::default()
+        }
+    }
+
+    fn flaky_context(fail_first: u64) -> (MachineContext, Arc<FlakyTransport>) {
+        let g = ring_lattice(8, 1);
+        let partitioning = BfsPartitioner.partition(&g, 2);
+        let pg = Arc::new(PartitionedGraph::build(&g, partitioning));
+        let transport =
+            Arc::new(FlakyTransport { fail_first, attempts: AtomicU64::new(0) });
+        let daemon = Arc::new(PartitionDaemon::new(pg.clone(), 0));
+        (MachineContext::assemble(pg, transport.clone(), daemon), transport)
+    }
+
+    #[test]
+    fn transient_failures_of_idempotent_requests_retry_until_success() {
+        // 3 resets fit inside the 4-retry budget: the caller never sees them.
+        let (ctx, transport) = flaky_context(3);
+        let response = ctx.request(1, Request::CheckRegionGroups).expect("healed by retries");
+        assert_eq!(response, Response::RegionGroupCount(7));
+        assert_eq!(transport.attempts.load(Ordering::Relaxed), 4, "3 failures + 1 success");
+        assert_eq!(ctx.rpc_retries(), 3);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_and_the_typed_error_survives() {
+        // A permanently dead link: exactly RPC_RETRY_LIMIT re-issues, then
+        // the typed transient error is returned — never an infinite loop.
+        let (ctx, transport) = flaky_context(u64::MAX);
+        let error = ctx.request(1, Request::CheckRegionGroups).expect_err("link never heals");
+        assert!(matches!(error, TransportError::Reset { to: 1, .. }), "{error}");
+        assert_eq!(
+            transport.attempts.load(Ordering::Relaxed),
+            1 + RPC_RETRY_LIMIT as u64,
+            "first attempt plus the full retry budget"
+        );
+        assert_eq!(ctx.rpc_retries(), RPC_RETRY_LIMIT as u64);
+    }
+
+    #[test]
+    fn non_idempotent_requests_are_never_retried() {
+        // shareR hands over a region group — re-issuing it could duplicate
+        // work, so one transient failure must surface immediately.
+        let (ctx, transport) = flaky_context(1);
+        let error = ctx.request(1, Request::ShareRegionGroup).expect_err("no retry allowed");
+        assert!(error.is_transient(), "still typed as transient for the caller: {error}");
+        assert_eq!(transport.attempts.load(Ordering::Relaxed), 1, "exactly one attempt");
+        assert_eq!(ctx.rpc_retries(), 0);
+    }
+
+    #[test]
+    fn harvest_heals_a_failed_async_handle_by_reissuing() {
+        let (ctx, transport) = flaky_context(1);
+        let request = Request::CheckRegionGroups;
+        // the default async path fails immediately with the reset...
+        let pending = ctx.request_async(1, request.clone());
+        // ...and harvest's synchronous re-issue gets through.
+        let response = ctx.harvest(pending, 1, &request).expect("healed");
+        assert_eq!(response, Response::RegionGroupCount(7));
+        assert_eq!(transport.attempts.load(Ordering::Relaxed), 2);
+        assert!(ctx.rpc_retries() >= 1, "the heal is counted as a retry");
+    }
+
+    #[test]
+    fn backoff_delays_are_jittered_within_the_exponential_envelope() {
+        for attempt in 1..=10u32 {
+            let shift = (attempt - 1).min(16);
+            let step = RPC_BACKOFF_BASE.saturating_mul(1 << shift).min(RPC_BACKOFF_CAP);
+            let delay = backoff_delay(3, 1, attempt);
+            assert!(
+                delay >= step / 2 && delay <= step,
+                "attempt {attempt}: {delay:?} outside [{:?}, {step:?}]",
+                step / 2
+            );
+            // deterministic: the same (machine, peer, attempt) triple always
+            // draws the same jitter, so failures reproduce exactly
+            assert_eq!(delay, backoff_delay(3, 1, attempt));
+        }
+        // different machines de-synchronize: not every delay can coincide
+        let all_equal = (0..8)
+            .map(|m| backoff_delay(m, 1, 4))
+            .all(|d| d == backoff_delay(0, 1, 4));
+        assert!(!all_equal, "jitter must separate machines hammering one peer");
     }
 }

@@ -12,7 +12,16 @@
 //!   deterministic scatter/harvest order the async round engine uses;
 //! * **duplicate** — every response is delivered twice; the copy targets an
 //!   already-occupied slot and must be discarded, mirroring how the socket
-//!   transport's correlation map drops a duplicate correlation id.
+//!   transport's correlation map drops a duplicate correlation id;
+//! * **drop / reset / stall / corrupt** — the chaos faults: every Nth
+//!   response (deterministically, by ticket number) is withheld entirely
+//!   ([`TransportError::Timeout`]), replaced by a connection reset
+//!   ([`TransportError::Reset`]), held an extra stall duration, or replaced
+//!   by an undecodable-frame error ([`TransportError::Decode`]). A retried
+//!   request draws a *fresh* ticket, so the retry layer above (which
+//!   re-issues idempotent reads with backoff) heals every one of these —
+//!   the chaos tests pin that counts stay bit-identical while the fault
+//!   counters prove the faults really fired.
 //!
 //! Faults are configured per peer machine ([`FaultPlan`]), so a test can
 //! make exactly one machine's link adversarial; alternatively
@@ -36,11 +45,18 @@ use std::time::Duration;
 use rads_graph::VertexId;
 use rads_partition::MachineId;
 
+use crate::error::TransportError;
 use crate::message::{Request, Response};
 use crate::network::TrafficSnapshot;
 use crate::transport::{PendingResponse, Transport};
 
 /// What to do to responses arriving from one peer.
+///
+/// The `*_every` fields select tickets deterministically: a fault with
+/// period `n` fires on every ticket where `(ticket + 1) % n == 0` (so
+/// `drop_every: 1` drops everything, `drop_every: 3` drops tickets 2, 5,
+/// 8, …). `0` disables the fault. Because a retried request draws a fresh
+/// ticket, periods ≥ 2 are always survivable by one retry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Hold every response this long before releasing it to its caller.
@@ -49,6 +65,21 @@ pub struct FaultPlan {
     pub reorder: bool,
     /// Deliver every response twice; the duplicate must be discarded.
     pub duplicate: bool,
+    /// Drop every nth response: the caller sees [`TransportError::Timeout`]
+    /// after its per-RPC deadline, as if the reply vanished on the wire.
+    pub drop_every: u64,
+    /// Reset the connection instead of delivering every nth response: the
+    /// caller sees [`TransportError::Reset`].
+    pub reset_every: u64,
+    /// Replace every nth response with an undecodable frame: the caller
+    /// sees [`TransportError::Decode`].
+    pub corrupt_every: u64,
+    /// Hold every nth response an extra [`FaultPlan::stall`] before
+    /// releasing it (on top of `delay`, which applies to all).
+    pub stall_every: u64,
+    /// How long a stalled response is held; only meaningful with
+    /// `stall_every > 0`.
+    pub stall: Duration,
 }
 
 impl FaultPlan {
@@ -57,9 +88,31 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// The adversarial everything-at-once plan.
+    /// The adversarial everything-at-once plan (completion-order faults
+    /// only; the chaos faults below stay off so no retry layer is needed).
     pub fn hostile(delay: Duration) -> FaultPlan {
-        FaultPlan { delay, reorder: true, duplicate: true }
+        FaultPlan { delay, reorder: true, duplicate: true, ..FaultPlan::default() }
+    }
+
+    /// A chaos plan erroring every nth response: drops, resets and
+    /// corruptions at periods `every`, `every + 1`, `every + 2`. When
+    /// periods collide on one ticket, exactly one fault fires (drop beats
+    /// reset beats corrupt — `take`'s check order), so a period that
+    /// divides another is shadowed on the shared tickets (with `every = 2`
+    /// the corrupt period 4 never fires at all; use an odd `every` to see
+    /// all three). Survivable by the retry layer for any `every >= 2`.
+    pub fn chaos(every: u64) -> FaultPlan {
+        assert!(every >= 2, "chaos period 1 would fault every retry too");
+        FaultPlan {
+            drop_every: every,
+            reset_every: every + 1,
+            corrupt_every: every + 2,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn fires(every: u64, ticket: u64) -> bool {
+        every > 0 && (ticket + 1).is_multiple_of(every)
     }
 }
 
@@ -73,6 +126,14 @@ pub struct FaultStats {
     pub reordered: AtomicU64,
     /// Duplicate response copies that were discarded.
     pub duplicates_discarded: AtomicU64,
+    /// Responses withheld entirely (surfaced as [`TransportError::Timeout`]).
+    pub dropped: AtomicU64,
+    /// Responses replaced by a connection reset ([`TransportError::Reset`]).
+    pub resets: AtomicU64,
+    /// Responses replaced by garbage ([`TransportError::Decode`]).
+    pub corrupted: AtomicU64,
+    /// Responses held an extra stall duration before delivery.
+    pub stalled: AtomicU64,
 }
 
 impl FaultStats {
@@ -84,6 +145,16 @@ impl FaultStats {
             self.duplicates_discarded.load(Ordering::Relaxed),
         )
     }
+
+    /// Snapshot of the chaos counters `(dropped, resets, corrupted, stalled)`.
+    pub fn chaos_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.dropped.load(Ordering::Relaxed),
+            self.resets.load(Ordering::Relaxed),
+            self.corrupted.load(Ordering::Relaxed),
+            self.stalled.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// Per-peer holding pen: outstanding inner handles (issue order) and
@@ -91,11 +162,12 @@ impl FaultStats {
 #[derive(Default)]
 struct Pen {
     inflight: VecDeque<(u64, PendingResponse)>,
-    arrived: HashMap<u64, Response>,
+    arrived: HashMap<u64, Result<Response, TransportError>>,
     next_ticket: u64,
 }
 
 struct FaultShared {
+    machine: MachineId,
     plans: Vec<FaultPlan>,
     /// One pen per peer, or a single pen for all peers in shared-pen mode
     /// (see [`FaultTransport::with_shared_pen`]).
@@ -132,9 +204,15 @@ impl FaultTransport {
     pub fn with_plans(inner: Arc<dyn Transport>, plans: Vec<FaultPlan>) -> FaultTransport {
         assert_eq!(plans.len(), inner.machines(), "one fault plan per machine");
         let pens = plans.iter().map(|_| (Mutex::new(Pen::default()), Condvar::new())).collect();
+        let machine = inner.machine();
         FaultTransport {
             inner,
-            shared: Arc::new(FaultShared { plans, pens, stats: Arc::new(FaultStats::default()) }),
+            shared: Arc::new(FaultShared {
+                machine,
+                plans,
+                pens,
+                stats: Arc::new(FaultStats::default()),
+            }),
         }
     }
 
@@ -147,9 +225,11 @@ impl FaultTransport {
     /// the exact reverse of issue order.
     pub fn with_shared_pen(inner: Arc<dyn Transport>, plan: FaultPlan) -> FaultTransport {
         let machines = inner.machines();
+        let machine = inner.machine();
         FaultTransport {
             inner,
             shared: Arc::new(FaultShared {
+                machine,
                 plans: vec![plan; machines],
                 pens: vec![(Mutex::new(Pen::default()), Condvar::new())],
                 stats: Arc::new(FaultStats::default()),
@@ -164,8 +244,10 @@ impl FaultTransport {
 }
 
 /// Blocks until the response for `ticket` is available, forcing outstanding
-/// requests to completion in the plan's order along the way.
-fn take(shared: &FaultShared, to: MachineId, ticket: u64) -> Response {
+/// requests to completion in the plan's order along the way, then applies
+/// the plan's chaos faults to the delivery (drop beats reset beats corrupt
+/// when periods collide on one ticket).
+fn take(shared: &FaultShared, to: MachineId, ticket: u64) -> Result<Response, TransportError> {
     let plan = shared.plans[to];
     let (pen_lock, condvar) = &shared.pens[shared.pen_index(to)];
     let mut pen = pen_lock.lock().expect("fault pen lock");
@@ -175,6 +257,34 @@ fn take(shared: &FaultShared, to: MachineId, ticket: u64) -> Response {
             if plan.delay > Duration::ZERO {
                 shared.stats.delayed.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(plan.delay);
+            }
+            if FaultPlan::fires(plan.stall_every, ticket) && plan.stall > Duration::ZERO {
+                shared.stats.stalled.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(plan.stall);
+            }
+            if FaultPlan::fires(plan.drop_every, ticket) {
+                shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return Err(TransportError::Timeout {
+                    machine: shared.machine,
+                    what: format!("response for injected-drop ticket {ticket} from machine {to}"),
+                    waited_ms: plan.delay.as_millis() as u64,
+                });
+            }
+            if FaultPlan::fires(plan.reset_every, ticket) {
+                shared.stats.resets.fetch_add(1, Ordering::Relaxed);
+                return Err(TransportError::Reset {
+                    machine: shared.machine,
+                    to,
+                    detail: format!("injected reset on ticket {ticket}"),
+                });
+            }
+            if FaultPlan::fires(plan.corrupt_every, ticket) {
+                shared.stats.corrupted.fetch_add(1, Ordering::Relaxed);
+                return Err(TransportError::Decode {
+                    machine: shared.machine,
+                    to,
+                    detail: format!("injected frame corruption on ticket {ticket}"),
+                });
             }
             return response;
         }
@@ -219,7 +329,7 @@ impl Transport for FaultTransport {
         self.inner.machines()
     }
 
-    fn request(&self, to: MachineId, request: Request) -> Response {
+    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
         self.request_async(to, request).wait()
     }
 
@@ -238,12 +348,17 @@ impl Transport for FaultTransport {
         PendingResponse::deferred(to, correlation, move || take(&shared, to, ticket))
     }
 
-    fn barrier(&self) {
-        self.inner.barrier();
+    fn barrier(&self) -> Result<(), TransportError> {
+        self.inner.barrier()
     }
 
-    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
-        self.inner.send_rows(to, tag, rows);
+    fn send_rows(
+        &self,
+        to: MachineId,
+        tag: u32,
+        rows: Vec<Vec<VertexId>>,
+    ) -> Result<(), TransportError> {
+        self.inner.send_rows(to, tag, rows)
     }
 
     fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>> {
@@ -272,7 +387,7 @@ mod tests {
         fn machines(&self) -> usize {
             3
         }
-        fn request(&self, to: MachineId, request: Request) -> Response {
+        fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
             self.request_async(to, request).wait()
         }
         fn request_async(&self, _to: MachineId, request: Request) -> PendingResponse {
@@ -280,11 +395,20 @@ mod tests {
             let completions = self.completions.clone();
             PendingResponse::deferred(1, Some(vs[0] as u64), move || {
                 completions.lock().unwrap().push(vs[0] as u64);
-                Response::Adjacency(vec![(vs[0], vec![])])
+                Ok(Response::Adjacency(vec![(vs[0], vec![])]))
             })
         }
-        fn barrier(&self) {}
-        fn send_rows(&self, _to: MachineId, _tag: u32, _rows: Vec<Vec<VertexId>>) {}
+        fn barrier(&self) -> Result<(), TransportError> {
+            Ok(())
+        }
+        fn send_rows(
+            &self,
+            _to: MachineId,
+            _tag: u32,
+            _rows: Vec<Vec<VertexId>>,
+        ) -> Result<(), TransportError> {
+            Ok(())
+        }
         fn take_rows(&self, _tag: u32) -> Vec<Vec<VertexId>> {
             Vec::new()
         }
@@ -304,7 +428,7 @@ mod tests {
         // harvest in issue order, as the engine does
         let harvested: Vec<u64> = pendings
             .into_iter()
-            .map(|p| match p.wait() {
+            .map(|p| match p.wait().expect("benign completion-order faults never error") {
                 Response::Adjacency(lists) => lists[0].0 as u64,
                 other => panic!("unexpected {other:?}"),
             })
@@ -347,7 +471,7 @@ mod tests {
             .collect();
         let harvested: Vec<u64> = pendings
             .into_iter()
-            .map(|p| match p.wait() {
+            .map(|p| match p.wait().expect("reorder never errors") {
                 Response::Adjacency(lists) => lists[0].0 as u64,
                 other => panic!("unexpected {other:?}"),
             })
@@ -375,5 +499,95 @@ mod tests {
         assert!(started.elapsed() >= Duration::from_millis(10), "5 responses x 2ms");
         let (delayed, _, _) = stats.counts();
         assert_eq!(delayed, 5);
+    }
+
+    /// Harvests 6 tickets under `plan`, returning each outcome (`Ok` vertex
+    /// or the error) plus the stats.
+    fn chaos_harvest(plan: FaultPlan) -> (Vec<Result<u64, TransportError>>, Arc<FaultStats>) {
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        let echo = Arc::new(EchoTransport { completions });
+        let faulty = FaultTransport::new(echo, plan);
+        let stats = faulty.stats();
+        let outcomes: Vec<Result<u64, TransportError>> = (0..6u32)
+            .map(|i| faulty.request_async(1, Request::FetchVertices(vec![i])))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|p| {
+                p.wait().map(|r| match r {
+                    Response::Adjacency(lists) => lists[0].0 as u64,
+                    other => panic!("unexpected {other:?}"),
+                })
+            })
+            .collect();
+        (outcomes, stats)
+    }
+
+    #[test]
+    fn drops_surface_as_timeouts_on_the_right_tickets() {
+        let plan = FaultPlan { drop_every: 3, ..FaultPlan::default() };
+        let (outcomes, stats) = chaos_harvest(plan);
+        for (ticket, outcome) in outcomes.iter().enumerate() {
+            if (ticket + 1) % 3 == 0 {
+                assert!(
+                    matches!(outcome, Err(TransportError::Timeout { .. })),
+                    "ticket {ticket}: {outcome:?}"
+                );
+            } else {
+                assert_eq!(*outcome, Ok(ticket as u64));
+            }
+        }
+        assert_eq!(stats.chaos_counts(), (2, 0, 0, 0), "tickets 2 and 5 dropped");
+    }
+
+    #[test]
+    fn resets_and_corruptions_are_typed_and_transient() {
+        let plan = FaultPlan { reset_every: 2, corrupt_every: 5, ..FaultPlan::default() };
+        let (outcomes, stats) = chaos_harvest(plan);
+        // reset fires on tickets 1, 3, 5; corrupt would fire on 4 and 9.
+        assert!(matches!(&outcomes[1], Err(TransportError::Reset { to: 1, .. })));
+        assert!(matches!(&outcomes[3], Err(TransportError::Reset { .. })));
+        assert!(matches!(&outcomes[5], Err(TransportError::Reset { .. })));
+        assert!(matches!(&outcomes[4], Err(TransportError::Decode { to: 1, .. })));
+        for err in outcomes.iter().filter_map(|o| o.as_ref().err()) {
+            assert!(err.is_transient(), "{err} must be retryable");
+        }
+        assert_eq!(outcomes[0], Ok(0));
+        assert_eq!(outcomes[2], Ok(2));
+        assert_eq!(stats.chaos_counts(), (0, 3, 1, 0));
+    }
+
+    #[test]
+    fn stalls_hold_selected_responses_and_count() {
+        let plan = FaultPlan {
+            stall_every: 2,
+            stall: Duration::from_millis(5),
+            ..FaultPlan::default()
+        };
+        let started = std::time::Instant::now();
+        let (outcomes, stats) = chaos_harvest(plan);
+        assert!(outcomes.iter().all(|o| o.is_ok()), "stalls delay, never error");
+        assert!(started.elapsed() >= Duration::from_millis(15), "3 stalls x 5ms");
+        assert_eq!(stats.chaos_counts(), (0, 0, 0, 3));
+    }
+
+    #[test]
+    fn chaos_plan_fires_at_most_one_fault_per_ticket() {
+        // Periods 3/4/5: tickets 11 ((11+1) divisible by 3 and 4) collide;
+        // the check order must pick exactly one fault, not cascade.
+        let plan = FaultPlan::chaos(3);
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        let echo = Arc::new(EchoTransport { completions });
+        let faulty = FaultTransport::new(echo, plan);
+        let stats = faulty.stats();
+        let outcomes: Vec<_> = (0..12u32)
+            .map(|i| faulty.request_async(1, Request::FetchVertices(vec![i])))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|p| p.wait())
+            .collect();
+        let faulted = outcomes.iter().filter(|o| o.is_err()).count();
+        let (dropped, resets, corrupted, _) = stats.chaos_counts();
+        assert_eq!(dropped + resets + corrupted, faulted as u64, "one counter tick per error");
+        assert!(dropped >= 1 && resets >= 1 && corrupted >= 1, "{:?}", stats.chaos_counts());
     }
 }

@@ -54,6 +54,7 @@
 //! distributed setting, and what made the socket transport a drop-in.
 
 pub mod cluster;
+pub mod error;
 pub mod exchange;
 pub mod fault;
 pub mod message;
@@ -62,11 +63,12 @@ pub mod transport;
 pub mod wire;
 
 pub use cluster::{Cluster, Daemon, MachineContext, PartitionDaemon, RunOutcome};
+pub use error::{ConfigError, TransportError};
 pub use exchange::RowExchange;
 pub use fault::{FaultPlan, FaultStats, FaultTransport};
 pub use message::{Request, Response};
 pub use network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 pub use transport::{
-    MetricsPublisher, PeerAddr, PendingResponse, SocketListener, SocketNode, Transport,
-    TransportKind, TRANSPORT_ENV,
+    MetricsPublisher, NodeMonitor, PeerAddr, PendingResponse, SocketListener, SocketNode, Transport,
+    TransportKind, BARRIER_TIMEOUT_ENV, TRANSPORT_ENV,
 };

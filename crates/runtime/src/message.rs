@@ -31,6 +31,26 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// Whether re-issuing this request (after a transport failure, under a
+    /// fresh correlation id) cannot change any machine's state or results.
+    ///
+    /// `verifyE`, `fetchV` and `checkR` are pure reads over the receiver's
+    /// partition (or its region-group queue length) — answering them twice
+    /// is harmless, so the retry/backoff layer may re-send them freely.
+    /// `shareR` *pops* the receiver's queue (a duplicate would lose a
+    /// region group) and `DeliverRows` appends to the receiver's inbox (a
+    /// duplicate would double rows); neither may be blindly re-sent.
+    pub fn idempotent(&self) -> bool {
+        match self {
+            Request::VerifyEdges(_) | Request::FetchVertices(_) | Request::CheckRegionGroups => {
+                true
+            }
+            Request::ShareRegionGroup | Request::DeliverRows { .. } => false,
+        }
+    }
+}
+
 /// A response returned by a daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -109,5 +129,14 @@ mod tests {
     fn deliver_rows_accounts_every_vertex() {
         let rows = Request::DeliverRows { tag: 3, rows: vec![vec![1, 2, 3], vec![4, 5, 6]] };
         assert_eq!(request_bytes(&rows), MESSAGE_OVERHEAD_BYTES + 4 + 24);
+    }
+
+    #[test]
+    fn only_pure_reads_are_idempotent() {
+        assert!(Request::VerifyEdges(vec![(0, 1)]).idempotent());
+        assert!(Request::FetchVertices(vec![1]).idempotent());
+        assert!(Request::CheckRegionGroups.idempotent());
+        assert!(!Request::ShareRegionGroup.idempotent(), "shareR pops the queue");
+        assert!(!Request::DeliverRows { tag: 0, rows: vec![] }.idempotent());
     }
 }

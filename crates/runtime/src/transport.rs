@@ -71,6 +71,23 @@
 //! over sockets ([`crate::Cluster`] with [`TransportKind::Uds`] /
 //! [`TransportKind::Tcp`], e.g. via `RADS_TRANSPORT=uds`), which exercises
 //! the identical wire path with the engines as threads.
+//!
+//! # Failure surface
+//!
+//! Every fabric-crossing operation returns
+//! `Result<_, `[`TransportError`]`>` instead of aborting: a dead daemon, a
+//! reset or undecodable connection, an unreachable peer and a timed-out
+//! barrier all surface as typed values the caller can act on (see
+//! [`crate::error`] for the variant-by-variant recovery table). The socket
+//! fabric additionally *reconnects on reset*: when a peer connection's
+//! reader thread exits (EOF or decode failure), the next
+//! `NodeShared::try_peer` call discards the dead client and dials a fresh
+//! connection with a fresh correlation-id space, so a retried idempotent
+//! request transparently heals the link. Distributed barriers attribute
+//! every arrival to its sending machine (the connection handshake names the
+//! sender) and give up after [`BARRIER_TIMEOUT_ENV`] seconds with a
+//! [`TransportError::BarrierTimeout`] naming the epoch and exactly which
+//! machines never arrived — a silent condvar hang names nobody.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -90,6 +107,7 @@ use rads_graph::VertexId;
 use rads_partition::MachineId;
 
 use crate::cluster::Daemon;
+use crate::error::{ConfigError, TransportError};
 use crate::exchange::RowExchange;
 use crate::message::{request_bytes, response_bytes, Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
@@ -123,9 +141,42 @@ fn frame_bytes_histogram() -> &'static rads_obs::Histogram {
 /// `uds`, `tcp`); read by [`TransportKind::from_env`].
 pub const TRANSPORT_ENV: &str = "RADS_TRANSPORT";
 
+/// Environment variable bounding how long a distributed barrier waits for
+/// the other machines (whole seconds) before failing with a
+/// [`TransportError::BarrierTimeout`] that names the missing machines.
+pub const BARRIER_TIMEOUT_ENV: &str = "RADS_BARRIER_TIMEOUT_SECS";
+
+/// Default barrier deadline: generous enough for the slowest CI leg's
+/// region-group drain between barriers, small enough that a wedged cluster
+/// reports its missing machines well inside `rads-node --timeout-secs`.
+const DEFAULT_BARRIER_TIMEOUT: Duration = Duration::from_secs(120);
+
 /// How long a lazy peer connection keeps retrying before giving up — covers
 /// worker processes of a multi-process cluster that start seconds apart.
 const CONNECT_RETRY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The barrier deadline from [`BARRIER_TIMEOUT_ENV`] (default
+/// `DEFAULT_BARRIER_TIMEOUT`); zero or malformed values are a
+/// [`ConfigError`].
+pub fn barrier_timeout_from_env() -> Result<Duration, ConfigError> {
+    barrier_timeout_from_value(std::env::var(BARRIER_TIMEOUT_ENV).ok().as_deref())
+}
+
+/// [`barrier_timeout_from_env`] over an explicit value (testable without
+/// mutating the process environment).
+pub fn barrier_timeout_from_value(raw: Option<&str>) -> Result<Duration, ConfigError> {
+    match raw {
+        None => Ok(DEFAULT_BARRIER_TIMEOUT),
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(secs) if secs > 0 => Ok(Duration::from_secs(secs)),
+            _ => Err(ConfigError {
+                var: BARRIER_TIMEOUT_ENV,
+                value: raw.to_string(),
+                expected: "a positive whole number of seconds",
+            }),
+        },
+    }
+}
 
 /// Which transport a [`crate::Cluster`] runs its machines over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,14 +203,23 @@ impl TransportKind {
     }
 
     /// The transport selected by the `RADS_TRANSPORT` environment variable
-    /// (default: in-process). Unknown values panic rather than silently
-    /// simulating a cluster the caller asked to be real.
-    pub fn from_env() -> TransportKind {
-        match std::env::var(TRANSPORT_ENV) {
-            Ok(raw) => TransportKind::parse(&raw).unwrap_or_else(|| {
-                panic!("{TRANSPORT_ENV}={raw:?} is not a transport (in-process | uds | tcp)")
+    /// (default: in-process). Unknown values are a typed [`ConfigError`]
+    /// rather than silently simulating a cluster the caller asked to be
+    /// real — and rather than the `panic!` this used to be.
+    pub fn from_env() -> Result<TransportKind, ConfigError> {
+        Self::from_env_value(std::env::var(TRANSPORT_ENV).ok().as_deref())
+    }
+
+    /// [`TransportKind::from_env`] over an explicit value (testable without
+    /// mutating the process environment).
+    pub fn from_env_value(raw: Option<&str>) -> Result<TransportKind, ConfigError> {
+        match raw {
+            None => Ok(TransportKind::InProcess),
+            Some(raw) => TransportKind::parse(raw).ok_or(ConfigError {
+                var: TRANSPORT_ENV,
+                value: raw.to_string(),
+                expected: "in-process | uds | tcp",
             }),
-            Err(_) => TransportKind::InProcess,
         }
     }
 
@@ -200,15 +260,21 @@ pub struct PendingResponse {
 }
 
 enum PendingInner {
-    Ready(Response),
-    Wait(Box<dyn FnOnce() -> Response + Send>),
+    Ready(Result<Response, TransportError>),
+    Wait(Box<dyn FnOnce() -> Result<Response, TransportError> + Send>),
 }
 
 impl PendingResponse {
     /// A handle over a response that is already available (local
     /// short-circuits and synchronous fallbacks).
     pub fn ready(to: MachineId, response: Response) -> PendingResponse {
-        PendingResponse { to, correlation: None, inner: PendingInner::Ready(response) }
+        PendingResponse { to, correlation: None, inner: PendingInner::Ready(Ok(response)) }
+    }
+
+    /// A handle over a request that already failed (the request never made
+    /// it onto the wire); `wait` surfaces the error.
+    pub fn failed(to: MachineId, error: TransportError) -> PendingResponse {
+        PendingResponse { to, correlation: None, inner: PendingInner::Ready(Err(error)) }
     }
 
     /// A handle whose response is produced by `wait` when redeemed.
@@ -217,7 +283,7 @@ impl PendingResponse {
     pub fn deferred(
         to: MachineId,
         correlation: Option<u64>,
-        wait: impl FnOnce() -> Response + Send + 'static,
+        wait: impl FnOnce() -> Result<Response, TransportError> + Send + 'static,
     ) -> PendingResponse {
         PendingResponse { to, correlation, inner: PendingInner::Wait(Box::new(wait)) }
     }
@@ -234,8 +300,9 @@ impl PendingResponse {
         self.correlation
     }
 
-    /// Blocks until the response arrives and returns it.
-    pub fn wait(self) -> Response {
+    /// Blocks until the response arrives and returns it — or the typed
+    /// failure that prevented it (connection reset, peer dead, decode).
+    pub fn wait(self) -> Result<Response, TransportError> {
         match self.inner {
             PendingInner::Ready(response) => response,
             PendingInner::Wait(wait) => wait(),
@@ -252,20 +319,30 @@ pub trait Transport: Send + Sync {
     fn machines(&self) -> usize;
     /// Blocking request/response RPC to the daemon of machine `to`
     /// (`to != machine()`; local requests never reach the transport).
-    fn request(&self, to: MachineId, request: Request) -> Response;
+    /// Fabric failures surface as a typed [`TransportError`].
+    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError>;
     /// Split-phase RPC: issues the request now, returns a handle redeemed
     /// later (see the [module docs](self)). The default implementation is
     /// the synchronous fallback — correct for any transport, overlapping
     /// nothing; both built-in transports override it with a genuinely
     /// pipelined version.
     fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
-        PendingResponse::ready(to, self.request(to, request))
+        match self.request(to, request) {
+            Ok(response) => PendingResponse::ready(to, response),
+            Err(e) => PendingResponse::failed(to, e),
+        }
     }
-    /// Superstep barrier across all machines.
-    fn barrier(&self);
+    /// Superstep barrier across all machines. Fails (naming epoch and the
+    /// missing machines on the socket fabric) instead of hanging forever.
+    fn barrier(&self) -> Result<(), TransportError>;
     /// Delivers rows to machine `to` under `tag` (free when `to` is this
     /// machine; empty row batches are dropped).
-    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>);
+    fn send_rows(
+        &self,
+        to: MachineId,
+        tag: u32,
+        rows: Vec<Vec<VertexId>>,
+    ) -> Result<(), TransportError>;
     /// Drains the rows delivered to this machine under `tag`.
     fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>>;
     /// Traffic counters. On a multi-process cluster each process sees its
@@ -319,16 +396,25 @@ impl Transport for ChannelTransport {
         self.senders.len()
     }
 
-    fn request(&self, to: MachineId, request: Request) -> Response {
+    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
         debug_assert_ne!(to, self.machine, "local requests are served inline");
         let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
         let req_bytes = request_bytes(&request);
         self.stats.record_request(self.machine, req_bytes);
         let (reply_tx, reply_rx) = bounded(1);
+        let machine = self.machine;
         self.senders[to]
-            .send(Envelope { from: self.machine, request, reply: reply_tx })
-            .expect("daemon thread is alive while engines run");
-        let response = reply_rx.recv().expect("daemon always replies");
+            .send(Envelope { from: machine, request, reply: reply_tx })
+            .map_err(|_| TransportError::PeerDead {
+                machine,
+                to,
+                detail: "daemon thread exited before the request was queued".into(),
+            })?;
+        let response = reply_rx.recv().map_err(|_| TransportError::PeerDead {
+            machine,
+            to,
+            detail: "daemon thread exited without replying".into(),
+        })?;
         let resp_bytes = response_bytes(&response);
         self.stats.record_response(to, self.machine, resp_bytes);
         let delay = self.config.transfer_delay(req_bytes) + self.config.transfer_delay(resp_bytes);
@@ -339,7 +425,7 @@ impl Transport for ChannelTransport {
         rpc_span.attr("req_bytes", req_bytes as u64);
         rpc_span.attr("resp_bytes", resp_bytes as u64);
         rpc_span.finish();
-        response
+        Ok(response)
     }
 
     fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
@@ -350,9 +436,20 @@ impl Transport for ChannelTransport {
         rpc_span.attr("req_bytes", req_bytes as u64);
         self.stats.record_request(self.machine, req_bytes);
         let (reply_tx, reply_rx) = bounded(1);
-        self.senders[to]
+        if self
+            .senders[to]
             .send(Envelope { from: self.machine, request, reply: reply_tx })
-            .expect("daemon thread is alive while engines run");
+            .is_err()
+        {
+            return PendingResponse::failed(
+                to,
+                TransportError::PeerDead {
+                    machine: self.machine,
+                    to,
+                    detail: "daemon thread exited before the request was queued".into(),
+                },
+            );
+        }
         // The simulated transfer clock starts at issue time: a wait resolves
         // at max(daemon done, issued + modelled delay), so scattered requests
         // overlap their latency the way pipelined frames do on a real wire —
@@ -364,7 +461,11 @@ impl Transport for ChannelTransport {
         let config = self.config;
         let machine = self.machine;
         PendingResponse::deferred(to, None, move || {
-            let response = reply_rx.recv().expect("daemon always replies");
+            let response = reply_rx.recv().map_err(|_| TransportError::PeerDead {
+                machine,
+                to,
+                detail: "daemon thread exited without replying".into(),
+            })?;
             let resp_bytes = response_bytes(&response);
             stats.record_response(to, machine, resp_bytes);
             let deadline = issued_at
@@ -377,11 +478,11 @@ impl Transport for ChannelTransport {
             let mut rpc_span = rpc_span;
             rpc_span.attr("resp_bytes", resp_bytes as u64);
             rpc_span.finish();
-            response
+            Ok(response)
         })
     }
 
-    fn barrier(&self) {
+    fn barrier(&self) -> Result<(), TransportError> {
         // Mirror the socket transport's all-to-all barrier notification in
         // the modelled accounting — one Barrier frame (u64 epoch payload)
         // to every remote peer, charged as control *bytes* only — so the
@@ -393,10 +494,17 @@ impl Transport for ChannelTransport {
             }
         }
         self.barrier.wait();
+        Ok(())
     }
 
-    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
+    fn send_rows(
+        &self,
+        to: MachineId,
+        tag: u32,
+        rows: Vec<Vec<VertexId>>,
+    ) -> Result<(), TransportError> {
         self.exchange.send(&self.stats, self.machine, to, tag, rows);
+        Ok(())
     }
 
     fn take_rows(&self, tag: u32) -> Vec<Vec<VertexId>> {
@@ -646,25 +754,49 @@ struct PeerClient {
     closed: Arc<AtomicBool>,
 }
 
-/// Epoch-counted distributed barrier arrivals.
+/// Epoch-counted distributed barrier arrivals, *attributed*: each arrival
+/// records which machine sent the notification (the connection handshake
+/// names the sender), so a timed-out wait can report exactly who is
+/// missing instead of only how many.
 #[derive(Default)]
 struct BarrierState {
-    arrived: StdMutex<HashMap<u64, usize>>,
+    arrived: StdMutex<HashMap<u64, Vec<MachineId>>>,
     condvar: Condvar,
 }
 
 impl BarrierState {
-    fn arrive(&self, epoch: u64) {
-        *self.arrived.lock().expect("barrier lock").entry(epoch).or_insert(0) += 1;
+    fn arrive(&self, epoch: u64, from: MachineId) {
+        self.arrived.lock().expect("barrier lock").entry(epoch).or_default().push(from);
         self.condvar.notify_all();
     }
 
-    fn wait(&self, epoch: u64, expected: usize) {
+    /// Waits until `expected` machines arrived at `epoch`, or `timeout`
+    /// elapsed. On timeout the entry is left in place (stragglers of a
+    /// failed epoch must not corrupt a later one) and the machines that
+    /// *did* arrive are returned so the caller can name the missing ones.
+    fn wait(
+        &self,
+        epoch: u64,
+        expected: usize,
+        timeout: Duration,
+    ) -> Result<(), Vec<MachineId>> {
+        let deadline = Instant::now() + timeout;
         let mut arrived = self.arrived.lock().expect("barrier lock");
-        while arrived.get(&epoch).copied().unwrap_or(0) < expected {
-            arrived = self.condvar.wait(arrived).expect("barrier wait");
+        loop {
+            if arrived.get(&epoch).map_or(0, Vec::len) >= expected {
+                arrived.remove(&epoch);
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(arrived.get(&epoch).cloned().unwrap_or_default());
+            }
+            let (guard, _) = self
+                .condvar
+                .wait_timeout(arrived, deadline - now)
+                .expect("barrier wait");
+            arrived = guard;
         }
-        arrived.remove(&epoch);
     }
 }
 
@@ -676,8 +808,19 @@ struct ControlState {
     /// Latest metrics snapshot received from each machine (newer frames
     /// replace older ones — each frame carries a full snapshot).
     metrics: StdMutex<HashMap<MachineId, Vec<u8>>>,
+    /// When each machine was last heard from (metrics or result frame) —
+    /// the liveness signal the coordinator's heartbeat monitor reads. The
+    /// periodic metrics stream doubles as the heartbeat carrier: a worker
+    /// that stops ticking is suspect, one whose process exited is dead.
+    heartbeats: StdMutex<HashMap<MachineId, Instant>>,
     shutdown: AtomicBool,
     condvar: Condvar,
+}
+
+impl ControlState {
+    fn record_heartbeat(&self, from: MachineId) {
+        self.heartbeats.lock().expect("heartbeat lock").insert(from, Instant::now());
+    }
 }
 
 /// Everything the node's threads share.
@@ -690,7 +833,11 @@ struct NodeShared {
     peers: Vec<Mutex<Option<Arc<PeerClient>>>>,
     barrier: BarrierState,
     barrier_epoch: AtomicU64,
+    barrier_timeout: Duration,
     control: ControlState,
+    /// How many dead peer connections were replaced with a fresh dial
+    /// (the reconnect-on-reset path in `NodeShared::try_peer`).
+    reconnects: AtomicU64,
     /// Connection handler + reader threads, joined at shutdown.
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -701,20 +848,27 @@ impl NodeShared {
     }
 
     /// The client connection to `to`, establishing it (with retry — the
-    /// peer process may still be starting) on first use. Panics on failure:
-    /// for requests, barriers and result delivery an unreachable peer is
-    /// fatal (see [`NodeShared::try_peer`] for the tolerant path).
-    fn peer(self: &Arc<Self>, to: MachineId) -> Arc<PeerClient> {
-        self.try_peer(to, CONNECT_RETRY_TIMEOUT).unwrap_or_else(|e| {
-            panic!(
-                "machine {}: cannot talk to machine {to} at {}: {e}",
-                self.machine, self.addrs[to]
-            )
+    /// peer process may still be starting) on first use. Connection
+    /// failures surface as [`TransportError::ConnectRefused`] for the
+    /// caller's retry/backoff layer to act on.
+    fn peer(self: &Arc<Self>, to: MachineId) -> Result<Arc<PeerClient>, TransportError> {
+        self.try_peer(to, CONNECT_RETRY_TIMEOUT).map_err(|e| TransportError::ConnectRefused {
+            machine: self.machine,
+            to,
+            detail: format!("{} unreachable: {e}", self.addrs[to]),
         })
     }
 
-    /// Fallible [`peer`](NodeShared::peer): the shutdown broadcast uses it
-    /// so one dead worker cannot crash the coordinator's drain.
+    /// [`peer`](NodeShared::peer) with an explicit connect timeout and the
+    /// raw I/O error (the shutdown broadcast and metrics ticker use short
+    /// timeouts so one dead worker cannot stall the drain).
+    ///
+    /// This is also the **reconnect-on-reset** point: a cached client whose
+    /// reader thread has exited (`closed` set — EOF, reset or decode
+    /// failure) is discarded and a fresh connection dialed in its place,
+    /// with a fresh correlation-id space. Requests that were in flight on
+    /// the dead connection have already errored out; retried idempotent
+    /// requests transparently heal over the new link.
     fn try_peer(
         self: &Arc<Self>,
         to: MachineId,
@@ -722,7 +876,16 @@ impl NodeShared {
     ) -> io::Result<Arc<PeerClient>> {
         let mut slot = self.peers[to].lock();
         if let Some(client) = slot.as_ref() {
-            return Ok(client.clone());
+            if !client.closed.load(Ordering::SeqCst) {
+                return Ok(client.clone());
+            }
+            // the reader saw the connection die: drop the corpse and redial
+            client.stream.lock().shutdown_both();
+            *slot = None;
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+            if rads_obs::metrics_enabled() {
+                rads_obs::Registry::global().counter("rads_reconnects_total").add(1);
+            }
         }
         let stream = connect_with_retry(&self.addrs[to], connect_timeout)?;
         // handshake: tell the peer's daemon who is calling
@@ -738,30 +901,68 @@ impl NodeShared {
         });
         let pending = client.pending.clone();
         let closed = client.closed.clone();
+        let machine = self.machine;
         let mut read_half = stream;
         let reader = std::thread::Builder::new()
             .name(format!("rads-m{}-reader-to-m{to}", self.machine))
             .spawn(move || {
-                loop {
+                // The reader never panics: every way the stream can go bad
+                // resolves to a typed reason, the connection is marked dead
+                // and pending requesters error out (their retry layer
+                // reconnects). A duplicate correlation id (the slot was
+                // already consumed) is dropped on the floor.
+                let reason = loop {
                     // read_message reassembles continuation runs, so an
-                    // adjacency response above the frame cap arrives here as
-                    // one logical frame; a duplicate correlation id (the
-                    // slot was already consumed) is dropped on the floor.
+                    // adjacency response above the frame cap arrives here
+                    // as one logical frame
                     match read_message(&mut read_half) {
                         Ok(Some(frame)) if frame.kind == FrameKind::Response => {
-                            let Ok(response) = decode_response(&frame.payload) else { break };
-                            if let Some(tx) = pending.lock().remove(&frame.correlation) {
-                                let _ = tx.send(response);
+                            match decode_response(&frame.payload) {
+                                Ok(response) => {
+                                    if let Some(tx) = pending.lock().remove(&frame.correlation) {
+                                        let _ = tx.send(response);
+                                    }
+                                }
+                                Err(e) => {
+                                    break Some(TransportError::Decode {
+                                        machine,
+                                        to,
+                                        detail: format!(
+                                            "response (correlation {}): {e}",
+                                            frame.correlation
+                                        ),
+                                    })
+                                }
                             }
                         }
-                        _ => break,
+                        Ok(Some(frame)) => {
+                            break Some(TransportError::Decode {
+                                machine,
+                                to,
+                                detail: format!(
+                                    "unexpected {:?} frame on a client connection",
+                                    frame.kind
+                                ),
+                            })
+                        }
+                        Ok(None) => break None, // clean close
+                        Err(e) => {
+                            break Some(TransportError::Decode {
+                                machine,
+                                to,
+                                detail: e.to_string(),
+                            })
+                        }
                     }
-                }
+                };
                 // Mark the connection dead *before* draining, then drop the
                 // reply senders: requesters blocked on this connection error
                 // out, and later requests see `closed` (see PeerClient).
                 closed.store(true, Ordering::SeqCst);
                 pending.lock().clear();
+                if let Some(error) = reason {
+                    eprintln!("{error} — connection marked dead; retries will reconnect");
+                }
             })
             .expect("spawn reader thread");
         self.threads.lock().push(reader);
@@ -769,17 +970,27 @@ impl NodeShared {
         Ok(client)
     }
 
-    /// Sends a one-way control frame to `to`, charging real bytes.
-    fn send_control(self: &Arc<Self>, to: MachineId, kind: FrameKind, correlation: u64, payload: &[u8]) {
-        let client = self.peer(to);
+    /// Sends a one-way control frame to `to`, charging real bytes. A
+    /// failed write surfaces as [`TransportError::Reset`].
+    fn send_control(
+        self: &Arc<Self>,
+        to: MachineId,
+        kind: FrameKind,
+        correlation: u64,
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
+        let client = self.peer(to)?;
         let written = {
             let mut stream = client.stream.lock();
             write_frame(&mut *stream, kind, correlation, payload)
         }
-        .unwrap_or_else(|e| {
-            panic!("machine {}: control frame to machine {to} failed: {e}", self.machine)
-        });
+        .map_err(|e| TransportError::Reset {
+            machine: self.machine,
+            to,
+            detail: format!("control frame failed to send: {e}"),
+        })?;
         self.stats.record_control(self.machine, written);
+        Ok(())
     }
 }
 
@@ -845,7 +1056,13 @@ impl SocketNode {
             peers: (0..machines).map(|_| Mutex::new(None)).collect(),
             barrier: BarrierState::default(),
             barrier_epoch: AtomicU64::new(0),
+            // Binaries validate the env up front (rads-node exits cleanly
+            // on a ConfigError before any node starts), so this expect is
+            // a backstop for library callers, not the user-facing path.
+            barrier_timeout: barrier_timeout_from_env()
+                .unwrap_or_else(|e| panic!("{e}")),
             control: ControlState::default(),
+            reconnects: AtomicU64::new(0),
             threads: Mutex::new(Vec::new()),
         });
         listener.set_nonblocking(true).expect("nonblocking listener");
@@ -869,13 +1086,37 @@ impl SocketNode {
 
     /// Worker → coordinator: delivers this machine's opaque result payload
     /// (the frame's correlation id carries the machine id).
-    pub fn send_result(&self, coordinator: MachineId, payload: &[u8]) {
+    pub fn send_result(
+        &self,
+        coordinator: MachineId,
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
         self.shared.send_control(
             coordinator,
             FrameKind::Result,
             self.shared.machine as u64,
             payload,
-        );
+        )
+    }
+
+    /// How many dead peer connections this node replaced with a fresh dial
+    /// (the reconnect-on-reset path).
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Coordinator: when each machine was last heard from (metrics or
+    /// result frame). The periodic metrics stream is the heartbeat carrier;
+    /// a machine absent from the map has never been heard from at all.
+    pub fn heartbeats(&self) -> HashMap<MachineId, Instant> {
+        self.shared.control.heartbeats.lock().expect("heartbeat lock").clone()
+    }
+
+    /// A lightweight liveness handle sharing this node's state, for a
+    /// thread that does not own the node (the coordinator's main thread
+    /// watches heartbeats while its engine thread owns the `SocketNode`).
+    pub fn monitor(&self) -> NodeMonitor {
+        NodeMonitor { shared: self.shared.clone() }
     }
 
     /// Coordinator: blocks until every machine in `from` delivered a result
@@ -1008,6 +1249,27 @@ pub struct MetricsPublisher {
     to: MachineId,
 }
 
+/// A read-only liveness view of a running [`SocketNode`]
+/// ([`SocketNode::monitor`]): heartbeat recency and reconnect counts,
+/// observable from a thread that does not own the node. The coordinator's
+/// worker-loss detector polls this while the engine thread runs.
+#[derive(Clone)]
+pub struct NodeMonitor {
+    shared: Arc<NodeShared>,
+}
+
+impl NodeMonitor {
+    /// See [`SocketNode::heartbeats`].
+    pub fn heartbeats(&self) -> HashMap<MachineId, Instant> {
+        self.shared.control.heartbeats.lock().expect("heartbeat lock").clone()
+    }
+
+    /// See [`SocketNode::reconnects`].
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::Relaxed)
+    }
+}
+
 impl MetricsPublisher {
     /// Sends one full metrics snapshot (the `rads-obs` binary codec);
     /// returns `false` if the peer is unreachable or the write failed, so
@@ -1118,14 +1380,18 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                 }
             }
             FrameKind::Barrier => {
+                // arrivals are attributed to the machine the handshake
+                // named, so a timed-out wait can report who is missing
+                let Some(from) = peer else { return };
                 if frame.payload.len() != 8 {
                     return;
                 }
                 let epoch = u64::from_le_bytes(frame.payload[..8].try_into().expect("8 bytes"));
-                shared.barrier.arrive(epoch);
+                shared.barrier.arrive(epoch, from);
             }
             FrameKind::Result => {
                 let from = frame.correlation as MachineId;
+                shared.control.record_heartbeat(from);
                 shared
                     .control
                     .results
@@ -1139,6 +1405,7 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                 if from >= shared.machines() {
                     return;
                 }
+                shared.control.record_heartbeat(from);
                 shared
                     .control
                     .metrics
@@ -1174,14 +1441,17 @@ impl Transport for SocketTransport {
         self.shared.machines()
     }
 
-    fn request(&self, to: MachineId, request: Request) -> Response {
+    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
         self.request_async(to, request).wait()
     }
 
     fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
         debug_assert_ne!(to, self.shared.machine, "local requests are served inline");
         let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
-        let client = self.shared.peer(to);
+        let client = match self.shared.peer(to) {
+            Ok(client) => client,
+            Err(e) => return PendingResponse::failed(to, e),
+        };
         let correlation = client.next_correlation.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = bounded(1);
         client.pending.lock().insert(correlation, reply_tx);
@@ -1189,10 +1459,14 @@ impl Transport for SocketTransport {
             // reader already exited: a write could still land in the socket
             // buffer without error and nobody would ever deliver the reply
             client.pending.lock().remove(&correlation);
-            panic!(
-                "machine {}: connection to machine {to} is closed (daemon died or sent a \
-                 malformed response)",
-                self.shared.machine
+            return PendingResponse::failed(
+                to,
+                TransportError::Reset {
+                    machine: self.shared.machine,
+                    to,
+                    detail: "connection is closed (peer died or sent a malformed response)"
+                        .into(),
+                },
             );
         }
         let mut payload = Vec::new();
@@ -1200,13 +1474,21 @@ impl Transport for SocketTransport {
         let written = {
             let mut stream = client.stream.lock();
             write_message(&mut *stream, FrameKind::Request, correlation, &payload)
-        }
-        .unwrap_or_else(|e| {
-            panic!(
-                "machine {}: request to machine {to} (correlation {correlation}) failed: {e}",
-                self.shared.machine
-            )
-        });
+        };
+        let written = match written {
+            Ok(written) => written,
+            Err(e) => {
+                client.pending.lock().remove(&correlation);
+                return PendingResponse::failed(
+                    to,
+                    TransportError::Reset {
+                        machine: self.shared.machine,
+                        to,
+                        detail: format!("request (correlation {correlation}) failed to send: {e}"),
+                    },
+                );
+            }
+        };
         self.shared.stats.record_request(self.shared.machine, written);
         frame_bytes_histogram().observe(written as u64);
         rpc_span.attr("to", to as u64);
@@ -1214,45 +1496,63 @@ impl Transport for SocketTransport {
         rpc_span.attr("req_bytes", written as u64);
         let machine = self.shared.machine;
         PendingResponse::deferred(to, Some(correlation), move || {
-            let response = reply_rx.recv().unwrap_or_else(|_| {
-                panic!(
-                    "machine {machine}: connection to machine {to} closed before the response \
-                     to correlation {correlation} arrived"
-                )
-            });
+            let response = reply_rx.recv().map_err(|_| TransportError::Reset {
+                machine,
+                to,
+                detail: format!(
+                    "connection closed before the response to correlation {correlation} arrived"
+                ),
+            })?;
             rpc_span.finish();
-            response
+            Ok(response)
         })
     }
 
-    fn barrier(&self) {
+    fn barrier(&self) -> Result<(), TransportError> {
         let machines = self.shared.machines();
         if machines <= 1 {
-            return;
+            return Ok(());
         }
         let epoch = self.shared.barrier_epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        // payload is the epoch alone: arrivals are counted, not attributed
-        // (every machine enters each epoch exactly once, and frames of one
-        // peer arrive in connection order)
+        // payload is the epoch alone; the receiver attributes the arrival
+        // to the machine this connection's handshake named
         let payload = epoch.to_le_bytes();
         for to in 0..machines {
             if to != self.shared.machine {
-                self.shared.send_control(to, FrameKind::Barrier, 0, &payload);
+                self.shared.send_control(to, FrameKind::Barrier, 0, &payload)?;
             }
         }
-        self.shared.barrier.wait(epoch, machines - 1);
+        let timeout = self.shared.barrier_timeout;
+        self.shared.barrier.wait(epoch, machines - 1, timeout).map_err(|arrived| {
+            let missing: Vec<MachineId> = (0..machines)
+                .filter(|&m| m != self.shared.machine && !arrived.contains(&m))
+                .collect();
+            TransportError::BarrierTimeout {
+                machine: self.shared.machine,
+                epoch,
+                missing,
+                waited_ms: timeout.as_millis() as u64,
+            }
+        })
     }
 
-    fn send_rows(&self, to: MachineId, tag: u32, rows: Vec<Vec<VertexId>>) {
+    fn send_rows(
+        &self,
+        to: MachineId,
+        tag: u32,
+        rows: Vec<Vec<VertexId>>,
+    ) -> Result<(), TransportError> {
         if rows.is_empty() {
-            return;
+            return Ok(());
         }
         if to == self.shared.machine {
             self.shared.exchange.deliver(to, tag, rows);
-            return;
+            return Ok(());
         }
-        match self.request(to, Request::DeliverRows { tag, rows }) {
-            Response::Ack => {}
+        match self.request(to, Request::DeliverRows { tag, rows })? {
+            Response::Ack => Ok(()),
+            // a non-Ack answer to DeliverRows is a protocol bug, not a
+            // fabric fault; it must fail loudly rather than be retried
             other => panic!(
                 "machine {}: DeliverRows to machine {to} answered {other:?}",
                 self.shared.machine
@@ -1289,6 +1589,27 @@ mod tests {
     }
 
     #[test]
+    fn unknown_transport_env_is_a_typed_config_error() {
+        assert_eq!(TransportKind::from_env_value(None), Ok(TransportKind::InProcess));
+        assert_eq!(TransportKind::from_env_value(Some("tcp")), Ok(TransportKind::Tcp));
+        let err = TransportKind::from_env_value(Some("carrier-pigeon")).unwrap_err();
+        assert_eq!(err.var, TRANSPORT_ENV);
+        assert_eq!(err.value, "carrier-pigeon");
+        assert!(err.to_string().contains("in-process | uds | tcp"), "{err}");
+    }
+
+    #[test]
+    fn barrier_timeout_env_parses_or_errors() {
+        assert_eq!(barrier_timeout_from_value(None), Ok(DEFAULT_BARRIER_TIMEOUT));
+        assert_eq!(barrier_timeout_from_value(Some("7")), Ok(Duration::from_secs(7)));
+        for bad in ["0", "-3", "soon", ""] {
+            let err = barrier_timeout_from_value(Some(bad)).unwrap_err();
+            assert_eq!(err.var, BARRIER_TIMEOUT_ENV, "{bad:?}");
+            assert_eq!(err.value, bad);
+        }
+    }
+
+    #[test]
     fn peer_addr_parses_both_schemes() {
         assert_eq!(
             PeerAddr::parse("tcp:127.0.0.1:4100"),
@@ -1302,15 +1623,28 @@ mod tests {
     }
 
     #[test]
-    fn barrier_state_counts_per_epoch() {
+    fn barrier_state_attributes_arrivals_per_epoch() {
         let b = BarrierState::default();
-        b.arrive(1);
-        b.arrive(1);
-        b.arrive(2);
-        b.wait(1, 2); // returns immediately: both arrivals are in
+        b.arrive(1, 1);
+        b.arrive(1, 2);
+        b.arrive(2, 2);
+        // returns immediately: both arrivals are in
+        b.wait(1, 2, Duration::from_secs(5)).expect("epoch 1 is complete");
         // epoch 1 was consumed, epoch 2 still has its single arrival
-        assert_eq!(b.arrived.lock().unwrap().get(&2), Some(&1));
+        assert_eq!(b.arrived.lock().unwrap().get(&2), Some(&vec![2]));
         assert!(b.arrived.lock().unwrap().get(&1).is_none());
+    }
+
+    #[test]
+    fn barrier_wait_times_out_naming_who_arrived() {
+        let b = BarrierState::default();
+        b.arrive(5, 3);
+        let arrived = b
+            .wait(5, 2, Duration::from_millis(20))
+            .expect_err("epoch 5 can never complete");
+        assert_eq!(arrived, vec![3]);
+        // the partial epoch is left in place for diagnosis, not consumed
+        assert_eq!(b.arrived.lock().unwrap().get(&5), Some(&vec![3]));
     }
 
     #[test]

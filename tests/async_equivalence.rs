@@ -157,5 +157,5 @@ fn env_toggle_selects_the_driver() {
     // the default is read at config-construction time. The explicit-field
     // matrix above covers both drivers; the CI matrix runs the whole suite
     // under RADS_ROUND_DRIVER=serial to cover the env path.
-    assert_eq!(RadsConfig::default().round_driver, RoundDriver::from_env());
+    assert_eq!(RadsConfig::default().round_driver, RoundDriver::from_env().expect("valid driver env"));
 }

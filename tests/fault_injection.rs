@@ -14,6 +14,7 @@ use rads_core::{run_rads_wrapped, RadsConfig as Config, RoundDriver};
 use rads_graph::queries;
 use rads_runtime::{
     FaultPlan, FaultStats, FaultTransport, Request, Response, TrafficSnapshot, Transport,
+    TransportError,
 };
 
 fn small_cluster(machines: usize) -> (Cluster, u64, Pattern) {
@@ -94,6 +95,79 @@ fn hostile_network_is_invisible_to_both_drivers() {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos faults: drops, resets and corrupted frames, healed by the retry
+// layer. Load sharing stays off in these runs so every remote RPC is an
+// idempotent read (`fetchV` / `verifyE`) — an injected fault on the
+// non-idempotent `shareR` is *supposed* to be terminal, which is a different
+// test's job (the process-level fail-fast/recover suite).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_drops_resets_and_corruptions_are_healed_by_retries() {
+    let (cluster, expected, pattern) = small_cluster(3);
+    let config = Config {
+        enable_load_sharing: false,
+        workers: 1,
+        ..Config::with_round_driver(RoundDriver::Async)
+    };
+    for (name, plan, pick) in [
+        ("drop", FaultPlan { drop_every: 3, ..FaultPlan::benign() }, 0usize),
+        ("reset", FaultPlan { reset_every: 2, ..FaultPlan::benign() }, 1),
+        ("corrupt", FaultPlan { corrupt_every: 2, ..FaultPlan::benign() }, 2),
+    ] {
+        let (outcome, stats) = run_with_faults(&cluster, &pattern, &config, plan, false);
+        assert_eq!(outcome.total_embeddings, expected, "{name}: counts drifted under faults");
+        let fired: u64 = stats
+            .iter()
+            .map(|s| {
+                let (dropped, resets, corrupted, _) = s.chaos_counts();
+                [dropped, resets, corrupted][pick]
+            })
+            .sum();
+        assert!(fired > 0, "{name}: no fault ever fired — the test proved nothing");
+        let retries: u64 = outcome.per_machine.iter().map(|m| m.stats.rpc_retries).sum();
+        assert!(retries > 0, "{name}: {fired} faults fired but no retry was ever recorded");
+    }
+}
+
+#[test]
+fn combined_chaos_plan_is_invisible_to_both_drivers() {
+    let (cluster, expected, pattern) = small_cluster(4);
+    // Periods 3/4/5 interleave all three fault kinds across the run.
+    let plan = FaultPlan::chaos(3);
+    for driver in [RoundDriver::Serial, RoundDriver::Async] {
+        let config =
+            Config { enable_load_sharing: false, ..Config::with_round_driver(driver) };
+        let (outcome, stats) = run_with_faults(&cluster, &pattern, &config, plan, false);
+        assert_eq!(outcome.total_embeddings, expected, "{}", driver.name());
+        let (dropped, resets, corrupted) = stats.iter().fold((0, 0, 0), |acc, s| {
+            let (d, r, c, _) = s.chaos_counts();
+            (acc.0 + d, acc.1 + r, acc.2 + c)
+        });
+        assert!(
+            dropped + resets + corrupted > 0,
+            "{}: the chaos plan never fired",
+            driver.name()
+        );
+    }
+}
+
+#[test]
+fn stalls_slow_the_run_down_but_never_change_counts() {
+    let (cluster, expected, pattern) = small_cluster(3);
+    let plan = FaultPlan {
+        stall_every: 4,
+        stall: Duration::from_millis(1),
+        ..FaultPlan::benign()
+    };
+    let config = Config::with_round_driver(RoundDriver::Async);
+    let (outcome, stats) = run_with_faults(&cluster, &pattern, &config, plan, false);
+    assert_eq!(outcome.total_embeddings, expected);
+    let stalled: u64 = stats.iter().map(|s| s.chaos_counts().3).sum();
+    assert!(stalled > 0, "no stall ever fired");
+}
+
+// ---------------------------------------------------------------------------
 // Mis-tagged responses: the engine must name the culprit, not just die.
 // ---------------------------------------------------------------------------
 
@@ -115,14 +189,23 @@ impl Transport for MisTagTransport {
     fn machines(&self) -> usize {
         2
     }
-    fn request(&self, to: usize, request: Request) -> Response {
+    fn request(&self, to: usize, request: Request) -> Result<Response, TransportError> {
         if matches!(request, Request::FetchVertices(_)) {
-            return Response::Ack;
+            return Ok(Response::Ack);
         }
-        rads_runtime::Daemon::handle(&*self.peer, to, request)
+        Ok(rads_runtime::Daemon::handle(&*self.peer, to, request))
     }
-    fn barrier(&self) {}
-    fn send_rows(&self, _to: usize, _tag: u32, _rows: Vec<Vec<VertexId>>) {}
+    fn barrier(&self) -> Result<(), TransportError> {
+        Ok(())
+    }
+    fn send_rows(
+        &self,
+        _to: usize,
+        _tag: u32,
+        _rows: Vec<Vec<VertexId>>,
+    ) -> Result<(), TransportError> {
+        Ok(())
+    }
     fn take_rows(&self, _tag: u32) -> Vec<Vec<VertexId>> {
         Vec::new()
     }
