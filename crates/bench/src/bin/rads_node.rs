@@ -41,12 +41,20 @@
 //! exactly the code the in-process simulator runs — which is why the
 //! counts must be (and are, see the `cluster-smoke` CI job) bit-identical
 //! across transports.
+//!
+//! A third role, `serve`, keeps the whole cluster **resident**: the
+//! dataset is loaded and partitioned once, then a stream of pattern
+//! queries is answered over a TCP client door (the `rads-query` binary is
+//! the client) while a Prometheus text page serves the live metrics
+//! registry. See [`rads_bench::serve`] for the protocol, the admission
+//! semantics and the state-isolation contract between queries.
 
 use std::time::Duration;
 
 use rads_bench::procs::{
     dataset_by_name, run_coordinator, run_worker, ClusterSpec, ClusterSummary, FaultPolicy,
 };
+use rads_bench::serve::{run_serve_coordinator, run_serve_worker, ServeOptions};
 use rads_core::RoundDriver;
 use rads_datasets::DatasetKind;
 use rads_runtime::{PeerAddr, TransportKind};
@@ -61,11 +69,16 @@ fn usage() -> ! {
          \x20          [--trace-out FILE] [--metrics-out FILE]\n\
          \x20          [--fault-policy fail-fast|recover] [--chaos-kill-ms MS]\n\
          \x20          [--timeout-secs T] [--json]\n\
+         \x20 rads-node serve --machines N [--transport uds|tcp] [--dataset D] [--scale S]\n\
+         \x20          [--seed K] [--workers W] [--budget BYTES] [--driver serial|async]\n\
+         \x20          [--admission-bytes BYTES] [--client-addr H:P] [--http-addr H:P]\n\
+         \x20          [--timeout-secs T]   (resident daemon; query it with rads-query)\n\
          \x20 rads-node worker --machine M --machines N --addrs A0,A1,.. --dataset D\n\
          \x20          --scale S --seed K --query Q [--workers W] [--budget BYTES]\n\
          \x20          [--driver serial|async] [--fetch-chunk V] [--no-cache]\n\
          \x20          [--trace-out FILE] [--metrics-out FILE]\n\
-         \x20          [--timeout-secs T]"
+         \x20          [--timeout-secs T]\n\
+         \x20 rads-node serve-worker ...   (spawned by serve; same flags as worker)"
     );
     std::process::exit(2);
 }
@@ -135,7 +148,7 @@ impl Flags {
     }
 }
 
-fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
+fn spec_from_flags(flags: &Flags, machines: usize, default_query: Option<&str>) -> ClusterSpec {
     // The artifact flags imply their toggles: pointing a run at an output
     // file is the request to record. (The RADS_TRACE / RADS_METRICS env
     // toggles work too — every worker inherits the coordinator's env.)
@@ -163,7 +176,11 @@ fn spec_from_flags(flags: &Flags, machines: usize) -> ClusterSpec {
         dataset,
         scale,
         seed: flags.parsed("seed").unwrap_or(42),
-        query: flags.get("query").unwrap_or_else(|| fail("--query is required")).to_string(),
+        query: flags
+            .get("query")
+            .or(default_query)
+            .unwrap_or_else(|| fail("--query is required"))
+            .to_string(),
         workers: flags.parsed("workers").unwrap_or_else(rads_exec::workers_from_env),
         budget,
         driver: flags
@@ -220,6 +237,20 @@ fn timeout_from_flags(flags: &Flags) -> Duration {
     Duration::from_secs(flags.parsed::<u64>("timeout-secs").unwrap_or(DEFAULT_TIMEOUT_SECS).max(1))
 }
 
+/// Multi-process modes need a real socket transport; the in-process
+/// simulator makes no sense when the machines are separate OS processes.
+fn socket_transport_from_flags(flags: &Flags) -> TransportKind {
+    match flags.get("transport") {
+        None => TransportKind::Uds.effective(),
+        Some(raw) => match TransportKind::parse(raw) {
+            Some(TransportKind::InProcess) | None => {
+                fail(&format!("--transport must be uds or tcp, got {raw:?}"))
+            }
+            Some(kind) => kind.effective(),
+        },
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = args.first() else { usage() };
@@ -232,16 +263,8 @@ fn main() {
             if machines == 0 {
                 fail("--machines must be at least 1");
             }
-            let spec = spec_from_flags(&flags, machines);
-            let kind = match flags.get("transport") {
-                None => TransportKind::Uds.effective(),
-                Some(raw) => match TransportKind::parse(raw) {
-                    Some(TransportKind::InProcess) | None => {
-                        fail(&format!("--transport must be uds or tcp, got {raw:?}"))
-                    }
-                    Some(kind) => kind.effective(),
-                },
-            };
+            let spec = spec_from_flags(&flags, machines, None);
+            let kind = socket_transport_from_flags(&flags);
             let timeout = timeout_from_flags(&flags);
             let node_binary = std::env::current_exe()
                 .unwrap_or_else(|e| fail(&format!("cannot locate this executable: {e}")));
@@ -268,10 +291,36 @@ fn main() {
                 Err(e) => fail(&e),
             }
         }
-        "worker" => {
+        "serve" => {
+            let machines: usize = flags.require("machines");
+            if machines == 0 {
+                fail("--machines must be at least 1");
+            }
+            // serve workers receive their queries over the wire; the spec's
+            // query field is a placeholder the serve path never reads
+            let spec = spec_from_flags(&flags, machines, Some("q1"));
+            let kind = socket_transport_from_flags(&flags);
+            let admission_bytes = flags.get("admission-bytes").map(|raw| {
+                rads_core::memory::parse_bytes(raw).unwrap_or_else(|| {
+                    fail(&format!("invalid byte size {raw:?} for --admission-bytes"))
+                }) as u64
+            });
+            let options = ServeOptions {
+                admission_bytes,
+                client_addr: flags.get("client-addr").unwrap_or("127.0.0.1:0").to_string(),
+                http_addr: flags.get("http-addr").unwrap_or("127.0.0.1:0").to_string(),
+                query_timeout: timeout_from_flags(&flags),
+            };
+            let node_binary = std::env::current_exe()
+                .unwrap_or_else(|e| fail(&format!("cannot locate this executable: {e}")));
+            if let Err(e) = run_serve_coordinator(&spec, kind, &node_binary, &options) {
+                fail(&e);
+            }
+        }
+        "worker" | "serve-worker" => {
             let machines: usize = flags.require("machines");
             let machine: usize = flags.require("machine");
-            let spec = spec_from_flags(&flags, machines);
+            let spec = spec_from_flags(&flags, machines, None);
             let addr_list: String = flags.require("addrs");
             let addrs: Vec<PeerAddr> = addr_list
                 .split(',')
@@ -280,8 +329,12 @@ fn main() {
             if addrs.len() != machines {
                 fail(&format!("--addrs lists {} addresses for {machines} machines", addrs.len()));
             }
-            let timeout = timeout_from_flags(&flags);
-            if let Err(e) = run_worker(&spec, machine, addrs, timeout) {
+            let result = if mode == "serve-worker" {
+                run_serve_worker(&spec, machine, addrs)
+            } else {
+                run_worker(&spec, machine, addrs, timeout_from_flags(&flags))
+            };
+            if let Err(e) = result {
                 fail(&e);
             }
         }

@@ -1,0 +1,124 @@
+//! `rads-query` — thin client for a resident `rads-node serve` cluster.
+//!
+//! Connects to the serve coordinator's client front door (the
+//! `client_addr` printed on the server's ready line), sends one
+//! [`ClientOp`] and prints the [`QueryReply`].
+//!
+//! ```text
+//! rads-query --addr 127.0.0.1:4567 --query q5 [--budget 64m] [--json]
+//! rads-query --addr 127.0.0.1:4567 --shutdown
+//! ```
+//!
+//! Exit codes: `0` for an answered query (or a shutdown acknowledgement),
+//! `3` when admission control rejected the query, `1` for any error.
+
+use std::process::exit;
+
+use rads_bench::serve::{client_round_trip, ClientOp, QueryReply};
+
+fn fail(message: &str) -> ! {
+    eprintln!("rads-query: {message}");
+    exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         rads-query --addr HOST:PORT --query NAME [--budget BYTES] [--json]\n  \
+         rads-query --addr HOST:PORT --shutdown"
+    );
+    exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut query: Option<String> = None;
+    let mut budget: Option<u64> = None;
+    let mut shutdown = false;
+    let mut json = false;
+
+    let mut at = 0;
+    while at < args.len() {
+        match args[at].as_str() {
+            "--addr" => {
+                addr = Some(args.get(at + 1).cloned().unwrap_or_else(|| usage()));
+                at += 2;
+            }
+            "--query" => {
+                query = Some(args.get(at + 1).cloned().unwrap_or_else(|| usage()));
+                at += 2;
+            }
+            "--budget" => {
+                let raw = args.get(at + 1).cloned().unwrap_or_else(|| usage());
+                let bytes = rads_core::memory::parse_bytes(&raw)
+                    .unwrap_or_else(|| fail(&format!("invalid byte size {raw:?} for --budget")));
+                budget = Some(bytes as u64);
+                at += 2;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                at += 1;
+            }
+            "--json" => {
+                json = true;
+                at += 1;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let Some(addr) = addr else { usage() };
+    let op = if shutdown {
+        ClientOp::Shutdown
+    } else {
+        let Some(pattern) = query else { usage() };
+        ClientOp::Query { pattern, budget }
+    };
+
+    // the correlation id only has to be echoed back on this one connection
+    let reply = client_round_trip(&addr, &op, 1).unwrap_or_else(|e| fail(&e));
+    match reply {
+        QueryReply::Ok { count, elapsed_us, plan_cache_hit, per_machine, metrics_json } => {
+            if json {
+                let per: Vec<String> = per_machine
+                    .iter()
+                    .map(|(machine, embeddings)| format!("[{machine},{embeddings}]"))
+                    .collect();
+                println!(
+                    "{{\"ok\":true,\"count\":{count},\"elapsed_us\":{elapsed_us},\
+                     \"plan_cache_hit\":{plan_cache_hit},\"per_machine\":[{}],\
+                     \"metrics\":{metrics_json}}}",
+                    per.join(",")
+                );
+            } else {
+                println!(
+                    "count {count} | {:.3} ms | plan cache {}",
+                    elapsed_us as f64 / 1000.0,
+                    if plan_cache_hit { "hit" } else { "miss" },
+                );
+                for (machine, embeddings) in &per_machine {
+                    println!("  machine {machine}: {embeddings}");
+                }
+            }
+        }
+        QueryReply::Rejected { estimate, limit } => {
+            if json {
+                println!("{{\"ok\":false,\"rejected\":true,\"estimate\":{estimate},\"limit\":{limit}}}");
+            } else {
+                eprintln!(
+                    "rejected: estimated footprint {estimate} bytes exceeds admission limit {limit} bytes"
+                );
+            }
+            exit(3);
+        }
+        QueryReply::Error { message } => fail(&message),
+        QueryReply::ShutdownAck => {
+            if json {
+                println!("{{\"ok\":true,\"shutdown\":true}}");
+            } else {
+                println!("shutdown acknowledged");
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod json;
 pub mod procs;
+pub mod serve;
 
 use std::path::Path;
 use std::sync::Arc;

@@ -220,6 +220,16 @@ fn engine_config(spec: &ClusterSpec) -> EngineConfig {
         Some(bytes) => MemoryBudget::from_bytes(bytes),
         None => MemoryBudget::default_from_env(),
     };
+    engine_config_with(spec, budget)
+}
+
+/// [`engine_config`] with the memory budget supplied by the caller instead
+/// of resolved from `spec.budget` / the environment. The serving mode uses
+/// this: a resident daemon resolves its budget **once at startup** and then
+/// derives every query's config from that snapshot (plus the per-query
+/// client override), so flipping `RADS_MEMORY_BUDGET` under a running
+/// server cannot change behaviour mid-stream.
+pub(crate) fn engine_config_with(spec: &ClusterSpec, budget: MemoryBudget) -> EngineConfig {
     let default_chunk = EngineConfig::default().fetch_chunk_vertices;
     EngineConfig {
         budget,
@@ -337,9 +347,9 @@ pub struct MachineSummary {
     pub reconnects: u64,
 }
 
-const RESULT_PAYLOAD_BYTES: usize = 76;
+pub(crate) const RESULT_PAYLOAD_BYTES: usize = 76;
 
-fn encode_result(m: &MachineSummary) -> Vec<u8> {
+pub(crate) fn encode_result(m: &MachineSummary) -> Vec<u8> {
     let mut buf = Vec::with_capacity(RESULT_PAYLOAD_BYTES);
     buf.extend_from_slice(&(m.machine as u32).to_le_bytes());
     buf.extend_from_slice(&m.embeddings.to_le_bytes());
@@ -354,7 +364,7 @@ fn encode_result(m: &MachineSummary) -> Vec<u8> {
     buf
 }
 
-fn decode_result(buf: &[u8]) -> Result<MachineSummary, String> {
+pub(crate) fn decode_result(buf: &[u8]) -> Result<MachineSummary, String> {
     if buf.len() != RESULT_PAYLOAD_BYTES {
         return Err(format!(
             "result payload of {} bytes, expected {RESULT_PAYLOAD_BYTES}",
@@ -377,7 +387,7 @@ fn decode_result(buf: &[u8]) -> Result<MachineSummary, String> {
     })
 }
 
-fn machine_summary(
+pub(crate) fn machine_summary(
     machine: usize,
     output: &MachineOutput,
     wire: &TrafficSnapshot,

@@ -1,0 +1,1088 @@
+//! Serving mode (`rads-node serve`): a resident query-serving cluster.
+//!
+//! The one-shot modes in [`crate::procs`] pay the dominant cost of a run —
+//! generating and partitioning the dataset in every process — once *per
+//! query*. Serving mode pays it once per *process lifetime*: every machine
+//! loads its partition, starts its [`SocketNode`] and then stays resident,
+//! answering a stream of pattern queries over the same socket fabric.
+//!
+//! # Architecture
+//!
+//! * The **serve coordinator** (machine 0) opens two extra doors next to
+//!   its inter-machine listener: a TCP **client front door** speaking
+//!   [`FrameKind::Query`] / [`FrameKind::QueryResult`] frames (payloads
+//!   defined here, see [`ClientOp`] / [`QueryReply`]), and a Prometheus
+//!   text page ([`MetricsHttpServer`]) continuously serving the process
+//!   registry.
+//! * **Serve workers** run a job loop instead of a single engine run: the
+//!   coordinator dispatches each admitted query as a
+//!   [`Request::Query`] RPC (acknowledged immediately, executed from a
+//!   queue), every machine runs the unmodified
+//!   [`rads_core::engine::run_machine`], and each worker delivers a
+//!   per-query report as a result frame.
+//! * Client connections are handled concurrently, but execution is
+//!   **serialized in submission order**: the accept/handler threads feed
+//!   one job channel the coordinator's main thread drains, so the channel
+//!   itself is the FIFO admission queue ("queue" of queue-or-reject).
+//!
+//! # Admission control
+//!
+//! Before dispatching, the coordinator estimates the query's memory
+//! footprint ([`rads_core::estimate_query_footprint`] — deliberately
+//! conservative) and rejects it with a structured
+//! [`QueryReply::Rejected`] when the estimate exceeds the configured
+//! admission limit. An admitted query is still governed at runtime by the
+//! per-machine memory governor, so admission is a cheap front gate, not
+//! the enforcement mechanism.
+//!
+//! # State the queries share — and the reuse contract
+//!
+//! A resident cluster must not bleed state between queries. Per query,
+//! every machine constructs a fresh region-group queue and
+//! [`RadsDaemon`] (installed into its [`ServeDaemon`] for the duration of
+//! the run); engine stats, the embedding trie and the foreign-vertex
+//! cache live inside `run_machine` and die with it. What intentionally
+//! persists: the partitioned graph, the plan cache ([`PlanCache`] — keyed
+//! by canonical pattern signature, hits observable as
+//! `rads_plan_cache_hits_total`), and the process-global metrics registry,
+//! which stays *cumulative* (that is what the Prometheus page serves);
+//! per-query metrics in the reply are computed as
+//! [`MetricsSnapshot::delta_since`] deltas against the previous query's
+//! cluster-wide snapshot.
+//!
+//! The engine's memory budget is resolved **once at startup** (explicit
+//! `--budget` flag or one read of `RADS_MEMORY_BUDGET`); a per-query
+//! client override applies to that query only. The environment is never
+//! re-read while serving.
+
+use std::net::TcpListener;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use rads_core::daemon::{new_group_queue, GroupQueue, RadsDaemon};
+use rads_core::engine::run_machine;
+use rads_core::memory::MemoryBudget;
+use rads_core::{estimate_query_footprint, PlanCache};
+use rads_graph::queries;
+use rads_obs::{MetricsHttpServer, MetricsSnapshot, Registry};
+use rads_partition::{MachineId, PartitionedGraph};
+use rads_runtime::wire::{read_message, write_message, FrameKind};
+use rads_runtime::{
+    Daemon, MachineContext, NetworkStats, PartitionDaemon, PeerAddr, Request, Response,
+    SocketListener, SocketNode, TrafficSnapshot, TransportKind,
+};
+
+use crate::procs::{
+    allocate_addrs, build_partitioned, decode_result, encode_result, engine_config_with,
+    machine_summary, worker_args, ClusterSpec, MachineSummary, RESULT_PAYLOAD_BYTES,
+};
+
+/// The planner exponent every serve machine pins, matching the one-shot
+/// modes (`best_plan(&pattern, &PlannerConfig { rho: 1.0 })`): equal
+/// inputs are what keep the per-machine plan caches agreeing without
+/// coordination.
+const SERVE_RHO: f64 = 1.0;
+
+/// How long a serve worker's job loop waits on each of its two wake-up
+/// sources (the shutdown flag and the job channel) before checking the
+/// other.
+const JOB_POLL: Duration = Duration::from_millis(50);
+
+// ---------------------------------------------------------------------------
+// client protocol (payloads of FrameKind::Query / FrameKind::QueryResult)
+// ---------------------------------------------------------------------------
+
+const OP_QUERY: u8 = 0;
+const OP_SHUTDOWN: u8 = 1;
+
+const REPLY_OK: u8 = 0;
+const REPLY_REJECTED: u8 = 1;
+const REPLY_ERROR: u8 = 2;
+const REPLY_SHUTDOWN_ACK: u8 = 3;
+
+/// What a client asks the serve coordinator to do (the payload of a
+/// [`FrameKind::Query`] frame; the frame's correlation id is echoed in the
+/// reply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Run `pattern` (a [`rads_graph::queries::query_by_name`] name) on
+    /// the resident cluster, optionally overriding the per-group memory
+    /// budget (bytes) for this query only.
+    Query {
+        /// Pattern name.
+        pattern: String,
+        /// Per-query budget override in bytes.
+        budget: Option<u64>,
+    },
+    /// Shut the whole serve cluster down after replying.
+    Shutdown,
+}
+
+/// Encodes a [`ClientOp`] as a `Query` frame payload.
+pub fn encode_client_op(op: &ClientOp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match op {
+        ClientOp::Query { pattern, budget } => {
+            buf.push(OP_QUERY);
+            buf.extend_from_slice(&(pattern.len() as u16).to_le_bytes());
+            buf.extend_from_slice(pattern.as_bytes());
+            match budget {
+                Some(bytes) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&bytes.to_le_bytes());
+                }
+                None => buf.push(0),
+            }
+        }
+        ClientOp::Shutdown => buf.push(OP_SHUTDOWN),
+    }
+    buf
+}
+
+/// Decodes a `Query` frame payload.
+pub fn decode_client_op(buf: &[u8]) -> Result<ClientOp, String> {
+    let op = *buf.first().ok_or("empty client frame")?;
+    match op {
+        OP_SHUTDOWN => Ok(ClientOp::Shutdown),
+        OP_QUERY => {
+            let len = u16::from_le_bytes(
+                buf.get(1..3).ok_or("truncated pattern length")?.try_into().expect("2 bytes"),
+            ) as usize;
+            let pattern = std::str::from_utf8(
+                buf.get(3..3 + len).ok_or("truncated pattern name")?,
+            )
+            .map_err(|_| "pattern name is not UTF-8".to_string())?
+            .to_string();
+            let mut at = 3 + len;
+            let flag = *buf.get(at).ok_or("truncated budget flag")?;
+            at += 1;
+            let budget = match flag {
+                0 => None,
+                1 => Some(u64::from_le_bytes(
+                    buf.get(at..at + 8).ok_or("truncated budget")?.try_into().expect("8 bytes"),
+                )),
+                other => return Err(format!("bad budget flag {other}")),
+            };
+            Ok(ClientOp::Query { pattern, budget })
+        }
+        other => Err(format!("unknown client op {other}")),
+    }
+}
+
+/// The serve coordinator's answer to one [`ClientOp`] (the payload of the
+/// [`FrameKind::QueryResult`] frame echoing the request's correlation id).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryReply {
+    /// The query ran to completion on every machine.
+    Ok {
+        /// Embeddings over all machines — bit-identical to a one-shot run
+        /// of the same query on the same spec.
+        count: u64,
+        /// Coordinator-measured wall clock, dispatch to all-reports, µs.
+        elapsed_us: u64,
+        /// Whether the coordinator served the plan from its cache.
+        plan_cache_hit: bool,
+        /// Per-machine embedding counts, machine 0 first.
+        per_machine: Vec<(u32, u64)>,
+        /// This query's *delta* of the cluster-wide metrics registry
+        /// (JSON, [`MetricsSnapshot::to_json`] shape) — free of
+        /// cross-query bleed by construction.
+        metrics_json: String,
+    },
+    /// Admission control refused the query: its estimated footprint
+    /// exceeds the admission limit. Nothing was dispatched.
+    Rejected {
+        /// Estimated bytes ([`estimate_query_footprint`]).
+        estimate: u64,
+        /// The configured admission limit in bytes.
+        limit: u64,
+    },
+    /// The query failed (unknown pattern, lost worker, timeout).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Acknowledges [`ClientOp::Shutdown`]; the cluster exits after this.
+    ShutdownAck,
+}
+
+/// Encodes a [`QueryReply`] as a `QueryResult` frame payload.
+pub fn encode_query_reply(reply: &QueryReply) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match reply {
+        QueryReply::Ok { count, elapsed_us, plan_cache_hit, per_machine, metrics_json } => {
+            buf.push(REPLY_OK);
+            buf.extend_from_slice(&count.to_le_bytes());
+            buf.extend_from_slice(&elapsed_us.to_le_bytes());
+            buf.push(u8::from(*plan_cache_hit));
+            buf.extend_from_slice(&(per_machine.len() as u32).to_le_bytes());
+            for (machine, embeddings) in per_machine {
+                buf.extend_from_slice(&machine.to_le_bytes());
+                buf.extend_from_slice(&embeddings.to_le_bytes());
+            }
+            buf.extend_from_slice(&(metrics_json.len() as u32).to_le_bytes());
+            buf.extend_from_slice(metrics_json.as_bytes());
+        }
+        QueryReply::Rejected { estimate, limit } => {
+            buf.push(REPLY_REJECTED);
+            buf.extend_from_slice(&estimate.to_le_bytes());
+            buf.extend_from_slice(&limit.to_le_bytes());
+        }
+        QueryReply::Error { message } => {
+            buf.push(REPLY_ERROR);
+            buf.extend_from_slice(&(message.len() as u32).to_le_bytes());
+            buf.extend_from_slice(message.as_bytes());
+        }
+        QueryReply::ShutdownAck => buf.push(REPLY_SHUTDOWN_ACK),
+    }
+    buf
+}
+
+/// Decodes a `QueryResult` frame payload.
+pub fn decode_query_reply(buf: &[u8]) -> Result<QueryReply, String> {
+    let status = *buf.first().ok_or("empty reply frame")?;
+    let u64_at = |at: usize| -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            buf.get(at..at + 8).ok_or("truncated u64")?.try_into().expect("8 bytes"),
+        ))
+    };
+    match status {
+        REPLY_SHUTDOWN_ACK => Ok(QueryReply::ShutdownAck),
+        REPLY_REJECTED => {
+            Ok(QueryReply::Rejected { estimate: u64_at(1)?, limit: u64_at(9)? })
+        }
+        REPLY_ERROR => {
+            let len = u32::from_le_bytes(
+                buf.get(1..5).ok_or("truncated message length")?.try_into().expect("4 bytes"),
+            ) as usize;
+            let message = std::str::from_utf8(buf.get(5..5 + len).ok_or("truncated message")?)
+                .map_err(|_| "error message is not UTF-8".to_string())?
+                .to_string();
+            Ok(QueryReply::Error { message })
+        }
+        REPLY_OK => {
+            let count = u64_at(1)?;
+            let elapsed_us = u64_at(9)?;
+            let plan_cache_hit = match buf.get(17) {
+                Some(0) => false,
+                Some(1) => true,
+                _ => return Err("bad plan-cache flag".to_string()),
+            };
+            let machines = u32::from_le_bytes(
+                buf.get(18..22).ok_or("truncated machine count")?.try_into().expect("4 bytes"),
+            ) as usize;
+            let mut at = 22;
+            let mut per_machine = Vec::with_capacity(machines);
+            for _ in 0..machines {
+                let machine = u32::from_le_bytes(
+                    buf.get(at..at + 4).ok_or("truncated machine id")?.try_into().expect("4 bytes"),
+                );
+                per_machine.push((machine, u64_at(at + 4)?));
+                at += 12;
+            }
+            let len = u32::from_le_bytes(
+                buf.get(at..at + 4).ok_or("truncated metrics length")?.try_into().expect("4 bytes"),
+            ) as usize;
+            at += 4;
+            let metrics_json =
+                std::str::from_utf8(buf.get(at..at + len).ok_or("truncated metrics json")?)
+                    .map_err(|_| "metrics json is not UTF-8".to_string())?
+                    .to_string();
+            Ok(QueryReply::Ok { count, elapsed_us, plan_cache_hit, per_machine, metrics_json })
+        }
+        other => Err(format!("unknown reply status {other}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// per-query worker report (worker → coordinator result frame)
+// ---------------------------------------------------------------------------
+
+/// `[query id u64][plan-cache hit u8][the one-shot 76-byte MachineSummary]`.
+const QUERY_REPORT_BYTES: usize = 8 + 1 + RESULT_PAYLOAD_BYTES;
+
+fn encode_query_report(id: u64, summary: &MachineSummary, hit: bool) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(QUERY_REPORT_BYTES);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.push(u8::from(hit));
+    buf.extend_from_slice(&encode_result(summary));
+    buf
+}
+
+fn decode_query_report(buf: &[u8]) -> Result<(u64, MachineSummary, bool), String> {
+    if buf.len() != QUERY_REPORT_BYTES {
+        return Err(format!("query report of {} bytes, expected {QUERY_REPORT_BYTES}", buf.len()));
+    }
+    let id = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+    let hit = buf[8] != 0;
+    Ok((id, decode_result(&buf[9..])?, hit))
+}
+
+// ---------------------------------------------------------------------------
+// the serve daemon
+// ---------------------------------------------------------------------------
+
+/// One queued query on a serve machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QueryJob {
+    id: u64,
+    pattern: String,
+    budget: Option<u64>,
+}
+
+/// The daemon of a resident serve machine.
+///
+/// `verifyE` / `fetchV` are answered from the partition at all times (a
+/// peer may fetch while this machine is between queries). `checkR` /
+/// `shareR` route to the **current query's** [`RadsDaemon`] — installed
+/// just before `run_machine` and cleared right after — and report an empty
+/// queue when no query is active, which a stealing peer treats as "nothing
+/// to take". [`Request::Query`] is acknowledged immediately and enqueued
+/// for the machine's job loop (workers only; on the coordinator, queries
+/// arrive through the client front door, never as fabric RPCs).
+pub struct ServeDaemon {
+    base: PartitionDaemon,
+    current: StdMutex<Option<Arc<RadsDaemon>>>,
+    jobs: Option<StdMutex<mpsc::Sender<QueryJob>>>,
+}
+
+impl ServeDaemon {
+    /// A serve daemon with no job queue (the coordinator's).
+    pub fn new(partitioned: Arc<PartitionedGraph>, machine: MachineId) -> ServeDaemon {
+        ServeDaemon {
+            base: PartitionDaemon::new(partitioned, machine),
+            current: StdMutex::new(None),
+            jobs: None,
+        }
+    }
+
+    fn with_job_queue(
+        partitioned: Arc<PartitionedGraph>,
+        machine: MachineId,
+        jobs: mpsc::Sender<QueryJob>,
+    ) -> ServeDaemon {
+        ServeDaemon {
+            base: PartitionDaemon::new(partitioned, machine),
+            current: StdMutex::new(None),
+            jobs: Some(StdMutex::new(jobs)),
+        }
+    }
+
+    /// Installs the active query's daemon (fresh group queue and all).
+    pub fn install(&self, daemon: Arc<RadsDaemon>) {
+        *self.current.lock().unwrap_or_else(|p| p.into_inner()) = Some(daemon);
+    }
+
+    /// Clears the active query's daemon once its engine run finished.
+    pub fn clear(&self) {
+        *self.current.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+}
+
+impl Daemon for ServeDaemon {
+    fn handle(&self, from: MachineId, request: Request) -> Response {
+        match request {
+            Request::Query { id, pattern, budget } => match &self.jobs {
+                Some(tx) => {
+                    let sent = tx
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .send(QueryJob { id, pattern, budget })
+                        .is_ok();
+                    if sent {
+                        Response::Ack
+                    } else {
+                        Response::Unsupported
+                    }
+                }
+                None => Response::Unsupported,
+            },
+            Request::CheckRegionGroups | Request::ShareRegionGroup => {
+                let current =
+                    self.current.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                match current {
+                    Some(daemon) => daemon.handle(from, request),
+                    // between queries: an empty queue, not an error — a
+                    // stealing peer that races the job hand-off simply
+                    // finds nothing to take
+                    None => match request {
+                        Request::CheckRegionGroups => Response::RegionGroupCount(0),
+                        _ => Response::RegionGroup(None),
+                    },
+                }
+            }
+            other => self.base.handle(from, other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared per-process serve state
+// ---------------------------------------------------------------------------
+
+/// Resolves the memory budget a serve process uses for every query without
+/// a client override. Called exactly once per process, at startup — the
+/// construction-time snapshot that stops `RADS_MEMORY_BUDGET` flips from
+/// changing a resident cluster's behaviour mid-stream.
+fn startup_budget(spec: &ClusterSpec) -> MemoryBudget {
+    match spec.budget {
+        Some(bytes) => MemoryBudget::from_bytes(bytes),
+        None => MemoryBudget::default_from_env(),
+    }
+}
+
+fn per_query_budget(base: &MemoryBudget, override_bytes: Option<u64>) -> MemoryBudget {
+    match override_bytes {
+        Some(bytes) => MemoryBudget::from_bytes(bytes as usize),
+        None => *base,
+    }
+}
+
+fn traffic_delta(now: &TrafficSnapshot, prev: &TrafficSnapshot) -> TrafficSnapshot {
+    let mut delta = now.clone();
+    delta.messages = now.messages.saturating_sub(prev.messages);
+    delta.total_bytes = now.total_bytes.saturating_sub(prev.total_bytes);
+    delta.control_bytes = now.control_bytes.saturating_sub(prev.control_bytes);
+    for (m, bytes) in delta.per_machine_bytes.iter_mut().enumerate() {
+        *bytes = bytes.saturating_sub(prev.per_machine_bytes.get(m).copied().unwrap_or(0));
+    }
+    delta
+}
+
+/// Builds the per-query engine config from the startup snapshot + the
+/// query's name and budget. Never consults the environment.
+fn query_engine_config(
+    spec: &ClusterSpec,
+    pattern_name: &str,
+    base_budget: &MemoryBudget,
+    budget_override: Option<u64>,
+) -> rads_core::engine::EngineConfig {
+    let mut spec = spec.clone();
+    spec.query = pattern_name.to_string();
+    engine_config_with(&spec, per_query_budget(base_budget, budget_override))
+}
+
+// ---------------------------------------------------------------------------
+// serve worker
+// ---------------------------------------------------------------------------
+
+/// Runs one resident serve worker: build the partition once, then loop —
+/// pick a queued [`Request::Query`] job, run the engine, deliver the
+/// per-query report — until the coordinator's shutdown order.
+pub fn run_serve_worker(
+    spec: &ClusterSpec,
+    machine: usize,
+    addrs: Vec<PeerAddr>,
+) -> Result<(), String> {
+    if machine == 0 || machine >= spec.machines {
+        return Err(format!("serve worker id {machine} out of range 1..{}", spec.machines));
+    }
+    // the Prometheus page and plan-cache counters are part of the serving
+    // contract, so serve processes always record
+    rads_obs::set_metrics_enabled(true);
+    rads_obs::set_trace_process(machine as u64);
+    let listener = SocketListener::bind(&addrs[machine])
+        .map_err(|e| format!("machine {machine}: cannot bind {}: {e}", addrs[machine]))?;
+    let partitioned = build_partitioned(spec);
+    let stats = Arc::new(NetworkStats::new(spec.machines));
+    let (job_tx, job_rx) = mpsc::channel();
+    let daemon: Arc<ServeDaemon> =
+        Arc::new(ServeDaemon::with_job_queue(partitioned.clone(), machine, job_tx));
+    let node = SocketNode::start_with_listener(
+        machine,
+        addrs,
+        listener,
+        daemon.clone(),
+        stats.clone(),
+    );
+    let ctx = MachineContext::assemble(partitioned.clone(), node.transport(), daemon.clone());
+    let plan_cache = PlanCache::new();
+    let base_budget = startup_budget(spec);
+    let mut prev_wire = stats.snapshot();
+    loop {
+        if node.wait_shutdown(JOB_POLL) {
+            break;
+        }
+        let job = match job_rx.recv_timeout(JOB_POLL) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        let Some(pattern) = queries::query_by_name(&job.pattern) else {
+            // the coordinator validates names before dispatching; reaching
+            // this means a version skew between binaries — report loudly
+            // and let the coordinator's per-query deadline surface it
+            eprintln!("machine {machine}: unknown query {:?}", job.pattern);
+            continue;
+        };
+        let (plan, hit) = plan_cache.get_or_compute(&pattern, SERVE_RHO);
+        let config = query_engine_config(spec, &job.pattern, &base_budget, job.budget);
+        let queue: GroupQueue = new_group_queue();
+        daemon.install(Arc::new(RadsDaemon::new(partitioned.clone(), machine, queue.clone())));
+        let start = Instant::now();
+        let output = run_machine(&ctx, &pattern, &plan, &config, queue);
+        let elapsed = start.elapsed();
+        daemon.clear();
+        let wire_now = stats.snapshot();
+        let wire = traffic_delta(&wire_now, &prev_wire);
+        prev_wire = wire_now;
+        rads_core::obs::publish_traffic(&wire);
+        let summary = machine_summary(machine, &output, &wire, elapsed, node.reconnects());
+        // final-metrics-then-result ordering on one connection: when the
+        // coordinator holds this query's result it also holds this
+        // machine's registry snapshot covering it
+        node.metrics_publisher(0).send(&Registry::global().snapshot().encode());
+        node.send_result(0, &encode_query_report(job.id, &summary, hit))
+            .map_err(|e| format!("machine {machine}: cannot deliver query report: {e}"))?;
+    }
+    node.finish_shutdown();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// serve coordinator
+// ---------------------------------------------------------------------------
+
+/// Knobs of [`run_serve_coordinator`] beyond the cluster spec.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Reject queries whose estimated footprint exceeds this many bytes
+    /// (`None` = admit everything; the runtime governor still enforces the
+    /// budget during execution).
+    pub admission_bytes: Option<u64>,
+    /// Bind address of the client front door (TCP).
+    pub client_addr: String,
+    /// Bind address of the Prometheus text page (TCP).
+    pub http_addr: String,
+    /// Hard per-query deadline: dispatch to all-reports.
+    pub query_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            admission_bytes: None,
+            client_addr: "127.0.0.1:0".to_string(),
+            http_addr: "127.0.0.1:0".to_string(),
+            query_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// One client request travelling from a handler thread to the serve loop.
+struct ClientJob {
+    op: ClientOp,
+    reply: mpsc::Sender<QueryReply>,
+}
+
+/// Mutable per-cluster serving state owned by the coordinator's main loop.
+struct ServeHost {
+    spec: ClusterSpec,
+    partitioned: Arc<PartitionedGraph>,
+    node: SocketNode,
+    ctx: MachineContext,
+    daemon: Arc<ServeDaemon>,
+    stats: Arc<NetworkStats>,
+    plan_cache: PlanCache,
+    base_budget: MemoryBudget,
+    admission_bytes: Option<u64>,
+    query_timeout: Duration,
+    prev_wire: TrafficSnapshot,
+    prev_metrics: MetricsSnapshot,
+    next_query_id: u64,
+}
+
+impl ServeHost {
+    fn execute(&mut self, pattern_name: &str, budget: Option<u64>) -> QueryReply {
+        let registry = Registry::global();
+        let Some(pattern) = queries::query_by_name(pattern_name) else {
+            return QueryReply::Error { message: format!("unknown query {pattern_name:?}") };
+        };
+        let (plan, hit) = self.plan_cache.get_or_compute(&pattern, SERVE_RHO);
+        if let Some(limit) = self.admission_bytes {
+            let estimate = estimate_query_footprint(&self.partitioned, &pattern);
+            if estimate > limit {
+                registry.counter("rads_serve_rejected_total").inc();
+                return QueryReply::Rejected { estimate, limit };
+            }
+        }
+        self.next_query_id += 1;
+        let id = self.next_query_id;
+        let queue: GroupQueue = new_group_queue();
+        self.daemon.install(Arc::new(RadsDaemon::new(self.partitioned.clone(), 0, queue.clone())));
+        let start = Instant::now();
+        for m in 1..self.spec.machines {
+            let dispatched = self.ctx.request(
+                m,
+                Request::Query { id, pattern: pattern_name.to_string(), budget },
+            );
+            match dispatched {
+                Ok(Response::Ack) => {}
+                Ok(other) => {
+                    self.daemon.clear();
+                    return QueryReply::Error {
+                        message: format!("machine {m} answered dispatch with {other:?}"),
+                    };
+                }
+                Err(e) => {
+                    self.daemon.clear();
+                    return QueryReply::Error {
+                        message: format!("cannot dispatch to machine {m}: {e}"),
+                    };
+                }
+            }
+        }
+        let config = query_engine_config(&self.spec, pattern_name, &self.base_budget, budget);
+        let output = run_machine(&self.ctx, &pattern, &plan, &config, queue);
+        let worker_ids: Vec<usize> = (1..self.spec.machines).collect();
+        let mut payloads = Vec::new();
+        if !worker_ids.is_empty() {
+            let deadline = Instant::now() + self.query_timeout;
+            loop {
+                match self.node.wait_results(&worker_ids, Duration::from_millis(500)) {
+                    Ok(p) => {
+                        payloads = p;
+                        break;
+                    }
+                    Err(missing) => {
+                        if Instant::now() >= deadline {
+                            self.daemon.clear();
+                            return QueryReply::Error {
+                                message: format!(
+                                    "query {id}: no report from machines {missing:?} within {}s",
+                                    self.query_timeout.as_secs()
+                                ),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        self.daemon.clear();
+        let mut per_machine = vec![(0u32, output.count)];
+        for payload in payloads {
+            match decode_query_report(&payload) {
+                Ok((rid, summary, _worker_hit)) if rid == id => {
+                    per_machine.push((summary.machine as u32, summary.embeddings));
+                }
+                Ok((rid, _, _)) => {
+                    return QueryReply::Error {
+                        message: format!("stale report for query {rid} while running {id}"),
+                    }
+                }
+                Err(e) => return QueryReply::Error { message: e },
+            }
+        }
+        let wire_now = self.stats.snapshot();
+        rads_core::obs::publish_traffic(&traffic_delta(&wire_now, &self.prev_wire));
+        self.prev_wire = wire_now;
+        registry.counter("rads_serve_queries_total").inc();
+        // cluster-cumulative = own registry + every worker's latest
+        // (cumulative) snapshot; this query's share is the delta against
+        // the previous query's cluster-cumulative
+        let mut cluster_now = registry.snapshot();
+        for (machine, payload) in self.node.take_metrics() {
+            match MetricsSnapshot::decode(&payload) {
+                Ok(worker) => cluster_now.absorb(&worker),
+                Err(e) => {
+                    return QueryReply::Error {
+                        message: format!("machine {machine} sent an undecodable metrics frame: {e}"),
+                    }
+                }
+            }
+        }
+        let per_query = cluster_now.delta_since(&self.prev_metrics);
+        self.prev_metrics = cluster_now;
+        QueryReply::Ok {
+            count: per_machine.iter().map(|&(_, c)| c).sum(),
+            elapsed_us: elapsed.as_micros() as u64,
+            plan_cache_hit: hit,
+            per_machine,
+            metrics_json: per_query.to_json(),
+        }
+    }
+}
+
+/// The `serve-worker` argument vector for machine `machine`: the one-shot
+/// worker contract ([`worker_args`]) with the mode swapped. The `--query`
+/// flag rides along as a placeholder — serve workers receive their queries
+/// over the wire and ignore the spec's query field.
+pub fn serve_worker_args(
+    spec: &ClusterSpec,
+    machine: usize,
+    addrs: &[PeerAddr],
+    timeout: Duration,
+) -> Vec<String> {
+    let mut args = worker_args(spec, machine, addrs, timeout);
+    args[0] = "serve-worker".to_string();
+    args
+}
+
+/// Runs the resident serve coordinator until a client orders shutdown.
+///
+/// Startup: spawn `spec.machines - 1` `serve-worker` processes, build the
+/// partition, start the fabric node, the Prometheus page and the client
+/// front door, then print **one line of JSON** on stdout —
+/// `{"serving":true,"client_addr":...,"http_addr":...,...}` — the
+/// machine-readable "ready" contract clients (and the serve smoke test)
+/// wait for. After that, queries stream in over client connections and are
+/// executed strictly in submission order; `ClientOp::Shutdown` tears the
+/// whole cluster down.
+pub fn run_serve_coordinator(
+    spec: &ClusterSpec,
+    kind: TransportKind,
+    node_binary: &Path,
+    options: &ServeOptions,
+) -> Result<(), String> {
+    let kind = kind.effective();
+    if spec.machines == 0 {
+        return Err("a serve cluster needs at least one machine".to_string());
+    }
+    rads_obs::set_metrics_enabled(true);
+    rads_obs::set_trace_process(0);
+    let addrs = allocate_addrs(kind, spec.machines)?;
+    // a generous fabric-level timeout: serve workers wait for work, not
+    // for a single run's shutdown order
+    let worker_timeout = Duration::from_secs(24 * 3600);
+    let mut children: Vec<(usize, Child)> = Vec::new();
+    for machine in 1..spec.machines {
+        let child = Command::new(node_binary)
+            .args(serve_worker_args(spec, machine, &addrs, worker_timeout))
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                format!("cannot spawn serve worker {machine} ({}): {e}", node_binary.display())
+            })?;
+        children.push((machine, child));
+    }
+    let serve = (|| {
+        let listener = SocketListener::bind(&addrs[0])
+            .map_err(|e| format!("cannot bind {}: {e}", addrs[0]))?;
+        let partitioned = build_partitioned(spec);
+        let stats = Arc::new(NetworkStats::new(spec.machines));
+        let daemon: Arc<ServeDaemon> = Arc::new(ServeDaemon::new(partitioned.clone(), 0));
+        let node = SocketNode::start_with_listener(
+            0,
+            addrs.clone(),
+            listener,
+            daemon.clone(),
+            stats.clone(),
+        );
+        let ctx = MachineContext::assemble(partitioned.clone(), node.transport(), daemon.clone());
+        let http = MetricsHttpServer::bind(&options.http_addr)
+            .map_err(|e| format!("cannot bind metrics page {}: {e}", options.http_addr))?;
+        let client_listener = TcpListener::bind(&options.client_addr)
+            .map_err(|e| format!("cannot bind client door {}: {e}", options.client_addr))?;
+        let client_addr = client_listener
+            .local_addr()
+            .map_err(|e| format!("cannot read client door address: {e}"))?;
+        println!(
+            concat!(
+                "{{\"serving\":true,\"client_addr\":\"{}\",\"http_addr\":\"{}\",",
+                "\"machines\":{},\"transport\":\"{}\",\"dataset\":\"{}\",\"scale\":{},",
+                "\"admission_bytes\":{}}}"
+            ),
+            client_addr,
+            http.addr(),
+            spec.machines,
+            kind.name(),
+            spec.dataset.name(),
+            spec.scale,
+            options.admission_bytes.map_or("null".to_string(), |b| b.to_string()),
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        let (job_tx, job_rx) = mpsc::channel::<ClientJob>();
+        // Accept loop + one handler thread per connection. The threads are
+        // deliberately detached: they block in socket reads, the process
+        // exits right after the serve loop ends, and a half-served client
+        // at shutdown sees a closed connection either way.
+        std::thread::Builder::new()
+            .name("rads-serve-accept".to_string())
+            .spawn(move || {
+                for stream in client_listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    let job_tx = job_tx.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("rads-serve-client".to_string())
+                        .spawn(move || serve_client(stream, &job_tx));
+                    if spawned.is_err() {
+                        break;
+                    }
+                }
+            })
+            .map_err(|e| format!("cannot spawn client accept thread: {e}"))?;
+
+        let mut host = ServeHost {
+            spec: spec.clone(),
+            partitioned,
+            node,
+            ctx,
+            daemon,
+            stats: stats.clone(),
+            plan_cache: PlanCache::new(),
+            base_budget: startup_budget(spec),
+            admission_bytes: options.admission_bytes,
+            query_timeout: options.query_timeout,
+            prev_wire: stats.snapshot(),
+            prev_metrics: Registry::global().snapshot(),
+            next_query_id: 0,
+        };
+        // the serve loop: strictly serialized execution in submission order
+        while let Ok(job) = job_rx.recv() {
+            match job.op {
+                ClientOp::Query { pattern, budget } => {
+                    let reply = host.execute(&pattern, budget);
+                    let _ = job.reply.send(reply);
+                }
+                ClientOp::Shutdown => {
+                    let _ = job.reply.send(QueryReply::ShutdownAck);
+                    break;
+                }
+            }
+        }
+        host.node.broadcast_shutdown();
+        host.node.finish_shutdown();
+        drop(http);
+        Ok(())
+    })();
+
+    // reap the workers (they received the shutdown order) — same contract
+    // as the one-shot coordinator
+    let result = serve.and_then(|()| {
+        let reap_deadline = Instant::now() + Duration::from_secs(10);
+        for (machine, child) in children.iter_mut() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) if status.success() => break,
+                    Ok(Some(status)) => {
+                        return Err(format!("serve worker {machine} exited with {status}"))
+                    }
+                    Ok(None) if Instant::now() >= reap_deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(format!("serve worker {machine} ignored shutdown"));
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(e) => return Err(format!("waiting for serve worker {machine}: {e}")),
+                }
+            }
+        }
+        Ok(())
+    });
+    if result.is_err() {
+        for (_, child) in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    if let Some(PeerAddr::Uds(path)) = addrs.first() {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    result
+}
+
+/// Serves one client connection: a stream of `Query` frames, each answered
+/// with a `QueryResult` frame echoing the correlation id. The connection
+/// closes after a shutdown op, a malformed frame, or the client hanging up.
+fn serve_client(mut stream: std::net::TcpStream, job_tx: &mpsc::Sender<ClientJob>) {
+    loop {
+        let frame = match read_message(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        if frame.kind != FrameKind::Query {
+            return;
+        }
+        let reply = match decode_client_op(&frame.payload) {
+            Ok(op) => {
+                // a shutdown op closes the connection even when the serve
+                // loop is already gone and the reply degraded to an error
+                let is_shutdown = op == ClientOp::Shutdown;
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let gone = QueryReply::Error { message: "server is shutting down".to_string() };
+                let reply = if job_tx.send(ClientJob { op, reply: reply_tx }).is_ok() {
+                    reply_rx.recv().unwrap_or(gone)
+                } else {
+                    gone
+                };
+                if is_shutdown {
+                    QueryReply::ShutdownAck
+                } else {
+                    reply
+                }
+            }
+            Err(e) => QueryReply::Error { message: format!("bad request: {e}") },
+        };
+        let done = matches!(reply, QueryReply::ShutdownAck);
+        if write_message(
+            &mut stream,
+            FrameKind::QueryResult,
+            frame.correlation,
+            &encode_query_reply(&reply),
+        )
+        .is_err()
+            || done
+        {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// client side (the rads-query binary's engine room)
+// ---------------------------------------------------------------------------
+
+/// Sends one [`ClientOp`] to a serve coordinator at `addr`
+/// (`host:port` of the client front door) and returns its reply.
+pub fn client_round_trip(addr: &str, op: &ClientOp, correlation: u64) -> Result<QueryReply, String> {
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write_message(&mut stream, FrameKind::Query, correlation, &encode_client_op(op))
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let frame = read_message(&mut stream)
+        .map_err(|e| format!("cannot read reply: {e}"))?
+        .ok_or("server closed the connection without replying")?;
+    if frame.kind != FrameKind::QueryResult {
+        return Err(format!("unexpected reply frame {:?}", frame.kind));
+    }
+    if frame.correlation != correlation {
+        return Err(format!(
+            "reply correlation {} does not echo request {correlation}",
+            frame.correlation
+        ));
+    }
+    decode_query_reply(&frame.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::generators::ring_lattice;
+    use rads_partition::{BfsPartitioner, Partitioner};
+
+    fn small_partitioned() -> Arc<PartitionedGraph> {
+        let g = ring_lattice(16, 0);
+        Arc::new(PartitionedGraph::build(&g, BfsPartitioner.partition(&g, 2)))
+    }
+
+    #[test]
+    fn client_op_roundtrip() {
+        for op in [
+            ClientOp::Query { pattern: "q1".to_string(), budget: None },
+            ClientOp::Query { pattern: "house with end vertex".to_string(), budget: Some(1 << 20) },
+            ClientOp::Shutdown,
+        ] {
+            assert_eq!(decode_client_op(&encode_client_op(&op)).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn query_reply_roundtrip() {
+        for reply in [
+            QueryReply::Ok {
+                count: 42,
+                elapsed_us: 1234,
+                plan_cache_hit: true,
+                per_machine: vec![(0, 30), (1, 12)],
+                metrics_json: "{\"metrics\":[]}".to_string(),
+            },
+            QueryReply::Rejected { estimate: 1 << 40, limit: 1 << 20 },
+            QueryReply::Error { message: "unknown query \"q9\"".to_string() },
+            QueryReply::ShutdownAck,
+        ] {
+            assert_eq!(decode_query_reply(&encode_query_reply(&reply)).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn query_report_roundtrip() {
+        let summary = MachineSummary {
+            machine: 3,
+            embeddings: 77,
+            sme_embeddings: 70,
+            wire_bytes: 1024,
+            wire_messages: 6,
+            fetch_wait_demand_us: 12,
+            fetch_wait_prefetch_us: 3,
+            elapsed_ms: 1.5,
+            rpc_retries: 0,
+            reconnects: 0,
+        };
+        let buf = encode_query_report(9, &summary, true);
+        assert_eq!(buf.len(), QUERY_REPORT_BYTES);
+        let (id, decoded, hit) = decode_query_report(&buf).unwrap();
+        assert_eq!(id, 9);
+        assert!(hit);
+        assert_eq!(decoded, summary);
+    }
+
+    #[test]
+    fn serve_daemon_is_quiet_between_queries() {
+        let daemon = ServeDaemon::new(small_partitioned(), 0);
+        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(0));
+        assert_eq!(daemon.handle(1, Request::ShareRegionGroup), Response::RegionGroup(None));
+        // no job queue: a stray Query RPC is unsupported, not silently lost
+        let q = Request::Query { id: 1, pattern: "q1".to_string(), budget: None };
+        assert_eq!(daemon.handle(1, q), Response::Unsupported);
+    }
+
+    #[test]
+    fn serve_daemon_routes_checkr_to_the_installed_query() {
+        let partitioned = small_partitioned();
+        let daemon = ServeDaemon::new(partitioned.clone(), 0);
+        let queue = new_group_queue();
+        queue.lock().push_back(vec![1, 2, 3]);
+        daemon.install(Arc::new(RadsDaemon::new(partitioned, 0, queue)));
+        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(1));
+        assert_eq!(
+            daemon.handle(1, Request::ShareRegionGroup),
+            Response::RegionGroup(Some(vec![1, 2, 3]))
+        );
+        daemon.clear();
+        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(0));
+    }
+
+    #[test]
+    fn serve_daemon_enqueues_query_jobs_and_acks() {
+        let (tx, rx) = mpsc::channel();
+        let daemon = ServeDaemon::with_job_queue(small_partitioned(), 1, tx);
+        let q = Request::Query { id: 7, pattern: "q1".to_string(), budget: Some(64) };
+        assert_eq!(daemon.handle(0, q), Response::Ack);
+        let job = rx.try_recv().unwrap();
+        assert_eq!(job, QueryJob { id: 7, pattern: "q1".to_string(), budget: Some(64) });
+        // partition-backed requests still served while idle
+        match daemon.handle(0, Request::FetchVertices(vec![0])) {
+            Response::Adjacency(lists) => assert_eq!(lists.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traffic_delta_subtracts_per_field() {
+        let prev = TrafficSnapshot {
+            messages: 10,
+            total_bytes: 1000,
+            control_bytes: 100,
+            per_machine_bytes: vec![600, 400],
+        };
+        let now = TrafficSnapshot {
+            messages: 15,
+            total_bytes: 1500,
+            control_bytes: 120,
+            per_machine_bytes: vec![900, 600],
+        };
+        let delta = traffic_delta(&now, &prev);
+        assert_eq!(delta.messages, 5);
+        assert_eq!(delta.total_bytes, 500);
+        assert_eq!(delta.control_bytes, 20);
+        assert_eq!(delta.per_machine_bytes, vec![300, 200]);
+    }
+}

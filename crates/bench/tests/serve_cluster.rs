@@ -1,0 +1,250 @@
+//! The serving-mode smoke test: a **resident 4-process cluster** over
+//! Unix-domain sockets must answer a stream of queries with counts
+//! bit-identical to one-shot runs, serve its plan cache (observable as a
+//! `plan_cache_hit` on a repeated query), keep a live Prometheus page, and
+//! reject over-budget queries at admission instead of dispatching them.
+//!
+//! This is the test the `serve` CI job runs under a hard timeout (via
+//! `--ignored`, like the `cluster-smoke` job). Every blocking step has its
+//! own deadline and the server child is killed on panic, so a wedged
+//! cluster fails the test instead of hanging the runner.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rads_bench::build_cluster;
+use rads_bench::serve::{client_round_trip, ClientOp, QueryReply};
+use rads_core::{run_rads, RadsConfig};
+use rads_datasets::{generate, DatasetKind, Scale};
+use rads_graph::queries;
+
+const MACHINES: usize = 4;
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+const READY_DEADLINE: Duration = Duration::from_secs(120);
+const SHUTDOWN_DEADLINE: Duration = Duration::from_secs(30);
+
+fn node_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_rads-node")
+}
+
+fn query_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_rads-query")
+}
+
+/// Kills the serve coordinator (which reaps its workers' sockets with it)
+/// if the test panics before the clean shutdown path runs.
+struct ServeGuard {
+    child: Child,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Pulls a string field out of the ready line's flat JSON object.
+fn json_str_field(line: &str, field: &str) -> String {
+    let key = format!("\"{field}\":\"");
+    let at = line.find(&key).unwrap_or_else(|| panic!("no {field:?} in ready line {line:?}"));
+    let rest = &line[at + key.len()..];
+    rest[..rest.find('"').expect("unterminated string")].to_string()
+}
+
+/// Spawns `rads-node serve` and waits for its ready line, returning the
+/// guard plus the client and Prometheus addresses.
+fn start_serve(extra: &[&str]) -> (ServeGuard, String, String) {
+    let mut child = Command::new(node_binary())
+        .args([
+            "serve",
+            "--machines",
+            &MACHINES.to_string(),
+            "--transport",
+            "uds",
+            "--dataset",
+            "LiveJournal",
+            "--scale",
+            &SCALE.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--timeout-secs",
+            "300",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn rads-node serve");
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let (line_tx, line_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() {
+            let _ = line_tx.send(line);
+        }
+        // keep draining so the server never blocks on a full stdout pipe
+        std::io::copy(&mut reader, &mut std::io::sink()).ok();
+    });
+    let guard = ServeGuard { child };
+    let ready = line_rx
+        .recv_timeout(READY_DEADLINE)
+        .expect("serve coordinator prints its ready line before the deadline");
+    assert!(ready.contains("\"serving\":true"), "unexpected ready line: {ready}");
+    let client_addr = json_str_field(&ready, "client_addr");
+    let http_addr = json_str_field(&ready, "http_addr");
+    (guard, client_addr, http_addr)
+}
+
+fn expect_ok(reply: QueryReply, what: &str) -> (u64, bool, Vec<(u32, u64)>) {
+    match reply {
+        QueryReply::Ok { count, plan_cache_hit, per_machine, .. } => {
+            (count, plan_cache_hit, per_machine)
+        }
+        other => panic!("{what}: expected Ok, got {other:?}"),
+    }
+}
+
+/// One plain-HTTP scrape of the Prometheus page.
+fn scrape(http_addr: &str) -> String {
+    let mut stream = TcpStream::connect(http_addr).expect("connect to Prometheus page");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: serve\r\nConnection: close\r\n\r\n")
+        .expect("send scrape request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read scrape response");
+    body
+}
+
+fn shutdown(mut guard: ServeGuard, client_addr: &str) {
+    let reply = client_round_trip(client_addr, &ClientOp::Shutdown, 99)
+        .expect("shutdown round trip succeeds");
+    assert_eq!(reply, QueryReply::ShutdownAck);
+    let deadline = Instant::now() + SHUTDOWN_DEADLINE;
+    loop {
+        match guard.child.try_wait().expect("poll serve coordinator") {
+            Some(status) => {
+                assert!(status.success(), "serve coordinator exited with {status}");
+                break;
+            }
+            None if Instant::now() > deadline => {
+                panic!("serve coordinator still running {SHUTDOWN_DEADLINE:?} after ShutdownAck")
+            }
+            None => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+#[test]
+#[ignore = "multi-process resident cluster; run by the serve CI job via --ignored"]
+fn resident_cluster_answers_a_query_stream_bit_identically() {
+    // ground truth from the in-process transport, computed once
+    let dataset = generate(DatasetKind::LiveJournal, Scale(SCALE), SEED);
+    let cluster = build_cluster(&dataset.graph, MACHINES);
+    let expected: Vec<(&str, u64)> = ["q1", "q5"]
+        .iter()
+        .map(|name| {
+            let pattern = queries::query_by_name(name).expect("known query");
+            (*name, run_rads(&cluster, &pattern, &RadsConfig::default()).total_embeddings)
+        })
+        .collect();
+
+    let (guard, client_addr, http_addr) = start_serve(&[]);
+
+    // q1 then q5 straight through the library client
+    let mut first_q1 = None;
+    for (name, want) in &expected {
+        let op = ClientOp::Query { pattern: (*name).to_string(), budget: None };
+        let reply = client_round_trip(&client_addr, &op, 7).expect("query round trip");
+        let (count, hit, per_machine) = expect_ok(reply, name);
+        assert_eq!(
+            count, *want,
+            "{name}: resident cluster deviates from the one-shot in-process count"
+        );
+        assert!(!hit, "{name}: first submission cannot hit the plan cache");
+        assert_eq!(per_machine.len(), MACHINES);
+        assert_eq!(per_machine.iter().map(|(_, n)| n).sum::<u64>(), count);
+        if *name == "q1" {
+            first_q1 = Some(per_machine);
+        }
+    }
+
+    // the repeated q1 goes through the rads-query binary: same count,
+    // same per-machine split, and this time the plan comes from the cache
+    let output = Command::new(query_binary())
+        .args(["--addr", &client_addr, "--query", "q1", "--json"])
+        .output()
+        .expect("spawn rads-query");
+    assert!(
+        output.status.success(),
+        "rads-query failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let answer = String::from_utf8_lossy(&output.stdout);
+    assert!(answer.contains("\"plan_cache_hit\":true"), "repeated q1 misses the plan cache: {answer}");
+    assert!(
+        answer.contains(&format!("\"count\":{},", expected[0].1)),
+        "repeated q1 changed its count: {answer}"
+    );
+    let per: Vec<String> =
+        first_q1.unwrap().iter().map(|(m, n)| format!("[{m},{n}]")).collect();
+    assert!(
+        answer.contains(&format!("\"per_machine\":[{}]", per.join(","))),
+        "repeated q1 changed its per-machine split: {answer}"
+    );
+
+    // the Prometheus page is live and cumulative across the stream
+    let page = scrape(&http_addr);
+    for needle in
+        ["rads_serve_queries_total 3", "rads_plan_cache_hits_total 1", "rads_plan_cache_misses_total"]
+    {
+        assert!(page.contains(needle), "scrape is missing {needle:?}:\n{page}");
+    }
+
+    shutdown(guard, &client_addr);
+}
+
+#[test]
+#[ignore = "multi-process resident cluster; run by the serve CI job via --ignored"]
+fn admission_control_rejects_over_budget_queries() {
+    // 1 KiB admission limit: every query's conservative footprint estimate
+    // is orders of magnitude above it, so nothing may be dispatched
+    let (guard, client_addr, _http) = start_serve(&["--admission-bytes", "1k"]);
+    let op = ClientOp::Query { pattern: "q1".to_string(), budget: None };
+    match client_round_trip(&client_addr, &op, 1).expect("round trip") {
+        QueryReply::Rejected { estimate, limit } => {
+            assert_eq!(limit, 1024);
+            assert!(estimate > limit, "rejection must carry the offending estimate");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // the rads-query binary maps Rejected to exit code 3
+    let output = Command::new(query_binary())
+        .args(["--addr", &client_addr, "--query", "q1"])
+        .output()
+        .expect("spawn rads-query");
+    assert_eq!(output.status.code(), Some(3), "rejection exit code");
+    shutdown(guard, &client_addr);
+}
+
+#[test]
+fn serve_mode_validates_its_flags() {
+    let output = Command::new(node_binary())
+        .args(["serve", "--machines", "0"])
+        .output()
+        .expect("spawn rads-node serve");
+    assert!(!output.status.success());
+    let output = Command::new(node_binary())
+        .args(["serve", "--machines", "2", "--admission-bytes", "lots"])
+        .output()
+        .expect("spawn rads-node serve");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("admission-bytes"), "stderr names the bad flag: {stderr}");
+}

@@ -41,6 +41,7 @@ pub mod expand;
 pub mod governor;
 pub mod memory;
 pub mod obs;
+pub mod plancache;
 pub mod region;
 pub mod sme;
 pub mod system;
@@ -50,7 +51,9 @@ pub use cache::ForeignVertexCache;
 pub use engine::{RoundDriver, ROUND_DRIVER_ENV};
 pub use governor::MemoryGovernor;
 pub use memory::{MemoryBudget, SpaceEstimator};
+pub use plancache::{canonical_signature, PatternSignature, PlanCache};
 pub use system::{
-    run_rads, run_rads_wrapped, MachineReport, RadsConfig, RadsOutcome, RegionGroupStrategy,
+    estimate_query_footprint, run_rads, run_rads_wrapped, MachineReport, RadsConfig, RadsOutcome,
+    RegionGroupStrategy,
 };
 pub use trie::{EmbeddingTrie, NodeId};

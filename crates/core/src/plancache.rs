@@ -1,0 +1,239 @@
+//! Plan cache for serving mode: execution plans keyed by a canonical
+//! pattern signature.
+//!
+//! A resident cluster sees the same handful of patterns over and over
+//! (dashboards re-issue their queries, clients retry). The Section 4
+//! planner enumerates minimum connected dominating sets — exponential in
+//! the pattern size — so recomputing the plan per query is pure waste:
+//! [`rads_plan::best_plan`] is a *pure function* of the pattern structure
+//! and the planner's `rho` exponent, nothing else (no data-graph
+//! statistics), which makes its results safely reusable for the lifetime
+//! of the process.
+//!
+//! The cache key is the **canonical signature** of the pattern — the
+//! lexicographically smallest sorted edge list over all vertex
+//! relabelings — so isomorphic patterns share one entry no matter how a
+//! client happened to number the vertices (`q1` submitted as `0-1,1-2,2-0`
+//! and as `2-0,0-1,1-2` relabeled is one plan). Canonicalisation is brute
+//! force over all `n!` relabelings, which is fine at query-pattern scale
+//! (the planner itself is already `O(2^n)` and capped at 20 vertices; the
+//! cache caps canonicalisation at 8, past which it falls back to the
+//! *literal* signature — still correct, just no isomorphism sharing).
+//!
+//! Hits and misses are counted in the process-global registry
+//! (`rads_plan_cache_hits_total` / `rads_plan_cache_misses_total`) so the
+//! serve smoke test — and an operator's Prometheus page — can observe that
+//! a repeated pattern was served from cache.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use rads_graph::{Pattern, PatternVertex};
+use rads_obs::{metrics_enabled, Counter, Registry};
+use rads_plan::{best_plan, ExecutionPlan, PlannerConfig};
+
+/// Patterns above this vertex count use their literal (non-canonical) edge
+/// list as the cache key: `n!` relabelings stop being "free" around here.
+const CANONICAL_MAX_VERTICES: usize = 8;
+
+fn hits_counter() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| Registry::global().counter("rads_plan_cache_hits_total"))
+}
+
+fn misses_counter() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| Registry::global().counter("rads_plan_cache_misses_total"))
+}
+
+/// The canonical signature of `pattern`: vertex count plus the
+/// lexicographically smallest sorted edge list over all vertex
+/// relabelings. Two patterns have equal signatures iff they are isomorphic
+/// (for `vertex_count() <= CANONICAL_MAX_VERTICES`; above that the
+/// identity labeling is used, so equal signatures still imply isomorphic
+/// but not the converse).
+pub fn canonical_signature(pattern: &Pattern) -> PatternSignature {
+    let n = pattern.vertex_count();
+    let edges = pattern.edges();
+    if n > CANONICAL_MAX_VERTICES {
+        let mut literal: Vec<(PatternVertex, PatternVertex)> =
+            edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        literal.sort_unstable();
+        return PatternSignature { vertices: n, edges: literal };
+    }
+    let mut best: Option<Vec<(PatternVertex, PatternVertex)>> = None;
+    let mut relabel: Vec<PatternVertex> = (0..n).collect();
+    permute(&mut relabel, 0, &mut |relabel| {
+        let mut candidate: Vec<(PatternVertex, PatternVertex)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                let (u, v) = (relabel[u], relabel[v]);
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        candidate.sort_unstable();
+        if best.as_ref().is_none_or(|best| candidate < *best) {
+            best = Some(candidate);
+        }
+    });
+    PatternSignature { vertices: n, edges: best.unwrap_or_default() }
+}
+
+/// Heap's-algorithm permutation visitor (avoids allocating all `n!`
+/// permutations up front).
+fn permute(items: &mut [PatternVertex], k: usize, visit: &mut impl FnMut(&[PatternVertex])) {
+    if k == items.len().saturating_sub(1) || items.is_empty() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// A canonical pattern identity usable as a cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternSignature {
+    /// Number of pattern vertices.
+    pub vertices: usize,
+    /// Canonicalised sorted undirected edge list.
+    pub edges: Vec<(PatternVertex, PatternVertex)>,
+}
+
+/// Cache key: the pattern signature plus the planner's `rho` (the only
+/// other input [`best_plan`] depends on). `rho` is keyed by its bit
+/// pattern so the map key stays `Eq + Hash` without float comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    signature: PatternSignature,
+    rho_bits: u64,
+}
+
+/// A process-lifetime cache of execution plans keyed by
+/// [`canonical_signature`] + `rho`.
+///
+/// Note the plan is computed (and cached) **for the submitted labeling**,
+/// not the canonical one: the signature only decides *equality*. Two
+/// isomorphic submissions share one entry, and whichever arrives first
+/// fixes the stored plan — sound because `best_plan` explores every
+/// decomposition, so plan *quality* (cost score, unit count) is a function
+/// of the isomorphism class even though the stored vertex labels follow
+/// the first submission. On a serve cluster every machine resolves plans
+/// through its own local cache; determinism of `best_plan` keeps them
+/// agreeing without coordination.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, ExecutionPlan>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The plan for `pattern` under `rho`, computing and caching it on
+    /// first sight. The boolean is `true` on a cache hit. Hits and misses
+    /// are also counted in the global registry (when metrics are on).
+    pub fn get_or_compute(&self, pattern: &Pattern, rho: f64) -> (ExecutionPlan, bool) {
+        let key =
+            PlanKey { signature: canonical_signature(pattern), rho_bits: rho.to_bits() };
+        let mut plans = self.plans.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(plan) = plans.get(&key) {
+            if metrics_enabled() {
+                hits_counter().inc();
+            }
+            return (plan.clone(), true);
+        }
+        let plan = best_plan(pattern, &PlannerConfig { rho });
+        plans.insert(key, plan.clone());
+        if metrics_enabled() {
+            misses_counter().inc();
+        }
+        (plan, false)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rads_graph::queries;
+
+    #[test]
+    fn isomorphic_patterns_share_a_signature() {
+        let triangle = Pattern::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let relabeled = Pattern::from_edges(3, &[(2, 0), (0, 1), (1, 2)]);
+        let rotated = Pattern::from_edges(3, &[(1, 0), (2, 1), (0, 2)]);
+        let sig = canonical_signature(&triangle);
+        assert_eq!(sig, canonical_signature(&relabeled));
+        assert_eq!(sig, canonical_signature(&rotated));
+        let path = Pattern::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_ne!(sig, canonical_signature(&path));
+    }
+
+    #[test]
+    fn relabeled_square_matches_square() {
+        // q1 is the square 0-1-2-3-0; submit it with vertices shuffled
+        let square = queries::q1();
+        let shuffled = Pattern::from_edges(4, &[(3, 1), (1, 0), (0, 2), (2, 3)]);
+        assert_eq!(canonical_signature(&square), canonical_signature(&shuffled));
+    }
+
+    #[test]
+    fn standard_queries_have_distinct_signatures() {
+        let signatures: Vec<PatternSignature> = queries::standard_query_set()
+            .into_iter()
+            .map(|q| canonical_signature(&q.pattern))
+            .collect();
+        for (i, a) in signatures.iter().enumerate() {
+            for b in &signatures[i + 1..] {
+                assert_ne!(a, b, "two standard queries collided");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_isomorphic_submissions() {
+        let cache = PlanCache::new();
+        let (plan1, hit1) = cache.get_or_compute(&queries::q1(), 1.0);
+        assert!(!hit1, "first sight is a miss");
+        let (plan2, hit2) = cache.get_or_compute(&queries::q1(), 1.0);
+        assert!(hit2, "repeat is a hit");
+        assert_eq!(plan1, plan2, "the hit returns the identical plan");
+        let shuffled = Pattern::from_edges(4, &[(3, 1), (1, 0), (0, 2), (2, 3)]);
+        let (_, hit3) = cache.get_or_compute(&shuffled, 1.0);
+        assert!(hit3, "an isomorphic relabeling is a hit");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn rho_is_part_of_the_key() {
+        let cache = PlanCache::new();
+        cache.get_or_compute(&queries::q1(), 1.0);
+        let (_, hit) = cache.get_or_compute(&queries::q1(), 2.0);
+        assert!(!hit, "a different rho must not reuse the plan");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_plan_equals_fresh_plan_for_every_standard_query() {
+        let cache = PlanCache::new();
+        for query in queries::standard_query_set() {
+            let (cached, _) = cache.get_or_compute(&query.pattern, 1.0);
+            let fresh = best_plan(&query.pattern, &PlannerConfig { rho: 1.0 });
+            assert_eq!(cached, fresh, "{}: cache must be transparent", query.name);
+        }
+    }
+}

@@ -111,12 +111,34 @@ pub struct RadsConfig {
 
 impl Default for RadsConfig {
     fn default() -> Self {
-        RadsConfig {
+        // Library backstop: binaries validate the RADS_* env up front (via
+        // `from_env`, exiting cleanly with the ConfigError message) before
+        // any Default::default() runs.
+        RadsConfig::from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl RadsConfig {
+    /// The configuration with every environment-sensitive knob
+    /// (`RADS_MEMORY_BUDGET`, `RADS_WORKERS`, `RADS_ROUND_DRIVER`) read
+    /// **once, now**, and every other knob at its fixed default. Malformed
+    /// values are typed [`rads_runtime::ConfigError`]s instead of panics.
+    ///
+    /// This is the *snapshot* constructor: the returned value never
+    /// consults the environment again, so holders (a resident serve
+    /// cluster, a long differential suite) are immune to mid-flight env
+    /// changes. Construct it once next to the `Cluster` (which likewise
+    /// snapshots `RADS_TRANSPORT` at [`Cluster::new`]) and reuse it for
+    /// every run — re-calling `RadsConfig::default()` per query would
+    /// re-read the env each time, which is exactly the lazily-flipping
+    /// behaviour this constructor exists to rule out.
+    pub fn from_env() -> Result<RadsConfig, rads_runtime::ConfigError> {
+        Ok(RadsConfig {
             enable_sme: true,
             enable_cache: true,
             enable_load_sharing: true,
             grouping: GroupingStrategy::Proximity,
-            memory_budget: MemoryBudget::default_from_env(),
+            memory_budget: MemoryBudget::from_env()?.unwrap_or_default(),
             enforce_memory_budget: true,
             collect_embeddings: false,
             plan_override: None,
@@ -124,16 +146,11 @@ impl Default for RadsConfig {
             seed: 42,
             workers: rads_exec::workers_from_env(),
             steal_granularity: rads_exec::DEFAULT_STEAL_GRANULARITY,
-            // Library backstop: binaries validate RADS_ROUND_DRIVER up front
-            // (and exit cleanly with the ConfigError message) before any
-            // Default::default() runs.
-            round_driver: RoundDriver::from_env().unwrap_or_else(|e| panic!("{e}")),
+            round_driver: RoundDriver::from_env()?,
             fetch_chunk_vertices: crate::engine::DEFAULT_FETCH_CHUNK_VERTICES,
-        }
+        })
     }
-}
 
-impl RadsConfig {
     /// The default configuration with an explicit worker count (ignoring the
     /// `RADS_WORKERS` environment variable).
     pub fn with_workers(workers: usize) -> Self {
@@ -145,6 +162,35 @@ impl RadsConfig {
     pub fn with_round_driver(round_driver: RoundDriver) -> Self {
         RadsConfig { round_driver, ..Default::default() }
     }
+}
+
+/// A conservative a-priori estimate (bytes) of the intermediate-result
+/// footprint `pattern` could reach on the most loaded machine of
+/// `partitioned` — the number serving-mode admission control compares
+/// against `Φ` *before* dispatching a query to the cluster.
+///
+/// The estimate deliberately ignores SM-E measurements (none exist before
+/// the query runs) and uses the planner-free geometric prior
+/// [`crate::memory::SpaceEstimator::fallback`] — `avg_degree^(|V(p)|-1)` trie nodes per
+/// start candidate — times the largest machine's owned-vertex count. That
+/// over-estimates heavily on selective patterns, which is the right
+/// direction for admission: a rejected query can be re-submitted with an
+/// explicit budget, an admitted query that OOMs cannot. Once a query *is*
+/// admitted the [`crate::governor::MemoryGovernor`] still enforces the
+/// budget at runtime; admission only filters requests that are hopeless on
+/// their face.
+pub fn estimate_query_footprint(
+    partitioned: &rads_partition::PartitionedGraph,
+    pattern: &Pattern,
+) -> u64 {
+    let vertices = partitioned.global_vertex_count().max(1);
+    let avg_degree = 2.0 * partitioned.global_edge_count() as f64 / vertices as f64;
+    let estimator = crate::memory::SpaceEstimator::fallback(avg_degree, pattern.vertex_count());
+    let largest_part = (0..partitioned.num_machines())
+        .map(|m| partitioned.local(m).owned_count())
+        .max()
+        .unwrap_or(0);
+    estimator.estimate_group_bytes(largest_part) as u64
 }
 
 /// Everything one machine reports back.
@@ -229,6 +275,21 @@ impl RadsOutcome {
 }
 
 /// Runs RADS for `pattern` on `cluster`.
+///
+/// # Cluster-reuse contract
+///
+/// A `Cluster` may answer any number of `run_rads` calls (this is what
+/// serving mode does), and every call behaves as if it were the first:
+/// region-group queues, daemons, foreign-vertex caches, `EngineStats` and
+/// traffic counters are created fresh *per invocation* — nothing carries
+/// over, so a run's [`RadsOutcome`] is a pure function of
+/// `(cluster dataset, pattern, config)` and repeated runs of the same
+/// query return identical counts and per-machine stats. The one deliberate
+/// exception is the **process-global metrics registry**
+/// ([`rads_obs::Registry::global`]): it accumulates across runs by design
+/// (Prometheus wants cumulative counters); callers that need per-run
+/// figures diff snapshots with
+/// [`rads_obs::MetricsSnapshot::delta_since`].
 pub fn run_rads(cluster: &Cluster, pattern: &Pattern, config: &RadsConfig) -> RadsOutcome {
     run_rads_wrapped(cluster, pattern, config, |_machine, transport| transport)
 }

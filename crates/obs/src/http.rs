@@ -1,0 +1,136 @@
+//! Minimal HTTP/1.0 endpoint that continuously serves the process-global
+//! registry as a Prometheus text page.
+//!
+//! Serving mode runs for hours; operators point a Prometheus scraper (or
+//! `curl`) at this listener instead of waiting for an end-of-run JSON blob.
+//! The implementation is deliberately tiny — a blocking accept loop on a
+//! background thread, one response per connection, no keep-alive, no
+//! routing (every path gets the metrics page) — because the only client is
+//! a scraper hitting it every few seconds.
+//!
+//! The page renders [`Registry::global`]'s *cumulative* snapshot
+//! ([`crate::MetricsSnapshot::to_prometheus`]); per-query deltas are a reporting
+//! concern of the serve layer ([`crate::MetricsSnapshot::delta_since`]), not of
+//! the scrape endpoint — Prometheus expects cumulative counters and
+//! computes rates itself.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+
+/// How long the accept loop sleeps between polls of the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// A background thread serving `Registry::global()` as Prometheus text.
+pub struct MetricsHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    pub fn bind(addr: &str) -> std::io::Result<MetricsHttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // nonblocking accept + poll: a blocking accept would pin the thread
+        // past `stop()` until one more scrape arrived
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("rads-metrics-http".into())
+            .spawn(move || accept_loop(listener, &stop_flag))
+            .expect("spawn metrics http thread");
+        Ok(MetricsHttpServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Answers one scrape: drain whatever request line arrived, send the page,
+/// close. Any I/O error just drops the connection — the scraper retries.
+fn serve_scrape(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // read (and discard) the request head; we serve the same page for every
+    // path, so only "the client sent *something*" matters
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = Registry::global().snapshot().to_prometheus();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::set_metrics_enabled;
+
+    #[test]
+    fn serves_the_global_registry_as_prometheus_text() {
+        set_metrics_enabled(true);
+        Registry::global().counter("rads_test_http_total").add(3);
+        let mut server = MetricsHttpServer::bind("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "got: {response}");
+        assert!(response.contains("text/plain"));
+        assert!(response.contains("rads_test_http_total"));
+        server.stop();
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn stop_joins_the_thread_promptly() {
+        let mut server = MetricsHttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        server.stop();
+        // the listener is gone after stop: a fresh bind to the same port
+        // succeeds (best-effort check; another process could grab it, so
+        // only assert we don't hang)
+        let _ = TcpListener::bind(addr);
+    }
+}

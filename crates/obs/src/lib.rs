@@ -23,9 +23,11 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod http;
 pub mod metrics;
 pub mod trace;
 
+pub use http::MetricsHttpServer;
 pub use metrics::{
     metrics_enabled, set_metrics_enabled, Counter, Gauge, Histogram, MetricEntry, MetricValue,
     MetricsSnapshot, Registry, METRICS_ENV,

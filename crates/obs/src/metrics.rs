@@ -387,6 +387,66 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Returns the per-interval delta of `self` relative to an earlier
+    /// `baseline` snapshot of the same (cumulative) registry.
+    ///
+    /// The registry is process-global and accumulates for the lifetime of
+    /// the process, which is exactly wrong for per-query reporting on a
+    /// resident cluster: the second query would report the first query's
+    /// counters too. Serving mode therefore captures a baseline before each
+    /// query and diffs afterwards:
+    ///
+    /// * counters and histogram buckets/count/sum subtract (saturating, so
+    ///   a concurrent [`Registry::reset`] cannot underflow),
+    /// * gauges keep their *current* value — they are watermarks or levels,
+    ///   not accumulators, and a difference of two watermarks is
+    ///   meaningless,
+    /// * metrics absent from the baseline (registered mid-interval) pass
+    ///   through unchanged.
+    ///
+    /// The streamed metrics frames and the Prometheus page stay cumulative;
+    /// only per-query *reports* are deltas.
+    pub fn delta_since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let base = baseline
+                    .entries
+                    .binary_search_by(|b| b.name.as_str().cmp(&entry.name))
+                    .ok()
+                    .map(|at| &baseline.entries[at].value);
+                let value = match (&entry.value, base) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (
+                        MetricValue::Histogram { bounds, buckets, count, sum },
+                        Some(MetricValue::Histogram {
+                            bounds: then_bounds,
+                            buckets: then_buckets,
+                            count: then_count,
+                            sum: then_sum,
+                        }),
+                    ) if bounds == then_bounds => MetricValue::Histogram {
+                        bounds: bounds.clone(),
+                        buckets: buckets
+                            .iter()
+                            .zip(then_buckets)
+                            .map(|(now, then)| now.saturating_sub(*then))
+                            .collect(),
+                        count: count.saturating_sub(*then_count),
+                        sum: sum.saturating_sub(*then_sum),
+                    },
+                    // gauges, new metrics, and shape mismatches pass through
+                    _ => entry.value.clone(),
+                };
+                MetricEntry { name: entry.name.clone(), value }
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
     /// Renders the snapshot as a machine-readable JSON object:
     /// `{"metrics":{"name":{"type":...,...},...}}`.
     pub fn to_json(&self) -> String {
@@ -681,6 +741,54 @@ mod tests {
                 entry.value,
                 MetricValue::Histogram { bounds: vec![5], buckets: vec![1, 1], count: 2, sum: 101 }
             );
+        });
+    }
+
+    #[test]
+    fn delta_since_isolates_an_interval() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            let counter = registry.counter("rads_test_q_total");
+            let gauge = registry.gauge("rads_test_q_peak");
+            let histogram = registry.histogram("rads_test_q_us", &[10]);
+            counter.add(5);
+            gauge.observe_max(100);
+            histogram.observe(3);
+            let baseline = registry.snapshot();
+
+            counter.add(2);
+            gauge.observe_max(40); // below the watermark → unchanged
+            histogram.observe(50); // overflow bucket
+            registry.counter("rads_test_q_late_total").add(9); // registered mid-interval
+
+            let delta = registry.snapshot().delta_since(&baseline);
+            assert_eq!(delta.scalar("rads_test_q_total"), Some(2));
+            assert_eq!(delta.scalar("rads_test_q_late_total"), Some(9));
+            assert_eq!(
+                delta.scalar("rads_test_q_peak"),
+                Some(100),
+                "gauges report their current value, not a difference"
+            );
+            let entry =
+                delta.entries.iter().find(|entry| entry.name == "rads_test_q_us").unwrap();
+            assert_eq!(
+                entry.value,
+                MetricValue::Histogram { bounds: vec![10], buckets: vec![0, 1], count: 1, sum: 50 }
+            );
+        });
+    }
+
+    #[test]
+    fn delta_since_saturates_after_a_reset() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            let counter = registry.counter("rads_test_r_total");
+            counter.add(10);
+            let baseline = registry.snapshot();
+            registry.reset();
+            counter.add(1);
+            let delta = registry.snapshot().delta_since(&baseline);
+            assert_eq!(delta.scalar("rads_test_r_total"), Some(0), "no underflow panic");
         });
     }
 

@@ -120,7 +120,8 @@ impl Daemon for PartitionDaemon {
             Request::FetchVertices(vs) => Response::Adjacency(Self::fetch_vertices(local, &vs)),
             Request::CheckRegionGroups
             | Request::ShareRegionGroup
-            | Request::DeliverRows { .. } => Response::Unsupported,
+            | Request::DeliverRows { .. }
+            | Request::Query { .. } => Response::Unsupported,
         }
     }
 }
@@ -434,6 +435,18 @@ impl Cluster {
 
     /// Runs a distributed computation with the default [`PartitionDaemon`] on
     /// every machine.
+    ///
+    /// # Reuse contract
+    ///
+    /// `run` takes `&self`: a cluster may be reused for any number of runs
+    /// (a resident serve cluster runs one per query), and each run starts
+    /// from a clean slate. Network statistics, retry counters, barriers and
+    /// the row exchange are constructed *inside* this call, and the
+    /// returned [`RunOutcome::traffic`] covers exactly this run — nothing
+    /// leaks from one invocation into the next. Only the dataset, the
+    /// transport choice (both snapshotted at [`Cluster::new`]) and
+    /// process-global observability state (the [`rads_obs`] registry, which
+    /// is cumulative by design) outlive a run.
     pub fn run<R, F>(&self, engine: F) -> RunOutcome<R>
     where
         R: Send,
@@ -447,7 +460,8 @@ impl Cluster {
 
     /// Runs a distributed computation with user-provided daemons (one per
     /// machine). The engine closure is invoked once per machine, on its own
-    /// thread, with that machine's [`MachineContext`].
+    /// thread, with that machine's [`MachineContext`]. The reuse contract
+    /// of [`Cluster::run`] applies: per-run state is fresh every call.
     pub fn run_with_daemons<R, F>(&self, daemons: Vec<Arc<dyn Daemon>>, engine: F) -> RunOutcome<R>
     where
         R: Send,

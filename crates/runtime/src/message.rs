@@ -29,6 +29,22 @@ pub enum Request {
         /// The rows; all rows in one message have the same arity.
         rows: Vec<Vec<VertexId>>,
     },
+    /// Serving mode: the coordinator tells a worker to run one query on the
+    /// resident cluster. The worker acknowledges immediately (`Ack`), runs
+    /// the engine on its own thread, and delivers its per-query report as a
+    /// result frame — a long-running enumeration must not hold a daemon
+    /// connection handler hostage.
+    Query {
+        /// Monotonically increasing per-serve-session query id; the worker
+        /// echoes it in its report so a late report can never be matched to
+        /// the wrong query.
+        id: u64,
+        /// Pattern name (`rads_graph::queries::query_by_name`).
+        pattern: String,
+        /// Per-query memory budget `Φ` override in bytes (`None` = the
+        /// budget the serve cluster was started with).
+        budget: Option<u64>,
+    },
 }
 
 impl Request {
@@ -41,12 +57,16 @@ impl Request {
     /// `shareR` *pops* the receiver's queue (a duplicate would lose a
     /// region group) and `DeliverRows` appends to the receiver's inbox (a
     /// duplicate would double rows); neither may be blindly re-sent.
+    /// `Query` starts an engine run on the receiver (a duplicate would run
+    /// — and count — the query twice), so it is never retried either.
     pub fn idempotent(&self) -> bool {
         match self {
             Request::VerifyEdges(_) | Request::FetchVertices(_) | Request::CheckRegionGroups => {
                 true
             }
-            Request::ShareRegionGroup | Request::DeliverRows { .. } => false,
+            Request::ShareRegionGroup
+            | Request::DeliverRows { .. }
+            | Request::Query { .. } => false,
         }
     }
 }
@@ -63,10 +83,17 @@ pub enum Response {
     /// Answer to [`Request::ShareRegionGroup`]: a region group (candidate
     /// vertices of the start query vertex), or `None` if none remain.
     RegionGroup(Option<Vec<VertexId>>),
-    /// Generic acknowledgement (used for [`Request::DeliverRows`]).
+    /// Generic acknowledgement (used for [`Request::DeliverRows`] and
+    /// [`Request::Query`] — the query *report* arrives later, as a result
+    /// frame).
     Ack,
     /// The receiving daemon does not implement the request.
     Unsupported,
+    /// Serving mode: a worker's per-query report, opaque to the runtime (the
+    /// serve layer defines the payload: query id, counts, per-query stats).
+    /// Emitted by serve daemons answering a follow-up poll; the primary
+    /// delivery path is the result frame.
+    QueryDone(Vec<u8>),
 }
 
 const VERTEX_BYTES: usize = std::mem::size_of::<VertexId>();
@@ -84,6 +111,7 @@ pub fn request_bytes(request: &Request) -> usize {
             Request::DeliverRows { rows, .. } => {
                 4 + rows.iter().map(|r| r.len() * VERTEX_BYTES).sum::<usize>()
             }
+            Request::Query { pattern, .. } => 8 + pattern.len() + 9,
         }
 }
 
@@ -100,6 +128,7 @@ pub fn response_bytes(response: &Response) -> usize {
             Response::RegionGroup(Some(vs)) => vs.len() * VERTEX_BYTES,
             Response::RegionGroup(None) => 1,
             Response::Ack | Response::Unsupported => 1,
+            Response::QueryDone(payload) => payload.len(),
         }
 }
 
@@ -138,5 +167,17 @@ mod tests {
         assert!(Request::CheckRegionGroups.idempotent());
         assert!(!Request::ShareRegionGroup.idempotent(), "shareR pops the queue");
         assert!(!Request::DeliverRows { tag: 0, rows: vec![] }.idempotent());
+        assert!(
+            !Request::Query { id: 1, pattern: "q1".into(), budget: None }.idempotent(),
+            "a re-sent Query would run the engine twice"
+        );
+    }
+
+    #[test]
+    fn query_messages_account_their_payload() {
+        let q = Request::Query { id: 7, pattern: "q1".into(), budget: Some(4096) };
+        assert_eq!(request_bytes(&q), MESSAGE_OVERHEAD_BYTES + 8 + 2 + 9);
+        let done = Response::QueryDone(vec![0u8; 84]);
+        assert_eq!(response_bytes(&done), MESSAGE_OVERHEAD_BYTES + 84);
     }
 }

@@ -125,6 +125,7 @@ fn rpc_span_name(request: &Request) -> &'static str {
         Request::CheckRegionGroups => "rpc.checkR",
         Request::ShareRegionGroup => "rpc.shareR",
         Request::DeliverRows { .. } => "rpc.rows",
+        Request::Query { .. } => "rpc.query",
     }
 }
 
@@ -1422,6 +1423,10 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
             }
             FrameKind::Response => return, // responses never arrive on inbound connections
             FrameKind::Continue => return, // read_message reassembles runs; a stray one is a bug
+            // client-protocol frames: only the serve front-door listener
+            // speaks them; on an inter-machine connection they are a
+            // protocol violation
+            FrameKind::Query | FrameKind::QueryResult => return,
         }
     }
 }

@@ -96,6 +96,16 @@ pub enum FrameKind {
     /// Never surfaced by [`read_message`] — runs are reassembled into the
     /// final frame's kind.
     Continue,
+    /// Serving mode, client → serve coordinator: a query submission on a
+    /// client connection. The payload layout is owned by the serve layer
+    /// (`rads-bench`); the correlation id is a client-chosen request id the
+    /// server echoes in the [`FrameKind::QueryResult`] reply.
+    Query,
+    /// Serving mode, serve coordinator → client: the reply to the `Query`
+    /// frame with the same correlation id (counts + per-query stats, or a
+    /// structured admission/execution error). Payload owned by the serve
+    /// layer.
+    QueryResult,
 }
 
 impl FrameKind {
@@ -109,6 +119,8 @@ impl FrameKind {
             FrameKind::Shutdown => 6,
             FrameKind::Continue => 7,
             FrameKind::Metrics => 8,
+            FrameKind::Query => 9,
+            FrameKind::QueryResult => 10,
         }
     }
 
@@ -122,6 +134,8 @@ impl FrameKind {
             6 => FrameKind::Shutdown,
             7 => FrameKind::Continue,
             8 => FrameKind::Metrics,
+            9 => FrameKind::Query,
+            10 => FrameKind::QueryResult,
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -157,6 +171,8 @@ pub enum WireError {
     UnknownKind(u8),
     /// A message tag byte is not a known variant.
     UnknownTag(u8),
+    /// A length-prefixed string field is not valid UTF-8.
+    BadString,
     /// The message decoded but bytes were left over.
     TrailingBytes {
         /// How many undecoded bytes followed the message.
@@ -198,6 +214,7 @@ impl std::fmt::Display for WireError {
             }
             WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadString => write!(f, "string field is not valid UTF-8"),
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the message")
             }
@@ -317,6 +334,7 @@ const REQ_FETCH_VERTICES: u8 = 1;
 const REQ_CHECK_REGION_GROUPS: u8 = 2;
 const REQ_SHARE_REGION_GROUP: u8 = 3;
 const REQ_DELIVER_ROWS: u8 = 4;
+const REQ_QUERY: u8 = 5;
 
 const RESP_EDGE_VERIFICATION: u8 = 0;
 const RESP_ADJACENCY: u8 = 1;
@@ -324,6 +342,7 @@ const RESP_REGION_GROUP_COUNT: u8 = 2;
 const RESP_REGION_GROUP: u8 = 3;
 const RESP_ACK: u8 = 4;
 const RESP_UNSUPPORTED: u8 = 5;
+const RESP_QUERY_DONE: u8 = 6;
 
 /// Appends the encoding of `request` to `buf`.
 pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
@@ -348,6 +367,19 @@ pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
             put_u32(buf, rows.len() as u32);
             for row in rows {
                 put_vertices(buf, row);
+            }
+        }
+        Request::Query { id, pattern, budget } => {
+            buf.push(REQ_QUERY);
+            put_u64(buf, *id);
+            put_u32(buf, pattern.len() as u32);
+            buf.extend_from_slice(pattern.as_bytes());
+            match budget {
+                Some(bytes) => {
+                    buf.push(1);
+                    put_u64(buf, *bytes);
+                }
+                None => buf.push(0),
             }
         }
     }
@@ -376,6 +408,17 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
                 rows.push(r.vertices()?);
             }
             Request::DeliverRows { tag, rows }
+        }
+        REQ_QUERY => {
+            let id = r.u64()?;
+            let len = r.checked_len(1)?;
+            let pattern = String::from_utf8(r.take(len)?.to_vec())
+                .map_err(|_| WireError::BadString)?;
+            let budget = match r.u8()? {
+                0 => None,
+                _ => Some(r.u64()?),
+            };
+            Request::Query { id, pattern, budget }
         }
         other => return Err(WireError::UnknownTag(other)),
     };
@@ -415,6 +458,11 @@ pub fn encode_response(response: &Response, buf: &mut Vec<u8>) {
         }
         Response::Ack => buf.push(RESP_ACK),
         Response::Unsupported => buf.push(RESP_UNSUPPORTED),
+        Response::QueryDone(payload) => {
+            buf.push(RESP_QUERY_DONE);
+            put_u32(buf, payload.len() as u32);
+            buf.extend_from_slice(payload);
+        }
     }
 }
 
@@ -443,6 +491,10 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
         },
         RESP_ACK => Response::Ack,
         RESP_UNSUPPORTED => Response::Unsupported,
+        RESP_QUERY_DONE => {
+            let len = r.checked_len(1)?;
+            Response::QueryDone(r.take(len)?.to_vec())
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     r.finish()?;
@@ -666,6 +718,22 @@ mod tests {
             tag: u32::MAX,
             rows: vec![vec![], vec![1], vec![2, 3, 4]],
         });
+        roundtrip_request(Request::Query { id: 0, pattern: String::new(), budget: None });
+        roundtrip_request(Request::Query {
+            id: u64::MAX,
+            pattern: "q5".to_string(),
+            budget: Some(64 * 1024),
+        });
+    }
+
+    #[test]
+    fn query_with_invalid_utf8_pattern_is_rejected() {
+        let mut buf = vec![5u8]; // REQ_QUERY
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]); // not UTF-8
+        buf.push(0); // no budget
+        assert_eq!(decode_request(&buf), Err(WireError::BadString));
     }
 
     #[test]
@@ -683,6 +751,8 @@ mod tests {
         roundtrip_response(Response::RegionGroup(Some(vec![8, 8, 8])));
         roundtrip_response(Response::Ack);
         roundtrip_response(Response::Unsupported);
+        roundtrip_response(Response::QueryDone(vec![]));
+        roundtrip_response(Response::QueryDone(vec![0, 1, 2, 255]));
     }
 
     #[test]

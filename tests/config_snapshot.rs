@@ -1,0 +1,69 @@
+//! The `RADS_*` environment is a *startup* input, not a live control
+//! surface: [`RadsConfig::from_env`] snapshots every env-sensitive knob at
+//! construction and never consults the environment again, and
+//! [`Cluster::new`] does the same for `RADS_TRANSPORT`. A resident serve
+//! cluster holds both for hours — if any knob were re-read lazily, an env
+//! change (or a test harness setting variables for a *different* process it
+//! is about to spawn) would silently change query behaviour mid-stream.
+//! This test pins the snapshot semantics by flipping each variable after
+//! construction and asserting the held values do not move.
+//!
+//! A single `#[test]` on purpose: it mutates process-global environment
+//! variables, which is only safe while no sibling test thread reads them
+//! concurrently. Keep this file to one test.
+
+use std::sync::Arc;
+
+use rads::prelude::*;
+use rads_core::{MemoryBudget, RoundDriver};
+use rads_graph::generators::ring_lattice;
+use rads_partition::BfsPartitioner;
+
+#[test]
+fn env_knobs_are_snapshotted_at_construction_not_reread_per_use() {
+    std::env::set_var("RADS_MEMORY_BUDGET", "64k");
+    std::env::set_var("RADS_ROUND_DRIVER", "serial");
+    std::env::set_var("RADS_WORKERS", "3");
+    std::env::set_var("RADS_TRANSPORT", "in-process");
+
+    let held = RadsConfig::from_env().expect("valid env");
+    let graph = ring_lattice(12, 1);
+    let partitioning = BfsPartitioner.partition(&graph, 2);
+    let cluster = Cluster::new(Arc::new(PartitionedGraph::build(&graph, partitioning)));
+
+    assert_eq!(held.memory_budget, MemoryBudget::from_bytes(64 * 1024));
+    assert_eq!(held.round_driver, RoundDriver::Serial);
+    assert_eq!(held.workers, 3);
+    assert_eq!(cluster.transport_kind(), TransportKind::InProcess);
+
+    // flip every variable: the held config and cluster must not move
+    std::env::set_var("RADS_MEMORY_BUDGET", "128k");
+    std::env::set_var("RADS_ROUND_DRIVER", "async");
+    std::env::set_var("RADS_WORKERS", "5");
+    std::env::set_var("RADS_TRANSPORT", "tcp");
+
+    assert_eq!(
+        held.memory_budget,
+        MemoryBudget::from_bytes(64 * 1024),
+        "memory budget re-read the environment after construction"
+    );
+    assert_eq!(held.round_driver, RoundDriver::Serial, "round driver re-read the environment");
+    assert_eq!(held.workers, 3, "worker count re-read the environment");
+    assert_eq!(
+        cluster.transport_kind(),
+        TransportKind::InProcess,
+        "the cluster re-read RADS_TRANSPORT after construction"
+    );
+
+    // while a *fresh* snapshot naturally sees the new values
+    let fresh = RadsConfig::from_env().expect("valid env");
+    assert_eq!(fresh.memory_budget, MemoryBudget::from_bytes(128 * 1024));
+    assert_eq!(fresh.round_driver, RoundDriver::Async);
+    assert_eq!(fresh.workers, 5);
+    let fresh_cluster = Cluster::new(cluster.partitioned().clone());
+    assert_eq!(fresh_cluster.transport_kind(), TransportKind::Tcp);
+
+    for var in ["RADS_MEMORY_BUDGET", "RADS_ROUND_DRIVER", "RADS_WORKERS", "RADS_TRANSPORT"] {
+        std::env::remove_var(var);
+    }
+}

@@ -1,0 +1,131 @@
+//! Warm-cluster equivalence: the cluster-reuse contract of [`run_rads`]
+//! (see its doc) says a resident `Cluster` answering a stream of queries
+//! behaves *per query* exactly like a fresh cluster answering one. This is
+//! the property serving mode (`rads-node serve`) is built on, and the suite
+//! pins it across both transports and both round drivers:
+//!
+//! * one warm cluster answering q1 → q5 → q1 is bit-identical (total,
+//!   per-machine counts, embedding digest) to three fresh clusters,
+//! * the two q1 answers of the warm stream are identical to each other —
+//!   nothing the q5 run left behind (daemons, queues, caches, stats,
+//!   traffic counters) leaks into the second q1.
+
+use std::sync::Arc;
+
+use rads::prelude::*;
+use rads_core::RoundDriver;
+use rads_graph::queries;
+
+const MACHINES: usize = 3;
+
+/// FNV-1a over the sorted embedding list — a stable fingerprint that two
+/// runs share iff they produced exactly the same embeddings.
+fn digest(mut embeddings: Vec<Vec<VertexId>>) -> u64 {
+    embeddings.sort();
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut mix = |byte: u8| {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    for embedding in &embeddings {
+        for &v in embedding {
+            for byte in v.to_le_bytes() {
+                mix(byte);
+            }
+        }
+        mix(0xff); // embedding separator
+    }
+    hash
+}
+
+/// Everything one answer must reproduce bit-identically.
+#[derive(Debug, PartialEq)]
+struct Answer {
+    total: u64,
+    per_machine: Vec<u64>,
+    digest: u64,
+}
+
+fn answer(cluster: &Cluster, query: &str, driver: RoundDriver) -> Answer {
+    let pattern = queries::query_by_name(query).expect("known query");
+    let config = RadsConfig {
+        collect_embeddings: true,
+        round_driver: driver,
+        ..RadsConfig::default()
+    };
+    let outcome = run_rads(cluster, &pattern, &config);
+    Answer {
+        total: outcome.total_embeddings,
+        per_machine: outcome.per_machine.iter().map(|m| m.count).collect(),
+        digest: digest(outcome.all_embeddings()),
+    }
+}
+
+fn partitioned() -> Arc<PartitionedGraph> {
+    let dataset = generate(DatasetKind::Dblp, Scale(0.05), 7);
+    let partitioning = LabelPropagationPartitioner::default().partition(&dataset.graph, MACHINES);
+    Arc::new(PartitionedGraph::build(&dataset.graph, partitioning))
+}
+
+fn transports() -> &'static [TransportKind] {
+    if cfg!(unix) {
+        &[TransportKind::InProcess, TransportKind::Uds]
+    } else {
+        &[TransportKind::InProcess, TransportKind::Tcp]
+    }
+}
+
+#[test]
+fn warm_cluster_matches_fresh_clusters_across_transports_and_drivers() {
+    const STREAM: [&str; 3] = ["q1", "q5", "q1"];
+    let pg = partitioned();
+    for &transport in transports() {
+        for driver in [RoundDriver::Serial, RoundDriver::Async] {
+            let fresh: Vec<Answer> = STREAM
+                .iter()
+                .map(|query| {
+                    let cluster = Cluster::with_transport(pg.clone(), transport);
+                    answer(&cluster, query, driver)
+                })
+                .collect();
+            let warm_cluster = Cluster::with_transport(pg.clone(), transport);
+            let warm: Vec<Answer> =
+                STREAM.iter().map(|query| answer(&warm_cluster, query, driver)).collect();
+            assert_eq!(
+                warm, fresh,
+                "warm {STREAM:?} stream deviates from fresh clusters over {transport:?}/{driver:?}"
+            );
+            assert_eq!(
+                warm[0], warm[2],
+                "q5 bled state into the repeated q1 over {transport:?}/{driver:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_do_not_accumulate_stats_or_traffic() {
+    let pg = partitioned();
+    let cluster = Cluster::new(pg);
+    let pattern = queries::query_by_name("q1").expect("known query");
+    // serial driver, one worker, no stealing: every statistic — including
+    // the communication-volume ones — is deterministic, so the second run
+    // must reproduce the first *exactly*, not doubled
+    let config = RadsConfig {
+        enable_load_sharing: false,
+        round_driver: RoundDriver::Serial,
+        workers: 1,
+        ..RadsConfig::default()
+    };
+    let first = run_rads(&cluster, &pattern, &config);
+    let second = run_rads(&cluster, &pattern, &config);
+    assert_eq!(first.total_embeddings, second.total_embeddings);
+    assert_eq!(
+        first.traffic, second.traffic,
+        "traffic counters carried over from the first run"
+    );
+    for (machine, (a, b)) in first.per_machine.iter().zip(&second.per_machine).enumerate() {
+        assert_eq!(a.count, b.count, "machine {machine} count drifted");
+        assert_eq!(a.stats, b.stats, "machine {machine} EngineStats carried state over");
+    }
+}
