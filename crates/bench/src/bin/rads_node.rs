@@ -71,14 +71,16 @@ fn usage() -> ! {
          \x20          [--timeout-secs T] [--json]\n\
          \x20 rads-node serve --machines N [--transport uds|tcp] [--dataset D] [--scale S]\n\
          \x20          [--seed K] [--workers W] [--budget BYTES] [--driver serial|async]\n\
-         \x20          [--admission-bytes BYTES] [--client-addr H:P] [--http-addr H:P]\n\
+         \x20          [--admission-bytes BYTES] [--max-concurrent-queries N]\n\
+         \x20          [--client-addr H:P] [--http-addr H:P]\n\
          \x20          [--timeout-secs T]   (resident daemon; query it with rads-query)\n\
          \x20 rads-node worker --machine M --machines N --addrs A0,A1,.. --dataset D\n\
          \x20          --scale S --seed K --query Q [--workers W] [--budget BYTES]\n\
          \x20          [--driver serial|async] [--fetch-chunk V] [--no-cache]\n\
          \x20          [--trace-out FILE] [--metrics-out FILE]\n\
          \x20          [--timeout-secs T]\n\
-         \x20 rads-node serve-worker ...   (spawned by serve; same flags as worker)"
+         \x20 rads-node serve-worker ...   (spawned by serve; worker flags plus\n\
+         \x20          --max-concurrent-queries N)"
     );
     std::process::exit(2);
 }
@@ -305,11 +307,17 @@ fn main() {
                     fail(&format!("invalid byte size {raw:?} for --admission-bytes"))
                 }) as u64
             });
+            let max_concurrent_queries =
+                flags.parsed::<usize>("max-concurrent-queries").unwrap_or(1);
+            if max_concurrent_queries == 0 {
+                fail("--max-concurrent-queries must be at least 1");
+            }
             let options = ServeOptions {
                 admission_bytes,
                 client_addr: flags.get("client-addr").unwrap_or("127.0.0.1:0").to_string(),
                 http_addr: flags.get("http-addr").unwrap_or("127.0.0.1:0").to_string(),
                 query_timeout: timeout_from_flags(&flags),
+                max_concurrent_queries,
             };
             let node_binary = std::env::current_exe()
                 .unwrap_or_else(|e| fail(&format!("cannot locate this executable: {e}")));
@@ -330,7 +338,9 @@ fn main() {
                 fail(&format!("--addrs lists {} addresses for {machines} machines", addrs.len()));
             }
             let result = if mode == "serve-worker" {
-                run_serve_worker(&spec, machine, addrs)
+                let max_concurrent =
+                    flags.parsed::<usize>("max-concurrent-queries").unwrap_or(1).max(1);
+                run_serve_worker(&spec, machine, addrs, max_concurrent)
             } else {
                 run_worker(&spec, machine, addrs, timeout_from_flags(&flags))
             };

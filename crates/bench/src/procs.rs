@@ -40,8 +40,8 @@ use rads_partition::{LabelPropagationPartitioner, PartitionedGraph, Partitioner}
 use rads_plan::{best_plan, PlannerConfig};
 use rads_runtime::transport::scratch_socket_dir;
 use rads_runtime::{
-    ConfigError, Daemon, MachineContext, NetworkStats, NodeMonitor, PeerAddr, SocketListener,
-    SocketNode, TrafficSnapshot, TransportKind,
+    ConfigError, Daemon, MachineContext, NetworkStats, NodeMonitor, PeerAddr, QueryId,
+    SocketListener, SocketNode, TrafficSnapshot, TransportKind,
 };
 
 use crate::json::Json;
@@ -434,7 +434,7 @@ pub fn run_worker(
         node.metrics_publisher(0).send(&rads_obs::Registry::global().snapshot().encode());
     }
     let summary = machine_summary(machine, &output, &wire, elapsed, node.reconnects());
-    node.send_result(0, &encode_result(&summary))
+    node.send_result(0, QueryId::SOLO, &encode_result(&summary))
         .map_err(|e| format!("machine {machine}: cannot deliver result to coordinator: {e}"))?;
     let ordered = node.wait_shutdown(timeout);
     node.finish_shutdown();
@@ -1048,7 +1048,7 @@ pub fn run_coordinator(
         let mut payloads = Vec::new();
         if !worker_ids.is_empty() {
             loop {
-                match node.wait_results(&worker_ids, Duration::from_millis(500)) {
+                match node.wait_results(QueryId::SOLO, &worker_ids, Duration::from_millis(500)) {
                     Ok(p) => {
                         payloads = p;
                         break;

@@ -14,52 +14,70 @@
 //!   defined here, see [`ClientOp`] / [`QueryReply`]), and a Prometheus
 //!   text page ([`MetricsHttpServer`]) continuously serving the process
 //!   registry.
-//! * **Serve workers** run a job loop instead of a single engine run: the
-//!   coordinator dispatches each admitted query as a
+//! * **Serve workers** run a pool of executor threads instead of a single
+//!   engine run: the coordinator dispatches each admitted query as a
 //!   [`Request::Query`] RPC (acknowledged immediately, executed from a
 //!   queue), every machine runs the unmodified
-//!   [`rads_core::engine::run_machine`], and each worker delivers a
-//!   per-query report as a result frame.
-//! * Client connections are handled concurrently, but execution is
-//!   **serialized in submission order**: the accept/handler threads feed
-//!   one job channel the coordinator's main thread drains, so the channel
-//!   itself is the FIFO admission queue ("queue" of queue-or-reject).
+//!   [`rads_core::engine::run_machine`] on a query-scoped
+//!   [`MachineContext`] ([`MachineContext::for_query`]), and each worker
+//!   delivers a per-query report as a result frame tagged with the query's
+//!   [`QueryId`].
+//! * **Concurrent execution**: independent queries run side by side, up to
+//!   `--max-concurrent-queries` at a time. Every engine-facing RPC travels
+//!   in a query-scoped [`Envelope`], so the fabric keeps the streams
+//!   apart end to end — [`ServeDaemon`] routes `checkR` / `shareR` to the
+//!   requesting query's own [`RadsDaemon`] via a per-query **routing
+//!   table**, result frames and retry/backoff are correlated per query,
+//!   and one query's stalled worker cannot swallow another query's
+//!   responses.
 //!
 //! # Admission control
 //!
 //! Before dispatching, the coordinator estimates the query's memory
 //! footprint ([`rads_core::estimate_query_footprint`] — deliberately
-//! conservative) and rejects it with a structured
-//! [`QueryReply::Rejected`] when the estimate exceeds the configured
-//! admission limit. An admitted query is still governed at runtime by the
-//! per-machine memory governor, so admission is a cheap front gate, not
-//! the enforcement mechanism.
+//! conservative) and rejects it with a structured [`QueryReply::Rejected`]
+//! when the estimate alone exceeds the configured admission limit.
+//! Admitted queries then pass the **joint** gate: the sum of the in-flight
+//! queries' estimates must stay within `--admission-bytes`, and at most
+//! `--max-concurrent-queries` may execute at once — a query that does not
+//! fit *waits* (FIFO-ish on the scheduler's condvar) rather than being
+//! rejected. An admitted query is still governed at runtime by the
+//! per-machine memory governor (budget Φ applies per query, so the
+//! worst-case resident footprint is `max_concurrent · Φ`); admission is a
+//! cheap front gate, not the enforcement mechanism.
 //!
 //! # State the queries share — and the reuse contract
 //!
-//! A resident cluster must not bleed state between queries. Per query,
-//! every machine constructs a fresh region-group queue and
-//! [`RadsDaemon`] (installed into its [`ServeDaemon`] for the duration of
+//! A resident cluster must not bleed state between queries — including
+//! between *concurrent* queries. Per query, every machine constructs a
+//! fresh region-group queue and [`RadsDaemon`] (installed into its
+//! [`ServeDaemon`] routing table under the query's id for the duration of
 //! the run); engine stats, the embedding trie and the foreign-vertex
 //! cache live inside `run_machine` and die with it. What intentionally
 //! persists: the partitioned graph, the plan cache ([`PlanCache`] — keyed
 //! by canonical pattern signature, hits observable as
 //! `rads_plan_cache_hits_total`), and the process-global metrics registry,
-//! which stays *cumulative* (that is what the Prometheus page serves);
-//! per-query metrics in the reply are computed as
-//! [`MetricsSnapshot::delta_since`] deltas against the previous query's
-//! cluster-wide snapshot.
+//! which stays *cumulative* (that is what the Prometheus page serves).
+//! Per-query metrics in the reply are computed via a per-query epoch
+//! ledger ([`rads_obs::EpochLedger`]): each query diffs the cluster-wide
+//! registry against the baseline captured at **its own** admission, so
+//! overlapping queries never steal each other's baseline. Under overlap a
+//! query's delta is a conservative superset (it includes work a
+//! concurrently running query did inside its window); for serialized
+//! queries it is exact.
 //!
 //! The engine's memory budget is resolved **once at startup** (explicit
 //! `--budget` flag or one read of `RADS_MEMORY_BUDGET`); a per-query
 //! client override applies to that query only. The environment is never
 //! re-read while serving.
 
+use std::collections::HashMap;
 use std::net::TcpListener;
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use rads_core::daemon::{new_group_queue, GroupQueue, RadsDaemon};
@@ -67,12 +85,12 @@ use rads_core::engine::run_machine;
 use rads_core::memory::MemoryBudget;
 use rads_core::{estimate_query_footprint, PlanCache};
 use rads_graph::queries;
-use rads_obs::{MetricsHttpServer, MetricsSnapshot, Registry};
+use rads_obs::{EpochLedger, MetricsHttpServer, MetricsSnapshot, Registry};
 use rads_partition::{MachineId, PartitionedGraph};
 use rads_runtime::wire::{read_message, write_message, FrameKind};
 use rads_runtime::{
-    Daemon, MachineContext, NetworkStats, PartitionDaemon, PeerAddr, Request, Response,
-    SocketListener, SocketNode, TrafficSnapshot, TransportKind,
+    Daemon, Envelope, MachineContext, NetworkStats, PartitionDaemon, PeerAddr, QueryId, Request,
+    Response, SocketListener, SocketNode, TrafficSnapshot, TransportKind,
 };
 
 use crate::procs::{
@@ -86,8 +104,8 @@ use crate::procs::{
 /// coordination.
 const SERVE_RHO: f64 = 1.0;
 
-/// How long a serve worker's job loop waits on each of its two wake-up
-/// sources (the shutdown flag and the job channel) before checking the
+/// How long a serve worker's executor threads wait on each of their
+/// wake-up sources (the stop flag and the job channel) before checking the
 /// other.
 const JOB_POLL: Duration = Duration::from_millis(50);
 
@@ -174,10 +192,17 @@ pub fn decode_client_op(buf: &[u8]) -> Result<ClientOp, String> {
 
 /// The serve coordinator's answer to one [`ClientOp`] (the payload of the
 /// [`FrameKind::QueryResult`] frame echoing the request's correlation id).
+///
+/// Every per-query variant carries the coordinator-assigned `query_id` —
+/// the same id that scopes the query's fabric envelopes, routing-table
+/// entry and metric epoch — so clients running several queries at once can
+/// attribute replies and server-side observability to each other.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryReply {
     /// The query ran to completion on every machine.
     Ok {
+        /// The coordinator-assigned query id (unique per serve lifetime).
+        query_id: u64,
         /// Embeddings over all machines — bit-identical to a one-shot run
         /// of the same query on the same spec.
         count: u64,
@@ -188,13 +213,15 @@ pub enum QueryReply {
         /// Per-machine embedding counts, machine 0 first.
         per_machine: Vec<(u32, u64)>,
         /// This query's *delta* of the cluster-wide metrics registry
-        /// (JSON, [`MetricsSnapshot::to_json`] shape) — free of
-        /// cross-query bleed by construction.
+        /// (JSON, [`MetricsSnapshot::to_json`] shape) — epoch-scoped to
+        /// this query, free of cross-query baseline races by construction.
         metrics_json: String,
     },
-    /// Admission control refused the query: its estimated footprint
+    /// Admission control refused the query: its estimated footprint alone
     /// exceeds the admission limit. Nothing was dispatched.
     Rejected {
+        /// The coordinator-assigned query id.
+        query_id: u64,
         /// Estimated bytes ([`estimate_query_footprint`]).
         estimate: u64,
         /// The configured admission limit in bytes.
@@ -202,6 +229,9 @@ pub enum QueryReply {
     },
     /// The query failed (unknown pattern, lost worker, timeout).
     Error {
+        /// The coordinator-assigned query id (0 when the failure precedes
+        /// id assignment, e.g. a malformed request).
+        query_id: u64,
         /// Human-readable reason.
         message: String,
     },
@@ -213,8 +243,16 @@ pub enum QueryReply {
 pub fn encode_query_reply(reply: &QueryReply) -> Vec<u8> {
     let mut buf = Vec::new();
     match reply {
-        QueryReply::Ok { count, elapsed_us, plan_cache_hit, per_machine, metrics_json } => {
+        QueryReply::Ok {
+            query_id,
+            count,
+            elapsed_us,
+            plan_cache_hit,
+            per_machine,
+            metrics_json,
+        } => {
             buf.push(REPLY_OK);
+            buf.extend_from_slice(&query_id.to_le_bytes());
             buf.extend_from_slice(&count.to_le_bytes());
             buf.extend_from_slice(&elapsed_us.to_le_bytes());
             buf.push(u8::from(*plan_cache_hit));
@@ -226,13 +264,15 @@ pub fn encode_query_reply(reply: &QueryReply) -> Vec<u8> {
             buf.extend_from_slice(&(metrics_json.len() as u32).to_le_bytes());
             buf.extend_from_slice(metrics_json.as_bytes());
         }
-        QueryReply::Rejected { estimate, limit } => {
+        QueryReply::Rejected { query_id, estimate, limit } => {
             buf.push(REPLY_REJECTED);
+            buf.extend_from_slice(&query_id.to_le_bytes());
             buf.extend_from_slice(&estimate.to_le_bytes());
             buf.extend_from_slice(&limit.to_le_bytes());
         }
-        QueryReply::Error { message } => {
+        QueryReply::Error { query_id, message } => {
             buf.push(REPLY_ERROR);
+            buf.extend_from_slice(&query_id.to_le_bytes());
             buf.extend_from_slice(&(message.len() as u32).to_le_bytes());
             buf.extend_from_slice(message.as_bytes());
         }
@@ -251,30 +291,34 @@ pub fn decode_query_reply(buf: &[u8]) -> Result<QueryReply, String> {
     };
     match status {
         REPLY_SHUTDOWN_ACK => Ok(QueryReply::ShutdownAck),
-        REPLY_REJECTED => {
-            Ok(QueryReply::Rejected { estimate: u64_at(1)?, limit: u64_at(9)? })
-        }
+        REPLY_REJECTED => Ok(QueryReply::Rejected {
+            query_id: u64_at(1)?,
+            estimate: u64_at(9)?,
+            limit: u64_at(17)?,
+        }),
         REPLY_ERROR => {
+            let query_id = u64_at(1)?;
             let len = u32::from_le_bytes(
-                buf.get(1..5).ok_or("truncated message length")?.try_into().expect("4 bytes"),
+                buf.get(9..13).ok_or("truncated message length")?.try_into().expect("4 bytes"),
             ) as usize;
-            let message = std::str::from_utf8(buf.get(5..5 + len).ok_or("truncated message")?)
+            let message = std::str::from_utf8(buf.get(13..13 + len).ok_or("truncated message")?)
                 .map_err(|_| "error message is not UTF-8".to_string())?
                 .to_string();
-            Ok(QueryReply::Error { message })
+            Ok(QueryReply::Error { query_id, message })
         }
         REPLY_OK => {
-            let count = u64_at(1)?;
-            let elapsed_us = u64_at(9)?;
-            let plan_cache_hit = match buf.get(17) {
+            let query_id = u64_at(1)?;
+            let count = u64_at(9)?;
+            let elapsed_us = u64_at(17)?;
+            let plan_cache_hit = match buf.get(25) {
                 Some(0) => false,
                 Some(1) => true,
                 _ => return Err("bad plan-cache flag".to_string()),
             };
             let machines = u32::from_le_bytes(
-                buf.get(18..22).ok_or("truncated machine count")?.try_into().expect("4 bytes"),
+                buf.get(26..30).ok_or("truncated machine count")?.try_into().expect("4 bytes"),
             ) as usize;
-            let mut at = 22;
+            let mut at = 30;
             let mut per_machine = Vec::with_capacity(machines);
             for _ in 0..machines {
                 let machine = u32::from_le_bytes(
@@ -291,7 +335,14 @@ pub fn decode_query_reply(buf: &[u8]) -> Result<QueryReply, String> {
                 std::str::from_utf8(buf.get(at..at + len).ok_or("truncated metrics json")?)
                     .map_err(|_| "metrics json is not UTF-8".to_string())?
                     .to_string();
-            Ok(QueryReply::Ok { count, elapsed_us, plan_cache_hit, per_machine, metrics_json })
+            Ok(QueryReply::Ok {
+                query_id,
+                count,
+                elapsed_us,
+                plan_cache_hit,
+                per_machine,
+                metrics_json,
+            })
         }
         other => Err(format!("unknown reply status {other}")),
     }
@@ -337,15 +388,19 @@ struct QueryJob {
 ///
 /// `verifyE` / `fetchV` are answered from the partition at all times (a
 /// peer may fetch while this machine is between queries). `checkR` /
-/// `shareR` route to the **current query's** [`RadsDaemon`] — installed
-/// just before `run_machine` and cleared right after — and report an empty
-/// queue when no query is active, which a stealing peer treats as "nothing
-/// to take". [`Request::Query`] is acknowledged immediately and enqueued
-/// for the machine's job loop (workers only; on the coordinator, queries
+/// `shareR` route **by the envelope's query id** through a per-query
+/// routing table of [`RadsDaemon`] instances — each installed just before
+/// its query's `run_machine` and cleared right after — so concurrent
+/// queries' region-group queues never mix. A query id with no installed
+/// route reports an empty queue, which a stealing peer treats as "nothing
+/// to take": that is both the between-queries answer and the benign race
+/// where a peer's steal probe beats this machine's job hand-off.
+/// [`Request::Query`] is acknowledged immediately and enqueued for the
+/// machine's executor pool (workers only; on the coordinator, queries
 /// arrive through the client front door, never as fabric RPCs).
 pub struct ServeDaemon {
     base: PartitionDaemon,
-    current: StdMutex<Option<Arc<RadsDaemon>>>,
+    routes: StdMutex<HashMap<u64, Arc<RadsDaemon>>>,
     jobs: Option<StdMutex<mpsc::Sender<QueryJob>>>,
 }
 
@@ -354,7 +409,7 @@ impl ServeDaemon {
     pub fn new(partitioned: Arc<PartitionedGraph>, machine: MachineId) -> ServeDaemon {
         ServeDaemon {
             base: PartitionDaemon::new(partitioned, machine),
-            current: StdMutex::new(None),
+            routes: StdMutex::new(HashMap::new()),
             jobs: None,
         }
     }
@@ -366,25 +421,31 @@ impl ServeDaemon {
     ) -> ServeDaemon {
         ServeDaemon {
             base: PartitionDaemon::new(partitioned, machine),
-            current: StdMutex::new(None),
+            routes: StdMutex::new(HashMap::new()),
             jobs: Some(StdMutex::new(jobs)),
         }
     }
 
-    /// Installs the active query's daemon (fresh group queue and all).
-    pub fn install(&self, daemon: Arc<RadsDaemon>) {
-        *self.current.lock().unwrap_or_else(|p| p.into_inner()) = Some(daemon);
+    /// Installs `query`'s daemon (fresh group queue and all) into the
+    /// routing table.
+    pub fn install(&self, query: QueryId, daemon: Arc<RadsDaemon>) {
+        self.routes.lock().unwrap_or_else(|p| p.into_inner()).insert(query.0, daemon);
     }
 
-    /// Clears the active query's daemon once its engine run finished.
-    pub fn clear(&self) {
-        *self.current.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    /// Removes `query`'s route once its engine run finished.
+    pub fn clear(&self, query: QueryId) {
+        self.routes.lock().unwrap_or_else(|p| p.into_inner()).remove(&query.0);
+    }
+
+    /// Number of queries currently routed (i.e. executing on this machine).
+    pub fn active_queries(&self) -> usize {
+        self.routes.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 }
 
 impl Daemon for ServeDaemon {
-    fn handle(&self, from: MachineId, request: Request) -> Response {
-        match request {
+    fn handle(&self, from: MachineId, envelope: Envelope) -> Response {
+        match envelope.body {
             Request::Query { id, pattern, budget } => match &self.jobs {
                 Some(tx) => {
                     let sent = tx
@@ -401,20 +462,24 @@ impl Daemon for ServeDaemon {
                 None => Response::Unsupported,
             },
             Request::CheckRegionGroups | Request::ShareRegionGroup => {
-                let current =
-                    self.current.lock().unwrap_or_else(|p| p.into_inner()).clone();
-                match current {
-                    Some(daemon) => daemon.handle(from, request),
-                    // between queries: an empty queue, not an error — a
-                    // stealing peer that races the job hand-off simply
-                    // finds nothing to take
-                    None => match request {
+                let route = self
+                    .routes
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .get(&envelope.query.0)
+                    .cloned();
+                match route {
+                    Some(daemon) => daemon.handle(from, envelope),
+                    // no route for this query id: an empty queue, not an
+                    // error — a stealing peer that races the job hand-off
+                    // (or probes a finished query) simply finds nothing
+                    None => match envelope.body {
                         Request::CheckRegionGroups => Response::RegionGroupCount(0),
                         _ => Response::RegionGroup(None),
                     },
                 }
             }
-            other => self.base.handle(from, other),
+            _ => self.base.handle(from, envelope),
         }
     }
 }
@@ -452,6 +517,20 @@ fn traffic_delta(now: &TrafficSnapshot, prev: &TrafficSnapshot) -> TrafficSnapsh
     delta
 }
 
+/// Advances the shared previous-wire watermark and returns this query's
+/// traffic delta. The node's traffic counters are process-cumulative, so
+/// under concurrent queries a delta attributes bytes transferred during
+/// the overlap to whichever query closes its window first — a conservative
+/// superset per query (total bytes are never lost or double-counted across
+/// the stream); with serialized queries the delta is exact.
+fn take_wire_delta(stats: &NetworkStats, prev_wire: &StdMutex<TrafficSnapshot>) -> TrafficSnapshot {
+    let mut prev = prev_wire.lock().unwrap_or_else(|p| p.into_inner());
+    let now = stats.snapshot();
+    let delta = traffic_delta(&now, &prev);
+    *prev = now;
+    delta
+}
+
 /// Builds the per-query engine config from the startup snapshot + the
 /// query's name and budget. Never consults the environment.
 fn query_engine_config(
@@ -466,20 +545,107 @@ fn query_engine_config(
 }
 
 // ---------------------------------------------------------------------------
+// the query scheduler (coordinator-side joint admission)
+// ---------------------------------------------------------------------------
+
+struct SchedulerState {
+    inflight: usize,
+    inflight_bytes: u64,
+}
+
+/// Admission gate for concurrent queries: at most `max_concurrent` in
+/// flight, and the in-flight footprint estimates must **jointly** stay
+/// within the admission byte limit.
+///
+/// `admit` distinguishes two outcomes: a query whose estimate alone
+/// exceeds the limit is *rejected* (it could never run), while a query
+/// that merely does not fit **right now** *waits* on the condvar until
+/// enough in-flight queries release their slots.
+struct QueryScheduler {
+    max_concurrent: usize,
+    admission_bytes: Option<u64>,
+    state: StdMutex<SchedulerState>,
+    readmit: Condvar,
+}
+
+impl QueryScheduler {
+    fn new(max_concurrent: usize, admission_bytes: Option<u64>) -> QueryScheduler {
+        QueryScheduler {
+            max_concurrent: max_concurrent.max(1),
+            admission_bytes,
+            state: StdMutex::new(SchedulerState { inflight: 0, inflight_bytes: 0 }),
+            readmit: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `estimate` bytes fit jointly, then takes a slot.
+    /// `Err((estimate, limit))` means the query can never be admitted.
+    fn admit(&self, estimate: u64) -> Result<(), (u64, u64)> {
+        if let Some(limit) = self.admission_bytes {
+            if estimate > limit {
+                return Err((estimate, limit));
+            }
+        }
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            let fits_slots = state.inflight < self.max_concurrent;
+            let fits_bytes = self
+                .admission_bytes
+                .is_none_or(|limit| state.inflight_bytes.saturating_add(estimate) <= limit);
+            if fits_slots && fits_bytes {
+                state.inflight += 1;
+                state.inflight_bytes = state.inflight_bytes.saturating_add(estimate);
+                Registry::global()
+                    .gauge("rads_serve_inflight_queries")
+                    .set(state.inflight as u64);
+                return Ok(());
+            }
+            state = self.readmit.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Returns a slot and its byte share; wakes every waiter (multiple
+    /// small queries may fit into one released large slot).
+    fn release(&self, estimate: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.inflight = state.inflight.saturating_sub(1);
+        state.inflight_bytes = state.inflight_bytes.saturating_sub(estimate);
+        Registry::global().gauge("rads_serve_inflight_queries").set(state.inflight as u64);
+        drop(state);
+        self.readmit.notify_all();
+    }
+}
+
+/// Releases the scheduler slot on every exit path of a query execution.
+struct SlotGuard<'a> {
+    scheduler: &'a QueryScheduler,
+    estimate: u64,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.scheduler.release(self.estimate);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // serve worker
 // ---------------------------------------------------------------------------
 
-/// Runs one resident serve worker: build the partition once, then loop —
-/// pick a queued [`Request::Query`] job, run the engine, deliver the
-/// per-query report — until the coordinator's shutdown order.
+/// Runs one resident serve worker: build the partition once, then run
+/// `max_concurrent` executor threads that each loop — pick a queued
+/// [`Request::Query`] job, run the engine on a query-scoped context,
+/// deliver the per-query report — until the coordinator's shutdown order.
 pub fn run_serve_worker(
     spec: &ClusterSpec,
     machine: usize,
     addrs: Vec<PeerAddr>,
+    max_concurrent: usize,
 ) -> Result<(), String> {
     if machine == 0 || machine >= spec.machines {
         return Err(format!("serve worker id {machine} out of range 1..{}", spec.machines));
     }
+    let max_concurrent = max_concurrent.max(1);
     // the Prometheus page and plan-cache counters are part of the serving
     // contract, so serve processes always record
     rads_obs::set_metrics_enabled(true);
@@ -491,55 +657,140 @@ pub fn run_serve_worker(
     let (job_tx, job_rx) = mpsc::channel();
     let daemon: Arc<ServeDaemon> =
         Arc::new(ServeDaemon::with_job_queue(partitioned.clone(), machine, job_tx));
-    let node = SocketNode::start_with_listener(
+    let node = Arc::new(SocketNode::start_with_listener(
         machine,
         addrs,
         listener,
         daemon.clone(),
         stats.clone(),
-    );
+    ));
     let ctx = MachineContext::assemble(partitioned.clone(), node.transport(), daemon.clone());
-    let plan_cache = PlanCache::new();
+    let plan_cache = Arc::new(PlanCache::new());
     let base_budget = startup_budget(spec);
-    let mut prev_wire = stats.snapshot();
+    let prev_wire = Arc::new(StdMutex::new(stats.snapshot()));
+    let job_rx = Arc::new(StdMutex::new(job_rx));
+    let stop = Arc::new(AtomicBool::new(false));
+    let fatal: Arc<StdMutex<Option<String>>> = Arc::new(StdMutex::new(None));
+    let mut executors = Vec::with_capacity(max_concurrent);
+    for slot in 0..max_concurrent {
+        let exec = WorkerExecutor {
+            spec: spec.clone(),
+            machine,
+            ctx: ctx.clone(),
+            daemon: daemon.clone(),
+            partitioned: partitioned.clone(),
+            node: node.clone(),
+            stats: stats.clone(),
+            plan_cache: plan_cache.clone(),
+            base_budget,
+            prev_wire: prev_wire.clone(),
+            job_rx: job_rx.clone(),
+            stop: stop.clone(),
+            fatal: fatal.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("rads-serve-exec-{slot}"))
+            .spawn(move || exec.run())
+            .map_err(|e| format!("machine {machine}: cannot spawn executor {slot}: {e}"))?;
+        executors.push(handle);
+    }
+    // the main thread owns liveness: wait for the fabric shutdown order, or
+    // for an executor to flag a fatal delivery failure
     loop {
-        if node.wait_shutdown(JOB_POLL) {
+        if node.wait_shutdown(JOB_POLL) || stop.load(Ordering::SeqCst) {
             break;
         }
-        let job = match job_rx.recv_timeout(JOB_POLL) {
-            Ok(job) => job,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        };
+    }
+    stop.store(true, Ordering::SeqCst);
+    for handle in executors {
+        let _ = handle.join();
+    }
+    let node = Arc::try_unwrap(node)
+        .map_err(|_| format!("machine {machine}: an executor leaked its node handle"))?;
+    node.finish_shutdown();
+    let first_error = fatal.lock().unwrap_or_else(|p| p.into_inner()).take();
+    match first_error {
+        Some(error) => Err(error),
+        None => Ok(()),
+    }
+}
+
+/// Everything one serve-worker executor thread needs to run queries.
+struct WorkerExecutor {
+    spec: ClusterSpec,
+    machine: usize,
+    ctx: MachineContext,
+    daemon: Arc<ServeDaemon>,
+    partitioned: Arc<PartitionedGraph>,
+    node: Arc<SocketNode>,
+    stats: Arc<NetworkStats>,
+    plan_cache: Arc<PlanCache>,
+    base_budget: MemoryBudget,
+    prev_wire: Arc<StdMutex<TrafficSnapshot>>,
+    job_rx: Arc<StdMutex<mpsc::Receiver<QueryJob>>>,
+    stop: Arc<AtomicBool>,
+    fatal: Arc<StdMutex<Option<String>>>,
+}
+
+impl WorkerExecutor {
+    fn run(&self) {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // hold the receiver lock only for one bounded poll: an executor
+            // busy inside run_machine never blocks its siblings' polls
+            let job = {
+                let rx = self.job_rx.lock().unwrap_or_else(|p| p.into_inner());
+                match rx.recv_timeout(JOB_POLL) {
+                    Ok(job) => job,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            };
+            if let Err(error) = self.run_query(job) {
+                eprintln!("machine {}: {error}", self.machine);
+                let mut fatal = self.fatal.lock().unwrap_or_else(|p| p.into_inner());
+                fatal.get_or_insert(error);
+                self.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+
+    fn run_query(&self, job: QueryJob) -> Result<(), String> {
         let Some(pattern) = queries::query_by_name(&job.pattern) else {
             // the coordinator validates names before dispatching; reaching
             // this means a version skew between binaries — report loudly
             // and let the coordinator's per-query deadline surface it
-            eprintln!("machine {machine}: unknown query {:?}", job.pattern);
-            continue;
+            eprintln!("machine {}: unknown query {:?}", self.machine, job.pattern);
+            return Ok(());
         };
-        let (plan, hit) = plan_cache.get_or_compute(&pattern, SERVE_RHO);
-        let config = query_engine_config(spec, &job.pattern, &base_budget, job.budget);
+        let (plan, hit) = self.plan_cache.get_or_compute(&pattern, SERVE_RHO);
+        let config = query_engine_config(&self.spec, &job.pattern, &self.base_budget, job.budget);
+        let query = QueryId(job.id);
         let queue: GroupQueue = new_group_queue();
-        daemon.install(Arc::new(RadsDaemon::new(partitioned.clone(), machine, queue.clone())));
+        self.daemon.install(
+            query,
+            Arc::new(RadsDaemon::new(self.partitioned.clone(), self.machine, queue.clone())),
+        );
+        let qctx = self.ctx.for_query(query);
         let start = Instant::now();
-        let output = run_machine(&ctx, &pattern, &plan, &config, queue);
+        let output = run_machine(&qctx, &pattern, &plan, &config, queue);
         let elapsed = start.elapsed();
-        daemon.clear();
-        let wire_now = stats.snapshot();
-        let wire = traffic_delta(&wire_now, &prev_wire);
-        prev_wire = wire_now;
+        self.daemon.clear(query);
+        let wire = take_wire_delta(&self.stats, &self.prev_wire);
         rads_core::obs::publish_traffic(&wire);
-        let summary = machine_summary(machine, &output, &wire, elapsed, node.reconnects());
+        let summary =
+            machine_summary(self.machine, &output, &wire, elapsed, self.node.reconnects());
         // final-metrics-then-result ordering on one connection: when the
         // coordinator holds this query's result it also holds this
         // machine's registry snapshot covering it
-        node.metrics_publisher(0).send(&Registry::global().snapshot().encode());
-        node.send_result(0, &encode_query_report(job.id, &summary, hit))
-            .map_err(|e| format!("machine {machine}: cannot deliver query report: {e}"))?;
+        self.node.metrics_publisher(0).send(&Registry::global().snapshot().encode());
+        self.node
+            .send_result(0, query, &encode_query_report(job.id, &summary, hit))
+            .map_err(|e| format!("cannot deliver query report: {e}"))
     }
-    node.finish_shutdown();
-    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -549,9 +800,10 @@ pub fn run_serve_worker(
 /// Knobs of [`run_serve_coordinator`] beyond the cluster spec.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Reject queries whose estimated footprint exceeds this many bytes
-    /// (`None` = admit everything; the runtime governor still enforces the
-    /// budget during execution).
+    /// Reject queries whose estimated footprint exceeds this many bytes,
+    /// and cap the **joint** in-flight estimate at it (`None` = admit
+    /// everything; the runtime governor still enforces the budget during
+    /// execution).
     pub admission_bytes: Option<u64>,
     /// Bind address of the client front door (TCP).
     pub client_addr: String,
@@ -559,6 +811,10 @@ pub struct ServeOptions {
     pub http_addr: String,
     /// Hard per-query deadline: dispatch to all-reports.
     pub query_timeout: Duration,
+    /// How many admitted queries may execute concurrently (also the size
+    /// of every worker's executor pool). 1 = the classic serialized serve
+    /// loop.
+    pub max_concurrent_queries: usize,
 }
 
 impl Default for ServeOptions {
@@ -568,6 +824,7 @@ impl Default for ServeOptions {
             client_addr: "127.0.0.1:0".to_string(),
             http_addr: "127.0.0.1:0".to_string(),
             query_timeout: Duration::from_secs(300),
+            max_concurrent_queries: 1,
         }
     }
 }
@@ -578,8 +835,8 @@ struct ClientJob {
     reply: mpsc::Sender<QueryReply>,
 }
 
-/// Mutable per-cluster serving state owned by the coordinator's main loop.
-struct ServeHost {
+/// Serving state shared by every in-flight query thread on the coordinator.
+struct ServeShared {
     spec: ClusterSpec,
     partitioned: Arc<PartitionedGraph>,
     node: SocketNode,
@@ -588,116 +845,138 @@ struct ServeHost {
     stats: Arc<NetworkStats>,
     plan_cache: PlanCache,
     base_budget: MemoryBudget,
-    admission_bytes: Option<u64>,
     query_timeout: Duration,
-    prev_wire: TrafficSnapshot,
-    prev_metrics: MetricsSnapshot,
-    next_query_id: u64,
+    scheduler: QueryScheduler,
+    prev_wire: StdMutex<TrafficSnapshot>,
+    ledger: EpochLedger,
+    next_query_id: AtomicU64,
 }
 
-impl ServeHost {
-    fn execute(&mut self, pattern_name: &str, budget: Option<u64>) -> QueryReply {
+impl ServeShared {
+    /// Runs one admitted-or-rejected query end to end. Called from a
+    /// per-query thread; everything it touches is concurrency-safe by
+    /// construction (routing table, query-scoped context, epoch ledger,
+    /// scheduler slot guard).
+    fn execute(&self, pattern_name: &str, budget: Option<u64>) -> QueryReply {
         let registry = Registry::global();
+        // ids start at 1; QueryId::SOLO (0) stays reserved for one-shot runs
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let query = QueryId(id);
         let Some(pattern) = queries::query_by_name(pattern_name) else {
-            return QueryReply::Error { message: format!("unknown query {pattern_name:?}") };
+            return QueryReply::Error {
+                query_id: id,
+                message: format!("unknown query {pattern_name:?}"),
+            };
         };
         let (plan, hit) = self.plan_cache.get_or_compute(&pattern, SERVE_RHO);
-        if let Some(limit) = self.admission_bytes {
-            let estimate = estimate_query_footprint(&self.partitioned, &pattern);
-            if estimate > limit {
-                registry.counter("rads_serve_rejected_total").inc();
-                return QueryReply::Rejected { estimate, limit };
+        let estimate = estimate_query_footprint(&self.partitioned, &pattern);
+        if let Err((estimate, limit)) = self.scheduler.admit(estimate) {
+            registry.counter("rads_serve_rejected_total").inc();
+            return QueryReply::Rejected { query_id: id, estimate, limit };
+        }
+        let _slot = SlotGuard { scheduler: &self.scheduler, estimate };
+        // per-query metric epoch: baseline = own registry + every worker's
+        // latest cumulative snapshot, taken at *this* query's admission
+        let mut baseline = registry.snapshot();
+        for (machine, payload) in self.node.latest_metrics() {
+            match MetricsSnapshot::decode(&payload) {
+                Ok(worker) => baseline.absorb(&worker),
+                Err(e) => {
+                    return QueryReply::Error {
+                        query_id: id,
+                        message: format!(
+                            "machine {machine} sent an undecodable metrics frame: {e}"
+                        ),
+                    }
+                }
             }
         }
-        self.next_query_id += 1;
-        let id = self.next_query_id;
+        self.ledger.begin(id, baseline);
         let queue: GroupQueue = new_group_queue();
-        self.daemon.install(Arc::new(RadsDaemon::new(self.partitioned.clone(), 0, queue.clone())));
+        self.daemon.install(query, Arc::new(RadsDaemon::new(self.partitioned.clone(), 0, queue.clone())));
+        let fail = |message: String| {
+            self.daemon.clear(query);
+            self.ledger.abort(id);
+            QueryReply::Error { query_id: id, message }
+        };
+        let qctx = self.ctx.for_query(query);
         let start = Instant::now();
         for m in 1..self.spec.machines {
-            let dispatched = self.ctx.request(
+            let dispatched = qctx.request(
                 m,
                 Request::Query { id, pattern: pattern_name.to_string(), budget },
             );
             match dispatched {
                 Ok(Response::Ack) => {}
                 Ok(other) => {
-                    self.daemon.clear();
-                    return QueryReply::Error {
-                        message: format!("machine {m} answered dispatch with {other:?}"),
-                    };
+                    return fail(format!("machine {m} answered dispatch with {other:?}"))
                 }
-                Err(e) => {
-                    self.daemon.clear();
-                    return QueryReply::Error {
-                        message: format!("cannot dispatch to machine {m}: {e}"),
-                    };
-                }
+                Err(e) => return fail(format!("cannot dispatch to machine {m}: {e}")),
             }
         }
         let config = query_engine_config(&self.spec, pattern_name, &self.base_budget, budget);
-        let output = run_machine(&self.ctx, &pattern, &plan, &config, queue);
+        let output = run_machine(&qctx, &pattern, &plan, &config, queue);
         let worker_ids: Vec<usize> = (1..self.spec.machines).collect();
         let mut payloads = Vec::new();
         if !worker_ids.is_empty() {
             let deadline = Instant::now() + self.query_timeout;
             loop {
-                match self.node.wait_results(&worker_ids, Duration::from_millis(500)) {
+                match self.node.wait_results(query, &worker_ids, Duration::from_millis(500)) {
                     Ok(p) => {
                         payloads = p;
                         break;
                     }
                     Err(missing) => {
                         if Instant::now() >= deadline {
-                            self.daemon.clear();
-                            return QueryReply::Error {
-                                message: format!(
-                                    "query {id}: no report from machines {missing:?} within {}s",
-                                    self.query_timeout.as_secs()
-                                ),
-                            };
+                            return fail(format!(
+                                "query {id}: no report from machines {missing:?} within {}s",
+                                self.query_timeout.as_secs()
+                            ));
                         }
                     }
                 }
             }
         }
         let elapsed = start.elapsed();
-        self.daemon.clear();
+        self.daemon.clear(query);
         let mut per_machine = vec![(0u32, output.count)];
         for payload in payloads {
             match decode_query_report(&payload) {
                 Ok((rid, summary, _worker_hit)) if rid == id => {
                     per_machine.push((summary.machine as u32, summary.embeddings));
                 }
+                // wait_results is query-keyed, so a mismatched id inside
+                // the payload means a corrupted report, not a stale one
                 Ok((rid, _, _)) => {
-                    return QueryReply::Error {
-                        message: format!("stale report for query {rid} while running {id}"),
-                    }
+                    return fail(format!("report tagged for query {rid} inside query {id}'s frame"))
                 }
-                Err(e) => return QueryReply::Error { message: e },
+                Err(e) => return fail(e),
             }
         }
         let wire_now = self.stats.snapshot();
-        rads_core::obs::publish_traffic(&traffic_delta(&wire_now, &self.prev_wire));
-        self.prev_wire = wire_now;
+        {
+            let mut prev = self.prev_wire.lock().unwrap_or_else(|p| p.into_inner());
+            rads_core::obs::publish_traffic(&traffic_delta(&wire_now, &prev));
+            *prev = wire_now;
+        }
         registry.counter("rads_serve_queries_total").inc();
         // cluster-cumulative = own registry + every worker's latest
         // (cumulative) snapshot; this query's share is the delta against
-        // the previous query's cluster-cumulative
+        // the baseline its own epoch recorded at admission
         let mut cluster_now = registry.snapshot();
-        for (machine, payload) in self.node.take_metrics() {
+        for (machine, payload) in self.node.latest_metrics() {
             match MetricsSnapshot::decode(&payload) {
                 Ok(worker) => cluster_now.absorb(&worker),
                 Err(e) => {
-                    return QueryReply::Error {
-                        message: format!("machine {machine} sent an undecodable metrics frame: {e}"),
-                    }
+                    return fail(format!(
+                        "machine {machine} sent an undecodable metrics frame: {e}"
+                    ))
                 }
             }
         }
-        let per_query = cluster_now.delta_since(&self.prev_metrics);
-        self.prev_metrics = cluster_now;
+        let per_query = self.ledger.end(id, &cluster_now);
         QueryReply::Ok {
+            query_id: id,
             count: per_machine.iter().map(|&(_, c)| c).sum(),
             elapsed_us: elapsed.as_micros() as u64,
             plan_cache_hit: hit,
@@ -708,17 +987,21 @@ impl ServeHost {
 }
 
 /// The `serve-worker` argument vector for machine `machine`: the one-shot
-/// worker contract ([`worker_args`]) with the mode swapped. The `--query`
-/// flag rides along as a placeholder — serve workers receive their queries
-/// over the wire and ignore the spec's query field.
+/// worker contract ([`worker_args`]) with the mode swapped and the
+/// executor-pool size appended. The `--query` flag rides along as a
+/// placeholder — serve workers receive their queries over the wire and
+/// ignore the spec's query field.
 pub fn serve_worker_args(
     spec: &ClusterSpec,
     machine: usize,
     addrs: &[PeerAddr],
     timeout: Duration,
+    max_concurrent: usize,
 ) -> Vec<String> {
     let mut args = worker_args(spec, machine, addrs, timeout);
     args[0] = "serve-worker".to_string();
+    args.push("--max-concurrent-queries".to_string());
+    args.push(max_concurrent.max(1).to_string());
     args
 }
 
@@ -729,9 +1012,11 @@ pub fn serve_worker_args(
 /// front door, then print **one line of JSON** on stdout —
 /// `{"serving":true,"client_addr":...,"http_addr":...,...}` — the
 /// machine-readable "ready" contract clients (and the serve smoke test)
-/// wait for. After that, queries stream in over client connections and are
-/// executed strictly in submission order; `ClientOp::Shutdown` tears the
-/// whole cluster down.
+/// wait for. After that, queries stream in over client connections; each
+/// admitted query executes on its own thread, with the
+/// [`QueryScheduler`] capping concurrency and the joint in-flight
+/// footprint. `ClientOp::Shutdown` drains the in-flight queries, then
+/// tears the whole cluster down.
 pub fn run_serve_coordinator(
     spec: &ClusterSpec,
     kind: TransportKind,
@@ -751,7 +1036,13 @@ pub fn run_serve_coordinator(
     let mut children: Vec<(usize, Child)> = Vec::new();
     for machine in 1..spec.machines {
         let child = Command::new(node_binary)
-            .args(serve_worker_args(spec, machine, &addrs, worker_timeout))
+            .args(serve_worker_args(
+                spec,
+                machine,
+                &addrs,
+                worker_timeout,
+                options.max_concurrent_queries,
+            ))
             .stdin(Stdio::null())
             .spawn()
             .map_err(|e| {
@@ -784,7 +1075,7 @@ pub fn run_serve_coordinator(
             concat!(
                 "{{\"serving\":true,\"client_addr\":\"{}\",\"http_addr\":\"{}\",",
                 "\"machines\":{},\"transport\":\"{}\",\"dataset\":\"{}\",\"scale\":{},",
-                "\"admission_bytes\":{}}}"
+                "\"admission_bytes\":{},\"max_concurrent_queries\":{}}}"
             ),
             client_addr,
             http.addr(),
@@ -793,6 +1084,7 @@ pub fn run_serve_coordinator(
             spec.dataset.name(),
             spec.scale,
             options.admission_bytes.map_or("null".to_string(), |b| b.to_string()),
+            options.max_concurrent_queries.max(1),
         );
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
@@ -818,7 +1110,7 @@ pub fn run_serve_coordinator(
             })
             .map_err(|e| format!("cannot spawn client accept thread: {e}"))?;
 
-        let mut host = ServeHost {
+        let shared = Arc::new(ServeShared {
             spec: spec.clone(),
             partitioned,
             node,
@@ -827,18 +1119,32 @@ pub fn run_serve_coordinator(
             stats: stats.clone(),
             plan_cache: PlanCache::new(),
             base_budget: startup_budget(spec),
-            admission_bytes: options.admission_bytes,
             query_timeout: options.query_timeout,
-            prev_wire: stats.snapshot(),
-            prev_metrics: Registry::global().snapshot(),
-            next_query_id: 0,
-        };
-        // the serve loop: strictly serialized execution in submission order
+            scheduler: QueryScheduler::new(
+                options.max_concurrent_queries,
+                options.admission_bytes,
+            ),
+            prev_wire: StdMutex::new(stats.snapshot()),
+            ledger: EpochLedger::new(),
+            next_query_id: AtomicU64::new(0),
+        });
+        // the serve loop: every query gets its own thread; the scheduler
+        // inside ServeShared::execute does the actual concurrency/byte
+        // gating, so submission order still decides who waits
+        let mut inflight: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while let Ok(job) = job_rx.recv() {
+            inflight.retain(|handle| !handle.is_finished());
             match job.op {
                 ClientOp::Query { pattern, budget } => {
-                    let reply = host.execute(&pattern, budget);
-                    let _ = job.reply.send(reply);
+                    let shared = shared.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("rads-serve-query".to_string())
+                        .spawn(move || {
+                            let reply = shared.execute(&pattern, budget);
+                            let _ = job.reply.send(reply);
+                        })
+                        .map_err(|e| format!("cannot spawn query thread: {e}"))?;
+                    inflight.push(handle);
                 }
                 ClientOp::Shutdown => {
                     let _ = job.reply.send(QueryReply::ShutdownAck);
@@ -846,8 +1152,15 @@ pub fn run_serve_coordinator(
                 }
             }
         }
-        host.node.broadcast_shutdown();
-        host.node.finish_shutdown();
+        // drain in-flight queries before ordering the fabric down: a query
+        // mid-run on the workers must not see its coordinator vanish
+        for handle in inflight {
+            let _ = handle.join();
+        }
+        let shared = Arc::try_unwrap(shared)
+            .map_err(|_| "a query thread is still holding the serve state".to_string())?;
+        shared.node.broadcast_shutdown();
+        shared.node.finish_shutdown();
         drop(http);
         Ok(())
     })();
@@ -892,6 +1205,10 @@ pub fn run_serve_coordinator(
 /// Serves one client connection: a stream of `Query` frames, each answered
 /// with a `QueryResult` frame echoing the correlation id. The connection
 /// closes after a shutdown op, a malformed frame, or the client hanging up.
+///
+/// Queries block their own connection until answered (the classic
+/// request/reply contract); clients wanting overlap open several
+/// connections — `rads-query --concurrency N` does exactly that.
 fn serve_client(mut stream: std::net::TcpStream, job_tx: &mpsc::Sender<ClientJob>) {
     loop {
         let frame = match read_message(&mut stream) {
@@ -907,7 +1224,10 @@ fn serve_client(mut stream: std::net::TcpStream, job_tx: &mpsc::Sender<ClientJob
                 // loop is already gone and the reply degraded to an error
                 let is_shutdown = op == ClientOp::Shutdown;
                 let (reply_tx, reply_rx) = mpsc::channel();
-                let gone = QueryReply::Error { message: "server is shutting down".to_string() };
+                let gone = QueryReply::Error {
+                    query_id: 0,
+                    message: "server is shutting down".to_string(),
+                };
                 let reply = if job_tx.send(ClientJob { op, reply: reply_tx }).is_ok() {
                     reply_rx.recv().unwrap_or(gone)
                 } else {
@@ -919,13 +1239,14 @@ fn serve_client(mut stream: std::net::TcpStream, job_tx: &mpsc::Sender<ClientJob
                     reply
                 }
             }
-            Err(e) => QueryReply::Error { message: format!("bad request: {e}") },
+            Err(e) => QueryReply::Error { query_id: 0, message: format!("bad request: {e}") },
         };
         let done = matches!(reply, QueryReply::ShutdownAck);
         if write_message(
             &mut stream,
             FrameKind::QueryResult,
             frame.correlation,
+            QueryId::SOLO,
             &encode_query_reply(&reply),
         )
         .is_err()
@@ -945,7 +1266,7 @@ fn serve_client(mut stream: std::net::TcpStream, job_tx: &mpsc::Sender<ClientJob
 pub fn client_round_trip(addr: &str, op: &ClientOp, correlation: u64) -> Result<QueryReply, String> {
     let mut stream = std::net::TcpStream::connect(addr)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    write_message(&mut stream, FrameKind::Query, correlation, &encode_client_op(op))
+    write_message(&mut stream, FrameKind::Query, correlation, QueryId::SOLO, &encode_client_op(op))
         .map_err(|e| format!("cannot send request: {e}"))?;
     let frame = read_message(&mut stream)
         .map_err(|e| format!("cannot read reply: {e}"))?
@@ -988,14 +1309,15 @@ mod tests {
     fn query_reply_roundtrip() {
         for reply in [
             QueryReply::Ok {
+                query_id: 11,
                 count: 42,
                 elapsed_us: 1234,
                 plan_cache_hit: true,
                 per_machine: vec![(0, 30), (1, 12)],
                 metrics_json: "{\"metrics\":[]}".to_string(),
             },
-            QueryReply::Rejected { estimate: 1 << 40, limit: 1 << 20 },
-            QueryReply::Error { message: "unknown query \"q9\"".to_string() },
+            QueryReply::Rejected { query_id: 12, estimate: 1 << 40, limit: 1 << 20 },
+            QueryReply::Error { query_id: 0, message: "unknown query \"q9\"".to_string() },
             QueryReply::ShutdownAck,
         ] {
             assert_eq!(decode_query_reply(&encode_query_reply(&reply)).unwrap(), reply);
@@ -1027,27 +1349,54 @@ mod tests {
     #[test]
     fn serve_daemon_is_quiet_between_queries() {
         let daemon = ServeDaemon::new(small_partitioned(), 0);
-        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(0));
-        assert_eq!(daemon.handle(1, Request::ShareRegionGroup), Response::RegionGroup(None));
+        assert_eq!(
+            daemon.handle(1, Envelope::solo(Request::CheckRegionGroups)),
+            Response::RegionGroupCount(0)
+        );
+        assert_eq!(
+            daemon.handle(1, Envelope::solo(Request::ShareRegionGroup)),
+            Response::RegionGroup(None)
+        );
         // no job queue: a stray Query RPC is unsupported, not silently lost
         let q = Request::Query { id: 1, pattern: "q1".to_string(), budget: None };
-        assert_eq!(daemon.handle(1, q), Response::Unsupported);
+        assert_eq!(daemon.handle(1, Envelope::solo(q)), Response::Unsupported);
     }
 
     #[test]
-    fn serve_daemon_routes_checkr_to_the_installed_query() {
+    fn serve_daemon_routes_by_the_envelopes_query_id() {
         let partitioned = small_partitioned();
         let daemon = ServeDaemon::new(partitioned.clone(), 0);
-        let queue = new_group_queue();
-        queue.lock().push_back(vec![1, 2, 3]);
-        daemon.install(Arc::new(RadsDaemon::new(partitioned, 0, queue)));
-        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(1));
+        let queue_a = new_group_queue();
+        queue_a.lock().push_back(vec![1, 2, 3]);
+        let queue_b = new_group_queue();
+        queue_b.lock().push_back(vec![7]);
+        queue_b.lock().push_back(vec![8]);
+        daemon.install(QueryId(5), Arc::new(RadsDaemon::new(partitioned.clone(), 0, queue_a)));
+        daemon.install(QueryId(6), Arc::new(RadsDaemon::new(partitioned, 0, queue_b)));
+        assert_eq!(daemon.active_queries(), 2);
+        let check = |q: u64| {
+            daemon.handle(1, Envelope::new(QueryId(q), 0, Request::CheckRegionGroups))
+        };
+        // each query sees its own queue; an unknown id sees an empty one
+        assert_eq!(check(5), Response::RegionGroupCount(1));
+        assert_eq!(check(6), Response::RegionGroupCount(2));
+        assert_eq!(check(99), Response::RegionGroupCount(0));
         assert_eq!(
-            daemon.handle(1, Request::ShareRegionGroup),
+            daemon.handle(1, Envelope::new(QueryId(5), 1, Request::ShareRegionGroup)),
             Response::RegionGroup(Some(vec![1, 2, 3]))
         );
-        daemon.clear();
-        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(0));
+        // sharing from query 5 did not touch query 6's queue
+        assert_eq!(check(5), Response::RegionGroupCount(0));
+        assert_eq!(check(6), Response::RegionGroupCount(2));
+        assert_eq!(
+            daemon.handle(1, Envelope::new(QueryId(99), 0, Request::ShareRegionGroup)),
+            Response::RegionGroup(None)
+        );
+        daemon.clear(QueryId(5));
+        assert_eq!(check(5), Response::RegionGroupCount(0));
+        assert_eq!(check(6), Response::RegionGroupCount(2));
+        daemon.clear(QueryId(6));
+        assert_eq!(daemon.active_queries(), 0);
     }
 
     #[test]
@@ -1055,14 +1404,57 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let daemon = ServeDaemon::with_job_queue(small_partitioned(), 1, tx);
         let q = Request::Query { id: 7, pattern: "q1".to_string(), budget: Some(64) };
-        assert_eq!(daemon.handle(0, q), Response::Ack);
+        assert_eq!(daemon.handle(0, Envelope::new(QueryId(7), 0, q)), Response::Ack);
         let job = rx.try_recv().unwrap();
         assert_eq!(job, QueryJob { id: 7, pattern: "q1".to_string(), budget: Some(64) });
         // partition-backed requests still served while idle
-        match daemon.handle(0, Request::FetchVertices(vec![0])) {
+        match daemon.handle(0, Envelope::solo(Request::FetchVertices(vec![0]))) {
             Response::Adjacency(lists) => assert_eq!(lists.len(), 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn scheduler_rejects_only_impossible_estimates() {
+        let scheduler = QueryScheduler::new(4, Some(1000));
+        assert_eq!(scheduler.admit(1001), Err((1001, 1000)));
+        assert!(scheduler.admit(1000).is_ok());
+        scheduler.release(1000);
+    }
+
+    #[test]
+    fn scheduler_enforces_the_joint_byte_budget() {
+        let scheduler = Arc::new(QueryScheduler::new(4, Some(1000)));
+        assert!(scheduler.admit(600).is_ok());
+        // 600 + 600 > 1000: the second admission must wait for the release
+        let waiter = {
+            let scheduler = scheduler.clone();
+            std::thread::spawn(move || {
+                scheduler.admit(600).expect("fits after release");
+                scheduler.release(600);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "joint budget ignored: 1200 in flight under a 1000 cap");
+        scheduler.release(600);
+        waiter.join().expect("waiter admitted after release");
+    }
+
+    #[test]
+    fn scheduler_enforces_the_concurrency_cap() {
+        let scheduler = Arc::new(QueryScheduler::new(1, None));
+        assert!(scheduler.admit(0).is_ok());
+        let waiter = {
+            let scheduler = scheduler.clone();
+            std::thread::spawn(move || {
+                scheduler.admit(0).expect("slot after release");
+                scheduler.release(0);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "two queries in flight under --max-concurrent-queries 1");
+        scheduler.release(0);
+        waiter.join().expect("waiter admitted after release");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 
 use rads_graph::VertexId;
 use rads_partition::{MachineId, PartitionedGraph};
-use rads_runtime::{Daemon, PartitionDaemon, Request, Response};
+use rads_runtime::{Daemon, Envelope, PartitionDaemon, Request, Response};
 
 /// The queue of unprocessed region groups, shared between a machine's engine
 /// thread and its daemon thread.
@@ -45,11 +45,11 @@ impl RadsDaemon {
 }
 
 impl Daemon for RadsDaemon {
-    fn handle(&self, from: MachineId, request: Request) -> Response {
-        match request {
+    fn handle(&self, from: MachineId, envelope: Envelope) -> Response {
+        match envelope.body {
             Request::CheckRegionGroups => Response::RegionGroupCount(self.groups.lock().len()),
             Request::ShareRegionGroup => Response::RegionGroup(self.groups.lock().pop_front()),
-            other => self.base.handle(from, other),
+            _ => self.base.handle(from, envelope),
         }
     }
 }
@@ -74,29 +74,29 @@ mod tests {
     #[test]
     fn check_and_share_consume_the_queue() {
         let (daemon, queue) = daemon_with_groups(vec![vec![1, 2], vec![3]]);
-        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(2));
+        assert_eq!(daemon.handle(1, Envelope::solo(Request::CheckRegionGroups)), Response::RegionGroupCount(2));
         assert_eq!(
-            daemon.handle(1, Request::ShareRegionGroup),
+            daemon.handle(1, Envelope::solo(Request::ShareRegionGroup)),
             Response::RegionGroup(Some(vec![1, 2]))
         );
-        assert_eq!(daemon.handle(1, Request::CheckRegionGroups), Response::RegionGroupCount(1));
+        assert_eq!(daemon.handle(1, Envelope::solo(Request::CheckRegionGroups)), Response::RegionGroupCount(1));
         assert_eq!(queue.lock().len(), 1);
         assert_eq!(
-            daemon.handle(1, Request::ShareRegionGroup),
+            daemon.handle(1, Envelope::solo(Request::ShareRegionGroup)),
             Response::RegionGroup(Some(vec![3]))
         );
-        assert_eq!(daemon.handle(1, Request::ShareRegionGroup), Response::RegionGroup(None));
+        assert_eq!(daemon.handle(1, Envelope::solo(Request::ShareRegionGroup)), Response::RegionGroup(None));
     }
 
     #[test]
     fn partition_requests_still_work() {
         let (daemon, _) = daemon_with_groups(vec![]);
         // ring_lattice(8, 0) is the 8-cycle: edge (0,1) exists, (0,2) does not
-        match daemon.handle(1, Request::VerifyEdges(vec![(0, 1), (0, 2)])) {
+        match daemon.handle(1, Envelope::solo(Request::VerifyEdges(vec![(0, 1), (0, 2)]))) {
             Response::EdgeVerification(v) => assert_eq!(v, vec![true, false]),
             other => panic!("unexpected {other:?}"),
         }
-        match daemon.handle(1, Request::FetchVertices(vec![0])) {
+        match daemon.handle(1, Envelope::solo(Request::FetchVertices(vec![0]))) {
             Response::Adjacency(lists) => assert_eq!(lists[0].1, vec![1, 7]),
             other => panic!("unexpected {other:?}"),
         }

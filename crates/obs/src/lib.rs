@@ -29,8 +29,8 @@ pub mod trace;
 
 pub use http::MetricsHttpServer;
 pub use metrics::{
-    metrics_enabled, set_metrics_enabled, Counter, Gauge, Histogram, MetricEntry, MetricValue,
-    MetricsSnapshot, Registry, METRICS_ENV,
+    metrics_enabled, set_metrics_enabled, Counter, EpochLedger, Gauge, Histogram, MetricEntry,
+    MetricValue, MetricsSnapshot, Registry, METRICS_ENV,
 };
 pub use trace::{
     async_span, discard_trace, drain_chrome_trace, flush_thread, set_trace_enabled,

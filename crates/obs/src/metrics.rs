@@ -612,6 +612,65 @@ impl MetricsSnapshot {
     }
 }
 
+/// Per-interval metric epochs that may **overlap**, keyed by an opaque
+/// `u64` id (serving mode passes its query id; this crate deliberately has
+/// no dependency on the runtime's `QueryId` type).
+///
+/// [`MetricsSnapshot::delta_since`] against one shared "previous snapshot"
+/// is only correct when intervals are strictly serialized: with two queries
+/// in flight, whichever finishes second would diff against a baseline taken
+/// *after* the first query started and silently lose (or double-count) the
+/// overlap. The ledger fixes the bookkeeping: every interval records its
+/// **own** baseline at `begin` and diffs against exactly that baseline at
+/// `end`, so an epoch always covers `[its begin, its end]` regardless of
+/// what other epochs are open.
+///
+/// Under overlap the delta is a *conservative superset*: work done by a
+/// concurrently running interval inside this epoch's window is included.
+/// For serialized intervals the delta is exact and identical to the old
+/// shared-baseline scheme — the regression test in `tests/registry_epochs.rs`
+/// pins both properties.
+#[derive(Default)]
+pub struct EpochLedger {
+    baselines: Mutex<BTreeMap<u64, MetricsSnapshot>>,
+}
+
+impl EpochLedger {
+    /// An empty ledger.
+    pub fn new() -> EpochLedger {
+        EpochLedger::default()
+    }
+
+    /// Opens epoch `id` with `baseline` as its reference point. A second
+    /// `begin` for the same id replaces the earlier baseline.
+    pub fn begin(&self, id: u64, baseline: MetricsSnapshot) {
+        self.baselines.lock().unwrap_or_else(|p| p.into_inner()).insert(id, baseline);
+    }
+
+    /// Closes epoch `id`: removes its baseline and returns `now` diffed
+    /// against it. Ending an id that was never begun diffs against an empty
+    /// baseline (i.e. returns `now` unchanged) instead of panicking.
+    pub fn end(&self, id: u64, now: &MetricsSnapshot) -> MetricsSnapshot {
+        let baseline = self
+            .baselines
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id)
+            .unwrap_or_default();
+        now.delta_since(&baseline)
+    }
+
+    /// Discards epoch `id` without producing a delta (error paths).
+    pub fn abort(&self, id: u64) {
+        self.baselines.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+    }
+
+    /// Number of currently open epochs.
+    pub fn open(&self) -> usize {
+        self.baselines.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +848,44 @@ mod tests {
             counter.add(1);
             let delta = registry.snapshot().delta_since(&baseline);
             assert_eq!(delta.scalar("rads_test_r_total"), Some(0), "no underflow panic");
+        });
+    }
+
+    #[test]
+    fn epoch_ledger_diffs_each_interval_against_its_own_baseline() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            let counter = registry.counter("rads_test_epoch_total");
+            let ledger = EpochLedger::new();
+            counter.add(10);
+            ledger.begin(1, registry.snapshot());
+            counter.add(5);
+            ledger.begin(2, registry.snapshot()); // opened while epoch 1 is live
+            assert_eq!(ledger.open(), 2);
+            counter.add(3);
+            let first = ledger.end(1, &registry.snapshot());
+            // epoch 1's window saw 5 + 3: its own work plus the overlap —
+            // a conservative superset, never a loss
+            assert_eq!(first.scalar("rads_test_epoch_total"), Some(8));
+            counter.add(4);
+            let second = ledger.end(2, &registry.snapshot());
+            assert_eq!(second.scalar("rads_test_epoch_total"), Some(7));
+            assert_eq!(ledger.open(), 0);
+        });
+    }
+
+    #[test]
+    fn epoch_ledger_handles_unknown_and_aborted_ids() {
+        with_metrics_on(|| {
+            let registry = Registry::new();
+            registry.counter("rads_test_epoch_b_total").add(6);
+            let ledger = EpochLedger::new();
+            // ending an id that was never begun diffs against empty
+            let delta = ledger.end(99, &registry.snapshot());
+            assert_eq!(delta.scalar("rads_test_epoch_b_total"), Some(6));
+            ledger.begin(7, registry.snapshot());
+            ledger.abort(7);
+            assert_eq!(ledger.open(), 0);
         });
     }
 

@@ -28,10 +28,10 @@ use rads_graph::VertexId;
 use rads_partition::{LocalPartition, MachineId, PartitionedGraph, Partitioning};
 
 use crate::error::TransportError;
-use crate::message::{Request, Response};
+use crate::message::{Envelope, QueryId, Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 use crate::transport::{
-    scratch_socket_dir, ChannelTransport, Envelope, PeerAddr, PendingResponse, SocketListener,
+    scratch_socket_dir, ChannelRpc, ChannelTransport, PeerAddr, PendingResponse, SocketListener,
     SocketNode, Transport, TransportKind,
 };
 
@@ -49,13 +49,16 @@ const RPC_DEADLINE: Duration = Duration::from_secs(30);
 /// lands in `[step/2, step]` where `step = min(base << (attempt-1), cap)`.
 /// The jitter de-synchronizes machines hammering one recovering peer
 /// without pulling in a randomness dependency — an xorshift mix of the
-/// (machine, peer, attempt) triple, so runs stay reproducible.
-fn backoff_delay(machine: MachineId, to: MachineId, attempt: u32) -> Duration {
+/// (machine, peer, query, attempt) tuple, so runs stay reproducible and
+/// concurrent queries retrying against the same peer spread out instead
+/// of stampeding in lockstep.
+fn backoff_delay(machine: MachineId, to: MachineId, query: QueryId, attempt: u32) -> Duration {
     let shift = (attempt.saturating_sub(1)).min(16);
     let step = RPC_BACKOFF_BASE.saturating_mul(1 << shift).min(RPC_BACKOFF_CAP);
     let mut x = (machine as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((to as u64) << 32)
+        .wrapping_add(query.0.wrapping_mul(0xD1B5_4A32_D192_ED03))
         .wrapping_add(attempt as u64)
         | 1;
     x ^= x << 13;
@@ -73,10 +76,13 @@ fn backoff_delay(machine: MachineId, to: MachineId, attempt: u32) -> Duration {
 /// machine's local partition and any engine-shared state (e.g. the
 /// region-group queue for `checkR` / `shareR`). A daemon must be prepared
 /// to serve several requests concurrently (the socket transport handles
-/// each inbound connection on its own thread).
+/// each inbound connection on its own thread), and — since requests arrive
+/// as query-scoped [`Envelope`]s — to route each request to the state of
+/// the query named by `envelope.query` when it serves more than one query
+/// at a time.
 pub trait Daemon: Send + Sync {
-    /// Handles one request from machine `from`.
-    fn handle(&self, from: MachineId, request: Request) -> Response;
+    /// Handles one enveloped request from machine `from`.
+    fn handle(&self, from: MachineId, envelope: Envelope) -> Response;
 }
 
 /// The default daemon: answers `verifyE` and `fetchV` from the machine's
@@ -111,9 +117,9 @@ impl PartitionDaemon {
 }
 
 impl Daemon for PartitionDaemon {
-    fn handle(&self, _from: MachineId, request: Request) -> Response {
+    fn handle(&self, _from: MachineId, envelope: Envelope) -> Response {
         let local = self.partitioned.local(self.machine);
-        match request {
+        match envelope.body {
             Request::VerifyEdges(pairs) => {
                 Response::EdgeVerification(Self::verify_edges(local, &pairs))
             }
@@ -144,6 +150,13 @@ pub struct MachineContext {
     partitioned: Arc<PartitionedGraph>,
     transport: Arc<dyn Transport>,
     local_daemon: Arc<dyn Daemon>,
+    /// The query this context's requests are issued on behalf of. Batch
+    /// runs keep [`QueryId::SOLO`]; a serving worker derives one context
+    /// per admitted query via [`for_query`](Self::for_query).
+    query: QueryId,
+    /// Per-query send sequence: every transmission (including each retry
+    /// re-issue) gets a fresh number, shared by clones of this context.
+    seq: Arc<AtomicU64>,
     /// Transient RPC failures healed by re-issuing the request (shared by
     /// every clone of this machine's context).
     retries: Arc<AtomicU64>,
@@ -156,6 +169,8 @@ impl Clone for MachineContext {
             partitioned: self.partitioned.clone(),
             transport: self.transport.clone(),
             local_daemon: self.local_daemon.clone(),
+            query: self.query,
+            seq: self.seq.clone(),
             retries: self.retries.clone(),
         }
     }
@@ -183,6 +198,8 @@ impl MachineContext {
             partitioned,
             transport,
             local_daemon,
+            query: QueryId::SOLO,
+            seq: Arc::new(AtomicU64::new(0)),
             retries: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -190,6 +207,36 @@ impl MachineContext {
     /// This machine's id.
     pub fn machine(&self) -> MachineId {
         self.machine
+    }
+
+    /// The query this context issues requests on behalf of
+    /// ([`QueryId::SOLO`] outside serving mode).
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+
+    /// Derives a context scoped to `query`: same machine, transport and
+    /// daemon, but every request it sends is enveloped with `query` and a
+    /// fresh sequence counter. This is how a serving worker runs several
+    /// queries concurrently over one shared fabric — each engine gets its
+    /// own scoped context, and peers route by the envelope's query id.
+    pub fn for_query(&self, query: QueryId) -> MachineContext {
+        MachineContext {
+            machine: self.machine,
+            partitioned: self.partitioned.clone(),
+            transport: self.transport.clone(),
+            local_daemon: self.local_daemon.clone(),
+            query,
+            seq: Arc::new(AtomicU64::new(0)),
+            retries: self.retries.clone(),
+        }
+    }
+
+    /// Wraps `body` in this context's envelope, drawing the next sequence
+    /// number. Called once per transmission — a retry re-issue is a new
+    /// envelope, not a replay of the old one.
+    fn envelope(&self, body: Request) -> Envelope {
+        Envelope::new(self.query, self.seq.fetch_add(1, Ordering::Relaxed), body)
     }
 
     /// Number of machines in the cluster.
@@ -220,27 +267,30 @@ impl MachineContext {
     ///
     /// # Retry semantics
     ///
-    /// An [idempotent](Request::idempotent) request that fails with a
+    /// An [idempotent](Envelope::is_idempotent) request that fails with a
     /// [transient](TransportError::is_transient) error is re-issued under
     /// bounded exponential backoff with deterministic jitter — up to
     /// `RPC_RETRY_LIMIT` retries within an `RPC_DEADLINE` wall-clock
     /// budget. Re-issuing goes through the transport afresh (a new
-    /// correlation id, reconnecting first if the connection died), which is
-    /// exactly what makes retrying sound for the pure reads `fetchV` /
-    /// `verifyE` / `checkR`. Non-idempotent requests (`shareR`,
-    /// `DeliverRows`) and terminal errors are returned on first failure;
-    /// the caller escalates to its fault policy.
+    /// envelope sequence and correlation id, reconnecting first if the
+    /// connection died), which is exactly what makes retrying sound for
+    /// the pure reads `fetchV` / `verifyE` / `checkR`. Non-idempotent
+    /// requests (`shareR`, `DeliverRows`) and terminal errors are returned
+    /// on first failure; the caller escalates to its fault policy. The
+    /// backoff jitter mixes in this context's [`QueryId`], so concurrent
+    /// queries healing from the same peer fault spread their re-issues
+    /// instead of retrying in lockstep.
     pub fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
         if to == self.machine {
-            return Ok(self.local_daemon.handle(self.machine, request));
+            return Ok(self.local_daemon.handle(self.machine, self.envelope(request)));
         }
-        if !request.idempotent() {
-            return self.transport.request(to, request);
+        if !Envelope::is_idempotent(&request) {
+            return self.transport.request(to, self.envelope(request));
         }
         let started = Instant::now();
         let mut attempt = 0u32;
         loop {
-            match self.transport.request(to, request.clone()) {
+            match self.transport.request(to, self.envelope(request.clone())) {
                 Ok(response) => return Ok(response),
                 Err(error) => {
                     let budget_left = attempt < RPC_RETRY_LIMIT
@@ -253,7 +303,7 @@ impl MachineContext {
                     if rads_obs::metrics_enabled() {
                         rads_obs::Registry::global().counter("rads_rpc_retries_total").add(1);
                     }
-                    std::thread::sleep(backoff_delay(self.machine, to, attempt));
+                    std::thread::sleep(backoff_delay(self.machine, to, self.query, attempt));
                 }
             }
         }
@@ -272,9 +322,10 @@ impl MachineContext {
     /// (already complete when the handle is returned) and stays free.
     pub fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
         if to == self.machine {
-            return PendingResponse::ready(to, self.local_daemon.handle(self.machine, request));
+            let response = self.local_daemon.handle(self.machine, self.envelope(request));
+            return PendingResponse::ready(to, self.query, response);
         }
-        self.transport.request_async(to, request)
+        self.transport.request_async(to, self.envelope(request))
     }
 
     /// Redeems `pending`; if it failed transiently and `request` is
@@ -290,7 +341,7 @@ impl MachineContext {
     ) -> Result<Response, TransportError> {
         match pending.wait() {
             Ok(response) => Ok(response),
-            Err(error) if error.is_transient() && request.idempotent() => {
+            Err(error) if error.is_transient() && Envelope::is_idempotent(request) => {
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 if rads_obs::metrics_enabled() {
                     rads_obs::Registry::global().counter("rads_rpc_retries_total").add(1);
@@ -488,7 +539,7 @@ impl Cluster {
         let mut daemon_channels = Vec::with_capacity(machines);
         let mut senders = Vec::with_capacity(machines);
         for _ in 0..machines {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = unbounded::<ChannelRpc>();
             senders.push(tx);
             daemon_channels.push(rx);
         }
@@ -503,11 +554,11 @@ impl Cluster {
                 std::thread::Builder::new()
                     .name(format!("rads-daemon-m{m}"))
                     .spawn_scoped(scope, move || {
-                        while let Ok(envelope) = rx.recv() {
-                            let response = daemon.handle(envelope.from, envelope.request);
+                        while let Ok(rpc) = rx.recv() {
+                            let response = daemon.handle(rpc.from, rpc.envelope);
                             // The requester may have given up (engine
                             // finished); ignore a closed reply channel.
-                            let _ = envelope.reply.send(response);
+                            let _ = rpc.reply.send(response);
                         }
                     })
                     .expect("spawn daemon thread");
@@ -529,6 +580,8 @@ impl Cluster {
                     partitioned: self.partitioned.clone(),
                     transport,
                     local_daemon: daemon.clone(),
+                    query: QueryId::SOLO,
+                    seq: Arc::new(AtomicU64::new(0)),
                     retries: Arc::new(AtomicU64::new(0)),
                 };
                 let engine = &engine;
@@ -617,6 +670,8 @@ impl Cluster {
                         partitioned: self.partitioned.clone(),
                         transport: node.transport(),
                         local_daemon: daemons[m].clone(),
+                        query: QueryId::SOLO,
+                        seq: Arc::new(AtomicU64::new(0)),
                         retries: Arc::new(AtomicU64::new(0)),
                     };
                     let engine = &engine;
@@ -800,12 +855,12 @@ mod tests {
             counter: std::sync::atomic::AtomicUsize,
         }
         impl Daemon for CountingDaemon {
-            fn handle(&self, from: MachineId, request: Request) -> Response {
-                if matches!(request, Request::CheckRegionGroups) {
+            fn handle(&self, from: MachineId, envelope: Envelope) -> Response {
+                if matches!(envelope.body, Request::CheckRegionGroups) {
                     let n = self.counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     return Response::RegionGroupCount(n);
                 }
-                self.base.handle(from, request)
+                self.base.handle(from, envelope)
             }
         }
         let cluster = small_cluster(2);
@@ -1014,9 +1069,13 @@ mod tests {
         assert_eq!(outcome.results[0], expected_response);
         // exactly one remote request: its frame + the response frame + the
         // one-off handshake frame are the only bytes on the wire (frame
-        // sizes depend only on the pair count, not the vertex values)
+        // sizes depend only on the pair count, not the vertex values or the
+        // envelope's query/seq — both are fixed-width fields)
         let mut req_payload = Vec::new();
-        wire::encode_request(&Request::VerifyEdges(vec![(0, 1), (0, 2)]), &mut req_payload);
+        wire::encode_envelope(
+            &Envelope::solo(Request::VerifyEdges(vec![(0, 1), (0, 2)])),
+            &mut req_payload,
+        );
         let mut resp_payload = Vec::new();
         wire::encode_response(&expected_response, &mut resp_payload);
         let expected_bytes = wire::frame_bytes(req_payload.len())
@@ -1045,7 +1104,7 @@ mod tests {
         fn machines(&self) -> usize {
             2
         }
-        fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
+        fn request(&self, to: MachineId, envelope: Envelope) -> Result<Response, TransportError> {
             let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
             if attempt < self.fail_first {
                 return Err(TransportError::Reset {
@@ -1054,7 +1113,7 @@ mod tests {
                     detail: format!("flaky link, attempt {attempt}"),
                 });
             }
-            match request {
+            match envelope.body {
                 Request::CheckRegionGroups => Ok(Response::RegionGroupCount(7)),
                 Request::ShareRegionGroup => Ok(Response::RegionGroup(None)),
                 other => panic!("flaky stub only serves checkR/shareR, got {other:?}"),
@@ -1143,20 +1202,25 @@ mod tests {
         for attempt in 1..=10u32 {
             let shift = (attempt - 1).min(16);
             let step = RPC_BACKOFF_BASE.saturating_mul(1 << shift).min(RPC_BACKOFF_CAP);
-            let delay = backoff_delay(3, 1, attempt);
+            let delay = backoff_delay(3, 1, QueryId::SOLO, attempt);
             assert!(
                 delay >= step / 2 && delay <= step,
                 "attempt {attempt}: {delay:?} outside [{:?}, {step:?}]",
                 step / 2
             );
-            // deterministic: the same (machine, peer, attempt) triple always
-            // draws the same jitter, so failures reproduce exactly
-            assert_eq!(delay, backoff_delay(3, 1, attempt));
+            // deterministic: the same (machine, peer, query, attempt) tuple
+            // always draws the same jitter, so failures reproduce exactly
+            assert_eq!(delay, backoff_delay(3, 1, QueryId::SOLO, attempt));
         }
         // different machines de-synchronize: not every delay can coincide
         let all_equal = (0..8)
-            .map(|m| backoff_delay(m, 1, 4))
-            .all(|d| d == backoff_delay(0, 1, 4));
+            .map(|m| backoff_delay(m, 1, QueryId::SOLO, 4))
+            .all(|d| d == backoff_delay(0, 1, QueryId::SOLO, 4));
         assert!(!all_equal, "jitter must separate machines hammering one peer");
+        // and so do different queries retrying through the same machine pair
+        let all_equal = (0..8)
+            .map(|q| backoff_delay(3, 1, QueryId(q), 4))
+            .all(|d| d == backoff_delay(3, 1, QueryId(0), 4));
+        assert!(!all_equal, "jitter must separate concurrent queries too");
     }
 }

@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use rads_graph::VertexId;
 use rads_partition::MachineId;
 
-use crate::message::{request_bytes, Request};
+use crate::message::{Envelope, Request};
 use crate::network::NetworkStats;
 
 /// A tagged batch of rows in transit.
@@ -56,7 +56,8 @@ impl RowExchange {
             return;
         }
         if from != to {
-            let bytes = request_bytes(&Request::DeliverRows { tag, rows: rows.clone() });
+            let bytes =
+                Envelope::solo(Request::DeliverRows { tag, rows: rows.clone() }).request_bytes();
             stats.record_request(from, bytes);
             // the Ack response is negligible but charged for symmetry
             stats.record_response(to, from, crate::message::MESSAGE_OVERHEAD_BYTES + 1);

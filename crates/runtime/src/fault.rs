@@ -46,7 +46,7 @@ use rads_graph::VertexId;
 use rads_partition::MachineId;
 
 use crate::error::TransportError;
-use crate::message::{Request, Response};
+use crate::message::{Envelope, Response};
 use crate::network::TrafficSnapshot;
 use crate::transport::{PendingResponse, Transport};
 
@@ -329,12 +329,13 @@ impl Transport for FaultTransport {
         self.inner.machines()
     }
 
-    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
-        self.request_async(to, request).wait()
+    fn request(&self, to: MachineId, envelope: Envelope) -> Result<Response, TransportError> {
+        self.request_async(to, envelope).wait()
     }
 
-    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
-        let inner_pending = self.inner.request_async(to, request);
+    fn request_async(&self, to: MachineId, envelope: Envelope) -> PendingResponse {
+        let query = envelope.query;
+        let inner_pending = self.inner.request_async(to, envelope);
         let correlation = inner_pending.correlation();
         let ticket = {
             let index = self.shared.pen_index(to);
@@ -345,7 +346,7 @@ impl Transport for FaultTransport {
             ticket
         };
         let shared = self.shared.clone();
-        PendingResponse::deferred(to, correlation, move || take(&shared, to, ticket))
+        PendingResponse::deferred(to, query, correlation, move || take(&shared, to, ticket))
     }
 
     fn barrier(&self) -> Result<(), TransportError> {
@@ -373,6 +374,7 @@ impl Transport for FaultTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Request;
 
     /// A transport whose daemon answers FetchVertices with the vertex ids
     /// echoed back, recording the order in which requests *complete*.
@@ -387,13 +389,14 @@ mod tests {
         fn machines(&self) -> usize {
             3
         }
-        fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
-            self.request_async(to, request).wait()
+        fn request(&self, to: MachineId, envelope: Envelope) -> Result<Response, TransportError> {
+            self.request_async(to, envelope).wait()
         }
-        fn request_async(&self, _to: MachineId, request: Request) -> PendingResponse {
-            let Request::FetchVertices(vs) = request else { panic!("echo only fetches") };
+        fn request_async(&self, _to: MachineId, envelope: Envelope) -> PendingResponse {
+            let query = envelope.query;
+            let Request::FetchVertices(vs) = envelope.body else { panic!("echo only fetches") };
             let completions = self.completions.clone();
-            PendingResponse::deferred(1, Some(vs[0] as u64), move || {
+            PendingResponse::deferred(1, query, Some(vs[0] as u64), move || {
                 completions.lock().unwrap().push(vs[0] as u64);
                 Ok(Response::Adjacency(vec![(vs[0], vec![])]))
             })
@@ -423,7 +426,7 @@ mod tests {
         let faulty = FaultTransport::new(echo, plan);
         let stats = faulty.stats();
         let pendings: Vec<PendingResponse> = (0..5u32)
-            .map(|i| faulty.request_async(1, Request::FetchVertices(vec![i])))
+            .map(|i| faulty.request_async(1, Envelope::solo(Request::FetchVertices(vec![i]))))
             .collect();
         // harvest in issue order, as the engine does
         let harvested: Vec<u64> = pendings
@@ -467,7 +470,9 @@ mod tests {
         let faulty = FaultTransport::with_shared_pen(echo, plan);
         let stats = faulty.stats();
         let pendings: Vec<PendingResponse> = (0..2u32)
-            .map(|i| faulty.request_async(1 + i as usize % 2, Request::FetchVertices(vec![i])))
+            .map(|i| {
+                faulty.request_async(1 + i as usize % 2, Envelope::solo(Request::FetchVertices(vec![i])))
+            })
             .collect();
         let harvested: Vec<u64> = pendings
             .into_iter()
@@ -509,7 +514,7 @@ mod tests {
         let faulty = FaultTransport::new(echo, plan);
         let stats = faulty.stats();
         let outcomes: Vec<Result<u64, TransportError>> = (0..6u32)
-            .map(|i| faulty.request_async(1, Request::FetchVertices(vec![i])))
+            .map(|i| faulty.request_async(1, Envelope::solo(Request::FetchVertices(vec![i]))))
             .collect::<Vec<_>>()
             .into_iter()
             .map(|p| {
@@ -580,7 +585,7 @@ mod tests {
         let faulty = FaultTransport::new(echo, plan);
         let stats = faulty.stats();
         let outcomes: Vec<_> = (0..12u32)
-            .map(|i| faulty.request_async(1, Request::FetchVertices(vec![i])))
+            .map(|i| faulty.request_async(1, Envelope::solo(Request::FetchVertices(vec![i]))))
             .collect::<Vec<_>>()
             .into_iter()
             .map(|p| p.wait())

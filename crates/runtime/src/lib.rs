@@ -8,9 +8,10 @@
 //!
 //! * **In-process** ([`transport::ChannelTransport`]): every machine is a
 //!   pair of threads, requests travel over crossbeam channels, bytes are
-//!   *modelled* by the paper's cost function ([`message::request_bytes`]),
-//!   and an optional [`NetworkConfig`] latency/bandwidth model converts
-//!   bytes into simulated wall-clock delay.
+//!   *modelled* by the paper's cost function
+//!   ([`message::Envelope::request_bytes`]), and an optional
+//!   [`NetworkConfig`] latency/bandwidth model converts bytes into
+//!   simulated wall-clock delay.
 //! * **Real sockets** ([`transport::SocketTransport`]): every machine is a
 //!   [`transport::SocketNode`] — a daemon acceptor loop on a TCP or
 //!   Unix-domain listener, one pipelined connection per peer (responses
@@ -66,7 +67,7 @@ pub use cluster::{Cluster, Daemon, MachineContext, PartitionDaemon, RunOutcome};
 pub use error::{ConfigError, TransportError};
 pub use exchange::RowExchange;
 pub use fault::{FaultPlan, FaultStats, FaultTransport};
-pub use message::{Request, Response};
+pub use message::{Envelope, QueryId, Request, Response};
 pub use network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 pub use transport::{
     MetricsPublisher, NodeMonitor, PeerAddr, PendingResponse, SocketListener, SocketNode, Transport,

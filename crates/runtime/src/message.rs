@@ -1,6 +1,32 @@
-//! Messages exchanged between machines.
+//! Messages exchanged between machines, and the query-scoped [`Envelope`]
+//! every transport carries.
 
 use rads_graph::VertexId;
+
+/// Identifies one query's traffic across the whole cluster.
+///
+/// Every engine-facing request travels inside an [`Envelope`] tagged with
+/// the query it belongs to, which is what lets a resident serve cluster run
+/// several enumerations concurrently over one fabric: daemons route
+/// `checkR` / `shareR` to the right per-query state, result frames are
+/// collected per query, and a late or duplicated frame can never be matched
+/// to the wrong query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QueryId(pub u64);
+
+impl QueryId {
+    /// The id of a one-shot (batch) run. Processes that never multiplex —
+    /// `rads-node run` clusters, the experiments, every test that calls
+    /// [`crate::Cluster::run`] directly — send all their traffic under this
+    /// id; only the serve scheduler allocates others (starting at 1).
+    pub const SOLO: QueryId = QueryId(0);
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
 
 /// A request sent to another machine's daemon.
 ///
@@ -35,9 +61,9 @@ pub enum Request {
     /// result frame — a long-running enumeration must not hold a daemon
     /// connection handler hostage.
     Query {
-        /// Monotonically increasing per-serve-session query id; the worker
-        /// echoes it in its report so a late report can never be matched to
-        /// the wrong query.
+        /// The serve scheduler's query id; matches the [`Envelope::query`]
+        /// the dispatch travels under, and the worker echoes it in its
+        /// report so a late report can never be matched to the wrong query.
         id: u64,
         /// Pattern name (`rads_graph::queries::query_by_name`).
         pattern: String,
@@ -47,9 +73,64 @@ pub enum Request {
     },
 }
 
-impl Request {
-    /// Whether re-issuing this request (after a transport failure, under a
-    /// fresh correlation id) cannot change any machine's state or results.
+/// A query-scoped request envelope: what every [`crate::Transport`] carries.
+///
+/// PR 9's serving daemon exposed the limits of ad-hoc `(Request,
+/// correlation id)` pairing: the correlation id matches a response to its
+/// request *on one connection*, but nothing said which **query** a request
+/// belonged to, so a machine could install only one set of per-query daemon
+/// state at a time and serve execution was serialized. The envelope
+/// promotes the pairing into a first-class type:
+///
+/// * [`query`](Envelope::query) — which enumeration this request serves.
+///   Daemons use it to route `checkR` / `shareR` to the right per-query
+///   region-group state; the wire codec stamps it into the frame header so
+///   routers can classify frames without decoding payloads.
+/// * [`seq`](Envelope::seq) — the sender's per-query issue counter. A
+///   retried request is re-issued under a *fresh* seq (and a fresh wire
+///   correlation id), so `(sender, query, seq)` names one transmission
+///   attempt — useful in traces and fault forensics; nothing correlates on
+///   it.
+/// * [`body`](Envelope::body) — the request itself.
+///
+/// # Compatibility contract
+///
+/// The envelope is versioned on the wire: every frame carries
+/// [`crate::wire::WIRE_VERSION`] in its body header, and a frame from a
+/// peer speaking an older (pre-envelope) revision of the protocol is
+/// rejected with a typed [`crate::wire::WireError::Version`] — never
+/// misparsed, never a panic. Within one version: query id 0
+/// ([`QueryId::SOLO`]) is reserved for single-tenant (batch) traffic, the
+/// serve scheduler allocates ids from 1, and every `Response` frame echoes
+/// the query id of the request it answers, so receivers can validate the
+/// correlation-id match against the query scope. Barriers and row
+/// exchange remain *cluster*-scoped: they are only used by the one-shot
+/// baselines (RADS proper never calls them on its serving path), which by
+/// construction never overlap with other queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The query this request belongs to ([`QueryId::SOLO`] outside serve).
+    pub query: QueryId,
+    /// Sender-side issue counter within the query (fresh per transmission).
+    pub seq: u64,
+    /// The request itself.
+    pub body: Request,
+}
+
+impl Envelope {
+    /// An envelope on the one-shot ([`QueryId::SOLO`]) stream — what every
+    /// caller outside the serve scheduler sends.
+    pub fn solo(body: Request) -> Envelope {
+        Envelope { query: QueryId::SOLO, seq: 0, body }
+    }
+
+    /// An envelope of query `query` with issue counter `seq`.
+    pub fn new(query: QueryId, seq: u64, body: Request) -> Envelope {
+        Envelope { query, seq, body }
+    }
+
+    /// Whether re-issuing `body` (after a transport failure, under a fresh
+    /// seq and correlation id) cannot change any machine's state or results.
     ///
     /// `verifyE`, `fetchV` and `checkR` are pure reads over the receiver's
     /// partition (or its region-group queue length) — answering them twice
@@ -59,8 +140,8 @@ impl Request {
     /// duplicate would double rows); neither may be blindly re-sent.
     /// `Query` starts an engine run on the receiver (a duplicate would run
     /// — and count — the query twice), so it is never retried either.
-    pub fn idempotent(&self) -> bool {
-        match self {
+    pub fn is_idempotent(body: &Request) -> bool {
+        match body {
             Request::VerifyEdges(_) | Request::FetchVertices(_) | Request::CheckRegionGroups => {
                 true
             }
@@ -68,6 +149,19 @@ impl Request {
             | Request::DeliverRows { .. }
             | Request::Query { .. } => false,
         }
+    }
+
+    /// [`Envelope::is_idempotent`] of this envelope's body.
+    pub fn idempotent(&self) -> bool {
+        Self::is_idempotent(&self.body)
+    }
+
+    /// Number of bytes this envelope's request occupies on the simulated
+    /// wire (the paper's cost model; the socket transport records real
+    /// framed bytes instead). Query-independent by design: tagging a
+    /// request with a serve query id must not change the traffic model.
+    pub fn request_bytes(&self) -> usize {
+        MESSAGE_OVERHEAD_BYTES + request_body_cost(&self.body)
     }
 }
 
@@ -101,18 +195,18 @@ const VERTEX_BYTES: usize = std::mem::size_of::<VertexId>();
 /// accounting model.
 pub const MESSAGE_OVERHEAD_BYTES: usize = 16;
 
-/// Number of bytes a request occupies on the simulated wire.
-pub fn request_bytes(request: &Request) -> usize {
-    MESSAGE_OVERHEAD_BYTES
-        + match request {
-            Request::VerifyEdges(pairs) => pairs.len() * 2 * VERTEX_BYTES,
-            Request::FetchVertices(vs) => vs.len() * VERTEX_BYTES,
-            Request::CheckRegionGroups | Request::ShareRegionGroup => 0,
-            Request::DeliverRows { rows, .. } => {
-                4 + rows.iter().map(|r| r.len() * VERTEX_BYTES).sum::<usize>()
-            }
-            Request::Query { pattern, .. } => 8 + pattern.len() + 9,
+/// Modelled payload cost of a request body, without the fixed envelope
+/// overhead ([`Envelope::request_bytes`] adds it).
+pub(crate) fn request_body_cost(request: &Request) -> usize {
+    match request {
+        Request::VerifyEdges(pairs) => pairs.len() * 2 * VERTEX_BYTES,
+        Request::FetchVertices(vs) => vs.len() * VERTEX_BYTES,
+        Request::CheckRegionGroups | Request::ShareRegionGroup => 0,
+        Request::DeliverRows { rows, .. } => {
+            4 + rows.iter().map(|r| r.len() * VERTEX_BYTES).sum::<usize>()
         }
+        Request::Query { pattern, .. } => 8 + pattern.len() + 9,
+    }
 }
 
 /// Number of bytes a response occupies on the simulated wire.
@@ -136,13 +230,27 @@ pub fn response_bytes(response: &Response) -> usize {
 mod tests {
     use super::*;
 
+    fn solo_bytes(request: Request) -> usize {
+        Envelope::solo(request).request_bytes()
+    }
+
     #[test]
     fn request_sizes_scale_with_payload() {
-        let small = Request::VerifyEdges(vec![(0, 1)]);
-        let large = Request::VerifyEdges((0..100).map(|i| (i, i + 1)).collect());
-        assert!(request_bytes(&large) > request_bytes(&small));
-        assert_eq!(request_bytes(&small), MESSAGE_OVERHEAD_BYTES + 8);
-        assert_eq!(request_bytes(&Request::CheckRegionGroups), MESSAGE_OVERHEAD_BYTES);
+        let small = solo_bytes(Request::VerifyEdges(vec![(0, 1)]));
+        let large = solo_bytes(Request::VerifyEdges((0..100).map(|i| (i, i + 1)).collect()));
+        assert!(large > small);
+        assert_eq!(small, MESSAGE_OVERHEAD_BYTES + 8);
+        assert_eq!(solo_bytes(Request::CheckRegionGroups), MESSAGE_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn envelope_cost_is_query_independent() {
+        // Concurrency equivalence pins serial == overlapped counts *and*
+        // accounting, so the byte charge must depend only on the body.
+        let body = Request::FetchVertices(vec![1, 2, 3]);
+        let solo = Envelope::solo(body.clone());
+        let scoped = Envelope::new(QueryId(42), 7, body);
+        assert_eq!(solo.request_bytes(), scoped.request_bytes());
     }
 
     #[test]
@@ -157,18 +265,19 @@ mod tests {
     #[test]
     fn deliver_rows_accounts_every_vertex() {
         let rows = Request::DeliverRows { tag: 3, rows: vec![vec![1, 2, 3], vec![4, 5, 6]] };
-        assert_eq!(request_bytes(&rows), MESSAGE_OVERHEAD_BYTES + 4 + 24);
+        assert_eq!(solo_bytes(rows), MESSAGE_OVERHEAD_BYTES + 4 + 24);
     }
 
     #[test]
     fn only_pure_reads_are_idempotent() {
-        assert!(Request::VerifyEdges(vec![(0, 1)]).idempotent());
-        assert!(Request::FetchVertices(vec![1]).idempotent());
-        assert!(Request::CheckRegionGroups.idempotent());
-        assert!(!Request::ShareRegionGroup.idempotent(), "shareR pops the queue");
-        assert!(!Request::DeliverRows { tag: 0, rows: vec![] }.idempotent());
+        assert!(Envelope::solo(Request::VerifyEdges(vec![(0, 1)])).idempotent());
+        assert!(Envelope::solo(Request::FetchVertices(vec![1])).idempotent());
+        assert!(Envelope::is_idempotent(&Request::CheckRegionGroups));
+        assert!(!Envelope::is_idempotent(&Request::ShareRegionGroup), "shareR pops the queue");
+        assert!(!Envelope::is_idempotent(&Request::DeliverRows { tag: 0, rows: vec![] }));
         assert!(
-            !Request::Query { id: 1, pattern: "q1".into(), budget: None }.idempotent(),
+            !Envelope::solo(Request::Query { id: 1, pattern: "q1".into(), budget: None })
+                .idempotent(),
             "a re-sent Query would run the engine twice"
         );
     }
@@ -176,8 +285,15 @@ mod tests {
     #[test]
     fn query_messages_account_their_payload() {
         let q = Request::Query { id: 7, pattern: "q1".into(), budget: Some(4096) };
-        assert_eq!(request_bytes(&q), MESSAGE_OVERHEAD_BYTES + 8 + 2 + 9);
+        assert_eq!(solo_bytes(q), MESSAGE_OVERHEAD_BYTES + 8 + 2 + 9);
         let done = Response::QueryDone(vec![0u8; 84]);
         assert_eq!(response_bytes(&done), MESSAGE_OVERHEAD_BYTES + 84);
+    }
+
+    #[test]
+    fn query_ids_display_compactly() {
+        assert_eq!(QueryId::SOLO.to_string(), "q0");
+        assert_eq!(QueryId(17).to_string(), "q17");
+        assert_eq!(QueryId::default(), QueryId::SOLO);
     }
 }

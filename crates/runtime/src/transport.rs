@@ -8,7 +8,7 @@
 //!
 //! * [`ChannelTransport`] — the original in-process simulator: crossbeam
 //!   channels between threads, *modelled* byte accounting
-//!   ([`crate::message::request_bytes`]) and an optional latency/bandwidth
+//!   ([`Envelope::request_bytes`]) and an optional latency/bandwidth
 //!   model that sleeps per exchange.
 //! * [`SocketTransport`] — real length-prefixed binary frames
 //!   ([`crate::wire`]) over TCP or Unix-domain sockets, one lazily-created
@@ -16,6 +16,12 @@
 //!   workers share one connection and requests overlap), and *real* byte
 //!   accounting: the traffic counters report exactly the framed bytes put on
 //!   the wire, headers included.
+//!
+//! Both carry query-scoped [`Envelope`]s: every request names the
+//! [`QueryId`] it serves, responses echo it (the socket reader verifies the
+//! echo against the pending slot's recorded query), and per-query control
+//! traffic (result frames) is collected per query — which is what lets a
+//! resident serve cluster interleave several queries' RPC on one fabric.
 //!
 //! # Contract
 //!
@@ -109,11 +115,11 @@ use rads_partition::MachineId;
 use crate::cluster::Daemon;
 use crate::error::{ConfigError, TransportError};
 use crate::exchange::RowExchange;
-use crate::message::{request_bytes, response_bytes, Request, Response};
+use crate::message::{response_bytes, Envelope, QueryId, Request, Response};
 use crate::network::{NetworkConfig, NetworkStats, TrafficSnapshot};
 use crate::wire::{
-    decode_request, decode_response, encode_request, encode_response, frame_bytes, read_message,
-    write_frame, write_message, FrameKind,
+    decode_envelope, decode_response, encode_envelope, encode_response, frame_bytes, read_message,
+    write_frame, write_message, FrameKind, WireError,
 };
 
 /// Trace span name for an in-flight RPC (the `rpc.<request>` naming
@@ -256,6 +262,7 @@ impl TransportKind {
 /// per-call reply channels.
 pub struct PendingResponse {
     to: MachineId,
+    query: QueryId,
     correlation: Option<u64>,
     inner: PendingInner,
 }
@@ -268,14 +275,14 @@ enum PendingInner {
 impl PendingResponse {
     /// A handle over a response that is already available (local
     /// short-circuits and synchronous fallbacks).
-    pub fn ready(to: MachineId, response: Response) -> PendingResponse {
-        PendingResponse { to, correlation: None, inner: PendingInner::Ready(Ok(response)) }
+    pub fn ready(to: MachineId, query: QueryId, response: Response) -> PendingResponse {
+        PendingResponse { to, query, correlation: None, inner: PendingInner::Ready(Ok(response)) }
     }
 
     /// A handle over a request that already failed (the request never made
     /// it onto the wire); `wait` surfaces the error.
-    pub fn failed(to: MachineId, error: TransportError) -> PendingResponse {
-        PendingResponse { to, correlation: None, inner: PendingInner::Ready(Err(error)) }
+    pub fn failed(to: MachineId, query: QueryId, error: TransportError) -> PendingResponse {
+        PendingResponse { to, query, correlation: None, inner: PendingInner::Ready(Err(error)) }
     }
 
     /// A handle whose response is produced by `wait` when redeemed.
@@ -283,15 +290,22 @@ impl PendingResponse {
     /// (`None` on the channel simulator), surfaced purely for diagnostics.
     pub fn deferred(
         to: MachineId,
+        query: QueryId,
         correlation: Option<u64>,
         wait: impl FnOnce() -> Result<Response, TransportError> + Send + 'static,
     ) -> PendingResponse {
-        PendingResponse { to, correlation, inner: PendingInner::Wait(Box::new(wait)) }
+        PendingResponse { to, query, correlation, inner: PendingInner::Wait(Box::new(wait)) }
     }
 
     /// The machine this request was addressed to.
     pub fn to(&self) -> MachineId {
         self.to
+    }
+
+    /// The query the request was issued for. The fault-recovery path reads
+    /// it so a harvested retry is re-issued under the same query scope.
+    pub fn query(&self) -> QueryId {
+        self.query
     }
 
     /// The wire correlation id of the request, when the transport assigns
@@ -319,18 +333,20 @@ pub trait Transport: Send + Sync {
     /// Number of machines in the cluster.
     fn machines(&self) -> usize;
     /// Blocking request/response RPC to the daemon of machine `to`
-    /// (`to != machine()`; local requests never reach the transport).
-    /// Fabric failures surface as a typed [`TransportError`].
-    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError>;
+    /// (`to != machine()`; local requests never reach the transport). The
+    /// envelope names the query the request serves; the response is scoped
+    /// to it. Fabric failures surface as a typed [`TransportError`].
+    fn request(&self, to: MachineId, envelope: Envelope) -> Result<Response, TransportError>;
     /// Split-phase RPC: issues the request now, returns a handle redeemed
     /// later (see the [module docs](self)). The default implementation is
     /// the synchronous fallback — correct for any transport, overlapping
     /// nothing; both built-in transports override it with a genuinely
     /// pipelined version.
-    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
-        match self.request(to, request) {
-            Ok(response) => PendingResponse::ready(to, response),
-            Err(e) => PendingResponse::failed(to, e),
+    fn request_async(&self, to: MachineId, envelope: Envelope) -> PendingResponse {
+        let query = envelope.query;
+        match self.request(to, envelope) {
+            Ok(response) => PendingResponse::ready(to, query, response),
+            Err(e) => PendingResponse::failed(to, query, e),
         }
     }
     /// Superstep barrier across all machines. Fails (naming epoch and the
@@ -355,10 +371,11 @@ pub trait Transport: Send + Sync {
 // ChannelTransport — the in-process simulator
 // ---------------------------------------------------------------------------
 
-/// A request envelope travelling to an in-process daemon thread.
-pub(crate) struct Envelope {
+/// One in-flight RPC travelling to an in-process daemon thread: the
+/// query-scoped [`Envelope`] plus the sender's identity and reply channel.
+pub(crate) struct ChannelRpc {
     pub(crate) from: MachineId,
-    pub(crate) request: Request,
+    pub(crate) envelope: Envelope,
     pub(crate) reply: Sender<Response>,
 }
 
@@ -368,7 +385,7 @@ pub(crate) struct Envelope {
 /// exchange.
 pub struct ChannelTransport {
     machine: MachineId,
-    senders: Vec<Sender<Envelope>>,
+    senders: Vec<Sender<ChannelRpc>>,
     stats: Arc<NetworkStats>,
     exchange: Arc<RowExchange>,
     barrier: Arc<ThreadBarrier>,
@@ -378,7 +395,7 @@ pub struct ChannelTransport {
 impl ChannelTransport {
     pub(crate) fn new(
         machine: MachineId,
-        senders: Vec<Sender<Envelope>>,
+        senders: Vec<Sender<ChannelRpc>>,
         stats: Arc<NetworkStats>,
         exchange: Arc<RowExchange>,
         barrier: Arc<ThreadBarrier>,
@@ -397,15 +414,15 @@ impl Transport for ChannelTransport {
         self.senders.len()
     }
 
-    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
+    fn request(&self, to: MachineId, envelope: Envelope) -> Result<Response, TransportError> {
         debug_assert_ne!(to, self.machine, "local requests are served inline");
-        let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
-        let req_bytes = request_bytes(&request);
+        let mut rpc_span = rads_obs::async_span(rpc_span_name(&envelope.body), "rpc");
+        let req_bytes = envelope.request_bytes();
         self.stats.record_request(self.machine, req_bytes);
         let (reply_tx, reply_rx) = bounded(1);
         let machine = self.machine;
         self.senders[to]
-            .send(Envelope { from: machine, request, reply: reply_tx })
+            .send(ChannelRpc { from: machine, envelope, reply: reply_tx })
             .map_err(|_| TransportError::PeerDead {
                 machine,
                 to,
@@ -429,21 +446,23 @@ impl Transport for ChannelTransport {
         Ok(response)
     }
 
-    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
+    fn request_async(&self, to: MachineId, envelope: Envelope) -> PendingResponse {
         debug_assert_ne!(to, self.machine, "local requests are served inline");
-        let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
-        let req_bytes = request_bytes(&request);
+        let mut rpc_span = rads_obs::async_span(rpc_span_name(&envelope.body), "rpc");
+        let req_bytes = envelope.request_bytes();
+        let query = envelope.query;
         rpc_span.attr("to", to as u64);
         rpc_span.attr("req_bytes", req_bytes as u64);
         self.stats.record_request(self.machine, req_bytes);
         let (reply_tx, reply_rx) = bounded(1);
         if self
             .senders[to]
-            .send(Envelope { from: self.machine, request, reply: reply_tx })
+            .send(ChannelRpc { from: self.machine, envelope, reply: reply_tx })
             .is_err()
         {
             return PendingResponse::failed(
                 to,
+                query,
                 TransportError::PeerDead {
                     machine: self.machine,
                     to,
@@ -461,7 +480,7 @@ impl Transport for ChannelTransport {
         let stats = self.stats.clone();
         let config = self.config;
         let machine = self.machine;
-        PendingResponse::deferred(to, None, move || {
+        PendingResponse::deferred(to, query, None, move || {
             let response = reply_rx.recv().map_err(|_| TransportError::PeerDead {
                 machine,
                 to,
@@ -736,8 +755,11 @@ pub fn scratch_socket_dir() -> PathBuf {
 // SocketNode — one machine's socket runtime
 // ---------------------------------------------------------------------------
 
-/// A pending-response slot; the connection reader thread fills it.
-type PendingMap = Mutex<HashMap<u64, Sender<Response>>>;
+/// A pending-response slot; the connection reader thread fills it. The
+/// stored [`QueryId`] is the query the request was issued for — the reader
+/// verifies the response frame echoes it, so a cross-query mixup upstream
+/// surfaces as a typed error instead of silently answering the wrong query.
+type PendingMap = Mutex<HashMap<u64, (QueryId, Sender<Response>)>>;
 
 /// One lazily-established client connection to a peer machine. All engine
 /// threads of the machine share it: writes are serialized by the stream
@@ -801,11 +823,12 @@ impl BarrierState {
     }
 }
 
-/// Result payloads collected by the coordinator (indexed by machine id) and
+/// Result payloads collected by the coordinator (indexed by query id and
+/// machine id, so concurrent queries' results collect independently) and
 /// the shutdown flag a worker waits on.
 #[derive(Default)]
 struct ControlState {
-    results: StdMutex<HashMap<MachineId, Vec<u8>>>,
+    results: StdMutex<HashMap<(u64, MachineId), Vec<u8>>>,
     /// Latest metrics snapshot received from each machine (newer frames
     /// replace older ones — each frame carries a full snapshot).
     metrics: StdMutex<HashMap<MachineId, Vec<u8>>>,
@@ -892,7 +915,7 @@ impl NodeShared {
         // handshake: tell the peer's daemon who is calling
         let hello = (self.machine as u32).to_le_bytes();
         let mut write_half = stream.try_clone()?;
-        let written = write_frame(&mut write_half, FrameKind::Hello, 0, &hello)?;
+        let written = write_frame(&mut write_half, FrameKind::Hello, 0, QueryId::SOLO, &hello)?;
         self.stats.record_control(self.machine, written);
         let client = Arc::new(PeerClient {
             stream: Mutex::new(write_half),
@@ -920,7 +943,26 @@ impl NodeShared {
                         Ok(Some(frame)) if frame.kind == FrameKind::Response => {
                             match decode_response(&frame.payload) {
                                 Ok(response) => {
-                                    if let Some(tx) = pending.lock().remove(&frame.correlation) {
+                                    let slot = pending.lock().remove(&frame.correlation);
+                                    if let Some((query, tx)) = slot {
+                                        if frame.query != query {
+                                            // a response answering under the
+                                            // wrong query scope is a protocol
+                                            // violation: kill the connection
+                                            // rather than deliver cross-query
+                                            break Some(TransportError::Decode {
+                                                machine,
+                                                to,
+                                                detail: format!(
+                                                    "response (correlation {}): {}",
+                                                    frame.correlation,
+                                                    WireError::QueryMismatch {
+                                                        expected: query.0,
+                                                        got: frame.query.0,
+                                                    }
+                                                ),
+                                            });
+                                        }
                                         let _ = tx.send(response);
                                     }
                                 }
@@ -978,12 +1020,13 @@ impl NodeShared {
         to: MachineId,
         kind: FrameKind,
         correlation: u64,
+        query: QueryId,
         payload: &[u8],
     ) -> Result<(), TransportError> {
         let client = self.peer(to)?;
         let written = {
             let mut stream = client.stream.lock();
-            write_frame(&mut *stream, kind, correlation, payload)
+            write_frame(&mut *stream, kind, correlation, query, payload)
         }
         .map_err(|e| TransportError::Reset {
             machine: self.machine,
@@ -1086,16 +1129,19 @@ impl SocketNode {
     }
 
     /// Worker → coordinator: delivers this machine's opaque result payload
-    /// (the frame's correlation id carries the machine id).
+    /// for `query` (the frame's correlation id carries the machine id, the
+    /// header query id the query). Batch runs pass [`QueryId::SOLO`].
     pub fn send_result(
         &self,
         coordinator: MachineId,
+        query: QueryId,
         payload: &[u8],
     ) -> Result<(), TransportError> {
         self.shared.send_control(
             coordinator,
             FrameKind::Result,
             self.shared.machine as u64,
+            query,
             payload,
         )
     }
@@ -1121,21 +1167,31 @@ impl SocketNode {
     }
 
     /// Coordinator: blocks until every machine in `from` delivered a result
-    /// frame, or `timeout` elapsed. Returns the payloads in `from` order.
+    /// frame for `query`, or `timeout` elapsed. Returns the payloads in
+    /// `from` order. Result frames of *other* queries are left untouched,
+    /// so concurrent per-query waiters never steal each other's results.
     pub fn wait_results(
         &self,
+        query: QueryId,
         from: &[MachineId],
         timeout: Duration,
     ) -> Result<Vec<Vec<u8>>, Vec<MachineId>> {
         let deadline = Instant::now() + timeout;
         let mut results = self.shared.control.results.lock().expect("results lock");
         loop {
-            if from.iter().all(|m| results.contains_key(m)) {
-                return Ok(from.iter().map(|m| results.remove(m).expect("present")).collect());
+            if from.iter().all(|m| results.contains_key(&(query.0, *m))) {
+                return Ok(from
+                    .iter()
+                    .map(|m| results.remove(&(query.0, *m)).expect("present"))
+                    .collect());
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(from.iter().copied().filter(|m| !results.contains_key(m)).collect());
+                return Err(from
+                    .iter()
+                    .copied()
+                    .filter(|m| !results.contains_key(&(query.0, *m)))
+                    .collect());
             }
             let (guard, _) = self
                 .shared
@@ -1160,7 +1216,7 @@ impl SocketNode {
             let Ok(client) = self.shared.try_peer(to, SHUTDOWN_CONNECT_TIMEOUT) else { continue };
             let written = {
                 let mut stream = client.stream.lock();
-                write_frame(&mut *stream, FrameKind::Shutdown, 0, &[])
+                write_frame(&mut *stream, FrameKind::Shutdown, 0, QueryId::SOLO, &[])
             };
             if let Ok(written) = written {
                 self.shared.stats.record_control(self.shared.machine, written);
@@ -1192,6 +1248,26 @@ impl SocketNode {
             .collect();
         drained.sort_by_key(|(machine, _)| *machine);
         drained
+    }
+
+    /// Coordinator: the latest metrics snapshot received from each machine,
+    /// sorted by machine id — like [`take_metrics`](SocketNode::take_metrics)
+    /// but *non-destructive*. The serve scheduler reads this to take a
+    /// per-query epoch baseline while other queries are still in flight:
+    /// draining here would steal the snapshots a concurrent query's delta
+    /// computation depends on.
+    pub fn latest_metrics(&self) -> Vec<(MachineId, Vec<u8>)> {
+        let mut cloned: Vec<(MachineId, Vec<u8>)> = self
+            .shared
+            .control
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(machine, payload)| (*machine, payload.clone()))
+            .collect();
+        cloned.sort_by_key(|(machine, _)| *machine);
+        cloned
     }
 
     /// Worker: blocks until a shutdown frame arrives (or `timeout`).
@@ -1282,7 +1358,13 @@ impl MetricsPublisher {
         };
         let written = {
             let mut stream = client.stream.lock();
-            write_frame(&mut *stream, FrameKind::Metrics, self.shared.machine as u64, payload)
+            write_frame(
+                &mut *stream,
+                FrameKind::Metrics,
+                self.shared.machine as u64,
+                QueryId::SOLO,
+                payload,
+            )
         };
         match written {
             Ok(written) => {
@@ -1349,19 +1431,33 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                 // the handshake names the requester; a request before it is
                 // a protocol violation
                 let Some(from) = peer else { return };
-                let Ok(request) = decode_request(&frame.payload) else { return };
-                let response = match request {
+                let Ok(envelope) = decode_envelope(&frame.payload) else { return };
+                // the header query id exists so routers can classify frames
+                // without decoding payloads — it must agree with the payload
+                if envelope.query != frame.query {
+                    return;
+                }
+                let query = envelope.query;
+                let response = match envelope.body {
                     Request::DeliverRows { tag, rows } => {
                         shared.exchange.deliver(shared.machine, tag, rows);
                         Response::Ack
                     }
-                    other => shared.daemon.handle(from, other),
+                    _ => shared.daemon.handle(from, envelope),
                 };
                 let mut payload = Vec::new();
                 encode_response(&response, &mut payload);
                 // write_message splits responses above the frame cap into a
                 // continuation run; `written` covers every frame of the run.
-                match write_message(&mut stream, FrameKind::Response, frame.correlation, &payload) {
+                // The response echoes the request's query id, which the
+                // requester's reader verifies against its pending slot.
+                match write_message(
+                    &mut stream,
+                    FrameKind::Response,
+                    frame.correlation,
+                    query,
+                    &payload,
+                ) {
                     Ok(written) => {
                         shared.stats.record_response(shared.machine, from, written);
                         frame_bytes_histogram().observe(written as u64);
@@ -1398,7 +1494,7 @@ fn serve_connection(shared: Arc<NodeShared>, mut stream: SocketStream) {
                     .results
                     .lock()
                     .expect("results lock")
-                    .insert(from, frame.payload);
+                    .insert((frame.query.0, from), frame.payload);
                 shared.control.condvar.notify_all();
             }
             FrameKind::Metrics => {
@@ -1446,26 +1542,28 @@ impl Transport for SocketTransport {
         self.shared.machines()
     }
 
-    fn request(&self, to: MachineId, request: Request) -> Result<Response, TransportError> {
-        self.request_async(to, request).wait()
+    fn request(&self, to: MachineId, envelope: Envelope) -> Result<Response, TransportError> {
+        self.request_async(to, envelope).wait()
     }
 
-    fn request_async(&self, to: MachineId, request: Request) -> PendingResponse {
+    fn request_async(&self, to: MachineId, envelope: Envelope) -> PendingResponse {
         debug_assert_ne!(to, self.shared.machine, "local requests are served inline");
-        let mut rpc_span = rads_obs::async_span(rpc_span_name(&request), "rpc");
+        let mut rpc_span = rads_obs::async_span(rpc_span_name(&envelope.body), "rpc");
+        let query = envelope.query;
         let client = match self.shared.peer(to) {
             Ok(client) => client,
-            Err(e) => return PendingResponse::failed(to, e),
+            Err(e) => return PendingResponse::failed(to, query, e),
         };
         let correlation = client.next_correlation.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = bounded(1);
-        client.pending.lock().insert(correlation, reply_tx);
+        client.pending.lock().insert(correlation, (query, reply_tx));
         if client.closed.load(Ordering::SeqCst) {
             // reader already exited: a write could still land in the socket
             // buffer without error and nobody would ever deliver the reply
             client.pending.lock().remove(&correlation);
             return PendingResponse::failed(
                 to,
+                query,
                 TransportError::Reset {
                     machine: self.shared.machine,
                     to,
@@ -1475,10 +1573,10 @@ impl Transport for SocketTransport {
             );
         }
         let mut payload = Vec::new();
-        encode_request(&request, &mut payload);
+        encode_envelope(&envelope, &mut payload);
         let written = {
             let mut stream = client.stream.lock();
-            write_message(&mut *stream, FrameKind::Request, correlation, &payload)
+            write_message(&mut *stream, FrameKind::Request, correlation, query, &payload)
         };
         let written = match written {
             Ok(written) => written,
@@ -1486,6 +1584,7 @@ impl Transport for SocketTransport {
                 client.pending.lock().remove(&correlation);
                 return PendingResponse::failed(
                     to,
+                    query,
                     TransportError::Reset {
                         machine: self.shared.machine,
                         to,
@@ -1498,9 +1597,10 @@ impl Transport for SocketTransport {
         frame_bytes_histogram().observe(written as u64);
         rpc_span.attr("to", to as u64);
         rpc_span.attr("correlation", correlation);
+        rpc_span.attr("query", query.0);
         rpc_span.attr("req_bytes", written as u64);
         let machine = self.shared.machine;
-        PendingResponse::deferred(to, Some(correlation), move || {
+        PendingResponse::deferred(to, query, Some(correlation), move || {
             let response = reply_rx.recv().map_err(|_| TransportError::Reset {
                 machine,
                 to,
@@ -1524,7 +1624,7 @@ impl Transport for SocketTransport {
         let payload = epoch.to_le_bytes();
         for to in 0..machines {
             if to != self.shared.machine {
-                self.shared.send_control(to, FrameKind::Barrier, 0, &payload)?;
+                self.shared.send_control(to, FrameKind::Barrier, 0, QueryId::SOLO, &payload)?;
             }
         }
         let timeout = self.shared.barrier_timeout;
@@ -1554,7 +1654,7 @@ impl Transport for SocketTransport {
             self.shared.exchange.deliver(to, tag, rows);
             return Ok(());
         }
-        match self.request(to, Request::DeliverRows { tag, rows })? {
+        match self.request(to, Envelope::solo(Request::DeliverRows { tag, rows }))? {
             Response::Ack => Ok(()),
             // a non-Ack answer to DeliverRows is a protocol bug, not a
             // fabric fault; it must fail loudly rather than be retried

@@ -3,52 +3,67 @@
 //! Every message travelling between two machines is one **frame**:
 //!
 //! ```text
-//! [ body length: u32 LE ][ kind: u8 ][ correlation id: u64 LE ][ payload ]
-//! '------ 4 bytes ------''-------- body (length bytes) -----------------'
+//! [ body length: u32 LE ][ version: u8 ][ kind: u8 ][ correlation id: u64 LE ][ query id: u64 LE ][ payload ]
+//! '------ 4 bytes ------''--------------------- body (length bytes) --------------------------------------'
 //! ```
 //!
-//! The body length covers the kind byte, the correlation id and the payload
-//! (`payload.len() + 9`), so a reader always knows exactly how many bytes to
-//! consume before the next frame starts. A length prefix larger than
-//! [`MAX_FRAME_BYTES`] is rejected before anything is allocated — a corrupt
-//! or hostile peer cannot make the daemon reserve gigabytes.
+//! The body length covers the version byte, the kind byte, the correlation
+//! id, the query id and the payload (`payload.len() + 18`), so a reader
+//! always knows exactly how many bytes to consume before the next frame
+//! starts. A length prefix larger than [`MAX_FRAME_BYTES`] is rejected
+//! before anything is allocated — a corrupt or hostile peer cannot make the
+//! daemon reserve gigabytes.
 //!
-//! [`FrameKind::Request`] and [`FrameKind::Response`] frames carry an encoded
-//! [`Request`] / [`Response`] payload; the correlation id pairs a response
-//! with the request it answers, which is what lets several engine workers
-//! pipeline requests over one connection. The remaining kinds are one-way
-//! control frames of the node runtime (connection handshake, distributed
-//! barrier, result delivery and shutdown) whose payloads are defined by
-//! [`crate::transport`].
+//! The version byte is [`version_byte`] = `0xA0 | WIRE_VERSION`. The high
+//! nibble is a deliberate mark: protocol revision 1 had no version byte and
+//! put the frame *kind* (1–10) in that position, so any v1 frame — and most
+//! random garbage — fails the version check with a typed
+//! [`WireError::Version`] instead of being misparsed. Bumping
+//! [`WIRE_VERSION`] makes every older peer's frames fail the same way.
+//!
+//! [`FrameKind::Request`] frames carry an encoded [`Envelope`] (see
+//! [`encode_envelope`]); [`FrameKind::Response`] frames carry an encoded
+//! [`Response`]. The correlation id pairs a response with the request it
+//! answers on one connection — that is what lets several engine workers
+//! pipeline requests over one socket — while the query id in the header
+//! scopes the frame to one enumeration, so a resident cluster can interleave
+//! frames of concurrent queries on the same fabric and route each to its
+//! per-query daemon state without decoding payloads. The remaining kinds
+//! are one-way control frames of the node runtime (connection handshake,
+//! distributed barrier, result delivery and shutdown) whose payloads are
+//! defined by [`crate::transport`]; cluster-scoped control frames travel
+//! with query id 0, per-query ones (Result, Query, QueryResult) carry the
+//! query they serve.
 //!
 //! The codec is hand-rolled little-endian binary — no serde, no reflection —
 //! because the message set is small, closed and hot: `fetchV` responses
 //! dominate the byte volume and encode as raw `u32` runs. Every decoder is
 //! total: any byte sequence either decodes to a value or returns a
 //! [`WireError`]; malformed input never panics. `decode_request` /
-//! `decode_response` additionally reject trailing bytes so a frame is either
-//! exactly one message or an error.
+//! `decode_response` / `decode_envelope` additionally reject trailing bytes
+//! so a frame is either exactly one message or an error.
 //!
 //! # Multi-frame messages (continuation)
 //!
-//! A single *message* is no longer capped at one frame: a payload larger
-//! than the frame cap is written by [`write_message`] as a run of
+//! A single *message* is not capped at one frame: a payload larger than the
+//! frame cap is written by [`write_message`] as a run of
 //! [`FrameKind::Continue`] frames — each carrying `[sequence: u32 LE]` plus
-//! a chunk of the payload, all tagged with the message's correlation id —
-//! terminated by a final frame of the real kind carrying the last chunk.
-//! [`read_message`] reassembles the run and hands back one logical
-//! [`Frame`]; a message that fits in one frame is written and read exactly
-//! as before, byte for byte. The reassembler is as strict as the rest of
-//! the codec: a continuation run must be contiguous on its connection, so a
-//! correlation id switch mid-run, an out-of-order sequence number, a stream
-//! that ends before the final frame, or an assembled message above
-//! [`MAX_MESSAGE_BYTES`] are all hard [`WireError`]s.
+//! a chunk of the payload, all tagged with the message's correlation id and
+//! query id — terminated by a final frame of the real kind carrying the
+//! last chunk. [`read_message`] reassembles the run and hands back one
+//! logical [`Frame`]; a message that fits in one frame is written and read
+//! exactly as before, byte for byte. The reassembler is as strict as the
+//! rest of the codec: a continuation run must be contiguous on its
+//! connection, so a correlation-id or query-id switch mid-run, an
+//! out-of-order sequence number, a stream that ends before the final frame,
+//! or an assembled message above [`MAX_MESSAGE_BYTES`] are all hard
+//! [`WireError`]s.
 
 use std::io::{self, Read, Write};
 
 use rads_graph::VertexId;
 
-use crate::message::{Request, Response};
+use crate::message::{Envelope, QueryId, Request, Response};
 
 /// Hard ceiling on the frame body length (64 MiB). Larger frames are
 /// rejected at the length prefix, before allocation. Messages above this
@@ -60,8 +75,27 @@ pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
 /// rather than a hostile or broken peer streaming chunks forever.
 pub const MAX_MESSAGE_BYTES: usize = 1024 * 1024 * 1024;
 
-/// Bytes of the fixed frame header: length prefix + kind + correlation id.
-pub const FRAME_HEADER_BYTES: usize = 4 + 1 + 8;
+/// Protocol revision spoken by this build. Revision 2 introduced the
+/// query-scoped envelope: a version byte and a query id in every frame
+/// header. Revision 1 (no version byte) is rejected with
+/// [`WireError::Version`].
+pub const WIRE_VERSION: u8 = 2;
+
+/// High-nibble mark OR'd into the version byte so it can never collide with
+/// a v1 frame's kind byte (1–10), which occupied the same position.
+const VERSION_MARK: u8 = 0xA0;
+
+/// The version byte every frame starts its body with.
+pub const fn version_byte() -> u8 {
+    VERSION_MARK | WIRE_VERSION
+}
+
+/// Bytes of the fixed body header: version + kind + correlation id +
+/// query id.
+const BODY_HEADER_BYTES: usize = 1 + 1 + 8 + 8;
+
+/// Bytes of the fixed frame header: length prefix + body header.
+pub const FRAME_HEADER_BYTES: usize = 4 + BODY_HEADER_BYTES;
 
 /// Bytes of the sequence-number prefix inside a [`FrameKind::Continue`]
 /// payload.
@@ -73,16 +107,22 @@ pub enum FrameKind {
     /// Connection handshake: the payload is the connecting machine's id
     /// (`u32`). Sent once, as the first frame of every client connection.
     Hello,
-    /// An encoded [`Request`]; the receiver must answer with a `Response`
-    /// frame carrying the same correlation id.
+    /// An encoded [`Envelope`] (see [`encode_envelope`]); the receiver must
+    /// answer with a `Response` frame carrying the same correlation id and
+    /// query id.
     Request,
-    /// An encoded [`Response`] to the request with the same correlation id.
+    /// An encoded [`Response`] to the request with the same correlation id;
+    /// the query id echoes the request's.
     Response,
     /// Distributed-barrier notification: payload is the `epoch: u64` alone
-    /// (arrivals are counted, not attributed). One-way; no response frame.
+    /// (arrivals are counted, not attributed). Cluster-scoped (query id 0):
+    /// only the one-shot baselines barrier, never concurrently with other
+    /// queries. One-way; no response frame.
     Barrier,
     /// A worker process delivering its engine result to the coordinator.
-    /// Payload layout is owned by the caller (opaque here). One-way.
+    /// Payload layout is owned by the caller (opaque here); the query id
+    /// names the query the result belongs to, so concurrent queries'
+    /// results collect independently. One-way.
     Result,
     /// Coordinator-to-worker shutdown order. Empty payload. One-way.
     Shutdown,
@@ -92,9 +132,9 @@ pub enum FrameKind {
     /// codec; correlation id is the sending machine's id. One-way.
     Metrics,
     /// One chunk of a message too large for a single frame: payload is
-    /// `[sequence: u32 LE][payload chunk]`, correlation id is the message's.
-    /// Never surfaced by [`read_message`] — runs are reassembled into the
-    /// final frame's kind.
+    /// `[sequence: u32 LE][payload chunk]`, correlation id and query id are
+    /// the message's. Never surfaced by [`read_message`] — runs are
+    /// reassembled into the final frame's kind.
     Continue,
     /// Serving mode, client → serve coordinator: a query submission on a
     /// client connection. The payload layout is owned by the serve layer
@@ -103,8 +143,9 @@ pub enum FrameKind {
     Query,
     /// Serving mode, serve coordinator → client: the reply to the `Query`
     /// frame with the same correlation id (counts + per-query stats, or a
-    /// structured admission/execution error). Payload owned by the serve
-    /// layer.
+    /// structured admission/execution error). The query id carries the
+    /// server-assigned [`QueryId`] (0 if the query was never admitted).
+    /// Payload owned by the serve layer.
     QueryResult,
 }
 
@@ -148,6 +189,9 @@ pub struct Frame {
     pub kind: FrameKind,
     /// Pairs responses with requests; 0 for control frames.
     pub correlation: u64,
+    /// The query this frame belongs to; [`QueryId::SOLO`] for cluster-scoped
+    /// control frames and all single-tenant traffic.
+    pub query: QueryId,
     /// The encoded message.
     pub payload: Vec<u8>,
 }
@@ -167,6 +211,14 @@ pub enum WireError {
         /// The declared body length.
         declared: usize,
     },
+    /// The frame's version byte is not this build's [`version_byte`]: the
+    /// peer speaks a different protocol revision (v1 frames put the kind
+    /// byte here, so they fail this check by construction) or the stream is
+    /// corrupt.
+    Version {
+        /// The version byte the frame carried.
+        got: u8,
+    },
     /// The frame kind byte is not a known [`FrameKind`].
     UnknownKind(u8),
     /// A message tag byte is not a known variant.
@@ -185,6 +237,15 @@ pub enum WireError {
         /// Correlation id of the frame that started the run.
         expected: u64,
         /// Correlation id of the offending frame.
+        got: u64,
+    },
+    /// A frame carried a different query id than its context requires: a
+    /// continuation run switched query mid-run, or a response answered
+    /// under a different query than the request was issued for.
+    QueryMismatch {
+        /// The query id the receiver expected.
+        expected: u64,
+        /// The query id the frame carried.
         got: u64,
     },
     /// A [`FrameKind::Continue`] frame arrived with the wrong sequence
@@ -209,9 +270,17 @@ impl std::fmt::Display for WireError {
             WireError::FrameTooLarge { declared } => {
                 write!(f, "frame body of {declared} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
             }
-            WireError::FrameTooSmall { declared } => {
-                write!(f, "frame body of {declared} bytes is smaller than the 9-byte body header")
-            }
+            WireError::FrameTooSmall { declared } => write!(
+                f,
+                "frame body of {declared} bytes is smaller than the \
+                 {BODY_HEADER_BYTES}-byte body header"
+            ),
+            WireError::Version { got } => write!(
+                f,
+                "frame version byte {got:#04x} does not match wire version {WIRE_VERSION} \
+                 (version byte {:#04x}): peer speaks an incompatible protocol revision",
+                version_byte()
+            ),
             WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             WireError::BadString => write!(f, "string field is not valid UTF-8"),
@@ -223,6 +292,9 @@ impl std::fmt::Display for WireError {
                 "continuation run for correlation {expected} interrupted by a frame \
                  with correlation {got}"
             ),
+            WireError::QueryMismatch { expected, got } => {
+                write!(f, "frame for query {got} where query {expected} was expected")
+            }
             WireError::ContinuationOutOfOrder { expected, got } => write!(
                 f,
                 "continuation frame out of order: expected sequence {expected}, got {got}"
@@ -388,7 +460,13 @@ pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
 /// Decodes exactly one [`Request`] from `buf` (trailing bytes are an error).
 pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
     let mut r = Reader::new(buf);
-    let request = match r.u8()? {
+    let request = read_request(&mut r)?;
+    r.finish()?;
+    Ok(request)
+}
+
+fn read_request(r: &mut Reader<'_>) -> Result<Request, WireError> {
+    Ok(match r.u8()? {
         REQ_VERIFY_EDGES => {
             let n = r.checked_len(8)?;
             let mut pairs = Vec::with_capacity(n);
@@ -421,9 +499,31 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
             Request::Query { id, pattern, budget }
         }
         other => return Err(WireError::UnknownTag(other)),
-    };
+    })
+}
+
+/// Appends the encoding of `envelope` to `buf`:
+/// `[query: u64 LE][seq: u64 LE][encoded request]`.
+///
+/// This is what a [`FrameKind::Request`] frame carries. The query id is
+/// *also* stamped into the frame header (see [`write_frame`]) so routers
+/// can classify a frame without decoding its payload; the receiver checks
+/// the two agree ([`WireError::QueryMismatch`] if not).
+pub fn encode_envelope(envelope: &Envelope, buf: &mut Vec<u8>) {
+    put_u64(buf, envelope.query.0);
+    put_u64(buf, envelope.seq);
+    encode_request(&envelope.body, buf);
+}
+
+/// Decodes exactly one [`Envelope`] from `buf` (trailing bytes are an
+/// error).
+pub fn decode_envelope(buf: &[u8]) -> Result<Envelope, WireError> {
+    let mut r = Reader::new(buf);
+    let query = QueryId(r.u64()?);
+    let seq = r.u64()?;
+    let body = read_request(&mut r)?;
     r.finish()?;
-    Ok(request)
+    Ok(Envelope { query, seq, body })
 }
 
 /// Appends the encoding of `response` to `buf`.
@@ -511,19 +611,22 @@ pub fn write_frame(
     w: &mut impl Write,
     kind: FrameKind,
     correlation: u64,
+    query: QueryId,
     payload: &[u8],
 ) -> io::Result<usize> {
-    let body_len = payload.len() + 9;
+    let body_len = payload.len() + BODY_HEADER_BYTES;
     if body_len > MAX_FRAME_BYTES {
         return Err(WireError::FrameTooLarge { declared: body_len }.into());
     }
-    // One contiguous write: with TCP_NODELAY, a separate 13-byte header
-    // write would flush as its own segment, doubling the packet count of
-    // the small-frame-dominated fetchV/verifyE traffic.
+    // One contiguous write: with TCP_NODELAY, a separate header write would
+    // flush as its own segment, doubling the packet count of the
+    // small-frame-dominated fetchV/verifyE traffic.
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
     frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+    frame.push(version_byte());
     frame.push(kind.to_u8());
     frame.extend_from_slice(&correlation.to_le_bytes());
+    frame.extend_from_slice(&query.0.to_le_bytes());
     frame.extend_from_slice(payload);
     w.write_all(&frame)?;
     w.flush()?;
@@ -538,8 +641,8 @@ pub fn frame_bytes(payload_len: usize) -> usize {
 
 /// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (the peer
 /// closed between frames); end-of-stream in the middle of a frame, an
-/// oversized or undersized length prefix and an unknown kind byte are
-/// errors.
+/// oversized or undersized length prefix, a version-byte mismatch and an
+/// unknown kind byte are errors.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     let mut len_buf = [0u8; 4];
     // Distinguish "no next frame" from "frame cut short": EOF on the very
@@ -558,7 +661,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     if body_len > MAX_FRAME_BYTES {
         return Err(WireError::FrameTooLarge { declared: body_len }.into());
     }
-    if body_len < 9 {
+    if body_len < BODY_HEADER_BYTES {
         return Err(WireError::FrameTooSmall { declared: body_len }.into());
     }
     let mut body = vec![0u8; body_len];
@@ -569,9 +672,13 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
             e
         }
     })?;
-    let kind = FrameKind::from_u8(body[0]).map_err(io::Error::from)?;
-    let correlation = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
-    Ok(Some(Frame { kind, correlation, payload: body[9..].to_vec() }))
+    if body[0] != version_byte() {
+        return Err(WireError::Version { got: body[0] }.into());
+    }
+    let kind = FrameKind::from_u8(body[1]).map_err(io::Error::from)?;
+    let correlation = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    let query = QueryId(u64::from_le_bytes(body[10..18].try_into().expect("8 bytes")));
+    Ok(Some(Frame { kind, correlation, query, payload: body[BODY_HEADER_BYTES..].to_vec() }))
 }
 
 // ---------------------------------------------------------------------------
@@ -588,29 +695,31 @@ pub fn write_message(
     w: &mut impl Write,
     kind: FrameKind,
     correlation: u64,
+    query: QueryId,
     payload: &[u8],
 ) -> io::Result<usize> {
-    write_message_with_cap(w, kind, correlation, payload, MAX_FRAME_BYTES)
+    write_message_with_cap(w, kind, correlation, query, payload, MAX_FRAME_BYTES)
 }
 
 /// [`write_message`] with an explicit frame cap, so tests can exercise
 /// multi-frame splits without materializing 64 MiB payloads. `frame_cap`
-/// bounds each frame's *body* length (kind + correlation + payload chunk)
-/// exactly like [`MAX_FRAME_BYTES`] bounds production frames.
+/// bounds each frame's *body* length (body header + payload chunk) exactly
+/// like [`MAX_FRAME_BYTES`] bounds production frames.
 pub fn write_message_with_cap(
     w: &mut impl Write,
     kind: FrameKind,
     correlation: u64,
+    query: QueryId,
     payload: &[u8],
     frame_cap: usize,
 ) -> io::Result<usize> {
     assert!(kind != FrameKind::Continue, "Continue frames are emitted here, never passed in");
     let chunk_cap = frame_cap
-        .checked_sub(9 + CONTINUE_SEQ_BYTES)
+        .checked_sub(BODY_HEADER_BYTES + CONTINUE_SEQ_BYTES)
         .filter(|&c| c > 0)
         .expect("frame cap must leave room for a body header, a sequence number and data");
-    if payload.len() + 9 <= frame_cap {
-        return write_frame(w, kind, correlation, payload);
+    if payload.len() + BODY_HEADER_BYTES <= frame_cap {
+        return write_frame(w, kind, correlation, query, payload);
     }
     // All chunks except the last travel as Continue frames; the final chunk
     // rides in the frame of the real kind, which is what tells the reader
@@ -622,9 +731,9 @@ pub fn write_message_with_cap(
             let mut body = Vec::with_capacity(CONTINUE_SEQ_BYTES + chunk.len());
             body.extend_from_slice(&(seq as u32).to_le_bytes());
             body.extend_from_slice(chunk);
-            written += write_frame(w, FrameKind::Continue, correlation, &body)?;
+            written += write_frame(w, FrameKind::Continue, correlation, query, &body)?;
         } else {
-            written += write_frame(w, kind, correlation, chunk)?;
+            written += write_frame(w, kind, correlation, query, chunk)?;
         }
     }
     Ok(written)
@@ -634,14 +743,16 @@ pub fn write_message_with_cap(
 /// [`FrameKind::Continue`] run is reassembled into a single [`Frame`] of
 /// the terminating frame's kind. Returns `Ok(None)` on a clean end-of-stream
 /// *between* messages; a stream that ends mid-run is [`WireError::Truncated`],
-/// and a run that switches correlation id, skips a sequence number or grows
-/// past [`MAX_MESSAGE_BYTES`] is rejected with the matching [`WireError`].
+/// and a run that switches correlation id or query id, skips a sequence
+/// number or grows past [`MAX_MESSAGE_BYTES`] is rejected with the matching
+/// [`WireError`].
 pub fn read_message(r: &mut impl Read) -> io::Result<Option<Frame>> {
     let Some(first) = read_frame(r)? else { return Ok(None) };
     if first.kind != FrameKind::Continue {
         return Ok(Some(first));
     }
     let correlation = first.correlation;
+    let query = first.query;
     let mut assembled = continuation_chunk(&first, correlation, 0)?.to_vec();
     let mut next_seq: u32 = 1;
     loop {
@@ -659,6 +770,11 @@ pub fn read_message(r: &mut impl Read) -> io::Result<Option<Frame>> {
             }
             .into());
         }
+        if frame.query != query {
+            return Err(
+                WireError::QueryMismatch { expected: query.0, got: frame.query.0 }.into()
+            );
+        }
         if frame.kind == FrameKind::Continue {
             assembled.extend_from_slice(continuation_chunk(&frame, correlation, next_seq)?);
             next_seq = next_seq
@@ -666,7 +782,7 @@ pub fn read_message(r: &mut impl Read) -> io::Result<Option<Frame>> {
                 .ok_or(WireError::MessageTooLarge { limit: MAX_MESSAGE_BYTES })?;
         } else {
             assembled.extend_from_slice(&frame.payload);
-            return Ok(Some(Frame { kind: frame.kind, correlation, payload: assembled }));
+            return Ok(Some(Frame { kind: frame.kind, correlation, query, payload: assembled }));
         }
     }
 }
@@ -705,6 +821,12 @@ mod tests {
         assert_eq!(decode_response(&buf), Ok(response));
     }
 
+    fn roundtrip_envelope(envelope: Envelope) {
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        assert_eq!(decode_envelope(&buf), Ok(envelope));
+    }
+
     #[test]
     fn every_request_variant_round_trips() {
         roundtrip_request(Request::VerifyEdges(vec![]));
@@ -724,6 +846,30 @@ mod tests {
             pattern: "q5".to_string(),
             budget: Some(64 * 1024),
         });
+    }
+
+    #[test]
+    fn envelopes_round_trip_with_their_scope() {
+        roundtrip_envelope(Envelope::solo(Request::CheckRegionGroups));
+        roundtrip_envelope(Envelope::new(
+            QueryId(17),
+            3,
+            Request::FetchVertices(vec![1, 2, 3]),
+        ));
+        roundtrip_envelope(Envelope::new(
+            QueryId(u64::MAX),
+            u64::MAX,
+            Request::Query { id: u64::MAX, pattern: "q8".into(), budget: Some(1) },
+        ));
+    }
+
+    #[test]
+    fn envelope_decoding_rejects_trailing_bytes() {
+        let mut buf = Vec::new();
+        encode_envelope(&Envelope::solo(Request::ShareRegionGroup), &mut buf);
+        buf.push(0);
+        assert_eq!(decode_envelope(&buf), Err(WireError::TrailingBytes { extra: 1 }));
+        assert_eq!(decode_envelope(&[]), Err(WireError::Truncated));
     }
 
     #[test]
@@ -760,8 +906,8 @@ mod tests {
         let mut wire = Vec::new();
         let mut payload = Vec::new();
         encode_request(&Request::FetchVertices(vec![1, 2, 3]), &mut payload);
-        let n1 = write_frame(&mut wire, FrameKind::Request, 42, &payload).unwrap();
-        let n2 = write_frame(&mut wire, FrameKind::Shutdown, 0, &[]).unwrap();
+        let n1 = write_frame(&mut wire, FrameKind::Request, 42, QueryId(7), &payload).unwrap();
+        let n2 = write_frame(&mut wire, FrameKind::Shutdown, 0, QueryId::SOLO, &[]).unwrap();
         assert_eq!(n1, frame_bytes(payload.len()));
         assert_eq!(n2, frame_bytes(0));
         assert_eq!(wire.len(), n1 + n2);
@@ -770,10 +916,50 @@ mod tests {
         let f1 = read_frame(&mut cursor).unwrap().unwrap();
         assert_eq!(f1.kind, FrameKind::Request);
         assert_eq!(f1.correlation, 42);
+        assert_eq!(f1.query, QueryId(7));
         assert_eq!(decode_request(&f1.payload), Ok(Request::FetchVertices(vec![1, 2, 3])));
         let f2 = read_frame(&mut cursor).unwrap().unwrap();
-        assert_eq!((f2.kind, f2.correlation, f2.payload.len()), (FrameKind::Shutdown, 0, 0));
+        assert_eq!(
+            (f2.kind, f2.correlation, f2.query, f2.payload.len()),
+            (FrameKind::Shutdown, 0, QueryId::SOLO, 0)
+        );
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after the last frame");
+    }
+
+    #[test]
+    fn v1_frames_are_rejected_with_a_typed_version_error() {
+        // A protocol-revision-1 frame: body = [kind u8][correlation u64]
+        // [payload], no version byte. Its first body byte is the kind
+        // (1..=10), which can never equal version_byte() — so the reader
+        // reports a Version error, not a misparse.
+        let payload = vec![0u8; 16];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((payload.len() + 9) as u32).to_le_bytes());
+        wire.push(2); // v1 FrameKind::Request
+        wire.extend_from_slice(&42u64.to_le_bytes());
+        wire.extend_from_slice(&payload);
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("incompatible protocol revision"), "{err}");
+    }
+
+    #[test]
+    fn version_byte_cannot_collide_with_v1_kind_bytes() {
+        // every v1 kind byte (1..=10) occupied the position the version
+        // byte now holds; the high-nibble mark keeps them disjoint
+        for kind in 1..=10u8 {
+            assert_ne!(version_byte(), kind);
+        }
+        assert_eq!(version_byte(), 0xA0 | WIRE_VERSION);
+    }
+
+    #[test]
+    fn future_wire_versions_are_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Hello, 0, QueryId::SOLO, &[1, 2, 3, 4]).unwrap();
+        wire[4] = VERSION_MARK | (WIRE_VERSION + 1);
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("incompatible protocol revision"), "{err}");
     }
 
     #[test]
@@ -788,7 +974,7 @@ mod tests {
     #[test]
     fn truncated_body_is_rejected() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, FrameKind::Response, 1, &[9, 9, 9, 9]).unwrap();
+        write_frame(&mut wire, FrameKind::Response, 1, QueryId::SOLO, &[9, 9, 9, 9]).unwrap();
         wire.truncate(wire.len() - 2);
         let mut cursor = wire.as_slice();
         let err = read_frame(&mut cursor).unwrap_err();
@@ -807,7 +993,7 @@ mod tests {
 
     #[test]
     fn undersized_length_prefix_is_rejected() {
-        // body length 3 cannot even hold the kind byte + correlation id
+        // body length 3 cannot even hold the body header
         let mut wire = Vec::new();
         wire.extend_from_slice(&3u32.to_le_bytes());
         wire.extend_from_slice(&[2, 0, 0]);
@@ -819,8 +1005,8 @@ mod tests {
     #[test]
     fn unknown_frame_kind_is_rejected() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, FrameKind::Hello, 0, &[1, 2, 3]).unwrap();
-        wire[4] = 250; // corrupt the kind byte
+        write_frame(&mut wire, FrameKind::Hello, 0, QueryId::SOLO, &[1, 2, 3]).unwrap();
+        wire[5] = 250; // corrupt the kind byte (offset 4 is the version byte)
         let mut cursor = wire.as_slice();
         let err = read_frame(&mut cursor).unwrap_err();
         assert!(err.to_string().contains("unknown frame kind"), "{err}");
@@ -867,7 +1053,9 @@ mod tests {
     #[test]
     fn oversized_write_is_rejected() {
         let payload = vec![0u8; MAX_FRAME_BYTES - 8];
-        let err = write_frame(&mut Vec::new(), FrameKind::Result, 0, &payload).unwrap_err();
+        let err =
+            write_frame(&mut Vec::new(), FrameKind::Result, 0, QueryId::SOLO, &payload)
+                .unwrap_err();
         assert!(err.to_string().contains("exceeds"), "{err}");
     }
 
@@ -884,31 +1072,36 @@ mod tests {
         encode_request(&Request::FetchVertices(vec![1, 2, 3]), &mut payload);
         let mut as_frame = Vec::new();
         let mut as_message = Vec::new();
-        let n1 = write_frame(&mut as_frame, FrameKind::Request, 9, &payload).unwrap();
-        let n2 = write_message(&mut as_message, FrameKind::Request, 9, &payload).unwrap();
+        let n1 = write_frame(&mut as_frame, FrameKind::Request, 9, QueryId(3), &payload).unwrap();
+        let n2 =
+            write_message(&mut as_message, FrameKind::Request, 9, QueryId(3), &payload).unwrap();
         assert_eq!(as_frame, as_message);
         assert_eq!(n1, n2);
     }
 
     #[test]
     fn oversized_messages_round_trip_through_a_continuation_run() {
-        // a payload needing 3 frames under a tiny cap (chunk budget 64-9-4=51)
+        // a payload needing 3+ frames under a tiny cap (chunk budget 64-18-4=42)
         let payload: Vec<u8> = (0..=255u8).cycle().take(150).collect();
         let mut wire = Vec::new();
         let written =
-            write_message_with_cap(&mut wire, FrameKind::Response, 77, &payload, 64).unwrap();
+            write_message_with_cap(&mut wire, FrameKind::Response, 77, QueryId(5), &payload, 64)
+                .unwrap();
         assert_eq!(written, wire.len());
-        // the run is visible as raw frames: Continue, Continue, then Response
+        // the run is visible as raw frames: Continue*, then Response
         let mut cursor = wire.as_slice();
         let kinds: Vec<FrameKind> =
             std::iter::from_fn(|| read_frame(&mut cursor).unwrap().map(|f| f.kind)).collect();
         assert_eq!(kinds.last(), Some(&FrameKind::Response));
         assert!(kinds[..kinds.len() - 1].iter().all(|&k| k == FrameKind::Continue));
         assert!(kinds.len() >= 3, "expected a multi-frame run, got {kinds:?}");
-        // and reassembles into one logical frame
+        // and reassembles into one logical frame carrying the query scope
         let mut cursor = wire.as_slice();
         let frame = read_message(&mut cursor).unwrap().unwrap();
-        assert_eq!((frame.kind, frame.correlation), (FrameKind::Response, 77));
+        assert_eq!(
+            (frame.kind, frame.correlation, frame.query),
+            (FrameKind::Response, 77, QueryId(5))
+        );
         assert_eq!(frame.payload, payload);
         assert!(read_message(&mut cursor).unwrap().is_none());
     }
@@ -917,14 +1110,16 @@ mod tests {
     fn truncated_continuation_runs_are_rejected() {
         let payload = vec![7u8; 200];
         let mut wire = Vec::new();
-        write_message_with_cap(&mut wire, FrameKind::Response, 5, &payload, 64).unwrap();
+        write_message_with_cap(&mut wire, FrameKind::Response, 5, QueryId::SOLO, &payload, 64)
+            .unwrap();
         // drop the terminating frame: clean EOF mid-run must not look like a
         // clean close
         let mut cursor = wire.as_slice();
         let first = read_frame(&mut cursor).unwrap().unwrap();
         assert_eq!(first.kind, FrameKind::Continue);
         let mut one_frame = Vec::new();
-        write_frame(&mut one_frame, first.kind, first.correlation, &first.payload).unwrap();
+        write_frame(&mut one_frame, first.kind, first.correlation, first.query, &first.payload)
+            .unwrap();
         let err = read_message(&mut one_frame.as_slice()).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
     }
@@ -933,7 +1128,8 @@ mod tests {
     fn continuation_correlation_switches_are_rejected() {
         let payload = vec![1u8; 200];
         let mut wire = Vec::new();
-        write_message_with_cap(&mut wire, FrameKind::Response, 10, &payload, 64).unwrap();
+        write_message_with_cap(&mut wire, FrameKind::Response, 10, QueryId::SOLO, &payload, 64)
+            .unwrap();
         // retag the terminating frame with a different correlation id
         let mut frames = Vec::new();
         let mut cursor = wire.as_slice();
@@ -943,17 +1139,40 @@ mod tests {
         let mut rewired = Vec::new();
         for (i, f) in frames.iter().enumerate() {
             let corr = if i == frames.len() - 1 { 999 } else { f.correlation };
-            write_frame(&mut rewired, f.kind, corr, &f.payload).unwrap();
+            write_frame(&mut rewired, f.kind, corr, f.query, &f.payload).unwrap();
         }
         let err = read_message(&mut rewired.as_slice()).unwrap_err();
         assert!(err.to_string().contains("correlation 999"), "{err}");
     }
 
     #[test]
+    fn continuation_query_switches_are_rejected() {
+        let payload = vec![3u8; 200];
+        let mut wire = Vec::new();
+        write_message_with_cap(&mut wire, FrameKind::Response, 10, QueryId(1), &payload, 64)
+            .unwrap();
+        // retag the terminating frame with a different query id: an
+        // interleaving bug upstream must not splice two queries' payloads
+        let mut frames = Vec::new();
+        let mut cursor = wire.as_slice();
+        while let Some(f) = read_frame(&mut cursor).unwrap() {
+            frames.push(f);
+        }
+        let mut rewired = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            let q = if i == frames.len() - 1 { QueryId(2) } else { f.query };
+            write_frame(&mut rewired, f.kind, f.correlation, q, &f.payload).unwrap();
+        }
+        let err = read_message(&mut rewired.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("query 2"), "{err}");
+    }
+
+    #[test]
     fn out_of_order_continuation_sequences_are_rejected() {
         let payload = vec![2u8; 300];
         let mut wire = Vec::new();
-        write_message_with_cap(&mut wire, FrameKind::Response, 4, &payload, 64).unwrap();
+        write_message_with_cap(&mut wire, FrameKind::Response, 4, QueryId::SOLO, &payload, 64)
+            .unwrap();
         let mut frames = Vec::new();
         let mut cursor = wire.as_slice();
         while let Some(f) = read_frame(&mut cursor).unwrap() {
@@ -963,7 +1182,7 @@ mod tests {
         frames.swap(0, 1); // two Continue frames out of order
         let mut rewired = Vec::new();
         for f in &frames {
-            write_frame(&mut rewired, f.kind, f.correlation, &f.payload).unwrap();
+            write_frame(&mut rewired, f.kind, f.correlation, f.query, &f.payload).unwrap();
         }
         let err = read_message(&mut rewired.as_slice()).unwrap_err();
         assert!(err.to_string().contains("out of order"), "{err}");
@@ -978,17 +1197,24 @@ mod tests {
         let response = Response::Adjacency(vec![(42, neighbours.clone())]);
         let mut payload = Vec::new();
         encode_response(&response, &mut payload);
-        assert!(payload.len() + 9 > MAX_FRAME_BYTES, "payload must exceed one frame");
+        assert!(
+            payload.len() + BODY_HEADER_BYTES > MAX_FRAME_BYTES,
+            "payload must exceed one frame"
+        );
 
         let mut wire = Vec::new();
-        let written = write_message(&mut wire, FrameKind::Response, 31, &payload).unwrap();
+        let written =
+            write_message(&mut wire, FrameKind::Response, 31, QueryId(2), &payload).unwrap();
         assert_eq!(written, wire.len());
         assert!(written > payload.len(), "continuation headers add real wire bytes");
 
         let mut cursor = wire.as_slice();
         let frame = read_message(&mut cursor).unwrap().unwrap();
         assert!(read_message(&mut cursor).unwrap().is_none());
-        assert_eq!((frame.kind, frame.correlation), (FrameKind::Response, 31));
+        assert_eq!(
+            (frame.kind, frame.correlation, frame.query),
+            (FrameKind::Response, 31, QueryId(2))
+        );
         match decode_response(&frame.payload).unwrap() {
             Response::Adjacency(lists) => {
                 assert_eq!(lists.len(), 1);

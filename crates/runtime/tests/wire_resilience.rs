@@ -12,10 +12,10 @@ use std::io;
 
 use rads_runtime::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, read_message,
-    write_frame, write_message_with_cap, FrameKind, WireError, CONTINUE_SEQ_BYTES,
+    version_byte, write_frame, write_message_with_cap, FrameKind, WireError, CONTINUE_SEQ_BYTES,
     FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
 };
-use rads_runtime::{Request, Response};
+use rads_runtime::{QueryId, Request, Response};
 
 /// Deterministic xorshift64* stream — the whole suite's only randomness.
 struct Rng(u64);
@@ -122,7 +122,8 @@ fn random_garbage_never_panics_the_message_decoders() {
 #[test]
 fn partial_frames_are_truncation_errors_never_hangs_or_panics() {
     let mut wire = Vec::new();
-    write_frame(&mut wire, FrameKind::Response, 42, b"some payload bytes").expect("write");
+    write_frame(&mut wire, FrameKind::Response, 42, QueryId(9), b"some payload bytes")
+        .expect("write");
     for cut in 0..wire.len() {
         let mut cursor = &wire[..cut];
         match read_frame(&mut cursor) {
@@ -138,11 +139,12 @@ fn partial_frames_are_truncation_errors_never_hangs_or_panics() {
     let mut cursor = wire.as_slice();
     let frame = read_frame(&mut cursor).expect("full frame").expect("one frame");
     assert_eq!(frame.correlation, 42);
+    assert_eq!(frame.query, QueryId(9));
     assert_eq!(frame.payload, b"some payload bytes");
 }
 
 /// Hostile frame headers get the matching typed error: oversized and
-/// undersized length prefixes, unknown kind bytes.
+/// undersized length prefixes, wrong version bytes, unknown kind bytes.
 #[test]
 fn hostile_frame_headers_are_typed_errors() {
     // length prefix above the frame cap
@@ -156,7 +158,7 @@ fn hostile_frame_headers_are_typed_errors() {
         ),
         other => panic!("oversized length prefix accepted: {other:?}"),
     }
-    // length prefix below the 9-byte body header
+    // length prefix below the 18-byte body header
     let mut undersized = Vec::new();
     undersized.extend_from_slice(&3u32.to_le_bytes());
     undersized.extend_from_slice(&[0u8; 3]);
@@ -167,10 +169,24 @@ fn hostile_frame_headers_are_typed_errors() {
         ),
         other => panic!("undersized length prefix accepted: {other:?}"),
     }
-    // unknown kind byte
+    // a pre-envelope peer's version byte (or any other stale build): the
+    // frame is rejected by version before its kind byte is even looked at
+    let mut stale = Vec::new();
+    stale.extend_from_slice(&18u32.to_le_bytes()); // body: full header, no payload
+    stale.push(0xA1); // version byte of wire version 1
+    stale.push(0xEE); // an unknown kind that must NOT be reached
+    stale.extend_from_slice(&0u64.to_le_bytes());
+    stale.extend_from_slice(&0u64.to_le_bytes());
+    match read_frame(&mut stale.as_slice()) {
+        Err(e) => assert_eq!(wire_error(&e), Some(&WireError::Version { got: 0xA1 })),
+        other => panic!("stale version byte accepted: {other:?}"),
+    }
+    // unknown kind byte (behind a valid version byte)
     let mut unknown = Vec::new();
-    unknown.extend_from_slice(&9u32.to_le_bytes()); // body: kind + correlation
+    unknown.extend_from_slice(&18u32.to_le_bytes()); // body: version + kind + corr + query
+    unknown.push(version_byte());
     unknown.push(0xEE);
+    unknown.extend_from_slice(&0u64.to_le_bytes());
     unknown.extend_from_slice(&0u64.to_le_bytes());
     match read_frame(&mut unknown.as_slice()) {
         Err(e) => assert_eq!(wire_error(&e), Some(&WireError::UnknownKind(0xEE))),
@@ -184,7 +200,7 @@ const CAP: usize = 32;
 fn continuation_run(correlation: u64, payload_len: usize) -> (Vec<u8>, Vec<u8>) {
     let payload: Vec<u8> = (0..payload_len).map(|i| i as u8).collect();
     let mut wire = Vec::new();
-    write_message_with_cap(&mut wire, FrameKind::Response, correlation, &payload, CAP)
+    write_message_with_cap(&mut wire, FrameKind::Response, correlation, QueryId(3), &payload, CAP)
         .expect("write run");
     (wire, payload)
 }
@@ -216,7 +232,7 @@ fn garbage_continuation_interleaving_is_a_mismatch_error() {
     let first_len =
         u32::from_le_bytes(run[..4].try_into().expect("4 bytes")) as usize + 4;
     let mut spliced = run[..first_len].to_vec();
-    write_frame(&mut spliced, FrameKind::Response, 99, b"intruder").expect("write");
+    write_frame(&mut spliced, FrameKind::Response, 99, QueryId(3), b"intruder").expect("write");
     spliced.extend_from_slice(&run[first_len..]);
     match read_message(&mut spliced.as_slice()) {
         Err(e) => assert_eq!(
@@ -224,6 +240,26 @@ fn garbage_continuation_interleaving_is_a_mismatch_error() {
             Some(&WireError::ContinuationMismatch { expected: 7, got: 99 })
         ),
         other => panic!("interleaved run accepted: {other:?}"),
+    }
+}
+
+/// A frame carrying the right correlation id but a *different query id*
+/// spliced into a run is [`WireError::QueryMismatch`] — one query's
+/// continuation run can never absorb another query's bytes.
+#[test]
+fn cross_query_continuation_interleaving_is_a_query_mismatch() {
+    let (run, _) = continuation_run(7, 200);
+    let first_len =
+        u32::from_le_bytes(run[..4].try_into().expect("4 bytes")) as usize + 4;
+    let mut spliced = run[..first_len].to_vec();
+    write_frame(&mut spliced, FrameKind::Response, 7, QueryId(4), b"other query").expect("write");
+    spliced.extend_from_slice(&run[first_len..]);
+    match read_message(&mut spliced.as_slice()) {
+        Err(e) => assert_eq!(
+            wire_error(&e),
+            Some(&WireError::QueryMismatch { expected: 3, got: 4 })
+        ),
+        other => panic!("cross-query run accepted: {other:?}"),
     }
 }
 
@@ -259,9 +295,9 @@ fn single_byte_corruption_of_runs_never_panics() {
 #[test]
 fn out_of_order_continuation_sequence_is_typed() {
     let (mut wire, _) = continuation_run(5, 200);
-    // Frame layout: [len u32][kind][corr u64][seq u32]... — bump the first
-    // frame's sequence number from 0 to 2.
-    let seq_at = 4 + 1 + 8;
+    // Frame layout: [len u32][version][kind][corr u64][query u64][seq u32]
+    // — bump the first frame's sequence number from 0 to 2.
+    let seq_at = 4 + 1 + 1 + 8 + 8;
     assert_eq!(&wire[seq_at..seq_at + CONTINUE_SEQ_BYTES], &0u32.to_le_bytes());
     wire[seq_at..seq_at + CONTINUE_SEQ_BYTES].copy_from_slice(&2u32.to_le_bytes());
     match read_message(&mut wire.as_slice()) {
@@ -278,7 +314,8 @@ fn out_of_order_continuation_sequence_is_typed() {
 #[test]
 fn frame_header_constant_matches_the_wire() {
     let mut wire = Vec::new();
-    let written = write_frame(&mut wire, FrameKind::Shutdown, 0, &[]).expect("write");
+    let written =
+        write_frame(&mut wire, FrameKind::Shutdown, 0, QueryId::SOLO, &[]).expect("write");
     assert_eq!(written, FRAME_HEADER_BYTES);
     assert_eq!(wire.len(), FRAME_HEADER_BYTES);
 }

@@ -1,33 +1,53 @@
 //! Property tests over the socket wire codec: every value of the full
 //! `Request` / `Response` enum — empty adjacency lists, empty batches,
 //! extreme ids — must survive encode → frame → unframe → decode exactly,
-//! and the length-prefix boundaries must hold.
+//! query-scoped [`Envelope`]s must round-trip with their ids intact, and
+//! the length-prefix boundaries must hold.
 
 use proptest::prelude::*;
 
 use rads_runtime::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, read_message,
-    write_frame, write_message, write_message_with_cap, Frame, FrameKind, CONTINUE_SEQ_BYTES,
-    MAX_FRAME_BYTES,
+    decode_envelope, decode_request, decode_response, encode_envelope, encode_request,
+    encode_response, read_frame, read_message, write_frame, write_message,
+    write_message_with_cap, Frame, FrameKind, CONTINUE_SEQ_BYTES, MAX_FRAME_BYTES,
 };
-use rads_runtime::{Request, Response};
+use rads_runtime::{Envelope, QueryId, Request, Response};
 
 /// A deliberately tiny frame cap so multi-frame continuation runs can be
 /// exercised without materializing 64 MiB payloads. Each frame's body holds
-/// the 9-byte header, the 4-byte sequence number and up to
+/// the 18-byte header, the 4-byte sequence number and up to
 /// [`TEST_CHUNK`] payload bytes.
 const TEST_FRAME_CAP: usize = 64;
-const TEST_CHUNK: usize = TEST_FRAME_CAP - 9 - CONTINUE_SEQ_BYTES;
+const TEST_CHUNK: usize = TEST_FRAME_CAP - 18 - CONTINUE_SEQ_BYTES;
 
 fn arb_vertices(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..=u32::MAX, 0..max_len)
 }
 
+fn request_from(
+    variant: usize,
+    pairs: Vec<(u32, u32)>,
+    vertices: Vec<u32>,
+    tag: u32,
+    rows: Vec<Vec<u32>>,
+    id: u64,
+    budget: Option<u64>,
+) -> Request {
+    match variant {
+        0 => Request::VerifyEdges(pairs),
+        1 => Request::FetchVertices(vertices),
+        2 => Request::CheckRegionGroups,
+        3 => Request::ShareRegionGroup,
+        4 => Request::Query { id, pattern: format!("q{}", id % 9), budget },
+        _ => Request::DeliverRows { tag, rows },
+    }
+}
+
 /// Frames `value` through an in-memory wire and hands back the decoded
 /// frame, checking the byte accounting along the way.
-fn frame_roundtrip(kind: FrameKind, correlation: u64, payload: &[u8]) -> Frame {
+fn frame_roundtrip(kind: FrameKind, correlation: u64, query: QueryId, payload: &[u8]) -> Frame {
     let mut wire = Vec::new();
-    let written = write_frame(&mut wire, kind, correlation, payload).expect("write frame");
+    let written = write_frame(&mut wire, kind, correlation, query, payload).expect("write frame");
     assert_eq!(written, wire.len(), "write_frame must report exactly the bytes it wrote");
     let mut cursor = wire.as_slice();
     let frame = read_frame(&mut cursor).expect("read frame").expect("one frame");
@@ -38,30 +58,31 @@ fn frame_roundtrip(kind: FrameKind, correlation: u64, payload: &[u8]) -> Frame {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Every `Request` variant round-trips through codec + framing.
+    /// Every `Request` variant round-trips through codec + framing, and the
+    /// frame's query id survives untouched.
     #[test]
     fn requests_round_trip(
-        variant in 0usize..5,
+        variant in 0usize..6,
         pairs in proptest::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 0..48),
         vertices in arb_vertices(48),
         tag in 0u32..=u32::MAX,
         rows in proptest::collection::vec(arb_vertices(7), 0..12),
+        id in 0u64..=u64::MAX,
+        budget_set in any::<bool>(),
+        budget_raw in 0u64..=u64::MAX,
         correlation in 0u64..=u64::MAX,
+        query in 0u64..=u64::MAX,
     ) {
-        let request = match variant {
-            0 => Request::VerifyEdges(pairs),
-            1 => Request::FetchVertices(vertices),
-            2 => Request::CheckRegionGroups,
-            3 => Request::ShareRegionGroup,
-            _ => Request::DeliverRows { tag, rows },
-        };
+        let request =
+            request_from(variant, pairs, vertices, tag, rows, id, budget_set.then_some(budget_raw));
         let mut payload = Vec::new();
         encode_request(&request, &mut payload);
         prop_assert_eq!(decode_request(&payload).as_ref(), Ok(&request));
 
-        let frame = frame_roundtrip(FrameKind::Request, correlation, &payload);
+        let frame = frame_roundtrip(FrameKind::Request, correlation, QueryId(query), &payload);
         prop_assert_eq!(frame.kind, FrameKind::Request);
         prop_assert_eq!(frame.correlation, correlation);
+        prop_assert_eq!(frame.query, QueryId(query));
         prop_assert_eq!(decode_request(&frame.payload), Ok(request));
     }
 
@@ -77,6 +98,7 @@ proptest! {
         group in arb_vertices(48),
         some in any::<bool>(),
         correlation in 0u64..=u64::MAX,
+        query in 0u64..=u64::MAX,
     ) {
         let response = match variant {
             0 => Response::EdgeVerification(verdicts),
@@ -90,8 +112,54 @@ proptest! {
         encode_response(&response, &mut payload);
         prop_assert_eq!(decode_response(&payload).as_ref(), Ok(&response));
 
-        let frame = frame_roundtrip(FrameKind::Response, correlation, &payload);
+        let frame = frame_roundtrip(FrameKind::Response, correlation, QueryId(query), &payload);
+        prop_assert_eq!(frame.query, QueryId(query));
         prop_assert_eq!(decode_response(&frame.payload), Ok(response));
+    }
+
+    /// Full [`Envelope`]s — query id, sequence number and any request body —
+    /// round-trip through the envelope codec exactly. The envelope *is* the
+    /// engine-facing RPC unit now, so this is the compatibility contract the
+    /// concurrent serving mode leans on.
+    #[test]
+    fn envelopes_round_trip(
+        variant in 0usize..6,
+        pairs in proptest::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 0..24),
+        vertices in arb_vertices(24),
+        tag in 0u32..=u32::MAX,
+        rows in proptest::collection::vec(arb_vertices(5), 0..8),
+        id in 0u64..=u64::MAX,
+        budget_set in any::<bool>(),
+        budget_raw in 0u64..=u64::MAX,
+        query in 0u64..=u64::MAX,
+        seq in 0u64..=u64::MAX,
+    ) {
+        let body =
+            request_from(variant, pairs, vertices, tag, rows, id, budget_set.then_some(budget_raw));
+        let envelope = Envelope::new(QueryId(query), seq, body);
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        let decoded = decode_envelope(&buf).expect("decode envelope");
+        prop_assert_eq!(decoded.query, envelope.query);
+        prop_assert_eq!(decoded.seq, envelope.seq);
+        prop_assert_eq!(decoded.body, envelope.body);
+    }
+
+    /// Truncating an encoded envelope anywhere strictly inside it never
+    /// panics and never decodes to the original.
+    #[test]
+    fn truncated_envelopes_are_rejected_not_misread(
+        vertices in arb_vertices(24),
+        query in 0u64..=u64::MAX,
+        seq in 0u64..=u64::MAX,
+        cut in 0usize..128,
+    ) {
+        let envelope = Envelope::new(QueryId(query), seq, Request::FetchVertices(vertices));
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        if cut < buf.len() {
+            prop_assert!(decode_envelope(&buf[..cut]).is_err());
+        }
     }
 
     /// Truncating an encoded message anywhere strictly inside it never
@@ -120,6 +188,7 @@ proptest! {
     ) {
         let _ = decode_request(&bytes);
         let _ = decode_response(&bytes);
+        let _ = decode_envelope(&bytes);
         let mut cursor = bytes.as_slice();
         let _ = read_frame(&mut cursor);
     }
@@ -135,6 +204,7 @@ proptest! {
         delta in 0usize..=2, // boundary*chunk - 1, exactly, + 1
         fill in any::<u8>(),
         correlation in 0u64..=u64::MAX,
+        query in 0u64..=u64::MAX,
     ) {
         let Some(len) = (boundary * TEST_CHUNK + delta).checked_sub(1) else {
             return; // boundary 0, delta 0: no length -1
@@ -142,7 +212,7 @@ proptest! {
         let payload: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
         let mut wire = Vec::new();
         let written = write_message_with_cap(
-            &mut wire, FrameKind::Response, correlation, &payload, TEST_FRAME_CAP,
+            &mut wire, FrameKind::Response, correlation, QueryId(query), &payload, TEST_FRAME_CAP,
         ).expect("write message");
         prop_assert_eq!(written, wire.len(), "reported bytes must match the wire");
         let mut cursor = wire.as_slice();
@@ -150,10 +220,11 @@ proptest! {
         prop_assert!(read_message(&mut cursor).expect("clean tail").is_none());
         prop_assert_eq!(frame.kind, FrameKind::Response);
         prop_assert_eq!(frame.correlation, correlation);
+        prop_assert_eq!(frame.query, QueryId(query));
         prop_assert_eq!(frame.payload, payload.clone());
-        if payload.len() + 9 <= TEST_FRAME_CAP {
+        if payload.len() + 18 <= TEST_FRAME_CAP {
             let mut single = Vec::new();
-            write_frame(&mut single, FrameKind::Response, correlation, &payload)
+            write_frame(&mut single, FrameKind::Response, correlation, QueryId(query), &payload)
                 .expect("write frame");
             prop_assert_eq!(single, wire, "single-frame messages must not change shape");
         }
@@ -170,8 +241,10 @@ proptest! {
         // at least two frames: one Continue + the terminating Response
         let payload: Vec<u8> = (0..TEST_CHUNK + 1 + extra).map(|i| i as u8).collect();
         let mut wire = Vec::new();
-        write_message_with_cap(&mut wire, FrameKind::Response, 7, &payload, TEST_FRAME_CAP)
-            .expect("write message");
+        write_message_with_cap(
+            &mut wire, FrameKind::Response, 7, QueryId::SOLO, &payload, TEST_FRAME_CAP,
+        )
+        .expect("write message");
         if cut >= wire.len() {
             return; // out of range for this payload size — nothing to cut
         }
@@ -189,10 +262,27 @@ fn continuation_run_with_mismatched_correlation_is_rejected() {
     let mut body = Vec::new();
     body.extend_from_slice(&0u32.to_le_bytes());
     body.extend_from_slice(&[0xAA; 10]);
-    write_frame(&mut wire, FrameKind::Continue, 1, &body).expect("write continue");
-    write_frame(&mut wire, FrameKind::Response, 2, &[0xBB; 4]).expect("write response");
+    write_frame(&mut wire, FrameKind::Continue, 1, QueryId::SOLO, &body).expect("write continue");
+    write_frame(&mut wire, FrameKind::Response, 2, QueryId::SOLO, &[0xBB; 4])
+        .expect("write response");
     let err = read_message(&mut wire.as_slice()).expect_err("correlation switch mid-run");
     assert!(err.to_string().contains("correlation"), "{err}");
+}
+
+/// A run whose terminating frame carries a different *query id* is rejected
+/// just the same — under concurrent queries the header's query id is part
+/// of the run's identity.
+#[test]
+fn continuation_run_with_mismatched_query_is_rejected() {
+    let mut wire = Vec::new();
+    let mut body = Vec::new();
+    body.extend_from_slice(&0u32.to_le_bytes());
+    body.extend_from_slice(&[0xAA; 10]);
+    write_frame(&mut wire, FrameKind::Continue, 1, QueryId(8), &body).expect("write continue");
+    write_frame(&mut wire, FrameKind::Response, 1, QueryId(9), &[0xBB; 4])
+        .expect("write response");
+    let err = read_message(&mut wire.as_slice()).expect_err("query switch mid-run");
+    assert!(err.to_string().contains("query"), "{err}");
 }
 
 /// A run that skips a sequence number is rejected — a dropped or reordered
@@ -205,9 +295,11 @@ fn continuation_run_with_skipped_sequence_is_rejected() {
         let mut body = Vec::new();
         body.extend_from_slice(&seq.to_le_bytes());
         body.extend_from_slice(&[0xCC; 8]);
-        write_frame(&mut wire, FrameKind::Continue, 5, &body).expect("write continue");
+        write_frame(&mut wire, FrameKind::Continue, 5, QueryId::SOLO, &body)
+            .expect("write continue");
     }
-    write_frame(&mut wire, FrameKind::Response, 5, &[0xDD; 4]).expect("write response");
+    write_frame(&mut wire, FrameKind::Response, 5, QueryId::SOLO, &[0xDD; 4])
+        .expect("write response");
     let err = read_message(&mut wire.as_slice()).expect_err("sequence skip mid-run");
     assert!(err.to_string().contains("sequence"), "{err}");
 }
@@ -224,8 +316,8 @@ fn adjacency_response_over_the_frame_cap_round_trips() {
     encode_response(&response, &mut payload);
     assert!(payload.len() > MAX_FRAME_BYTES, "payload must exceed the frame cap");
     let mut wire = Vec::new();
-    let written =
-        write_message(&mut wire, FrameKind::Response, 3, &payload).expect("write message");
+    let written = write_message(&mut wire, FrameKind::Response, 3, QueryId(2), &payload)
+        .expect("write message");
     assert_eq!(written, wire.len());
     // the run really is multi-frame: it starts with a Continue frame
     let first = read_frame(&mut wire.as_slice()).expect("read").expect("frame");
@@ -235,6 +327,7 @@ fn adjacency_response_over_the_frame_cap_round_trips() {
     assert!(read_message(&mut cursor).expect("clean tail").is_none());
     assert_eq!(frame.kind, FrameKind::Response);
     assert_eq!(frame.correlation, 3);
+    assert_eq!(frame.query, QueryId(2));
     assert_eq!(decode_response(&frame.payload), Ok(response));
 }
 
@@ -244,7 +337,7 @@ fn adjacency_response_over_the_frame_cap_round_trips() {
 fn continuation_run_ending_between_frames_is_truncation() {
     let payload: Vec<u8> = (0..2 * TEST_CHUNK).map(|i| i as u8).collect();
     let mut wire = Vec::new();
-    write_message_with_cap(&mut wire, FrameKind::Response, 9, &payload, TEST_FRAME_CAP)
+    write_message_with_cap(&mut wire, FrameKind::Response, 9, QueryId::SOLO, &payload, TEST_FRAME_CAP)
         .expect("write message");
     // keep exactly the first frame of the run
     let first_len = 4 + u32::from_le_bytes(wire[..4].try_into().expect("4 bytes")) as usize;
@@ -285,7 +378,7 @@ fn large_adjacency_frames_round_trip() {
     encode_response(&response, &mut payload);
     assert!(payload.len() > 1024 * 1024, "the test payload should exceed 1 MiB");
     let mut wire = Vec::new();
-    write_frame(&mut wire, FrameKind::Response, 99, &payload).expect("write");
+    write_frame(&mut wire, FrameKind::Response, 99, QueryId(1), &payload).expect("write");
     let mut cursor = wire.as_slice();
     let frame = read_frame(&mut cursor).expect("read").expect("frame");
     assert_eq!(decode_response(&frame.payload), Ok(response));

@@ -13,8 +13,8 @@ use rads::prelude::*;
 use rads_core::{run_rads_wrapped, RadsConfig as Config, RoundDriver};
 use rads_graph::queries;
 use rads_runtime::{
-    FaultPlan, FaultStats, FaultTransport, Request, Response, TrafficSnapshot, Transport,
-    TransportError,
+    Envelope, FaultPlan, FaultStats, FaultTransport, Request, Response, TrafficSnapshot,
+    Transport, TransportError,
 };
 
 fn small_cluster(machines: usize) -> (Cluster, u64, Pattern) {
@@ -189,11 +189,11 @@ impl Transport for MisTagTransport {
     fn machines(&self) -> usize {
         2
     }
-    fn request(&self, to: usize, request: Request) -> Result<Response, TransportError> {
-        if matches!(request, Request::FetchVertices(_)) {
+    fn request(&self, to: usize, envelope: Envelope) -> Result<Response, TransportError> {
+        if matches!(envelope.body, Request::FetchVertices(_)) {
             return Ok(Response::Ack);
         }
-        Ok(rads_runtime::Daemon::handle(&*self.peer, to, request))
+        Ok(rads_runtime::Daemon::handle(&*self.peer, to, envelope))
     }
     fn barrier(&self) -> Result<(), TransportError> {
         Ok(())

@@ -7,13 +7,16 @@
 //!
 //! A single `#[test]` on purpose: the registry and the metrics-enabled flag
 //! are process-global, and a second test thread running a query would
-//! inflate the deltas.
+//! inflate the deltas. Both epoch scenarios — serialized runs and
+//! *overlapping* per-query epochs off one shared registry (the
+//! [`EpochLedger`] serving mode uses under `--max-concurrent-queries`) —
+//! therefore live inside the one test body.
 
 use std::sync::Arc;
 
 use rads::prelude::*;
 use rads_graph::queries;
-use rads_obs::{MetricsSnapshot, Registry};
+use rads_obs::{EpochLedger, MetricsSnapshot, Registry};
 
 /// Counters whose per-run value is schedule-independent — identical across
 /// repeated runs of the same `(cluster, pattern, config)`.
@@ -54,4 +57,38 @@ fn back_to_back_runs_report_identical_deltas_off_the_cumulative_registry() {
         let total = cumulative.scalar(name).expect("counter exists cumulatively");
         assert_eq!(total, a + b, "{name}: cumulative registry disagrees with the epoch sum");
     }
+
+    // --- overlapping epochs ------------------------------------------------
+    // The racy pre-envelope scheme kept ONE `previous snapshot` watermark:
+    // query B beginning mid-flight of query A would move A's baseline, so
+    // A's delta silently lost everything recorded before B arrived. The
+    // EpochLedger keys each baseline by query id instead. Overlap two
+    // epochs around a third run and pin both properties: the inner epoch
+    // (nothing ran inside it) reports zero, and the outer epoch still
+    // reports the full run — opening and closing the inner epoch must not
+    // perturb it.
+    let ledger = EpochLedger::new();
+    ledger.begin(1, Registry::global().snapshot());
+    run_rads(&cluster, &pattern, &RadsConfig::default());
+    // query 2's epoch opens while query 1's is still in flight...
+    ledger.begin(2, Registry::global().snapshot());
+    assert_eq!(ledger.open(), 2, "both epochs are in flight");
+    let outer = ledger.end(1, &Registry::global().snapshot());
+    let inner = ledger.end(2, &Registry::global().snapshot());
+    for name in STABLE_COUNTERS {
+        let reference = first.scalar(name).expect("counter exists");
+        assert_eq!(
+            outer.scalar(name),
+            Some(reference),
+            "{name}: the overlapping epoch stole the outer epoch's baseline"
+        );
+        // nothing ran between query 2's begin and end: its delta is zero
+        // (or the counter is absent from the delta entirely)
+        assert_eq!(
+            inner.scalar(name).unwrap_or(0),
+            0,
+            "{name}: an idle overlapped epoch reported another query's work"
+        );
+    }
+    assert_eq!(ledger.open(), 0, "ended epochs must leave the ledger");
 }
